@@ -1,0 +1,59 @@
+//! Figure 15 — speedup of the block LU factorization, pipelined (stream
+//! operations) versus non-pipelined (standard merge-split constructs),
+//! on 1–8 nodes.
+//!
+//! Paper §5: a 4096×4096 matrix, no optimized linear algebra library; "It
+//! clearly illustrates the additional performance gain obtained thanks to
+//! the pipelining offered by the stream operations."
+
+use dps_bench::{calib, full_scale, table};
+use dps_linalg::parallel::lu::{run_lu_sim, LuConfig};
+use dps_linalg::{lu_residual, Matrix};
+
+fn main() {
+    let (n, r) = if full_scale() { (4096, 128) } else { (1024, 64) };
+    let seed = 77;
+
+    let run = |pipelined, nodes| {
+        let cfg = LuConfig {
+            n,
+            r,
+            pipelined,
+            seed,
+            nodes,
+            threads_per_node: 1,
+        };
+        let rep = run_lu_sim(calib::paper_cluster(nodes), &cfg, calib::engine_config())
+            .expect("LU run");
+        // Every configuration is verified against the input matrix.
+        let a = Matrix::random_general(n, n, seed);
+        let res = lu_residual(&a, &rep.factors);
+        assert!(res < 1e-6 * n as f64, "residual {res}");
+        rep.elapsed.as_secs_f64()
+    };
+
+    let t1_pipe = run(true, 1);
+    let t1_merge = run(false, 1);
+    let mut rows = Vec::new();
+    for nodes in 1..=8usize {
+        let tp = run(true, nodes);
+        let tm = run(false, nodes);
+        rows.push(vec![
+            format!("{nodes}"),
+            format!("{:.2}", t1_pipe / tp),
+            format!("{:.2}", t1_merge / tm),
+            table::secs(tp),
+            table::secs(tm),
+        ]);
+    }
+    table::print_table(
+        &format!("Figure 15 — LU factorization speedup, {n}×{n}, block {r}"),
+        &["nodes", "pipelined", "non-pipelined", "t(pipe)", "t(merge-split)"],
+        &rows,
+    );
+    println!(
+        "\nShape check (paper): both variants scale, the pipelined (stream)\n\
+         variant consistently above the merge-split variant, with the gap\n\
+         widening as nodes are added (paper: ≈7 vs ≈5 at 8 nodes)."
+    );
+}

@@ -1,0 +1,169 @@
+//! Figure 6 — round-trip data transfer throughput through a 4-node ring,
+//! comparing DPS data objects with raw socket transfers.
+//!
+//! Paper §4: "the first test transfers 100 MB of data along a ring of 4
+//! PCs. The individual machines forward the data as soon as they receive
+//! it." The socket baseline sends bare blocks; the DPS case embeds the same
+//! payloads in data objects, which adds control structures whose cost "is
+//! significant only when sending large amounts of small data objects".
+
+use dps_bench::{calib, full_scale, table};
+use dps_core::prelude::*;
+use dps_core::{dps_token, SimEngine};
+use dps_des::SimTime;
+use dps_net::{NetworkModel, NodeId, Traffic};
+use dps_serial::Buffer;
+
+dps_token! {
+    /// One payload block travelling around the ring.
+    pub struct Chunk { pub seq: u32, pub data: Buffer<u8> }
+}
+dps_token! {
+    /// Transfer order: how many chunks of which size.
+    pub struct RingJob { pub chunks: u32, pub size: u32 }
+}
+dps_token! {
+    /// Completion summary.
+    pub struct RingDone { pub chunks: u32 }
+}
+
+struct SplitChunks;
+impl SplitOperation for SplitChunks {
+    type Thread = ();
+    type In = RingJob;
+    type Out = Chunk;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), Chunk>, j: RingJob) {
+        for seq in 0..j.chunks {
+            ctx.post(Chunk {
+                seq,
+                data: vec![0u8; j.size as usize].into(),
+            });
+        }
+    }
+}
+
+/// Forward the chunk unchanged — the ring hop.
+struct Forward;
+impl LeafOperation for Forward {
+    type Thread = ();
+    type In = Chunk;
+    type Out = Chunk;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), Chunk>, c: Chunk) {
+        ctx.post(c);
+    }
+}
+
+#[derive(Default)]
+struct CountChunks {
+    n: u32,
+}
+impl MergeOperation for CountChunks {
+    type Thread = ();
+    type In = Chunk;
+    type Out = RingDone;
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, (), RingDone>, _c: Chunk) {
+        self.n += 1;
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, (), RingDone>) {
+        ctx.post(RingDone { chunks: self.n });
+    }
+}
+
+/// DPS ring: split on node0, forwarding leaves on nodes 1→2→3→0, merge on
+/// node0; throughput from the virtual makespan.
+fn dps_ring_mbps(size: usize, total_bytes: usize) -> f64 {
+    let chunks = (total_bytes / size).max(1) as u32;
+    let mut ecfg = calib::engine_config();
+    ecfg.flow_window = 32; // throughput test: don't throttle the ring
+    let mut eng = SimEngine::with_config(calib::paper_cluster(4), ecfg);
+    let app = eng.app("ring");
+    eng.preload_app(app);
+    let c0: ThreadCollection<()> = eng.thread_collection(app, "n0", "node0").unwrap();
+    let c1: ThreadCollection<()> = eng.thread_collection(app, "n1", "node1").unwrap();
+    let c2: ThreadCollection<()> = eng.thread_collection(app, "n2", "node2").unwrap();
+    let c3: ThreadCollection<()> = eng.thread_collection(app, "n3", "node3").unwrap();
+    let mut b = GraphBuilder::new("ring");
+    let s = b.split(&c0, || ToThread(0), || SplitChunks);
+    let f1 = b.leaf(&c1, || ToThread(0), || Forward);
+    let f2 = b.leaf(&c2, || ToThread(0), || Forward);
+    let f3 = b.leaf(&c3, || ToThread(0), || Forward);
+    let f0 = b.leaf(&c0, || ToThread(0), || Forward);
+    let m = b.merge(&c0, || ToThread(0), CountChunks::default);
+    b.add(s >> f1 >> f2 >> f3 >> f0 >> m);
+    let g = eng.build_graph(b).unwrap();
+    eng.inject(
+        g,
+        RingJob {
+            chunks,
+            size: size as u32,
+        },
+    )
+    .unwrap();
+    eng.run_until_idle().unwrap();
+    let elapsed = eng.now().as_secs_f64();
+    (chunks as usize * size) as f64 / 1e6 / elapsed
+}
+
+/// Socket baseline: the same ring forwarding pattern straight on the
+/// network model (no DPS headers, no operation overheads).
+fn socket_ring_mbps(size: usize, total_bytes: usize) -> f64 {
+    let chunks = (total_bytes / size).max(1) as u64;
+    let spec = calib::paper_cluster(4);
+    let mut net = NetworkModel::new(4, spec.net.clone());
+    let hops = [
+        (NodeId(0), NodeId(1)),
+        (NodeId(1), NodeId(2)),
+        (NodeId(2), NodeId(3)),
+        (NodeId(3), NodeId(0)),
+    ];
+    // ready[h] = when the payload of the current chunk is available at hop h's source.
+    let mut ready = vec![SimTime::ZERO; 5];
+    let mut last = SimTime::ZERO;
+    for _ in 0..chunks {
+        let mut t = ready[0];
+        for (h, &(src, dst)) in hops.iter().enumerate() {
+            let plan = net.transfer(t, src, dst, size as u64, Traffic::Socket);
+            // The next chunk may leave this hop as soon as the sender's NIC
+            // frees; the current chunk continues when it is delivered.
+            ready[h] = ready[h].max(plan.sender_done);
+            t = plan.delivered;
+        }
+        last = last.max(t);
+    }
+    (chunks as usize * size) as f64 / 1e6 / last.as_secs_f64()
+}
+
+fn main() {
+    // 100 MB at paper scale; 10 MB (or 200 chunks minimum) otherwise to
+    // keep small-chunk event counts manageable.
+    let full = full_scale();
+    let sizes = [
+        1_000usize, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000,
+    ];
+    let mut rows = Vec::new();
+    for &size in &sizes {
+        let total = if full {
+            100_000_000
+        } else {
+            10_000_000.min(size * 2_000).max(size * 50)
+        };
+        let dps = dps_ring_mbps(size, total);
+        let socket = socket_ring_mbps(size, total);
+        rows.push(vec![
+            format!("{size}"),
+            format!("{dps:.2}"),
+            format!("{socket:.2}"),
+            format!("{:.2}", dps / socket),
+        ]);
+    }
+    table::print_table(
+        "Figure 6 — ring throughput [MB/s] vs single-transfer size [bytes]",
+        &["size", "DPS", "sockets", "DPS/sockets"],
+        &rows,
+    );
+    println!(
+        "\nShape check (paper): both curves rise with size; sockets lead at small\n\
+         sizes (DPS control structures dominate); the curves converge near 1 MB\n\
+         at the ≈35 MB/s plateau."
+    );
+}

@@ -1,0 +1,28 @@
+//! # dps-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation:
+//!
+//! | target | paper artefact |
+//! |---|---|
+//! | `fig6_throughput` | Fig. 6 — ring transfer throughput, DPS vs sockets |
+//! | `table1_overlap` | Table 1 — overlap gains in block matrix multiply |
+//! | `fig9_life` | Fig. 9 — Game-of-Life speedup, simple vs improved graph |
+//! | `table2_service` | Table 2 — inter-application graph-call overhead |
+//! | `fig15_lu` | Fig. 15 — LU speedup, stream vs merge-split schedule |
+//!
+//! Run any of them with `cargo run --release -p dps-bench --bin <name>`;
+//! add `--full` for paper-scale problem sizes (slower). All results are
+//! virtual-time measurements on the calibrated cluster model and are fully
+//! deterministic.
+//!
+//! `cargo bench -p dps-bench` additionally runs Criterion micro-benchmarks
+//! of the framework's hot paths (serialization, envelopes, routing, the DES
+//! engine, and the numeric kernels).
+
+pub mod calib;
+pub mod table;
+
+/// True if `--full` was passed: use paper-scale problem sizes.
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}

@@ -1,0 +1,177 @@
+//! Thread-collection mapping strings.
+//!
+//! The paper maps thread collections to nodes with strings such as
+//! `"nodeA*2 nodeB"` — "names of the nodes separated by spaces, with an
+//! optional multiplier to create multiple threads on the same node". The
+//! string can come from a configuration file, a constant, or be built at
+//! runtime; this module parses and resolves it.
+
+use std::fmt;
+
+use dps_net::NodeId;
+
+use crate::spec::ClusterSpec;
+
+/// Errors from mapping-string parsing or resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The string contained no node names.
+    Empty,
+    /// A multiplier was not a positive integer.
+    BadMultiplier {
+        /// The offending token.
+        token: String,
+    },
+    /// A node name is not part of the cluster.
+    UnknownNode {
+        /// The unknown name.
+        name: String,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::Empty => write!(f, "mapping string contains no node names"),
+            MappingError::BadMultiplier { token } => {
+                write!(f, "bad multiplier in mapping token {token:?}")
+            }
+            MappingError::UnknownNode { name } => {
+                write!(f, "mapping names unknown node {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// Parse a mapping string into `(node name, thread count)` pairs without
+/// resolving names against a cluster.
+///
+/// ```
+/// use dps_cluster::parse_mapping;
+///
+/// let m = parse_mapping("nodeA*2 nodeB").unwrap();
+/// assert_eq!(m, vec![("nodeA".to_string(), 2), ("nodeB".to_string(), 1)]);
+/// ```
+pub fn parse_mapping(s: &str) -> Result<Vec<(String, usize)>, MappingError> {
+    let mut out = Vec::new();
+    for token in s.split_whitespace() {
+        match token.split_once('*') {
+            None => out.push((token.to_string(), 1)),
+            Some((name, mult)) => {
+                let count: usize = mult.parse().map_err(|_| MappingError::BadMultiplier {
+                    token: token.to_string(),
+                })?;
+                if count == 0 || name.is_empty() {
+                    return Err(MappingError::BadMultiplier {
+                        token: token.to_string(),
+                    });
+                }
+                out.push((name.to_string(), count));
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(MappingError::Empty);
+    }
+    Ok(out)
+}
+
+/// Parse and resolve a mapping string against a cluster, producing one
+/// [`NodeId`] per thread in collection order.
+///
+/// `"nodeA*2 nodeB"` resolves to `[nodeA, nodeA, nodeB]` — the thread with
+/// index 0 and 1 live on nodeA, thread 2 on nodeB.
+pub fn resolve_mapping(spec: &ClusterSpec, s: &str) -> Result<Vec<NodeId>, MappingError> {
+    let mut out = Vec::new();
+    for (name, count) in parse_mapping(s)? {
+        let id = spec
+            .node_id(&name)
+            .ok_or(MappingError::UnknownNode { name })?;
+        out.extend(std::iter::repeat(id).take(count));
+    }
+    Ok(out)
+}
+
+/// Build the canonical round-robin mapping string for the first `nodes`
+/// nodes with `per_node` threads each — a convenience for benchmarks that
+/// sweep node counts.
+pub fn round_robin_mapping(spec: &ClusterSpec, nodes: usize, per_node: usize) -> String {
+    assert!(nodes >= 1 && nodes <= spec.len(), "node count out of range");
+    let mut parts = Vec::with_capacity(nodes);
+    for id in spec.node_ids().take(nodes) {
+        let name = &spec.node(id).name;
+        if per_node == 1 {
+            parts.push(name.clone());
+        } else {
+            parts.push(format!("{name}*{per_node}"));
+        }
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_parses() {
+        // The exact string from §3 of the paper.
+        let m = parse_mapping("nodeA*2 nodeB").unwrap();
+        assert_eq!(m, vec![("nodeA".into(), 2), ("nodeB".into(), 1)]);
+    }
+
+    #[test]
+    fn whitespace_is_flexible() {
+        let m = parse_mapping("  a   b*3\tc ").unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[1], ("b".into(), 3));
+    }
+
+    #[test]
+    fn bad_multipliers_rejected() {
+        assert!(matches!(
+            parse_mapping("a*x"),
+            Err(MappingError::BadMultiplier { .. })
+        ));
+        assert!(matches!(
+            parse_mapping("a*0"),
+            Err(MappingError::BadMultiplier { .. })
+        ));
+        assert!(matches!(
+            parse_mapping("*3"),
+            Err(MappingError::BadMultiplier { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(parse_mapping("   "), Err(MappingError::Empty));
+    }
+
+    #[test]
+    fn resolution_expands_threads() {
+        let spec = ClusterSpec::uniform(3, 2);
+        let ids = resolve_mapping(&spec, "node0*2 node2").unwrap();
+        assert_eq!(ids, vec![NodeId(0), NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let spec = ClusterSpec::uniform(2, 1);
+        assert!(matches!(
+            resolve_mapping(&spec, "node0 ghost"),
+            Err(MappingError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn round_robin_builder() {
+        let spec = ClusterSpec::uniform(4, 2);
+        assert_eq!(round_robin_mapping(&spec, 2, 1), "node0 node1");
+        assert_eq!(round_robin_mapping(&spec, 2, 2), "node0*2 node1*2");
+        let ids = resolve_mapping(&spec, &round_robin_mapping(&spec, 3, 2)).unwrap();
+        assert_eq!(ids.len(), 6);
+    }
+}

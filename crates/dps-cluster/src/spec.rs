@@ -1,0 +1,126 @@
+//! Node and cluster specifications.
+
+use dps_net::{NetConfig, NodeId};
+
+/// Description of one cluster node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Kernel name (independent of host names, paper §4; several kernels may
+    /// share a host in debugging set-ups).
+    pub name: String,
+    /// Number of processors. The paper's nodes are bi-processor PCs, so a
+    /// node can execute two DPS operations truly concurrently.
+    pub cpus: usize,
+    /// Sustained compute rate in FLOP/s for the scalar numeric kernels of
+    /// the paper's applications. Used by operation cost models to convert
+    /// work estimates into virtual time.
+    pub flops: f64,
+}
+
+impl NodeSpec {
+    /// A node named `name` shaped like the paper's testbed machines:
+    /// 2 × 733 MHz Pentium III. The 70 MFLOP/s rate is the sustained scalar
+    /// triple-loop matmul rate fitted from Table 1 (see EXPERIMENTS.md).
+    pub fn paper_node(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cpus: 2,
+            flops: 70.0e6,
+        }
+    }
+}
+
+/// The full cluster inventory plus its network configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Nodes, indexed by [`NodeId`].
+    pub nodes: Vec<NodeSpec>,
+    /// Network model constants.
+    pub net: NetConfig,
+}
+
+impl ClusterSpec {
+    /// `n` identical nodes named `node0..node{n-1}` with `cpus` CPUs each
+    /// and default paper-calibrated compute and network parameters.
+    pub fn uniform(n: usize, cpus: usize) -> Self {
+        assert!(n >= 1, "a cluster needs at least one node");
+        Self {
+            nodes: (0..n)
+                .map(|i| NodeSpec {
+                    cpus,
+                    ..NodeSpec::paper_node(format!("node{i}"))
+                })
+                .collect(),
+            net: NetConfig::default(),
+        }
+    }
+
+    /// The paper's testbed: `n` bi-processor 733 MHz nodes (up to 8) on
+    /// Gigabit Ethernet.
+    pub fn paper_testbed(n: usize) -> Self {
+        Self::uniform(n, 2)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes (never constructible via `uniform`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Look up a node id by kernel name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// The spec of a node.
+    pub fn node(&self, id: NodeId) -> &NodeSpec {
+        &self.nodes[id.index()]
+    }
+
+    /// All node ids in order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_names_and_lookup() {
+        let spec = ClusterSpec::uniform(4, 2);
+        assert_eq!(spec.len(), 4);
+        assert_eq!(spec.node_id("node2"), Some(NodeId(2)));
+        assert_eq!(spec.node_id("nodeX"), None);
+        assert_eq!(spec.node(NodeId(0)).cpus, 2);
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let spec = ClusterSpec::paper_testbed(8);
+        assert_eq!(spec.len(), 8);
+        assert!(spec.nodes.iter().all(|n| n.cpus == 2));
+        assert!(spec.nodes.iter().all(|n| n.flops > 1e6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_rejected() {
+        ClusterSpec::uniform(0, 1);
+    }
+
+    #[test]
+    fn node_ids_iterates_in_order() {
+        let spec = ClusterSpec::uniform(3, 1);
+        let ids: Vec<NodeId> = spec.node_ids().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+}

@@ -1,0 +1,1475 @@
+//! The deterministic simulation engine: executes parallel schedules on the
+//! virtual cluster in virtual time.
+//!
+//! This engine implements the paper's runtime semantics — per-thread token
+//! queues, automatic pipelining, split/merge token accounting, flow control,
+//! lazy connections and lazy application-instance launch — on top of the
+//! [`dps_des`] event loop and the [`dps_cluster`] world model. User
+//! operation code runs *for real* (results are genuine and checkable); only
+//! *time* is simulated, so 8-node speedup curves reproduce deterministically
+//! on any host.
+//!
+//! The companion `dps-mt` crate runs the same graphs on real OS threads.
+
+use std::any::{Any, TypeId};
+use std::collections::{HashMap, VecDeque};
+
+use dps_cluster::{resolve_mapping, AppId, Cluster, ClusterSpec};
+use dps_des::{PoolId, Sim, SimSpan, SimTime};
+use dps_net::NodeId;
+
+use crate::builder::GraphBuilder;
+use crate::envelope::{CallFrame, Envelope, Frame, GNodeId, WaveKey};
+use crate::error::{DpsError, Result};
+use crate::graph::{Flowgraph, OpKind};
+use crate::ops::{DynOp, ExecInfo, OpOutput, ThreadData};
+use crate::route::{DynRoute, RouteInfo};
+use crate::threads::ThreadCollection;
+use crate::token::{register_token, wire_roundtrip, Token, TokenBox, TokenRegistry};
+
+/// Engine tunables.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum tokens in circulation between one split/merge pair
+    /// (paper §3, *Flow control*). `0` disables the bound.
+    pub flow_window: u32,
+    /// Fixed framework overhead charged to every operation execution
+    /// (queue handling, dispatch, control structures).
+    pub op_overhead: SimSpan,
+    /// Force every cross-node token through a full serialize/deserialize
+    /// round trip (the paper's multi-kernel debugging mode). Requires all
+    /// token types to be registered with the owning application.
+    pub enforce_serialization: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            // Wide enough that typical fan-outs are not throttled; the
+            // paper's feedback bound protects memory, not parallelism.
+            flow_window: 64,
+            op_overhead: SimSpan::from_micros(25),
+            enforce_serialization: false,
+        }
+    }
+}
+
+/// Handle to an application registered with an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppHandle {
+    pub(crate) app: u32,
+}
+
+/// Handle to a built graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphHandle {
+    pub(crate) app: u32,
+    pub(crate) graph: u32,
+}
+
+/// Address of one DPS thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ThreadKey {
+    app: u32,
+    tc: u32,
+    thread: u32,
+}
+
+enum Payload {
+    /// A data object.
+    Token(TokenBox),
+    /// Wave-close control info: the producer finished; the wave holds
+    /// `total` tokens. Sent only when the final data object was already in
+    /// flight before the producer knew the count.
+    Close {
+        total: u32,
+    },
+}
+
+struct Delivery {
+    graph: u32,
+    node: GNodeId,
+    kind: OpKind,
+    interactive: bool,
+    payload: Payload,
+    env: Envelope,
+}
+
+#[derive(Default)]
+struct ThreadRt {
+    queue: VecDeque<Delivery>,
+    running: bool,
+    stalls: u32,
+    /// Deliveries routed to this thread and not yet finished — the load
+    /// signal for [`LeastLoaded`](crate::LeastLoaded) routing. Queue depth
+    /// alone is blind to in-flight tokens: a burst routed before any
+    /// delivery lands would all pick the same thread.
+    assigned: u32,
+}
+
+struct TcRt {
+    #[allow(dead_code)]
+    name: String,
+    td_type: TypeId,
+    nodes: Vec<NodeId>,
+    data: Vec<Option<Box<dyn Any + Send>>>,
+    threads: Vec<ThreadRt>,
+}
+
+struct WaveRt {
+    thread: u32,
+    node: GNodeId,
+    op: Option<Box<dyn DynOp>>,
+    received: u32,
+    expected: Option<u32>,
+    parent_env: Envelope,
+    /// Stream output wave id (allocated eagerly; unused for merges).
+    out_wave: u64,
+    out_index: u32,
+}
+
+struct OutboundPost {
+    send_at: SimTime,
+    token: TokenBox,
+    env: Envelope,
+}
+
+struct FlowRt {
+    pending: VecDeque<OutboundPost>,
+    outstanding: u32,
+    window: u32,
+    complete: bool,
+    from_node: GNodeId,
+    src: NodeId,
+    stalled_thread: Option<ThreadKey>,
+    pump_scheduled: bool,
+}
+
+struct GraphRt {
+    def: Flowgraph,
+    routes: Vec<Option<Box<dyn DynRoute>>>,
+    ops: HashMap<(u32, u32), Option<Box<dyn DynOp>>>,
+    waves: HashMap<WaveKey, WaveRt>,
+    flows: HashMap<(u32, u64), FlowRt>,
+    /// Wave totals that arrived before any token of their wave was routed.
+    pending_closes: HashMap<WaveKey, u32>,
+}
+
+struct CallReturn {
+    app: u32,
+    graph: u32,
+    node: GNodeId,
+    env: Envelope,
+}
+
+struct AppRt {
+    #[allow(dead_code)]
+    name: String,
+    id: AppId,
+    home: NodeId,
+    registry: TokenRegistry,
+    tcs: Vec<TcRt>,
+    graphs: Vec<GraphRt>,
+}
+
+struct Rt {
+    cluster: Cluster,
+    cfg: EngineConfig,
+    apps: Vec<AppRt>,
+    services: HashMap<String, GraphHandle>,
+    node_pools: Vec<PoolId>,
+    next_wave: u64,
+    next_call: u64,
+    pending_calls: HashMap<u64, CallReturn>,
+    outputs: HashMap<(u32, u32), Vec<(SimTime, TokenBox)>>,
+    fatal: Option<DpsError>,
+}
+
+impl Rt {
+    fn thread(&mut self, tk: ThreadKey) -> &mut ThreadRt {
+        &mut self.apps[tk.app as usize].tcs[tk.tc as usize].threads[tk.thread as usize]
+    }
+
+    fn graph(&mut self, app: u32, graph: u32) -> &mut GraphRt {
+        &mut self.apps[app as usize].graphs[graph as usize]
+    }
+
+    fn fail(&mut self, e: DpsError) {
+        if self.fatal.is_none() {
+            self.fatal = Some(e);
+        }
+    }
+}
+
+/// The deterministic simulation engine.
+///
+/// ```
+/// use dps_core::prelude::*;
+/// use dps_cluster::ClusterSpec;
+///
+/// dps_token! { pub struct Work { pub items: u32 } }
+/// dps_token! { pub struct Item { pub i: u32 } }
+/// dps_token! { pub struct Done { pub sum: u32 } }
+///
+/// struct Fan;
+/// impl SplitOperation for Fan {
+///     type Thread = (); type In = Work; type Out = Item;
+///     fn execute(&mut self, ctx: &mut OpCtx<'_, (), Item>, w: Work) {
+///         for i in 0..w.items { ctx.post(Item { i }); }
+///     }
+/// }
+/// struct Sq;
+/// impl LeafOperation for Sq {
+///     type Thread = (); type In = Item; type Out = Item;
+///     fn execute(&mut self, ctx: &mut OpCtx<'_, (), Item>, t: Item) {
+///         ctx.post(Item { i: t.i * t.i });
+///     }
+/// }
+/// #[derive(Default)]
+/// struct Gather { sum: u32 }
+/// impl MergeOperation for Gather {
+///     type Thread = (); type In = Item; type Out = Done;
+///     fn consume(&mut self, _ctx: &mut OpCtx<'_, (), Done>, t: Item) { self.sum += t.i; }
+///     fn finalize(&mut self, ctx: &mut OpCtx<'_, (), Done>) {
+///         ctx.post(Done { sum: self.sum });
+///     }
+/// }
+///
+/// let mut eng = SimEngine::new(ClusterSpec::paper_testbed(4));
+/// let app = eng.app("demo");
+/// let main: ThreadCollection<()> = eng.thread_collection(app, "main", "node0").unwrap();
+/// let workers: ThreadCollection<()> =
+///     eng.thread_collection(app, "proc", "node0 node1 node2 node3").unwrap();
+///
+/// let mut b = GraphBuilder::new("sumsq");
+/// let split = b.split(&main, || ToThread(0), || Fan);
+/// let leaf = b.leaf(&workers, RoundRobin::new, || Sq);
+/// let merge = b.merge(&main, || ToThread(0), Gather::default);
+/// b.add(split >> leaf >> merge);
+/// let g = eng.build_graph(b).unwrap();
+///
+/// eng.inject(g, Work { items: 10 }).unwrap();
+/// eng.run_until_idle().unwrap();
+/// let out = eng.take_outputs(g);
+/// assert_eq!(out.len(), 1);
+/// let done = dps_core::downcast::<Done>(out.into_iter().next().unwrap().1).unwrap();
+/// assert_eq!(done.sum, (0..10).map(|i| i * i).sum::<u32>());
+/// ```
+pub struct SimEngine {
+    sim: Sim<Rt>,
+}
+
+impl SimEngine {
+    /// Engine over `spec` with default configuration.
+    pub fn new(spec: ClusterSpec) -> Self {
+        Self::with_config(spec, EngineConfig::default())
+    }
+
+    /// Engine over `spec` with explicit configuration.
+    pub fn with_config(spec: ClusterSpec, cfg: EngineConfig) -> Self {
+        let cluster = Cluster::new(spec);
+        let n = cluster.len();
+        let rt = Rt {
+            cluster,
+            cfg,
+            apps: Vec::new(),
+            services: HashMap::new(),
+            node_pools: Vec::new(),
+            next_wave: 0,
+            next_call: 0,
+            pending_calls: HashMap::new(),
+            outputs: HashMap::new(),
+            fatal: None,
+        };
+        let mut sim = Sim::new(rt);
+        for i in 0..n {
+            let cpus = sim.world.cluster.spec().node(NodeId(i as u32)).cpus;
+            let pool = sim.add_pool(cpus);
+            sim.world.node_pools.push(pool);
+        }
+        Self { sim }
+    }
+
+    /// Register a parallel application. Its instance on the *home node*
+    /// (node 0) is preloaded — that is where the user started the binary;
+    /// instances on other nodes launch lazily when the first token arrives.
+    pub fn app(&mut self, name: &str) -> AppHandle {
+        let idx = self.sim.world.apps.len() as u32;
+        let id = AppId(idx);
+        let home = NodeId(0);
+        self.sim.world.cluster.deploy.preload(id, home);
+        self.sim.world.apps.push(AppRt {
+            name: name.to_string(),
+            id,
+            home,
+            registry: TokenRegistry::new(),
+            tcs: Vec::new(),
+            graphs: Vec::new(),
+        });
+        AppHandle { app: idx }
+    }
+
+    /// Pre-start `app`'s instance on every cluster node, skipping the lazy
+    /// launch delay for subsequent tokens. Benchmarks use this to measure
+    /// steady state, as the paper does (its ≈1 s start-up on 8 nodes is
+    /// reported separately from the experiment timings).
+    pub fn preload_app(&mut self, app: AppHandle) {
+        let id = self.sim.world.apps[app.app as usize].id;
+        let nodes: Vec<_> = self.sim.world.cluster.spec().node_ids().collect();
+        for node in nodes {
+            self.sim.world.cluster.deploy.preload(id, node);
+        }
+    }
+
+    /// Register token type `T` with `app`'s deserialization factory
+    /// (needed only when `enforce_serialization` is on).
+    pub fn register_token<T>(&mut self, app: AppHandle)
+    where
+        T: dps_serial::Wire + dps_serial::Identified + Clone + std::fmt::Debug + Send + 'static,
+    {
+        register_token::<T>(&mut self.sim.world.apps[app.app as usize].registry);
+    }
+
+    /// Create and map a thread collection in one step (paper §3:
+    /// `new ThreadCollection<ComputeThread>("proc")` followed by
+    /// `map("nodeA*2 nodeB")`).
+    pub fn thread_collection<Td: ThreadData>(
+        &mut self,
+        app: AppHandle,
+        name: &str,
+        mapping: &str,
+    ) -> Result<ThreadCollection<Td>> {
+        let nodes = resolve_mapping(self.sim.world.cluster.spec(), mapping)?;
+        let a = &mut self.sim.world.apps[app.app as usize];
+        let tc_idx = a.tcs.len() as u32;
+        let count = nodes.len();
+        a.tcs.push(TcRt {
+            name: name.to_string(),
+            td_type: TypeId::of::<Td>(),
+            data: (0..count)
+                .map(|_| Some(Box::new(Td::default()) as Box<dyn Any + Send>))
+                .collect(),
+            threads: (0..count).map(|_| ThreadRt::default()).collect(),
+            nodes,
+        });
+        Ok(ThreadCollection {
+            app: app.app,
+            tc: tc_idx,
+            threads: count,
+            _m: std::marker::PhantomData,
+        })
+    }
+
+    /// Validate a built graph and install it into its application.
+    pub fn build_graph(&mut self, builder: GraphBuilder) -> Result<GraphHandle> {
+        let app = builder.app.ok_or_else(|| DpsError::InvalidGraph {
+            reason: "graph has no nodes".into(),
+        })?;
+        let GraphBuilder {
+            name,
+            nodes,
+            edges,
+            interactive,
+            serving,
+            ..
+        } = builder;
+        // Cross-check collections exist and thread-data types line up.
+        {
+            let a = &self.sim.world.apps[app as usize];
+            for n in &nodes {
+                let tc = a.tcs.get(n.tc as usize).ok_or_else(|| {
+                    DpsError::UnmappedCollection {
+                        name: format!("tc#{}", n.tc),
+                    }
+                })?;
+                if tc.td_type != n.td_type {
+                    return Err(DpsError::InvalidGraph {
+                        reason: format!(
+                            "node {} expects a different thread-data type than collection {}",
+                            n.name, tc.name
+                        ),
+                    });
+                }
+            }
+        }
+        let mut def = Flowgraph::assemble(name, nodes, &edges, serving)?;
+        def.set_interactive(interactive);
+        let routes = def
+            .nodes()
+            .iter()
+            .map(|n| Some((n.route_factory)()))
+            .collect();
+        let a = &mut self.sim.world.apps[app as usize];
+        let graph = a.graphs.len() as u32;
+        a.graphs.push(GraphRt {
+            def,
+            routes,
+            ops: HashMap::new(),
+            waves: HashMap::new(),
+            flows: HashMap::new(),
+            pending_closes: HashMap::new(),
+        });
+        Ok(GraphHandle { app, graph })
+    }
+
+    /// Expose a graph as a named parallel service callable from other
+    /// applications' graphs (paper §5, *Exposing the Game of Life as a
+    /// parallel service*).
+    pub fn expose_service(&mut self, graph: GraphHandle, name: &str) {
+        self.sim.world.services.insert(name.to_string(), graph);
+    }
+
+    /// Inject a token into a graph's entry at the current virtual time.
+    pub fn inject<T: Token>(&mut self, graph: GraphHandle, token: T) -> Result<()> {
+        self.inject_boxed_at(self.sim.now(), graph, Box::new(token))
+    }
+
+    /// Inject a token at a future virtual instant.
+    pub fn inject_at<T: Token>(&mut self, at: SimTime, graph: GraphHandle, token: T) -> Result<()> {
+        self.inject_boxed_at(at, graph, Box::new(token))
+    }
+
+    /// Inject an already-boxed token at a future virtual instant.
+    pub fn inject_boxed_at(
+        &mut self,
+        at: SimTime,
+        graph: GraphHandle,
+        token: TokenBox,
+    ) -> Result<()> {
+        let src = self.sim.world.apps[graph.app as usize].home;
+        self.sim.schedule_at(at, move |sim| {
+            inject_internal(sim, graph.app, graph.graph, token, Envelope::root(), src);
+        });
+        Ok(())
+    }
+
+    /// Run until the event queue drains; fails if a runtime contract was
+    /// violated or waves are left incomplete (the DPS deadlock analogue).
+    pub fn run_until_idle(&mut self) -> Result<()> {
+        self.sim.run();
+        if let Some(e) = self.sim.world.fatal.take() {
+            return Err(e);
+        }
+        let mut stuck: Vec<String> = Vec::new();
+        for a in &self.sim.world.apps {
+            for g in &a.graphs {
+                for (key, wave) in &g.waves {
+                    let node = g.def.node(key.src);
+                    stuck.push(format!(
+                        "graph {} wave at {} from {}: received {}, expected {:?}",
+                        g.def.name(),
+                        node.name,
+                        key.src,
+                        wave.received,
+                        wave.expected
+                    ));
+                }
+                for ((node, wv), flow) in &g.flows {
+                    if !flow.pending.is_empty() {
+                        stuck.push(format!(
+                            "graph {} flow from node g{node} wave {wv}: {} posts undelivered",
+                            g.def.name(),
+                            flow.pending.len()
+                        ));
+                    }
+                }
+            }
+        }
+        if !stuck.is_empty() {
+            stuck.sort();
+            return Err(DpsError::IncompleteWaves { waves: stuck });
+        }
+        Ok(())
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Fire a single simulation event; returns `false` once the event queue
+    /// is empty. Use together with [`outputs_count`](Self::outputs_count)
+    /// to interleave concurrently running applications (e.g. the paper's
+    /// Table 2 experiment drives Life iterations while injecting service
+    /// calls from a client application in a closed loop).
+    pub fn step_once(&mut self) -> Result<bool> {
+        let more = self.sim.step();
+        if let Some(e) = self.sim.world.fatal.take() {
+            return Err(e);
+        }
+        Ok(more)
+    }
+
+    /// Number of outputs `graph` has produced so far (not yet drained).
+    pub fn outputs_count(&self, graph: GraphHandle) -> usize {
+        self.sim
+            .world
+            .outputs
+            .get(&(graph.app, graph.graph))
+            .map(Vec::len)
+            .unwrap_or(0)
+    }
+
+    /// Drain the tokens that left `graph` (with their exit timestamps, in
+    /// nondecreasing order).
+    pub fn take_outputs(&mut self, graph: GraphHandle) -> Vec<(SimTime, TokenBox)> {
+        self.sim
+            .world
+            .outputs
+            .remove(&(graph.app, graph.graph))
+            .unwrap_or_default()
+    }
+
+    /// Inspect/mutate the thread-local state of one thread (e.g. to preload
+    /// a distributed matrix, or to read results after a run).
+    pub fn thread_data_mut<Td: ThreadData>(
+        &mut self,
+        tc: &ThreadCollection<Td>,
+        thread: usize,
+    ) -> &mut Td {
+        self.sim.world.apps[tc.app as usize].tcs[tc.tc as usize].data[thread]
+            .as_mut()
+            .expect("thread data is only taken during op execution")
+            .downcast_mut::<Td>()
+            .expect("thread data type enforced at collection creation")
+    }
+
+    /// The virtual cluster (read-only).
+    pub fn cluster(&self) -> &Cluster {
+        &self.sim.world.cluster
+    }
+
+    /// The virtual cluster (mutable — e.g. for failure injection).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.sim.world.cluster
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.sim.world.cfg
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution internals (free functions over Sim<Rt>).
+// ---------------------------------------------------------------------------
+
+fn inject_internal(
+    sim: &mut Sim<Rt>,
+    app: u32,
+    graph: u32,
+    token: TokenBox,
+    env: Envelope,
+    src: NodeId,
+) {
+    if sim.world.fatal.is_some() {
+        return;
+    }
+    let entry = sim.world.graph(app, graph).def.entry();
+    route_and_send(sim, app, graph, entry, src, token, env);
+}
+
+/// Deliver `token` to graph node `to` (already chosen): route to a thread,
+/// plan the network transfer, and enqueue the delivery.
+fn route_and_send(
+    sim: &mut Sim<Rt>,
+    app: u32,
+    graph: u32,
+    to: GNodeId,
+    src: NodeId,
+    token: TokenBox,
+    env: Envelope,
+) {
+    let now = sim.now();
+    // Routing: build load info, run the route, apply wave-thread override.
+    let (tc_idx, kind, node_name, interactive) = {
+        let g = sim.world.graph(app, graph);
+        let n = g.def.node(to);
+        (n.tc, n.kind, n.name.clone(), g.def.is_interactive())
+    };
+    let load: Vec<u32> = {
+        let tc = &sim.world.apps[app as usize].tcs[tc_idx as usize];
+        tc.threads.iter().map(|t| t.assigned).collect()
+    };
+    let mut route = sim.world.graph(app, graph).routes[to.0 as usize]
+        .take()
+        .expect("route in use re-entrantly");
+    let info = RouteInfo {
+        thread_count: load.len(),
+        load: Some(&load),
+    };
+    let routed = route.route_dyn(token.as_ref(), &info, &node_name);
+    sim.world.graph(app, graph).routes[to.0 as usize] = Some(route);
+    let mut thread = match routed {
+        Ok(i) => i as u32,
+        Err(e) => {
+            sim.world.fail(e);
+            return;
+        }
+    };
+
+    // Merge/stream waves: all tokens of one wave execute on one thread
+    // instance; the first-routed token decides, later tokens follow.
+    if matches!(kind, OpKind::Merge | OpKind::Stream) {
+        let key = env.wave_key().expect("validated: merges are under a split");
+        match sim.world.graph(app, graph).waves.get(&key) {
+            Some(wave) => thread = wave.thread,
+            None => {
+                let out_wave = sim.world.next_wave;
+                sim.world.next_wave += 1;
+                let mut parent_env = env.clone();
+                parent_env.pop();
+                let pending_close = sim.world.graph(app, graph).pending_closes.remove(&key);
+                sim.world.graph(app, graph).waves.insert(
+                    key,
+                    WaveRt {
+                        thread,
+                        node: to,
+                        op: None,
+                        received: 0,
+                        expected: pending_close,
+                        parent_env,
+                        out_wave,
+                        out_index: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    let tk = ThreadKey {
+        app,
+        tc: tc_idx,
+        thread,
+    };
+    let dst = sim.world.apps[app as usize].tcs[tc_idx as usize].nodes[thread as usize];
+    let bytes = (token.payload_size() + env.wire_bytes() + 10) as u64;
+
+    // The multi-kernel debugging mode: force the full networking code path.
+    let token = if sim.world.cfg.enforce_serialization && src != dst {
+        match wire_roundtrip(token.as_ref(), &sim.world.apps[app as usize].registry) {
+            Ok(t) => t,
+            Err(e) => {
+                sim.world.fail(e);
+                return;
+            }
+        }
+    } else {
+        token
+    };
+
+    sim.world.thread(tk).assigned += 1;
+    let app_id = sim.world.apps[app as usize].id;
+    let plan = sim
+        .world
+        .cluster
+        .deliver_token(now, app_id, src, dst, bytes);
+    sim.schedule_at(plan.delivered, move |sim| {
+        if sim.world.fatal.is_some() {
+            return;
+        }
+        sim.world.thread(tk).queue.push_back(Delivery {
+            graph,
+            node: to,
+            kind,
+            interactive,
+            payload: Payload::Token(token),
+            env,
+        });
+        kick_thread(sim, tk);
+    });
+}
+
+/// Start the next queued delivery on a thread if one is eligible.
+///
+/// A thread whose previous split still has flow-blocked posts is *stalled*
+/// (paper §3: "the split operation is simply stalled until data objects have
+/// arrived and been processed by the corresponding merge"): it will not
+/// start another split execution, but it keeps processing merge/leaf/stream
+/// deliveries — otherwise a merge mapped to the same thread as its split
+/// (the paper's MainThread pattern) could never return the flow-control
+/// credits and the schedule would deadlock.
+fn kick_thread(sim: &mut Sim<Rt>, tk: ThreadKey) {
+    if sim.world.fatal.is_some() {
+        return;
+    }
+    let (node, delivery) = {
+        let stalled = sim.world.thread(tk).stalls > 0;
+        let t = sim.world.thread(tk);
+        if t.running {
+            return;
+        }
+        // Interactive (service) deliveries overtake batch work: the model
+        // analogue of the testbed OS preempting long compute operations to
+        // answer short service requests.
+        let eligible = |d: &Delivery| !stalled || d.kind != OpKind::Split;
+        let pos = t
+            .queue
+            .iter()
+            .position(|d| d.interactive && eligible(d))
+            .or_else(|| t.queue.iter().position(eligible));
+        let Some(pos) = pos else { return };
+        let delivery = t.queue.remove(pos).expect("position is valid");
+        t.running = true;
+        (
+            sim.world.apps[tk.app as usize].tcs[tk.tc as usize].nodes[tk.thread as usize],
+            delivery,
+        )
+    };
+    let pool = sim.world.node_pools[node.index()];
+    sim.pool_acquire(pool, move |sim| run_delivery(sim, tk, node, delivery));
+}
+
+/// Execute one delivery on its thread; returns the CPU hold span.
+fn run_delivery(sim: &mut Sim<Rt>, tk: ThreadKey, node: NodeId, d: Delivery) -> SimSpan {
+    if sim.world.fatal.is_some() {
+        return SimSpan::ZERO;
+    }
+    let start = sim.now();
+    let kind = sim
+        .world
+        .graph(tk.app, d.graph)
+        .def
+        .node(d.node)
+        .kind;
+    if let Payload::Close { total } = d.payload {
+        return run_close(sim, tk, node, d.graph, d.node, kind, d.env, total, start);
+    }
+    match kind {
+        OpKind::Split | OpKind::Leaf => run_exec(sim, tk, node, d, kind, start),
+        OpKind::Merge | OpKind::Stream => run_consume(sim, tk, node, d, kind, start),
+        OpKind::Call | OpKind::CallSplit => run_call(sim, tk, node, d, start),
+    }
+}
+
+fn exec_info(sim: &Sim<Rt>, tk: ThreadKey, node: NodeId, start: SimTime) -> ExecInfo {
+    ExecInfo {
+        thread_index: tk.thread as usize,
+        thread_count: sim.world.apps[tk.app as usize].tcs[tk.tc as usize].threads.len(),
+        node_flops: sim.world.cluster.spec().node(node).flops,
+        start_nanos: start.as_nanos(),
+    }
+}
+
+/// Split/leaf execution.
+fn run_exec(
+    sim: &mut Sim<Rt>,
+    tk: ThreadKey,
+    node: NodeId,
+    d: Delivery,
+    kind: OpKind,
+    start: SimTime,
+) -> SimSpan {
+    let info = exec_info(sim, tk, node, start);
+    let op_key = (d.node.0, tk.thread);
+    // Take the op instance (create on first use) and the thread data.
+    let mut op = {
+        let g = sim.world.graph(tk.app, d.graph);
+        match g.ops.entry(op_key).or_insert(None).take() {
+            Some(op) => op,
+            None => {
+                let factory = g.def.node(d.node).op_factory.as_ref().expect("split/leaf");
+                factory()
+            }
+        }
+    };
+    let mut data = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data
+        [tk.thread as usize]
+        .take()
+        .expect("thread data present when idle");
+    let node_name = sim
+        .world
+        .graph(tk.app, d.graph)
+        .def
+        .node(d.node)
+        .name
+        .clone();
+
+    let Payload::Token(in_token) = d.payload else {
+        unreachable!("close payloads are dispatched before run_exec");
+    };
+    let mut out = OpOutput::default();
+    let res = op.on_token(&mut out, data.as_mut(), info, &node_name, in_token);
+
+    sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data[tk.thread as usize] = Some(data);
+    *sim.world
+        .graph(tk.app, d.graph)
+        .ops
+        .get_mut(&op_key)
+        .expect("inserted above") = Some(op);
+
+    if let Err(e) = res {
+        sim.world.fail(e);
+        return SimSpan::ZERO;
+    }
+
+    let overhead = sim.world.cfg.op_overhead;
+    let hold = overhead + out.charged;
+
+    match kind {
+        OpKind::Split => {
+            // Open a wave: all posts carry a fresh frame; flow control
+            // meters them out; the split's thread stalls while posts are
+            // blocked (paper §3).
+            let wave = sim.world.next_wave;
+            sim.world.next_wave += 1;
+            let total = out.posts.len() as u32;
+            let mut pending = VecDeque::with_capacity(out.posts.len());
+            for (i, post) in out.posts.into_iter().enumerate() {
+                let mut env = d.env.clone();
+                env.push(Frame {
+                    src: d.node,
+                    wave,
+                    index: i as u32,
+                    total: (i as u32 == total - 1).then_some(total),
+                });
+                pending.push_back(OutboundPost {
+                    send_at: start + overhead + post.offset,
+                    token: post.token,
+                    env,
+                });
+            }
+            let mut window = sim.world.cfg.flow_window;
+            if sim.world.graph(tk.app, d.graph).def.matching_pop(d.node).is_none() {
+                // Serving-graph exit split: the wave crosses back to the
+                // caller, so no in-graph merge returns credits.
+                window = 0;
+            }
+            sim.world.graph(tk.app, d.graph).flows.insert(
+                (d.node.0, wave),
+                FlowRt {
+                    pending,
+                    outstanding: 0,
+                    window,
+                    complete: true,
+                    from_node: d.node,
+                    src: node,
+                    stalled_thread: None,
+                    pump_scheduled: false,
+                },
+            );
+            pump_flow(sim, tk.app, d.graph, (d.node.0, wave));
+            // At op completion: free the thread, stalling it if the wave
+            // still has blocked posts.
+            sim.schedule_at(start + hold, move |sim| {
+                finish_exec(sim, tk, d.graph, Some((d.node.0, wave)));
+            });
+        }
+        OpKind::Leaf => {
+            let post = out.posts.pop().expect("leaf contract checked");
+            let send_at = start + overhead + post.offset;
+            let env = d.env;
+            let graph = d.graph;
+            let from = d.node;
+            sim.schedule_at(send_at, move |sim| {
+                emit(sim, tk.app, graph, from, node, post.token, env);
+            });
+            sim.schedule_at(start + hold, move |sim| {
+                finish_exec(sim, tk, graph, None);
+            });
+        }
+        _ => unreachable!("run_exec handles split/leaf only"),
+    }
+    hold
+}
+
+/// Merge/stream consume (and finalize when the wave completes).
+fn run_consume(
+    sim: &mut Sim<Rt>,
+    tk: ThreadKey,
+    node: NodeId,
+    mut d: Delivery,
+    kind: OpKind,
+    start: SimTime,
+) -> SimSpan {
+    let info = exec_info(sim, tk, node, start);
+    let key = d.env.wave_key().expect("validated depth >= 1");
+    let frame = d.env.pop().expect("validated depth >= 1");
+    let node_name = sim
+        .world
+        .graph(tk.app, d.graph)
+        .def
+        .node(d.node)
+        .name
+        .clone();
+
+    // Update wave accounting and take the per-wave op instance.
+    let (mut op, completes, parent_env, out_wave, out_index_base) = {
+        let g = sim.world.graph(tk.app, d.graph);
+        let wave = g.waves.get_mut(&key).expect("wave created at routing");
+        wave.received += 1;
+        if let Some(total) = frame.total {
+            wave.expected = Some(total);
+        }
+        if let Some(exp) = wave.expected {
+            if wave.received > exp {
+                let e = DpsError::OperationContract {
+                    node: node_name.clone(),
+                    reason: format!("wave received {} tokens but split posted {exp}", wave.received),
+                };
+                sim.world.fail(e);
+                return SimSpan::ZERO;
+            }
+        }
+        let completes = wave.expected == Some(wave.received);
+        let op = match wave.op.take() {
+            Some(op) => op,
+            None => {
+                let factory = g.def.node(d.node).op_factory.as_ref().expect("merge/stream");
+                factory()
+            }
+        };
+        let g = sim.world.graph(tk.app, d.graph);
+        let wave = g.waves.get_mut(&key).expect("just used");
+        (
+            op,
+            completes,
+            wave.parent_env.clone(),
+            wave.out_wave,
+            wave.out_index,
+        )
+    };
+
+    let mut data = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data
+        [tk.thread as usize]
+        .take()
+        .expect("thread data present when idle");
+    let Payload::Token(in_token) = d.payload else {
+        unreachable!("close payloads are dispatched before run_consume");
+    };
+    let mut out = OpOutput::default();
+    let mut res = op.on_token(&mut out, data.as_mut(), info, &node_name, in_token);
+    if res.is_ok() && completes {
+        res = op.on_finalize(&mut out, data.as_mut(), info, &node_name);
+    }
+    sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data[tk.thread as usize] = Some(data);
+    // Return the op instance to its wave so later consumes keep its state.
+    {
+        let g = sim.world.graph(tk.app, d.graph);
+        if let Some(wave) = g.waves.get_mut(&key) {
+            wave.op = Some(op);
+        }
+    }
+
+    if let Err(e) = res {
+        sim.world.fail(e);
+        return SimSpan::ZERO;
+    }
+
+    let overhead = sim.world.cfg.op_overhead;
+    let hold = overhead + out.charged;
+    let graph = d.graph;
+    let from = d.node;
+
+    // Process posts.
+    match kind {
+        OpKind::Merge => {
+            if completes {
+                let post = out.posts.pop().expect("merge contract checked");
+                let send_at = start + overhead + post.offset;
+                let env = parent_env.clone();
+                sim.schedule_at(send_at, move |sim| {
+                    emit(sim, tk.app, graph, from, node, post.token, env);
+                });
+            }
+        }
+        OpKind::Stream => {
+            match stream_posts(
+                sim,
+                tk,
+                graph,
+                from,
+                node,
+                out.posts,
+                &parent_env,
+                out_wave,
+                out_index_base,
+                completes,
+                start,
+                overhead,
+                &node_name,
+            ) {
+                Ok(total_so_far) => {
+                    let g = sim.world.graph(tk.app, graph);
+                    if let Some(wave) = g.waves.get_mut(&key) {
+                        wave.out_index = total_so_far;
+                    }
+                }
+                Err(e) => {
+                    sim.world.fail(e);
+                    return SimSpan::ZERO;
+                }
+            }
+        }
+        _ => unreachable!("run_consume handles merge/stream only"),
+    }
+
+    if completes {
+        sim.world.graph(tk.app, graph).waves.remove(&key);
+    }
+
+    // Credit the producing flow: one token of (frame.src, frame.wave) has
+    // been consumed by its matching merge/stream.
+    credit_flow(sim, tk.app, graph, (frame.src.0, frame.wave));
+
+    sim.schedule_at(start + hold, move |sim| {
+        finish_exec(sim, tk, graph, None);
+    });
+    hold
+}
+
+/// A call node forwards the token into the callee service graph.
+fn run_call(
+    sim: &mut Sim<Rt>,
+    tk: ThreadKey,
+    node: NodeId,
+    d: Delivery,
+    start: SimTime,
+) -> SimSpan {
+    let service = sim
+        .world
+        .graph(tk.app, d.graph)
+        .def
+        .node(d.node)
+        .service
+        .clone()
+        .expect("call nodes carry a service name");
+    let Some(&target) = sim.world.services.get(&service) else {
+        sim.world.fail(DpsError::UnknownService { name: service });
+        return SimSpan::ZERO;
+    };
+    let call_id = sim.world.next_call;
+    sim.world.next_call += 1;
+    sim.world.pending_calls.insert(
+        call_id,
+        CallReturn {
+            app: tk.app,
+            graph: d.graph,
+            node: d.node,
+            env: d.env.clone(),
+        },
+    );
+    let mut callee_env = Envelope::root();
+    callee_env.calls = d.env.calls.clone();
+    callee_env.calls.push(CallFrame {
+        caller_app: tk.app,
+        caller_graph: d.graph,
+        call_node: d.node,
+        call_id,
+    });
+    let hold = sim.world.cfg.op_overhead;
+    let Payload::Token(token) = d.payload else {
+        unreachable!("close payloads are dispatched before run_call");
+    };
+    sim.schedule_at(start + hold, move |sim| {
+        inject_internal(sim, target.app, target.graph, token, callee_env, node);
+    });
+    let graph = d.graph;
+    sim.schedule_at(start + hold, move |sim| {
+        finish_exec(sim, tk, graph, None);
+    });
+    hold
+}
+
+/// Append stream posts to the stream's output-wave flow. On wave
+/// completion the total count travels inline on the final data object if it
+/// is still pending; otherwise a wave-close control message carries it
+/// (paper: DPS "keeps track of the number of data objects generated by the
+/// corresponding split operation" via control structures).
+#[allow(clippy::too_many_arguments)]
+fn stream_posts(
+    sim: &mut Sim<Rt>,
+    tk: ThreadKey,
+    graph: u32,
+    gnode: GNodeId,
+    src: NodeId,
+    posts: Vec<crate::ops::Post>,
+    parent_env: &Envelope,
+    out_wave: u64,
+    out_index_base: u32,
+    completes: bool,
+    start: SimTime,
+    overhead: SimSpan,
+    node_name: &str,
+) -> Result<u32> {
+    let n_posts = posts.len() as u32;
+    let total_so_far = out_index_base + n_posts;
+    if n_posts == 0 && !completes {
+        return Ok(total_so_far);
+    }
+    let flow_key = (gnode.0, out_wave);
+    let window = sim.world.cfg.flow_window;
+    let mut close_needed = false;
+    {
+        let g = sim.world.graph(tk.app, graph);
+        let flow = g.flows.entry(flow_key).or_insert_with(|| FlowRt {
+            pending: VecDeque::new(),
+            outstanding: 0,
+            window,
+            complete: false,
+            from_node: gnode,
+            src,
+            stalled_thread: None,
+            pump_scheduled: false,
+        });
+        for (i, post) in posts.into_iter().enumerate() {
+            let mut env = parent_env.clone();
+            env.push(Frame {
+                src: gnode,
+                wave: out_wave,
+                index: out_index_base + i as u32,
+                total: None,
+            });
+            flow.pending.push_back(OutboundPost {
+                send_at: start + overhead + post.offset,
+                token: post.token,
+                env,
+            });
+        }
+        if completes {
+            if total_so_far == 0 {
+                return Err(DpsError::OperationContract {
+                    node: node_name.to_string(),
+                    reason: "stream operation posted no tokens across its wave".into(),
+                });
+            }
+            flow.complete = true;
+            match flow.pending.back_mut() {
+                Some(last) => {
+                    if let Some(f) = last.env.frames.last_mut() {
+                        f.total = Some(total_so_far);
+                    }
+                }
+                None => close_needed = true,
+            }
+        }
+    }
+    if close_needed {
+        let mut close_env = parent_env.clone();
+        close_env.push(Frame {
+            src: gnode,
+            wave: out_wave,
+            index: 0,
+            total: Some(total_so_far),
+        });
+        deliver_close(sim, tk.app, graph, close_env, total_so_far);
+    }
+    pump_flow(sim, tk.app, graph, flow_key);
+    Ok(total_so_far)
+}
+
+/// Deliver a wave-close (final token count) to the wave's owning thread; if
+/// no token of the wave has been routed yet, park it until the wave appears.
+fn deliver_close(sim: &mut Sim<Rt>, app: u32, graph: u32, env: Envelope, total: u32) {
+    let key = env.wave_key().expect("close envelopes carry the wave frame");
+    let g = sim.world.graph(app, graph);
+    match g.waves.get(&key) {
+        Some(wave) => {
+            let (thread, merge_node) = (wave.thread, wave.node);
+            let tc = g.def.node(merge_node).tc;
+            let kind = g.def.node(merge_node).kind;
+            let tk = ThreadKey { app, tc, thread };
+            sim.world.thread(tk).assigned += 1;
+            let interactive = sim
+                .world
+                .graph(app, graph)
+                .def
+                .is_interactive();
+            sim.world.thread(tk).queue.push_back(Delivery {
+                graph,
+                node: merge_node,
+                kind,
+                interactive,
+                payload: Payload::Close { total },
+                env,
+            });
+            kick_thread(sim, tk);
+        }
+        None => {
+            g.pending_closes.insert(key, total);
+        }
+    }
+}
+
+/// Handle a wave-close delivery: record the expected count and finalize the
+/// wave if every data object has already been consumed.
+#[allow(clippy::too_many_arguments)]
+fn run_close(
+    sim: &mut Sim<Rt>,
+    tk: ThreadKey,
+    node: NodeId,
+    graph: u32,
+    gnode: GNodeId,
+    kind: OpKind,
+    env: Envelope,
+    total: u32,
+    start: SimTime,
+) -> SimSpan {
+    let info = exec_info(sim, tk, node, start);
+    let overhead = sim.world.cfg.op_overhead;
+    let key = env.wave_key().expect("close envelopes carry the wave frame");
+    let node_name = sim
+        .world
+        .graph(tk.app, graph)
+        .def
+        .node(gnode)
+        .name
+        .clone();
+    let taken = {
+        let g = sim.world.graph(tk.app, graph);
+        let Some(wave) = g.waves.get_mut(&key) else {
+            g.pending_closes.insert(key, total);
+            sim.schedule_at(start + overhead, move |sim| {
+                finish_exec(sim, tk, graph, None);
+            });
+            return overhead;
+        };
+        wave.expected = Some(total);
+        if wave.received > total {
+            let e = DpsError::OperationContract {
+                node: node_name.clone(),
+                reason: format!("wave received {} tokens but producer posted {total}", wave.received),
+            };
+            sim.world.fail(e);
+            return SimSpan::ZERO;
+        }
+        let g = sim.world.graph(tk.app, graph);
+        let wave = g.waves.get_mut(&key).expect("just used");
+        if wave.received != total {
+            None // finalize waits for the remaining data objects
+        } else {
+            Some((
+                wave.op.take().expect("op exists once a token was consumed"),
+                wave.parent_env.clone(),
+                wave.out_wave,
+                wave.out_index,
+            ))
+        }
+    };
+    let Some((mut op, parent_env, out_wave, out_index_base)) = taken else {
+        sim.schedule_at(start + overhead, move |sim| {
+            finish_exec(sim, tk, graph, None);
+        });
+        return overhead;
+    };
+
+    let mut data = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data
+        [tk.thread as usize]
+        .take()
+        .expect("thread data present when idle");
+    let mut out = OpOutput::default();
+    let res = op.on_finalize(&mut out, data.as_mut(), info, &node_name);
+    sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data[tk.thread as usize] = Some(data);
+    if let Err(e) = res {
+        sim.world.fail(e);
+        return SimSpan::ZERO;
+    }
+    let hold = overhead + out.charged;
+    match kind {
+        OpKind::Merge => {
+            let post = out.posts.pop().expect("merge contract checked");
+            let send_at = start + overhead + post.offset;
+            let env_out = parent_env;
+            sim.schedule_at(send_at, move |sim| {
+                emit(sim, tk.app, graph, gnode, node, post.token, env_out);
+            });
+        }
+        OpKind::Stream => {
+            if let Err(e) = stream_posts(
+                sim,
+                tk,
+                graph,
+                gnode,
+                node,
+                out.posts,
+                &parent_env,
+                out_wave,
+                out_index_base,
+                true,
+                start,
+                overhead,
+                &node_name,
+            ) {
+                sim.world.fail(e);
+                return SimSpan::ZERO;
+            }
+        }
+        _ => unreachable!("closes only target merge/stream nodes"),
+    }
+    sim.world.graph(tk.app, graph).waves.remove(&key);
+    sim.schedule_at(start + hold, move |sim| {
+        finish_exec(sim, tk, graph, None);
+    });
+    hold
+}
+
+/// Op completion: free the thread (stalling it if a split wave still has
+/// flow-blocked posts) and start the next queued delivery.
+fn finish_exec(sim: &mut Sim<Rt>, tk: ThreadKey, graph: u32, split_flow: Option<(u32, u64)>) {
+    if let Some(key) = split_flow {
+        let needs_stall = {
+            let g = sim.world.graph(tk.app, graph);
+            g.flows
+                .get(&key)
+                .map(|f| !f.pending.is_empty())
+                .unwrap_or(false)
+        };
+        if needs_stall {
+            let g = sim.world.graph(tk.app, graph);
+            let flow = g.flows.get_mut(&key).expect("checked above");
+            flow.stalled_thread = Some(tk);
+            sim.world.thread(tk).stalls += 1;
+        }
+    }
+    let t = sim.world.thread(tk);
+    t.running = false;
+    t.assigned = t.assigned.saturating_sub(1);
+    kick_thread(sim, tk);
+}
+
+/// Release as many pending posts of a flow as the window allows.
+fn pump_flow(sim: &mut Sim<Rt>, app: u32, graph: u32, key: (u32, u64)) {
+    if sim.world.fatal.is_some() {
+        return;
+    }
+    let now = sim.now();
+    loop {
+        let g = sim.world.graph(app, graph);
+        let Some(flow) = g.flows.get_mut(&key) else {
+            return;
+        };
+        if flow.window > 0 && flow.outstanding >= flow.window {
+            break;
+        }
+        if flow.pending.is_empty() {
+            break;
+        }
+        let send_at = flow.pending.front().expect("non-empty").send_at;
+        if send_at > now {
+            if !flow.pump_scheduled {
+                flow.pump_scheduled = true;
+                sim.schedule_at(send_at, move |sim| {
+                    if let Some(f) = sim.world.graph(app, graph).flows.get_mut(&key) {
+                        f.pump_scheduled = false;
+                    }
+                    pump_flow(sim, app, graph, key);
+                });
+            }
+            break;
+        }
+        let post = flow.pending.pop_front().expect("non-empty");
+        flow.outstanding += 1;
+        let from = flow.from_node;
+        let src = flow.src;
+        emit(sim, app, graph, from, src, post.token, post.env);
+    }
+    // Drain: unstall the producing thread and drop exhausted flows.
+    let g = sim.world.graph(app, graph);
+    if let Some(flow) = g.flows.get_mut(&key) {
+        if flow.pending.is_empty() && flow.complete {
+            let unstall = flow.stalled_thread.take();
+            let exhausted = flow.outstanding == 0;
+            if exhausted {
+                g.flows.remove(&key);
+            }
+            if let Some(tk) = unstall {
+                sim.world.thread(tk).stalls -= 1;
+                kick_thread(sim, tk);
+            }
+        }
+    }
+}
+
+/// A merge consumed one token of flow `key`: return a credit.
+fn credit_flow(sim: &mut Sim<Rt>, app: u32, graph: u32, key: (u32, u64)) {
+    let g = sim.world.graph(app, graph);
+    if let Some(flow) = g.flows.get_mut(&key) {
+        flow.outstanding = flow.outstanding.saturating_sub(1);
+        pump_flow(sim, app, graph, key);
+    }
+}
+
+/// A token leaves node `from`: select the successor by token type, or handle
+/// graph exit (output collection / service-call return).
+fn emit(
+    sim: &mut Sim<Rt>,
+    app: u32,
+    graph: u32,
+    from: GNodeId,
+    src: NodeId,
+    token: TokenBox,
+    env: Envelope,
+) {
+    if sim.world.fatal.is_some() {
+        return;
+    }
+    let now = sim.now();
+    let (succ, has_succs, node_name) = {
+        let g = sim.world.graph(app, graph);
+        (
+            g.def.successor_for(from, token.wire_id()),
+            !g.def.succs(from).is_empty(),
+            g.def.node(from).name.clone(),
+        )
+    };
+    match succ {
+        Some(next) => route_and_send(sim, app, graph, next, src, token, env),
+        None if has_succs => {
+            sim.world.fail(DpsError::NoRoute {
+                node: node_name,
+                token_type: token.type_name(),
+            });
+        }
+        None => {
+            // Graph exit.
+            if env.frames.len() == 1 && !env.calls.is_empty() {
+                // Distributed return (inter-application split/merge pair):
+                // the wave keeps its frame and is merged in the caller.
+                let call = env.calls.last().cloned().expect("checked non-empty");
+                let Some(ret) = sim.world.pending_calls.get(&call.call_id) else {
+                    sim.world.fail(DpsError::OperationContract {
+                        node: node_name,
+                        reason: format!("return for unknown call id {}", call.call_id),
+                    });
+                    return;
+                };
+                let (r_app, r_graph, r_node, r_env) =
+                    (ret.app, ret.graph, ret.node, ret.env.clone());
+                // The frame keeps the callee split as its source: wave keys
+                // are opaque, so the caller's merge collects it verbatim.
+                let mut out_env = r_env;
+                out_env.push(env.frames[0]);
+                emit(sim, r_app, r_graph, r_node, src, token, out_env);
+                return;
+            }
+            if !env.frames.is_empty() {
+                sim.world.fail(DpsError::InvalidGraph {
+                    reason: format!(
+                        "token left the graph at {node_name} with {} unmerged frames",
+                        env.frames.len()
+                    ),
+                });
+                return;
+            }
+            if let Some(call) = env.calls.last().cloned() {
+                // Service-call return: continue in the caller's graph.
+                let Some(ret) = sim.world.pending_calls.get(&call.call_id) else {
+                    sim.world.fail(DpsError::OperationContract {
+                        node: node_name,
+                        reason: format!("return for unknown call id {}", call.call_id),
+                    });
+                    return;
+                };
+                let (r_app, r_graph, r_node, r_env) =
+                    (ret.app, ret.graph, ret.node, ret.env.clone());
+                emit(sim, r_app, r_graph, r_node, src, token, r_env);
+            } else {
+                sim.world
+                    .outputs
+                    .entry((app, graph))
+                    .or_default()
+                    .push((now, token));
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Framework error type.
+
+use std::fmt;
+
+/// Errors raised while building or executing a parallel schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpsError {
+    /// A graph edge connects an operation whose output type differs from the
+    /// successor's input type. The typed builder makes this a *compile-time*
+    /// error; this variant arises only from untyped/dynamic graph surgery.
+    TypeMismatch {
+        /// Producing node name.
+        from: String,
+        /// Consuming node name.
+        to: String,
+        /// The produced type.
+        produced: &'static str,
+        /// The expected type.
+        expected: &'static str,
+    },
+    /// Graph validation failed (unbalanced split/merge nesting, unreachable
+    /// node, ambiguous successor types, or a cycle).
+    InvalidGraph {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A token was posted for which no successor accepts its type.
+    NoRoute {
+        /// Node that posted the token.
+        node: String,
+        /// Runtime type of the token.
+        token_type: &'static str,
+    },
+    /// A routing function returned a thread index out of range.
+    RouteOutOfRange {
+        /// Node whose route misbehaved.
+        node: String,
+        /// Returned index.
+        index: usize,
+        /// Size of the thread collection.
+        thread_count: usize,
+    },
+    /// The run finished with merge/stream waves still waiting for tokens —
+    /// the DPS analogue of a deadlock (e.g. a wave routed across two
+    /// different thread instances).
+    IncompleteWaves {
+        /// Descriptions of the stuck waves.
+        waves: Vec<String>,
+    },
+    /// A thread collection was used before being mapped to nodes.
+    UnmappedCollection {
+        /// Collection name.
+        name: String,
+    },
+    /// A named flow graph / parallel service was not found.
+    UnknownService {
+        /// Requested service name.
+        name: String,
+    },
+    /// A cluster mapping error (unknown node, bad multiplier, …).
+    Mapping(String),
+    /// An operation misbehaved at runtime (wrong token type delivered,
+    /// leaf posting more than one output, split posting nothing, …).
+    OperationContract {
+        /// Node where the violation occurred.
+        node: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// Serialization failure while crossing a node boundary.
+    Wire(String),
+}
+
+impl fmt::Display for DpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpsError::TypeMismatch {
+                from,
+                to,
+                produced,
+                expected,
+            } => write!(
+                f,
+                "type mismatch on edge {from} -> {to}: produced {produced}, expected {expected}"
+            ),
+            DpsError::InvalidGraph { reason } => write!(f, "invalid flow graph: {reason}"),
+            DpsError::NoRoute { node, token_type } => write!(
+                f,
+                "no successor of {node} accepts a token of type {token_type}"
+            ),
+            DpsError::RouteOutOfRange {
+                node,
+                index,
+                thread_count,
+            } => write!(
+                f,
+                "route at {node} returned thread {index} but the collection has {thread_count} threads"
+            ),
+            DpsError::IncompleteWaves { waves } => {
+                write!(f, "run ended with incomplete merge waves: {waves:?}")
+            }
+            DpsError::UnmappedCollection { name } => {
+                write!(f, "thread collection {name:?} has not been mapped to nodes")
+            }
+            DpsError::UnknownService { name } => {
+                write!(f, "no parallel service registered under {name:?}")
+            }
+            DpsError::Mapping(msg) => write!(f, "mapping error: {msg}"),
+            DpsError::OperationContract { node, reason } => {
+                write!(f, "operation contract violated at {node}: {reason}")
+            }
+            DpsError::Wire(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DpsError {}
+
+impl From<dps_cluster::MappingError> for DpsError {
+    fn from(e: dps_cluster::MappingError) -> Self {
+        DpsError::Mapping(e.to_string())
+    }
+}
+
+impl From<dps_serial::WireError> for DpsError {
+    fn from(e: dps_serial::WireError) -> Self {
+        DpsError::Wire(e.to_string())
+    }
+}
+
+/// Framework result alias.
+pub type Result<T> = std::result::Result<T, DpsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DpsError::NoRoute {
+            node: "SplitString".into(),
+            token_type: "CharToken",
+        };
+        assert!(e.to_string().contains("SplitString"));
+        assert!(e.to_string().contains("CharToken"));
+
+        let e = DpsError::RouteOutOfRange {
+            node: "n".into(),
+            index: 9,
+            thread_count: 3,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn conversions() {
+        let me = dps_cluster::parse_mapping("").unwrap_err();
+        let e: DpsError = me.into();
+        assert!(matches!(e, DpsError::Mapping(_)));
+    }
+}

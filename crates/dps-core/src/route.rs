@@ -1,0 +1,299 @@
+//! Routing functions: which thread instance of a collection executes a
+//! data object's next operation.
+//!
+//! Paper §2: "A user-defined routing function specifies at runtime to which
+//! instance of the thread in the thread collection a data object is
+//! directed in order to execute its next operation." A routing function is
+//! attached to the *destination* node of the flow graph, mirroring
+//! `FlowgraphNode<ToUpperCase, RoundRobinRoute>(computeThreads)`.
+
+use std::marker::PhantomData;
+
+use crate::error::{DpsError, Result};
+use crate::token::Token;
+
+/// Facts available to a routing decision.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteInfo<'a> {
+    /// Number of threads in the destination collection — the paper's
+    /// `threadCount()`.
+    pub thread_count: usize,
+    /// Per-thread load of the destination collection (tokens queued or in
+    /// execution), for load-balancing routes. `None` if the engine does not
+    /// track it.
+    pub load: Option<&'a [u32]>,
+}
+
+/// A routing function for tokens of type `T`.
+///
+/// Routes may be stateful (`&mut self`): a round-robin route keeps a
+/// counter. One route instance exists per graph node.
+pub trait Route<T: Token>: Send + 'static {
+    /// Return the destination thread index, in `0..info.thread_count`.
+    fn route(&mut self, token: &T, info: &RouteInfo<'_>) -> usize;
+}
+
+/// Declare a routing function from an expression over `token` — the Rust
+/// equivalent of the paper's `ROUTE(name, thread, token, expr)` macro:
+///
+/// ```
+/// use dps_core::{dps_token, route};
+///
+/// dps_token! {
+///     pub struct CharToken { pub chr: u8, pub pos: u32 }
+/// }
+///
+/// // ROUTE(RoundRobinRoute, ComputeThread, CharToken,
+/// //       currentToken->pos % threadCount());
+/// route!(pub PosModRoute for CharToken =
+///     |token, info| token.pos as usize % info.thread_count);
+/// ```
+#[macro_export]
+macro_rules! route {
+    ($(#[$meta:meta])* pub $name:ident for $tok:ty = |$token:ident, $info:ident| $expr:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $name;
+        impl $crate::Route<$tok> for $name {
+            fn route(&mut self, $token: &$tok, $info: &$crate::RouteInfo<'_>) -> usize {
+                $expr
+            }
+        }
+    };
+}
+
+/// Round-robin over the destination collection, ignoring token contents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Start at thread 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<T: Token> Route<T> for RoundRobin {
+    fn route(&mut self, _token: &T, info: &RouteInfo<'_>) -> usize {
+        let i = self.next % info.thread_count;
+        self.next = (self.next + 1) % info.thread_count;
+        i
+    }
+}
+
+/// Route every token to a fixed thread index (e.g. the single main thread).
+#[derive(Debug, Clone, Copy)]
+pub struct ToThread(pub usize);
+
+impl ToThread {
+    /// Route to thread 0 — the usual master-thread route.
+    pub fn zero() -> Self {
+        ToThread(0)
+    }
+}
+
+impl<T: Token> Route<T> for ToThread {
+    fn route(&mut self, _token: &T, _info: &RouteInfo<'_>) -> usize {
+        self.0
+    }
+}
+
+/// Route by a key extracted from the token, modulo the thread count.
+/// The workhorse for data-parallel distributions ("column `j` of the matrix
+/// lives on thread `j % p`").
+pub struct ByKey<T, F> {
+    f: F,
+    _m: PhantomData<fn(T)>,
+}
+
+impl<T: Token, F: FnMut(&T) -> usize + Send + 'static> ByKey<T, F> {
+    /// Route to `f(token) % thread_count`.
+    pub fn new(f: F) -> Self {
+        Self { f, _m: PhantomData }
+    }
+}
+
+impl<T: Token, F: FnMut(&T) -> usize + Send + 'static> Route<T> for ByKey<T, F> {
+    fn route(&mut self, token: &T, info: &RouteInfo<'_>) -> usize {
+        (self.f)(token) % info.thread_count
+    }
+}
+
+/// Load-balancing route: pick the least-loaded destination thread
+/// (ties go to the lowest index). Implements the paper's feedback-based
+/// balancing — "the routing function sends data objects to those processing
+/// nodes which have previously posted data objects to the merge operation"
+/// — using the engine's per-thread outstanding-token counts as the feedback
+/// signal. Falls back to round-robin when the engine provides no load data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded {
+    fallback: RoundRobin,
+}
+
+impl LeastLoaded {
+    /// New balancing route.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<T: Token> Route<T> for LeastLoaded {
+    fn route(&mut self, token: &T, info: &RouteInfo<'_>) -> usize {
+        match info.load {
+            Some(load) => {
+                debug_assert_eq!(load.len(), info.thread_count);
+                load.iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &l)| (l, i))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            }
+            None => Route::<T>::route(&mut self.fallback, token, info),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Type-erased adapter used by the engines.
+// ---------------------------------------------------------------------------
+
+/// Type-erased route driven by an engine.
+#[doc(hidden)]
+pub trait DynRoute: Send {
+    fn route_dyn(
+        &mut self,
+        token: &dyn Token,
+        info: &RouteInfo<'_>,
+        node_name: &str,
+    ) -> Result<usize>;
+}
+
+pub(crate) struct RouteAdapter<T, R> {
+    pub route: R,
+    pub _m: PhantomData<fn(T)>,
+}
+
+impl<T: Token, R: Route<T>> DynRoute for RouteAdapter<T, R> {
+    fn route_dyn(
+        &mut self,
+        token: &dyn Token,
+        info: &RouteInfo<'_>,
+        node_name: &str,
+    ) -> Result<usize> {
+        let tok = token
+            .as_any()
+            .downcast_ref::<T>()
+            .ok_or_else(|| DpsError::OperationContract {
+                node: node_name.to_string(),
+                reason: format!(
+                    "route expects {} but token is {}",
+                    std::any::type_name::<T>(),
+                    token.type_name()
+                ),
+            })?;
+        let idx = self.route.route(tok, info);
+        if idx >= info.thread_count {
+            return Err(DpsError::RouteOutOfRange {
+                node: node_name.to_string(),
+                index: idx,
+                thread_count: info.thread_count,
+            });
+        }
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dps_token;
+
+    dps_token! {
+        pub struct K { pub k: u32 }
+    }
+
+    fn info(n: usize) -> RouteInfo<'static> {
+        RouteInfo {
+            thread_count: n,
+            load: None,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = RoundRobin::new();
+        let seq: Vec<usize> = (0..7)
+            .map(|_| Route::<K>::route(&mut r, &K { k: 0 }, &info(3)))
+            .collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn to_thread_is_constant() {
+        let mut r = ToThread(2);
+        for _ in 0..3 {
+            assert_eq!(Route::<K>::route(&mut r, &K { k: 9 }, &info(4)), 2);
+        }
+    }
+
+    #[test]
+    fn by_key_mods_thread_count() {
+        let mut r = ByKey::new(|t: &K| t.k as usize);
+        assert_eq!(r.route(&K { k: 7 }, &info(4)), 3);
+        assert_eq!(r.route(&K { k: 8 }, &info(4)), 0);
+    }
+
+    #[test]
+    fn least_loaded_picks_minimum() {
+        let mut r = LeastLoaded::new();
+        let load = [3u32, 1, 1, 2];
+        let i = Route::<K>::route(
+            &mut r,
+            &K { k: 0 },
+            &RouteInfo {
+                thread_count: 4,
+                load: Some(&load),
+            },
+        );
+        assert_eq!(i, 1, "lowest index wins ties");
+    }
+
+    #[test]
+    fn least_loaded_falls_back_to_round_robin() {
+        let mut r = LeastLoaded::new();
+        let a = Route::<K>::route(&mut r, &K { k: 0 }, &info(2));
+        let b = Route::<K>::route(&mut r, &K { k: 0 }, &info(2));
+        assert_eq!((a, b), (0, 1));
+    }
+
+    #[test]
+    fn route_macro_generates_working_route() {
+        route!(pub ModRoute for K = |token, info| token.k as usize % info.thread_count);
+        let mut r = ModRoute;
+        assert_eq!(r.route(&K { k: 5 }, &info(3)), 2);
+    }
+
+    #[test]
+    fn adapter_checks_bounds() {
+        let mut ad = RouteAdapter {
+            route: ToThread(9),
+            _m: PhantomData::<fn(K)>,
+        };
+        let tok = K { k: 1 };
+        let err = ad.route_dyn(&tok, &info(3), "n").unwrap_err();
+        assert!(matches!(err, DpsError::RouteOutOfRange { index: 9, .. }));
+    }
+
+    #[test]
+    fn adapter_checks_type() {
+        dps_token! { pub struct Other { pub z: u8 } }
+        let mut ad = RouteAdapter {
+            route: RoundRobin::new(),
+            _m: PhantomData::<fn(K)>,
+        };
+        let tok = Other { z: 0 };
+        assert!(ad.route_dyn(&tok, &info(3), "n").is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Thread-collection handles.
+//!
+//! Paper §2: "Operations within a flow graph are carried out within threads
+//! grouped in thread collections. […] Developers instantiate collections of
+//! threads" and map them onto nodes with mapping strings. The engine owns
+//! the actual threads (virtual or OS); user code holds typed handles.
+
+use std::any::TypeId;
+use std::marker::PhantomData;
+
+use crate::ops::ThreadData;
+
+/// Typed handle to a thread collection created by an engine.
+///
+/// The type parameter `Td` is the thread-local state type: the builder only
+/// accepts operations whose [`SplitOperation::Thread`](crate::SplitOperation::Thread)
+/// matches, so "operation X runs on threads of type Y" is checked at
+/// compile time, like the C++ template parameters of the paper.
+pub struct ThreadCollection<Td: ThreadData> {
+    pub(crate) app: u32,
+    pub(crate) tc: u32,
+    pub(crate) threads: usize,
+    pub(crate) _m: PhantomData<fn(Td)>,
+}
+
+impl<Td: ThreadData> ThreadCollection<Td> {
+    /// Number of threads in the collection (fixed at mapping time).
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// The `TypeId` of the thread-local state (runtime cross-check).
+    pub(crate) fn td_type() -> TypeId {
+        TypeId::of::<Td>()
+    }
+
+    /// Construct a handle from raw indices (engine use only).
+    #[doc(hidden)]
+    pub fn from_raw(app: u32, tc: u32, threads: usize) -> Self {
+        Self {
+            app,
+            tc,
+            threads,
+            _m: PhantomData,
+        }
+    }
+
+    /// Raw `(app, collection)` indices (engine use only).
+    #[doc(hidden)]
+    pub fn raw_ids(&self) -> (u32, u32) {
+        (self.app, self.tc)
+    }
+}
+
+impl<Td: ThreadData> Clone for ThreadCollection<Td> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<Td: ThreadData> Copy for ThreadCollection<Td> {}
+
+impl<Td: ThreadData> std::fmt::Debug for ThreadCollection<Td> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCollection")
+            .field("app", &self.app)
+            .field("tc", &self.tc)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_is_copy_and_reports_count() {
+        let tc = ThreadCollection::<u32> {
+            app: 0,
+            tc: 1,
+            threads: 5,
+            _m: PhantomData,
+        };
+        let tc2 = tc;
+        assert_eq!(tc.thread_count(), 5);
+        assert_eq!(tc2.thread_count(), 5);
+        assert_eq!(ThreadCollection::<u32>::td_type(), TypeId::of::<u32>());
+    }
+}

@@ -1,0 +1,623 @@
+//! Feature tests of the simulation engine: stream operations, nested
+//! split/merge constructs, multi-path graphs (paper Fig. 3), parallel
+//! service calls (Fig. 10), graph validation, flow control, serialization
+//! enforcement, and determinism.
+
+use dps_cluster::ClusterSpec;
+use dps_core::prelude::*;
+use dps_core::{DpsError, OpKind};
+use dps_des::SimSpan;
+
+dps_token! { pub struct Start { pub n: u32 } }
+dps_token! { pub struct Part { pub i: u32, pub v: u32 } }
+dps_token! { pub struct PairReq { pub i: u32 } }
+dps_token! { pub struct Result_ { pub total: u32 } }
+dps_token! { pub struct OddTok { pub i: u32 } }
+dps_token! { pub struct EvenTok { pub i: u32 } }
+
+fn engine(nodes: usize) -> SimEngine {
+    SimEngine::new(ClusterSpec::paper_testbed(nodes))
+}
+
+fn workers_mapping(eng: &SimEngine, nodes: usize) -> String {
+    dps_cluster::round_robin_mapping(eng.cluster().spec(), nodes, 1)
+}
+
+// --- split / leaf / merge / stream ops used across tests -------------------
+
+struct FanN;
+impl SplitOperation for FanN {
+    type Thread = ();
+    type In = Start;
+    type Out = Part;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), Part>, s: Start) {
+        for i in 0..s.n {
+            ctx.post(Part { i, v: i });
+        }
+    }
+}
+
+struct Inc;
+impl LeafOperation for Inc {
+    type Thread = ();
+    type In = Part;
+    type Out = Part;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), Part>, p: Part) {
+        ctx.post(Part { i: p.i, v: p.v + 1 });
+    }
+}
+
+#[derive(Default)]
+struct SumParts {
+    sum: u32,
+}
+impl MergeOperation for SumParts {
+    type Thread = ();
+    type In = Part;
+    type Out = Result_;
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, (), Result_>, p: Part) {
+        self.sum += p.v;
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, (), Result_>) {
+        ctx.post(Result_ { total: self.sum });
+    }
+}
+
+// --- stream operation -------------------------------------------------------
+
+/// Forwards pairs as soon as both halves arrived — the partial-merge
+/// behaviour of the paper's video example (Fig. 4).
+#[derive(Default)]
+struct PairStream {
+    pending: std::collections::BTreeMap<u32, u32>,
+}
+impl StreamOperation for PairStream {
+    type Thread = ();
+    type In = Part;
+    type Out = Part;
+    fn consume(&mut self, ctx: &mut OpCtx<'_, (), Part>, p: Part) {
+        let pair = p.i / 2;
+        if let Some(prev) = self.pending.remove(&pair) {
+            ctx.post(Part {
+                i: pair,
+                v: prev + p.v,
+            });
+        } else {
+            self.pending.insert(pair, p.v);
+        }
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, (), Part>) {
+        // Odd leftover (when n is odd) flushes at completion.
+        for (&pair, &v) in &self.pending {
+            ctx.post(Part { i: pair, v });
+        }
+        self.pending.clear();
+    }
+}
+
+#[test]
+fn stream_pipelines_partial_merges() {
+    let mut eng = engine(4);
+    let app = eng.app("stream-demo");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "main", "node0").unwrap();
+    let map = workers_mapping(&eng, 4);
+    let workers: ThreadCollection<()> = eng.thread_collection(app, "w", &map).unwrap();
+
+    let mut b = GraphBuilder::new("pairs");
+    let split = b.split(&main, || ToThread(0), || FanN);
+    let work = b.leaf(&workers, RoundRobin::new, || Inc);
+    let stream = b.stream(&main, || ToThread(0), PairStream::default);
+    let work2 = b.leaf(&workers, RoundRobin::new, || Inc);
+    let merge = b.merge(&main, || ToThread(0), SumParts::default);
+    b.add(split >> work >> stream >> work2 >> merge);
+    let g = eng.build_graph(b).unwrap();
+
+    eng.inject(g, Start { n: 8 }).unwrap();
+    eng.run_until_idle().unwrap();
+    let out = eng.take_outputs(g);
+    assert_eq!(out.len(), 1);
+    let r = downcast::<Result_>(out.into_iter().next().unwrap().1).unwrap();
+    // v values 0..8 → +1 each (9..=8?) : each part v=i+1; pairs summed, then
+    // +1 per pair by work2: sum = (0+1+..+7) + 8 (first inc) + 4 (second inc).
+    assert_eq!(r.total, 28 + 8 + 4);
+}
+
+#[test]
+fn stream_with_single_output_carries_total() {
+    // A stream posting only from finalize behaves like merge+split.
+    #[derive(Default)]
+    struct HoldAll {
+        seen: u32,
+    }
+    impl StreamOperation for HoldAll {
+        type Thread = ();
+        type In = Part;
+        type Out = Part;
+        fn consume(&mut self, _ctx: &mut OpCtx<'_, (), Part>, p: Part) {
+            self.seen += p.v;
+        }
+        fn finalize(&mut self, ctx: &mut OpCtx<'_, (), Part>) {
+            ctx.post(Part {
+                i: 0,
+                v: self.seen,
+            });
+        }
+    }
+
+    let mut eng = engine(2);
+    let app = eng.app("a");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let mut b = GraphBuilder::new("hold");
+    let split = b.split(&main, || ToThread(0), || FanN);
+    let stream = b.stream(&main, || ToThread(0), HoldAll::default);
+    let merge = b.merge(&main, || ToThread(0), SumParts::default);
+    b.add(split >> stream >> merge);
+    let g = eng.build_graph(b).unwrap();
+    eng.inject(g, Start { n: 5 }).unwrap();
+    eng.run_until_idle().unwrap();
+    let out = eng.take_outputs(g);
+    let r = downcast::<Result_>(out.into_iter().next().unwrap().1).unwrap();
+    assert_eq!(r.total, 0 + 1 + 2 + 3 + 4);
+}
+
+// --- nested split/merge ------------------------------------------------------
+
+struct OuterSplit;
+impl SplitOperation for OuterSplit {
+    type Thread = ();
+    type In = Start;
+    type Out = Start;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), Start>, s: Start) {
+        for _ in 0..s.n {
+            ctx.post(Start { n: 4 });
+        }
+    }
+}
+
+#[derive(Default)]
+struct OuterMerge {
+    sum: u32,
+    count: u32,
+}
+impl MergeOperation for OuterMerge {
+    type Thread = ();
+    type In = Result_;
+    type Out = Result_;
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, (), Result_>, r: Result_) {
+        self.sum += r.total;
+        self.count += 1;
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, (), Result_>) {
+        ctx.post(Result_ { total: self.sum });
+    }
+}
+
+#[test]
+fn nested_split_merge_constructs_compose() {
+    // Paper §2: "a split-merge construct may contain another split-merge
+    // construct".
+    let mut eng = engine(4);
+    let app = eng.app("nested");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let map = workers_mapping(&eng, 4);
+    let workers: ThreadCollection<()> = eng.thread_collection(app, "w", &map).unwrap();
+
+    let mut b = GraphBuilder::new("nested");
+    let outer_s = b.split(&main, || ToThread(0), || OuterSplit);
+    let inner_s = b.split(&workers, RoundRobin::new, || FanN);
+    let leaf = b.leaf(&workers, RoundRobin::new, || Inc);
+    let inner_m = b.merge(&workers, RoundRobin::new, SumParts::default);
+    let outer_m = b.merge(&main, || ToThread(0), OuterMerge::default);
+    b.add(outer_s >> inner_s >> leaf >> inner_m >> outer_m);
+    let g = eng.build_graph(b).unwrap();
+
+    eng.inject(g, Start { n: 3 }).unwrap();
+    eng.run_until_idle().unwrap();
+    let out = eng.take_outputs(g);
+    assert_eq!(out.len(), 1);
+    let r = downcast::<Result_>(out.into_iter().next().unwrap().1).unwrap();
+    // Each outer task: inner split n=4 → parts v=0..3 +1 each → sum=10.
+    assert_eq!(r.total, 3 * 10);
+}
+
+// --- multi-path graphs (Fig. 3) ---------------------------------------------
+
+struct ParitySplit;
+impl SplitOperation for ParitySplit {
+    type Thread = ();
+    type In = Start;
+    type Out = OddTok;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), OddTok>, s: Start) {
+        for i in 0..s.n {
+            if i % 2 == 1 {
+                ctx.post(OddTok { i });
+            } else {
+                ctx.post_other(EvenTok { i });
+            }
+        }
+    }
+}
+
+struct OddOp;
+impl LeafOperation for OddOp {
+    type Thread = ();
+    type In = OddTok;
+    type Out = Part;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), Part>, t: OddTok) {
+        ctx.post(Part { i: t.i, v: 1000 + t.i });
+    }
+}
+
+struct EvenOp;
+impl LeafOperation for EvenOp {
+    type Thread = ();
+    type In = EvenTok;
+    type Out = Part;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), Part>, t: EvenTok) {
+        ctx.post(Part { i: t.i, v: t.i });
+    }
+}
+
+#[test]
+fn token_type_selects_path() {
+    // Paper Fig. 3: "When multiple paths are available to a given output
+    // data object, the input data object types of the destinations are used
+    // to determine which path to follow."
+    let mut eng = engine(2);
+    let app = eng.app("paths");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let map = workers_mapping(&eng, 2);
+    let workers: ThreadCollection<()> = eng.thread_collection(app, "w", &map).unwrap();
+
+    let mut b = GraphBuilder::new("two-paths");
+    let split = b.split(&main, || ToThread(0), || ParitySplit);
+    b.declare_output::<EvenTok, _, _>(split);
+    let odd = b.leaf(&workers, RoundRobin::new, || OddOp);
+    let even = b.leaf(&workers, RoundRobin::new, || EvenOp);
+    let merge = b.merge(&main, || ToThread(0), SumParts::default);
+    b += split >> odd >> merge;
+    b.connect_alt(split, even);
+    b += even >> merge;
+    let g = eng.build_graph(b).unwrap();
+
+    eng.inject(g, Start { n: 4 }).unwrap();
+    eng.run_until_idle().unwrap();
+    let out = eng.take_outputs(g);
+    let r = downcast::<Result_>(out.into_iter().next().unwrap().1).unwrap();
+    // odd 1,3 → 1001+1003; even 0,2 → 0+2.
+    assert_eq!(r.total, 1001 + 1003 + 0 + 2);
+}
+
+// --- parallel services (Fig. 10) ---------------------------------------------
+
+#[test]
+fn graph_call_into_another_application() {
+    let mut eng = engine(4);
+
+    // Server application exposing a square-summing service.
+    let server = eng.app("server");
+    let smain: ThreadCollection<()> = eng.thread_collection(server, "m", "node1").unwrap();
+    let sworkers: ThreadCollection<()> =
+        eng.thread_collection(server, "w", "node1 node2 node3").unwrap();
+    let mut sb = GraphBuilder::new("service-graph");
+    let ss = sb.split(&smain, || ToThread(0), || FanN);
+    let sl = sb.leaf(&sworkers, RoundRobin::new, || Inc);
+    let sm = sb.merge(&smain, || ToThread(0), SumParts::default);
+    sb.add(ss >> sl >> sm);
+    let sg = eng.build_graph(sb).unwrap();
+    eng.expose_service(sg, "sum.service");
+
+    // Client application calling it: the call is "seen by the client
+    // application as a simple leaf operation".
+    let client = eng.app("client");
+    let cmain: ThreadCollection<()> = eng.thread_collection(client, "m", "node0").unwrap();
+    let mut cb = GraphBuilder::new("client-graph");
+    let cs = cb.split(&cmain, || ToThread(0), || OuterSplit);
+    let call = cb.call::<Start, Result_, (), _>("sum.service", &cmain, || ToThread(0));
+    let cm = cb.merge(&cmain, || ToThread(0), OuterMerge::default);
+    cb.add(cs >> call >> cm);
+    let cg = eng.build_graph(cb).unwrap();
+
+    eng.inject(cg, Start { n: 3 }).unwrap();
+    eng.run_until_idle().unwrap();
+    let out = eng.take_outputs(cg);
+    assert_eq!(out.len(), 1);
+    let r = downcast::<Result_>(out.into_iter().next().unwrap().1).unwrap();
+    // 3 calls, each summing Inc(0..4) = 10.
+    assert_eq!(r.total, 30);
+}
+
+#[test]
+fn unknown_service_is_reported() {
+    let mut eng = engine(1);
+    let app = eng.app("c");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let mut b = GraphBuilder::new("bad-call");
+    let s = b.split(&main, || ToThread(0), || OuterSplit);
+    let call = b.call::<Start, Result_, (), _>("ghost.service", &main, || ToThread(0));
+    let m = b.merge(&main, || ToThread(0), OuterMerge::default);
+    b.add(s >> call >> m);
+    let g = eng.build_graph(b).unwrap();
+    eng.inject(g, Start { n: 1 }).unwrap();
+    let err = eng.run_until_idle().unwrap_err();
+    assert!(matches!(err, DpsError::UnknownService { .. }));
+}
+
+// --- validation ---------------------------------------------------------------
+
+#[test]
+fn type_mismatch_detected_at_build() {
+    // The typed `>>` rejects mismatches at compile time; `connect_alt`
+    // defers the check to graph assembly, which must reject an edge whose
+    // input type the producer never declared.
+    let mut eng = engine(1);
+    let app = eng.app("v");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let mut b = GraphBuilder::new("bad");
+    let s = b.split(&main, || ToThread(0), || FanN); // posts Part only
+    let o = b.leaf(&main, || ToThread(0), || OddOp); // expects OddTok
+    let m = b.merge(&main, || ToThread(0), SumParts::default);
+    b.add(s >> m);
+    b.connect_alt(s, o); // OddTok was never declared as an output of FanN
+    b.add(o >> m);
+    let err = eng.build_graph(b).unwrap_err();
+    assert!(matches!(err, DpsError::TypeMismatch { .. }), "{err}");
+}
+
+#[test]
+fn merge_without_split_rejected() {
+    let mut eng = engine(1);
+    let app = eng.app("v");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let mut b = GraphBuilder::new("unbalanced");
+    let l = b.leaf(&main, || ToThread(0), || Inc);
+    let m = b.merge(&main, || ToThread(0), SumParts::default);
+    b.add(l >> m);
+    let err = eng.build_graph(b).unwrap_err();
+    assert!(matches!(err, DpsError::InvalidGraph { .. }));
+    assert!(err.to_string().contains("pop"));
+}
+
+#[test]
+fn unbalanced_exit_rejected() {
+    let mut eng = engine(1);
+    let app = eng.app("v");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let mut b = GraphBuilder::new("no-merge");
+    let s = b.split(&main, || ToThread(0), || FanN);
+    let l = b.leaf(&main, || ToThread(0), || Inc);
+    b.add(s >> l);
+    let err = eng.build_graph(b).unwrap_err();
+    assert!(err.to_string().contains("unbalanced"));
+}
+
+#[test]
+fn ambiguous_successors_rejected() {
+    let mut eng = engine(1);
+    let app = eng.app("v");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let mut b = GraphBuilder::new("ambiguous");
+    let s = b.split(&main, || ToThread(0), || FanN);
+    let l1 = b.leaf(&main, || ToThread(0), || Inc);
+    let l2 = b.leaf(&main, || ToThread(0), || Inc);
+    let m = b.merge(&main, || ToThread(0), SumParts::default);
+    b += s >> l1 >> m;
+    b += s >> l2 >> m;
+    let err = eng.build_graph(b).unwrap_err();
+    assert!(err.to_string().contains("ambiguous"));
+}
+
+#[test]
+fn empty_graph_rejected() {
+    let mut eng = engine(1);
+    let _ = eng.app("v");
+    let b = GraphBuilder::new("empty");
+    assert!(eng.build_graph(b).is_err());
+}
+
+// --- flow control --------------------------------------------------------------
+
+#[test]
+fn flow_window_bounds_tokens_in_flight() {
+    // With a window of 2 and a slow merge, the run must still complete, and
+    // shrinking the window must not change the result.
+    for window in [0u32, 1, 2, 64] {
+        let cfg = EngineConfig {
+            flow_window: window,
+            ..EngineConfig::default()
+        };
+        let mut eng = SimEngine::with_config(ClusterSpec::paper_testbed(2), cfg);
+        let app = eng.app("fc");
+        let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+        let w: ThreadCollection<()> = eng.thread_collection(app, "w", "node0 node1").unwrap();
+        let mut b = GraphBuilder::new("fc");
+        let s = b.split(&main, || ToThread(0), || FanN);
+        let l = b.leaf(&w, RoundRobin::new, || Inc);
+        let m = b.merge(&main, || ToThread(0), SumParts::default);
+        b.add(s >> l >> m);
+        let g = eng.build_graph(b).unwrap();
+        eng.inject(g, Start { n: 20 }).unwrap();
+        eng.run_until_idle().unwrap();
+        let out = eng.take_outputs(g);
+        let r = downcast::<Result_>(out.into_iter().next().unwrap().1).unwrap();
+        assert_eq!(r.total, (0..20).sum::<u32>() + 20, "window={window}");
+    }
+}
+
+#[test]
+fn smaller_window_cannot_be_faster() {
+    let run = |window: u32| -> u64 {
+        let cfg = EngineConfig {
+            flow_window: window,
+            ..EngineConfig::default()
+        };
+        let mut eng = SimEngine::with_config(ClusterSpec::paper_testbed(4), cfg);
+        let app = eng.app("fc");
+        let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+        let w: ThreadCollection<()> =
+            eng.thread_collection(app, "w", "node0 node1 node2 node3").unwrap();
+        let mut b = GraphBuilder::new("fc");
+        let s = b.split(&main, || ToThread(0), || FanN);
+        let l = b.leaf(&w, RoundRobin::new, || Inc);
+        let m = b.merge(&main, || ToThread(0), SumParts::default);
+        b.add(s >> l >> m);
+        let g = eng.build_graph(b).unwrap();
+        eng.inject(g, Start { n: 64 }).unwrap();
+        eng.run_until_idle().unwrap();
+        eng.now().as_nanos()
+    };
+    let t1 = run(1);
+    let t8 = run(8);
+    let t0 = run(0); // unlimited
+    assert!(t1 >= t8, "window 1 ({t1}) should not beat window 8 ({t8})");
+    assert!(t8 >= t0, "window 8 ({t8}) should not beat unlimited ({t0})");
+}
+
+// --- serialization enforcement ---------------------------------------------------
+
+#[test]
+fn enforced_serialization_roundtrips_tokens() {
+    let cfg = EngineConfig {
+        enforce_serialization: true,
+        ..EngineConfig::default()
+    };
+    let mut eng = SimEngine::with_config(ClusterSpec::paper_testbed(3), cfg);
+    let app = eng.app("ser");
+    eng.register_token::<Start>(app);
+    eng.register_token::<Part>(app);
+    eng.register_token::<Result_>(app);
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let w: ThreadCollection<()> = eng.thread_collection(app, "w", "node1 node2").unwrap();
+    let mut b = GraphBuilder::new("ser");
+    let s = b.split(&main, || ToThread(0), || FanN);
+    let l = b.leaf(&w, RoundRobin::new, || Inc);
+    let m = b.merge(&main, || ToThread(0), SumParts::default);
+    b.add(s >> l >> m);
+    let g = eng.build_graph(b).unwrap();
+    eng.inject(g, Start { n: 10 }).unwrap();
+    eng.run_until_idle().unwrap();
+    let r = downcast::<Result_>(eng.take_outputs(g).into_iter().next().unwrap().1).unwrap();
+    assert_eq!(r.total, (0..10).sum::<u32>() + 10);
+}
+
+#[test]
+fn enforced_serialization_fails_on_unregistered_type() {
+    let cfg = EngineConfig {
+        enforce_serialization: true,
+        ..EngineConfig::default()
+    };
+    let mut eng = SimEngine::with_config(ClusterSpec::paper_testbed(2), cfg);
+    let app = eng.app("ser");
+    // Register nothing.
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let w: ThreadCollection<()> = eng.thread_collection(app, "w", "node1").unwrap();
+    let mut b = GraphBuilder::new("ser");
+    let s = b.split(&main, || ToThread(0), || FanN);
+    let l = b.leaf(&w, RoundRobin::new, || Inc);
+    let m = b.merge(&main, || ToThread(0), SumParts::default);
+    b.add(s >> l >> m);
+    let g = eng.build_graph(b).unwrap();
+    eng.inject(g, Start { n: 2 }).unwrap();
+    let err = eng.run_until_idle().unwrap_err();
+    assert!(matches!(err, DpsError::Wire(_)));
+}
+
+// --- determinism -----------------------------------------------------------------
+
+#[test]
+fn virtual_time_is_deterministic() {
+    let run = || -> (u64, u32) {
+        let mut eng = engine(4);
+        let app = eng.app("det");
+        let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+        let map = workers_mapping(&eng, 4);
+        let w: ThreadCollection<()> = eng.thread_collection(app, "w", &map).unwrap();
+        let mut b = GraphBuilder::new("det");
+        let s = b.split(&main, || ToThread(0), || FanN);
+        let l = b.leaf(&w, LeastLoaded::new, || Inc);
+        let m = b.merge(&main, || ToThread(0), SumParts::default);
+        b.add(s >> l >> m);
+        let g = eng.build_graph(b).unwrap();
+        eng.inject(g, Start { n: 50 }).unwrap();
+        eng.run_until_idle().unwrap();
+        let r = downcast::<Result_>(eng.take_outputs(g).into_iter().next().unwrap().1).unwrap();
+        (eng.now().as_nanos(), r.total)
+    };
+    assert_eq!(run(), run());
+}
+
+// --- misc -------------------------------------------------------------------------
+
+#[test]
+fn op_kind_is_exposed_on_nodes() {
+    let mut eng = engine(1);
+    let app = eng.app("k");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let mut b = GraphBuilder::new("k");
+    let s = b.split(&main, || ToThread(0), || FanN);
+    let m = b.merge(&main, || ToThread(0), SumParts::default);
+    b.add(s >> m);
+    assert_eq!(b.node_count(), 2);
+    let _ = OpKind::Split; // public API sanity
+    let g = eng.build_graph(b).unwrap();
+    eng.inject(g, Start { n: 3 }).unwrap();
+    eng.run_until_idle().unwrap();
+}
+
+#[test]
+fn charge_advances_virtual_time() {
+    struct SlowLeaf;
+    impl LeafOperation for SlowLeaf {
+        type Thread = ();
+        type In = Part;
+        type Out = Part;
+        fn execute(&mut self, ctx: &mut OpCtx<'_, (), Part>, p: Part) {
+            ctx.charge(SimSpan::from_millis(10));
+            ctx.post(p);
+        }
+    }
+    let mut eng = engine(1);
+    let app = eng.app("t");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let mut b = GraphBuilder::new("t");
+    let s = b.split(&main, || ToThread(0), || FanN);
+    let l = b.leaf(&main, || ToThread(0), || SlowLeaf);
+    let m = b.merge(&main, || ToThread(0), SumParts::default);
+    b.add(s >> l >> m);
+    let g = eng.build_graph(b).unwrap();
+    eng.inject(g, Start { n: 4 }).unwrap();
+    eng.run_until_idle().unwrap();
+    // 4 sequential 10 ms leaves on one single-threaded collection ≥ 40 ms.
+    assert!(eng.now().as_nanos() >= 40_000_000, "now = {}", eng.now());
+}
+
+#[test]
+fn thread_data_persists_across_executions() {
+    // Thread-local state is the basis of distributed data structures.
+    struct CountingLeaf;
+    impl LeafOperation for CountingLeaf {
+        type Thread = u32;
+        type In = Part;
+        type Out = Part;
+        fn execute(&mut self, ctx: &mut OpCtx<'_, u32, Part>, p: Part) {
+            *ctx.thread() += 1;
+            ctx.post(p);
+        }
+    }
+    let mut eng = engine(2);
+    let app = eng.app("td");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let w: ThreadCollection<u32> = eng.thread_collection(app, "w", "node0 node1").unwrap();
+    let mut b = GraphBuilder::new("td");
+    let s = b.split(&main, || ToThread(0), || FanN);
+    let l = b.leaf(&w, RoundRobin::new, || CountingLeaf);
+    let m = b.merge(&main, || ToThread(0), SumParts::default);
+    b.add(s >> l >> m);
+    let g = eng.build_graph(b).unwrap();
+    eng.inject(g, Start { n: 10 }).unwrap();
+    eng.run_until_idle().unwrap();
+    let c0 = *eng.thread_data_mut(&w, 0);
+    let c1 = *eng.thread_data_mut(&w, 1);
+    assert_eq!(c0 + c1, 10);
+    assert_eq!(c0, 5, "round robin splits evenly");
+}

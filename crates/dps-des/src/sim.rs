@@ -1,0 +1,329 @@
+//! The event loop.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::pool::PoolTable;
+use crate::time::{SimSpan, SimTime};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) u64);
+
+/// Callback type for events: full access to the simulation (world + clock +
+/// scheduler), so handlers can mutate state and schedule follow-up events.
+type EventFn<S> = Box<dyn FnOnce(&mut Sim<S>)>;
+
+struct Entry<S> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    f: EventFn<S>,
+}
+
+// Ordering for the max-heap wrapped in Reverse: earliest (time, seq) first.
+impl<S> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<S> Eq for Entry<S> {}
+impl<S> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Entry<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Bound on a [`Sim::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLimit {
+    /// Run until no events remain.
+    UntilIdle,
+    /// Run until the clock would pass the given instant; events at exactly
+    /// the instant still fire.
+    UntilTime(SimTime),
+    /// Fire at most this many events.
+    MaxEvents(u64),
+}
+
+/// Summary of a [`Sim::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Number of events fired.
+    pub events: u64,
+    /// Clock value when the run stopped.
+    pub end_time: SimTime,
+    /// True if the run stopped because the event queue drained.
+    pub idle: bool,
+}
+
+/// A deterministic discrete-event simulation over a user-defined world `S`.
+///
+/// Events are closures `FnOnce(&mut Sim<S>)` ordered by `(time, seq)` where
+/// `seq` is the scheduling order — two events at the same instant fire in the
+/// order they were scheduled, making runs exactly reproducible.
+///
+/// ```
+/// use dps_des::{Sim, SimSpan};
+///
+/// let mut sim = Sim::new(Vec::<u32>::new());
+/// sim.schedule_in(SimSpan::from_millis(2), |s| s.world.push(2));
+/// sim.schedule_in(SimSpan::from_millis(1), |s| {
+///     s.world.push(1);
+///     // events may schedule more events
+///     s.schedule_in(SimSpan::from_millis(5), |s| s.world.push(3));
+/// });
+/// let stats = sim.run();
+/// assert_eq!(sim.world, vec![1, 2, 3]);
+/// assert_eq!(stats.events, 3);
+/// assert_eq!(stats.end_time.as_nanos(), 6_000_000);
+/// ```
+pub struct Sim<S> {
+    /// The user world: all model state lives here.
+    pub world: S,
+    now: SimTime,
+    next_seq: u64,
+    next_event: u64,
+    heap: BinaryHeap<Reverse<Entry<S>>>,
+    cancelled: HashSet<EventId>,
+    pub(crate) pools: PoolTable<S>,
+}
+
+impl<S> Sim<S> {
+    /// Create a simulation at time zero owning `world`.
+    pub fn new(world: S) -> Self {
+        Self {
+            world,
+            now: SimTime::ZERO,
+            next_seq: 0,
+            next_event: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            pools: PoolTable::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Schedule `f` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — causality violations are always bugs
+    /// in the model, never recoverable conditions.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim<S>) + 'static) -> EventId {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        let id = EventId(self.next_event);
+        self.next_event += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            at,
+            seq,
+            id,
+            f: Box::new(f),
+        }));
+        id
+    }
+
+    /// Schedule `f` after a delay of `d`.
+    pub fn schedule_in(&mut self, d: SimSpan, f: impl FnOnce(&mut Sim<S>) + 'static) -> EventId {
+        self.schedule_at(self.now + d, f)
+    }
+
+    /// Cancel a pending event. Returns `true` if the event had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_event {
+            return false;
+        }
+        // Lazy cancellation: the heap entry stays and is skipped at pop time.
+        self.cancelled.insert(id)
+    }
+
+    /// Fire the single next event. Returns `false` if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(Reverse(entry)) = self.heap.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "heap returned an event in the past");
+            self.now = entry.at;
+            (entry.f)(self);
+            return true;
+        }
+    }
+
+    /// Time of the next pending event, if any, without firing it.
+    pub fn peek_next_time(&mut self) -> Option<SimTime> {
+        loop {
+            let Some(Reverse(entry)) = self.heap.peek() else {
+                return None;
+            };
+            if self.cancelled.contains(&entry.id) {
+                let Reverse(e) = self.heap.pop().unwrap();
+                self.cancelled.remove(&e.id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+    }
+
+    /// Run until the event queue drains; returns run statistics.
+    pub fn run(&mut self) -> RunStats {
+        self.run_limited(RunLimit::UntilIdle)
+    }
+
+    /// Run under an explicit limit.
+    pub fn run_limited(&mut self, limit: RunLimit) -> RunStats {
+        let mut stats = RunStats::default();
+        loop {
+            match limit {
+                RunLimit::UntilIdle => {}
+                RunLimit::UntilTime(t) => {
+                    match self.peek_next_time() {
+                        Some(next) if next <= t => {}
+                        _ => break,
+                    };
+                }
+                RunLimit::MaxEvents(n) => {
+                    if stats.events >= n {
+                        break;
+                    }
+                }
+            }
+            if !self.step() {
+                stats.idle = true;
+                break;
+            }
+            stats.events += 1;
+        }
+        stats.end_time = self.now;
+        if self.pending() == 0 {
+            stats.idle = true;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_at(SimTime(30), |s| s.world.push(3));
+        sim.schedule_at(SimTime(10), |s| s.world.push(1));
+        sim.schedule_at(SimTime(20), |s| s.world.push(2));
+        sim.run();
+        assert_eq!(sim.world, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut sim = Sim::new(Vec::new());
+        for i in 0..100 {
+            sim.schedule_at(SimTime(5), move |s| s.world.push(i));
+        }
+        sim.run();
+        assert_eq!(sim.world, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut sim = Sim::new(0u32);
+        let a = sim.schedule_at(SimTime(1), |s| s.world += 1);
+        sim.schedule_at(SimTime(2), |s| s.world += 10);
+        assert!(sim.cancel(a));
+        assert!(!sim.cancel(a), "double-cancel reports false");
+        let stats = sim.run();
+        assert_eq!(sim.world, 10);
+        assert_eq!(stats.events, 1);
+    }
+
+    #[test]
+    fn run_until_time_stops_clock() {
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_at(SimTime(10), |s| s.world.push(1));
+        sim.schedule_at(SimTime(20), |s| s.world.push(2));
+        sim.schedule_at(SimTime(30), |s| s.world.push(3));
+        let stats = sim.run_limited(RunLimit::UntilTime(SimTime(20)));
+        assert_eq!(sim.world, vec![1, 2]);
+        assert!(!stats.idle);
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(sim.world, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn max_events_limit() {
+        let mut sim = Sim::new(0u64);
+        for i in 0..10 {
+            sim.schedule_at(SimTime(i), |s| s.world += 1);
+        }
+        let stats = sim.run_limited(RunLimit::MaxEvents(4));
+        assert_eq!(stats.events, 4);
+        assert_eq!(sim.world, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_panics() {
+        let mut sim = Sim::new(());
+        sim.schedule_at(SimTime(10), |s| {
+            s.schedule_at(SimTime(5), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn nested_scheduling_advances_clock() {
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_in(SimSpan::from_nanos(5), |s| {
+            let now = s.now();
+            s.world.push(now.as_nanos());
+            s.schedule_in(SimSpan::from_nanos(7), |s| {
+                let now = s.now();
+                s.world.push(now.as_nanos());
+            });
+        });
+        let stats = sim.run();
+        assert_eq!(sim.world, vec![5, 12]);
+        assert_eq!(stats.end_time, SimTime(12));
+        assert!(stats.idle);
+    }
+
+    #[test]
+    fn determinism_same_schedule_same_trace() {
+        fn build() -> Vec<u64> {
+            let mut sim = Sim::new(Vec::new());
+            for i in (0..50).rev() {
+                sim.schedule_at(SimTime(i % 7), move |s| {
+                    s.world.push(i);
+                });
+            }
+            sim.run();
+            sim.world
+        }
+        assert_eq!(build(), build());
+    }
+}

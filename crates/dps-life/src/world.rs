@@ -1,0 +1,202 @@
+//! Sequential Game-of-Life world: the reference implementation the parallel
+//! schedule is verified against.
+
+use dps_des::SplitMix64;
+
+/// A dense Game-of-Life world with dead cells beyond its edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct World {
+    rows: usize,
+    cols: usize,
+    cells: Vec<u8>,
+}
+
+impl World {
+    /// Empty (all-dead) world.
+    pub fn dead(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            cells: vec![0; rows * cols],
+        }
+    }
+
+    /// Deterministic random world with live-cell density ≈ `density`.
+    pub fn random(rows: usize, cols: usize, density: f64, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut w = Self::dead(rows, cols);
+        for c in &mut w.cells {
+            *c = u8::from(rng.next_f64() < density);
+        }
+        w
+    }
+
+    /// World from explicit rows of 0/1 bytes.
+    pub fn from_rows(rows: Vec<Vec<u8>>) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Self {
+            rows: r,
+            cols: c,
+            cells: rows.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cell at `(r, c)` (0 or 1).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.cells[r * self.cols + c]
+    }
+
+    /// Set cell `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.cells[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.cells[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat cell buffer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.cells
+    }
+
+    /// Number of live cells.
+    pub fn population(&self) -> usize {
+        self.cells.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Advance one generation (standard B3/S23 rules, dead boundary).
+    pub fn step(&self) -> World {
+        let mut next = World::dead(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let above = if r > 0 { Some(self.row(r - 1)) } else { None };
+                let below = if r + 1 < self.rows {
+                    Some(self.row(r + 1))
+                } else {
+                    None
+                };
+                next.set(
+                    r,
+                    c,
+                    step_cell(self.row(r), above, below, c),
+                );
+            }
+        }
+        next
+    }
+
+    /// Advance `n` generations.
+    pub fn step_n(&self, n: usize) -> World {
+        let mut w = self.clone();
+        for _ in 0..n {
+            w = w.step();
+        }
+        w
+    }
+}
+
+/// Next state of the cell at column `c` given its row and the neighbouring
+/// rows (`None` beyond the world edge). Shared by the sequential reference
+/// and the banded parallel kernel so both apply identical rules.
+#[inline]
+pub(crate) fn step_cell(row: &[u8], above: Option<&[u8]>, below: Option<&[u8]>, c: usize) -> u8 {
+    let cols = row.len();
+    let mut live = 0u8;
+    let lo = c.saturating_sub(1);
+    let hi = (c + 1).min(cols - 1);
+    for cc in lo..=hi {
+        if let Some(a) = above {
+            live += a[cc];
+        }
+        if let Some(b) = below {
+            live += b[cc];
+        }
+        if cc != c {
+            live += row[cc];
+        }
+    }
+    match (row[c], live) {
+        (1, 2) | (1, 3) | (0, 3) => 1,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blinker_oscillates() {
+        let w = World::from_rows(vec![
+            vec![0, 0, 0, 0, 0],
+            vec![0, 0, 1, 0, 0],
+            vec![0, 0, 1, 0, 0],
+            vec![0, 0, 1, 0, 0],
+            vec![0, 0, 0, 0, 0],
+        ]);
+        let w1 = w.step();
+        assert_eq!(w1.row(2), &[0, 1, 1, 1, 0]);
+        let w2 = w1.step();
+        assert_eq!(w2, w, "period-2 oscillator");
+    }
+
+    #[test]
+    fn block_is_still_life() {
+        let w = World::from_rows(vec![
+            vec![0, 0, 0, 0],
+            vec![0, 1, 1, 0],
+            vec![0, 1, 1, 0],
+            vec![0, 0, 0, 0],
+        ]);
+        assert_eq!(w.step(), w);
+    }
+
+    #[test]
+    fn glider_moves() {
+        let mut rows = vec![vec![0u8; 8]; 8];
+        // Standard glider.
+        rows[0][1] = 1;
+        rows[1][2] = 1;
+        rows[2][0] = 1;
+        rows[2][1] = 1;
+        rows[2][2] = 1;
+        let w = World::from_rows(rows);
+        let w4 = w.step_n(4);
+        // After 4 generations a glider translates by (1, 1).
+        assert_eq!(w4.population(), 5);
+        assert_eq!(w4.get(1, 2), 1);
+        assert_eq!(w4.get(2, 3), 1);
+        assert_eq!(w4.get(3, 1), 1);
+        assert_eq!(w4.get(3, 2), 1);
+        assert_eq!(w4.get(3, 3), 1);
+    }
+
+    #[test]
+    fn lonely_cells_die_and_edges_are_dead() {
+        let w = World::from_rows(vec![vec![1, 0], vec![0, 0]]);
+        assert_eq!(w.step().population(), 0);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = World::random(10, 10, 0.3, 5);
+        let b = World::random(10, 10, 0.3, 5);
+        assert_eq!(a, b);
+        assert!(a.population() > 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! FLOP counts for the virtual-time cost model.
+//!
+//! The simulator charges operation costs as `flops / node_rate`; these
+//! helpers centralize the standard dense-kernel counts so graph code and
+//! benchmarks agree.
+
+/// `C += A·B` with `A: m×k`, `B: k×n` — `2·m·n·k` flops.
+pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// Rectangular panel LU with partial pivoting of an `m × r` panel
+/// (`m ≥ r`): `Σ_{j<r} 2·(m−j)·(r−j)` ≈ `m·r² − r³/3` flops (plus pivot
+/// searches, counted as one flop per comparison).
+pub fn panel_lu(m: usize, r: usize) -> f64 {
+    let (m, r) = (m as f64, r as f64);
+    m * r * r - r * r * r / 3.0 + m * r
+}
+
+/// Unit-lower triangular solve `L⁻¹ B` with `L: r×r`, `B: r×n` — `r²·n`
+/// flops.
+pub fn trsm(r: usize, n: usize) -> f64 {
+    r as f64 * r as f64 * n as f64
+}
+
+/// One Game-of-Life cell update costs roughly this many "flop-equivalent"
+/// operations on the scalar path (8 neighbour loads + adds + rule).
+pub const LIFE_CELL_OPS: f64 = 12.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_count() {
+        assert_eq!(gemm(2, 3, 4), 48.0);
+    }
+
+    #[test]
+    fn panel_dominated_by_update() {
+        // For m >> r the panel cost approaches m·r².
+        let f = panel_lu(1000, 10);
+        assert!((f / (1000.0 * 100.0) - 1.0).abs() < 0.15, "got {f}");
+    }
+
+    #[test]
+    fn trsm_count() {
+        assert_eq!(trsm(4, 8), 128.0);
+    }
+}

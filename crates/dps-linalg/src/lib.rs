@@ -1,0 +1,33 @@
+//! # dps-linalg — linear-algebra substrate for the DPS paper experiments
+//!
+//! The paper evaluates DPS on block-based matrix multiplication (Table 1:
+//! overlap of communication and computation) and on block LU factorization
+//! with partial pivoting (Fig. 11–15). It notes that "no optimized linear
+//! algebra library was used"; accordingly this crate implements the scalar
+//! kernels from scratch:
+//!
+//! * [`Matrix`] — dense row-major `f64` matrix with block extraction.
+//! * [`gemm`] / [`Matrix::matmul`] — general matrix multiply (the `ikj`
+//!   loop order, cache-friendly without blocking heroics).
+//! * [`panel_lu`] — rectangular LU factorization with partial pivoting of a
+//!   block column (paper step 1).
+//! * [`trsm_lower_unit`] — triangular solve `L₁₁·X = B` (paper step 2, the
+//!   BLAS `trsm`).
+//! * [`blocked_lu`] — the sequential block LU driver (paper steps 1–3,
+//!   recursively applied), the reference the parallel schedules are checked
+//!   against.
+//! * [`lu_residual`] — ‖P·A − L·U‖∞ verification.
+//! * [`parallel`] — the DPS flow graphs: pipelined/non-pipelined block
+//!   matmul (Table 1) and pipelined (stream) / non-pipelined (merge+split)
+//!   block LU (Fig. 12/15).
+//!
+//! FLOP-count helpers ([`flops`]) feed the virtual-time cost model so the
+//! simulator charges the paper's 733 MHz nodes realistically.
+
+mod factor;
+mod matrix;
+pub mod flops;
+pub mod parallel;
+
+pub use factor::{apply_row_swaps, blocked_lu, lu_residual, panel_lu, trsm_lower_unit, LuFactors};
+pub use matrix::{gemm, Matrix};

@@ -1,0 +1,302 @@
+//! Dense row-major matrices and the multiply kernel.
+
+use dps_des::SplitMix64;
+
+/// Dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Matrix from a generator function.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Matrix wrapping an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Deterministic pseudo-random matrix in `[-1, 1)`, diagonally dominant
+    /// when square (so LU with partial pivoting stays well-conditioned).
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut m = Self::random_general(rows, cols, seed);
+        if rows == cols {
+            for i in 0..rows {
+                m[(i, i)] += cols as f64;
+            }
+        }
+        m
+    }
+
+    /// Deterministic pseudo-random matrix in `[-1, 1)` with *no* diagonal
+    /// dominance — partial pivoting on such matrices performs genuine row
+    /// swaps, which the LU tests rely on.
+    pub fn random_general(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        Self::from_fn(rows, cols, |_, _| 2.0 * rng.next_f64() - 1.0)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat row-major data, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Copy of the `rows × cols` block whose top-left corner is `(r0, c0)`.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let src = (r0 + i) * self.cols + c0;
+            let dst = i * cols;
+            out.data[dst..dst + cols].copy_from_slice(&self.data[src..src + cols]);
+        }
+        out
+    }
+
+    /// Overwrite the block at `(r0, c0)` with `b`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, b: &Matrix) {
+        assert!(
+            r0 + b.rows <= self.rows && c0 + b.cols <= self.cols,
+            "block out of range"
+        );
+        for i in 0..b.rows {
+            let dst = (r0 + i) * self.cols + c0;
+            let src = i * b.cols;
+            self.data[dst..dst + b.cols].copy_from_slice(&b.data[src..src + b.cols]);
+        }
+    }
+
+    /// `self × rhs` (allocating).
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        gemm(1.0, self, rhs, 0.0, &mut out);
+        out
+    }
+
+    /// Transpose (allocating).
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
+    /// Largest absolute entry (∞-norm of the vectorization).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|&v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Swap rows `a` and `b`.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        assert!(a < self.rows && b < self.rows, "row out of range");
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (top, bottom) = self.data.split_at_mut(hi * self.cols);
+        top[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut bottom[..self.cols]);
+    }
+}
+
+impl Default for Matrix {
+    /// The `0 × 0` matrix (useful for thread-state containers).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// General matrix multiply: `C = alpha · A·B + beta · C`.
+///
+/// Scalar `ikj` loop: the innermost loop runs down contiguous rows of `B`
+/// and `C`, which vectorizes well and matches the paper's "no optimized
+/// linear algebra library" setting.
+pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    assert_eq!(c.rows, a.rows, "C rows");
+    assert_eq!(c.cols, b.cols, "C cols");
+    if beta != 1.0 {
+        for v in &mut c.data {
+            *v *= beta;
+        }
+    }
+    let n = b.cols;
+    for i in 0..a.rows {
+        let c_row = &mut c.data[i * n..(i + 1) * n];
+        for k in 0..a.cols {
+            let aik = alpha * a.data[i * a.cols + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[k * n..(k + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Matrix::random(5, 5, 1);
+        let i = Matrix::identity(5);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut c = Matrix::from_vec(2, 2, vec![10.0, 10.0, 10.0, 10.0]);
+        gemm(2.0, &a, &b, 0.5, &mut c);
+        assert_eq!(c.as_slice(), &[7.0, 9.0, 11.0, 13.0]);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let m = Matrix::from_fn(6, 6, |i, j| (i * 10 + j) as f64);
+        let b = m.block(2, 3, 2, 2);
+        assert_eq!(b.as_slice(), &[23.0, 24.0, 33.0, 34.0]);
+        let mut m2 = Matrix::zeros(6, 6);
+        m2.set_block(2, 3, &b);
+        assert_eq!(m2[(2, 3)], 23.0);
+        assert_eq!(m2[(3, 4)], 34.0);
+        assert_eq!(m2[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block out of range")]
+    fn block_bounds_checked() {
+        Matrix::zeros(3, 3).block(2, 2, 2, 2);
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = Matrix::from_fn(3, 2, |i, _| i as f64);
+        m.swap_rows(0, 2);
+        assert_eq!(m.as_slice(), &[2.0, 2.0, 1.0, 1.0, 0.0, 0.0]);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m[(1, 0)], 1.0);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_vec(1, 3, vec![3.0, -4.0, 0.0]);
+        assert_eq!(m.max_abs(), 4.0);
+        assert!((m.frobenius() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_dominant() {
+        let a = Matrix::random(4, 4, 7);
+        let b = Matrix::random(4, 4, 7);
+        assert_eq!(a, b);
+        for i in 0..4 {
+            assert!(a[(i, i)] > 2.0, "diagonal dominance");
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::random(3, 5, 2);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+}

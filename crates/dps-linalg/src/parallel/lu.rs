@@ -1,0 +1,682 @@
+//! Block LU factorization with partial pivoting under DPS — Fig. 11–15.
+//!
+//! The matrix is distributed "onto the computation nodes as columns of
+//! vertically adjacent blocks" (paper §5): block-column `j` lives in the
+//! thread state of worker `j mod p`. The schedule follows Fig. 12:
+//!
+//! * **(a)** the entry split factors the top-left panel and posts one task
+//!   per other block column, each carrying the panel (`L11`, `L21`) and the
+//!   pivot record — that broadcast is the step's communication;
+//! * **(b)/(d)** a leaf per column applies the row flips, solves the
+//!   triangular system (`trsm`), and performs its column's trailing-matrix
+//!   multiplications, then posts a notification; the notification for the
+//!   *next panel column* carries the column's updated panel rows;
+//! * **(e)** a *stream* operation collects the notifications. It runs in a
+//!   **separate thread collection** on the next panel owner's node (the
+//!   paper maps collective work to separate collections "for load balancing
+//!   purposes", Fig. 14), so the moment the next panel column reports, the
+//!   node's second processor factors the next panel while the first
+//!   processor keeps updating the remaining columns; step-`k+1` tasks then
+//!   stream out as each column reports — the pipelining of Fig. 13;
+//! * **(f)** row flips on previous columns travel as cheap pivot-only
+//!   tasks, and the factored panel travels back to its owner as a
+//!   store-back task;
+//! * **(g)** a final merge collects the last step's notifications.
+//!
+//! The **non-pipelined** variant replaces each stream with a merge (wait
+//! for *all* notifications, then factor the panel) followed by a split that
+//! rebroadcasts — "a standard merge-split construct instead of the stream
+//! operations" — exactly the comparison of Fig. 15.
+//!
+//! Per-column task ordering is causal by construction: the step-`k+1` task
+//! for column `j` is only posted after the notification that column `j`
+//! finished step `k` was received.
+
+use std::collections::HashMap;
+
+use dps_cluster::ClusterSpec;
+use dps_core::prelude::*;
+use dps_core::{dps_token, GraphHandle};
+use dps_des::SimSpan;
+use dps_serial::Buffer;
+
+use crate::factor::{panel_lu, trsm_lower_unit, LuFactors};
+use crate::flops;
+use crate::matrix::{gemm, Matrix};
+
+dps_token! {
+    /// Kick-off order (also the trigger between merge and split in the
+    /// non-pipelined variant).
+    pub struct LuStart { pub nb: u32, pub r: u32 }
+}
+
+dps_token! {
+    /// One per-column task of step `k`:
+    /// * `j > k` — apply pivots, trsm, trailing update (`panel` holds the
+    ///   step's factored panel);
+    /// * `j < k` — row flips only (`panel` empty);
+    /// * `j == k` — store the factored panel back into its owning column
+    ///   (`panel` holds the factor values).
+    pub struct LuTask {
+        pub k: u32,
+        pub j: u32,
+        pub nb: u32,
+        pub r: u32,
+        pub panel: Buffer<f64>,
+        pub pivots: Buffer<u32>,
+    }
+}
+
+dps_token! {
+    /// Notification that column `j` finished its step-`k` task. When `j` is
+    /// the next panel column (`j == k+1`), `panel` carries the column's
+    /// updated rows `(k+1)·r..n` so the collector can factor the next panel
+    /// without touching the owner's thread state.
+    pub struct LuNotify { pub k: u32, pub j: u32, pub r: u32, pub panel: Buffer<f64> }
+}
+
+dps_token! {
+    /// Termination token.
+    pub struct LuFinished { pub nb: u32 }
+}
+
+/// Per-worker distributed state: the block columns this worker owns and the
+/// pivot records needed to assemble the global factorization.
+#[derive(Default)]
+pub struct ColumnStore {
+    /// Block columns owned by this thread: `j → n×r column`.
+    pub cols: HashMap<u32, Matrix>,
+    /// Pivot records per step (recorded by the owner of each panel).
+    pub pivots: HashMap<u32, Vec<u32>>,
+}
+
+/// Per-collector state (streams / step merges): the cached factored panel
+/// between the merge and split halves of the non-pipelined construct.
+#[derive(Default)]
+pub struct PanelStore {
+    /// `k → (packed panel rows k·r.., pivots)`.
+    pub cache: HashMap<u32, (Vec<f64>, Vec<u32>)>,
+}
+
+/// FLOP cost of factoring panel `k`.
+fn panel_cost(k: u32, nb: u32, r: u32) -> f64 {
+    let rows = (nb - k) as usize * r as usize;
+    flops::panel_lu(rows, r as usize)
+}
+
+/// Build the step-`k` task for column `j`.
+fn make_task(k: u32, j: u32, nb: u32, r: u32, panel: &[f64], pivots: &[u32]) -> LuTask {
+    let needs_panel = j >= k; // updates and the store-back carry data
+    LuTask {
+        k,
+        j,
+        nb,
+        r,
+        panel: if needs_panel {
+            panel.to_vec().into()
+        } else {
+            Buffer::new()
+        },
+        pivots: pivots.to_vec().into(),
+    }
+}
+
+/// All step-`k` tasks in priority order: the factored panel's store-back
+/// first, then trailing updates (the next panel column leading), then the
+/// cheap row flips.
+fn step_tasks(k: u32, nb: u32, r: u32, panel: &[f64], pivots: &[u32]) -> Vec<LuTask> {
+    let mut out = Vec::with_capacity(nb as usize);
+    out.push(make_task(k, k, nb, r, panel, pivots));
+    for j in k + 1..nb {
+        out.push(make_task(k, j, nb, r, panel, pivots));
+    }
+    for j in 0..k {
+        out.push(make_task(k, j, nb, r, panel, pivots));
+    }
+    out
+}
+
+/// Execute one [`LuTask`] against the local column store; returns
+/// `(flop cost, panel rows for the k+1 notification if this column is the
+/// next panel)`.
+fn run_task(store: &mut ColumnStore, t: &LuTask) -> (f64, Vec<f64>) {
+    let (k, j, nb, r) = (t.k as usize, t.j as usize, t.nb as usize, t.r as usize);
+    let n = nb * r;
+    let col = store
+        .cols
+        .get_mut(&t.j)
+        .expect("task routed to the column owner");
+    let mut cost;
+    if j == k {
+        // Store-back: the collector factored this panel remotely. An empty
+        // panel is the entry split's self-acknowledgement (it factored
+        // locally); only the pivot record travels then.
+        if !t.panel.is_empty() {
+            let panel_rows = n - k * r;
+            let panel = Matrix::from_vec(panel_rows, r, t.panel.to_vec());
+            col.set_block(k * r, 0, &panel);
+        }
+        store.pivots.insert(t.k, t.pivots.to_vec());
+        return (t.panel.len() as f64, Vec::new());
+    }
+    // Row flips of this step's pivoting (offset k·r).
+    for (idx, &p) in t.pivots.iter().enumerate() {
+        col.swap_rows(k * r + idx, k * r + p as usize);
+    }
+    cost = (t.pivots.len() * r) as f64;
+    if j > k {
+        let panel_rows = n - k * r;
+        let panel = Matrix::from_vec(panel_rows, r, t.panel.to_vec());
+        // trsm: U_kj = L11⁻¹ · A_kj.
+        let l11 = panel.block(0, 0, r, r);
+        let mut u_kj = col.block(k * r, 0, r, r);
+        trsm_lower_unit(&l11, &mut u_kj);
+        col.set_block(k * r, 0, &u_kj);
+        cost += flops::trsm(r, r);
+        // Trailing update of this column: A_ij -= L21 · U_kj.
+        let below = panel_rows - r;
+        if below > 0 {
+            let l21 = panel.block(r, 0, below, r);
+            let mut tail = col.block((k + 1) * r, 0, below, r);
+            gemm(-1.0, &l21, &u_kj, 1.0, &mut tail);
+            col.set_block((k + 1) * r, 0, &tail);
+            cost += flops::gemm(below, r, r);
+        }
+    }
+    // If this column becomes the next panel, ship its updated rows with the
+    // notification (zero network cost: the collector sits on this node).
+    let next_panel = if j == k + 1 {
+        col.block((k + 1) * r, 0, n - (k + 1) * r, r).into_vec()
+    } else {
+        Vec::new()
+    };
+    (cost, next_panel)
+}
+
+// --- operations ---------------------------------------------------------------
+
+/// Entry split (Fig. 12 a): factor panel 0 locally, broadcast step-0 tasks.
+struct StartSplit;
+impl SplitOperation for StartSplit {
+    type Thread = ColumnStore;
+    type In = LuStart;
+    type Out = LuTask;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, ColumnStore, LuTask>, s: LuStart) {
+        let (nb, r) = (s.nb, s.r);
+        ctx.charge_flops(panel_cost(0, nb, r));
+        let n = (nb * r) as usize;
+        let store = ctx.thread();
+        let col = store.cols.get_mut(&0).expect("column 0 is local");
+        let mut panel = col.block(0, 0, n, r as usize);
+        let piv: Vec<u32> = panel_lu(&mut panel).into_iter().map(|p| p as u32).collect();
+        col.set_block(0, 0, &panel);
+        store.pivots.insert(0, piv.clone());
+        let packed = panel.into_vec();
+        // Self-acknowledgement first: every column — including this one —
+        // must emit a step-0 notification, because all later tasks for a
+        // column are posted in response to its previous notification.
+        ctx.post(LuTask {
+            k: 0,
+            j: 0,
+            nb,
+            r,
+            panel: Buffer::new(),
+            pivots: piv.clone().into(),
+        });
+        for j in 1..nb {
+            ctx.post(make_task(0, j, nb, r, &packed, &piv));
+        }
+    }
+}
+
+/// Per-column worker (Fig. 12 b/d/f).
+struct ColumnWork;
+impl LeafOperation for ColumnWork {
+    type Thread = ColumnStore;
+    type In = LuTask;
+    type Out = LuNotify;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, ColumnStore, LuNotify>, t: LuTask) {
+        let (cost, panel) = run_task(ctx.thread(), &t);
+        ctx.charge_flops(cost);
+        ctx.post(LuNotify {
+            k: t.k,
+            j: t.j,
+            r: t.r,
+            panel: panel.into(),
+        });
+    }
+}
+
+/// Pipelined step collector (Fig. 12 e): a stream operation in the separate
+/// collector collection on the next panel owner's node. Factors the next
+/// panel the moment that column reports; streams each step-`k+1` task out
+/// as its column reports step `k` done.
+struct StepStream {
+    k: u32,
+    nb: u32,
+    r: u32,
+    panel: Option<(Vec<f64>, Vec<u32>)>,
+    waiting: Vec<u32>,
+}
+
+impl StepStream {
+    fn new(k: u32, nb: u32, r: u32) -> impl Fn() -> Self {
+        move || Self {
+            k,
+            nb,
+            r,
+            panel: None,
+            waiting: Vec::new(),
+        }
+    }
+
+    fn post_task(&self, ctx: &mut OpCtx<'_, PanelStore, LuTask>, j: u32) {
+        let (panel, pivots) = self.panel.as_ref().expect("panel factored");
+        ctx.post(make_task(self.k + 1, j, self.nb, self.r, panel, pivots));
+    }
+}
+
+impl StreamOperation for StepStream {
+    type Thread = PanelStore;
+    type In = LuNotify;
+    type Out = LuTask;
+    fn consume(&mut self, ctx: &mut OpCtx<'_, PanelStore, LuTask>, n: LuNotify) {
+        debug_assert_eq!(n.k, self.k);
+        let next = self.k + 1;
+        if n.j == next {
+            // The next panel column is up to date: factor it *now* on this
+            // node's second processor, without waiting for the rest of the
+            // step (the pipelining of Fig. 13).
+            ctx.charge_flops(panel_cost(next, self.nb, self.r));
+            let rows = (self.nb - next) as usize * self.r as usize;
+            let mut panel = Matrix::from_vec(rows, self.r as usize, n.panel.into_vec());
+            let piv: Vec<u32> = panel_lu(&mut panel).into_iter().map(|p| p as u32).collect();
+            self.panel = Some((panel.into_vec(), piv));
+            // Send the factors home first, then release whoever already
+            // reported (updates lead, flips trail).
+            self.post_task(ctx, next);
+            let mut waiting = std::mem::take(&mut self.waiting);
+            waiting.sort_by_key(|&j| (j <= next, j));
+            for j in waiting {
+                self.post_task(ctx, j);
+            }
+        } else if self.panel.is_some() {
+            self.post_task(ctx, n.j);
+        } else {
+            self.waiting.push(n.j);
+        }
+    }
+    fn finalize(&mut self, _ctx: &mut OpCtx<'_, PanelStore, LuTask>) {
+        debug_assert!(self.waiting.is_empty(), "all tasks posted on the fly");
+    }
+}
+
+/// Non-pipelined step collector: a *merge* (wait for the whole step), whose
+/// finalize factors the next panel; the split half rebroadcasts — the
+/// paper's "standard merge-split construct".
+struct StepMerge {
+    k: u32,
+    nb: u32,
+    r: u32,
+    panel_data: Vec<f64>,
+}
+impl StepMerge {
+    fn new(k: u32, nb: u32, r: u32) -> impl Fn() -> Self {
+        move || Self {
+            k,
+            nb,
+            r,
+            panel_data: Vec::new(),
+        }
+    }
+}
+impl MergeOperation for StepMerge {
+    type Thread = PanelStore;
+    type In = LuNotify;
+    type Out = LuStart;
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, PanelStore, LuStart>, n: LuNotify) {
+        if n.j == self.k + 1 {
+            self.panel_data = n.panel.into_vec();
+        }
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, PanelStore, LuStart>) {
+        let next = self.k + 1;
+        ctx.charge_flops(panel_cost(next, self.nb, self.r));
+        let rows = (self.nb - next) as usize * self.r as usize;
+        let mut panel = Matrix::from_vec(
+            rows,
+            self.r as usize,
+            std::mem::take(&mut self.panel_data),
+        );
+        let piv: Vec<u32> = panel_lu(&mut panel).into_iter().map(|p| p as u32).collect();
+        ctx.thread().cache.insert(next, (panel.into_vec(), piv));
+        ctx.post(LuStart {
+            nb: self.nb,
+            r: self.r,
+        });
+    }
+}
+
+/// Non-pipelined rebroadcast split (reads the panel its merge cached in the
+/// collector thread's store).
+struct StepSplit {
+    k: u32,
+}
+impl StepSplit {
+    fn new(k: u32) -> impl Fn() -> Self {
+        move || Self { k }
+    }
+}
+impl SplitOperation for StepSplit {
+    type Thread = PanelStore;
+    type In = LuStart;
+    type Out = LuTask;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, PanelStore, LuTask>, s: LuStart) {
+        let (panel, pivots) = ctx
+            .thread()
+            .cache
+            .remove(&self.k)
+            .expect("merge finalize cached the panel");
+        for t in step_tasks(self.k, s.nb, s.r, &panel, &pivots) {
+            ctx.post(t);
+        }
+    }
+}
+
+/// Final merge (Fig. 12 g): collect the last step's notifications.
+#[derive(Default)]
+struct FinishMerge {
+    nb: u32,
+}
+impl MergeOperation for FinishMerge {
+    type Thread = PanelStore;
+    type In = LuNotify;
+    type Out = LuFinished;
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, PanelStore, LuFinished>, n: LuNotify) {
+        self.nb = self.nb.max(n.k + 1);
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, PanelStore, LuFinished>) {
+        ctx.post(LuFinished { nb: self.nb });
+    }
+}
+
+// --- driver ---------------------------------------------------------------------
+
+/// Parameters of one LU run.
+#[derive(Debug, Clone)]
+pub struct LuConfig {
+    /// Matrix order `n` (must be a multiple of `r`).
+    pub n: usize,
+    /// Block size `r`.
+    pub r: usize,
+    /// Stream-pipelined schedule (true) or merge-split baseline (false).
+    pub pipelined: bool,
+    /// Matrix seed.
+    pub seed: u64,
+    /// Worker nodes.
+    pub nodes: usize,
+    /// Worker threads per node (the collector collection always adds one
+    /// more thread per node — the paper's separate collection, Fig. 14).
+    pub threads_per_node: usize,
+}
+
+/// Outcome of one LU run.
+pub struct LuRunReport {
+    /// Virtual execution time.
+    pub elapsed: SimSpan,
+    /// Assembled packed factors + global pivot record.
+    pub factors: LuFactors,
+    /// Payload bytes that crossed node boundaries.
+    pub wire_bytes: u64,
+}
+
+/// Run one block LU factorization of `Matrix::random_general(n, n, seed)` on the
+/// simulated cluster with the chosen schedule; verify with
+/// [`lu_residual`](crate::lu_residual) on the report.
+pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Result<LuRunReport> {
+    assert!(cfg.n % cfg.r == 0, "r must divide n");
+    let nb = (cfg.n / cfg.r) as u32;
+    assert!(nb >= 2, "need at least two block columns");
+    let r = cfg.r as u32;
+
+    let mut eng = SimEngine::with_config(spec, ecfg);
+    let app = eng.app("lu");
+    eng.preload_app(app); // steady-state measurement, as in the paper
+    let node_names: Vec<String> = (0..cfg.nodes).map(|i| format!("node{i}")).collect();
+    let worker_map: Vec<String> = node_names
+        .iter()
+        .map(|n| {
+            if cfg.threads_per_node == 1 {
+                n.clone()
+            } else {
+                format!("{n}*{}", cfg.threads_per_node)
+            }
+        })
+        .collect();
+    let workers: ThreadCollection<ColumnStore> =
+        eng.thread_collection(app, "cols", &worker_map.join(" "))?;
+    // The collectors (streams / step merges) live in their own collection,
+    // one thread per node, co-located with the column owners so the panel
+    // hand-over is an address-space pointer pass.
+    let collectors: ThreadCollection<PanelStore> =
+        eng.thread_collection(app, "collect", &node_names.join(" "))?;
+    let p = workers.thread_count();
+    let pc = collectors.thread_count();
+    // Collector thread for step k: the node hosting worker (k % p).
+    let collector_of = move |k: u32| (k as usize % p) % pc;
+
+    // Build the dynamic graph to fit the problem size (paper: "the graph is
+    // created to fit the size of the problem").
+    let mut b = GraphBuilder::new(if cfg.pipelined {
+        "lu-pipelined"
+    } else {
+        "lu-merge-split"
+    });
+    let entry = b.split(
+        &workers,
+        || ByKey::new(|_t: &LuStart| 0usize),
+        || StartSplit,
+    );
+    let owner_route = || ByKey::new(|t: &LuTask| t.j as usize);
+    let mut prev = {
+        let w0 = b.leaf(&workers, owner_route, || ColumnWork);
+        b.add(entry >> w0);
+        w0
+    };
+    for k in 0..nb - 1 {
+        let target = collector_of(k + 1);
+        if cfg.pipelined {
+            let t = b.stream(
+                &collectors,
+                move || ByKey::new(move |_n: &LuNotify| target),
+                StepStream::new(k, nb, r),
+            );
+            let w = b.leaf(&workers, owner_route, || ColumnWork);
+            b.add(prev >> t >> w);
+            prev = w;
+        } else {
+            let m = b.merge(
+                &collectors,
+                move || ByKey::new(move |_n: &LuNotify| target),
+                StepMerge::new(k, nb, r),
+            );
+            let sp = b.split(
+                &collectors,
+                move || ByKey::new(move |_s: &LuStart| target),
+                StepSplit::new(k + 1),
+            );
+            let w = b.leaf(&workers, owner_route, || ColumnWork);
+            b.add(prev >> m >> sp >> w);
+            prev = w;
+        }
+    }
+    let m = b.merge(
+        &collectors,
+        || ByKey::new(|_n: &LuNotify| 0usize),
+        FinishMerge::default,
+    );
+    b.add(prev >> m);
+    let graph: GraphHandle = eng.build_graph(b)?;
+
+    // Distribute the matrix column-blocks to their owners. A general (non
+    // diagonally-dominant) matrix keeps the partial pivoting honest.
+    let a = Matrix::random_general(cfg.n, cfg.n, cfg.seed);
+    for j in 0..nb {
+        let owner = (j as usize) % p;
+        let col = a.block(0, j as usize * cfg.r, cfg.n, cfg.r);
+        eng.thread_data_mut(&workers, owner).cols.insert(j, col);
+    }
+
+    let t0 = eng.now();
+    eng.inject(graph, LuStart { nb, r })?;
+    eng.run_until_idle()?;
+    let elapsed = eng.now().since(t0);
+    let outs = eng.take_outputs(graph);
+    assert_eq!(outs.len(), 1, "one LuFinished per run");
+
+    // Gather the factored columns and pivot records back from the workers.
+    let mut lu = Matrix::zeros(cfg.n, cfg.n);
+    let mut pivots = vec![0usize; cfg.n];
+    for j in 0..nb {
+        let owner = (j as usize) % p;
+        let store = eng.thread_data_mut(&workers, owner);
+        let col = store.cols.remove(&j).expect("column still stored");
+        lu.set_block(0, j as usize * cfg.r, &col);
+        let piv = store
+            .pivots
+            .get(&j)
+            .unwrap_or_else(|| panic!("pivot record for step {j} missing"));
+        for (t, &pv) in piv.iter().enumerate() {
+            pivots[j as usize * cfg.r + t] = j as usize * cfg.r + pv as usize;
+        }
+    }
+    Ok(LuRunReport {
+        elapsed,
+        factors: LuFactors { lu, pivots },
+        wire_bytes: eng.cluster().net.wire_bytes_total(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::{blocked_lu, lu_residual};
+
+    fn check(cfg: &LuConfig) -> LuRunReport {
+        let spec = ClusterSpec::paper_testbed(cfg.nodes);
+        let rep = run_lu_sim(spec, cfg, EngineConfig::default()).unwrap();
+        let a = Matrix::random_general(cfg.n, cfg.n, cfg.seed);
+        let res = lu_residual(&a, &rep.factors);
+        assert!(res < 1e-8, "residual {res}");
+        // The parallel schedule must compute the *same* factorization as
+        // the sequential block driver (identical pivoting path).
+        let reference = blocked_lu(&a, cfg.r);
+        assert_eq!(rep.factors.pivots, reference.pivots);
+        rep
+    }
+
+    #[test]
+    fn pipelined_lu_is_correct() {
+        check(&LuConfig {
+            n: 48,
+            r: 8,
+            pipelined: true,
+            seed: 21,
+            nodes: 3,
+            threads_per_node: 1,
+        });
+    }
+
+    #[test]
+    fn merge_split_lu_is_correct() {
+        check(&LuConfig {
+            n: 48,
+            r: 8,
+            pipelined: false,
+            seed: 21,
+            nodes: 3,
+            threads_per_node: 1,
+        });
+    }
+
+    #[test]
+    fn lu_on_more_workers_than_columns() {
+        check(&LuConfig {
+            n: 16,
+            r: 8,
+            pipelined: true,
+            seed: 2,
+            nodes: 4,
+            threads_per_node: 2,
+        });
+    }
+
+    #[test]
+    fn pivoting_actually_pivots() {
+        // Regression guard: the final step's row flips must reach previous
+        // columns. A non-dominant matrix exercises non-trivial pivots.
+        let cfg = LuConfig {
+            n: 40,
+            r: 8,
+            pipelined: true,
+            seed: 5,
+            nodes: 2,
+            threads_per_node: 1,
+        };
+        let rep = check(&cfg);
+        let nontrivial = rep
+            .factors
+            .pivots
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| p != i)
+            .count();
+        assert!(nontrivial > 0, "test matrix should force row swaps");
+    }
+
+    fn timed(spec: ClusterSpec, cfg: &LuConfig) -> SimSpan {
+        let rep = run_lu_sim(spec, cfg, EngineConfig::default()).unwrap();
+        let a = Matrix::random_general(cfg.n, cfg.n, cfg.seed);
+        assert!(lu_residual(&a, &rep.factors) < 1e-8);
+        rep.elapsed
+    }
+
+    #[test]
+    fn streams_beat_merge_split() {
+        // Fig. 15's claim: the stream-pipelined variant outperforms the
+        // merge-split variant.
+        let mk = |pipelined| LuConfig {
+            n: 192,
+            r: 16,
+            pipelined,
+            seed: 7,
+            nodes: 4,
+            threads_per_node: 1,
+        };
+        let spec = ClusterSpec::paper_testbed(4);
+        let t_pipe = timed(spec.clone(), &mk(true));
+        let t_merge = timed(spec, &mk(false));
+        assert!(
+            t_pipe < t_merge,
+            "pipelined {t_pipe} should beat merge-split {t_merge}"
+        );
+    }
+
+    #[test]
+    fn lu_speedup_with_more_nodes() {
+        let mk = |nodes| LuConfig {
+            n: 256,
+            r: 32,
+            pipelined: true,
+            seed: 9,
+            nodes,
+            threads_per_node: 1,
+        };
+        let t1 = timed(ClusterSpec::paper_testbed(1), &mk(1));
+        let t4 = timed(ClusterSpec::paper_testbed(4), &mk(4));
+        assert!(
+            t4.as_secs_f64() < t1.as_secs_f64() * 0.7,
+            "4 nodes ({t4}) should be well under 1 node ({t1})"
+        );
+    }
+}

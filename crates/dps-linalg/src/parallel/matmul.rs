@@ -1,0 +1,522 @@
+//! Block matrix multiplication under DPS — the Table 1 experiment.
+//!
+//! The paper: "we run a program multiplying two square n × n matrices by
+//! performing block-based matrix multiplications. Assuming that the n × n
+//! matrix is split into s blocks horizontally and vertically, the amount of
+//! communication is proportional to n²·(2s+1), whereas computation is
+//! proportional to n³."
+//!
+//! One task exists per result block `C_ij` and carries its `s` operand-block
+//! pairs (`2s·(n/s)²` values), reproducing exactly the paper's
+//! communication count. Two schedules are provided:
+//!
+//! * **Pipelined** (plain DPS): `split → multiply → merge`; the runtime
+//!   overlaps block transfers with block products automatically.
+//! * **Phased** (the no-overlap baseline): a first split/merge construct
+//!   distributes every operand block into worker thread storage and
+//!   synchronizes; a second split/merge construct issues tiny compute
+//!   orders. Communication and computation thus cannot overlap, which is
+//!   what Table 1's "reduction in execution time" is measured against.
+
+use dps_cluster::ClusterSpec;
+use dps_core::prelude::*;
+use dps_core::{dps_token, GraphHandle};
+use dps_des::SimSpan;
+use dps_serial::Buffer;
+use std::collections::HashMap;
+
+use crate::flops;
+use crate::matrix::Matrix;
+
+dps_token! {
+    /// Kick-off order for one multiplication.
+    pub struct MulOrder { pub n: u32, pub s: u32 }
+}
+
+dps_token! {
+    /// One result-block task: all operand blocks needed for `C_ij`.
+    pub struct BlockTask {
+        pub i: u32,
+        pub j: u32,
+        pub bs: u32,
+        /// `s` blocks of row `i` of A, concatenated row-major.
+        pub a: Buffer<f64>,
+        /// `s` blocks of column `j` of B, concatenated row-major.
+        pub b: Buffer<f64>,
+    }
+}
+
+dps_token! {
+    /// A computed result block.
+    pub struct BlockResult { pub i: u32, pub j: u32, pub bs: u32, pub c: Buffer<f64> }
+}
+
+dps_token! {
+    /// Distribution of one operand block pair into worker storage (phased
+    /// schedule only).
+    pub struct StoreTask {
+        pub i: u32,
+        pub j: u32,
+        pub bs: u32,
+        pub a: Buffer<f64>,
+        pub b: Buffer<f64>,
+    }
+}
+
+dps_token! {
+    /// Acknowledgement that a store task landed.
+    pub struct StoreDone { pub i: u32, pub j: u32 }
+}
+
+dps_token! {
+    /// Barrier token between the distribution and compute phases.
+    pub struct PhaseDone { pub n: u32, pub s: u32 }
+}
+
+dps_token! {
+    /// Tiny compute order of the phased schedule: operands already local.
+    pub struct ComputeOrder { pub i: u32, pub j: u32, pub bs: u32 }
+}
+
+dps_token! {
+    /// The assembled product (carried to the graph exit for verification).
+    pub struct MulDone { pub n: u32, pub c: Buffer<f64> }
+}
+
+/// Master thread state: the operand matrices.
+#[derive(Default)]
+pub struct MasterState {
+    /// Left operand.
+    pub a: Matrix,
+    /// Right operand.
+    pub b: Matrix,
+}
+
+/// Worker thread state for the phased schedule: stored operand blocks,
+/// keyed by result-block index.
+#[derive(Default)]
+pub struct WorkerStore {
+    blocks: HashMap<(u32, u32), (Vec<f64>, Vec<f64>)>,
+}
+
+fn pack_row_blocks(m: &Matrix, i: usize, bs: usize, s: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(s * bs * bs);
+    for k in 0..s {
+        out.extend_from_slice(m.block(i * bs, k * bs, bs, bs).as_slice());
+    }
+    out
+}
+
+fn pack_col_blocks(m: &Matrix, j: usize, bs: usize, s: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(s * bs * bs);
+    for k in 0..s {
+        out.extend_from_slice(m.block(k * bs, j * bs, bs, bs).as_slice());
+    }
+    out
+}
+
+/// `C_ij = Σ_k A_ik · B_kj` over packed operand buffers.
+fn multiply_packed(a: &[f64], b: &[f64], bs: usize) -> Vec<f64> {
+    let s = a.len() / (bs * bs);
+    let mut c = Matrix::zeros(bs, bs);
+    for k in 0..s {
+        let ak = Matrix::from_vec(bs, bs, a[k * bs * bs..(k + 1) * bs * bs].to_vec());
+        let bk = Matrix::from_vec(bs, bs, b[k * bs * bs..(k + 1) * bs * bs].to_vec());
+        crate::matrix::gemm(1.0, &ak, &bk, 1.0, &mut c);
+    }
+    c.into_vec()
+}
+
+// --- pipelined schedule -----------------------------------------------------
+
+struct SplitTasks;
+impl SplitOperation for SplitTasks {
+    type Thread = MasterState;
+    type In = MulOrder;
+    type Out = BlockTask;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, MasterState, BlockTask>, o: MulOrder) {
+        let (n, s) = (o.n as usize, o.s as usize);
+        let bs = n / s;
+        // Snapshot operands (the master thread owns them).
+        let (a, b) = {
+            let st = ctx.thread();
+            (st.a.clone(), st.b.clone())
+        };
+        for i in 0..s {
+            for j in 0..s {
+                // Packing cost: one pass over the task's operand bytes.
+                ctx.charge_flops((2 * s * bs * bs) as f64);
+                ctx.post(BlockTask {
+                    i: i as u32,
+                    j: j as u32,
+                    bs: bs as u32,
+                    a: pack_row_blocks(&a, i, bs, s).into(),
+                    b: pack_col_blocks(&b, j, bs, s).into(),
+                });
+            }
+        }
+    }
+}
+
+struct MultiplyBlock;
+impl LeafOperation for MultiplyBlock {
+    type Thread = ();
+    type In = BlockTask;
+    type Out = BlockResult;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), BlockResult>, t: BlockTask) {
+        let bs = t.bs as usize;
+        let s = t.a.len() / (bs * bs);
+        ctx.charge_flops((0..s).map(|_| flops::gemm(bs, bs, bs)).sum());
+        let c = multiply_packed(t.a.as_slice(), t.b.as_slice(), bs);
+        ctx.post(BlockResult {
+            i: t.i,
+            j: t.j,
+            bs: t.bs,
+            c: c.into(),
+        });
+    }
+}
+
+#[derive(Default)]
+struct AssembleC {
+    n: usize,
+    c: Option<Matrix>,
+}
+impl MergeOperation for AssembleC {
+    type Thread = MasterState;
+    type In = BlockResult;
+    type Out = MulDone;
+    fn consume(&mut self, ctx: &mut OpCtx<'_, MasterState, MulDone>, r: BlockResult) {
+        if self.c.is_none() {
+            self.n = ctx.thread().a.rows();
+            self.c = Some(Matrix::zeros(self.n, self.n));
+        }
+        let bs = r.bs as usize;
+        let block = Matrix::from_vec(bs, bs, r.c.into_vec());
+        self.c
+            .as_mut()
+            .expect("initialized above")
+            .set_block(r.i as usize * bs, r.j as usize * bs, &block);
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, MasterState, MulDone>) {
+        let c = self.c.take().expect("at least one block");
+        ctx.post(MulDone {
+            n: self.n as u32,
+            c: c.into_vec().into(),
+        });
+    }
+}
+
+// --- phased (no-overlap) schedule --------------------------------------------
+
+struct SplitStores;
+impl SplitOperation for SplitStores {
+    type Thread = MasterState;
+    type In = MulOrder;
+    type Out = StoreTask;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, MasterState, StoreTask>, o: MulOrder) {
+        let (n, s) = (o.n as usize, o.s as usize);
+        let bs = n / s;
+        let (a, b) = {
+            let st = ctx.thread();
+            (st.a.clone(), st.b.clone())
+        };
+        for i in 0..s {
+            for j in 0..s {
+                ctx.charge_flops((2 * s * bs * bs) as f64);
+                ctx.post(StoreTask {
+                    i: i as u32,
+                    j: j as u32,
+                    bs: bs as u32,
+                    a: pack_row_blocks(&a, i, bs, s).into(),
+                    b: pack_col_blocks(&b, j, bs, s).into(),
+                });
+            }
+        }
+    }
+}
+
+struct StoreBlocks;
+impl LeafOperation for StoreBlocks {
+    type Thread = WorkerStore;
+    type In = StoreTask;
+    type Out = StoreDone;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, WorkerStore, StoreDone>, t: StoreTask) {
+        ctx.thread()
+            .blocks
+            .insert((t.i, t.j), (t.a.into_vec(), t.b.into_vec()));
+        ctx.post(StoreDone { i: t.i, j: t.j });
+    }
+}
+
+/// Barrier: all stores landed; release the compute phase.
+#[derive(Default)]
+struct StoreBarrier {
+    shape: Option<(u32, u32)>,
+}
+impl MergeOperation for StoreBarrier {
+    type Thread = MasterState;
+    type In = StoreDone;
+    type Out = PhaseDone;
+    fn consume(&mut self, ctx: &mut OpCtx<'_, MasterState, PhaseDone>, _t: StoreDone) {
+        if self.shape.is_none() {
+            let n = ctx.thread().a.rows() as u32;
+            self.shape = Some((n, 0));
+        }
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, MasterState, PhaseDone>) {
+        let (n, _) = self.shape.expect("consumed at least one store ack");
+        ctx.post(PhaseDone { n, s: 0 });
+    }
+}
+
+/// Second-phase split: compute orders (`s` is recovered from the stored
+/// task count, carried via the split's own config).
+struct SplitOrders {
+    s: u32,
+    bs: u32,
+}
+impl SplitOperation for SplitOrders {
+    type Thread = MasterState;
+    type In = PhaseDone;
+    type Out = ComputeOrder;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, MasterState, ComputeOrder>, _p: PhaseDone) {
+        for i in 0..self.s {
+            for j in 0..self.s {
+                ctx.post(ComputeOrder {
+                    i,
+                    j,
+                    bs: self.bs,
+                });
+            }
+        }
+    }
+}
+
+struct ComputeStored;
+impl LeafOperation for ComputeStored {
+    type Thread = WorkerStore;
+    type In = ComputeOrder;
+    type Out = BlockResult;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, WorkerStore, BlockResult>, o: ComputeOrder) {
+        let bs = o.bs as usize;
+        let (a, b) = ctx
+            .thread()
+            .blocks
+            .remove(&(o.i, o.j))
+            .expect("store phase completed before compute phase");
+        let s = a.len() / (bs * bs);
+        ctx.charge_flops((0..s).map(|_| flops::gemm(bs, bs, bs)).sum());
+        let c = multiply_packed(&a, &b, bs);
+        ctx.post(BlockResult {
+            i: o.i,
+            j: o.j,
+            bs: o.bs,
+            c: c.into(),
+        });
+    }
+}
+
+// --- driver -------------------------------------------------------------------
+
+/// Parameters of one matmul run.
+#[derive(Debug, Clone)]
+pub struct MatMulConfig {
+    /// Matrix order `n`.
+    pub n: usize,
+    /// Split factor `s` (block size is `n / s`).
+    pub s: usize,
+    /// Pipelined schedule (true) or phased no-overlap baseline (false).
+    pub pipelined: bool,
+    /// Seed for the operand matrices.
+    pub seed: u64,
+    /// Worker nodes to use.
+    pub nodes: usize,
+    /// Worker threads per node (the paper's machines are bi-processor).
+    pub threads_per_node: usize,
+}
+
+/// Outcome of one matmul run.
+pub struct MatMulRunReport {
+    /// Virtual execution time.
+    pub elapsed: SimSpan,
+    /// The computed product.
+    pub c: Matrix,
+    /// Payload bytes that crossed node boundaries.
+    pub wire_bytes: u64,
+}
+
+fn route_by_block() -> ByKey<BlockTask, fn(&BlockTask) -> usize> {
+    ByKey::new(|t: &BlockTask| (t.i + t.j) as usize)
+}
+
+/// Build the chosen schedule and run one `n × n` multiplication on the
+/// simulated cluster, returning timing and the verified product.
+pub fn run_matmul_sim(
+    spec: ClusterSpec,
+    cfg: &MatMulConfig,
+    ecfg: EngineConfig,
+) -> Result<MatMulRunReport> {
+    assert!(cfg.n % cfg.s == 0, "s must divide n");
+    let mut eng = SimEngine::with_config(spec, ecfg);
+    let app = eng.app("matmul");
+    eng.preload_app(app); // steady-state measurement, as in the paper
+    let master: ThreadCollection<MasterState> = eng.thread_collection(app, "master", "node0")?;
+    // Workers occupy the *last* cfg.nodes nodes: when the cluster has one
+    // node more than cfg.nodes, the master machine is separate from the
+    // compute nodes (the paper's Table 1 set-up, where even the one-node
+    // configuration communicates over the network).
+    let total = eng.cluster().spec().len();
+    assert!(cfg.nodes <= total, "cluster too small");
+    let first = total - cfg.nodes;
+    let mapping: String = (first..total)
+        .map(|i| {
+            if cfg.threads_per_node == 1 {
+                format!("node{i}")
+            } else {
+                format!("node{i}*{}", cfg.threads_per_node)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    let graph: GraphHandle = if cfg.pipelined {
+        let workers: ThreadCollection<()> = eng.thread_collection(app, "proc", &mapping)?;
+        let mut b = GraphBuilder::new("matmul-pipelined");
+        let split = b.split(&master, || ToThread(0), || SplitTasks);
+        let mul = b.leaf(&workers, route_by_block, || MultiplyBlock);
+        let merge = b.merge(&master, || ToThread(0), AssembleC::default);
+        b.add(split >> mul >> merge);
+        eng.build_graph(b)?
+    } else {
+        let workers: ThreadCollection<WorkerStore> = eng.thread_collection(app, "proc", &mapping)?;
+        let (s, bs) = (cfg.s as u32, (cfg.n / cfg.s) as u32);
+        let mut b = GraphBuilder::new("matmul-phased");
+        let split1 = b.split(&master, || ToThread(0), || SplitStores);
+        let store = b.leaf(
+            &workers,
+            || ByKey::new(|t: &StoreTask| (t.i + t.j) as usize),
+            || StoreBlocks,
+        );
+        let barrier = b.merge(&master, || ToThread(0), StoreBarrier::default);
+        let split2 = b.split(&master, || ToThread(0), move || SplitOrders { s, bs });
+        let compute = b.leaf(
+            &workers,
+            || ByKey::new(|t: &ComputeOrder| (t.i + t.j) as usize),
+            || ComputeStored,
+        );
+        let merge = b.merge(&master, || ToThread(0), AssembleC::default);
+        b.add(split1 >> store >> barrier >> split2 >> compute >> merge);
+        eng.build_graph(b)?
+    };
+
+    // Load the operands into the master thread.
+    {
+        let st = eng.thread_data_mut(&master, 0);
+        st.a = Matrix::random(cfg.n, cfg.n, cfg.seed);
+        st.b = Matrix::random(cfg.n, cfg.n, cfg.seed.wrapping_add(1));
+    }
+
+    let t0 = eng.now();
+    eng.inject(
+        graph,
+        MulOrder {
+            n: cfg.n as u32,
+            s: cfg.s as u32,
+        },
+    )?;
+    eng.run_until_idle()?;
+    let elapsed = eng.now().since(t0);
+    let mut outs = eng.take_outputs(graph);
+    assert_eq!(outs.len(), 1, "one MulDone per order");
+    let done = downcast::<MulDone>(outs.pop().expect("one output").1)
+        .expect("output token type is MulDone");
+    let c = Matrix::from_vec(cfg.n, cfg.n, done.c.into_vec());
+    Ok(MatMulRunReport {
+        elapsed,
+        c,
+        wire_bytes: eng.cluster().net.wire_bytes_total(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(n: usize, seed: u64) -> Matrix {
+        let a = Matrix::random(n, n, seed);
+        let b = Matrix::random(n, n, seed.wrapping_add(1));
+        a.matmul(&b)
+    }
+
+    fn check(cfg: &MatMulConfig) -> MatMulRunReport {
+        let spec = ClusterSpec::paper_testbed(cfg.nodes);
+        let rep = run_matmul_sim(spec, cfg, EngineConfig::default()).unwrap();
+        let reference = reference(cfg.n, cfg.seed);
+        let mut diff = rep.c.clone();
+        diff.sub_assign(&reference);
+        assert!(diff.max_abs() < 1e-9, "wrong product: {}", diff.max_abs());
+        rep
+    }
+
+    #[test]
+    fn pipelined_matmul_is_correct() {
+        check(&MatMulConfig {
+            n: 64,
+            s: 4,
+            pipelined: true,
+            seed: 11,
+            nodes: 3,
+            threads_per_node: 2,
+        });
+    }
+
+    #[test]
+    fn phased_matmul_is_correct() {
+        check(&MatMulConfig {
+            n: 64,
+            s: 4,
+            pipelined: false,
+            seed: 11,
+            nodes: 3,
+            threads_per_node: 2,
+        });
+    }
+
+    #[test]
+    fn pipelining_reduces_execution_time() {
+        // The Table 1 effect: with comparable communication and computation
+        // volumes, the pipelined schedule must be faster.
+        let mk = |pipelined| MatMulConfig {
+            n: 128,
+            s: 8,
+            pipelined,
+            seed: 3,
+            nodes: 4,
+            threads_per_node: 2,
+        };
+        let spec = ClusterSpec::paper_testbed(4);
+        let t_pipe = run_matmul_sim(spec.clone(), &mk(true), EngineConfig::default())
+            .unwrap()
+            .elapsed;
+        let t_phased = run_matmul_sim(spec, &mk(false), EngineConfig::default())
+            .unwrap()
+            .elapsed;
+        assert!(
+            t_pipe < t_phased,
+            "pipelined {t_pipe} should beat phased {t_phased}"
+        );
+    }
+
+    #[test]
+    fn single_node_single_thread_works() {
+        check(&MatMulConfig {
+            n: 32,
+            s: 2,
+            pipelined: true,
+            seed: 5,
+            nodes: 1,
+            threads_per_node: 1,
+        });
+    }
+}

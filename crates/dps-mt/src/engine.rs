@@ -1,0 +1,352 @@
+//! Engine lifecycle: declaration phase, thread spawning, run driving.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dps_cluster::{resolve_mapping, ClusterSpec};
+use dps_core::{
+    downcast, register_token, DpsError, GraphBuilder, Result, ThreadData, Token, TokenBox,
+    TokenRegistry,
+};
+use parking_lot::Mutex;
+
+use crate::worker::{worker_loop, Msg, Output, Shared, SharedApp, SharedGraph, SharedTc};
+
+/// Tunables of the threaded engine.
+#[derive(Debug, Clone)]
+pub struct MtConfig {
+    /// Max tokens in flight per split/merge pair (0 = unlimited).
+    pub flow_window: u32,
+    /// Force serialize/deserialize round trips across virtual node
+    /// boundaries (the paper's multi-kernel debugging mode).
+    pub enforce_serialization: bool,
+    /// How long [`MtEngine::run_graph`] waits for outputs before reporting
+    /// a deadlock.
+    pub run_timeout: Duration,
+}
+
+impl Default for MtConfig {
+    fn default() -> Self {
+        Self {
+            flow_window: 8,
+            enforce_serialization: false,
+            run_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Handle to a graph installed in the threaded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MtGraph {
+    pub(crate) app: u32,
+    pub(crate) graph: u32,
+}
+
+struct AppDecl {
+    registry: TokenRegistry,
+    tcs: Vec<TcDecl>,
+    graphs: Vec<dps_core::Flowgraph>,
+}
+
+struct TcDecl {
+    nodes: Vec<u32>,
+    data_factory: Box<dyn Fn() -> Box<dyn std::any::Any + Send> + Send>,
+}
+
+/// The threaded execution engine.
+///
+/// Lifecycle: declare applications, thread collections and graphs; the
+/// worker threads spawn on the first [`run_graph`](Self::run_graph) call;
+/// [`shutdown`](Self::shutdown) joins them.
+pub struct MtEngine {
+    spec: ClusterSpec,
+    cfg: MtConfig,
+    apps: Vec<AppDecl>,
+    services: HashMap<String, (u32, u32)>,
+    shared: Option<Arc<Shared>>,
+    output_rx: Option<Receiver<Output>>,
+    error_rx: Option<Receiver<DpsError>>,
+    out_buf: HashMap<(u32, u32), Vec<TokenBox>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    started_at: Instant,
+}
+
+/// Handle to an application declared in the threaded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MtApp {
+    app: u32,
+}
+
+impl MtEngine {
+    /// Engine with `nodes` virtual nodes (named `node0..`) — each node is a
+    /// distinct address space for the serialization-enforcement mode.
+    pub fn new(nodes: usize) -> Self {
+        Self::with_config(nodes, MtConfig::default())
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(nodes: usize, cfg: MtConfig) -> Self {
+        Self {
+            spec: ClusterSpec::uniform(nodes, 1),
+            cfg,
+            apps: Vec::new(),
+            services: HashMap::new(),
+            shared: None,
+            output_rx: None,
+            error_rx: None,
+            out_buf: HashMap::new(),
+            handles: Vec::new(),
+            started_at: Instant::now(),
+        }
+    }
+
+    /// Declare an application.
+    pub fn app(&mut self, _name: &str) -> MtApp {
+        assert!(self.shared.is_none(), "declare apps before the first run");
+        let app = self.apps.len() as u32;
+        self.apps.push(AppDecl {
+            registry: TokenRegistry::new(),
+            tcs: Vec::new(),
+            graphs: Vec::new(),
+        });
+        MtApp { app }
+    }
+
+    /// Register a token type for deserialization (needed with
+    /// `enforce_serialization`).
+    pub fn register_token<T>(&mut self, app: MtApp)
+    where
+        T: dps_serial::Wire + dps_serial::Identified + Clone + std::fmt::Debug + Send + 'static,
+    {
+        register_token::<T>(&mut self.apps[app.app as usize].registry);
+    }
+
+    /// Create and map a thread collection (`"node0*2 node1"` syntax).
+    pub fn thread_collection<Td: ThreadData>(
+        &mut self,
+        app: MtApp,
+        _name: &str,
+        mapping: &str,
+    ) -> Result<dps_core::ThreadCollection<Td>> {
+        assert!(
+            self.shared.is_none(),
+            "declare collections before the first run"
+        );
+        let nodes: Vec<u32> = resolve_mapping(&self.spec, mapping)?
+            .into_iter()
+            .map(|n| n.0)
+            .collect();
+        let a = &mut self.apps[app.app as usize];
+        let tc = a.tcs.len() as u32;
+        let count = nodes.len();
+        a.tcs.push(TcDecl {
+            nodes,
+            data_factory: Box::new(|| Box::new(Td::default())),
+        });
+        Ok(dps_core::ThreadCollection::from_raw(app.app, tc, count))
+    }
+
+    /// Validate and install a graph.
+    pub fn build_graph(&mut self, builder: GraphBuilder) -> Result<MtGraph> {
+        assert!(self.shared.is_none(), "build graphs before the first run");
+        let (def, app) = builder.assemble_for_engine()?;
+        let a = &mut self.apps[app as usize];
+        let graph = a.graphs.len() as u32;
+        a.graphs.push(def);
+        Ok(MtGraph { app, graph })
+    }
+
+    /// Expose a graph as a named parallel service.
+    pub fn expose_service(&mut self, graph: MtGraph, name: &str) {
+        self.services
+            .insert(name.to_string(), (graph.app, graph.graph));
+    }
+
+    fn ensure_started(&mut self) {
+        if self.shared.is_some() {
+            return;
+        }
+        let (output_tx, output_rx) = unbounded();
+        let (error_tx, error_rx) = unbounded();
+        let mut shared_apps = Vec::with_capacity(self.apps.len());
+        let mut receivers: Vec<Vec<Vec<Receiver<Msg>>>> = Vec::new();
+        for a in &self.apps {
+            let mut tcs = Vec::new();
+            let mut app_rx = Vec::new();
+            for tc in &a.tcs {
+                let mut senders: Vec<Sender<Msg>> = Vec::new();
+                let mut rxs = Vec::new();
+                for _ in 0..tc.nodes.len() {
+                    let (tx, rx) = unbounded();
+                    senders.push(tx);
+                    rxs.push(rx);
+                }
+                tcs.push(SharedTc {
+                    nodes: tc.nodes.clone(),
+                    senders,
+                });
+                app_rx.push(rxs);
+            }
+            let graphs = a
+                .graphs
+                .iter()
+                .map(|def| SharedGraph {
+                    routes: def.nodes().iter().map(|n| Mutex::new(n.make_route())).collect(),
+                    wave_threads: Mutex::new(HashMap::new()),
+                    flows: Mutex::new(HashMap::new()),
+                    pending_closes: Mutex::new(HashMap::new()),
+                })
+                .collect();
+            shared_apps.push(SharedApp { tcs, graphs });
+            receivers.push(app_rx);
+        }
+        // Graph definitions move into the shared state as a parallel vec
+        // (Flowgraph is Sync now that factories are Sync).
+        let defs: Vec<Vec<dps_core::Flowgraph>> = self
+            .apps
+            .iter_mut()
+            .map(|a| std::mem::take(&mut a.graphs))
+            .collect();
+        let registries: Vec<TokenRegistry> = self
+            .apps
+            .iter_mut()
+            .map(|a| std::mem::replace(&mut a.registry, TokenRegistry::new()))
+            .collect();
+        let shared = Arc::new(Shared {
+            flow_window: self.cfg.flow_window,
+            enforce_serialization: self.cfg.enforce_serialization,
+            apps: shared_apps,
+            defs,
+            registries,
+            services: self.services.clone(),
+            wave_counter: AtomicU64::new(0),
+            call_counter: AtomicU64::new(0),
+            pending_calls: Mutex::new(HashMap::new()),
+            output_tx,
+            error_tx,
+        });
+        // Spawn one OS thread per DPS thread.
+        for (app_idx, app_rx) in receivers.into_iter().enumerate() {
+            for (tc_idx, rxs) in app_rx.into_iter().enumerate() {
+                for (th_idx, rx) in rxs.into_iter().enumerate() {
+                    let shared = Arc::clone(&shared);
+                    let data = (self.apps[app_idx].tcs[tc_idx].data_factory)();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("dps-a{app_idx}t{tc_idx}i{th_idx}"))
+                        .spawn(move || {
+                            worker_loop(
+                                shared,
+                                app_idx as u32,
+                                tc_idx as u32,
+                                th_idx as u32,
+                                data,
+                                rx,
+                            )
+                        })
+                        .expect("spawn DPS worker thread");
+                    self.handles.push(handle);
+                }
+            }
+        }
+        self.shared = Some(shared);
+        self.output_rx = Some(output_rx);
+        self.error_rx = Some(error_rx);
+        self.started_at = Instant::now();
+    }
+
+    /// Run a graph: inject `inputs` and wait until `expected_outputs`
+    /// tokens have left the graph, returning them (unordered).
+    pub fn run_graph(
+        &mut self,
+        graph: MtGraph,
+        inputs: Vec<TokenBox>,
+        expected_outputs: usize,
+    ) -> Result<Vec<TokenBox>> {
+        self.ensure_started();
+        let shared = Arc::clone(self.shared.as_ref().expect("started"));
+        for token in inputs {
+            crate::worker::inject(&shared, graph.app, graph.graph, token, 0);
+        }
+        let deadline = Instant::now() + self.cfg.run_timeout;
+        let key = (graph.app, graph.graph);
+        loop {
+            if let Some(outs) = self.out_buf.get_mut(&key) {
+                if outs.len() >= expected_outputs {
+                    let buf = std::mem::take(outs);
+                    return Ok(buf);
+                }
+            }
+            if let Ok(e) = self.error_rx.as_ref().expect("started").try_recv() {
+                return Err(e);
+            }
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .unwrap_or(Duration::ZERO);
+            if remaining.is_zero() {
+                return Err(DpsError::IncompleteWaves {
+                    waves: vec![format!(
+                        "timed out after {:?} waiting for {} outputs ({} received)",
+                        self.cfg.run_timeout,
+                        expected_outputs,
+                        self.out_buf.get(&key).map(Vec::len).unwrap_or(0)
+                    )],
+                });
+            }
+            match self
+                .output_rx
+                .as_ref()
+                .expect("started")
+                .recv_timeout(remaining.min(Duration::from_millis(50)))
+            {
+                Ok(out) => {
+                    self.out_buf
+                        .entry((out.app, out.graph))
+                        .or_default()
+                        .push(out.token);
+                }
+                Err(_) => { /* timeout slice; loop re-checks */ }
+            }
+        }
+    }
+
+    /// Run a graph expecting exactly one output of type `T`.
+    pub fn run_one<T: Token>(&mut self, graph: MtGraph, input: TokenBox) -> Result<Box<T>> {
+        let outs = self.run_graph(graph, vec![input], 1)?;
+        let tok = outs.into_iter().next().expect("one output");
+        downcast::<T>(tok).map_err(|t| DpsError::OperationContract {
+            node: "run_one".into(),
+            reason: format!("expected output type, got {}", t.type_name()),
+        })
+    }
+
+    /// Stop all worker threads and join them.
+    pub fn shutdown(&mut self) {
+        if let Some(shared) = &self.shared {
+            for app in &shared.apps {
+                for tc in &app.tcs {
+                    for tx in &tc.senders {
+                        let _ = tx.send(Msg::Stop);
+                    }
+                }
+            }
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.shared = None;
+    }
+
+    /// Wall-clock time since the workers started.
+    pub fn elapsed(&self) -> Duration {
+        self.started_at.elapsed()
+    }
+}
+
+impl Drop for MtEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

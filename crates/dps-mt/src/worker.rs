@@ -1,0 +1,770 @@
+//! Worker threads: one OS thread per DPS thread, driving operations from a
+//! token queue — the paper's macro data flow execution.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use dps_core::internal::{DynOp, DynRoute, ExecInfo, OpOutput};
+use dps_core::{
+    wire_roundtrip, CallFrame, DpsError, Envelope, Flowgraph, Frame, GNodeId, OpKind, RouteInfo,
+    TokenBox, TokenRegistry, WaveKey,
+};
+use parking_lot::Mutex;
+
+/// Message to a worker thread.
+pub(crate) enum Msg {
+    /// Process a token at a graph node.
+    Deliver {
+        graph: u32,
+        node: GNodeId,
+        token: TokenBox,
+        env: Envelope,
+    },
+    /// Wave-close control info: the producer of the wave identified by
+    /// `env` finished after its final data object was already in flight;
+    /// `total` is the wave size.
+    Close {
+        graph: u32,
+        node: GNodeId,
+        env: Envelope,
+        total: u32,
+    },
+    /// Terminate the worker.
+    Stop,
+}
+
+/// A token that left a graph.
+pub(crate) struct Output {
+    pub app: u32,
+    pub graph: u32,
+    pub token: TokenBox,
+}
+
+pub(crate) struct SharedTc {
+    pub nodes: Vec<u32>,
+    pub senders: Vec<Sender<Msg>>,
+}
+
+pub(crate) struct MtFlow {
+    pending: VecDeque<(TokenBox, Envelope)>,
+    outstanding: u32,
+    complete: bool,
+    from: GNodeId,
+    src_node: u32,
+    /// Serving-graph exit splits have no in-graph merge returning credits;
+    /// their waves are not window-limited.
+    unbounded: bool,
+}
+
+pub(crate) struct SharedGraph {
+    pub routes: Vec<Mutex<Box<dyn DynRoute>>>,
+    pub wave_threads: Mutex<HashMap<WaveKey, u32>>,
+    pub flows: Mutex<HashMap<(u32, u64), MtFlow>>,
+    /// Wave totals whose waves have not been routed to a thread yet.
+    pub pending_closes: Mutex<HashMap<WaveKey, u32>>,
+}
+
+pub(crate) struct SharedApp {
+    pub tcs: Vec<SharedTc>,
+    pub graphs: Vec<SharedGraph>,
+}
+
+struct CallRet {
+    app: u32,
+    graph: u32,
+    node: GNodeId,
+    env: Envelope,
+}
+
+pub(crate) struct Shared {
+    pub flow_window: u32,
+    pub enforce_serialization: bool,
+    pub apps: Vec<SharedApp>,
+    pub defs: Vec<Vec<Flowgraph>>,
+    pub registries: Vec<TokenRegistry>,
+    pub services: HashMap<String, (u32, u32)>,
+    pub wave_counter: AtomicU64,
+    pub call_counter: AtomicU64,
+    pub pending_calls: Mutex<HashMap<u64, CallRetOpaque>>,
+    pub output_tx: Sender<Output>,
+    pub error_tx: Sender<DpsError>,
+}
+
+/// Newtype so `CallRet` stays private to this module.
+pub(crate) struct CallRetOpaque(CallRet);
+
+struct WaveState {
+    op: Box<dyn DynOp>,
+    received: u32,
+    expected: Option<u32>,
+    out_wave: u64,
+    out_index: u32,
+}
+
+/// Per-worker mutable state.
+struct Worker {
+    app: u32,
+    tc: u32,
+    thread: u32,
+    node: u32,
+    data: Box<dyn Any + Send>,
+    ops: HashMap<(u32, u32), Box<dyn DynOp>>,
+    waves: HashMap<WaveKey, WaveState>,
+    /// Totals from closes that arrived before the wave's first token.
+    pending_expected: HashMap<WaveKey, u32>,
+}
+
+/// Inject a token into a graph entry from outside (the run driver).
+pub(crate) fn inject(shared: &Arc<Shared>, app: u32, graph: u32, token: TokenBox, src_node: u32) {
+    let entry = shared.defs[app as usize][graph as usize].entry();
+    route_and_send(shared, app, graph, entry, src_node, token, Envelope::root());
+}
+
+/// The worker main loop.
+pub(crate) fn worker_loop(
+    shared: Arc<Shared>,
+    app: u32,
+    tc: u32,
+    thread: u32,
+    data: Box<dyn Any + Send>,
+    rx: Receiver<Msg>,
+) {
+    let node = shared.apps[app as usize].tcs[tc as usize].nodes[thread as usize];
+    let mut w = Worker {
+        app,
+        tc,
+        thread,
+        node,
+        data,
+        ops: HashMap::new(),
+        waves: HashMap::new(),
+        pending_expected: HashMap::new(),
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Stop => break,
+            Msg::Deliver {
+                graph,
+                node,
+                token,
+                env,
+            } => {
+                if let Err(e) = handle(&shared, &mut w, graph, node, token, env) {
+                    let _ = shared.error_tx.send(e);
+                }
+            }
+            Msg::Close {
+                graph,
+                node,
+                env,
+                total,
+            } => {
+                if let Err(e) = handle_close(&shared, &mut w, graph, node, env, total) {
+                    let _ = shared.error_tx.send(e);
+                }
+            }
+        }
+    }
+}
+
+fn exec_info(shared: &Shared, w: &Worker) -> ExecInfo {
+    ExecInfo {
+        thread_index: w.thread as usize,
+        thread_count: shared.apps[w.app as usize].tcs[w.tc as usize].senders.len(),
+        // Wall-clock engine: charge_flops is a no-op cost model here.
+        node_flops: 1e9,
+        start_nanos: 0,
+    }
+}
+
+fn handle(
+    shared: &Arc<Shared>,
+    w: &mut Worker,
+    graph: u32,
+    node: GNodeId,
+    token: TokenBox,
+    env: Envelope,
+) -> Result<(), DpsError> {
+    let def = &shared.defs[w.app as usize][graph as usize];
+    let kind = def.node(node).kind;
+    match kind {
+        OpKind::Split | OpKind::Leaf => handle_exec(shared, w, graph, node, kind, token, env),
+        OpKind::Merge | OpKind::Stream => handle_consume(shared, w, graph, node, kind, token, env),
+        OpKind::Call | OpKind::CallSplit => handle_call(shared, w, graph, node, token, env),
+    }
+}
+
+fn handle_exec(
+    shared: &Arc<Shared>,
+    w: &mut Worker,
+    graph: u32,
+    node: GNodeId,
+    kind: OpKind,
+    token: TokenBox,
+    env: Envelope,
+) -> Result<(), DpsError> {
+    let def = &shared.defs[w.app as usize][graph as usize];
+    let gnode = def.node(node);
+    let info = exec_info(shared, w);
+    let name = gnode.name.clone();
+    let op = w
+        .ops
+        .entry((graph, node.0))
+        .or_insert_with(|| gnode.make_op().expect("split/leaf has an op"));
+    let mut out = OpOutput::default();
+    op.on_token(&mut out, w.data.as_mut(), info, &name, token)?;
+
+    match kind {
+        OpKind::Split => {
+            let wave = shared.wave_counter.fetch_add(1, Ordering::Relaxed);
+            let total = out.posts.len() as u32;
+            let mut pending = VecDeque::with_capacity(out.posts.len());
+            for (i, post) in out.posts.into_iter().enumerate() {
+                let mut e = env.clone();
+                e.push(Frame {
+                    src: node,
+                    wave,
+                    index: i as u32,
+                    total: (i as u32 == total - 1).then_some(total),
+                });
+                pending.push_back((post.token, e));
+            }
+            {
+                let unbounded = def.matching_pop(node).is_none();
+                let g = &shared.apps[w.app as usize].graphs[graph as usize];
+                g.flows.lock().insert(
+                    (node.0, wave),
+                    MtFlow {
+                        pending,
+                        outstanding: 0,
+                        complete: true,
+                        from: node,
+                        src_node: w.node,
+                        unbounded,
+                    },
+                );
+            }
+            pump_flow(shared, w.app, graph, (node.0, wave));
+        }
+        OpKind::Leaf => {
+            let post = out.posts.pop().expect("leaf contract checked");
+            emit(shared, w.app, graph, node, w.node, post.token, env);
+        }
+        _ => unreachable!(),
+    }
+    Ok(())
+}
+
+fn handle_consume(
+    shared: &Arc<Shared>,
+    w: &mut Worker,
+    graph: u32,
+    node: GNodeId,
+    kind: OpKind,
+    token: TokenBox,
+    mut env: Envelope,
+) -> Result<(), DpsError> {
+    let def = &shared.defs[w.app as usize][graph as usize];
+    let gnode = def.node(node);
+    let name = gnode.name.clone();
+    let info = exec_info(shared, w);
+    let key = env.wave_key().expect("validated depth >= 1");
+    let frame = env.pop().expect("validated depth >= 1");
+    let parent_env = env;
+
+    let early_expected = w.pending_expected.remove(&key);
+    let wave = w.waves.entry(key.clone()).or_insert_with(|| WaveState {
+        op: gnode.make_op().expect("merge/stream has an op"),
+        received: 0,
+        expected: early_expected,
+        out_wave: shared.wave_counter.fetch_add(1, Ordering::Relaxed),
+        out_index: 0,
+    });
+    wave.received += 1;
+    if let Some(t) = frame.total {
+        wave.expected = Some(t);
+    }
+    if let Some(exp) = wave.expected {
+        if wave.received > exp {
+            return Err(DpsError::OperationContract {
+                node: name,
+                reason: format!("wave received {} tokens but split posted {exp}", wave.received),
+            });
+        }
+    }
+    let completes = wave.expected == Some(wave.received);
+    let out_wave = wave.out_wave;
+    let out_index_base = wave.out_index;
+
+    let mut out = OpOutput::default();
+    wave.op.on_token(&mut out, w.data.as_mut(), info, &name, token)?;
+    if completes {
+        wave.op.on_finalize(&mut out, w.data.as_mut(), info, &name)?;
+    }
+
+    match kind {
+        OpKind::Merge => {
+            if completes {
+                let post = out.posts.pop().expect("merge contract checked");
+                emit(shared, w.app, graph, node, w.node, post.token, parent_env);
+            }
+        }
+        OpKind::Stream => {
+            let n_posts = out.posts.len() as u32;
+            let mut close_to_send: Option<(Envelope, u32)> = None;
+            if n_posts > 0 || completes {
+                let flow_key = (node.0, out_wave);
+                {
+                    let g = &shared.apps[w.app as usize].graphs[graph as usize];
+                    let mut flows = g.flows.lock();
+                    let flow = flows.entry(flow_key).or_insert_with(|| MtFlow {
+                        pending: VecDeque::new(),
+                        outstanding: 0,
+                        complete: false,
+                        from: node,
+                        src_node: w.node,
+                        unbounded: false,
+                    });
+                    for (i, post) in out.posts.into_iter().enumerate() {
+                        let mut e = parent_env.clone();
+                        e.push(Frame {
+                            src: node,
+                            wave: out_wave,
+                            index: out_index_base + i as u32,
+                            total: None,
+                        });
+                        flow.pending.push_back((post.token, e));
+                    }
+                    if completes {
+                        let total = out_index_base + n_posts;
+                        if total == 0 {
+                            return Err(DpsError::OperationContract {
+                                node: name,
+                                reason: "stream operation posted no tokens across its wave".into(),
+                            });
+                        }
+                        flow.complete = true;
+                        match flow.pending.back_mut() {
+                            Some((_, last_env)) => {
+                                if let Some(f) = last_env.frames.last_mut() {
+                                    f.total = Some(total);
+                                }
+                            }
+                            None => {
+                                // Final data object already in flight: the
+                                // count travels as a wave-close message.
+                                let mut close_env = parent_env.clone();
+                                close_env.push(Frame {
+                                    src: node,
+                                    wave: out_wave,
+                                    index: 0,
+                                    total: Some(total),
+                                });
+                                close_to_send = Some((close_env, total));
+                            }
+                        }
+                    }
+                }
+                if let Some(wv) = w.waves.get_mut(&key) {
+                    wv.out_index = out_index_base + n_posts;
+                }
+                if let Some((close_env, total)) = close_to_send {
+                    send_close(shared, w.app, graph, close_env, total);
+                }
+                pump_flow(shared, w.app, graph, flow_key);
+            }
+        }
+        _ => unreachable!(),
+    }
+
+    if completes {
+        w.waves.remove(&key);
+        let g = &shared.apps[w.app as usize].graphs[graph as usize];
+        g.wave_threads.lock().remove(&key);
+    }
+    credit_flow(shared, w.app, graph, (frame.src.0, frame.wave));
+    Ok(())
+}
+
+fn handle_call(
+    shared: &Arc<Shared>,
+    w: &mut Worker,
+    graph: u32,
+    node: GNodeId,
+    token: TokenBox,
+    env: Envelope,
+) -> Result<(), DpsError> {
+    let def = &shared.defs[w.app as usize][graph as usize];
+    let service = def
+        .node(node)
+        .service
+        .clone()
+        .expect("call nodes carry a service name");
+    let Some(&(t_app, t_graph)) = shared.services.get(&service) else {
+        return Err(DpsError::UnknownService { name: service });
+    };
+    let call_id = shared.call_counter.fetch_add(1, Ordering::Relaxed);
+    shared.pending_calls.lock().insert(
+        call_id,
+        CallRetOpaque(CallRet {
+            app: w.app,
+            graph,
+            node,
+            env: env.clone(),
+        }),
+    );
+    let mut callee_env = Envelope::root();
+    callee_env.calls = env.calls;
+    callee_env.calls.push(CallFrame {
+        caller_app: w.app,
+        caller_graph: graph,
+        call_node: node,
+        call_id,
+    });
+    let entry = shared.defs[t_app as usize][t_graph as usize].entry();
+    route_and_send(shared, t_app, t_graph, entry, w.node, token, callee_env);
+    Ok(())
+}
+
+/// Handle a wave-close: record the expected count; finalize if all data
+/// objects were already consumed.
+fn handle_close(
+    shared: &Arc<Shared>,
+    w: &mut Worker,
+    graph: u32,
+    node: GNodeId,
+    mut env: Envelope,
+    total: u32,
+) -> Result<(), DpsError> {
+    let def = &shared.defs[w.app as usize][graph as usize];
+    let gnode = def.node(node);
+    let name = gnode.name.clone();
+    let info = exec_info(shared, w);
+    let key = env.wave_key().expect("close envelopes carry the wave frame");
+    let _ = env.pop();
+    let parent_env = env;
+
+    let Some(wave) = w.waves.get_mut(&key) else {
+        w.pending_expected.insert(key, total);
+        return Ok(());
+    };
+    wave.expected = Some(total);
+    if wave.received > total {
+        return Err(DpsError::OperationContract {
+            node: name,
+            reason: format!("wave received {} tokens but producer posted {total}", wave.received),
+        });
+    }
+    if wave.received != total {
+        return Ok(());
+    }
+    let mut wave = w.waves.remove(&key).expect("present above");
+    let mut out = OpOutput::default();
+    wave.op.on_finalize(&mut out, w.data.as_mut(), info, &name)?;
+    match gnode.kind {
+        OpKind::Merge => {
+            let post = out.posts.pop().expect("merge contract checked");
+            emit(shared, w.app, graph, node, w.node, post.token, parent_env);
+        }
+        OpKind::Stream => {
+            let n_posts = out.posts.len() as u32;
+            let total_out = wave.out_index + n_posts;
+            if total_out == 0 {
+                return Err(DpsError::OperationContract {
+                    node: name,
+                    reason: "stream operation posted no tokens across its wave".into(),
+                });
+            }
+            let flow_key = (node.0, wave.out_wave);
+            let mut close_to_send: Option<(Envelope, u32)> = None;
+            {
+                let g = &shared.apps[w.app as usize].graphs[graph as usize];
+                let mut flows = g.flows.lock();
+                let flow = flows.entry(flow_key).or_insert_with(|| MtFlow {
+                    pending: VecDeque::new(),
+                    outstanding: 0,
+                    complete: false,
+                    from: node,
+                    src_node: w.node,
+                    unbounded: false,
+                });
+                for (i, post) in out.posts.into_iter().enumerate() {
+                    let mut e = parent_env.clone();
+                    e.push(Frame {
+                        src: node,
+                        wave: wave.out_wave,
+                        index: wave.out_index + i as u32,
+                        total: None,
+                    });
+                    flow.pending.push_back((post.token, e));
+                }
+                flow.complete = true;
+                match flow.pending.back_mut() {
+                    Some((_, last_env)) => {
+                        if let Some(f) = last_env.frames.last_mut() {
+                            f.total = Some(total_out);
+                        }
+                    }
+                    None => {
+                        let mut close_env = parent_env.clone();
+                        close_env.push(Frame {
+                            src: node,
+                            wave: wave.out_wave,
+                            index: 0,
+                            total: Some(total_out),
+                        });
+                        close_to_send = Some((close_env, total_out));
+                    }
+                }
+            }
+            if let Some((close_env, t)) = close_to_send {
+                send_close(shared, w.app, graph, close_env, t);
+            }
+            pump_flow(shared, w.app, graph, flow_key);
+        }
+        _ => unreachable!("closes only target merge/stream nodes"),
+    }
+    let g = &shared.apps[w.app as usize].graphs[graph as usize];
+    g.wave_threads.lock().remove(&key);
+    Ok(())
+}
+
+/// Send a wave-close to the thread owning the wave; if no token of the wave
+/// was routed yet, park it in the graph's pending-close table.
+fn send_close(shared: &Arc<Shared>, app: u32, graph: u32, close_env: Envelope, total: u32) {
+    let key = close_env
+        .wave_key()
+        .expect("close envelopes carry the wave frame");
+    let opener = key.src;
+    let def = &shared.defs[app as usize][graph as usize];
+    let Some(merge_node) = def.matching_pop(opener) else {
+        let _ = shared.error_tx.send(DpsError::InvalidGraph {
+            reason: format!("no matching merge recorded for node {opener}"),
+        });
+        return;
+    };
+    let g = &shared.apps[app as usize].graphs[graph as usize];
+    let thread = { g.wave_threads.lock().get(&key).copied() };
+    match thread {
+        Some(t) => {
+            let tc = def.node(merge_node).tc;
+            let _ = shared.apps[app as usize].tcs[tc as usize].senders[t as usize].send(
+                Msg::Close {
+                    graph,
+                    node: merge_node,
+                    env: close_env,
+                    total,
+                },
+            );
+        }
+        None => {
+            g.pending_closes.lock().insert(key, total);
+        }
+    }
+}
+
+/// A token leaves node `from` of `graph`: pick the successor by type, or
+/// handle the graph exit (output collection / call return).
+fn emit(
+    shared: &Arc<Shared>,
+    app: u32,
+    graph: u32,
+    from: GNodeId,
+    src_node: u32,
+    token: TokenBox,
+    env: Envelope,
+) {
+    let def = &shared.defs[app as usize][graph as usize];
+    match def.successor_for(from, token.wire_id()) {
+        Some(next) => route_and_send(shared, app, graph, next, src_node, token, env),
+        None if !def.succs(from).is_empty() => {
+            let _ = shared.error_tx.send(DpsError::NoRoute {
+                node: def.node(from).name.clone(),
+                token_type: token.type_name(),
+            });
+        }
+        None => {
+            if env.frames.len() == 1 && !env.calls.is_empty() {
+                // Distributed return (inter-application split/merge pair):
+                // the wave keeps its frame and is merged in the caller.
+                let call = env.calls.last().expect("checked non-empty");
+                let ret = {
+                    let calls = shared.pending_calls.lock();
+                    calls
+                        .get(&call.call_id)
+                        .map(|c| (c.0.app, c.0.graph, c.0.node, c.0.env.clone()))
+                };
+                match ret {
+                    Some((r_app, r_graph, r_node, r_env)) => {
+                        let mut out_env = r_env;
+                        out_env.push(env.frames[0]);
+                        emit(shared, r_app, r_graph, r_node, src_node, token, out_env);
+                    }
+                    None => {
+                        let _ = shared.error_tx.send(DpsError::OperationContract {
+                            node: def.node(from).name.clone(),
+                            reason: format!("return for unknown call id {}", call.call_id),
+                        });
+                    }
+                }
+                return;
+            }
+            if !env.frames.is_empty() {
+                let _ = shared.error_tx.send(DpsError::InvalidGraph {
+                    reason: format!(
+                        "token left the graph at {} with {} unmerged frames",
+                        def.node(from).name,
+                        env.frames.len()
+                    ),
+                });
+                return;
+            }
+            if let Some(call) = env.calls.last() {
+                let ret = {
+                    let calls = shared.pending_calls.lock();
+                    calls.get(&call.call_id).map(|c| {
+                        (c.0.app, c.0.graph, c.0.node, c.0.env.clone())
+                    })
+                };
+                match ret {
+                    Some((r_app, r_graph, r_node, r_env)) => {
+                        emit(shared, r_app, r_graph, r_node, src_node, token, r_env);
+                    }
+                    None => {
+                        let _ = shared.error_tx.send(DpsError::OperationContract {
+                            node: def.node(from).name.clone(),
+                            reason: format!("return for unknown call id {}", call.call_id),
+                        });
+                    }
+                }
+            } else {
+                let _ = shared.output_tx.send(Output { app, graph, token });
+            }
+        }
+    }
+}
+
+fn route_and_send(
+    shared: &Arc<Shared>,
+    app: u32,
+    graph: u32,
+    to: GNodeId,
+    src_node: u32,
+    token: TokenBox,
+    env: Envelope,
+) {
+    let def = &shared.defs[app as usize][graph as usize];
+    let gnode = def.node(to);
+    let tc = gnode.tc;
+    let g = &shared.apps[app as usize].graphs[graph as usize];
+    let thread_count = shared.apps[app as usize].tcs[tc as usize].senders.len();
+    let info = RouteInfo {
+        thread_count,
+        load: None,
+    };
+    let routed = {
+        let mut route = g.routes[to.0 as usize].lock();
+        route.route_dyn(token.as_ref(), &info, &gnode.name)
+    };
+    let mut thread = match routed {
+        Ok(i) => i as u32,
+        Err(e) => {
+            let _ = shared.error_tx.send(e);
+            return;
+        }
+    };
+    if matches!(gnode.kind, OpKind::Merge | OpKind::Stream) {
+        let key = env.wave_key().expect("validated: merges are under a split");
+        let mut fresh = false;
+        {
+            let mut wt = g.wave_threads.lock();
+            thread = *wt.entry(key.clone()).or_insert_with(|| {
+                fresh = true;
+                thread
+            });
+        }
+        if fresh {
+            // A close may have raced ahead of the wave's first token.
+            let parked = g.pending_closes.lock().remove(&key);
+            if let Some(total) = parked {
+                let mut close_env = env.clone();
+                if let Some(f) = close_env.frames.last_mut() {
+                    f.total = Some(total);
+                }
+                let _ = shared.apps[app as usize].tcs[tc as usize].senders[thread as usize]
+                    .send(Msg::Close {
+                        graph,
+                        node: to,
+                        env: close_env,
+                        total,
+                    });
+            }
+        }
+    }
+    let dst_node = shared.apps[app as usize].tcs[tc as usize].nodes[thread as usize];
+    let token = if shared.enforce_serialization && src_node != dst_node {
+        match wire_roundtrip(token.as_ref(), &shared.registries[app as usize]) {
+            Ok(t) => t,
+            Err(e) => {
+                let _ = shared.error_tx.send(e);
+                return;
+            }
+        }
+    } else {
+        token
+    };
+    let _ = shared.apps[app as usize].tcs[tc as usize].senders[thread as usize].send(
+        Msg::Deliver {
+            graph,
+            node: to,
+            token,
+            env,
+        },
+    );
+}
+
+/// Release pending posts of a flow while the window allows; the final post
+/// of an incomplete stream is held back (it must carry the wave total).
+fn pump_flow(shared: &Arc<Shared>, app: u32, graph: u32, key: (u32, u64)) {
+    loop {
+        let item = {
+            let g = &shared.apps[app as usize].graphs[graph as usize];
+            let mut flows = g.flows.lock();
+            let Some(flow) = flows.get_mut(&key) else {
+                return;
+            };
+            if !flow.unbounded && shared.flow_window > 0 && flow.outstanding >= shared.flow_window
+            {
+                return;
+            }
+            if flow.pending.is_empty() {
+                if flow.complete && flow.outstanding == 0 {
+                    flows.remove(&key);
+                }
+                return;
+            }
+            let (token, env) = flow.pending.pop_front().expect("non-empty");
+            flow.outstanding += 1;
+            (token, env, flow.from, flow.src_node)
+        };
+        let (token, env, from, src_node) = item;
+        emit(shared, app, graph, from, src_node, token, env);
+    }
+}
+
+/// A merge consumed one token of flow `key`: return a credit.
+fn credit_flow(shared: &Arc<Shared>, app: u32, graph: u32, key: (u32, u64)) {
+    {
+        let g = &shared.apps[app as usize].graphs[graph as usize];
+        let mut flows = g.flows.lock();
+        if let Some(flow) = flows.get_mut(&key) {
+            flow.outstanding = flow.outstanding.saturating_sub(1);
+        } else {
+            return;
+        }
+    }
+    pump_flow(shared, app, graph, key);
+}

@@ -1,0 +1,220 @@
+//! Tests of the real-thread engine: the same schedules the simulation
+//! engine runs, executed on OS threads with genuinely concurrent operations.
+
+use dps_core::prelude::*;
+use dps_mt::{MtConfig, MtEngine};
+
+dps_token! { pub struct Job { pub n: u32 } }
+dps_token! { pub struct Piece { pub i: u32, pub v: u64 } }
+dps_token! { pub struct Total { pub sum: u64 } }
+
+struct Fan;
+impl SplitOperation for Fan {
+    type Thread = ();
+    type In = Job;
+    type Out = Piece;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), Piece>, j: Job) {
+        for i in 0..j.n {
+            ctx.post(Piece { i, v: u64::from(i) });
+        }
+    }
+}
+
+struct Work;
+impl LeafOperation for Work {
+    type Thread = ();
+    type In = Piece;
+    type Out = Piece;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), Piece>, p: Piece) {
+        // A little real computation so threads genuinely overlap; the
+        // result is discarded (black_box prevents elimination).
+        let mut acc = p.v;
+        for k in 0..1000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+        }
+        std::hint::black_box(acc);
+        ctx.post(Piece { i: p.i, v: p.v * p.v });
+    }
+}
+
+#[derive(Default)]
+struct Sum {
+    sum: u64,
+}
+impl MergeOperation for Sum {
+    type Thread = ();
+    type In = Piece;
+    type Out = Total;
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, (), Total>, p: Piece) {
+        self.sum += p.v;
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, (), Total>) {
+        ctx.post(Total { sum: self.sum });
+    }
+}
+
+fn build(eng: &mut MtEngine, nodes: usize) -> dps_mt::MtGraph {
+    let app = eng.app("mt-demo");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "main", "node0").unwrap();
+    let mapping: Vec<String> = (0..nodes).map(|i| format!("node{i}")).collect();
+    let workers: ThreadCollection<()> = eng
+        .thread_collection(app, "proc", &mapping.join(" "))
+        .unwrap();
+    let mut b = GraphBuilder::new("sumsq");
+    let s = b.split(&main, || ToThread(0), || Fan);
+    let l = b.leaf(&workers, RoundRobin::new, || Work);
+    let m = b.merge(&main, || ToThread(0), Sum::default);
+    b.add(s >> l >> m);
+    eng.build_graph(b).unwrap()
+}
+
+fn expected_sum(n: u32) -> u64 {
+    (0..u64::from(n)).map(|i| i * i).sum()
+}
+
+#[test]
+fn split_compute_merge_on_real_threads() {
+    let mut eng = MtEngine::new(4);
+    let g = build(&mut eng, 4);
+    let out = eng.run_graph(g, vec![Box::new(Job { n: 100 })], 1).unwrap();
+    assert_eq!(out.len(), 1);
+    let total = downcast::<Total>(out.into_iter().next().unwrap()).unwrap();
+    assert_eq!(total.sum, expected_sum(100));
+    eng.shutdown();
+}
+
+#[test]
+fn repeated_runs_reuse_threads() {
+    let mut eng = MtEngine::new(2);
+    let g = build(&mut eng, 2);
+    for _ in 0..5 {
+        let t = eng.run_one::<Total>(g, Box::new(Job { n: 32 })).unwrap();
+        assert_eq!(t.sum, expected_sum(32));
+    }
+}
+
+#[test]
+fn pipelined_injections() {
+    let mut eng = MtEngine::new(4);
+    let g = build(&mut eng, 4);
+    let inputs: Vec<TokenBox> = (0..6).map(|_| Box::new(Job { n: 50 }) as TokenBox).collect();
+    let outs = eng.run_graph(g, inputs, 6).unwrap();
+    assert_eq!(outs.len(), 6);
+    for o in outs {
+        let t = downcast::<Total>(o).unwrap();
+        assert_eq!(t.sum, expected_sum(50));
+    }
+}
+
+#[test]
+fn flow_window_one_still_completes() {
+    let cfg = MtConfig {
+        flow_window: 1,
+        ..MtConfig::default()
+    };
+    let mut eng = MtEngine::with_config(2, cfg);
+    let g = build(&mut eng, 2);
+    let t = eng.run_one::<Total>(g, Box::new(Job { n: 40 })).unwrap();
+    assert_eq!(t.sum, expected_sum(40));
+}
+
+#[test]
+fn serialization_enforced_across_virtual_nodes() {
+    let cfg = MtConfig {
+        enforce_serialization: true,
+        ..MtConfig::default()
+    };
+    let mut eng = MtEngine::with_config(3, cfg);
+    let app_tokens = |eng: &mut MtEngine, app| {
+        eng.register_token::<Job>(app);
+        eng.register_token::<Piece>(app);
+        eng.register_token::<Total>(app);
+    };
+    let app = eng.app("ser");
+    app_tokens(&mut eng, app);
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let w: ThreadCollection<()> = eng.thread_collection(app, "w", "node1 node2").unwrap();
+    let mut b = GraphBuilder::new("ser");
+    let s = b.split(&main, || ToThread(0), || Fan);
+    let l = b.leaf(&w, RoundRobin::new, || Work);
+    let m = b.merge(&main, || ToThread(0), Sum::default);
+    b.add(s >> l >> m);
+    let g = eng.build_graph(b).unwrap();
+    let t = eng.run_one::<Total>(g, Box::new(Job { n: 25 })).unwrap();
+    assert_eq!(t.sum, expected_sum(25));
+}
+
+#[test]
+fn service_call_between_mt_applications() {
+    let mut eng = MtEngine::new(2);
+
+    let server = eng.app("server");
+    let smain: ThreadCollection<()> = eng.thread_collection(server, "m", "node1").unwrap();
+    let mut sb = GraphBuilder::new("svc");
+    let ss = sb.split(&smain, || ToThread(0), || Fan);
+    let sl = sb.leaf(&smain, || ToThread(0), || Work);
+    let sm = sb.merge(&smain, || ToThread(0), Sum::default);
+    sb.add(ss >> sl >> sm);
+    let sg = eng.build_graph(sb).unwrap();
+    eng.expose_service(sg, "mt.sum");
+
+    dps_token! { pub struct CallBatch { pub calls: u32 } }
+    struct FanCalls;
+    impl SplitOperation for FanCalls {
+        type Thread = ();
+        type In = CallBatch;
+        type Out = Job;
+        fn execute(&mut self, ctx: &mut OpCtx<'_, (), Job>, c: CallBatch) {
+            for _ in 0..c.calls {
+                ctx.post(Job { n: 10 });
+            }
+        }
+    }
+    #[derive(Default)]
+    struct SumTotals {
+        sum: u64,
+    }
+    impl MergeOperation for SumTotals {
+        type Thread = ();
+        type In = Total;
+        type Out = Total;
+        fn consume(&mut self, _ctx: &mut OpCtx<'_, (), Total>, t: Total) {
+            self.sum += t.sum;
+        }
+        fn finalize(&mut self, ctx: &mut OpCtx<'_, (), Total>) {
+            ctx.post(Total { sum: self.sum });
+        }
+    }
+
+    let client = eng.app("client");
+    let cmain: ThreadCollection<()> = eng.thread_collection(client, "m", "node0").unwrap();
+    let mut cb = GraphBuilder::new("client");
+    let cs = cb.split(&cmain, || ToThread(0), || FanCalls);
+    let call = cb.call::<Job, Total, (), _>("mt.sum", &cmain, || ToThread(0));
+    let cm = cb.merge(&cmain, || ToThread(0), SumTotals::default);
+    cb.add(cs >> call >> cm);
+    let cg = eng.build_graph(cb).unwrap();
+
+    let t = eng
+        .run_one::<Total>(cg, Box::new(CallBatch { calls: 3 }))
+        .unwrap();
+    assert_eq!(t.sum, 3 * expected_sum(10));
+}
+
+#[test]
+fn timeout_reports_deadlock_shape() {
+    // A merge that never completes (split output dropped by a filter leaf
+    // is impossible by contract, so instead use a huge expected count via a
+    // graph that is simply never fed enough): simulate by expecting more
+    // outputs than the graph produces.
+    let cfg = MtConfig {
+        run_timeout: std::time::Duration::from_millis(300),
+        ..MtConfig::default()
+    };
+    let mut eng = MtEngine::with_config(1, cfg);
+    let g = build(&mut eng, 1);
+    let err = eng
+        .run_graph(g, vec![Box::new(Job { n: 3 })], 2)
+        .unwrap_err();
+    assert!(err.to_string().contains("timed out"));
+}

@@ -1,0 +1,129 @@
+//! Network model constants.
+
+use dps_des::SimSpan;
+
+/// All tunable constants of the cluster network model.
+///
+/// The `Default` values are calibrated to the paper's testbed — eight
+/// bi-Pentium-III 733 MHz PCs under Windows 2000 on a Gigabit-Ethernet
+/// switch — by fitting the socket curve of Fig. 6: throughput rises from a
+/// couple of MB/s at 1 KB transfers to a ≈35 MB/s plateau at 1 MB transfers,
+/// which pins down (bandwidth, per-message overhead) ≈ (36 MB/s, ~55 µs).
+/// The DPS curve of the same figure sits slightly below the socket curve at
+/// small sizes, which pins down the control-structure overhead per data
+/// object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Sustained per-direction NIC bandwidth, bytes/second. This is the
+    /// *effective* TCP payload bandwidth of the testbed (≈36 MB/s), not the
+    /// 125 MB/s raw line rate of Gigabit Ethernet: the paper's 733 MHz hosts
+    /// are CPU-bound in the protocol stack.
+    pub bandwidth_bps: f64,
+    /// Fixed per-message cost on each NIC direction (syscalls, interrupt
+    /// handling, protocol stack). Dominates throughput for small messages.
+    pub per_message_overhead: SimSpan,
+    /// One-way propagation latency through the switch.
+    pub latency: SimSpan,
+    /// One-time cost of opening a TCP connection between a node pair. DPS
+    /// opens connections lazily — the first data object between two nodes
+    /// pays this (paper §4 "delayed mechanism for starting communications").
+    pub connect_latency: SimSpan,
+    /// Extra bytes DPS attaches to every data object: "control structures
+    /// giving information about their state and position within the flow
+    /// graph" (paper §4). Raw socket transfers do not pay this.
+    pub dps_header_bytes: u64,
+    /// Extra per-object CPU-ish cost of DPS serialization/deserialization
+    /// and queue management, charged on both NIC directions on top of
+    /// `per_message_overhead`.
+    pub dps_object_overhead: SimSpan,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth_bps: 36.0e6,
+            per_message_overhead: SimSpan::from_micros(55),
+            latency: SimSpan::from_micros(30),
+            connect_latency: SimSpan::from_millis(2),
+            dps_header_bytes: 96,
+            dps_object_overhead: SimSpan::from_micros(40),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Time for `bytes` of payload to cross one NIC direction, excluding
+    /// fixed overheads.
+    pub fn wire_time(&self, bytes: u64) -> SimSpan {
+        SimSpan::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+
+    /// Per-direction occupancy of a *raw socket* message of `bytes`.
+    pub fn socket_occupancy(&self, bytes: u64) -> SimSpan {
+        self.per_message_overhead + self.wire_time(bytes)
+    }
+
+    /// Per-direction occupancy of a *DPS data object* whose payload is
+    /// `bytes`: header bytes ride along and per-object costs are added.
+    pub fn dps_occupancy(&self, bytes: u64) -> SimSpan {
+        self.per_message_overhead
+            + self.dps_object_overhead
+            + self.wire_time(bytes + self.dps_header_bytes)
+    }
+
+    /// An idealized loss-free configuration for unit tests: 1 GB/s, zero
+    /// overheads and latencies.
+    pub fn ideal() -> Self {
+        Self {
+            bandwidth_bps: 1e9,
+            per_message_overhead: SimSpan::ZERO,
+            latency: SimSpan::ZERO,
+            connect_latency: SimSpan::ZERO,
+            dps_header_bytes: 0,
+            dps_object_overhead: SimSpan::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales_linearly() {
+        let cfg = NetConfig::default();
+        let t1 = cfg.wire_time(1_000_000);
+        let t2 = cfg.wire_time(2_000_000);
+        assert_eq!(t2.as_nanos(), 2 * t1.as_nanos());
+        // 1 MB at 36 MB/s ≈ 27.8 ms
+        assert!((t1.as_secs_f64() - 1.0 / 36.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dps_costs_exceed_socket_costs() {
+        let cfg = NetConfig::default();
+        for bytes in [100, 10_000, 1_000_000] {
+            assert!(cfg.dps_occupancy(bytes) > cfg.socket_occupancy(bytes));
+        }
+    }
+
+    #[test]
+    fn overheads_vanish_for_large_messages() {
+        // The relative DPS penalty must become negligible at 1 MB — that is
+        // the convergence visible in Fig. 6.
+        let cfg = NetConfig::default();
+        let ratio = cfg.dps_occupancy(1_000_000).as_secs_f64()
+            / cfg.socket_occupancy(1_000_000).as_secs_f64();
+        assert!(ratio < 1.01, "ratio {ratio}");
+        let small_ratio =
+            cfg.dps_occupancy(1_000).as_secs_f64() / cfg.socket_occupancy(1_000).as_secs_f64();
+        assert!(small_ratio > 1.3, "small ratio {small_ratio}");
+    }
+
+    #[test]
+    fn ideal_config_is_free() {
+        let cfg = NetConfig::ideal();
+        assert_eq!(cfg.socket_occupancy(0), SimSpan::ZERO);
+        assert_eq!(cfg.dps_occupancy(0), SimSpan::ZERO);
+    }
+}

@@ -1,0 +1,34 @@
+//! # dps-net — network substrate for the DPS cluster simulator
+//!
+//! Models the communication hardware and OS stack of the paper's testbed: a
+//! Gigabit-Ethernet switched cluster of PCs whose *measured* point-to-point
+//! TCP throughput tops out around 35 MB/s under Windows 2000 (Fig. 6 of the
+//! paper), plus DPS-specific costs — control structures piggy-backed on each
+//! data object and lazily-opened TCP connections.
+//!
+//! * [`NetConfig`] — all tunable constants (bandwidth, per-message overhead,
+//!   propagation latency, connect latency, DPS header bytes), with a
+//!   `Default` calibrated to the paper's testbed.
+//! * [`NetworkModel`] — full-duplex per-node NIC timelines + a TCP
+//!   connection cache; [`NetworkModel::transfer`] turns (src, dst, bytes)
+//!   into a deterministic `(sender done, delivered)` pair of instants.
+//! * [`NameServer`] — the paper's "simple name server" by which kernels
+//!   locate each other (the alternative UDP-broadcast discovery is modelled
+//!   as an instantaneous registry scan).
+//! * [`NetTrace`] — optional transfer recording for tests and debugging.
+//!
+//! The model is *reservation-based*: each NIC direction is a
+//! [`Timeline`](dps_des::Timeline), so simultaneous send+receive (the ring
+//! experiment of Fig. 6) proceeds at full duplex, while two messages leaving
+//! the same node serialize on its transmit lane — exactly the first-order
+//! behaviour that shaped the paper's measurements.
+
+mod config;
+mod model;
+mod nameserver;
+mod trace;
+
+pub use config::NetConfig;
+pub use model::{NetworkModel, NodeId, Traffic, TransferPlan};
+pub use nameserver::NameServer;
+pub use trace::{NetTrace, TransferRecord};

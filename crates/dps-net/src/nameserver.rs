@@ -1,0 +1,104 @@
+//! Kernel discovery: the paper's "simple name server".
+//!
+//! DPS kernels "are named independently of the underlying host names",
+//! allowing several kernels per host (used in the paper for debugging with
+//! the full networking stack on one machine). Kernels find each other via
+//! UDP broadcast or a name server; we model the registry directly.
+
+use std::collections::BTreeMap;
+
+use crate::model::NodeId;
+
+/// Registry mapping kernel names to the node on which the kernel runs.
+///
+/// Uses a `BTreeMap` so enumeration order (the simulated UDP-broadcast
+/// discovery) is deterministic.
+#[derive(Debug, Default, Clone)]
+pub struct NameServer {
+    kernels: BTreeMap<String, NodeId>,
+}
+
+impl NameServer {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a kernel under `name`. Returns the previously registered
+    /// node if the name was already taken (the new registration wins,
+    /// matching a kernel restart).
+    pub fn register(&mut self, name: impl Into<String>, node: NodeId) -> Option<NodeId> {
+        self.kernels.insert(name.into(), node)
+    }
+
+    /// Remove a kernel (node shutdown). Returns its node if it existed.
+    pub fn unregister(&mut self, name: &str) -> Option<NodeId> {
+        self.kernels.remove(name)
+    }
+
+    /// Look up one kernel by name.
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.kernels.get(name).copied()
+    }
+
+    /// Enumerate all kernels in name order — the simulated broadcast
+    /// discovery path.
+    pub fn discover(&self) -> impl Iterator<Item = (&str, NodeId)> {
+        self.kernels.iter().map(|(n, &id)| (n.as_str(), id))
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// True if no kernels are registered.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_unregister() {
+        let mut ns = NameServer::new();
+        assert!(ns.is_empty());
+        assert_eq!(ns.register("kernel1", NodeId(0)), None);
+        assert_eq!(ns.register("kernel2", NodeId(1)), None);
+        assert_eq!(ns.lookup("kernel1"), Some(NodeId(0)));
+        assert_eq!(ns.lookup("nope"), None);
+        assert_eq!(ns.unregister("kernel1"), Some(NodeId(0)));
+        assert_eq!(ns.lookup("kernel1"), None);
+        assert_eq!(ns.len(), 1);
+    }
+
+    #[test]
+    fn restart_replaces_registration() {
+        let mut ns = NameServer::new();
+        ns.register("k", NodeId(0));
+        assert_eq!(ns.register("k", NodeId(3)), Some(NodeId(0)));
+        assert_eq!(ns.lookup("k"), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn multiple_kernels_per_node_allowed() {
+        // The paper runs several kernels on one host for debugging.
+        let mut ns = NameServer::new();
+        ns.register("a", NodeId(0));
+        ns.register("b", NodeId(0));
+        assert_eq!(ns.len(), 2);
+    }
+
+    #[test]
+    fn discovery_is_deterministic() {
+        let mut ns = NameServer::new();
+        ns.register("zeta", NodeId(2));
+        ns.register("alpha", NodeId(0));
+        ns.register("mid", NodeId(1));
+        let names: Vec<&str> = ns.discover().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Optional recording of every cross-node transfer.
+
+use dps_des::SimTime;
+
+use crate::model::NodeId;
+
+/// One recorded transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Instant the transfer was requested.
+    pub at: SimTime,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload bytes (before headers).
+    pub payload_bytes: u64,
+    /// Bytes on the wire (payload + headers).
+    pub wire_bytes: u64,
+    /// When the sender's NIC finished transmitting.
+    pub sender_done: SimTime,
+    /// When the message was fully received.
+    pub delivered: SimTime,
+}
+
+/// Append-only transfer log, used by tests to assert on communication
+/// patterns (e.g. "the improved Game-of-Life graph exchanges exactly the
+/// same borders as the simple one").
+#[derive(Debug, Default, Clone)]
+pub struct NetTrace {
+    records: Vec<TransferRecord>,
+}
+
+impl NetTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record.
+    pub fn record(&mut self, rec: TransferRecord) {
+        self.records.push(rec);
+    }
+
+    /// All records, in request order.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total payload bytes between a given pair (either direction).
+    pub fn bytes_between(&self, a: NodeId, b: NodeId) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| (r.src == a && r.dst == b) || (r.src == b && r.dst == a))
+            .map(|r| r.payload_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(src: u32, dst: u32, bytes: u64) -> TransferRecord {
+        TransferRecord {
+            at: SimTime::ZERO,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            payload_bytes: bytes,
+            wire_bytes: bytes,
+            sender_done: SimTime::ZERO,
+            delivered: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn bytes_between_counts_both_directions() {
+        let mut t = NetTrace::new();
+        t.record(rec(0, 1, 10));
+        t.record(rec(1, 0, 5));
+        t.record(rec(0, 2, 100));
+        assert_eq!(t.bytes_between(NodeId(0), NodeId(1)), 15);
+        assert_eq!(t.bytes_between(NodeId(1), NodeId(2)), 0);
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests of the network model: causality, per-pair FIFO ordering,
+//! and byte accounting under random traffic.
+
+use dps_des::{SimTime, SplitMix64};
+use dps_net::{NetConfig, NetworkModel, NodeId, Traffic};
+use proptest::prelude::*;
+
+fn random_traffic(seed: u64, nodes: u32, count: usize) -> Vec<(u64, u32, u32, u64)> {
+    // (time, src, dst, bytes), times nondecreasing.
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0u64;
+    (0..count)
+        .map(|_| {
+            t += rng.next_below(50_000);
+            let src = rng.next_below(u64::from(nodes)) as u32;
+            let mut dst = rng.next_below(u64::from(nodes)) as u32;
+            if dst == src {
+                dst = (dst + 1) % nodes;
+            }
+            (t, src, dst, rng.next_below(100_000))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Deliveries never precede the request, the sender finishes no later
+    /// than delivery completes, and wire-byte accounting is exact.
+    #[test]
+    fn causality_and_accounting(seed in any::<u64>(), count in 1usize..80) {
+        let mut net = NetworkModel::new(4, NetConfig::default());
+        let mut total = 0u64;
+        for (t, src, dst, bytes) in random_traffic(seed, 4, count) {
+            let plan = net.transfer(
+                SimTime(t),
+                NodeId(src),
+                NodeId(dst),
+                bytes,
+                Traffic::DpsObject,
+            );
+            prop_assert!(plan.sender_done >= SimTime(t));
+            prop_assert!(plan.delivered >= plan.sender_done);
+            prop_assert_eq!(plan.wire_bytes, bytes + net.config().dps_header_bytes);
+            total += plan.wire_bytes;
+        }
+        prop_assert_eq!(net.wire_bytes_total(), total);
+        prop_assert_eq!(net.transfer_count(), count as u64);
+    }
+
+    /// Messages between one ordered pair are delivered in send order (the
+    /// TCP FIFO property DPS relies on for wave totals).
+    #[test]
+    fn per_pair_fifo(seed in any::<u64>(), count in 2usize..60) {
+        let mut net = NetworkModel::new(2, NetConfig::default());
+        let mut rng = SplitMix64::new(seed);
+        let mut t = 0u64;
+        let mut last_delivered = SimTime::ZERO;
+        for _ in 0..count {
+            t += rng.next_below(20_000);
+            let bytes = rng.next_below(50_000);
+            let plan = net.transfer(SimTime(t), NodeId(0), NodeId(1), bytes, Traffic::Socket);
+            prop_assert!(
+                plan.delivered >= last_delivered,
+                "FIFO violated: {:?} before {:?}",
+                plan.delivered,
+                last_delivered
+            );
+            last_delivered = plan.delivered;
+        }
+    }
+
+    /// Local (same-node) transfers are free and never touch the wire.
+    #[test]
+    fn local_transfers_free(seed in any::<u64>(), count in 1usize..40) {
+        let mut net = NetworkModel::new(3, NetConfig::default());
+        let mut rng = SplitMix64::new(seed);
+        for i in 0..count {
+            let node = NodeId(rng.next_below(3) as u32);
+            let plan = net.transfer(
+                SimTime(i as u64),
+                node,
+                node,
+                rng.next_below(1_000_000),
+                Traffic::DpsObject,
+            );
+            prop_assert_eq!(plan.delivered, SimTime(i as u64));
+            prop_assert_eq!(plan.wire_bytes, 0);
+        }
+        prop_assert_eq!(net.wire_bytes_total(), 0);
+    }
+}

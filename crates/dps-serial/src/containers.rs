@@ -1,0 +1,279 @@
+//! The paper's container templates: `Buffer<T>`, `Vector<T>`, and `CT<T>`.
+
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+
+use crate::error::WireError;
+use crate::pod::Pod;
+use crate::reader::Reader;
+use crate::wire::Wire;
+use crate::writer::Writer;
+
+/// Variable-size array of *simple* elements, bulk-copied on the wire.
+///
+/// Equivalent of the paper's `Buffer<int>`: "a variable-size array of
+/// integers" serialized with memory copies. Use this for large numeric
+/// payloads (matrix blocks, pixel rows, cell bands); the `u8` element type
+/// takes a true memcpy fast path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Buffer<T: Pod> {
+    data: Vec<T>,
+}
+
+impl<T: Pod> Buffer<T> {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Buffer taking ownership of `data`.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Self { data }
+    }
+
+    /// Buffer of `len` copies of `fill`.
+    pub fn filled(fill: T, len: usize) -> Self {
+        Self {
+            data: vec![fill; len],
+        }
+    }
+
+    /// Extract the owned element vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrow the elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Borrow the elements mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Buffer<T> {
+    fn from(data: Vec<T>) -> Self {
+        Self::from_vec(data)
+    }
+}
+
+impl<T: Pod> Deref for Buffer<T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.data
+    }
+}
+
+impl<T: Pod> DerefMut for Buffer<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.data
+    }
+}
+
+impl<T: Pod> Index<usize> for Buffer<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T: Pod> IndexMut<usize> for Buffer<T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+impl<T: Pod> Wire for Buffer<T> {
+    fn wire_size(&self) -> usize {
+        4 + self.data.len() * T::WIDTH
+    }
+    fn encode(&self, w: &mut Writer) {
+        w.put_len(self.data.len());
+        T::encode_slice(&self.data, w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_len()?;
+        Ok(Self {
+            data: T::decode_slice(len, r)?,
+        })
+    }
+}
+
+impl<T: Pod> FromIterator<T> for Buffer<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Variable-size array of *complex* elements (nested [`Wire`] values).
+///
+/// Equivalent of the paper's `Vector<Something>`. In Rust this is a thin
+/// newtype over `Vec<T>` — kept as a distinct type so DPS data-object
+/// declarations read like the published API.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector<T: Wire> {
+    data: Vec<T>,
+}
+
+impl<T: Wire> Vector<T> {
+    /// Empty vector.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Vector taking ownership of `data`.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Self { data }
+    }
+
+    /// Extract the owned element vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl<T: Wire> From<Vec<T>> for Vector<T> {
+    fn from(data: Vec<T>) -> Self {
+        Self::from_vec(data)
+    }
+}
+
+impl<T: Wire> Deref for Vector<T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.data
+    }
+}
+
+impl<T: Wire> DerefMut for Vector<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.data
+    }
+}
+
+impl<T: Wire> Wire for Vector<T> {
+    fn wire_size(&self) -> usize {
+        self.data.wire_size()
+    }
+    fn encode(&self, w: &mut Writer) {
+        self.data.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            data: Vec::<T>::decode(r)?,
+        })
+    }
+}
+
+impl<T: Wire> FromIterator<T> for Vector<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Transparent wrapper marking a *simple* type embedded in a complex data
+/// object — the paper's `CT<int>` / `CT<std::string>`.
+///
+/// The C++ library needs `CT` to route simple members through the complex
+/// serializer; Rust's trait system does not, so this is a zero-cost newtype
+/// preserved for API fidelity. `CT<T>` derefs to `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CT<T: Wire>(pub T);
+
+impl<T: Wire> Deref for CT<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: Wire> DerefMut for CT<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: Wire> From<T> for CT<T> {
+    fn from(v: T) -> Self {
+        CT(v)
+    }
+}
+
+impl<T: Wire> Wire for CT<T> {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size()
+    }
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CT(T::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_bytes, to_bytes};
+
+    #[test]
+    fn buffer_roundtrip_and_size() {
+        let buf: Buffer<f64> = vec![1.0, 2.5, -3.0].into();
+        assert_eq!(buf.wire_size(), 4 + 3 * 8);
+        let got: Buffer<f64> = from_bytes(&to_bytes(&buf)).unwrap();
+        assert_eq!(got, buf);
+    }
+
+    #[test]
+    fn buffer_u8_fast_path_layout() {
+        let buf: Buffer<u8> = vec![9, 8, 7].into();
+        let bytes = to_bytes(&buf);
+        assert_eq!(&bytes[4..], &[9, 8, 7]);
+    }
+
+    #[test]
+    fn buffer_deref_and_index() {
+        let mut buf: Buffer<u32> = Buffer::filled(0, 4);
+        buf[2] = 99;
+        buf.push(5);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf[2], 99);
+        assert_eq!(buf.as_slice(), &[0, 0, 99, 0, 5]);
+    }
+
+    #[test]
+    fn vector_of_complex_roundtrip() {
+        let v: Vector<String> = vec!["a".to_string(), "bb".to_string()].into();
+        let got: Vector<String> = from_bytes(&to_bytes(&v)).unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn nested_vector_of_buffers() {
+        let v: Vector<Buffer<u16>> =
+            vec![Buffer::from_vec(vec![1, 2]), Buffer::from_vec(vec![])].into();
+        let got: Vector<Buffer<u16>> = from_bytes(&to_bytes(&v)).unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn ct_is_transparent() {
+        let id: CT<i32> = 42.into();
+        assert_eq!(*id, 42);
+        assert_eq!(id.wire_size(), 4);
+        let got: CT<i32> = from_bytes(&to_bytes(&id)).unwrap();
+        assert_eq!(got, id);
+    }
+
+    #[test]
+    fn buffer_from_iterator() {
+        let buf: Buffer<u32> = (0..5).collect();
+        assert_eq!(buf.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+}

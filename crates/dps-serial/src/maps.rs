@@ -1,0 +1,160 @@
+//! `Wire` for standard map and set types.
+//!
+//! Hash-based containers have unspecified iteration order, so they are
+//! encoded through sorted key order — the wire form of a map is a pure
+//! function of its contents, which keeps cross-node message sizes and
+//! deterministic-simulation traces stable.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+use crate::error::WireError;
+use crate::reader::Reader;
+use crate::wire::Wire;
+use crate::writer::Writer;
+
+impl<K: Wire + Ord, V: Wire> Wire for BTreeMap<K, V> {
+    fn wire_size(&self) -> usize {
+        4 + self
+            .iter()
+            .map(|(k, v)| k.wire_size() + v.wire_size())
+            .sum::<usize>()
+    }
+    fn encode(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for (k, v) in self {
+            k.encode(w);
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Wire + Ord> Wire for BTreeSet<K> {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(Wire::wire_size).sum::<usize>()
+    }
+    fn encode(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for k in self {
+            k.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_len()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(K::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Wire + Ord + Hash + Clone, V: Wire> Wire for HashMap<K, V> {
+    fn wire_size(&self) -> usize {
+        4 + self
+            .iter()
+            .map(|(k, v)| k.wire_size() + v.wire_size())
+            .sum::<usize>()
+    }
+    fn encode(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        for k in keys {
+            k.encode(w);
+            self[k].encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_len()?;
+        let mut out = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Wire + Ord + Hash> Wire for HashSet<K> {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(Wire::wire_size).sum::<usize>()
+    }
+    fn encode(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        let mut keys: Vec<&K> = self.iter().collect();
+        keys.sort();
+        for k in keys {
+            k.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_len()?;
+        let mut out = HashSet::with_capacity(len);
+        for _ in 0..len {
+            out.insert(K::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_bytes, to_bytes};
+
+    #[test]
+    fn btreemap_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "c".to_string());
+        m.insert(1, "a".to_string());
+        let got: BTreeMap<u32, String> = from_bytes(&to_bytes(&m)).unwrap();
+        assert_eq!(got, m);
+        assert_eq!(to_bytes(&m).len(), m.wire_size());
+    }
+
+    #[test]
+    fn hashmap_encoding_is_order_independent() {
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        for i in 0..32u32 {
+            a.insert(i, i * 2);
+        }
+        for i in (0..32u32).rev() {
+            b.insert(i, i * 2);
+        }
+        assert_eq!(to_bytes(&a), to_bytes(&b), "canonical encoding");
+        let got: HashMap<u32, u32> = from_bytes(&to_bytes(&a)).unwrap();
+        assert_eq!(got, a);
+    }
+
+    #[test]
+    fn sets_roundtrip() {
+        let bs: BTreeSet<i16> = [-3, 9, 0].into_iter().collect();
+        let got: BTreeSet<i16> = from_bytes(&to_bytes(&bs)).unwrap();
+        assert_eq!(got, bs);
+
+        let hs: HashSet<String> = ["x".to_string(), "yy".to_string()].into_iter().collect();
+        let got: HashSet<String> = from_bytes(&to_bytes(&hs)).unwrap();
+        assert_eq!(got, hs);
+    }
+
+    #[test]
+    fn empty_maps() {
+        let m: BTreeMap<u8, u8> = BTreeMap::new();
+        assert_eq!(m.wire_size(), 4);
+        let got: BTreeMap<u8, u8> = from_bytes(&to_bytes(&m)).unwrap();
+        assert!(got.is_empty());
+    }
+}

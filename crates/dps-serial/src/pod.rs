@@ -1,0 +1,120 @@
+//! Plain-old-data marker and the bulk-copied [`Buffer`](crate::Buffer)
+//! element contract.
+
+use crate::error::WireError;
+use crate::reader::Reader;
+use crate::wire::Wire;
+use crate::writer::Writer;
+
+/// Marker for *simple* element types in the paper's sense: fixed wire size,
+/// no internal structure, eligible for bulk copy inside a
+/// [`Buffer`](crate::Buffer).
+///
+/// The C++ DPS library serializes `SimpleToken`s and `Buffer<int>` contents
+/// "with simple memory copies". Rust cannot portably memcpy structs with
+/// padding, so `Pod` instead guarantees a fixed `WIDTH` and provides bulk
+/// slice encode/decode, with a genuine memcpy fast path for `u8`/`i8`.
+pub trait Pod: Wire + Copy + Sized {
+    /// Serialized width of every value of this type, in bytes.
+    const WIDTH: usize;
+
+    /// Encode a whole slice. The default loops; `u8` overrides with memcpy.
+    fn encode_slice(slice: &[Self], w: &mut Writer) {
+        for v in slice {
+            v.encode(w);
+        }
+    }
+
+    /// Decode `len` elements into a vector.
+    fn decode_slice(len: usize, r: &mut Reader<'_>) -> Result<Vec<Self>, WireError> {
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(Self::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_pod {
+    ($($ty:ty => $width:expr;)*) => {
+        $(impl Pod for $ty { const WIDTH: usize = $width; })*
+    };
+}
+
+impl_pod! {
+    u16 => 2; u32 => 4; u64 => 8; u128 => 16;
+    i16 => 2; i32 => 4; i64 => 8; i128 => 16;
+    f32 => 4; f64 => 8;
+    bool => 1; char => 4;
+}
+
+impl Pod for u8 {
+    const WIDTH: usize = 1;
+
+    fn encode_slice(slice: &[Self], w: &mut Writer) {
+        w.put_slice(slice);
+    }
+
+    fn decode_slice(len: usize, r: &mut Reader<'_>) -> Result<Vec<Self>, WireError> {
+        Ok(r.get_slice(len)?.to_vec())
+    }
+}
+
+impl Pod for i8 {
+    const WIDTH: usize = 1;
+
+    fn encode_slice(slice: &[Self], w: &mut Writer) {
+        // i8 and u8 share a byte representation; cast is free and safe.
+        let bytes: Vec<u8> = slice.iter().map(|&v| v as u8).collect();
+        w.put_slice(&bytes);
+    }
+
+    fn decode_slice(len: usize, r: &mut Reader<'_>) -> Result<Vec<Self>, WireError> {
+        Ok(r.get_slice(len)?.iter().map(|&b| b as i8).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_wire_size() {
+        assert_eq!(<u32 as Pod>::WIDTH, 0u32.wire_size());
+        assert_eq!(<f64 as Pod>::WIDTH, 0f64.wire_size());
+        assert_eq!(<bool as Pod>::WIDTH, true.wire_size());
+        assert_eq!(<char as Pod>::WIDTH, 'x'.wire_size());
+    }
+
+    #[test]
+    fn u8_bulk_roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut w = Writer::new();
+        u8::encode_slice(&data, &mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, data);
+        let got = u8::decode_slice(data.len(), &mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn i8_bulk_roundtrip() {
+        let data: Vec<i8> = vec![-128, -1, 0, 1, 127];
+        let mut w = Writer::new();
+        i8::encode_slice(&data, &mut w);
+        let bytes = w.into_bytes();
+        let got = i8::decode_slice(data.len(), &mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn generic_bulk_roundtrip() {
+        let data: Vec<f32> = vec![1.5, -2.25, 0.0];
+        let mut w = Writer::new();
+        f32::encode_slice(&data, &mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), data.len() * <f32 as Pod>::WIDTH);
+        let got = f32::decode_slice(data.len(), &mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got, data);
+    }
+}

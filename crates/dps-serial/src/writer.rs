@@ -1,0 +1,188 @@
+//! Growable little-endian byte writer.
+
+use bytes::{BufMut, BytesMut};
+
+/// A growable byte sink used by [`Wire::encode`](crate::Wire::encode).
+///
+/// All multi-byte integers are written little-endian with fixed width, which
+/// keeps the format trivially deterministic across nodes — the property DPS
+/// relies on when a kernel deserializes a data object produced by another
+/// application instance.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Create a writer with `cap` bytes preallocated (typically the value of
+    /// [`Wire::wire_size`](crate::Wire::wire_size), making encoding a single
+    /// allocation).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Consume the writer, yielding a cheaply-cloneable `bytes::Bytes`.
+    pub fn into_shared(self) -> bytes::Bytes {
+        self.buf.freeze()
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Write a single byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Write a `u16` little-endian.
+    #[inline]
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Write a `u32` little-endian.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Write a `u64` little-endian.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Write a `u128` little-endian.
+    #[inline]
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.put_u128_le(v);
+    }
+
+    /// Write an `i8`.
+    #[inline]
+    pub fn put_i8(&mut self, v: i8) {
+        self.buf.put_i8(v);
+    }
+
+    /// Write an `i16` little-endian.
+    #[inline]
+    pub fn put_i16(&mut self, v: i16) {
+        self.buf.put_i16_le(v);
+    }
+
+    /// Write an `i32` little-endian.
+    #[inline]
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.put_i32_le(v);
+    }
+
+    /// Write an `i64` little-endian.
+    #[inline]
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Write an `i128` little-endian.
+    #[inline]
+    pub fn put_i128(&mut self, v: i128) {
+        self.buf.put_i128_le(v);
+    }
+
+    /// Write an `f32` as its IEEE-754 bits, little-endian.
+    #[inline]
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_f32_le(v);
+    }
+
+    /// Write an `f64` as its IEEE-754 bits, little-endian.
+    #[inline]
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Write a length prefix (`u32`); DPS data objects never exceed 4 GiB.
+    ///
+    /// # Panics
+    /// Panics if `len` does not fit in a `u32`.
+    #[inline]
+    pub fn put_len(&mut self, len: usize) {
+        let v = u32::try_from(len).expect("wire length exceeds u32::MAX");
+        self.put_u32(v);
+    }
+
+    /// Append raw bytes verbatim (used for the [`Buffer`](crate::Buffer)
+    /// bulk fast path and for pre-serialized payloads).
+    #[inline]
+    pub fn put_slice(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_layout() {
+        let mut w = Writer::new();
+        w.put_u32(0x0403_0201);
+        assert_eq!(w.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_tracking_and_into_bytes() {
+        let mut w = Writer::with_capacity(16);
+        assert!(w.is_empty());
+        w.put_u8(7);
+        w.put_u64(1);
+        assert_eq!(w.len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 9);
+        assert_eq!(bytes[0], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "wire length exceeds")]
+    fn oversized_len_panics() {
+        let mut w = Writer::new();
+        w.put_len(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn floats_roundtrip_bits() {
+        let mut w = Writer::new();
+        w.put_f64(std::f64::consts::PI);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            f64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            std::f64::consts::PI
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests: wire round-trip holds for arbitrary values, and decoding
+//! arbitrary garbage never panics.
+
+use dps_serial::{from_bytes, identify, impl_wire, to_bytes, Buffer, Vector, Wire, CT};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Nested {
+    tag: u16,
+    label: String,
+    data: Buffer<i64>,
+}
+impl_wire!(Nested {
+    tag,
+    label,
+    data
+});
+identify!(Nested);
+
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Outer {
+    id: CT<u64>,
+    flag: bool,
+    items: Vector<Nested>,
+    opt: Option<String>,
+    raw: Buffer<u8>,
+}
+impl_wire!(Outer {
+    id,
+    flag,
+    items,
+    opt,
+    raw
+});
+identify!(Outer);
+
+fn arb_nested() -> impl Strategy<Value = Nested> {
+    (
+        any::<u16>(),
+        ".{0,16}",
+        proptest::collection::vec(any::<i64>(), 0..8),
+    )
+        .prop_map(|(tag, label, data)| Nested {
+            tag,
+            label,
+            data: data.into(),
+        })
+}
+
+fn arb_outer() -> impl Strategy<Value = Outer> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        proptest::collection::vec(arb_nested(), 0..5),
+        proptest::option::of(".{0,8}"),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(id, flag, items, opt, raw)| Outer {
+            id: id.into(),
+            flag,
+            items: items.into(),
+            opt,
+            raw: raw.into(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_primitives(v in any::<(u8, i32, u64, f32, bool)>()) {
+        let bytes = to_bytes(&v);
+        prop_assert_eq!(bytes.len(), v.wire_size());
+        let got: (u8, i32, u64, f32, bool) = from_bytes(&bytes).unwrap();
+        // f32 NaN compares unequal; compare bit patterns instead.
+        prop_assert_eq!(got.0, v.0);
+        prop_assert_eq!(got.1, v.1);
+        prop_assert_eq!(got.2, v.2);
+        prop_assert_eq!(got.3.to_bits(), v.3.to_bits());
+        prop_assert_eq!(got.4, v.4);
+    }
+
+    #[test]
+    fn roundtrip_strings(s in ".{0,256}") {
+        let bytes = to_bytes(&s);
+        prop_assert_eq!(bytes.len(), s.wire_size());
+        let got: String = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(got, s);
+    }
+
+    #[test]
+    fn roundtrip_nested_structs(v in arb_outer()) {
+        let bytes = to_bytes(&v);
+        prop_assert_eq!(bytes.len(), v.wire_size());
+        let got: Outer = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(got, v);
+    }
+
+    #[test]
+    fn roundtrip_buffers(v in proptest::collection::vec(any::<f64>(), 0..128)) {
+        let buf: Buffer<f64> = v.into();
+        let bytes = to_bytes(&buf);
+        let got: Buffer<f64> = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(got.len(), buf.len());
+        for (a, b) in got.iter().zip(buf.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn decoding_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Result is allowed to be Ok (garbage may be valid) — the property is
+        // "no panic, no absurd allocation".
+        let _ = from_bytes::<Outer>(&bytes);
+        let _ = from_bytes::<Vec<String>>(&bytes);
+        let _ = from_bytes::<Nested>(&bytes);
+    }
+
+    #[test]
+    fn truncation_yields_error_not_panic(v in arb_outer(), cut in 0usize..32) {
+        let bytes = to_bytes(&v);
+        if cut < bytes.len() {
+            let trunc = &bytes[..bytes.len() - 1 - cut];
+            let r = from_bytes::<Outer>(trunc);
+            prop_assert!(r.is_err());
+        }
+    }
+}

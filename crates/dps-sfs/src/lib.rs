@@ -1,0 +1,31 @@
+//! # dps-sfs — striped file system services under DPS
+//!
+//! The paper's runtime picture (Fig. 5) shows parallel applications calling
+//! "parallel striped file services provided by a third parallel application",
+//! and its stream-operation example (Fig. 4) is a video pipeline over a disk
+//! array: "An uncompressed video stream is stored on a disk array as partial
+//! frames, which need to be recomposed before further processing. The use of
+//! the stream operation enables complete frames to be processed as soon as
+//! they are ready, without waiting until all partial frames have been read."
+//!
+//! This crate builds both:
+//!
+//! * [`DiskModel`] — seek + transfer cost model of one disk (the paper's
+//!   testbed-era commodity disk by default);
+//! * [`StripeStore`] — per-thread stripe storage: file stripes are
+//!   distributed round-robin over the server threads (one per disk);
+//! * [`build_write_graph`] / [`build_read_graph`] — the striped write/read
+//!   parallel services, exposable to other applications (Fig. 5);
+//! * [`video`] — the Fig. 4 pipeline: read frame parts → *stream* recompose
+//!   → process frames → merge, with the stream forwarding each frame the
+//!   moment its last part arrives.
+
+mod disk;
+mod store;
+pub mod video;
+
+pub use disk::DiskModel;
+pub use store::{
+    build_read_graph, build_write_graph, FileData, ReadFileReq, StripeStore, WriteAck,
+    WriteFileReq,
+};

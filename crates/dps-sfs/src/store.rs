@@ -1,0 +1,371 @@
+//! Striped file storage and its read/write parallel services.
+
+use std::collections::HashMap;
+
+use dps_core::prelude::*;
+use dps_core::{dps_token, GraphHandle, SimEngine};
+use dps_serial::Buffer;
+
+use crate::disk::DiskModel;
+
+/// Default stripe unit (bytes per stripe).
+pub const STRIPE_UNIT: usize = 64 * 1024;
+
+dps_token! {
+    /// Write a whole file through the striped service.
+    pub struct WriteFileReq { pub file: u64, pub data: Buffer<u8> }
+}
+dps_token! {
+    /// One stripe on its way to a server thread.
+    pub struct StripeWrite { pub file: u64, pub index: u32, pub data: Buffer<u8> }
+}
+dps_token! {
+    /// A stripe landed on disk.
+    pub struct StripeAck { pub file: u64, pub index: u32 }
+}
+dps_token! {
+    /// Whole-file write acknowledgement.
+    pub struct WriteAck { pub file: u64, pub stripes: u32 }
+}
+dps_token! {
+    /// Read a whole file through the striped service.
+    pub struct ReadFileReq { pub file: u64, pub stripes: u32 }
+}
+dps_token! {
+    /// Request for one stripe.
+    pub struct StripeRead { pub file: u64, pub index: u32 }
+}
+dps_token! {
+    /// One stripe coming back from a disk.
+    pub struct StripeData { pub file: u64, pub index: u32, pub data: Buffer<u8> }
+}
+dps_token! {
+    /// Reassembled file contents.
+    pub struct FileData { pub file: u64, pub data: Buffer<u8> }
+}
+
+/// Per-server-thread stripe storage: one virtual disk per thread.
+#[derive(Debug, Default)]
+pub struct StripeStore {
+    /// `(file, stripe index) → bytes`.
+    stripes: HashMap<(u64, u32), Vec<u8>>,
+    /// Disk model used for cost accounting.
+    pub disk: DiskModel,
+    /// Node compute rate (set at load time; converts disk time to charge
+    /// units).
+    pub node_flops: f64,
+}
+
+impl StripeStore {
+    /// Store one stripe.
+    pub fn put(&mut self, file: u64, index: u32, data: Vec<u8>) {
+        self.stripes.insert((file, index), data);
+    }
+
+    /// Fetch one stripe (cloned).
+    pub fn get(&self, file: u64, index: u32) -> Option<Vec<u8>> {
+        self.stripes.get(&(file, index)).cloned()
+    }
+
+    /// Number of stripes held.
+    pub fn len(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// True if no stripes are held.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.is_empty()
+    }
+}
+
+// --- operations -------------------------------------------------------------
+
+struct SplitWrite;
+impl SplitOperation for SplitWrite {
+    type Thread = ();
+    type In = WriteFileReq;
+    type Out = StripeWrite;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), StripeWrite>, w: WriteFileReq) {
+        let data = w.data.into_vec();
+        if data.is_empty() {
+            ctx.post(StripeWrite {
+                file: w.file,
+                index: 0,
+                data: Buffer::new(),
+            });
+            return;
+        }
+        for (i, chunk) in data.chunks(STRIPE_UNIT).enumerate() {
+            ctx.post(StripeWrite {
+                file: w.file,
+                index: i as u32,
+                data: chunk.to_vec().into(),
+            });
+        }
+    }
+}
+
+struct StoreStripe;
+impl LeafOperation for StoreStripe {
+    type Thread = StripeStore;
+    type In = StripeWrite;
+    type Out = StripeAck;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, StripeStore, StripeAck>, s: StripeWrite) {
+        let bytes = s.data.len();
+        let store = ctx.thread();
+        let flops = store.disk.access_flops(bytes, store.node_flops);
+        store.put(s.file, s.index, s.data.into_vec());
+        ctx.charge_flops(flops);
+        ctx.post(StripeAck {
+            file: s.file,
+            index: s.index,
+        });
+    }
+}
+
+#[derive(Default)]
+struct MergeAcks {
+    file: u64,
+    stripes: u32,
+}
+impl MergeOperation for MergeAcks {
+    type Thread = ();
+    type In = StripeAck;
+    type Out = WriteAck;
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, (), WriteAck>, a: StripeAck) {
+        self.file = a.file;
+        self.stripes += 1;
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, (), WriteAck>) {
+        ctx.post(WriteAck {
+            file: self.file,
+            stripes: self.stripes,
+        });
+    }
+}
+
+struct SplitRead;
+impl SplitOperation for SplitRead {
+    type Thread = ();
+    type In = ReadFileReq;
+    type Out = StripeRead;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), StripeRead>, r: ReadFileReq) {
+        for i in 0..r.stripes.max(1) {
+            ctx.post(StripeRead {
+                file: r.file,
+                index: i,
+            });
+        }
+    }
+}
+
+struct ReadStripe;
+impl LeafOperation for ReadStripe {
+    type Thread = StripeStore;
+    type In = StripeRead;
+    type Out = StripeData;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, StripeStore, StripeData>, r: StripeRead) {
+        let store = ctx.thread();
+        let data = store.get(r.file, r.index).unwrap_or_default();
+        let flops = store.disk.access_flops(data.len(), store.node_flops);
+        ctx.charge_flops(flops);
+        ctx.post(StripeData {
+            file: r.file,
+            index: r.index,
+            data: data.into(),
+        });
+    }
+}
+
+#[derive(Default)]
+struct AssembleFile {
+    file: u64,
+    parts: Vec<(u32, Vec<u8>)>,
+}
+impl MergeOperation for AssembleFile {
+    type Thread = ();
+    type In = StripeData;
+    type Out = FileData;
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, (), FileData>, s: StripeData) {
+        self.file = s.file;
+        self.parts.push((s.index, s.data.into_vec()));
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, (), FileData>) {
+        self.parts.sort_by_key(|&(i, _)| i);
+        let data: Vec<u8> = self.parts.drain(..).flat_map(|(_, d)| d).collect();
+        ctx.post(FileData {
+            file: self.file,
+            data: data.into(),
+        });
+    }
+}
+
+// --- graph builders -----------------------------------------------------------
+
+fn stripe_route_w() -> ByKey<StripeWrite, fn(&StripeWrite) -> usize> {
+    ByKey::new(|s: &StripeWrite| s.index as usize)
+}
+
+fn stripe_route_r() -> ByKey<StripeRead, fn(&StripeRead) -> usize> {
+    ByKey::new(|s: &StripeRead| s.index as usize)
+}
+
+/// Build the striped *write* service graph; optionally expose it under a
+/// service name so other applications can call it (Fig. 5).
+pub fn build_write_graph(
+    eng: &mut SimEngine,
+    master: &ThreadCollection<()>,
+    servers: &ThreadCollection<StripeStore>,
+    service_name: Option<&str>,
+) -> Result<GraphHandle> {
+    let mut b = GraphBuilder::new("sfs-write");
+    let s = b.split(&*master, || ToThread(0), || SplitWrite);
+    let w = b.leaf(&*servers, stripe_route_w, || StoreStripe);
+    let m = b.merge(&*master, || ToThread(0), MergeAcks::default);
+    b.add(s >> w >> m);
+    let g = eng.build_graph(b)?;
+    if let Some(name) = service_name {
+        eng.expose_service(g, name);
+    }
+    Ok(g)
+}
+
+/// Build the striped *read* service graph.
+pub fn build_read_graph(
+    eng: &mut SimEngine,
+    master: &ThreadCollection<()>,
+    servers: &ThreadCollection<StripeStore>,
+    service_name: Option<&str>,
+) -> Result<GraphHandle> {
+    let mut b = GraphBuilder::new("sfs-read");
+    let s = b.split(&*master, || ToThread(0), || SplitRead);
+    let r = b.leaf(&*servers, stripe_route_r, || ReadStripe);
+    let m = b.merge(&*master, || ToThread(0), AssembleFile::default);
+    b.add(s >> r >> m);
+    let g = eng.build_graph(b)?;
+    if let Some(name) = service_name {
+        eng.expose_service(g, name);
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_cluster::ClusterSpec;
+    use dps_core::downcast;
+
+    fn setup(nodes: usize) -> (SimEngine, ThreadCollection<()>, ThreadCollection<StripeStore>) {
+        let mut eng = SimEngine::new(ClusterSpec::paper_testbed(nodes));
+        let app = eng.app("sfs");
+        eng.preload_app(app);
+        let master: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+        let mapping = dps_cluster::round_robin_mapping(eng.cluster().spec(), nodes, 1);
+        let servers: ThreadCollection<StripeStore> =
+            eng.thread_collection(app, "disks", &mapping).unwrap();
+        for t in 0..servers.thread_count() {
+            let st = eng.thread_data_mut(&servers, t);
+            st.node_flops = 70.0e6;
+            st.disk = DiskModel::default();
+        }
+        (eng, master, servers)
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let (mut eng, master, servers) = setup(4);
+        let wg = build_write_graph(&mut eng, &master, &servers, None).unwrap();
+        let rg = build_read_graph(&mut eng, &master, &servers, None).unwrap();
+
+        let payload: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        let stripes = payload.len().div_ceil(STRIPE_UNIT) as u32;
+        eng.inject(
+            wg,
+            WriteFileReq {
+                file: 7,
+                data: payload.clone().into(),
+            },
+        )
+        .unwrap();
+        eng.run_until_idle().unwrap();
+        let ack = downcast::<WriteAck>(eng.take_outputs(wg).pop().unwrap().1).unwrap();
+        assert_eq!(ack.stripes, stripes);
+
+        eng.inject(rg, ReadFileReq { file: 7, stripes }).unwrap();
+        eng.run_until_idle().unwrap();
+        let fd = downcast::<FileData>(eng.take_outputs(rg).pop().unwrap().1).unwrap();
+        assert_eq!(fd.data.as_slice(), payload.as_slice());
+    }
+
+    #[test]
+    fn stripes_spread_across_servers() {
+        let (mut eng, master, servers) = setup(4);
+        let wg = build_write_graph(&mut eng, &master, &servers, None).unwrap();
+        let payload = vec![0u8; STRIPE_UNIT * 8];
+        eng.inject(
+            wg,
+            WriteFileReq {
+                file: 1,
+                data: payload.into(),
+            },
+        )
+        .unwrap();
+        eng.run_until_idle().unwrap();
+        for t in 0..4 {
+            assert_eq!(
+                eng.thread_data_mut(&servers, t).len(),
+                2,
+                "8 stripes round-robin over 4 disks"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_file_write_is_handled() {
+        let (mut eng, master, servers) = setup(2);
+        let wg = build_write_graph(&mut eng, &master, &servers, None).unwrap();
+        eng.inject(
+            wg,
+            WriteFileReq {
+                file: 9,
+                data: Buffer::new(),
+            },
+        )
+        .unwrap();
+        eng.run_until_idle().unwrap();
+        let ack = downcast::<WriteAck>(eng.take_outputs(wg).pop().unwrap().1).unwrap();
+        assert_eq!(ack.stripes, 1, "placeholder stripe");
+    }
+
+    #[test]
+    fn parallel_read_faster_than_single_disk() {
+        // 4 disks deliver a striped file faster than 1 — the point of the
+        // striped file system.
+        let elapsed = |nodes: usize| {
+            let (mut eng, master, servers) = setup(nodes);
+            let wg = build_write_graph(&mut eng, &master, &servers, None).unwrap();
+            let rg = build_read_graph(&mut eng, &master, &servers, None).unwrap();
+            let payload = vec![7u8; STRIPE_UNIT * 16];
+            eng.inject(
+                wg,
+                WriteFileReq {
+                    file: 3,
+                    data: payload.into(),
+                },
+            )
+            .unwrap();
+            eng.run_until_idle().unwrap();
+            eng.take_outputs(wg);
+            let t0 = eng.now();
+            eng.inject(rg, ReadFileReq { file: 3, stripes: 16 }).unwrap();
+            eng.run_until_idle().unwrap();
+            eng.now().since(t0)
+        };
+        let t1 = elapsed(1);
+        let t4 = elapsed(4);
+        assert!(
+            t4.as_secs_f64() < t1.as_secs_f64() * 0.6,
+            "striping should speed reads: 1 disk {t1}, 4 disks {t4}"
+        );
+    }
+}

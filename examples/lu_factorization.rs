@@ -1,0 +1,62 @@
+//! Block LU factorization with partial pivoting — the paper's §5
+//! application (Fig. 11–15).
+//!
+//! Factorizes a 256×256 matrix distributed as block columns over 4 virtual
+//! nodes, with the stream-pipelined schedule and the merge-split baseline,
+//! verifies `‖P·A − L·U‖∞` for both, and reports the pipelining gain.
+//!
+//! Run with: `cargo run --release --example lu_factorization`
+
+use dps::cluster::ClusterSpec;
+use dps::core::EngineConfig;
+use dps::linalg::parallel::lu::{run_lu_sim, LuConfig};
+use dps::linalg::{blocked_lu, lu_residual, Matrix};
+
+fn main() {
+    let cfg = |pipelined| LuConfig {
+        n: 256,
+        r: 32,
+        pipelined,
+        seed: 1234,
+        nodes: 4,
+        threads_per_node: 1,
+    };
+
+    let spec = ClusterSpec::paper_testbed(4);
+    let pipe = run_lu_sim(spec.clone(), &cfg(true), EngineConfig::default())
+        .expect("pipelined run");
+    let merge_split = run_lu_sim(spec, &cfg(false), EngineConfig::default())
+        .expect("merge-split run");
+
+    let a = Matrix::random_general(256, 256, 1234);
+    let res_pipe = lu_residual(&a, &pipe.factors);
+    let res_merge = lu_residual(&a, &merge_split.factors);
+    println!("residual ‖P·A − L·U‖∞, pipelined:   {res_pipe:.3e}");
+    println!("residual ‖P·A − L·U‖∞, merge-split: {res_merge:.3e}");
+    assert!(res_pipe < 1e-8 && res_merge < 1e-8);
+
+    // The parallel schedule follows the same elimination path as the
+    // sequential block driver — identical pivots.
+    let reference = blocked_lu(&a, 32);
+    assert_eq!(pipe.factors.pivots, reference.pivots);
+
+    println!(
+        "\nvirtual time, stream-pipelined (Fig. 12): {}",
+        pipe.elapsed
+    );
+    println!(
+        "virtual time, merge-split baseline:       {}",
+        merge_split.elapsed
+    );
+    let gain = (merge_split.elapsed.as_secs_f64() - pipe.elapsed.as_secs_f64())
+        / merge_split.elapsed.as_secs_f64();
+    println!(
+        "stream-operation gain: {:.1}% — the next panel factorizes as soon as\n\
+         its column is up to date, while other columns still multiply (Fig. 13)",
+        gain * 100.0
+    );
+    println!(
+        "\ncommunication: {} payload bytes across nodes (panel broadcasts + pivots)",
+        pipe.wire_bytes
+    );
+}

@@ -1,0 +1,41 @@
+//! # DPS — Dynamic Parallel Schedules
+//!
+//! Facade crate re-exporting the whole DPS workspace: a Rust reproduction of
+//! *DPS – Dynamic Parallel Schedules* (Gerlach & Hersch, HIPS/IPDPS 2003).
+//!
+//! DPS expresses a parallel application as a directed acyclic **flow graph**
+//! of *split*, *leaf* (compute), *merge*, and *stream* operations executed by
+//! **thread collections** mapped onto cluster nodes, with user-defined
+//! **routing functions**. Execution is pipelined and multithreaded by
+//! construction, overlapping computation and communication.
+//!
+//! See the individual crates for details:
+//!
+//! * [`dps_core`] — the framework (operations, flow graphs, routing,
+//!   flow control, services).
+//! * [`dps_serial`] — serialization of data objects ("tokens").
+//! * [`dps_des`] / [`dps_net`] / [`dps_cluster`] — the deterministic cluster
+//!   simulator substrate (virtual time, network model, virtual nodes).
+//! * [`dps_mt`] — real OS-thread execution engine.
+//! * [`dps_linalg`] / [`dps_life`] / [`dps_sfs`] — the paper's application
+//!   substrates (block LU factorization, Game of Life, striped file system).
+//!
+//! ## Quickstart
+//!
+//! The paper's §3 tutorial (parallel uppercase conversion) lives in
+//! `examples/quickstart.rs`; run it with `cargo run --example quickstart`.
+
+pub use dps_cluster as cluster;
+pub use dps_core as core;
+pub use dps_des as des;
+pub use dps_life as life;
+pub use dps_linalg as linalg;
+pub use dps_mt as mt;
+pub use dps_net as net;
+pub use dps_serial as serial;
+pub use dps_sfs as sfs;
+
+/// Convenient prelude pulling in the most common DPS items.
+pub mod prelude {
+    pub use dps_core::prelude::*;
+}

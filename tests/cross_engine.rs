@@ -1,0 +1,148 @@
+//! Cross-engine integration: the same flow graph executed on the
+//! deterministic simulator and on real OS threads must compute the same
+//! results — only the notion of time differs.
+
+use dps::cluster::ClusterSpec;
+use dps::core::prelude::*;
+use dps::core::{dps_token, SimEngine};
+use dps::mt::MtEngine;
+use dps::serial::Buffer;
+
+dps_token! {
+    pub struct Work { pub values: Buffer<u64> }
+}
+dps_token! {
+    pub struct Shard { pub idx: u32, pub values: Buffer<u64> }
+}
+dps_token! {
+    pub struct ShardSum { pub idx: u32, pub sum: u64 }
+}
+dps_token! {
+    pub struct Grand { pub sum: u64, pub shards: u32 }
+}
+
+struct Scatter {
+    shards: u32,
+}
+impl SplitOperation for Scatter {
+    type Thread = ();
+    type In = Work;
+    type Out = Shard;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), Shard>, w: Work) {
+        let values = w.values.into_vec();
+        let chunk = values.len().div_ceil(self.shards as usize).max(1);
+        for (idx, part) in values.chunks(chunk).enumerate() {
+            ctx.post(Shard {
+                idx: idx as u32,
+                values: part.to_vec().into(),
+            });
+        }
+    }
+}
+
+struct SumShard;
+impl LeafOperation for SumShard {
+    type Thread = ();
+    type In = Shard;
+    type Out = ShardSum;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), ShardSum>, s: Shard) {
+        ctx.post(ShardSum {
+            idx: s.idx,
+            sum: s.values.iter().sum(),
+        });
+    }
+}
+
+#[derive(Default)]
+struct Gather {
+    sum: u64,
+    shards: u32,
+}
+impl MergeOperation for Gather {
+    type Thread = ();
+    type In = ShardSum;
+    type Out = Grand;
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, (), Grand>, s: ShardSum) {
+        self.sum += s.sum;
+        self.shards += 1;
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, (), Grand>) {
+        ctx.post(Grand {
+            sum: self.sum,
+            shards: self.shards,
+        });
+    }
+}
+
+fn input(n: u64) -> Work {
+    Work {
+        values: (0..n).map(|i| i * 3 + 1).collect::<Vec<_>>().into(),
+    }
+}
+
+fn expected(n: u64) -> u64 {
+    (0..n).map(|i| i * 3 + 1).sum()
+}
+
+#[test]
+fn sim_engine_computes_scatter_gather() {
+    let mut eng = SimEngine::new(ClusterSpec::paper_testbed(4));
+    let app = eng.app("xe");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let workers: ThreadCollection<()> = eng
+        .thread_collection(app, "w", "node0 node1 node2 node3")
+        .unwrap();
+    let mut b = GraphBuilder::new("scatter-gather");
+    let s = b.split(&main, || ToThread(0), || Scatter { shards: 8 });
+    let l = b.leaf(&workers, RoundRobin::new, || SumShard);
+    let m = b.merge(&main, || ToThread(0), Gather::default);
+    b.add(s >> l >> m);
+    let g = eng.build_graph(b).unwrap();
+    eng.inject(g, input(1000)).unwrap();
+    eng.run_until_idle().unwrap();
+    let grand = downcast::<Grand>(eng.take_outputs(g).pop().unwrap().1).unwrap();
+    assert_eq!(grand.sum, expected(1000));
+    assert_eq!(grand.shards, 8);
+}
+
+#[test]
+fn mt_engine_computes_identically() {
+    let mut eng = MtEngine::new(4);
+    let app = eng.app("xe");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let workers: ThreadCollection<()> = eng
+        .thread_collection(app, "w", "node0 node1 node2 node3")
+        .unwrap();
+    let mut b = GraphBuilder::new("scatter-gather");
+    let s = b.split(&main, || ToThread(0), || Scatter { shards: 8 });
+    let l = b.leaf(&workers, RoundRobin::new, || SumShard);
+    let m = b.merge(&main, || ToThread(0), Gather::default);
+    b.add(s >> l >> m);
+    let g = eng.build_graph(b).unwrap();
+    let grand = eng.run_one::<Grand>(g, Box::new(input(1000))).unwrap();
+    assert_eq!(grand.sum, expected(1000));
+    assert_eq!(grand.shards, 8);
+}
+
+#[test]
+fn sim_engine_is_deterministic_across_runs() {
+    let run = || {
+        let mut eng = SimEngine::new(ClusterSpec::paper_testbed(3));
+        let app = eng.app("det");
+        let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+        let workers: ThreadCollection<()> = eng
+            .thread_collection(app, "w", "node0 node1 node2")
+            .unwrap();
+        let mut b = GraphBuilder::new("g");
+        let s = b.split(&main, || ToThread(0), || Scatter { shards: 16 });
+        let l = b.leaf(&workers, LeastLoaded::new, || SumShard);
+        let m = b.merge(&main, || ToThread(0), Gather::default);
+        b.add(s >> l >> m);
+        let g = eng.build_graph(b).unwrap();
+        eng.inject(g, input(333)).unwrap();
+        eng.run_until_idle().unwrap();
+        let outs = eng.take_outputs(g);
+        (eng.now(), outs.len())
+    };
+    assert_eq!(run(), run());
+}
