@@ -172,8 +172,7 @@ fn bench_engine_end_to_end(c: &mut Criterion) {
             let mut eng = SimEngine::new(dps_cluster::ClusterSpec::paper_testbed(4));
             let app = eng.app("bench");
             eng.preload_app(app);
-            let main: ThreadCollection<()> =
-                eng.thread_collection(app, "m", "node0").unwrap();
+            let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
             let w: ThreadCollection<()> = eng
                 .thread_collection(app, "w", "node0 node1 node2 node3")
                 .unwrap();

@@ -78,14 +78,22 @@ fn main() {
             nodes,
             threads_per_node: 1,
         };
-        let tp = run_lu_sim(calib::paper_cluster(nodes), &mk(true), calib::engine_config())
-            .expect("lu")
-            .elapsed
-            .as_secs_f64();
-        let tm = run_lu_sim(calib::paper_cluster(nodes), &mk(false), calib::engine_config())
-            .expect("lu")
-            .elapsed
-            .as_secs_f64();
+        let tp = run_lu_sim(
+            calib::paper_cluster(nodes),
+            &mk(true),
+            calib::engine_config(),
+        )
+        .expect("lu")
+        .elapsed
+        .as_secs_f64();
+        let tm = run_lu_sim(
+            calib::paper_cluster(nodes),
+            &mk(false),
+            calib::engine_config(),
+        )
+        .expect("lu")
+        .elapsed
+        .as_secs_f64();
         rows.push(vec![
             format!("{nodes}"),
             table::secs(tp),

@@ -11,7 +11,11 @@ use dps_linalg::parallel::lu::{run_lu_sim, LuConfig};
 use dps_linalg::{lu_residual, Matrix};
 
 fn main() {
-    let (n, r) = if full_scale() { (4096, 128) } else { (1024, 64) };
+    let (n, r) = if full_scale() {
+        (4096, 128)
+    } else {
+        (1024, 64)
+    };
     let seed = 77;
 
     let run = |pipelined, nodes| {
@@ -23,8 +27,8 @@ fn main() {
             nodes,
             threads_per_node: 1,
         };
-        let rep = run_lu_sim(calib::paper_cluster(nodes), &cfg, calib::engine_config())
-            .expect("LU run");
+        let rep =
+            run_lu_sim(calib::paper_cluster(nodes), &cfg, calib::engine_config()).expect("LU run");
         // Every configuration is verified against the input matrix.
         let a = Matrix::random_general(n, n, seed);
         let res = lu_residual(&a, &rep.factors);
@@ -48,7 +52,13 @@ fn main() {
     }
     table::print_table(
         &format!("Figure 15 — LU factorization speedup, {n}×{n}, block {r}"),
-        &["nodes", "pipelined", "non-pipelined", "t(pipe)", "t(merge-split)"],
+        &[
+            "nodes",
+            "pipelined",
+            "non-pipelined",
+            "t(pipe)",
+            "t(merge-split)",
+        ],
         &rows,
     );
     println!(

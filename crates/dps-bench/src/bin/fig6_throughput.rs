@@ -117,7 +117,7 @@ fn socket_ring_mbps(size: usize, total_bytes: usize) -> f64 {
         (NodeId(3), NodeId(0)),
     ];
     // ready[h] = when the payload of the current chunk is available at hop h's source.
-    let mut ready = vec![SimTime::ZERO; 5];
+    let mut ready = [SimTime::ZERO; 5];
     let mut last = SimTime::ZERO;
     for _ in 0..chunks {
         let mut t = ready[0];

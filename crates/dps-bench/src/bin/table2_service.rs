@@ -54,11 +54,8 @@ fn run_config(
         .thread_collection(client, "m", "node0")
         .expect("client tc");
     let mut cb = GraphBuilder::new("viz-call");
-    let _call = cb.call::<ReadReq, dps_life::graphs::Subset, (), _>(
-        "life.read",
-        &cmain,
-        || ToThread(0),
-    );
+    let _call =
+        cb.call::<ReadReq, dps_life::graphs::Subset, (), _>("life.read", &cmain, || ToThread(0));
     let call_graph = eng.build_graph(cb).expect("client graph");
     let _ = read_graph;
 

@@ -128,8 +128,7 @@ mod tests {
     #[test]
     fn failure_evicts_and_unregisters() {
         let mut c = cluster(2);
-        c.deploy
-            .ensure_instance(SimTime::ZERO, AppId(1), NodeId(1));
+        c.deploy.ensure_instance(SimTime::ZERO, AppId(1), NodeId(1));
         let affected = c.fail_node(NodeId(1));
         assert!(!c.is_alive(NodeId(1)));
         assert_eq!(c.names.lookup("node1"), None);

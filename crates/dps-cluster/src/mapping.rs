@@ -89,7 +89,7 @@ pub fn resolve_mapping(spec: &ClusterSpec, s: &str) -> Result<Vec<NodeId>, Mappi
         let id = spec
             .node_id(&name)
             .ok_or(MappingError::UnknownNode { name })?;
-        out.extend(std::iter::repeat(id).take(count));
+        out.extend(std::iter::repeat_n(id, count));
     }
     Ok(out)
 }

@@ -38,8 +38,8 @@ use dps_serial::Identified;
 use crate::envelope::GNodeId;
 use crate::graph::{GraphNode, OpKind};
 use crate::ops::{
-    DynOp, LeafAdapter, LeafOperation, MergeAdapter, MergeOperation, SplitAdapter,
-    SplitOperation, StreamAdapter, StreamOperation, ThreadData,
+    DynOp, LeafAdapter, LeafOperation, MergeAdapter, MergeOperation, SplitAdapter, SplitOperation,
+    StreamAdapter, StreamOperation, ThreadData,
 };
 use crate::route::{Route, RouteAdapter};
 use crate::threads::ThreadCollection;
@@ -404,8 +404,7 @@ impl GraphBuilder {
         let app = self.app.ok_or_else(|| crate::DpsError::InvalidGraph {
             reason: "graph has no nodes".into(),
         })?;
-        let mut g =
-            crate::Flowgraph::assemble(self.name, self.nodes, &self.edges, self.serving)?;
+        let mut g = crate::Flowgraph::assemble(self.name, self.nodes, &self.edges, self.serving)?;
         g.set_interactive(self.interactive);
         Ok((g, app))
     }

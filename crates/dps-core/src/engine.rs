@@ -81,9 +81,7 @@ enum Payload {
     /// Wave-close control info: the producer finished; the wave holds
     /// `total` tokens. Sent only when the final data object was already in
     /// flight before the producer knew the count.
-    Close {
-        total: u32,
-    },
+    Close { total: u32 },
 }
 
 struct Delivery {
@@ -377,11 +375,12 @@ impl SimEngine {
         {
             let a = &self.sim.world.apps[app as usize];
             for n in &nodes {
-                let tc = a.tcs.get(n.tc as usize).ok_or_else(|| {
-                    DpsError::UnmappedCollection {
+                let tc = a
+                    .tcs
+                    .get(n.tc as usize)
+                    .ok_or_else(|| DpsError::UnmappedCollection {
                         name: format!("tc#{}", n.tc),
-                    }
-                })?;
+                    })?;
                 if tc.td_type != n.td_type {
                     return Err(DpsError::InvalidGraph {
                         reason: format!(
@@ -726,12 +725,7 @@ fn run_delivery(sim: &mut Sim<Rt>, tk: ThreadKey, node: NodeId, d: Delivery) -> 
         return SimSpan::ZERO;
     }
     let start = sim.now();
-    let kind = sim
-        .world
-        .graph(tk.app, d.graph)
-        .def
-        .node(d.node)
-        .kind;
+    let kind = sim.world.graph(tk.app, d.graph).def.node(d.node).kind;
     if let Payload::Close { total } = d.payload {
         return run_close(sim, tk, node, d.graph, d.node, kind, d.env, total, start);
     }
@@ -745,7 +739,9 @@ fn run_delivery(sim: &mut Sim<Rt>, tk: ThreadKey, node: NodeId, d: Delivery) -> 
 fn exec_info(sim: &Sim<Rt>, tk: ThreadKey, node: NodeId, start: SimTime) -> ExecInfo {
     ExecInfo {
         thread_index: tk.thread as usize,
-        thread_count: sim.world.apps[tk.app as usize].tcs[tk.tc as usize].threads.len(),
+        thread_count: sim.world.apps[tk.app as usize].tcs[tk.tc as usize]
+            .threads
+            .len(),
         node_flops: sim.world.cluster.spec().node(node).flops,
         start_nanos: start.as_nanos(),
     }
@@ -773,8 +769,7 @@ fn run_exec(
             }
         }
     };
-    let mut data = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data
-        [tk.thread as usize]
+    let mut data = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data[tk.thread as usize]
         .take()
         .expect("thread data present when idle");
     let node_name = sim
@@ -830,7 +825,13 @@ fn run_exec(
                 });
             }
             let mut window = sim.world.cfg.flow_window;
-            if sim.world.graph(tk.app, d.graph).def.matching_pop(d.node).is_none() {
+            if sim
+                .world
+                .graph(tk.app, d.graph)
+                .def
+                .matching_pop(d.node)
+                .is_none()
+            {
                 // Serving-graph exit split: the wave crosses back to the
                 // caller, so no in-graph merge returns credits.
                 window = 0;
@@ -905,7 +906,10 @@ fn run_consume(
             if wave.received > exp {
                 let e = DpsError::OperationContract {
                     node: node_name.clone(),
-                    reason: format!("wave received {} tokens but split posted {exp}", wave.received),
+                    reason: format!(
+                        "wave received {} tokens but split posted {exp}",
+                        wave.received
+                    ),
                 };
                 sim.world.fail(e);
                 return SimSpan::ZERO;
@@ -915,7 +919,12 @@ fn run_consume(
         let op = match wave.op.take() {
             Some(op) => op,
             None => {
-                let factory = g.def.node(d.node).op_factory.as_ref().expect("merge/stream");
+                let factory = g
+                    .def
+                    .node(d.node)
+                    .op_factory
+                    .as_ref()
+                    .expect("merge/stream");
                 factory()
             }
         };
@@ -930,8 +939,7 @@ fn run_consume(
         )
     };
 
-    let mut data = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data
-        [tk.thread as usize]
+    let mut data = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data[tk.thread as usize]
         .take()
         .expect("thread data present when idle");
     let Payload::Token(in_token) = d.payload else {
@@ -1161,7 +1169,9 @@ fn stream_posts(
 /// Deliver a wave-close (final token count) to the wave's owning thread; if
 /// no token of the wave has been routed yet, park it until the wave appears.
 fn deliver_close(sim: &mut Sim<Rt>, app: u32, graph: u32, env: Envelope, total: u32) {
-    let key = env.wave_key().expect("close envelopes carry the wave frame");
+    let key = env
+        .wave_key()
+        .expect("close envelopes carry the wave frame");
     let g = sim.world.graph(app, graph);
     match g.waves.get(&key) {
         Some(wave) => {
@@ -1170,11 +1180,7 @@ fn deliver_close(sim: &mut Sim<Rt>, app: u32, graph: u32, env: Envelope, total: 
             let kind = g.def.node(merge_node).kind;
             let tk = ThreadKey { app, tc, thread };
             sim.world.thread(tk).assigned += 1;
-            let interactive = sim
-                .world
-                .graph(app, graph)
-                .def
-                .is_interactive();
+            let interactive = sim.world.graph(app, graph).def.is_interactive();
             sim.world.thread(tk).queue.push_back(Delivery {
                 graph,
                 node: merge_node,
@@ -1207,14 +1213,10 @@ fn run_close(
 ) -> SimSpan {
     let info = exec_info(sim, tk, node, start);
     let overhead = sim.world.cfg.op_overhead;
-    let key = env.wave_key().expect("close envelopes carry the wave frame");
-    let node_name = sim
-        .world
-        .graph(tk.app, graph)
-        .def
-        .node(gnode)
-        .name
-        .clone();
+    let key = env
+        .wave_key()
+        .expect("close envelopes carry the wave frame");
+    let node_name = sim.world.graph(tk.app, graph).def.node(gnode).name.clone();
     let taken = {
         let g = sim.world.graph(tk.app, graph);
         let Some(wave) = g.waves.get_mut(&key) else {
@@ -1228,7 +1230,10 @@ fn run_close(
         if wave.received > total {
             let e = DpsError::OperationContract {
                 node: node_name.clone(),
-                reason: format!("wave received {} tokens but producer posted {total}", wave.received),
+                reason: format!(
+                    "wave received {} tokens but producer posted {total}",
+                    wave.received
+                ),
             };
             sim.world.fail(e);
             return SimSpan::ZERO;
@@ -1253,8 +1258,7 @@ fn run_close(
         return overhead;
     };
 
-    let mut data = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data
-        [tk.thread as usize]
+    let mut data = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].data[tk.thread as usize]
         .take()
         .expect("thread data present when idle");
     let mut out = OpOutput::default();

@@ -56,7 +56,7 @@ pub use ops::{
     ExecInfo, LeafOperation, MergeOperation, OpCtx, OpOutput, Post, SplitOperation,
     StreamOperation, ThreadData,
 };
-pub use route::{ByKey, LeastLoaded, Route, RouteInfo, RoundRobin, ToThread};
+pub use route::{ByKey, LeastLoaded, RoundRobin, Route, RouteInfo, ToThread};
 pub use threads::ThreadCollection;
 pub use token::{downcast, register_token, wire_roundtrip, Token, TokenBox, TokenRegistry};
 
@@ -78,11 +78,9 @@ pub mod prelude {
     pub use crate::dps_token;
     pub use crate::engine::{AppHandle, EngineConfig, GraphHandle, SimEngine};
     pub use crate::error::{DpsError, Result};
-    pub use crate::ops::{
-        LeafOperation, MergeOperation, OpCtx, SplitOperation, StreamOperation,
-    };
+    pub use crate::ops::{LeafOperation, MergeOperation, OpCtx, SplitOperation, StreamOperation};
     pub use crate::route;
-    pub use crate::route::{ByKey, LeastLoaded, Route, RouteInfo, RoundRobin, ToThread};
+    pub use crate::route::{ByKey, LeastLoaded, RoundRobin, Route, RouteInfo, ToThread};
     pub use crate::threads::ThreadCollection;
     pub use crate::token::{downcast, Token, TokenBox};
     pub use dps_des::{SimSpan, SimTime};

@@ -477,8 +477,14 @@ mod tests {
         let mut out = OpOutput::default();
         let mut td: Box<dyn Any> = Box::new(());
         let mut op = SplitAdapter(FanOut);
-        op.on_token(&mut out, td.as_mut(), info(), "FanOut", Box::new(Num { v: 3 }))
-            .unwrap();
+        op.on_token(
+            &mut out,
+            td.as_mut(),
+            info(),
+            "FanOut",
+            Box::new(Num { v: 3 }),
+        )
+        .unwrap();
         assert_eq!(out.posts.len(), 3);
         assert_eq!(out.posts[0].offset, SimSpan::from_nanos(10));
         assert_eq!(out.posts[2].offset, SimSpan::from_nanos(30));
@@ -491,7 +497,13 @@ mod tests {
         let mut td: Box<dyn Any> = Box::new(());
         let mut op = SplitAdapter(FanOut);
         let err = op
-            .on_token(&mut out, td.as_mut(), info(), "FanOut", Box::new(Num { v: 0 }))
+            .on_token(
+                &mut out,
+                td.as_mut(),
+                info(),
+                "FanOut",
+                Box::new(Num { v: 0 }),
+            )
             .unwrap_err();
         assert!(matches!(err, DpsError::OperationContract { .. }));
     }
@@ -503,7 +515,13 @@ mod tests {
         let mut td: Box<dyn Any> = Box::new(());
         let mut op = SplitAdapter(FanOut);
         let err = op
-            .on_token(&mut out, td.as_mut(), info(), "FanOut", Box::new(Other { x: 0 }))
+            .on_token(
+                &mut out,
+                td.as_mut(),
+                info(),
+                "FanOut",
+                Box::new(Other { x: 0 }),
+            )
             .unwrap_err();
         assert!(err.to_string().contains("expects"));
     }
@@ -524,8 +542,14 @@ mod tests {
         let mut out = OpOutput::default();
         let mut td: Box<dyn Any> = Box::new(0u64);
         let mut op = LeafAdapter(Double);
-        op.on_token(&mut out, td.as_mut(), info(), "Double", Box::new(Num { v: 21 }))
-            .unwrap();
+        op.on_token(
+            &mut out,
+            td.as_mut(),
+            info(),
+            "Double",
+            Box::new(Num { v: 21 }),
+        )
+        .unwrap();
         assert_eq!(out.posts.len(), 1);
         assert_eq!(*td.downcast_ref::<u64>().unwrap(), 1);
         let posted = out.posts.pop().unwrap().token;
@@ -559,7 +583,8 @@ mod tests {
                 .unwrap();
         }
         assert!(out.posts.is_empty());
-        op.on_finalize(&mut out, td.as_mut(), info(), "Sum").unwrap();
+        op.on_finalize(&mut out, td.as_mut(), info(), "Sum")
+            .unwrap();
         assert_eq!(out.posts.len(), 1);
         let num = crate::token::downcast::<Num>(out.posts.pop().unwrap().token).unwrap();
         assert_eq!(num.v, 6);
@@ -583,7 +608,13 @@ mod tests {
         let mut td: Box<dyn Any> = Box::new(());
         let mut op = MergeAdapter(BadMerge);
         let err = op
-            .on_token(&mut out, td.as_mut(), info(), "BadMerge", Box::new(Num { v: 1 }))
+            .on_token(
+                &mut out,
+                td.as_mut(),
+                info(),
+                "BadMerge",
+                Box::new(Num { v: 1 }),
+            )
             .unwrap_err();
         assert!(err.to_string().contains("stream"));
     }

@@ -182,17 +182,18 @@ impl<T: Token, R: Route<T>> DynRoute for RouteAdapter<T, R> {
         info: &RouteInfo<'_>,
         node_name: &str,
     ) -> Result<usize> {
-        let tok = token
-            .as_any()
-            .downcast_ref::<T>()
-            .ok_or_else(|| DpsError::OperationContract {
-                node: node_name.to_string(),
-                reason: format!(
-                    "route expects {} but token is {}",
-                    std::any::type_name::<T>(),
-                    token.type_name()
-                ),
-            })?;
+        let tok =
+            token
+                .as_any()
+                .downcast_ref::<T>()
+                .ok_or_else(|| DpsError::OperationContract {
+                    node: node_name.to_string(),
+                    reason: format!(
+                        "route expects {} but token is {}",
+                        std::any::type_name::<T>(),
+                        token.type_name()
+                    ),
+                })?;
         let idx = self.route.route(tok, info);
         if idx >= info.thread_count {
             return Err(DpsError::RouteOutOfRange {

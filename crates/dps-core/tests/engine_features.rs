@@ -137,10 +137,7 @@ fn stream_with_single_output_carries_total() {
             self.seen += p.v;
         }
         fn finalize(&mut self, ctx: &mut OpCtx<'_, (), Part>) {
-            ctx.post(Part {
-                i: 0,
-                v: self.seen,
-            });
+            ctx.post(Part { i: 0, v: self.seen });
         }
     }
 
@@ -157,7 +154,7 @@ fn stream_with_single_output_carries_total() {
     eng.run_until_idle().unwrap();
     let out = eng.take_outputs(g);
     let r = downcast::<Result_>(out.into_iter().next().unwrap().1).unwrap();
-    assert_eq!(r.total, 0 + 1 + 2 + 3 + 4);
+    assert_eq!(r.total, 1 + 2 + 3 + 4);
 }
 
 // --- nested split/merge ------------------------------------------------------
@@ -244,7 +241,10 @@ impl LeafOperation for OddOp {
     type In = OddTok;
     type Out = Part;
     fn execute(&mut self, ctx: &mut OpCtx<'_, (), Part>, t: OddTok) {
-        ctx.post(Part { i: t.i, v: 1000 + t.i });
+        ctx.post(Part {
+            i: t.i,
+            v: 1000 + t.i,
+        });
     }
 }
 
@@ -285,7 +285,7 @@ fn token_type_selects_path() {
     let out = eng.take_outputs(g);
     let r = downcast::<Result_>(out.into_iter().next().unwrap().1).unwrap();
     // odd 1,3 → 1001+1003; even 0,2 → 0+2.
-    assert_eq!(r.total, 1001 + 1003 + 0 + 2);
+    assert_eq!(r.total, (1001 + 1003) + 2);
 }
 
 // --- parallel services (Fig. 10) ---------------------------------------------
@@ -297,8 +297,9 @@ fn graph_call_into_another_application() {
     // Server application exposing a square-summing service.
     let server = eng.app("server");
     let smain: ThreadCollection<()> = eng.thread_collection(server, "m", "node1").unwrap();
-    let sworkers: ThreadCollection<()> =
-        eng.thread_collection(server, "w", "node1 node2 node3").unwrap();
+    let sworkers: ThreadCollection<()> = eng
+        .thread_collection(server, "w", "node1 node2 node3")
+        .unwrap();
     let mut sb = GraphBuilder::new("service-graph");
     let ss = sb.split(&smain, || ToThread(0), || FanN);
     let sl = sb.leaf(&sworkers, RoundRobin::new, || Inc);
@@ -454,8 +455,9 @@ fn smaller_window_cannot_be_faster() {
         let mut eng = SimEngine::with_config(ClusterSpec::paper_testbed(4), cfg);
         let app = eng.app("fc");
         let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
-        let w: ThreadCollection<()> =
-            eng.thread_collection(app, "w", "node0 node1 node2 node3").unwrap();
+        let w: ThreadCollection<()> = eng
+            .thread_collection(app, "w", "node0 node1 node2 node3")
+            .unwrap();
         let mut b = GraphBuilder::new("fc");
         let s = b.split(&main, || ToThread(0), || FanN);
         let l = b.leaf(&w, RoundRobin::new, || Inc);

@@ -80,11 +80,7 @@ impl<S> Sim<S> {
     /// after queued predecessors release), `job` runs at that virtual instant
     /// and returns the span for which the server stays held. FIFO order is
     /// guaranteed among queued requests.
-    pub fn pool_acquire(
-        &mut self,
-        id: PoolId,
-        job: impl FnOnce(&mut Sim<S>) -> SimSpan + 'static,
-    ) {
+    pub fn pool_acquire(&mut self, id: PoolId, job: impl FnOnce(&mut Sim<S>) -> SimSpan + 'static) {
         let state = &mut self.pools.pools[id.0];
         if state.busy < state.servers {
             state.busy += 1;

@@ -175,9 +175,7 @@ impl<S> Sim<S> {
     /// Time of the next pending event, if any, without firing it.
     pub fn peek_next_time(&mut self) -> Option<SimTime> {
         loop {
-            let Some(Reverse(entry)) = self.heap.peek() else {
-                return None;
-            };
+            let Reverse(entry) = self.heap.peek()?;
             if self.cancelled.contains(&entry.id) {
                 let Reverse(e) = self.heap.pop().unwrap();
                 self.cancelled.remove(&e.id);

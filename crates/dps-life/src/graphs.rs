@@ -125,7 +125,7 @@ fn dps_linalg_cell_ops() -> f64 {
 /// interactive service calls (Table 2's visualization reads). Small bands
 /// use fewer chunks — per-operation overhead would otherwise dominate.
 pub fn interior_chunks(band_rows: usize) -> u32 {
-    ((band_rows / 64).max(1)).min(8) as u32
+    (band_rows / 64).clamp(1, 8) as u32
 }
 
 /// Number of local operations worker `t` performs in one improved-graph
@@ -214,7 +214,8 @@ impl LeafOperation for RespondBorder {
     fn execute(&mut self, ctx: &mut OpCtx<'_, LifeBand, BorderResponse>, r: BorderRequest) {
         let p = self.p;
         if r.to == r.from {
-            ctx.thread().finish_phase_of(improved_phases(r.to, p, self.chunks));
+            ctx.thread()
+                .finish_phase_of(improved_phases(r.to, p, self.chunks));
             ctx.post(BorderResponse {
                 to: r.from,
                 is_top: true,
@@ -337,7 +338,10 @@ impl LeafOperation for StoreBorder {
                 ctx.thread().inbox_bottom = Some(row);
             }
         }
-        ctx.post(BorderAck { from: b.from, to: b.to });
+        ctx.post(BorderAck {
+            from: b.from,
+            to: b.to,
+        });
     }
 }
 
@@ -544,11 +548,7 @@ impl MergeOperation for AssembleSubset {
         self.parts.sort_by_key(|&(r0, ..)| r0);
         let row0 = self.parts.first().map(|&(r0, ..)| r0).unwrap_or(0);
         let rows: u32 = self.parts.iter().map(|&(_, h, _)| h).sum();
-        let data: Vec<u8> = self
-            .parts
-            .drain(..)
-            .flat_map(|(_, _, d)| d)
-            .collect();
+        let data: Vec<u8> = self.parts.drain(..).flat_map(|(_, _, d)| d).collect();
         ctx.post(Subset {
             row0,
             rows,
@@ -592,60 +592,68 @@ pub fn build_step_graph(
         Variant::Simple => "life-simple",
         Variant::Improved => "life-improved",
     });
-    let s1 = b.split(&*master, || ToThread(0), move || SplitIteration {
-        p,
-        improved,
-        chunks,
-    });
+    let s1 = b.split(
+        master,
+        || ToThread(0),
+        move || SplitIteration {
+            p,
+            improved,
+            chunks,
+        },
+    );
     if improved {
         b.declare_output::<CenterOrder, _, _>(s1);
         let w1 = b.split(
-            &*workers,
+            workers,
             || ByKey::new(|o: &SendOrder| o.t as usize),
             move || RequestBorders { p },
         );
         let w2 = b.leaf(
-            &*workers,
+            workers,
             || ByKey::new(|r: &BorderRequest| r.to as usize),
             move || RespondBorder { p, chunks },
         );
         let mb = b.merge(
-            &*workers,
+            workers,
             || ByKey::new(|r: &BorderResponse| r.to as usize),
             CollectAndComputeBorders::new(p, chunks),
         );
         let wc = b.leaf(
-            &*workers,
+            workers,
             || ByKey::new(|o: &CenterOrder| o.t as usize),
             move || ComputeInterior { p },
         );
-        let mend = b.merge(&*master, || ToThread(0), EndImproved::default);
+        let mend = b.merge(master, || ToThread(0), EndImproved::default);
         b.add(s1 >> w1 >> w2 >> mb >> mend);
         b.connect_alt(s1, wc);
         b.add(wc >> mend);
     } else {
         let w1 = b.split(
-            &*workers,
+            workers,
             || ByKey::new(|o: &SendOrder| o.t as usize),
             move || SendBorders { p },
         );
         let w2 = b.leaf(
-            &*workers,
+            workers,
             || ByKey::new(|d: &BorderData| d.to as usize),
             || StoreBorder,
         );
-        let m1 = b.merge(&*master, || ToThread(0), CollectAcks::default);
-        let msync = b.merge(&*master, || ToThread(0), GlobalSync::default);
-        let s2 = b.split(&*master, || ToThread(0), move || SplitCompute {
-            p,
-            whole_band: true,
-        });
+        let m1 = b.merge(master, || ToThread(0), CollectAcks::default);
+        let msync = b.merge(master, || ToThread(0), GlobalSync::default);
+        let s2 = b.split(
+            master,
+            || ToThread(0),
+            move || SplitCompute {
+                p,
+                whole_band: true,
+            },
+        );
         let w3 = b.leaf(
-            &*workers,
+            workers,
             || ByKey::new(|o: &ComputeOrder| o.t as usize),
             || ComputeBand,
         );
-        let m3 = b.merge(&*master, || ToThread(0), EndIteration::default);
+        let m3 = b.merge(master, || ToThread(0), EndIteration::default);
         b.add(s1 >> w1 >> w2 >> m1 >> msync >> s2 >> w3 >> m3);
     }
     eng.build_graph(b)
@@ -662,23 +670,29 @@ pub fn build_read_service(
     let bands = partition(rows, workers.thread_count());
     let bands_for_route = bands.clone();
     let mut b = GraphBuilder::new("life-read");
-    let s = b.split(&*master, || ToThread(0), move || SplitRead {
-        bands: bands.clone(),
-    });
+    let s = b.split(
+        master,
+        || ToThread(0),
+        move || SplitRead {
+            bands: bands.clone(),
+        },
+    );
     let read = b.leaf(
-        &*workers,
+        workers,
         move || {
             let bands = bands_for_route.clone();
             ByKey::new(move |p: &ReadPart| {
                 bands
                     .iter()
-                    .position(|&(start, h)| (p.row0 as usize) < start + h && start <= p.row0 as usize)
+                    .position(|&(start, h)| {
+                        (p.row0 as usize) < start + h && start <= p.row0 as usize
+                    })
                     .expect("request rows are within the world")
             })
         },
         || ReadRows,
     );
-    let m = b.merge(&*master, || ToThread(0), AssembleSubset::default);
+    let m = b.merge(master, || ToThread(0), AssembleSubset::default);
     b.add(s >> read >> m);
     // Short random reads must stay responsive while iterations run
     // (Table 2); on the testbed the OS preempts, here the deliveries jump
@@ -812,8 +826,8 @@ mod tests {
     fn check(cfg: &LifeConfig) -> LifeRunReport {
         let spec = ClusterSpec::paper_testbed(cfg.nodes);
         let rep = run_life_sim(spec, cfg, EngineConfig::default()).unwrap();
-        let expect = World::random(cfg.rows, cfg.cols, cfg.density, cfg.seed)
-            .step_n(cfg.iterations);
+        let expect =
+            World::random(cfg.rows, cfg.cols, cfg.density, cfg.seed).step_n(cfg.iterations);
         assert_eq!(rep.world, expect, "parallel Life diverged from reference");
         rep
     }

@@ -90,11 +90,7 @@ impl World {
                 } else {
                     None
                 };
-                next.set(
-                    r,
-                    c,
-                    step_cell(self.row(r), above, below, c),
-                );
+                next.set(r, c, step_cell(self.row(r), above, below, c));
             }
         }
         next

@@ -124,7 +124,10 @@ pub fn trsm_lower_unit(l: &Matrix, b: &mut Matrix) {
 pub fn blocked_lu(a: &Matrix, r: usize) -> LuFactors {
     let n = a.rows();
     assert_eq!(a.cols(), n, "blocked_lu expects a square matrix");
-    assert!(r >= 1 && n % r == 0, "block size must divide the order");
+    assert!(
+        r >= 1 && n.is_multiple_of(r),
+        "block size must divide the order"
+    );
     let mut lu = a.clone();
     let mut pivots = vec![0usize; n];
 
@@ -187,7 +190,11 @@ mod tests {
         let mut panel = a.clone();
         let pivots = panel_lu(&mut panel);
         let f = LuFactors { lu: panel, pivots };
-        assert!(lu_residual(&a, &f) < 1e-10, "residual {}", lu_residual(&a, &f));
+        assert!(
+            lu_residual(&a, &f) < 1e-10,
+            "residual {}",
+            lu_residual(&a, &f)
+        );
     }
 
     #[test]
@@ -228,7 +235,12 @@ mod tests {
             let f = blocked_lu(&a, r);
             let res = lu_residual(&a, &f);
             assert!(res < 1e-9, "n={n} r={r} residual {res}");
-            let swaps = f.pivots.iter().enumerate().filter(|&(i, &p)| p != i).count();
+            let swaps = f
+                .pivots
+                .iter()
+                .enumerate()
+                .filter(|&(i, &p)| p != i)
+                .count();
             assert!(swaps > 0, "expected non-trivial pivoting");
         }
     }

@@ -25,8 +25,8 @@
 //! simulator charges the paper's 733 MHz nodes realistically.
 
 mod factor;
-mod matrix;
 pub mod flops;
+mod matrix;
 pub mod parallel;
 
 pub use factor::{apply_row_swaps, blocked_lu, lu_residual, panel_lu, trsm_lower_unit, LuFactors};

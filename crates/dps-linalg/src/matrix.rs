@@ -96,7 +96,10 @@ impl Matrix {
 
     /// Copy of the `rows × cols` block whose top-left corner is `(r0, c0)`.
     pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block out of range"
+        );
         let mut out = Matrix::zeros(rows, cols);
         for i in 0..rows {
             let src = (r0 + i) * self.cols + c0;

@@ -343,11 +343,8 @@ impl MergeOperation for StepMerge {
         let next = self.k + 1;
         ctx.charge_flops(panel_cost(next, self.nb, self.r));
         let rows = (self.nb - next) as usize * self.r as usize;
-        let mut panel = Matrix::from_vec(
-            rows,
-            self.r as usize,
-            std::mem::take(&mut self.panel_data),
-        );
+        let mut panel =
+            Matrix::from_vec(rows, self.r as usize, std::mem::take(&mut self.panel_data));
         let piv: Vec<u32> = panel_lu(&mut panel).into_iter().map(|p| p as u32).collect();
         ctx.thread().cache.insert(next, (panel.into_vec(), piv));
         ctx.post(LuStart {
@@ -434,7 +431,7 @@ pub struct LuRunReport {
 /// simulated cluster with the chosen schedule; verify with
 /// [`lu_residual`](crate::lu_residual) on the report.
 pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Result<LuRunReport> {
-    assert!(cfg.n % cfg.r == 0, "r must divide n");
+    assert!(cfg.n.is_multiple_of(cfg.r), "r must divide n");
     let nb = (cfg.n / cfg.r) as u32;
     assert!(nb >= 2, "need at least two block columns");
     let r = cfg.r as u32;

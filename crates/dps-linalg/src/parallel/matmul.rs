@@ -193,10 +193,11 @@ impl MergeOperation for AssembleC {
         }
         let bs = r.bs as usize;
         let block = Matrix::from_vec(bs, bs, r.c.into_vec());
-        self.c
-            .as_mut()
-            .expect("initialized above")
-            .set_block(r.i as usize * bs, r.j as usize * bs, &block);
+        self.c.as_mut().expect("initialized above").set_block(
+            r.i as usize * bs,
+            r.j as usize * bs,
+            &block,
+        );
     }
     fn finalize(&mut self, ctx: &mut OpCtx<'_, MasterState, MulDone>) {
         let c = self.c.take().expect("at least one block");
@@ -283,11 +284,7 @@ impl SplitOperation for SplitOrders {
     fn execute(&mut self, ctx: &mut OpCtx<'_, MasterState, ComputeOrder>, _p: PhaseDone) {
         for i in 0..self.s {
             for j in 0..self.s {
-                ctx.post(ComputeOrder {
-                    i,
-                    j,
-                    bs: self.bs,
-                });
+                ctx.post(ComputeOrder { i, j, bs: self.bs });
             }
         }
     }
@@ -357,7 +354,7 @@ pub fn run_matmul_sim(
     cfg: &MatMulConfig,
     ecfg: EngineConfig,
 ) -> Result<MatMulRunReport> {
-    assert!(cfg.n % cfg.s == 0, "s must divide n");
+    assert!(cfg.n.is_multiple_of(cfg.s), "s must divide n");
     let mut eng = SimEngine::with_config(spec, ecfg);
     let app = eng.app("matmul");
     eng.preload_app(app); // steady-state measurement, as in the paper
@@ -389,7 +386,8 @@ pub fn run_matmul_sim(
         b.add(split >> mul >> merge);
         eng.build_graph(b)?
     } else {
-        let workers: ThreadCollection<WorkerStore> = eng.thread_collection(app, "proc", &mapping)?;
+        let workers: ThreadCollection<WorkerStore> =
+            eng.thread_collection(app, "proc", &mapping)?;
         let (s, bs) = (cfg.s as u32, (cfg.n / cfg.s) as u32);
         let mut b = GraphBuilder::new("matmul-phased");
         let split1 = b.split(&master, || ToThread(0), || SplitStores);

@@ -194,7 +194,11 @@ impl MtEngine {
                 .graphs
                 .iter()
                 .map(|def| SharedGraph {
-                    routes: def.nodes().iter().map(|n| Mutex::new(n.make_route())).collect(),
+                    routes: def
+                        .nodes()
+                        .iter()
+                        .map(|n| Mutex::new(n.make_route()))
+                        .collect(),
                     wave_threads: Mutex::new(HashMap::new()),
                     flows: Mutex::new(HashMap::new()),
                     pending_closes: Mutex::new(HashMap::new()),

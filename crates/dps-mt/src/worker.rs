@@ -291,7 +291,10 @@ fn handle_consume(
         if wave.received > exp {
             return Err(DpsError::OperationContract {
                 node: name,
-                reason: format!("wave received {} tokens but split posted {exp}", wave.received),
+                reason: format!(
+                    "wave received {} tokens but split posted {exp}",
+                    wave.received
+                ),
             });
         }
     }
@@ -300,9 +303,11 @@ fn handle_consume(
     let out_index_base = wave.out_index;
 
     let mut out = OpOutput::default();
-    wave.op.on_token(&mut out, w.data.as_mut(), info, &name, token)?;
+    wave.op
+        .on_token(&mut out, w.data.as_mut(), info, &name, token)?;
     if completes {
-        wave.op.on_finalize(&mut out, w.data.as_mut(), info, &name)?;
+        wave.op
+            .on_finalize(&mut out, w.data.as_mut(), info, &name)?;
     }
 
     match kind {
@@ -443,7 +448,9 @@ fn handle_close(
     let gnode = def.node(node);
     let name = gnode.name.clone();
     let info = exec_info(shared, w);
-    let key = env.wave_key().expect("close envelopes carry the wave frame");
+    let key = env
+        .wave_key()
+        .expect("close envelopes carry the wave frame");
     let _ = env.pop();
     let parent_env = env;
 
@@ -455,7 +462,10 @@ fn handle_close(
     if wave.received > total {
         return Err(DpsError::OperationContract {
             node: name,
-            reason: format!("wave received {} tokens but producer posted {total}", wave.received),
+            reason: format!(
+                "wave received {} tokens but producer posted {total}",
+                wave.received
+            ),
         });
     }
     if wave.received != total {
@@ -463,7 +473,8 @@ fn handle_close(
     }
     let mut wave = w.waves.remove(&key).expect("present above");
     let mut out = OpOutput::default();
-    wave.op.on_finalize(&mut out, w.data.as_mut(), info, &name)?;
+    wave.op
+        .on_finalize(&mut out, w.data.as_mut(), info, &name)?;
     match gnode.kind {
         OpKind::Merge => {
             let post = out.posts.pop().expect("merge contract checked");
@@ -551,14 +562,13 @@ fn send_close(shared: &Arc<Shared>, app: u32, graph: u32, close_env: Envelope, t
     match thread {
         Some(t) => {
             let tc = def.node(merge_node).tc;
-            let _ = shared.apps[app as usize].tcs[tc as usize].senders[t as usize].send(
-                Msg::Close {
+            let _ =
+                shared.apps[app as usize].tcs[tc as usize].senders[t as usize].send(Msg::Close {
                     graph,
                     node: merge_node,
                     env: close_env,
                     total,
-                },
-            );
+                });
         }
         None => {
             g.pending_closes.lock().insert(key, total);
@@ -625,9 +635,9 @@ fn emit(
             if let Some(call) = env.calls.last() {
                 let ret = {
                     let calls = shared.pending_calls.lock();
-                    calls.get(&call.call_id).map(|c| {
-                        (c.0.app, c.0.graph, c.0.node, c.0.env.clone())
-                    })
+                    calls
+                        .get(&call.call_id)
+                        .map(|c| (c.0.app, c.0.graph, c.0.node, c.0.env.clone()))
                 };
                 match ret {
                     Some((r_app, r_graph, r_node, r_env)) => {
@@ -694,13 +704,14 @@ fn route_and_send(
                 if let Some(f) = close_env.frames.last_mut() {
                     f.total = Some(total);
                 }
-                let _ = shared.apps[app as usize].tcs[tc as usize].senders[thread as usize]
-                    .send(Msg::Close {
+                let _ = shared.apps[app as usize].tcs[tc as usize].senders[thread as usize].send(
+                    Msg::Close {
                         graph,
                         node: to,
                         env: close_env,
                         total,
-                    });
+                    },
+                );
             }
         }
     }
@@ -716,14 +727,13 @@ fn route_and_send(
     } else {
         token
     };
-    let _ = shared.apps[app as usize].tcs[tc as usize].senders[thread as usize].send(
-        Msg::Deliver {
+    let _ =
+        shared.apps[app as usize].tcs[tc as usize].senders[thread as usize].send(Msg::Deliver {
             graph,
             node: to,
             token,
             env,
-        },
-    );
+        });
 }
 
 /// Release pending posts of a flow while the window allows; the final post
@@ -736,8 +746,7 @@ fn pump_flow(shared: &Arc<Shared>, app: u32, graph: u32, key: (u32, u64)) {
             let Some(flow) = flows.get_mut(&key) else {
                 return;
             };
-            if !flow.unbounded && shared.flow_window > 0 && flow.outstanding >= shared.flow_window
-            {
+            if !flow.unbounded && shared.flow_window > 0 && flow.outstanding >= shared.flow_window {
                 return;
             }
             if flow.pending.is_empty() {

@@ -33,7 +33,10 @@ impl LeafOperation for Work {
             acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
         }
         std::hint::black_box(acc);
-        ctx.post(Piece { i: p.i, v: p.v * p.v });
+        ctx.post(Piece {
+            i: p.i,
+            v: p.v * p.v,
+        });
     }
 }
 
@@ -97,7 +100,9 @@ fn repeated_runs_reuse_threads() {
 fn pipelined_injections() {
     let mut eng = MtEngine::new(4);
     let g = build(&mut eng, 4);
-    let inputs: Vec<TokenBox> = (0..6).map(|_| Box::new(Job { n: 50 }) as TokenBox).collect();
+    let inputs: Vec<TokenBox> = (0..6)
+        .map(|_| Box::new(Job { n: 50 }) as TokenBox)
+        .collect();
     let outs = eng.run_graph(g, inputs, 6).unwrap();
     assert_eq!(outs.len(), 6);
     for o in outs {

@@ -117,9 +117,9 @@ pub fn encode_tagged<T: Identified>(value: &T, w: &mut Writer) {
 }
 
 /// Wire size of a value once tagged (id + version + payload).
-pub fn tagged_size<T: Identified + ?Sized>(value: &T) -> usize
+pub fn tagged_size<T>(value: &T) -> usize
 where
-    T: Wire,
+    T: Identified + Wire + ?Sized,
 {
     8 + 2 + value.wire_size()
 }

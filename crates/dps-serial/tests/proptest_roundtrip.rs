@@ -10,11 +10,7 @@ struct Nested {
     label: String,
     data: Buffer<i64>,
 }
-impl_wire!(Nested {
-    tag,
-    label,
-    data
-});
+impl_wire!(Nested { tag, label, data });
 identify!(Nested);
 
 #[derive(Debug, Clone, PartialEq, Default)]

@@ -26,6 +26,5 @@ pub mod video;
 
 pub use disk::DiskModel;
 pub use store::{
-    build_read_graph, build_write_graph, FileData, ReadFileReq, StripeStore, WriteAck,
-    WriteFileReq,
+    build_read_graph, build_write_graph, FileData, ReadFileReq, StripeStore, WriteAck, WriteFileReq,
 };

@@ -219,9 +219,9 @@ pub fn build_write_graph(
     service_name: Option<&str>,
 ) -> Result<GraphHandle> {
     let mut b = GraphBuilder::new("sfs-write");
-    let s = b.split(&*master, || ToThread(0), || SplitWrite);
-    let w = b.leaf(&*servers, stripe_route_w, || StoreStripe);
-    let m = b.merge(&*master, || ToThread(0), MergeAcks::default);
+    let s = b.split(master, || ToThread(0), || SplitWrite);
+    let w = b.leaf(servers, stripe_route_w, || StoreStripe);
+    let m = b.merge(master, || ToThread(0), MergeAcks::default);
     b.add(s >> w >> m);
     let g = eng.build_graph(b)?;
     if let Some(name) = service_name {
@@ -238,9 +238,9 @@ pub fn build_read_graph(
     service_name: Option<&str>,
 ) -> Result<GraphHandle> {
     let mut b = GraphBuilder::new("sfs-read");
-    let s = b.split(&*master, || ToThread(0), || SplitRead);
-    let r = b.leaf(&*servers, stripe_route_r, || ReadStripe);
-    let m = b.merge(&*master, || ToThread(0), AssembleFile::default);
+    let s = b.split(master, || ToThread(0), || SplitRead);
+    let r = b.leaf(servers, stripe_route_r, || ReadStripe);
+    let m = b.merge(master, || ToThread(0), AssembleFile::default);
     b.add(s >> r >> m);
     let g = eng.build_graph(b)?;
     if let Some(name) = service_name {
@@ -255,7 +255,13 @@ mod tests {
     use dps_cluster::ClusterSpec;
     use dps_core::downcast;
 
-    fn setup(nodes: usize) -> (SimEngine, ThreadCollection<()>, ThreadCollection<StripeStore>) {
+    fn setup(
+        nodes: usize,
+    ) -> (
+        SimEngine,
+        ThreadCollection<()>,
+        ThreadCollection<StripeStore>,
+    ) {
         let mut eng = SimEngine::new(ClusterSpec::paper_testbed(nodes));
         let app = eng.app("sfs");
         eng.preload_app(app);
@@ -357,7 +363,14 @@ mod tests {
             eng.run_until_idle().unwrap();
             eng.take_outputs(wg);
             let t0 = eng.now();
-            eng.inject(rg, ReadFileReq { file: 3, stripes: 16 }).unwrap();
+            eng.inject(
+                rg,
+                ReadFileReq {
+                    file: 3,
+                    stripes: 16,
+                },
+            )
+            .unwrap();
             eng.run_until_idle().unwrap();
             eng.now().since(t0)
         };

@@ -63,7 +63,8 @@ pub fn preload_frames(
             let data: Vec<u8> = (0..part_bytes)
                 .map(|i| ((f as usize * 131 + part as usize * 17 + i) % 256) as u8)
                 .collect();
-            eng.thread_data_mut(servers, owner).put(u64::from(f), part, data);
+            eng.thread_data_mut(servers, owner)
+                .put(u64::from(f), part, data);
         }
     }
 }
@@ -124,10 +125,7 @@ impl StreamOperation for Recompose {
     type Out = FullFrame;
     fn consume(&mut self, ctx: &mut OpCtx<'_, (), FullFrame>, p: FramePart) {
         let n = self.parts_per_frame as usize;
-        let slots = self
-            .buffers
-            .entry(p.frame)
-            .or_insert_with(|| vec![None; n]);
+        let slots = self.buffers.entry(p.frame).or_insert_with(|| vec![None; n]);
         slots[p.part as usize] = Some(p.data.into_vec());
         if slots.iter().all(Option::is_some) {
             let slots = self.buffers.remove(&p.frame).expect("present");
@@ -153,10 +151,9 @@ impl LeafOperation for ProcessFrame {
     fn execute(&mut self, ctx: &mut OpCtx<'_, (), ProcessedFrame>, f: FullFrame) {
         // ~20 ops per pixel, a cheap video filter.
         ctx.charge_flops(f.data.len() as f64 * 20.0);
-        let checksum = f
-            .data
-            .iter()
-            .fold(0u64, |acc, &b| acc.wrapping_mul(131).wrapping_add(u64::from(b)));
+        let checksum = f.data.iter().fold(0u64, |acc, &b| {
+            acc.wrapping_mul(131).wrapping_add(u64::from(b))
+        });
         ctx.post(ProcessedFrame {
             frame: f.frame,
             checksum,
@@ -203,24 +200,28 @@ pub fn build_video_graph(
     } else {
         "video-merge-split"
     });
-    let s = b.split(&*master, || ToThread(0), || SplitParts);
+    let s = b.split(master, || ToThread(0), || SplitParts);
     let read = b.leaf(
-        &*disks,
+        disks,
         || ByKey::new(|r: &PartReq| r.part as usize),
         || ReadPart,
     );
     if use_stream {
-        let recompose = b.stream(&*master, || ToThread(0), Recompose::new(parts_per_frame));
-        let process = b.leaf(&*procs, RoundRobin::new, || ProcessFrame);
-        let merge = b.merge(&*master, || ToThread(0), MergeStream::default);
+        let recompose = b.stream(master, || ToThread(0), Recompose::new(parts_per_frame));
+        let process = b.leaf(procs, RoundRobin::new, || ProcessFrame);
+        let merge = b.merge(master, || ToThread(0), MergeStream::default);
         b.add(s >> read >> recompose >> process >> merge);
     } else {
         // Merge-split ablation: a merge barrier collects all parts, then a
         // split re-fans the complete frames.
-        let collect = b.merge(&*master, || ToThread(0), CollectAllParts::new(parts_per_frame));
-        let fan = b.split(&*master, || ToThread(0), || FanFrames);
-        let process = b.leaf(&*procs, RoundRobin::new, || ProcessFrame);
-        let merge = b.merge(&*master, || ToThread(0), MergeStream::default);
+        let collect = b.merge(
+            master,
+            || ToThread(0),
+            CollectAllParts::new(parts_per_frame),
+        );
+        let fan = b.split(master, || ToThread(0), || FanFrames);
+        let process = b.leaf(procs, RoundRobin::new, || ProcessFrame);
+        let merge = b.merge(master, || ToThread(0), MergeStream::default);
         b.add(s >> read >> collect >> fan >> process >> merge);
     }
     eng.build_graph(b)
@@ -251,9 +252,8 @@ impl MergeOperation for CollectAllParts {
     type Out = AllFrames;
     fn consume(&mut self, _ctx: &mut OpCtx<'_, (), AllFrames>, p: FramePart) {
         let n = self.parts_per_frame as usize;
-        self.buffers
-            .entry(p.frame)
-            .or_insert_with(|| vec![None; n])[p.part as usize] = Some(p.data.into_vec());
+        self.buffers.entry(p.frame).or_insert_with(|| vec![None; n])[p.part as usize] =
+            Some(p.data.into_vec());
     }
     fn finalize(&mut self, ctx: &mut OpCtx<'_, (), AllFrames>) {
         let mut frames: Vec<FullFrame> = self
@@ -261,7 +261,12 @@ impl MergeOperation for CollectAllParts {
             .drain()
             .map(|(frame, slots)| FullFrame {
                 frame,
-                data: slots.into_iter().flatten().flatten().collect::<Vec<u8>>().into(),
+                data: slots
+                    .into_iter()
+                    .flatten()
+                    .flatten()
+                    .collect::<Vec<u8>>()
+                    .into(),
             })
             .collect();
         frames.sort_by_key(|f| f.frame);
@@ -319,14 +324,7 @@ pub fn run_video_sim(
         st.node_flops = 70.0e6;
     }
     preload_frames(&mut eng, &disks, cfg.frames, cfg.parts, cfg.part_bytes);
-    let g = build_video_graph(
-        &mut eng,
-        &master,
-        &disks,
-        &procs,
-        cfg.parts,
-        cfg.use_stream,
-    )?;
+    let g = build_video_graph(&mut eng, &master, &disks, &procs, cfg.parts, cfg.use_stream)?;
     let t0 = eng.now();
     eng.inject(
         g,

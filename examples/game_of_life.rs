@@ -34,8 +34,8 @@ fn main() {
     let spec = ClusterSpec::paper_testbed(4);
     let simple = run_life_sim(spec.clone(), &cfg(Variant::Simple), EngineConfig::default())
         .expect("simple run");
-    let improved = run_life_sim(spec, &cfg(Variant::Improved), EngineConfig::default())
-        .expect("improved run");
+    let improved =
+        run_life_sim(spec, &cfg(Variant::Improved), EngineConfig::default()).expect("improved run");
 
     // Both graphs must compute exactly the generations the sequential
     // reference computes.
@@ -46,10 +46,7 @@ fn main() {
     println!("world after 16 generations (48x64, 4 nodes, top-left corner):");
     show(&improved.world, 16, 64);
     println!("\npopulation: {}", improved.world.population());
-    println!(
-        "virtual time, simple graph   (Fig. 7): {}",
-        simple.elapsed
-    );
+    println!("virtual time, simple graph   (Fig. 7): {}", simple.elapsed);
     println!(
         "virtual time, improved graph (Fig. 8): {}",
         improved.elapsed

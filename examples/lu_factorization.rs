@@ -23,10 +23,10 @@ fn main() {
     };
 
     let spec = ClusterSpec::paper_testbed(4);
-    let pipe = run_lu_sim(spec.clone(), &cfg(true), EngineConfig::default())
-        .expect("pipelined run");
-    let merge_split = run_lu_sim(spec, &cfg(false), EngineConfig::default())
-        .expect("merge-split run");
+    let pipe =
+        run_lu_sim(spec.clone(), &cfg(true), EngineConfig::default()).expect("pipelined run");
+    let merge_split =
+        run_lu_sim(spec, &cfg(false), EngineConfig::default()).expect("merge-split run");
 
     let a = Matrix::random_general(256, 256, 1234);
     let res_pipe = lu_residual(&a, &pipe.factors);

@@ -20,10 +20,9 @@ fn main() {
 
     // One extra node hosts the master (the paper's Table 1 set-up).
     let spec = ClusterSpec::paper_testbed(5);
-    let pipe = run_matmul_sim(spec.clone(), &cfg(true), EngineConfig::default())
-        .expect("pipelined run");
-    let phased = run_matmul_sim(spec, &cfg(false), EngineConfig::default())
-        .expect("phased run");
+    let pipe =
+        run_matmul_sim(spec.clone(), &cfg(true), EngineConfig::default()).expect("pipelined run");
+    let phased = run_matmul_sim(spec, &cfg(false), EngineConfig::default()).expect("phased run");
 
     // Verify against a direct product.
     let a = Matrix::random(256, 256, 7);
@@ -33,13 +32,11 @@ fn main() {
     println!("result error vs direct product: {:.3e}", diff.max_abs());
     assert!(diff.max_abs() < 1e-9);
 
-    println!(
-        "\n256×256 in 32×32 blocks (s=8) on 4 bi-processor nodes + master node:"
-    );
+    println!("\n256×256 in 32×32 blocks (s=8) on 4 bi-processor nodes + master node:");
     println!("  pipelined DPS schedule:      {}", pipe.elapsed);
     println!("  phased (no-overlap) baseline: {}", phased.elapsed);
-    let reduction = (phased.elapsed.as_secs_f64() - pipe.elapsed.as_secs_f64())
-        / phased.elapsed.as_secs_f64();
+    let reduction =
+        (phased.elapsed.as_secs_f64() - pipe.elapsed.as_secs_f64()) / phased.elapsed.as_secs_f64();
     println!(
         "  reduction from overlapping:   {:.1}% (Table 1 measures this across\n\
          block sizes 256..32 and 1–4 nodes)",

@@ -92,8 +92,7 @@ fn main() {
     // theMainThread / computeThreads, with the paper's mapping-string
     // syntax ("nodeA*2 nodeB"): two compute threads on node1, one each on
     // node2 and node3.
-    let main_thread: ThreadCollection<()> =
-        eng.thread_collection(app, "main", "node0").unwrap();
+    let main_thread: ThreadCollection<()> = eng.thread_collection(app, "main", "node0").unwrap();
     let compute_threads: ThreadCollection<()> = eng
         .thread_collection(app, "proc", "node1*2 node2 node3")
         .unwrap();

@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example real_threads`
 
-use dps::core::prelude::*;
 use dps::core::dps_token;
+use dps::core::prelude::*;
 use dps::des::SplitMix64;
 use dps::mt::{MtConfig, MtEngine};
 
@@ -92,7 +92,8 @@ fn main() {
     };
     let mut eng = MtEngine::with_config(4, cfg);
     let app = eng.app("pi");
-    for reg in [app] {
+    {
+        let reg = app;
         eng.register_token::<PiJob>(reg);
         eng.register_token::<Packet>(reg);
         eng.register_token::<Hits>(reg);

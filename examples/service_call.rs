@@ -96,7 +96,14 @@ fn main() {
     const STRIPES: u32 = 8;
     for file in 0..6u64 {
         let data = vec![file as u8; STRIPES as usize * 64 * 1024];
-        eng.inject(write, WriteFileReq { file, data: data.into() }).unwrap();
+        eng.inject(
+            write,
+            WriteFileReq {
+                file,
+                data: data.into(),
+            },
+        )
+        .unwrap();
     }
     eng.run_until_idle().unwrap();
     eng.take_outputs(write);

@@ -106,9 +106,7 @@ fn main() {
     let mut eng = SimEngine::new(ClusterSpec::paper_testbed(3));
     let app = eng.app("two-paths");
     let main: ThreadCollection<()> = eng.thread_collection(app, "main", "node0").unwrap();
-    let workers: ThreadCollection<()> = eng
-        .thread_collection(app, "proc", "node1 node2")
-        .unwrap();
+    let workers: ThreadCollection<()> = eng.thread_collection(app, "proc", "node1 node2").unwrap();
 
     // create 1st path in graph:  nodeSplit >> nodeOp1 >> nodeMerge
     // add 2nd path to graph:     nodeSplit >> nodeOp2 >> nodeMerge
@@ -125,8 +123,7 @@ fn main() {
 
     eng.inject(graph, Request { items: 30 }).unwrap();
     eng.run_until_idle().unwrap();
-    let summary =
-        downcast::<Summary>(eng.take_outputs(graph).pop().unwrap().1).unwrap();
+    let summary = downcast::<Summary>(eng.take_outputs(graph).pop().unwrap().1).unwrap();
     println!(
         "items routed by type: {} small (MyOpOne), {} large (MyOpTwo), total weight {}",
         summary.small, summary.large, summary.weight

@@ -33,7 +33,10 @@ fn main() {
     )
     .expect("merge-split pipeline");
 
-    assert_eq!(sum_stream, sum_barrier, "both pipelines process identically");
+    assert_eq!(
+        sum_stream, sum_barrier,
+        "both pipelines process identically"
+    );
     println!("processed {frames} frames of 512 KB from a 4-disk striped array");
     println!("virtual time with stream operation   (Fig. 4): {t_stream}");
     println!("virtual time with merge-split barrier:         {t_barrier}");

@@ -1,0 +1,164 @@
+//! Minimal API-compatible subset of the `criterion` crate. The workspace
+//! builds hermetically (no registry access), so the real crate is replaced by
+//! this shim via a path dependency; swap the `[workspace.dependencies]` entry
+//! to use the real package.
+//!
+//! Measurement model: after a short warm-up, each benchmark runs batches of
+//! iterations for a fixed wall-clock budget and reports the mean ns/iter
+//! (plus derived throughput when one was declared). No statistics files are
+//! written. Passing `--test` (as `cargo test --benches` does) runs every
+//! benchmark exactly once so CI stays fast.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Declared throughput of a benchmark, used to derive rate output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.mean_ns = 0.0;
+            return;
+        }
+        // Warm up briefly, then size batches so the clock is read rarely.
+        let warmup_end = Instant::now() + Duration::from_millis(20);
+        let mut batch = 1u64;
+        while Instant::now() < warmup_end {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// The benchmark manager: owns reporting and grouping.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / `cargo bench -- --test` pass `--test`:
+        // run each benchmark once as a smoke test.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Run and report one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        report(name, b.mean_ns, None, self.test_mode);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run and report one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, name);
+        report(&full, b.mean_ns, self.throughput, self.criterion.test_mode);
+        self
+    }
+
+    /// End the group (reporting is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>, test_mode: bool) {
+    if test_mode {
+        println!("bench {name:<40} ok (test mode)");
+        return;
+    }
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            format!(", {:.1} MiB/s", n as f64 / mean_ns * 1e9 / (1 << 20) as f64)
+        }
+        Throughput::Elements(n) => format!(", {:.1} Melem/s", n as f64 / mean_ns * 1e9 / 1e6),
+    });
+    println!(
+        "bench {name:<40} {mean_ns:>12.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declare a group of benchmark functions as a single runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

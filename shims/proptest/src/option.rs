@@ -1,0 +1,26 @@
+//! Option strategies (`proptest::option` subset).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `None` for one case in four, `Some` of the inner strategy
+/// otherwise (matching the real crate's default weighting of 1:3).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(1, 4) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! String-pattern strategies: `&str` regexes of the form `".{a,b}"`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A random Unicode scalar value, biased 3:1 toward printable ASCII so that
+/// generated strings stay readable while still exercising multi-byte UTF-8.
+pub(crate) fn arbitrary_char(rng: &mut TestRng) -> char {
+    if rng.chance(3, 4) {
+        return char::from_u32(0x20 + rng.next_below(0x5f) as u32).expect("printable ASCII");
+    }
+    loop {
+        if let Some(c) = char::from_u32(rng.next_below(0x11_0000) as u32) {
+            if c != '\n' {
+                // `.` in a regex does not match newline.
+                return c;
+            }
+        }
+    }
+}
+
+/// String literals act as generation patterns. Only the `".{a,b}"` form the
+/// workspace uses is supported; anything else is a hard error rather than a
+/// silently-wrong generator.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or_else(|| {
+            panic!("unsupported string pattern {self:?} (shim supports \".{{a,b}}\" only)")
+        });
+        let len = rng.usize_in(lo, hi + 1);
+        (0..len).map(|_| arbitrary_char(rng)).collect()
+    }
+}
+
+/// Parse `".{a,b}"` into `(a, b)`.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn dot_repeat_length_bounds() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..200 {
+            let s = ".{0,16}".generate(&mut rng);
+            assert!(s.chars().count() <= 16);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn parses_pattern() {
+        assert_eq!(parse_dot_repeat(".{0,256}"), Some((0, 256)));
+        assert_eq!(parse_dot_repeat("abc"), None);
+    }
+}

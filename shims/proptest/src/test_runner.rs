@@ -1,0 +1,159 @@
+//! Test execution: configuration, deterministic RNG, and the case loop.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (the `ProptestConfig` of the real crate).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the deterministic CI loop
+        // fast while still exploring the input space.
+        Self { cases: 64 }
+    }
+}
+
+/// A failed test case (produced by the `prop_assert*` macros).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fail the current case with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A property failure: the case error plus the generated input.
+#[derive(Debug)]
+pub struct TestError {
+    case: String,
+    error: TestCaseError,
+    seed: u64,
+    index: u32,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "proptest case failed: {}\n  input (not shrunk): {}\n  \
+             reproduce with PROPTEST_SEED={} (case {})",
+            self.error, self.case, self.seed, self.index
+        )
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift bounded generation (Lemire); bias is negligible for
+        // test-input purposes.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.next_below((hi - lo) as u64) as usize
+    }
+
+    /// A coin flip with probability `num/denom` of `true`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.next_below(denom) < num
+    }
+}
+
+/// Drives a property over `config.cases` generated inputs.
+pub struct TestRunner {
+    config: Config,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// A runner for `config`.
+    pub fn new(config: Config) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x0dd5_5eed_0dd5_5eed);
+        Self { config, seed }
+    }
+
+    /// Run `test` over generated inputs, stopping at the first failure.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        S::Value: fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for index in 0..self.config.cases {
+            // Decorrelate cases: each case gets its own stream.
+            let mut rng = TestRng::new(
+                self.seed
+                    .wrapping_add(u64::from(index).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            );
+            let value = strategy.generate(&mut rng);
+            let case = format!("{value:?}");
+            test(value).map_err(|error| TestError {
+                case,
+                error,
+                seed: self.seed,
+                index,
+            })?;
+        }
+        Ok(())
+    }
+}

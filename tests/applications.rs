@@ -82,12 +82,8 @@ fn life_both_graphs_match_reference() {
             density: 0.4,
             seed: 777,
         };
-        let rep = run_life_sim(
-            ClusterSpec::paper_testbed(3),
-            &cfg,
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let rep =
+            run_life_sim(ClusterSpec::paper_testbed(3), &cfg, EngineConfig::default()).unwrap();
         let expect = World::random(30, 20, 0.4, 777).step_n(6);
         assert_eq!(rep.world, expect, "{variant:?}");
         assert_eq!(rep.per_iter.len(), 6);

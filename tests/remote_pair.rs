@@ -93,8 +93,7 @@ fn remote_pair_on_sim_engine() {
     // Client application: call-split → parallel processing → local merge.
     let client = eng.app("client");
     let cmain: ThreadCollection<()> = eng.thread_collection(client, "m", "node0").unwrap();
-    let cworkers: ThreadCollection<()> =
-        eng.thread_collection(client, "w", "node0 node1").unwrap();
+    let cworkers: ThreadCollection<()> = eng.thread_collection(client, "w", "node0 node1").unwrap();
     let mut cb = GraphBuilder::new("client");
     let call = cb.call_split::<FetchReq, Item, (), _>("items.fetch", &cmain, || ToThread(0));
     let work = cb.leaf(&cworkers, RoundRobin::new, || Double);
@@ -102,7 +101,14 @@ fn remote_pair_on_sim_engine() {
     cb.add(call >> work >> merge);
     let cg = eng.build_graph(cb).unwrap();
 
-    eng.inject(cg, FetchReq { base: 100, count: 25 }).unwrap();
+    eng.inject(
+        cg,
+        FetchReq {
+            base: 100,
+            count: 25,
+        },
+    )
+    .unwrap();
     eng.run_until_idle().unwrap();
     let out = eng.take_outputs(cg);
     assert_eq!(out.len(), 1);
@@ -125,8 +131,7 @@ fn remote_pair_on_mt_engine() {
 
     let client = eng.app("client");
     let cmain: ThreadCollection<()> = eng.thread_collection(client, "m", "node0").unwrap();
-    let cworkers: ThreadCollection<()> =
-        eng.thread_collection(client, "w", "node0 node1").unwrap();
+    let cworkers: ThreadCollection<()> = eng.thread_collection(client, "w", "node0 node1").unwrap();
     let mut cb = GraphBuilder::new("client");
     let call = cb.call_split::<FetchReq, Item, (), _>("items.fetch", &cmain, || ToThread(0));
     let work = cb.leaf(&cworkers, RoundRobin::new, || Double);
@@ -189,7 +194,14 @@ fn large_remote_wave_is_not_flow_throttled() {
     let merge = cb.merge(&cmain, || ToThread(0), Combine::default);
     cb.add(call >> merge);
     let cg = eng.build_graph(cb).unwrap();
-    eng.inject(cg, FetchReq { base: 0, count: 500 }).unwrap();
+    eng.inject(
+        cg,
+        FetchReq {
+            base: 0,
+            count: 500,
+        },
+    )
+    .unwrap();
     eng.run_until_idle().unwrap();
     let c = downcast::<Combined>(eng.take_outputs(cg).pop().unwrap().1).unwrap();
     assert_eq!(c.items, 500);
