@@ -1,0 +1,72 @@
+//! Dynamic loop scheduling — makespan sweep of every chunk policy
+//! (static, SS, GSS, TSS, FAC, AWF) over the LU and matmul iteration-cost
+//! profiles on a 2×-skewed heterogeneous cluster.
+//!
+//! Beyond the paper: its splits partition statically; the DLS literature
+//! (arXiv:1804.11115) shows self-scheduling chunk policies are what make
+//! irregular and heterogeneous workloads fast. Each policy runs the same
+//! loop for several time steps; AWF adapts its per-worker chunk weights
+//! from the engine's virtual-time completion reports between steps.
+
+use dps_bench::dls::{lu_cost, matmul_cost, run_dls_sim, CostFn, DlsConfig};
+use dps_bench::{full_scale, table};
+use dps_cluster::ClusterSpec;
+use dps_sched::PolicyKind;
+
+fn main() {
+    let (iters, steps) = if full_scale() { (4096, 6) } else { (1024, 4) };
+    let nodes = 4usize;
+    let skew = 2.0;
+    let workloads: [(&str, CostFn); 2] = [("matmul", matmul_cost(iters)), ("LU", lu_cost(iters))];
+
+    for (name, cost) in workloads {
+        let mut rows = Vec::new();
+        let mut static_total = None;
+        for kind in PolicyKind::ALL {
+            let rep = run_dls_sim(
+                ClusterSpec::skewed(nodes, 1, skew),
+                cost.clone(),
+                &DlsConfig {
+                    iters,
+                    steps,
+                    policy: kind,
+                    flow_window: 2 * nodes as u32,
+                },
+            )
+            .expect("DLS run");
+            if kind == PolicyKind::Static {
+                static_total = Some(rep.total);
+            }
+            let base = static_total.expect("static runs first");
+            rows.push(vec![
+                kind.name().to_string(),
+                table::secs(rep.total),
+                table::secs(rep.per_step[0]),
+                table::secs(*rep.per_step.last().expect("steps >= 1")),
+                format!("{}", rep.chunks[0]),
+                table::pct(1.0 - rep.total / base),
+            ]);
+        }
+        table::print_table(
+            &format!(
+                "DLS policies — {name} profile, {iters} iterations × {steps} steps, \
+                 {nodes} nodes ({skew}×-skewed)"
+            ),
+            &[
+                "policy",
+                "makespan",
+                "first step",
+                "last step",
+                "chunks/step",
+                "vs static",
+            ],
+            &rows,
+        );
+    }
+    println!(
+        "\nShape check (DLS literature): on a skewed cluster the adaptive\n\
+         policies (FAC, AWF) beat static chunking; AWF's last step should\n\
+         be its best as measured rates converge; SS balances perfectly but\n\
+         pays maximal per-chunk overhead."
+    );
+}

@@ -9,6 +9,7 @@
 //! | `fig9_life` | Fig. 9 — Game-of-Life speedup, simple vs improved graph |
 //! | `table2_service` | Table 2 — inter-application graph-call overhead |
 //! | `fig15_lu` | Fig. 15 — LU speedup, stream vs merge-split schedule |
+//! | `dls_policies` | beyond the paper — DLS policy sweep (SS/GSS/TSS/FAC/AWF) on a skewed cluster |
 //!
 //! Run any of them with `cargo run --release -p dps-bench --bin <name>`;
 //! add `--full` for paper-scale problem sizes (slower). All results are
@@ -20,6 +21,7 @@
 //! engine, and the numeric kernels).
 
 pub mod calib;
+pub mod dls;
 pub mod table;
 
 /// True if `--full` was passed: use paper-scale problem sizes.

@@ -61,6 +61,43 @@ impl ClusterSpec {
         Self::uniform(n, 2)
     }
 
+    /// A heterogeneous cluster: one node per entry of `flops`, named
+    /// `node0..`, each with `cpus` CPUs, on the default paper-calibrated
+    /// network. The substrate for dynamic-loop-scheduling experiments,
+    /// where per-node compute rates differ.
+    pub fn heterogeneous(cpus: usize, flops: &[f64]) -> Self {
+        assert!(!flops.is_empty(), "a cluster needs at least one node");
+        assert!(
+            flops.iter().all(|&f| f > 0.0),
+            "compute rates must be positive"
+        );
+        Self {
+            nodes: flops
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| NodeSpec {
+                    name: format!("node{i}"),
+                    cpus,
+                    flops: f,
+                })
+                .collect(),
+            net: NetConfig::default(),
+        }
+    }
+
+    /// A `skew`-factor heterogeneous cluster of `n` nodes with `cpus` CPUs
+    /// each: the first half runs at the paper rate, the second half `skew`×
+    /// slower (e.g. `skew = 2.0` halves the late nodes' compute rate).
+    pub fn skewed(n: usize, cpus: usize, skew: f64) -> Self {
+        assert!(n >= 1, "a cluster needs at least one node");
+        assert!(skew >= 1.0, "skew is a slowdown factor (>= 1)");
+        let base = NodeSpec::paper_node("x").flops;
+        let rates: Vec<f64> = (0..n)
+            .map(|i| if i < n.div_ceil(2) { base } else { base / skew })
+            .collect();
+        Self::heterogeneous(cpus, &rates)
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -115,6 +152,34 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_cluster_rejected() {
         ClusterSpec::uniform(0, 1);
+    }
+
+    #[test]
+    fn heterogeneous_assigns_rates_in_order() {
+        let spec = ClusterSpec::heterogeneous(1, &[70.0e6, 35.0e6, 17.5e6]);
+        assert_eq!(spec.len(), 3);
+        assert_eq!(spec.node(NodeId(0)).flops, 70.0e6);
+        assert_eq!(spec.node(NodeId(2)).flops, 17.5e6);
+        assert_eq!(spec.node_id("node2"), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn skewed_halves_are_fast_then_slow() {
+        let spec = ClusterSpec::skewed(4, 1, 2.0);
+        let base = spec.node(NodeId(0)).flops;
+        assert_eq!(spec.node(NodeId(1)).flops, base);
+        assert_eq!(spec.node(NodeId(2)).flops, base / 2.0);
+        assert_eq!(spec.node(NodeId(3)).flops, base / 2.0);
+        // Odd n: the extra node is fast.
+        let spec = ClusterSpec::skewed(3, 1, 4.0);
+        assert_eq!(spec.node(NodeId(1)).flops, base);
+        assert_eq!(spec.node(NodeId(2)).flops, base / 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn heterogeneous_rejects_zero_rate() {
+        ClusterSpec::heterogeneous(1, &[70.0e6, 0.0]);
     }
 
     #[test]

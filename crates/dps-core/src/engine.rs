@@ -13,10 +13,12 @@
 
 use std::any::{Any, TypeId};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use dps_cluster::{resolve_mapping, AppId, Cluster, ClusterSpec};
 use dps_des::{PoolId, Sim, SimSpan, SimTime};
 use dps_net::NodeId;
+use dps_sched::FeedbackSink;
 
 use crate::builder::GraphBuilder;
 use crate::envelope::{CallFrame, Envelope, Frame, GNodeId, WaveKey};
@@ -181,6 +183,9 @@ struct Rt {
     pending_calls: HashMap<u64, CallReturn>,
     outputs: HashMap<(u32, u32), Vec<(SimTime, TokenBox)>>,
     fatal: Option<DpsError>,
+    /// Chunk-completion reports (virtual time) go here, if registered —
+    /// the dynamic loop-scheduling feedback channel (`dps-sched`).
+    feedback: Option<Arc<dyn FeedbackSink>>,
 }
 
 impl Rt {
@@ -278,6 +283,7 @@ impl SimEngine {
             pending_calls: HashMap::new(),
             outputs: HashMap::new(),
             fatal: None,
+            feedback: None,
         };
         let mut sim = Sim::new(rt);
         for i in 0..n {
@@ -547,6 +553,16 @@ impl SimEngine {
     pub fn config(&self) -> &EngineConfig {
         &self.sim.world.cfg
     }
+
+    /// Register the sink receiving per-chunk completion reports (dynamic
+    /// loop scheduling, see [`crate::sched`]). The simulator reports
+    /// *virtual* execution times at the chunk's virtual completion instant,
+    /// so adaptive policies behave deterministically. Typically the sink is
+    /// the same [`FeedbackBoard`](dps_sched::FeedbackBoard) the graph's
+    /// [`ScheduledSplit`](crate::sched::ScheduledSplit) reads weights from.
+    pub fn set_feedback_sink(&mut self, sink: Arc<dyn FeedbackSink>) {
+        self.sim.world.feedback = Some(sink);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -800,6 +816,7 @@ fn run_exec(
 
     let overhead = sim.world.cfg.op_overhead;
     let hold = overhead + out.charged;
+    report_completion(sim, tk, &out, hold, start);
 
     match kind {
         OpKind::Split => {
@@ -966,6 +983,7 @@ fn run_consume(
 
     let overhead = sim.world.cfg.op_overhead;
     let hold = overhead + out.charged;
+    report_completion(sim, tk, &out, hold, start);
     let graph = d.graph;
     let from = d.node;
 
@@ -1305,6 +1323,30 @@ fn run_close(
         finish_exec(sim, tk, graph, None);
     });
     hold
+}
+
+/// If the finished execution marked a scheduled chunk complete, report its
+/// virtual execution time to the registered feedback sink at the chunk's
+/// virtual completion instant (paper-model analogue of the DLS literature's
+/// per-chunk completion messages).
+fn report_completion(
+    sim: &mut Sim<Rt>,
+    tk: ThreadKey,
+    out: &OpOutput,
+    hold: SimSpan,
+    start: SimTime,
+) {
+    let Some(iters) = out.completed_iters else {
+        return;
+    };
+    let Some(sink) = sim.world.feedback.clone() else {
+        return;
+    };
+    let worker = tk.thread as usize;
+    let secs = hold.as_secs_f64();
+    sim.schedule_at(start + hold, move |_sim| {
+        sink.report_chunk(worker, iters, secs);
+    });
 }
 
 /// Op completion: free the thread (stalling it if a split wave still has

@@ -44,6 +44,7 @@ mod error;
 mod graph;
 mod ops;
 mod route;
+pub mod sched;
 mod threads;
 mod token;
 
@@ -63,6 +64,10 @@ pub use token::{downcast, register_token, wire_roundtrip, Token, TokenBox, Token
 /// Re-export of the serialization substrate for macro use and token
 /// declarations.
 pub use dps_serial as serial;
+
+/// Re-export of the dynamic loop-scheduling policies consumed by
+/// [`sched::ScheduledSplit`] (chunk policies, feedback board).
+pub use dps_sched;
 
 /// Engine-facing internals shared with alternative execution engines
 /// (`dps-mt`). Not part of the stable public API.

@@ -62,6 +62,10 @@ pub struct OpOutput {
     pub posts: Vec<Post>,
     /// Total virtual time charged by the operation.
     pub charged: SimSpan,
+    /// Set via [`OpCtx::mark_chunk`]: this execution completed a scheduled
+    /// chunk of that many loop iterations. Engines report the chunk's
+    /// completion time to their registered feedback sink.
+    pub completed_iters: Option<u64>,
 }
 
 /// Immutable facts about the executing thread, provided by the engine.
@@ -146,6 +150,16 @@ impl<'a, Td: ThreadData, Out: Token> OpCtx<'a, Td, Out> {
     /// Total charged so far.
     pub fn charged(&self) -> SimSpan {
         self.out.charged
+    }
+
+    /// Declare that this execution completed `iters` iterations of a
+    /// scheduled loop chunk (see [`crate::sched`]). The engine then reports
+    /// the chunk's execution time — virtual on the simulator, wall-clock on
+    /// the threaded engine — to its registered
+    /// [`FeedbackSink`](dps_sched::FeedbackSink), feeding adaptive policies
+    /// such as AWF.
+    pub fn mark_chunk(&mut self, iters: u64) {
+        self.out.completed_iters = Some(iters);
     }
 }
 

@@ -1,0 +1,434 @@
+//! Policy-driven loop scheduling inside flow graphs.
+//!
+//! The paper's split operations partition work statically; this module
+//! plugs the dynamic loop-scheduling policies of [`dps_sched`] (SS, GSS,
+//! TSS, FAC, AWF) into the split/leaf/merge vocabulary:
+//!
+//! * [`ScheduledSplit`] partitions an [`IterRange`] into policy-chosen
+//!   [`IterChunk`]s, reading AWF weights from a shared
+//!   [`FeedbackBoard`](dps_sched::FeedbackBoard) at each wave;
+//! * [`ChunkRoute`] routes chunks to the policy's intended worker but sheds
+//!   to the least-loaded thread when the target is congested (the engines'
+//!   live per-thread queue depths are the feedback signal);
+//! * worker operations call [`OpCtx::mark_chunk`](crate::OpCtx::mark_chunk)
+//!   so the engine reports each chunk's completion time to the feedback
+//!   sink — virtual time on [`SimEngine`](crate::SimEngine), wall-clock on
+//!   the `dps-mt` engine — closing the AWF adaptation loop;
+//! * [`ChunkWorker`] and [`CollectChunks`] are ready-made worker/merge
+//!   operations for cost-model-driven loops (benchmarks, tests).
+//!
+//! True *self*-scheduling falls out of flow control: with a flow window of
+//! roughly `2 × workers`, chunks are released as earlier ones are merged,
+//! so every routing decision sees live queue depths — later chunks flow to
+//! whichever worker drained its queue first.
+
+use std::sync::Arc;
+
+use dps_des::SimSpan;
+use dps_sched::{ChunkScheduler, FeedbackBoard, PolicyKind};
+
+use crate::dps_token;
+use crate::ops::{LeafOperation, MergeOperation, OpCtx, SplitOperation};
+use crate::route::{Route, RouteInfo};
+
+dps_token! {
+    /// A loop to schedule: iterations `start..start + len`. `step` tags the
+    /// time step (outer iteration) in multi-wave runs so adaptive policies
+    /// can be observed converging.
+    pub struct IterRange { pub start: u64, pub len: u64, pub step: u32 }
+}
+
+dps_token! {
+    /// One policy-chosen chunk of a scheduled loop: iterations
+    /// `start..start + len`, handed out as chunk number `seq`, sized for
+    /// `worker` (a routing hint, not an obligation).
+    pub struct IterChunk {
+        pub step: u32,
+        pub seq: u32,
+        pub start: u64,
+        pub len: u64,
+        pub worker: u32,
+    }
+}
+
+dps_token! {
+    /// Completion report of one chunk, posted by the worker operation.
+    pub struct ChunkDone { pub step: u32, pub worker: u32, pub start: u64, pub len: u64 }
+}
+
+dps_token! {
+    /// Merge summary of one scheduled loop wave.
+    pub struct RangeDone { pub step: u32, pub iters: u64, pub chunks: u32 }
+}
+
+/// Virtual cost of computing and posting one chunk, charged by
+/// [`ScheduledSplit`] — models the chunk-calculation overhead that makes
+/// fine-grained policies (SS) pay for their many scheduling rounds.
+pub fn chunk_calc_cost() -> SimSpan {
+    SimSpan::from_micros(2)
+}
+
+/// A split operation that partitions an [`IterRange`] with a dynamic
+/// loop-scheduling policy.
+///
+/// `workers` is the thread count of the *destination* collection (the one
+/// executing the chunk operation downstream) — pass
+/// [`ThreadCollection::thread_count`](crate::ThreadCollection::thread_count).
+/// The split typically runs on a master collection, so its own
+/// `ctx.thread_count()` would be wrong.
+///
+/// A fresh policy instance runs per wave; the AWF policy additionally reads
+/// per-worker weights from the attached [`FeedbackBoard`] (populated by the
+/// engine's completion reports), so successive waves adapt to measured
+/// worker speeds.
+pub struct ScheduledSplit {
+    kind: PolicyKind,
+    workers: usize,
+    board: Option<Arc<FeedbackBoard>>,
+}
+
+impl ScheduledSplit {
+    /// Partition with `kind` for `workers` downstream threads, without
+    /// adaptation (AWF degenerates to FAC).
+    pub fn new(kind: PolicyKind, workers: usize) -> Self {
+        Self {
+            kind,
+            workers: workers.max(1),
+            board: None,
+        }
+    }
+
+    /// Partition with `kind` for `workers` downstream threads, reading AWF
+    /// weights from `board`. Attach the same board to the engine with
+    /// `set_feedback_sink` so completions flow back.
+    pub fn with_feedback(kind: PolicyKind, workers: usize, board: Arc<FeedbackBoard>) -> Self {
+        Self {
+            kind,
+            workers: workers.max(1),
+            board: Some(board),
+        }
+    }
+}
+
+impl SplitOperation for ScheduledSplit {
+    type Thread = ();
+    type In = IterRange;
+    type Out = IterChunk;
+
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), IterChunk>, r: IterRange) {
+        let workers = self.workers;
+        if r.len == 0 {
+            // Splits must post; an empty loop degenerates to one empty chunk.
+            ctx.post(IterChunk {
+                step: r.step,
+                seq: 0,
+                start: r.start,
+                len: 0,
+                worker: 0,
+            });
+            return;
+        }
+        let weights = match &self.board {
+            Some(board) => board.weights(workers),
+            None => vec![1.0 / workers as f64; workers],
+        };
+        let mut sched = ChunkScheduler::new(self.kind.build(), r.len, workers, &weights);
+        while let Some(c) = sched.next_chunk() {
+            ctx.charge(chunk_calc_cost());
+            ctx.post(IterChunk {
+                step: r.step,
+                seq: c.seq,
+                start: r.start + c.start,
+                len: c.len,
+                worker: c.worker,
+            });
+        }
+    }
+}
+
+/// Load- and feedback-aware route for [`IterChunk`]s: follow the policy's
+/// intended worker while its backlog is within one token of the
+/// least-loaded thread, otherwise shed the chunk to the least-loaded
+/// thread. Falls back to the plain hint when the engine provides no load
+/// data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChunkRoute;
+
+impl ChunkRoute {
+    /// New chunk route.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Route<IterChunk> for ChunkRoute {
+    fn route(&mut self, token: &IterChunk, info: &RouteInfo<'_>) -> usize {
+        let hint = token.worker as usize % info.thread_count;
+        match info.load {
+            Some(load) => {
+                debug_assert_eq!(load.len(), info.thread_count);
+                let (min_i, &min_l) = load
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &l)| (l, i))
+                    .expect("thread collections are non-empty");
+                if load[hint] <= min_l.saturating_add(1) {
+                    hint
+                } else {
+                    min_i
+                }
+            }
+            None => hint,
+        }
+    }
+}
+
+/// A cost-model worker: executes a chunk by charging
+/// `Σ cost(i)` FLOPs over the chunk's iterations, marks the chunk complete
+/// (feeding AWF), and posts a [`ChunkDone`]. Benchmarks and tests drive
+/// heterogeneous-cluster experiments with it; real applications write their
+/// own leaf and call `mark_chunk` the same way.
+pub struct ChunkWorker {
+    cost: Arc<dyn Fn(u64) -> f64 + Send + Sync>,
+}
+
+impl ChunkWorker {
+    /// Worker with per-iteration FLOP cost `cost(i)`.
+    pub fn new(cost: Arc<dyn Fn(u64) -> f64 + Send + Sync>) -> Self {
+        Self { cost }
+    }
+
+    /// Worker with a uniform per-iteration FLOP cost.
+    pub fn uniform(flops_per_iter: f64) -> Self {
+        Self::new(Arc::new(move |_| flops_per_iter))
+    }
+}
+
+impl LeafOperation for ChunkWorker {
+    type Thread = ();
+    type In = IterChunk;
+    type Out = ChunkDone;
+
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), ChunkDone>, c: IterChunk) {
+        let flops: f64 = (c.start..c.start + c.len).map(|i| (self.cost)(i)).sum();
+        if flops > 0.0 {
+            ctx.charge_flops(flops);
+        }
+        ctx.mark_chunk(c.len);
+        ctx.post(ChunkDone {
+            step: c.step,
+            worker: ctx.thread_index() as u32,
+            start: c.start,
+            len: c.len,
+        });
+    }
+}
+
+/// Merge for scheduled loops: counts chunks and iterations, posts one
+/// [`RangeDone`] per wave.
+#[derive(Debug, Default)]
+pub struct CollectChunks {
+    step: u32,
+    iters: u64,
+    chunks: u32,
+}
+
+impl MergeOperation for CollectChunks {
+    type Thread = ();
+    type In = ChunkDone;
+    type Out = RangeDone;
+
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, (), RangeDone>, d: ChunkDone) {
+        self.step = d.step;
+        self.iters += d.len;
+        self.chunks += 1;
+    }
+
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, (), RangeDone>) {
+        ctx.post(RangeDone {
+            step: self.step,
+            iters: self.iters,
+            chunks: self.chunks,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{ExecInfo, OpOutput};
+    use std::any::Any;
+    use std::marker::PhantomData;
+
+    fn ctx_run<O: SplitOperation<Thread = ()>>(
+        op: &mut O,
+        input: O::In,
+        thread_count: usize,
+    ) -> OpOutput {
+        let mut out = OpOutput::default();
+        let mut td: Box<dyn Any> = Box::new(());
+        let mut ctx = OpCtx::<(), O::Out> {
+            out: &mut out,
+            thread: td.as_mut(),
+            info: ExecInfo {
+                thread_index: 0,
+                thread_count,
+                node_flops: 1e9,
+                start_nanos: 0,
+            },
+            _m: PhantomData,
+        };
+        op.execute(&mut ctx, input);
+        out
+    }
+
+    #[test]
+    fn scheduled_split_partitions_exactly() {
+        for kind in PolicyKind::ALL {
+            let mut op = ScheduledSplit::new(kind, 4);
+            let out = ctx_run(
+                &mut op,
+                IterRange {
+                    start: 10,
+                    len: 97,
+                    step: 3,
+                },
+                4,
+            );
+            let mut covered = 0u64;
+            let mut next = 10u64;
+            for post in &out.posts {
+                let c = post
+                    .token
+                    .as_any()
+                    .downcast_ref::<IterChunk>()
+                    .expect("chunk token");
+                assert_eq!(c.start, next, "{kind:?} chunks are contiguous");
+                assert!(c.len >= 1);
+                assert_eq!(c.step, 3);
+                next = c.start + c.len;
+                covered += c.len;
+            }
+            assert_eq!(covered, 97, "{kind:?} covers the range exactly");
+        }
+    }
+
+    #[test]
+    fn empty_range_posts_one_empty_chunk() {
+        let mut op = ScheduledSplit::new(PolicyKind::Gss, 3);
+        let out = ctx_run(
+            &mut op,
+            IterRange {
+                start: 5,
+                len: 0,
+                step: 0,
+            },
+            3,
+        );
+        assert_eq!(out.posts.len(), 1);
+        let c = out.posts[0]
+            .token
+            .as_any()
+            .downcast_ref::<IterChunk>()
+            .unwrap();
+        assert_eq!((c.start, c.len), (5, 0));
+    }
+
+    #[test]
+    fn awf_split_reads_board_weights() {
+        let board = Arc::new(FeedbackBoard::new());
+        // Worker 0 measured 3× faster than worker 1.
+        use dps_sched::FeedbackSink;
+        board.report_chunk(0, 300, 1.0);
+        board.report_chunk(1, 100, 1.0);
+        let mut op = ScheduledSplit::with_feedback(PolicyKind::Awf, 2, board);
+        let out = ctx_run(
+            &mut op,
+            IterRange {
+                start: 0,
+                len: 400,
+                step: 1,
+            },
+            2,
+        );
+        let first = out.posts[0]
+            .token
+            .as_any()
+            .downcast_ref::<IterChunk>()
+            .unwrap();
+        let second = out.posts[1]
+            .token
+            .as_any()
+            .downcast_ref::<IterChunk>()
+            .unwrap();
+        assert_eq!((first.worker, second.worker), (0, 1));
+        assert!(
+            first.len >= 2 * second.len,
+            "AWF batch skews to the fast worker: {} vs {}",
+            first.len,
+            second.len
+        );
+    }
+
+    #[test]
+    fn chunk_route_follows_hint_until_congested() {
+        let mut r = ChunkRoute::new();
+        let tok = |worker| IterChunk {
+            step: 0,
+            seq: 0,
+            start: 0,
+            len: 1,
+            worker,
+        };
+        let info = |load: &'static [u32]| RouteInfo {
+            thread_count: load.len(),
+            load: Some(load),
+        };
+        // Hint within one of the minimum: keep it.
+        assert_eq!(r.route(&tok(1), &info(&[0, 1, 0])), 1);
+        // Hint congested: shed to least-loaded.
+        assert_eq!(r.route(&tok(1), &info(&[0, 5, 2])), 0);
+        // No load data: plain hint (mod thread count).
+        let no_load = RouteInfo {
+            thread_count: 2,
+            load: None,
+        };
+        assert_eq!(r.route(&tok(5), &no_load), 1);
+    }
+
+    #[test]
+    fn chunk_worker_marks_completion() {
+        let mut op = ChunkWorker::uniform(1e6);
+        let mut out = OpOutput::default();
+        let mut td: Box<dyn Any> = Box::new(());
+        let mut ctx = OpCtx::<(), ChunkDone> {
+            out: &mut out,
+            thread: td.as_mut(),
+            info: ExecInfo {
+                thread_index: 2,
+                thread_count: 4,
+                node_flops: 1e6,
+                start_nanos: 0,
+            },
+            _m: PhantomData,
+        };
+        op.execute(
+            &mut ctx,
+            IterChunk {
+                step: 0,
+                seq: 0,
+                start: 4,
+                len: 3,
+                worker: 2,
+            },
+        );
+        assert_eq!(out.completed_iters, Some(3));
+        assert_eq!(out.charged, SimSpan::from_secs(3)); // 3 iters × 1e6 / 1e6
+        let d = out.posts[0]
+            .token
+            .as_any()
+            .downcast_ref::<ChunkDone>()
+            .unwrap();
+        assert_eq!((d.worker, d.start, d.len), (2, 4, 3));
+    }
+}

@@ -1,9 +1,11 @@
 //! Engine lifecycle: declaration phase, thread spawning, run driving.
 
 use std::collections::HashMap;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU32, AtomicU64};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use dps_sched::FeedbackSink;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dps_cluster::{resolve_mapping, ClusterSpec};
@@ -72,6 +74,7 @@ pub struct MtEngine {
     out_buf: HashMap<(u32, u32), Vec<TokenBox>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     started_at: Instant,
+    feedback: Option<Arc<dyn FeedbackSink>>,
 }
 
 /// Handle to an application declared in the threaded engine.
@@ -100,7 +103,21 @@ impl MtEngine {
             out_buf: HashMap::new(),
             handles: Vec::new(),
             started_at: Instant::now(),
+            feedback: None,
         }
+    }
+
+    /// Register the sink receiving per-chunk completion reports (dynamic
+    /// loop scheduling, see `dps_core::sched`). This engine reports
+    /// *wall-clock* execution times; only relative rates matter, so the
+    /// same application code adapts identically here and on the simulator.
+    /// Call before the first run.
+    pub fn set_feedback_sink(&mut self, sink: Arc<dyn FeedbackSink>) {
+        assert!(
+            self.shared.is_none(),
+            "register the feedback sink before the first run"
+        );
+        self.feedback = Some(sink);
     }
 
     /// Declare an application.
@@ -184,9 +201,11 @@ impl MtEngine {
                     senders.push(tx);
                     rxs.push(rx);
                 }
+                let queued = (0..tc.nodes.len()).map(|_| AtomicU32::new(0)).collect();
                 tcs.push(SharedTc {
                     nodes: tc.nodes.clone(),
                     senders,
+                    queued,
                 });
                 app_rx.push(rxs);
             }
@@ -231,6 +250,7 @@ impl MtEngine {
             pending_calls: Mutex::new(HashMap::new()),
             output_tx,
             error_tx,
+            feedback: self.feedback.clone(),
         });
         // Spawn one OS thread per DPS thread.
         for (app_idx, app_rx) in receivers.into_iter().enumerate() {

@@ -3,8 +3,11 @@
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+use dps_sched::FeedbackSink;
 
 use crossbeam::channel::{Receiver, Sender};
 use dps_core::internal::{DynOp, DynRoute, ExecInfo, OpOutput};
@@ -46,6 +49,27 @@ pub(crate) struct Output {
 pub(crate) struct SharedTc {
     pub nodes: Vec<u32>,
     pub senders: Vec<Sender<Msg>>,
+    /// Live per-thread backlog (messages sent and not yet fully processed)
+    /// — the load signal for `LeastLoaded`/`ChunkRoute` routing and the
+    /// AWF feedback loop on real OS threads.
+    pub queued: Vec<AtomicU32>,
+}
+
+impl SharedTc {
+    fn enqueue(&self, thread: usize, msg: Msg) {
+        self.queued[thread].fetch_add(1, Ordering::Relaxed);
+        if self.senders[thread].send(msg).is_err() {
+            // Worker already stopped (shutdown path): roll the count back.
+            self.queued[thread].fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn load_snapshot(&self) -> Vec<u32> {
+        self.queued
+            .iter()
+            .map(|q| q.load(Ordering::Relaxed))
+            .collect()
+    }
 }
 
 pub(crate) struct MtFlow {
@@ -91,6 +115,9 @@ pub(crate) struct Shared {
     pub pending_calls: Mutex<HashMap<u64, CallRetOpaque>>,
     pub output_tx: Sender<Output>,
     pub error_tx: Sender<DpsError>,
+    /// Chunk-completion reports (wall-clock) go here, if registered — the
+    /// dynamic loop-scheduling feedback channel (`dps-sched`).
+    pub feedback: Option<Arc<dyn FeedbackSink>>,
 }
 
 /// Newtype so `CallRet` stays private to this module.
@@ -167,6 +194,19 @@ pub(crate) fn worker_loop(
                 }
             }
         }
+        // The message is fully processed: drop it from this thread's
+        // backlog (the live load signal used by routing functions).
+        shared.apps[app as usize].tcs[tc as usize].queued[thread as usize]
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// If the finished execution marked a scheduled chunk complete, report its
+/// wall-clock execution time to the registered feedback sink — the
+/// real-thread half of the dynamic loop-scheduling feedback channel.
+fn report_completion(shared: &Shared, w: &Worker, out: &OpOutput, started: Instant) {
+    if let (Some(iters), Some(sink)) = (out.completed_iters, shared.feedback.as_ref()) {
+        sink.report_chunk(w.thread as usize, iters, started.elapsed().as_secs_f64());
     }
 }
 
@@ -215,7 +255,9 @@ fn handle_exec(
         .entry((graph, node.0))
         .or_insert_with(|| gnode.make_op().expect("split/leaf has an op"));
     let mut out = OpOutput::default();
+    let t0 = Instant::now();
     op.on_token(&mut out, w.data.as_mut(), info, &name, token)?;
+    report_completion(shared, w, &out, t0);
 
     match kind {
         OpKind::Split => {
@@ -303,12 +345,14 @@ fn handle_consume(
     let out_index_base = wave.out_index;
 
     let mut out = OpOutput::default();
+    let t0 = Instant::now();
     wave.op
         .on_token(&mut out, w.data.as_mut(), info, &name, token)?;
     if completes {
         wave.op
             .on_finalize(&mut out, w.data.as_mut(), info, &name)?;
     }
+    report_completion(shared, w, &out, t0);
 
     match kind {
         OpKind::Merge => {
@@ -562,13 +606,15 @@ fn send_close(shared: &Arc<Shared>, app: u32, graph: u32, close_env: Envelope, t
     match thread {
         Some(t) => {
             let tc = def.node(merge_node).tc;
-            let _ =
-                shared.apps[app as usize].tcs[tc as usize].senders[t as usize].send(Msg::Close {
+            shared.apps[app as usize].tcs[tc as usize].enqueue(
+                t as usize,
+                Msg::Close {
                     graph,
                     node: merge_node,
                     env: close_env,
                     total,
-                });
+                },
+            );
         }
         None => {
             g.pending_closes.lock().insert(key, total);
@@ -670,10 +716,15 @@ fn route_and_send(
     let gnode = def.node(to);
     let tc = gnode.tc;
     let g = &shared.apps[app as usize].graphs[graph as usize];
-    let thread_count = shared.apps[app as usize].tcs[tc as usize].senders.len();
+    let shared_tc = &shared.apps[app as usize].tcs[tc as usize];
+    let thread_count = shared_tc.senders.len();
+    // Live per-thread backlog: load-balancing routes on real OS threads see
+    // the same signal shape as on the simulator. Single-thread collections
+    // (masters, merge homes) skip the snapshot — routing there is forced.
+    let load = (thread_count > 1).then(|| shared_tc.load_snapshot());
     let info = RouteInfo {
         thread_count,
-        load: None,
+        load: load.as_deref(),
     };
     let routed = {
         let mut route = g.routes[to.0 as usize].lock();
@@ -704,7 +755,8 @@ fn route_and_send(
                 if let Some(f) = close_env.frames.last_mut() {
                     f.total = Some(total);
                 }
-                let _ = shared.apps[app as usize].tcs[tc as usize].senders[thread as usize].send(
+                shared.apps[app as usize].tcs[tc as usize].enqueue(
+                    thread as usize,
                     Msg::Close {
                         graph,
                         node: to,
@@ -727,13 +779,15 @@ fn route_and_send(
     } else {
         token
     };
-    let _ =
-        shared.apps[app as usize].tcs[tc as usize].senders[thread as usize].send(Msg::Deliver {
+    shared.apps[app as usize].tcs[tc as usize].enqueue(
+        thread as usize,
+        Msg::Deliver {
             graph,
             node: to,
             token,
             env,
-        });
+        },
+    );
 }
 
 /// Release pending posts of a flow while the window allows; the final post

@@ -1,0 +1,166 @@
+//! The chunk-completion feedback protocol.
+//!
+//! Engines report one [`FeedbackSink::report_chunk`] call per finished
+//! chunk. The deterministic simulator reports *virtual* execution times;
+//! the OS-thread engine reports *wall-clock* times. Only relative rates
+//! matter downstream, so application code behaves identically on both.
+
+use std::sync::Mutex;
+
+/// Where engines deliver per-chunk completion reports.
+///
+/// `worker` is the thread index within the executing collection, `iters`
+/// the number of loop iterations the chunk covered, and `secs` the
+/// execution time in the engine's own notion of time (virtual or wall).
+pub trait FeedbackSink: Send + Sync {
+    /// Record that `worker` finished a chunk of `iters` iterations in
+    /// `secs` seconds.
+    fn report_chunk(&self, worker: usize, iters: u64, secs: f64);
+}
+
+/// Lifetime statistics of one worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Chunks completed.
+    pub chunks: u64,
+    /// Iterations completed.
+    pub iters: u64,
+    /// Total execution seconds (engine time).
+    pub secs: f64,
+}
+
+impl WorkerStats {
+    /// Measured execution rate in iterations per second, if any work was
+    /// reported.
+    pub fn rate(&self) -> Option<f64> {
+        (self.secs > 0.0 && self.iters > 0).then(|| self.iters as f64 / self.secs)
+    }
+}
+
+/// Aggregates chunk-completion reports into per-worker rates and the
+/// normalized weights AWF consumes.
+///
+/// The board is shared (`Arc`) between the engine — which writes through
+/// the [`FeedbackSink`] impl — and the `ScheduledSplit` operation, which
+/// reads [`weights`](Self::weights) at the start of each wave.
+#[derive(Debug, Default)]
+pub struct FeedbackBoard {
+    stats: Mutex<Vec<WorkerStats>>,
+}
+
+impl FeedbackBoard {
+    /// Empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the per-worker statistics (at least `workers` entries).
+    pub fn stats(&self, workers: usize) -> Vec<WorkerStats> {
+        let mut s = self.stats.lock().expect("feedback board poisoned").clone();
+        if s.len() < workers {
+            s.resize(workers, WorkerStats::default());
+        }
+        s
+    }
+
+    /// Per-worker weights, normalized to sum to 1.
+    ///
+    /// Workers with measured rates are weighted proportionally; workers
+    /// with no reports yet are assumed to run at the mean measured rate
+    /// (uniform when nothing has been measured — the AWF cold start).
+    pub fn weights(&self, workers: usize) -> Vec<f64> {
+        let stats = self.stats(workers);
+        let rates: Vec<Option<f64>> = stats.iter().take(workers).map(WorkerStats::rate).collect();
+        let measured: Vec<f64> = rates.iter().filter_map(|r| *r).collect();
+        if measured.is_empty() {
+            return vec![1.0 / workers.max(1) as f64; workers];
+        }
+        let mean = measured.iter().sum::<f64>() / measured.len() as f64;
+        let filled: Vec<f64> = rates.into_iter().map(|r| r.unwrap_or(mean)).collect();
+        let total: f64 = filled.iter().sum();
+        filled.into_iter().map(|r| r / total).collect()
+    }
+
+    /// Forget all reports (e.g. between benchmark configurations).
+    pub fn reset(&self) {
+        self.stats.lock().expect("feedback board poisoned").clear();
+    }
+
+    /// Total chunks reported across all workers.
+    pub fn total_chunks(&self) -> u64 {
+        self.stats
+            .lock()
+            .expect("feedback board poisoned")
+            .iter()
+            .map(|s| s.chunks)
+            .sum()
+    }
+}
+
+impl FeedbackSink for FeedbackBoard {
+    fn report_chunk(&self, worker: usize, iters: u64, secs: f64) {
+        let mut stats = self.stats.lock().expect("feedback board poisoned");
+        if stats.len() <= worker {
+            stats.resize(worker + 1, WorkerStats::default());
+        }
+        let s = &mut stats[worker];
+        s.chunks += 1;
+        s.iters += iters;
+        s.secs += secs.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_board_yields_uniform_weights() {
+        let b = FeedbackBoard::new();
+        assert_eq!(b.weights(4), vec![0.25; 4]);
+        assert_eq!(b.total_chunks(), 0);
+    }
+
+    #[test]
+    fn weights_follow_measured_rates() {
+        let b = FeedbackBoard::new();
+        b.report_chunk(0, 100, 1.0); // 100 it/s
+        b.report_chunk(1, 100, 2.0); // 50 it/s
+        let w = b.weights(2);
+        assert!((w[0] - 2.0 / 3.0).abs() < 1e-12, "{w:?}");
+        assert!((w[1] - 1.0 / 3.0).abs() < 1e-12, "{w:?}");
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmeasured_workers_get_mean_rate() {
+        let b = FeedbackBoard::new();
+        b.report_chunk(0, 300, 1.0);
+        b.report_chunk(1, 100, 1.0);
+        // Worker 2 never reported: assume the mean (200 it/s).
+        let w = b.weights(3);
+        assert!((w[2] - 200.0 / 600.0).abs() < 1e-12, "{w:?}");
+    }
+
+    #[test]
+    fn reports_accumulate_and_reset() {
+        let b = FeedbackBoard::new();
+        b.report_chunk(1, 10, 0.5);
+        b.report_chunk(1, 30, 1.5);
+        let s = b.stats(2)[1];
+        assert_eq!(s.chunks, 2);
+        assert_eq!(s.iters, 40);
+        assert!((s.rate().unwrap() - 20.0).abs() < 1e-12);
+        b.reset();
+        assert_eq!(b.total_chunks(), 0);
+        assert_eq!(b.stats(2)[1], WorkerStats::default());
+    }
+
+    #[test]
+    fn zero_time_report_is_not_a_rate() {
+        let b = FeedbackBoard::new();
+        b.report_chunk(0, 5, 0.0);
+        assert_eq!(b.stats(1)[0].rate(), None);
+        assert_eq!(b.weights(1), vec![1.0]);
+    }
+}

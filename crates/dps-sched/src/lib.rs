@@ -1,0 +1,49 @@
+//! # dps-sched — dynamic loop scheduling for DPS
+//!
+//! The paper's split operations partition work *statically*; this crate
+//! supplies the self-scheduling chunk policies from the dynamic loop
+//! scheduling (DLS) literature (Mohammed et al., arXiv:1804.11115;
+//! Eleliemy & Ciorba, arXiv:2101.07050) so splits can adapt chunk sizes to
+//! heterogeneous and irregular workloads.
+//!
+//! A [`ChunkPolicy`] decides the size of the next chunk of a loop of `N`
+//! iterations scheduled onto `P` workers, given the remaining iteration
+//! count `R`:
+//!
+//! | policy | formula for the next chunk |
+//! |---|---|
+//! | [`StaticChunking`] | `⌈N/P⌉` — one pre-sized chunk per worker |
+//! | [`SelfScheduling`] (SS) | `1` — pure work stealing granularity |
+//! | [`GuidedSelfScheduling`] (GSS) | `⌈R/P⌉` — exponentially decreasing |
+//! | [`TrapezoidSelfScheduling`] (TSS) | linear decrease from `f = ⌈N/2P⌉` to `l = 1` in `C = ⌈2N/(f+l)⌉` steps |
+//! | [`Factoring`] (FAC) | batches of `P` chunks, each `⌈R/2P⌉` at batch start |
+//! | [`AdaptiveWeightedFactoring`] (AWF) | factoring batches of `⌈R/2⌉` iterations, divided ∝ measured per-worker rates |
+//!
+//! The [`ChunkScheduler`] drives a policy over a concrete iteration range
+//! and guarantees the partition invariants: every chunk is non-empty,
+//! chunks are contiguous and non-overlapping, and their lengths sum to `N`
+//! (property-tested in the workspace's `proptest_schedules`).
+//!
+//! ## The feedback protocol
+//!
+//! AWF needs to know how fast each worker actually is. Engines report one
+//! [`FeedbackSink::report_chunk`] call per completed chunk — the
+//! deterministic simulator reports *virtual* completion times, the
+//! OS-thread engine reports *wall-clock* times; only the relative rates
+//! matter, so the same application code adapts identically on both. The
+//! [`FeedbackBoard`] aggregates those reports into per-worker rates and
+//! turns them into the normalized weights AWF consumes on its next wave.
+//!
+//! This crate is engine-independent (and dependency-free): `dps-core`'s
+//! `ScheduledSplit` operation plugs these policies into flow graphs.
+
+mod feedback;
+mod policy;
+mod scheduler;
+
+pub use feedback::{FeedbackBoard, FeedbackSink, WorkerStats};
+pub use policy::{
+    AdaptiveWeightedFactoring, ChunkPolicy, Factoring, GuidedSelfScheduling, PolicyKind,
+    SelfScheduling, StaticChunking, TrapezoidSelfScheduling,
+};
+pub use scheduler::{Chunk, ChunkScheduler};

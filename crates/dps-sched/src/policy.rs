@@ -1,0 +1,332 @@
+//! The chunk-size policies of dynamic loop scheduling.
+
+/// A dynamic loop-scheduling policy: decides the size of each successive
+/// chunk of a loop of `total` iterations scheduled onto `workers` workers.
+///
+/// Policies are *pure* chunk calculators — they never see tokens, threads,
+/// or clocks. Worker speed enters through the `weights` slice passed to
+/// [`begin`](Self::begin) (uniform for the non-adaptive policies; measured
+/// rates for AWF, via the
+/// [`FeedbackBoard`](crate::FeedbackBoard)). A
+/// [`ChunkScheduler`](crate::ChunkScheduler) drives the policy and clamps
+/// every returned size into `1..=remaining`, so implementations only need
+/// to produce the *intended* size.
+pub trait ChunkPolicy: Send + 'static {
+    /// Human-readable policy name (table headers, diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Called once before a partitioning run. `weights` has one entry per
+    /// worker, normalized to sum to 1; policies that do not adapt ignore it.
+    fn begin(&mut self, total: u64, workers: usize, weights: &[f64]);
+
+    /// Intended size of the next chunk, handed to `worker`, with
+    /// `remaining` iterations left (`remaining >= 1`). Values are clamped
+    /// to `1..=remaining` by the scheduler.
+    fn chunk_size(&mut self, remaining: u64, worker: usize) -> u64;
+}
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    a.div_ceil(b.max(1))
+}
+
+/// The baseline the paper's splits use implicitly: `⌈N/P⌉` iterations per
+/// chunk, i.e. one equal chunk per worker regardless of workload shape or
+/// node speed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StaticChunking {
+    chunk: u64,
+}
+
+impl ChunkPolicy for StaticChunking {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+    fn begin(&mut self, total: u64, workers: usize, _weights: &[f64]) {
+        self.chunk = div_ceil(total, workers as u64);
+    }
+    fn chunk_size(&mut self, _remaining: u64, _worker: usize) -> u64 {
+        self.chunk
+    }
+}
+
+/// Pure self-scheduling (SS): one iteration per chunk. Perfect load balance,
+/// maximal scheduling overhead — the P-1 extreme of the DLS spectrum.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SelfScheduling;
+
+impl ChunkPolicy for SelfScheduling {
+    fn name(&self) -> &'static str {
+        "ss"
+    }
+    fn begin(&mut self, _total: u64, _workers: usize, _weights: &[f64]) {}
+    fn chunk_size(&mut self, _remaining: u64, _worker: usize) -> u64 {
+        1
+    }
+}
+
+/// Guided self-scheduling (GSS, Polychronopoulos & Kuck): each chunk takes
+/// `⌈R/P⌉` of the remaining `R` iterations — exponentially decreasing chunk
+/// sizes front-load the big chunks and keep a fine-grained tail for
+/// balancing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GuidedSelfScheduling {
+    workers: u64,
+}
+
+impl ChunkPolicy for GuidedSelfScheduling {
+    fn name(&self) -> &'static str {
+        "gss"
+    }
+    fn begin(&mut self, _total: u64, workers: usize, _weights: &[f64]) {
+        self.workers = workers as u64;
+    }
+    fn chunk_size(&mut self, remaining: u64, _worker: usize) -> u64 {
+        div_ceil(remaining, self.workers)
+    }
+}
+
+/// Trapezoid self-scheduling (TSS, Tzen & Ni): chunk sizes decrease
+/// *linearly* from `f = ⌈N/2P⌉` to `l = 1` over `C = ⌈2N/(f+l)⌉` chunks
+/// (decrement `d = (f-l)/(C-1)`), trading GSS's aggressive first chunks for
+/// a cheaper, bounded schedule-length.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrapezoidSelfScheduling {
+    current: f64,
+    decrement: f64,
+}
+
+impl ChunkPolicy for TrapezoidSelfScheduling {
+    fn name(&self) -> &'static str {
+        "tss"
+    }
+    fn begin(&mut self, total: u64, workers: usize, _weights: &[f64]) {
+        let first = div_ceil(total, 2 * workers as u64).max(1);
+        let last = 1u64;
+        let count = div_ceil(2 * total, first + last).max(1);
+        self.current = first as f64;
+        self.decrement = if count > 1 {
+            (first - last) as f64 / (count - 1) as f64
+        } else {
+            0.0
+        };
+    }
+    fn chunk_size(&mut self, _remaining: u64, _worker: usize) -> u64 {
+        let size = self.current.round().max(1.0) as u64;
+        self.current = (self.current - self.decrement).max(1.0);
+        size
+    }
+}
+
+/// Factoring (FAC, Flynn Hummel et al.): iterations are handed out in
+/// *batches* of `P` equal chunks; at each batch start the chunk size is
+/// `⌈R/2P⌉`, i.e. every batch schedules half of what remains. Robust to
+/// iteration-cost variance without needing per-worker information.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Factoring {
+    workers: usize,
+    left_in_batch: usize,
+    chunk: u64,
+}
+
+impl ChunkPolicy for Factoring {
+    fn name(&self) -> &'static str {
+        "fac"
+    }
+    fn begin(&mut self, _total: u64, workers: usize, _weights: &[f64]) {
+        self.workers = workers.max(1);
+        self.left_in_batch = 0;
+        self.chunk = 0;
+    }
+    fn chunk_size(&mut self, remaining: u64, _worker: usize) -> u64 {
+        if self.left_in_batch == 0 {
+            self.chunk = div_ceil(remaining, 2 * self.workers as u64).max(1);
+            self.left_in_batch = self.workers;
+        }
+        self.left_in_batch -= 1;
+        self.chunk
+    }
+}
+
+/// Adaptive weighted factoring (AWF, Banicescu et al.): factoring batches of
+/// `⌈R/2⌉` iterations, but divided among workers **proportionally to their
+/// measured execution rates** — the weights fed back per completed chunk
+/// through the [`FeedbackSink`](crate::FeedbackSink) protocol. With no
+/// feedback yet (the first time step), weights are uniform and AWF behaves
+/// like FAC; over successive waves it converges to the heterogeneity-aware
+/// partition.
+#[derive(Debug, Default, Clone)]
+pub struct AdaptiveWeightedFactoring {
+    weights: Vec<f64>,
+    sizes: Vec<u64>,
+    batch_pos: usize,
+}
+
+impl ChunkPolicy for AdaptiveWeightedFactoring {
+    fn name(&self) -> &'static str {
+        "awf"
+    }
+    fn begin(&mut self, _total: u64, workers: usize, weights: &[f64]) {
+        debug_assert_eq!(weights.len(), workers);
+        self.weights = weights.to_vec();
+        self.sizes = vec![0; workers];
+        self.batch_pos = 0;
+    }
+    fn chunk_size(&mut self, remaining: u64, worker: usize) -> u64 {
+        if self.batch_pos == 0 {
+            // New batch: half the remaining work, weight-proportionally.
+            let batch = div_ceil(remaining, 2).max(1) as f64;
+            for (size, w) in self.sizes.iter_mut().zip(&self.weights) {
+                *size = ((batch * w).round() as u64).max(1);
+            }
+        }
+        self.batch_pos = (self.batch_pos + 1) % self.sizes.len().max(1);
+        self.sizes.get(worker).copied().unwrap_or(1)
+    }
+}
+
+/// The policy menu, for sweeps and configuration surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// [`StaticChunking`].
+    Static,
+    /// [`SelfScheduling`].
+    Ss,
+    /// [`GuidedSelfScheduling`].
+    Gss,
+    /// [`TrapezoidSelfScheduling`].
+    Tss,
+    /// [`Factoring`].
+    Fac,
+    /// [`AdaptiveWeightedFactoring`].
+    Awf,
+}
+
+impl PolicyKind {
+    /// Every policy, in overhead-vs-adaptivity order.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::Static,
+        PolicyKind::Ss,
+        PolicyKind::Gss,
+        PolicyKind::Tss,
+        PolicyKind::Fac,
+        PolicyKind::Awf,
+    ];
+
+    /// Short lowercase name (matches [`ChunkPolicy::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Static => "static",
+            PolicyKind::Ss => "ss",
+            PolicyKind::Gss => "gss",
+            PolicyKind::Tss => "tss",
+            PolicyKind::Fac => "fac",
+            PolicyKind::Awf => "awf",
+        }
+    }
+
+    /// Construct a fresh policy instance.
+    pub fn build(self) -> Box<dyn ChunkPolicy> {
+        match self {
+            PolicyKind::Static => Box::new(StaticChunking::default()),
+            PolicyKind::Ss => Box::new(SelfScheduling),
+            PolicyKind::Gss => Box::new(GuidedSelfScheduling::default()),
+            PolicyKind::Tss => Box::new(TrapezoidSelfScheduling::default()),
+            PolicyKind::Fac => Box::new(Factoring::default()),
+            PolicyKind::Awf => Box::new(AdaptiveWeightedFactoring::default()),
+        }
+    }
+
+    /// True for policies that consume measured worker rates.
+    pub fn is_adaptive(self) -> bool {
+        matches!(self, PolicyKind::Awf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChunkScheduler;
+
+    fn partition(kind: PolicyKind, n: u64, p: usize) -> Vec<u64> {
+        let weights = vec![1.0 / p as f64; p];
+        let mut sched = ChunkScheduler::new(kind.build(), n, p, &weights);
+        let mut sizes = Vec::new();
+        while let Some(c) = sched.next_chunk() {
+            sizes.push(c.len);
+        }
+        sizes
+    }
+
+    #[test]
+    fn static_gives_one_chunk_per_worker() {
+        let sizes = partition(PolicyKind::Static, 100, 4);
+        assert_eq!(sizes, vec![25, 25, 25, 25]);
+        let sizes = partition(PolicyKind::Static, 10, 4);
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn ss_gives_unit_chunks() {
+        let sizes = partition(PolicyKind::Ss, 7, 3);
+        assert_eq!(sizes, vec![1; 7]);
+    }
+
+    #[test]
+    fn gss_decreases_exponentially() {
+        let sizes = partition(PolicyKind::Gss, 100, 4);
+        assert_eq!(sizes[0], 25);
+        assert!(sizes.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn tss_decreases_linearly_to_one() {
+        let sizes = partition(PolicyKind::Tss, 1000, 4);
+        assert_eq!(sizes[0], 125); // f = N/2P
+        assert!(sizes.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+        assert!(*sizes.last().unwrap() <= sizes[0]);
+    }
+
+    #[test]
+    fn fac_halves_per_batch() {
+        let sizes = partition(PolicyKind::Fac, 64, 2);
+        // Batches: 16,16 | 8,8 | 4,4 | 2,2 | 1,1 | 1,1 (clamped tail)
+        assert_eq!(&sizes[..4], &[16, 16, 8, 8]);
+        assert_eq!(sizes.iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn awf_with_uniform_weights_matches_fac_shape() {
+        let fac = partition(PolicyKind::Fac, 128, 4);
+        let awf = partition(PolicyKind::Awf, 128, 4);
+        assert_eq!(fac.iter().sum::<u64>(), awf.iter().sum::<u64>());
+        // Same first batch size (R/2P == R/2 * 1/P).
+        assert_eq!(fac[0], awf[0]);
+    }
+
+    #[test]
+    fn awf_skews_chunks_toward_fast_workers() {
+        let weights = [2.0 / 3.0, 1.0 / 3.0];
+        let mut sched = ChunkScheduler::new(PolicyKind::Awf.build(), 90, 2, &weights);
+        let first = sched.next_chunk().unwrap();
+        let second = sched.next_chunk().unwrap();
+        assert_eq!(first.worker, 0);
+        assert_eq!(second.worker, 1);
+        assert!(
+            first.len >= 2 * second.len - 1,
+            "fast worker chunk {} vs slow {}",
+            first.len,
+            second.len
+        );
+    }
+
+    #[test]
+    fn kind_roundtrips_names() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert!(PolicyKind::Awf.is_adaptive());
+        assert!(!PolicyKind::Fac.is_adaptive());
+    }
+}

@@ -1,0 +1,191 @@
+//! Dynamic loop scheduling on both engines — `ScheduledSplit` + AWF.
+//!
+//! An irregular, triangular-cost loop (iteration `i` costs ∝ `(i+1)²`, so
+//! late iterations dominate) is partitioned by dynamic loop-scheduling
+//! policies instead of the paper's static splits:
+//!
+//! 1. On the deterministic [`SimEngine`] over a 2×-skewed heterogeneous
+//!    cluster: static chunking hands the expensive tail to the slow node;
+//!    AWF learns per-node rates from virtual-time completion reports and
+//!    re-weights its chunks each time step.
+//! 2. On the real-thread [`MtEngine`]: the *same application code* runs on
+//!    OS threads, with the feedback board fed by wall-clock completion
+//!    reports and routing driven by live per-thread queue depths.
+//!
+//! Run with: `cargo run --release --example adaptive_scheduling`
+
+use std::sync::Arc;
+
+use dps::cluster::ClusterSpec;
+use dps::core::prelude::*;
+use dps::core::sched::{
+    ChunkDone, ChunkRoute, ChunkWorker, CollectChunks, IterChunk, IterRange, RangeDone,
+    ScheduledSplit,
+};
+use dps::mt::MtEngine;
+use dps::sched::{FeedbackBoard, PolicyKind};
+
+const ITERS: u64 = 256;
+const STEPS: u32 = 3;
+
+/// Per-iteration FLOP cost: late iterations dominate (triangular sweep).
+fn cost(i: u64) -> f64 {
+    let x = (i + 1) as f64;
+    40.0 * x * x
+}
+
+/// Virtual-time run of one policy on a fast node + 2×-slower node.
+fn simulate(policy: PolicyKind) -> (Vec<f64>, Vec<f64>) {
+    let spec = ClusterSpec::heterogeneous(1, &[70.0e6, 35.0e6]);
+    let board = Arc::new(FeedbackBoard::new());
+    let mut eng = SimEngine::with_config(
+        spec,
+        EngineConfig {
+            flow_window: 4, // small window → live self-scheduling
+            ..EngineConfig::default()
+        },
+    );
+    eng.set_feedback_sink(board.clone());
+    let app = eng.app("adaptive");
+    eng.preload_app(app);
+    let master: ThreadCollection<()> = eng.thread_collection(app, "master", "node0").unwrap();
+    let workers: ThreadCollection<()> = eng
+        .thread_collection(app, "workers", "node0 node1")
+        .unwrap();
+
+    let mut b = GraphBuilder::new("adaptive");
+    let wcount = workers.thread_count();
+    let split_board = board.clone();
+    let split = b.split(
+        &master,
+        || ToThread(0),
+        move || ScheduledSplit::with_feedback(policy, wcount, split_board.clone()),
+    );
+    let work = b.leaf(&workers, ChunkRoute::new, || {
+        ChunkWorker::new(Arc::new(cost))
+    });
+    let merge = b.merge(&master, || ToThread(0), CollectChunks::default);
+    b.add(split >> work >> merge);
+    let g = eng.build_graph(b).unwrap();
+
+    let mut makespans = Vec::new();
+    for step in 0..STEPS {
+        let t0 = eng.now();
+        eng.inject(
+            g,
+            IterRange {
+                start: 0,
+                len: ITERS,
+                step,
+            },
+        )
+        .unwrap();
+        eng.run_until_idle().unwrap();
+        makespans.push(eng.now().since(t0).as_secs_f64());
+        let done = downcast::<RangeDone>(eng.take_outputs(g).pop().unwrap().1).unwrap();
+        assert_eq!(done.iters, ITERS, "every iteration scheduled exactly once");
+    }
+    (makespans, board.weights(2))
+}
+
+/// A chunk worker doing *real* compute: iteration `i` runs `(i+1) × 200`
+/// arithmetic operations, so the wall-clock chunk reports the MtEngine
+/// feeds back reflect genuine execution speed.
+struct SpinWorker;
+impl LeafOperation for SpinWorker {
+    type Thread = ();
+    type In = IterChunk;
+    type Out = ChunkDone;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), ChunkDone>, c: IterChunk) {
+        let mut acc = 0u64;
+        for i in c.start..c.start + c.len {
+            for k in 0..(i + 1) * 200 {
+                acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(k));
+            }
+        }
+        std::hint::black_box(acc);
+        ctx.mark_chunk(c.len);
+        ctx.post(ChunkDone {
+            step: c.step,
+            worker: ctx.thread_index() as u32,
+            start: c.start,
+            len: c.len,
+        });
+    }
+}
+
+fn real_threads(policy: PolicyKind) -> (Vec<f64>, u64) {
+    let board = Arc::new(FeedbackBoard::new());
+    let mut eng = MtEngine::new(4);
+    eng.set_feedback_sink(board.clone());
+    let app = eng.app("adaptive-mt");
+    let master: ThreadCollection<()> = eng.thread_collection(app, "master", "node0").unwrap();
+    let workers: ThreadCollection<()> = eng
+        .thread_collection(app, "workers", "node0 node1 node2 node3")
+        .unwrap();
+    let mut b = GraphBuilder::new("adaptive-mt");
+    let wcount = workers.thread_count();
+    let split_board = board.clone();
+    let split = b.split(
+        &master,
+        || ToThread(0),
+        move || ScheduledSplit::with_feedback(policy, wcount, split_board.clone()),
+    );
+    let work = b.leaf(&workers, ChunkRoute::new, || SpinWorker);
+    let merge = b.merge(&master, || ToThread(0), CollectChunks::default);
+    b.add(split >> work >> merge);
+    let g = eng.build_graph(b).unwrap();
+
+    let mut wall = Vec::new();
+    for step in 0..STEPS {
+        let t0 = std::time::Instant::now();
+        let done = eng
+            .run_one::<RangeDone>(
+                g,
+                Box::new(IterRange {
+                    start: 0,
+                    len: ITERS,
+                    step,
+                }),
+            )
+            .unwrap();
+        wall.push(t0.elapsed().as_secs_f64());
+        assert_eq!(done.iters, ITERS);
+    }
+    eng.shutdown();
+    (wall, board.total_chunks())
+}
+
+fn main() {
+    println!("Triangular-cost loop, {ITERS} iterations × {STEPS} steps");
+    println!("\n-- SimEngine: fast node + 2×-slower node (virtual time) --");
+    let mut totals = Vec::new();
+    for policy in [PolicyKind::Static, PolicyKind::Fac, PolicyKind::Awf] {
+        let (makespans, weights) = simulate(policy);
+        let steps: Vec<String> = makespans.iter().map(|s| format!("{s:.3}s")).collect();
+        println!(
+            "{:>7}: steps [{}]  learned weights [{:.2}, {:.2}]",
+            policy.name(),
+            steps.join(", "),
+            weights[0],
+            weights[1]
+        );
+        totals.push(makespans.iter().sum::<f64>());
+    }
+    let (static_total, awf_total) = (totals[0], totals[2]);
+    let gain = 1.0 - awf_total / static_total;
+    println!(
+        "AWF beats static chunking by {:.1}% on the skewed cluster",
+        100.0 * gain
+    );
+    assert!(gain > 0.15, "adaptive scheduling should win on skew");
+
+    println!("\n-- MtEngine: same schedule on real OS threads (wall clock) --");
+    let (wall, chunks) = real_threads(PolicyKind::Awf);
+    let steps: Vec<String> = wall.iter().map(|s| format!("{:.1}ms", s * 1e3)).collect();
+    println!(
+        "    awf: steps [{}]  ({chunks} chunk completions reported wall-clock)",
+        steps.join(", ")
+    );
+    println!("\nSame application code; only the engine (and its clock) changed.");
+}

@@ -13,6 +13,8 @@
 //!
 //! * [`dps_core`] — the framework (operations, flow graphs, routing,
 //!   flow control, services).
+//! * [`dps_sched`] — dynamic loop-scheduling policies (SS/GSS/TSS/FAC/AWF)
+//!   and the chunk feedback protocol driving `dps_core::sched`.
 //! * [`dps_serial`] — serialization of data objects ("tokens").
 //! * [`dps_des`] / [`dps_net`] / [`dps_cluster`] — the deterministic cluster
 //!   simulator substrate (virtual time, network model, virtual nodes).
@@ -32,6 +34,7 @@ pub use dps_life as life;
 pub use dps_linalg as linalg;
 pub use dps_mt as mt;
 pub use dps_net as net;
+pub use dps_sched as sched;
 pub use dps_serial as serial;
 pub use dps_sfs as sfs;
 

@@ -8,6 +8,7 @@ use dps::core::{dps_token, EngineConfig, SimEngine};
 use dps::life::{run_life_sim, LifeConfig, Variant, World};
 use dps::linalg::parallel::lu::{run_lu_sim, LuConfig};
 use dps::linalg::{lu_residual, Matrix};
+use dps::sched::{ChunkScheduler, PolicyKind};
 use proptest::prelude::*;
 
 dps_token! {
@@ -170,6 +171,43 @@ proptest! {
         ).unwrap();
         let expect = World::random(rows, cols, 0.35, seed).step_n(iters);
         prop_assert_eq!(rep.world, expect);
+    }
+
+    /// Chunk-policy partition invariants: for every policy, iteration
+    /// count, worker count, and rate skew, the scheduled chunks are
+    /// non-empty, contiguous/non-overlapping, target valid workers, and
+    /// sum to exactly `N`.
+    #[test]
+    fn chunk_policies_partition_exactly(
+        n in 0u64..5000,
+        p in 1usize..9,
+        skew in 1u64..5,
+        kind_idx in 0usize..6,
+    ) {
+        let kind = PolicyKind::ALL[kind_idx];
+        // Skewed weights (normalized), as AWF would produce on a cluster
+        // whose node rates differ by up to `skew`×.
+        let raw: Vec<f64> = (0..p).map(|i| 1.0 + (i as u64 % skew) as f64).collect();
+        let total_w: f64 = raw.iter().sum();
+        let weights: Vec<f64> = raw.iter().map(|w| w / total_w).collect();
+        let mut sched = ChunkScheduler::new(kind.build(), n, p, &weights);
+        let mut covered = 0u64;
+        let mut next = 0u64;
+        while let Some(c) = sched.next_chunk() {
+            prop_assert!(c.len >= 1, "{:?}: empty chunk", kind);
+            prop_assert_eq!(c.start, next, "{:?}: gap or overlap", kind);
+            prop_assert!((c.worker as usize) < p, "{:?}: bad worker", kind);
+            next = c.end();
+            covered += c.len;
+        }
+        prop_assert_eq!(covered, n, "{:?}: lost or duplicated iterations", kind);
+        prop_assert_eq!(sched.remaining(), 0);
+        if kind == PolicyKind::Static {
+            prop_assert!(sched.chunks_issued() as usize <= p);
+        }
+        if kind == PolicyKind::Ss {
+            prop_assert_eq!(sched.chunks_issued() as u64, n);
+        }
     }
 
     /// The distributed LU factorizes random (pivot-forcing) matrices with a
