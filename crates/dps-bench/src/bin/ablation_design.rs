@@ -14,6 +14,7 @@ use dps_core::EngineConfig;
 use dps_des::SimSpan;
 use dps_linalg::parallel::lu::{run_lu_sim, LuConfig};
 use dps_linalg::parallel::matmul::{run_matmul_sim, MatMulConfig};
+use dps_sched::Distribution;
 
 fn matmul_time(window: u32, op_overhead_us: u64) -> f64 {
     let cfg = MatMulConfig {
@@ -23,6 +24,7 @@ fn matmul_time(window: u32, op_overhead_us: u64) -> f64 {
         seed: 5,
         nodes: 4,
         threads_per_node: 2,
+        dist: Distribution::Static,
     };
     let ecfg = EngineConfig {
         flow_window: window,
@@ -77,6 +79,7 @@ fn main() {
             seed: 3,
             nodes,
             threads_per_node: 1,
+            dist: Distribution::Static,
         };
         let tp = run_lu_sim(
             calib::paper_cluster(nodes),

@@ -9,6 +9,7 @@
 use dps_bench::{calib, full_scale, table};
 use dps_linalg::parallel::lu::{run_lu_sim, LuConfig};
 use dps_linalg::{lu_residual, Matrix};
+use dps_sched::Distribution;
 
 fn main() {
     let (n, r) = if full_scale() {
@@ -26,6 +27,7 @@ fn main() {
             seed,
             nodes,
             threads_per_node: 1,
+            dist: Distribution::Static,
         };
         let rep =
             run_lu_sim(calib::paper_cluster(nodes), &cfg, calib::engine_config()).expect("LU run");

@@ -8,6 +8,7 @@
 
 use dps_bench::{calib, full_scale, table};
 use dps_life::{run_life_sim, LifeConfig, Variant};
+use dps_sched::Distribution;
 
 fn speedups(rows: usize, cols: usize, iterations: usize) -> Vec<(usize, f64, f64)> {
     let run = |variant, nodes| {
@@ -20,6 +21,7 @@ fn speedups(rows: usize, cols: usize, iterations: usize) -> Vec<(usize, f64, f64
             threads_per_node: 1,
             density: 0.3,
             seed: 4242,
+            dist: Distribution::Static,
         };
         run_life_sim(calib::paper_cluster(nodes), &cfg, calib::engine_config())
             .expect("life run")

@@ -9,6 +9,7 @@
 
 use dps_bench::{calib, full_scale, table};
 use dps_linalg::parallel::matmul::{run_matmul_sim, MatMulConfig};
+use dps_sched::Distribution;
 
 fn main() {
     let n = if full_scale() { 1024 } else { 512 };
@@ -26,6 +27,7 @@ fn main() {
                 seed: 42,
                 nodes,
                 threads_per_node: 2,
+                dist: Distribution::Static,
             };
             // One extra node hosts the master, as in the paper's testbed.
             let spec = calib::paper_cluster(nodes + 1);

@@ -18,6 +18,7 @@ use dps_core::SimEngine;
 use dps_des::{stats::Samples, SplitMix64};
 use dps_life::graphs::{build_read_service, setup_life, IterOrder, ReadReq};
 use dps_life::{LifeConfig, Variant, World};
+use dps_sched::Distribution;
 
 struct CallShape {
     width: u32,
@@ -39,6 +40,7 @@ fn run_config(
         threads_per_node: 1,
         density: 0.3,
         seed: 99,
+        dist: Distribution::Static,
     };
     let world = World::random(cfg.rows, cfg.cols, cfg.density, cfg.seed);
     let mut eng = SimEngine::new_with(calib::paper_cluster(nodes));

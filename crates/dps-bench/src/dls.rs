@@ -16,7 +16,7 @@ use dps_core::prelude::*;
 use dps_core::sched::{
     ChunkRoute, ChunkWorker, CollectChunks, IterRange, RangeDone, ScheduledSplit,
 };
-use dps_sched::{FeedbackBoard, PolicyKind};
+use dps_sched::{ChunkHub, FeedbackBoard, PolicyKind};
 
 /// Per-iteration FLOP cost model of a scheduled loop.
 pub type CostFn = Arc<dyn Fn(u64) -> f64 + Send + Sync>;
@@ -95,18 +95,20 @@ pub fn run_dls_sim(spec: ClusterSpec, cost: CostFn, cfg: &DlsConfig) -> Result<D
         .join(" ");
     let workers: ThreadCollection<()> = eng.thread_collection(app, "workers", &mapping)?;
 
+    let hub = Arc::new(ChunkHub::new());
     let mut b = GraphBuilder::new(format!("dls-{}", cfg.policy.name()));
     let kind = cfg.policy;
     let wcount = workers.thread_count();
     let split_board = board.clone();
+    let split_hub = hub.clone();
     let split = b.split(
         &master,
         || ToThread(0),
-        move || ScheduledSplit::with_feedback(kind, wcount, split_board.clone()),
+        move || ScheduledSplit::with_feedback(kind, wcount, split_hub.clone(), split_board.clone()),
     );
     let work_cost = cost.clone();
     let work = b.leaf(&workers, ChunkRoute::new, move || {
-        ChunkWorker::new(work_cost.clone())
+        ChunkWorker::new(work_cost.clone(), hub.clone())
     });
     let merge = b.merge(&master, || ToThread(0), CollectChunks::default);
     b.add(split >> work >> merge);

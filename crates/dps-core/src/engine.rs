@@ -186,6 +186,11 @@ struct Rt {
     /// Chunk-completion reports (virtual time) go here, if registered —
     /// the dynamic loop-scheduling feedback channel (`dps-sched`).
     feedback: Option<Arc<dyn FeedbackSink>>,
+    /// Collections `(app, tc)` that have reported chunks to the sink — the
+    /// index space `fail_node` translates dead nodes into.
+    feedback_tcs: Vec<(u32, u32)>,
+    /// Deliveries re-routed away from failed nodes (graceful degradation).
+    requeued: u64,
 }
 
 impl Rt {
@@ -284,6 +289,8 @@ impl SimEngine {
             outputs: HashMap::new(),
             fatal: None,
             feedback: None,
+            feedback_tcs: Vec::new(),
+            requeued: 0,
         };
         let mut sim = Sim::new(rt);
         for i in 0..n {
@@ -549,6 +556,122 @@ impl SimEngine {
         &mut self.sim.world.cluster
     }
 
+    /// Inject a node failure *and re-queue the stranded work*: the node's
+    /// kernel unregisters ([`Cluster::fail_node`]), the registered feedback
+    /// sink is told the worker is lost, and every delivery queued on (or in
+    /// flight to) the dead node's threads is routed again — load-aware
+    /// routes such as [`ChunkRoute`](crate::sched::ChunkRoute) see the dead
+    /// threads at infinite load and shed the work to live ones, so a
+    /// scheduled wave completes with correct results despite the loss.
+    ///
+    /// Work that *cannot* move — tokens pinned by a stateful affinity route,
+    /// or merge waves whose partial state lived on the dead node — surfaces
+    /// as [`DpsError::NodeDown`].
+    pub fn fail_node(&mut self, node: NodeId) -> Result<()> {
+        self.sim.world.cluster.fail_node(node);
+        if let Some(sink) = self.sim.world.feedback.clone() {
+            // FeedbackSink worker indices are *thread indices within the
+            // reporting collection* (what `report_chunk` reports), so only
+            // collections that have actually fed the sink are consulted —
+            // an unrelated collection hosted on the dead node must not wipe
+            // a live worker that happens to share a thread index.
+            let mut lost: Vec<usize> = Vec::new();
+            for &(app, tc) in &self.sim.world.feedback_tcs {
+                let tc = &self.sim.world.apps[app as usize].tcs[tc as usize];
+                for (thread, &host) in tc.nodes.iter().enumerate() {
+                    if host == node && !lost.contains(&thread) {
+                        lost.push(thread);
+                    }
+                }
+            }
+            for worker in lost {
+                sink.worker_lost(worker);
+            }
+        }
+        // Drain every queue of every thread hosted on the dead node.
+        // Tokens re-route first — a fresh merge wave's first re-routed
+        // token re-pins the wave to a live thread — and wave-close messages
+        // re-deliver after, so they follow their wave to its new home.
+        let mut tokens: Vec<(u32, Delivery)> = Vec::new();
+        let mut closes: Vec<(u32, Delivery)> = Vec::new();
+        for (app_idx, app) in self.sim.world.apps.iter_mut().enumerate() {
+            for tc in &mut app.tcs {
+                for (thread, rt) in tc.threads.iter_mut().enumerate() {
+                    if tc.nodes[thread] == node {
+                        rt.assigned = 0;
+                        for d in rt.queue.drain(..) {
+                            match d.payload {
+                                Payload::Token(_) => tokens.push((app_idx as u32, d)),
+                                Payload::Close { .. } => closes.push((app_idx as u32, d)),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (app, d) in tokens {
+            let Payload::Token(token) = d.payload else {
+                unreachable!("partitioned above");
+            };
+            self.sim.world.requeued += 1;
+            let src = self.sim.world.apps[app as usize].home;
+            route_and_send(&mut self.sim, app, d.graph, d.node, src, token, d.env);
+        }
+        for (app, d) in closes {
+            let Payload::Close { total } = d.payload else {
+                unreachable!("partitioned above");
+            };
+            let key = d
+                .env
+                .wave_key()
+                .expect("close envelopes carry the wave frame");
+            // Recoverable iff the wave's partial state did not die with the
+            // node: the wave moved (re-pinned by a re-routed token), sits on
+            // a live thread, or has not materialized yet (the close then
+            // parks in pending_closes until it does).
+            let wave_host_alive = {
+                let wave_at = self
+                    .sim
+                    .world
+                    .graph(app, d.graph)
+                    .waves
+                    .get(&key)
+                    .map(|w| (w.thread, w.node));
+                match wave_at {
+                    Some((thread, wave_node)) => {
+                        let tc = self.sim.world.graph(app, d.graph).def.node(wave_node).tc;
+                        let host = self.sim.world.apps[app as usize].tcs[tc as usize].nodes
+                            [thread as usize];
+                        self.sim.world.cluster.is_alive(host)
+                    }
+                    None => true,
+                }
+            };
+            if wave_host_alive {
+                self.sim.world.requeued += 1;
+                deliver_close(&mut self.sim, app, d.graph, d.env, total);
+            } else {
+                let name = self.sim.world.cluster.spec().node(node).name.clone();
+                let target = {
+                    let g = self.sim.world.graph(app, d.graph);
+                    g.def.node(d.node).name.clone()
+                };
+                self.sim
+                    .world
+                    .fail(DpsError::NodeDown { node: name, target });
+            }
+        }
+        if let Some(e) = self.sim.world.fatal.take() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Deliveries re-routed away from failed nodes so far.
+    pub fn requeued(&self) -> u64 {
+        self.sim.world.requeued
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.sim.world.cfg
@@ -602,9 +725,21 @@ fn route_and_send(
         let n = g.def.node(to);
         (n.tc, n.kind, n.name.clone(), g.def.is_interactive())
     };
+    // Threads on failed nodes report infinite load so load-aware routes
+    // (LeastLoaded, ChunkRoute) steer work away from them.
     let load: Vec<u32> = {
         let tc = &sim.world.apps[app as usize].tcs[tc_idx as usize];
-        tc.threads.iter().map(|t| t.assigned).collect()
+        tc.threads
+            .iter()
+            .zip(&tc.nodes)
+            .map(|(t, &n)| {
+                if sim.world.cluster.is_alive(n) {
+                    t.assigned
+                } else {
+                    u32::MAX
+                }
+            })
+            .collect()
     };
     let mut route = sim.world.graph(app, graph).routes[to.0 as usize]
         .take()
@@ -627,8 +762,36 @@ fn route_and_send(
     // instance; the first-routed token decides, later tokens follow.
     if matches!(kind, OpKind::Merge | OpKind::Stream) {
         let key = env.wave_key().expect("validated: merges are under a split");
-        match sim.world.graph(app, graph).waves.get(&key) {
-            Some(wave) => thread = wave.thread,
+        let wave_thread = sim.world.graph(app, graph).waves.get(&key).map(|w| {
+            (
+                w.thread,
+                w.received == 0 && w.op.is_none(), // no partial state yet
+            )
+        });
+        match wave_thread {
+            Some((pinned, fresh)) => {
+                let pinned_node =
+                    sim.world.apps[app as usize].tcs[tc_idx as usize].nodes[pinned as usize];
+                if sim.world.cluster.is_alive(pinned_node) {
+                    thread = pinned;
+                } else if fresh {
+                    // The pinned thread died before consuming anything:
+                    // re-pin the wave to the freshly routed (live) thread.
+                    sim.world
+                        .graph(app, graph)
+                        .waves
+                        .get_mut(&key)
+                        .expect("looked up above")
+                        .thread = thread;
+                } else {
+                    let dead_name = sim.world.cluster.spec().node(pinned_node).name.clone();
+                    sim.world.fail(DpsError::NodeDown {
+                        node: dead_name,
+                        target: node_name.clone(),
+                    });
+                    return;
+                }
+            }
             None => {
                 let out_wave = sim.world.next_wave;
                 sim.world.next_wave += 1;
@@ -658,6 +821,16 @@ fn route_and_send(
         thread,
     };
     let dst = sim.world.apps[app as usize].tcs[tc_idx as usize].nodes[thread as usize];
+    if !sim.world.cluster.is_alive(dst) {
+        // The route insisted on a dead thread (stateful affinity, or the
+        // whole collection is down): the work cannot be re-queued.
+        let dead_name = sim.world.cluster.spec().node(dst).name.clone();
+        sim.world.fail(DpsError::NodeDown {
+            node: dead_name,
+            target: node_name.clone(),
+        });
+        return;
+    }
     let bytes = (token.payload_size() + env.wire_bytes() + 10) as u64;
 
     // The multi-kernel debugging mode: force the full networking code path.
@@ -681,6 +854,16 @@ fn route_and_send(
         .deliver_token(now, app_id, src, dst, bytes);
     sim.schedule_at(plan.delivered, move |sim| {
         if sim.world.fatal.is_some() {
+            return;
+        }
+        if !sim.world.cluster.is_alive(dst) {
+            // The node failed while the token was in flight: hand the
+            // delivery back to the router, which now sees the death and
+            // sheds the work to a live thread.
+            let t = sim.world.thread(tk);
+            t.assigned = t.assigned.saturating_sub(1);
+            sim.world.requeued += 1;
+            route_and_send(sim, app, graph, to, src, token, env);
             return;
         }
         sim.world.thread(tk).queue.push_back(Delivery {
@@ -707,6 +890,14 @@ fn route_and_send(
 fn kick_thread(sim: &mut Sim<Rt>, tk: ThreadKey) {
     if sim.world.fatal.is_some() {
         return;
+    }
+    {
+        // A failed node executes nothing; its queue is drained by
+        // `fail_node` and new deliveries are re-routed before they land.
+        let host = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].nodes[tk.thread as usize];
+        if !sim.world.cluster.is_alive(host) {
+            return;
+        }
     }
     let (node, delivery) = {
         let stalled = sim.world.thread(tk).stalls > 0;
@@ -1342,10 +1533,21 @@ fn report_completion(
     let Some(sink) = sim.world.feedback.clone() else {
         return;
     };
+    // Remember which collections feed the sink: `fail_node` consults this
+    // to translate a dead node into the sink's worker (= thread) indices.
+    if !sim.world.feedback_tcs.contains(&(tk.app, tk.tc)) {
+        sim.world.feedback_tcs.push((tk.app, tk.tc));
+    }
     let worker = tk.thread as usize;
+    let host = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].nodes[tk.thread as usize];
     let secs = hold.as_secs_f64();
-    sim.schedule_at(start + hold, move |_sim| {
-        sink.report_chunk(worker, iters, secs);
+    sim.schedule_at(start + hold, move |sim| {
+        // A report from a node that failed mid-execution is dropped: the
+        // chunk's virtual completion never happened, and it must not
+        // repopulate measurements `worker_lost` just cleared.
+        if sim.world.cluster.is_alive(host) {
+            sink.report_chunk(worker, iters, secs);
+        }
     });
 }
 

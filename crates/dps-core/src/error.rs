@@ -69,6 +69,15 @@ pub enum DpsError {
     },
     /// Serialization failure while crossing a node boundary.
     Wire(String),
+    /// A token was routed to a thread on a failed node and could not be
+    /// re-queued elsewhere (stateful affinity route, or a merge wave whose
+    /// partial state lived on the failed node).
+    NodeDown {
+        /// The failed node's kernel name.
+        node: String,
+        /// The graph node the token was headed for.
+        target: String,
+    },
 }
 
 impl fmt::Display for DpsError {
@@ -110,6 +119,10 @@ impl fmt::Display for DpsError {
                 write!(f, "operation contract violated at {node}: {reason}")
             }
             DpsError::Wire(msg) => write!(f, "serialization error: {msg}"),
+            DpsError::NodeDown { node, target } => write!(
+                f,
+                "node {node} is down and the delivery to {target} cannot be re-queued elsewhere"
+            ),
         }
     }
 }

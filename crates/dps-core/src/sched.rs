@@ -2,34 +2,54 @@
 //!
 //! The paper's split operations partition work statically; this module
 //! plugs the dynamic loop-scheduling policies of [`dps_sched`] (SS, GSS,
-//! TSS, FAC, AWF) into the split/leaf/merge vocabulary:
+//! TSS, FAC, AWF) into the split/leaf/merge vocabulary — with the chunk
+//! boundaries computed **at the workers**, not on the master (the
+//! distributed chunk-calculation approach of arXiv:2101.07050):
 //!
-//! * [`ScheduledSplit`] partitions an [`IterRange`] into policy-chosen
-//!   [`IterChunk`]s, reading AWF weights from a shared
-//!   [`FeedbackBoard`](dps_sched::FeedbackBoard) at each wave;
-//! * [`ChunkRoute`] routes chunks to the policy's intended worker but sheds
-//!   to the least-loaded thread when the target is congested (the engines'
-//!   live per-thread queue depths are the feedback signal);
+//! * [`ScheduledSplit`] is a *thin range-announcer*: it opens a shared
+//!   [`IterCounter`](dps_sched::IterCounter) lease on the [`ChunkHub`] and
+//!   posts one featherweight [`ChunkTicket`] per chunk — no boundary is ever
+//!   materialized on the master thread, so fine-grained policies (SS) no
+//!   longer serialize there;
+//! * [`ChunkWorker`] (and application worker operations) **claim** a chunk
+//!   from the leased counter on ticket arrival: one atomic compare-and-swap
+//!   plus a closed-form per-policy boundary calculation, paid locally
+//!   ([`chunk_calc_cost`]). The claimed chunk sequence partitions the range
+//!   identically to the central [`ChunkScheduler`](dps_sched::ChunkScheduler)
+//!   (property-tested);
+//! * [`ChunkRoute`] routes tickets to the policy's intended worker but sheds
+//!   to the least-loaded live thread when the target is congested — or dead:
+//!   the engines mark failed nodes' threads with infinite load, and
+//!   [`SimEngine::fail_node`](crate::SimEngine::fail_node) re-queues
+//!   deliveries stranded on a failed node through this route, so scheduled
+//!   waves survive node loss;
 //! * worker operations call [`OpCtx::mark_chunk`](crate::OpCtx::mark_chunk)
 //!   so the engine reports each chunk's completion time to the feedback
 //!   sink — virtual time on [`SimEngine`](crate::SimEngine), wall-clock on
 //!   the `dps-mt` engine — closing the AWF adaptation loop;
-//! * [`ChunkWorker`] and [`CollectChunks`] are ready-made worker/merge
-//!   operations for cost-model-driven loops (benchmarks, tests).
+//! * [`calibrate_rates`] runs a short scheduled warm-up loop so a
+//!   [`FeedbackBoard`] learns per-worker rates *before* the first real wave
+//!   (the simulator-side analogue of `MtEngine::calibrate_feedback`).
 //!
 //! True *self*-scheduling falls out of flow control: with a flow window of
-//! roughly `2 × workers`, chunks are released as earlier ones are merged,
+//! roughly `2 × workers`, tickets are released as earlier chunks are merged,
 //! so every routing decision sees live queue depths — later chunks flow to
 //! whichever worker drained its queue first.
 
 use std::sync::Arc;
 
 use dps_des::SimSpan;
-use dps_sched::{ChunkScheduler, FeedbackBoard, PolicyKind};
+use dps_sched::{ChunkCalc, ChunkHub, FeedbackBoard, PolicyKind};
 
 use crate::dps_token;
+use crate::engine::{AppHandle, SimEngine};
+use crate::error::Result;
 use crate::ops::{LeafOperation, MergeOperation, OpCtx, SplitOperation};
-use crate::route::{Route, RouteInfo};
+use crate::route::{Route, RouteInfo, ToThread};
+use crate::threads::ThreadCollection;
+use crate::token::Token;
+
+pub use dps_sched::Distribution;
 
 dps_token! {
     /// A loop to schedule: iterations `start..start + len`. `step` tags the
@@ -39,14 +59,17 @@ dps_token! {
 }
 
 dps_token! {
-    /// One policy-chosen chunk of a scheduled loop: iterations
-    /// `start..start + len`, handed out as chunk number `seq`, sized for
-    /// `worker` (a routing hint, not an obligation).
-    pub struct IterChunk {
+    /// One claim ticket of a scheduled loop wave: it carries *no chunk
+    /// boundaries* — only the hub lease to claim against, the ticket's
+    /// position in the hand-out order, and the worker the policy will size
+    /// that position's chunk for (a routing hint, not an obligation). The
+    /// receiving worker computes its chunk's `start`/`len` locally from the
+    /// shared iteration counter.
+    pub struct ChunkTicket {
         pub step: u32,
+        pub lease: u64,
         pub seq: u32,
-        pub start: u64,
-        pub len: u64,
+        pub base: u64,
         pub worker: u32,
     }
 }
@@ -61,15 +84,15 @@ dps_token! {
     pub struct RangeDone { pub step: u32, pub iters: u64, pub chunks: u32 }
 }
 
-/// Virtual cost of computing and posting one chunk, charged by
-/// [`ScheduledSplit`] — models the chunk-calculation overhead that makes
-/// fine-grained policies (SS) pay for their many scheduling rounds.
+/// Virtual cost of claiming one chunk — the atomic counter update plus the
+/// closed-form boundary calculation, charged by the **worker** at claim
+/// time. Under central scheduling this cost was serialized on the master;
+/// distributing the calculation parallelizes it P-ways.
 pub fn chunk_calc_cost() -> SimSpan {
     SimSpan::from_micros(2)
 }
 
-/// A split operation that partitions an [`IterRange`] with a dynamic
-/// loop-scheduling policy.
+/// A split operation announcing a dynamically scheduled iteration range.
 ///
 /// `workers` is the thread count of the *destination* collection (the one
 /// executing the chunk operation downstream) — pass
@@ -77,34 +100,45 @@ pub fn chunk_calc_cost() -> SimSpan {
 /// The split typically runs on a master collection, so its own
 /// `ctx.thread_count()` would be wrong.
 ///
-/// A fresh policy instance runs per wave; the AWF policy additionally reads
-/// per-worker weights from the attached [`FeedbackBoard`] (populated by the
-/// engine's completion reports), so successive waves adapt to measured
-/// worker speeds.
+/// Per wave it fixes the policy parameters (AWF reads per-worker weights
+/// from the attached [`FeedbackBoard`], populated by the engine's completion
+/// reports), opens an [`IterCounter`](dps_sched::IterCounter) lease on the
+/// shared [`ChunkHub`], and posts one [`ChunkTicket`] per chunk. The chunk
+/// *boundaries* are computed by the claiming workers; the master's per-chunk
+/// work is one constant-size token post.
 pub struct ScheduledSplit {
     kind: PolicyKind,
     workers: usize,
+    hub: Arc<ChunkHub>,
     board: Option<Arc<FeedbackBoard>>,
 }
 
 impl ScheduledSplit {
-    /// Partition with `kind` for `workers` downstream threads, without
-    /// adaptation (AWF degenerates to FAC).
-    pub fn new(kind: PolicyKind, workers: usize) -> Self {
+    /// Announce with `kind` for `workers` downstream threads, without
+    /// adaptation (AWF degenerates to FAC). Workers must claim against the
+    /// same `hub`.
+    pub fn new(kind: PolicyKind, workers: usize, hub: Arc<ChunkHub>) -> Self {
         Self {
             kind,
             workers: workers.max(1),
+            hub,
             board: None,
         }
     }
 
-    /// Partition with `kind` for `workers` downstream threads, reading AWF
+    /// Announce with `kind` for `workers` downstream threads, reading AWF
     /// weights from `board`. Attach the same board to the engine with
     /// `set_feedback_sink` so completions flow back.
-    pub fn with_feedback(kind: PolicyKind, workers: usize, board: Arc<FeedbackBoard>) -> Self {
+    pub fn with_feedback(
+        kind: PolicyKind,
+        workers: usize,
+        hub: Arc<ChunkHub>,
+        board: Arc<FeedbackBoard>,
+    ) -> Self {
         Self {
             kind,
             workers: workers.max(1),
+            hub,
             board: Some(board),
         }
     }
@@ -113,57 +147,88 @@ impl ScheduledSplit {
 impl SplitOperation for ScheduledSplit {
     type Thread = ();
     type In = IterRange;
-    type Out = IterChunk;
+    type Out = ChunkTicket;
 
-    fn execute(&mut self, ctx: &mut OpCtx<'_, (), IterChunk>, r: IterRange) {
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), ChunkTicket>, r: IterRange) {
         let workers = self.workers;
-        if r.len == 0 {
-            // Splits must post; an empty loop degenerates to one empty chunk.
-            ctx.post(IterChunk {
-                step: r.step,
-                seq: 0,
-                start: r.start,
-                len: 0,
-                worker: 0,
-            });
-            return;
-        }
         let weights = match &self.board {
             Some(board) => board.weights(workers),
             None => vec![1.0 / workers as f64; workers],
         };
-        let mut sched = ChunkScheduler::new(self.kind.build(), r.len, workers, &weights);
-        while let Some(c) = sched.next_chunk() {
-            ctx.charge(chunk_calc_cost());
-            ctx.post(IterChunk {
+        let lease = self
+            .hub
+            .open(ChunkCalc::new(self.kind, r.len, workers, &weights));
+        if lease.chunks == 0 {
+            // Splits must post; an empty loop degenerates to one ticket
+            // whose claim comes back empty.
+            ctx.post(ChunkTicket {
                 step: r.step,
-                seq: c.seq,
-                start: r.start + c.start,
-                len: c.len,
-                worker: c.worker,
+                lease: lease.id,
+                seq: 0,
+                base: r.start,
+                worker: 0,
+            });
+            return;
+        }
+        for seq in 0..lease.chunks {
+            ctx.post(ChunkTicket {
+                step: r.step,
+                lease: lease.id,
+                seq,
+                base: r.start,
+                worker: (seq as usize % workers) as u32,
             });
         }
     }
 }
 
-/// Load- and feedback-aware route for [`IterChunk`]s: follow the policy's
-/// intended worker while its backlog is within one token of the
-/// least-loaded thread, otherwise shed the chunk to the least-loaded
-/// thread. Falls back to the plain hint when the engine provides no load
-/// data.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ChunkRoute;
+/// Tokens that carry the scheduling policy's intended-worker hint, routable
+/// by [`ChunkRoute`].
+pub trait WorkerHinted: Token {
+    /// The worker index the policy sized this token's work for.
+    fn worker_hint(&self) -> u32;
+}
 
-impl ChunkRoute {
-    /// New chunk route.
-    pub fn new() -> Self {
-        Self
+impl WorkerHinted for ChunkTicket {
+    fn worker_hint(&self) -> u32 {
+        self.worker
     }
 }
 
-impl Route<IterChunk> for ChunkRoute {
-    fn route(&mut self, token: &IterChunk, info: &RouteInfo<'_>) -> usize {
-        let hint = token.worker as usize % info.thread_count;
+/// Load- and liveness-aware route for worker-hinted tokens: follow the
+/// policy's intended worker while its backlog is within one token of the
+/// least-loaded thread, otherwise shed to the least-loaded thread. Engines
+/// report threads on failed nodes with `u32::MAX` load, so the route also
+/// steers work away from dead nodes. Falls back to the plain hint when the
+/// engine provides no load data.
+pub struct ChunkRoute<T> {
+    _m: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T> ChunkRoute<T> {
+    /// New chunk route.
+    pub fn new() -> Self {
+        Self {
+            _m: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T> Default for ChunkRoute<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Clone for ChunkRoute<T> {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl<T: WorkerHinted> Route<T> for ChunkRoute<T> {
+    fn route(&mut self, token: &T, info: &RouteInfo<'_>) -> usize {
+        let hint = token.worker_hint() as usize % info.thread_count;
         match info.load {
             Some(load) => {
                 debug_assert_eq!(load.len(), info.thread_count);
@@ -183,49 +248,65 @@ impl Route<IterChunk> for ChunkRoute {
     }
 }
 
-/// A cost-model worker: executes a chunk by charging
-/// `Σ cost(i)` FLOPs over the chunk's iterations, marks the chunk complete
-/// (feeding AWF), and posts a [`ChunkDone`]. Benchmarks and tests drive
-/// heterogeneous-cluster experiments with it; real applications write their
-/// own leaf and call `mark_chunk` the same way.
+/// A cost-model worker: claims its chunk from the hub (distributed chunk
+/// calculation), executes it by charging `Σ cost(i)` FLOPs over the chunk's
+/// iterations, marks the chunk complete (feeding AWF), and posts a
+/// [`ChunkDone`]. Benchmarks and tests drive heterogeneous-cluster
+/// experiments with it; real applications write their own claiming leaf and
+/// call `mark_chunk` the same way.
 pub struct ChunkWorker {
     cost: Arc<dyn Fn(u64) -> f64 + Send + Sync>,
+    hub: Arc<ChunkHub>,
 }
 
 impl ChunkWorker {
-    /// Worker with per-iteration FLOP cost `cost(i)`.
-    pub fn new(cost: Arc<dyn Fn(u64) -> f64 + Send + Sync>) -> Self {
-        Self { cost }
+    /// Worker with per-iteration FLOP cost `cost(i)`, claiming from `hub`.
+    pub fn new(cost: Arc<dyn Fn(u64) -> f64 + Send + Sync>, hub: Arc<ChunkHub>) -> Self {
+        Self { cost, hub }
     }
 
     /// Worker with a uniform per-iteration FLOP cost.
-    pub fn uniform(flops_per_iter: f64) -> Self {
-        Self::new(Arc::new(move |_| flops_per_iter))
+    pub fn uniform(flops_per_iter: f64, hub: Arc<ChunkHub>) -> Self {
+        Self::new(Arc::new(move |_| flops_per_iter), hub)
     }
 }
 
 impl LeafOperation for ChunkWorker {
     type Thread = ();
-    type In = IterChunk;
+    type In = ChunkTicket;
     type Out = ChunkDone;
 
-    fn execute(&mut self, ctx: &mut OpCtx<'_, (), ChunkDone>, c: IterChunk) {
-        let flops: f64 = (c.start..c.start + c.len).map(|i| (self.cost)(i)).sum();
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), ChunkDone>, t: ChunkTicket) {
+        let Some(c) = self.hub.claim(t.lease) else {
+            // Drained lease (empty range): an empty completion keeps the
+            // wave accounting exact.
+            ctx.post(ChunkDone {
+                step: t.step,
+                worker: ctx.thread_index() as u32,
+                start: t.base,
+                len: 0,
+            });
+            return;
+        };
+        ctx.charge(chunk_calc_cost());
+        let start = t.base + c.start;
+        let flops: f64 = (start..start + c.len).map(|i| (self.cost)(i)).sum();
         if flops > 0.0 {
             ctx.charge_flops(flops);
         }
         ctx.mark_chunk(c.len);
         ctx.post(ChunkDone {
-            step: c.step,
+            step: t.step,
             worker: ctx.thread_index() as u32,
-            start: c.start,
+            start,
             len: c.len,
         });
     }
 }
 
 /// Merge for scheduled loops: counts chunks and iterations, posts one
-/// [`RangeDone`] per wave.
+/// [`RangeDone`] per wave. Empty completions (drained-lease tickets) count
+/// as tokens but not as chunks.
 #[derive(Debug, Default)]
 pub struct CollectChunks {
     step: u32,
@@ -241,7 +322,9 @@ impl MergeOperation for CollectChunks {
     fn consume(&mut self, _ctx: &mut OpCtx<'_, (), RangeDone>, d: ChunkDone) {
         self.step = d.step;
         self.iters += d.len;
-        self.chunks += 1;
+        if d.len > 0 {
+            self.chunks += 1;
+        }
     }
 
     fn finalize(&mut self, ctx: &mut OpCtx<'_, (), RangeDone>) {
@@ -251,6 +334,80 @@ impl MergeOperation for CollectChunks {
             chunks: self.chunks,
         });
     }
+}
+
+/// Run a short scheduled warm-up loop on the simulator so `board` learns
+/// each worker's execution rate before the first real wave: one
+/// static-chunked wave gives every thread of `worker_mapping` one measured
+/// chunk per round. Registers `board` as the engine's feedback sink.
+///
+/// Adaptive owners maps (`partition_owners`) and AWF's first wave then start
+/// from measured rates instead of the uniform cold start — the simulator
+/// analogue of `MtEngine::calibrate_feedback`'s wall-clock probe.
+pub fn calibrate_rates(
+    eng: &mut SimEngine,
+    app: AppHandle,
+    worker_mapping: &str,
+    hub: &Arc<ChunkHub>,
+    board: &Arc<FeedbackBoard>,
+    rounds: u32,
+) -> Result<()> {
+    eng.set_feedback_sink(board.clone());
+    let master: ThreadCollection<()> = eng.thread_collection(app, "calib-master", "node0")?;
+    let workers: ThreadCollection<()> = eng.thread_collection(app, "calib", worker_mapping)?;
+    let w = workers.thread_count();
+    let mut b = crate::builder::GraphBuilder::new("calibrate");
+    let split_hub = Arc::clone(hub);
+    let split = b.split(
+        &master,
+        || ToThread(0),
+        move || ScheduledSplit::new(PolicyKind::Static, w, split_hub.clone()),
+    );
+    let work_hub = Arc::clone(hub);
+    let work = b.leaf(&workers, ChunkRoute::new, move || {
+        ChunkWorker::uniform(1.0e5, work_hub.clone())
+    });
+    let merge = b.merge(&master, || ToThread(0), CollectChunks::default);
+    b.add(split >> work >> merge);
+    let g = eng.build_graph(b)?;
+    for step in 0..rounds {
+        eng.inject(
+            g,
+            IterRange {
+                start: 0,
+                len: (w as u64) * 8,
+                step,
+            },
+        )?;
+        eng.run_until_idle()?;
+        let _ = eng.take_outputs(g);
+    }
+    Ok(())
+}
+
+/// Calibrate worker rates (see [`calibrate_rates`]) and derive a
+/// schedule-shaped ownership map for `items` stateful work units: unit `i`
+/// belongs to the worker the chunk policy hands it to under the measured
+/// weights. The placement step shared by the LU (block columns) and matmul
+/// (result blocks) drivers.
+pub fn calibrated_partition(
+    eng: &mut SimEngine,
+    app: AppHandle,
+    worker_mapping: &str,
+    kind: PolicyKind,
+    items: u64,
+    workers: usize,
+    rounds: u32,
+) -> Result<Vec<usize>> {
+    let board = Arc::new(FeedbackBoard::new());
+    let hub = Arc::new(ChunkHub::new());
+    calibrate_rates(eng, app, worker_mapping, &hub, &board, rounds)?;
+    Ok(
+        dps_sched::partition_owners(kind, items, workers, &board.weights(workers))
+            .into_iter()
+            .map(|w| w as usize)
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -282,10 +439,26 @@ mod tests {
         out
     }
 
+    fn claim_all(hub: &ChunkHub, posts: &OpOutput) -> Vec<(u64, u64)> {
+        let mut claimed = Vec::new();
+        for post in &posts.posts {
+            let t = post
+                .token
+                .as_any()
+                .downcast_ref::<ChunkTicket>()
+                .expect("ticket token");
+            if let Some(c) = hub.claim(t.lease) {
+                claimed.push((t.base + c.start, c.len));
+            }
+        }
+        claimed
+    }
+
     #[test]
-    fn scheduled_split_partitions_exactly() {
+    fn announced_tickets_claim_an_exact_partition() {
         for kind in PolicyKind::ALL {
-            let mut op = ScheduledSplit::new(kind, 4);
+            let hub = Arc::new(ChunkHub::new());
+            let mut op = ScheduledSplit::new(kind, 4, hub.clone());
             let out = ctx_run(
                 &mut op,
                 IterRange {
@@ -295,27 +468,52 @@ mod tests {
                 },
                 4,
             );
-            let mut covered = 0u64;
+            let claims = claim_all(&hub, &out);
+            assert_eq!(claims.len(), out.posts.len(), "{kind:?}: one claim/ticket");
             let mut next = 10u64;
-            for post in &out.posts {
-                let c = post
-                    .token
-                    .as_any()
-                    .downcast_ref::<IterChunk>()
-                    .expect("chunk token");
-                assert_eq!(c.start, next, "{kind:?} chunks are contiguous");
-                assert!(c.len >= 1);
-                assert_eq!(c.step, 3);
-                next = c.start + c.len;
-                covered += c.len;
+            let mut covered = 0u64;
+            for &(start, len) in &claims {
+                assert_eq!(start, next, "{kind:?} chunks are contiguous");
+                assert!(len >= 1);
+                next = start + len;
+                covered += len;
             }
             assert_eq!(covered, 97, "{kind:?} covers the range exactly");
+            assert_eq!(hub.open_leases(), 0, "{kind:?}: lease drained");
         }
     }
 
     #[test]
-    fn empty_range_posts_one_empty_chunk() {
-        let mut op = ScheduledSplit::new(PolicyKind::Gss, 3);
+    fn tickets_are_boundary_free() {
+        let hub = Arc::new(ChunkHub::new());
+        let mut op = ScheduledSplit::new(PolicyKind::Gss, 3, hub.clone());
+        let out = ctx_run(
+            &mut op,
+            IterRange {
+                start: 0,
+                len: 30,
+                step: 0,
+            },
+            3,
+        );
+        // The master never charges per-chunk calculation time: the claim
+        // cost is paid by the workers.
+        assert_eq!(out.charged, SimSpan::ZERO);
+        for (i, post) in out.posts.iter().enumerate() {
+            let t = post
+                .token
+                .as_any()
+                .downcast_ref::<ChunkTicket>()
+                .expect("ticket");
+            assert_eq!(t.seq, i as u32);
+            assert_eq!(t.worker, (i % 3) as u32);
+        }
+    }
+
+    #[test]
+    fn empty_range_posts_one_ticket_and_claims_none() {
+        let hub = Arc::new(ChunkHub::new());
+        let mut op = ScheduledSplit::new(PolicyKind::Gss, 3, hub.clone());
         let out = ctx_run(
             &mut op,
             IterRange {
@@ -326,12 +524,12 @@ mod tests {
             3,
         );
         assert_eq!(out.posts.len(), 1);
-        let c = out.posts[0]
+        let t = out.posts[0]
             .token
             .as_any()
-            .downcast_ref::<IterChunk>()
+            .downcast_ref::<ChunkTicket>()
             .unwrap();
-        assert_eq!((c.start, c.len), (5, 0));
+        assert!(hub.claim(t.lease).is_none());
     }
 
     #[test]
@@ -341,7 +539,8 @@ mod tests {
         use dps_sched::FeedbackSink;
         board.report_chunk(0, 300, 1.0);
         board.report_chunk(1, 100, 1.0);
-        let mut op = ScheduledSplit::with_feedback(PolicyKind::Awf, 2, board);
+        let hub = Arc::new(ChunkHub::new());
+        let mut op = ScheduledSplit::with_feedback(PolicyKind::Awf, 2, hub.clone(), board);
         let out = ctx_run(
             &mut op,
             IterRange {
@@ -351,33 +550,21 @@ mod tests {
             },
             2,
         );
-        let first = out.posts[0]
-            .token
-            .as_any()
-            .downcast_ref::<IterChunk>()
-            .unwrap();
-        let second = out.posts[1]
-            .token
-            .as_any()
-            .downcast_ref::<IterChunk>()
-            .unwrap();
-        assert_eq!((first.worker, second.worker), (0, 1));
+        let claims = claim_all(&hub, &out);
         assert!(
-            first.len >= 2 * second.len,
-            "AWF batch skews to the fast worker: {} vs {}",
-            first.len,
-            second.len
+            claims[0].1 >= 2 * claims[1].1,
+            "AWF batch skews to the fast worker: {claims:?}"
         );
     }
 
     #[test]
     fn chunk_route_follows_hint_until_congested() {
         let mut r = ChunkRoute::new();
-        let tok = |worker| IterChunk {
+        let tok = |worker| ChunkTicket {
             step: 0,
+            lease: 0,
             seq: 0,
-            start: 0,
-            len: 1,
+            base: 0,
             worker,
         };
         let info = |load: &'static [u32]| RouteInfo {
@@ -388,6 +575,8 @@ mod tests {
         assert_eq!(r.route(&tok(1), &info(&[0, 1, 0])), 1);
         // Hint congested: shed to least-loaded.
         assert_eq!(r.route(&tok(1), &info(&[0, 5, 2])), 0);
+        // Hint on a dead node (infinite load): shed to a live thread.
+        assert_eq!(r.route(&tok(1), &info(&[2, u32::MAX, 3])), 0);
         // No load data: plain hint (mod thread count).
         let no_load = RouteInfo {
             thread_count: 2,
@@ -397,8 +586,11 @@ mod tests {
     }
 
     #[test]
-    fn chunk_worker_marks_completion() {
-        let mut op = ChunkWorker::uniform(1e6);
+    fn chunk_worker_claims_charges_and_marks() {
+        let hub = Arc::new(ChunkHub::new());
+        let lease = hub.open(ChunkCalc::new(PolicyKind::Static, 6, 2, &[0.5, 0.5]));
+        assert_eq!(lease.chunks, 2);
+        let mut op = ChunkWorker::uniform(1e6, hub.clone());
         let mut out = OpOutput::default();
         let mut td: Box<dyn Any> = Box::new(());
         let mut ctx = OpCtx::<(), ChunkDone> {
@@ -414,21 +606,58 @@ mod tests {
         };
         op.execute(
             &mut ctx,
-            IterChunk {
+            ChunkTicket {
                 step: 0,
+                lease: lease.id,
                 seq: 0,
-                start: 4,
-                len: 3,
-                worker: 2,
+                base: 4,
+                worker: 0,
             },
         );
         assert_eq!(out.completed_iters, Some(3));
-        assert_eq!(out.charged, SimSpan::from_secs(3)); // 3 iters × 1e6 / 1e6
+        // 3 iters × 1e6 FLOP at 1e6 FLOP/s, plus the local claim cost.
+        assert_eq!(out.charged, SimSpan::from_secs(3) + chunk_calc_cost());
         let d = out.posts[0]
             .token
             .as_any()
             .downcast_ref::<ChunkDone>()
             .unwrap();
         assert_eq!((d.worker, d.start, d.len), (2, 4, 3));
+    }
+
+    #[test]
+    fn collect_chunks_ignores_empty_completions() {
+        let mut m = CollectChunks::default();
+        let mut out = OpOutput::default();
+        let mut td: Box<dyn Any> = Box::new(());
+        let mut ctx = OpCtx::<(), RangeDone> {
+            out: &mut out,
+            thread: td.as_mut(),
+            info: ExecInfo {
+                thread_index: 0,
+                thread_count: 1,
+                node_flops: 1e9,
+                start_nanos: 0,
+            },
+            _m: PhantomData,
+        };
+        for (start, len) in [(0u64, 5u64), (5, 0), (5, 7)] {
+            m.consume(
+                &mut ctx,
+                ChunkDone {
+                    step: 1,
+                    worker: 0,
+                    start,
+                    len,
+                },
+            );
+        }
+        m.finalize(&mut ctx);
+        let d = out.posts[0]
+            .token
+            .as_any()
+            .downcast_ref::<RangeDone>()
+            .unwrap();
+        assert_eq!((d.step, d.iters, d.chunks), (1, 12, 2));
     }
 }

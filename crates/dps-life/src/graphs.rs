@@ -111,7 +111,7 @@ pub fn partition(rows: usize, workers: usize) -> Vec<(usize, usize)> {
 }
 
 /// Cost in flop-equivalents of updating `cells` Life cells.
-fn cell_cost(cells: usize) -> f64 {
+pub(crate) fn cell_cost(cells: usize) -> f64 {
     cells as f64 * dps_linalg_cell_ops()
 }
 
@@ -726,6 +726,14 @@ pub struct LifeConfig {
     pub density: f64,
     /// World seed.
     pub seed: u64,
+    /// How iteration work reaches the workers: `Static` keeps the paper's
+    /// banded layout (one fixed band per worker, borders exchanged);
+    /// `Scheduled(kind)` drives row-band chunks through the dynamic
+    /// loop-scheduling stack (`ScheduledSplit` + worker-side chunk
+    /// claiming, see [`crate::sched`]) — the world lives on the master and
+    /// any worker can compute any chunk, so the schedule adapts to node
+    /// speeds and survives node failures.
+    pub dist: dps_sched::Distribution,
 }
 
 /// Outcome of one Life run.
@@ -796,6 +804,9 @@ pub fn run_life_sim(
     cfg: &LifeConfig,
     ecfg: EngineConfig,
 ) -> Result<LifeRunReport> {
+    if let dps_sched::Distribution::Scheduled(kind) = cfg.dist {
+        return crate::sched::run_life_scheduled(spec, cfg, kind, ecfg);
+    }
     let world = World::random(cfg.rows, cfg.cols, cfg.density, cfg.seed);
     let mut eng = SimEngine::with_config(spec, ecfg);
     let (_, _, workers, graph) = setup_life(&mut eng, cfg, &world)?;
@@ -842,6 +853,7 @@ mod tests {
             threads_per_node: 1,
             density: 0.35,
             seed: 42,
+            dist: dps_sched::Distribution::Static,
         }
     }
 
@@ -882,6 +894,7 @@ mod tests {
             threads_per_node: 1,
             density: 0.3,
             seed: 1,
+            dist: dps_sched::Distribution::Static,
         };
         let spec = ClusterSpec::paper_testbed(4);
         let t_simple = run_life_sim(spec.clone(), &mk(Variant::Simple), EngineConfig::default())

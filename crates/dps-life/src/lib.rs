@@ -18,12 +18,20 @@
 //! distributed world to other applications; Table 2 measures its call
 //! overhead while the simulation keeps iterating.
 
+//! Beyond the paper, the [`sched`] module drives the same workload through
+//! the dynamic loop-scheduling stack (`Distribution::Scheduled` in
+//! [`LifeConfig`]): the world lives on the master, row-band chunks are
+//! claimed by the workers (distributed chunk calculation), AWF adapts chunk
+//! sizes to measured node speeds, and waves survive node failures.
+
 mod band;
 pub mod graphs;
+pub mod sched;
 mod world;
 
 pub use band::LifeBand;
 pub use graphs::{
     build_read_service, build_step_graph, run_life_sim, LifeConfig, LifeRunReport, Variant,
 };
+pub use sched::{run_life_scheduled, setup_scheduled_life, WorldState};
 pub use world::World;

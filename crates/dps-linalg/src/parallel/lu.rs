@@ -33,11 +33,14 @@
 //! finished step `k` was received.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dps_cluster::ClusterSpec;
 use dps_core::prelude::*;
+use dps_core::sched::calibrated_partition;
 use dps_core::{dps_token, GraphHandle};
 use dps_des::SimSpan;
+use dps_sched::Distribution;
 use dps_serial::Buffer;
 
 use crate::factor::{panel_lu, trsm_lower_unit, LuFactors};
@@ -415,6 +418,13 @@ pub struct LuConfig {
     /// Worker threads per node (the collector collection always adds one
     /// more thread per node — the paper's separate collection, Fig. 14).
     pub threads_per_node: usize,
+    /// How block columns are assigned to workers: the paper's static
+    /// `j mod p` layout, or a chunk-policy partition sized from measured
+    /// worker rates (a calibration wave runs first; with AWF, fast nodes
+    /// own proportionally more columns). The factorization result is
+    /// identical either way — only the placement (and hence the makespan
+    /// on heterogeneous clusters) changes.
+    pub dist: Distribution,
 }
 
 /// Outcome of one LU run.
@@ -459,8 +469,22 @@ pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Resu
         eng.thread_collection(app, "collect", &node_names.join(" "))?;
     let p = workers.thread_count();
     let pc = collectors.thread_count();
-    // Collector thread for step k: the node hosting worker (k % p).
-    let collector_of = move |k: u32| (k as usize % p) % pc;
+    let tpn = cfg.threads_per_node.max(1);
+
+    // Column ownership: `j mod p` for the paper's static layout, or the
+    // chunk-policy partition over measured worker rates (a short scheduled
+    // calibration wave feeds the board first) for dynamic scheduling.
+    let owners: Arc<Vec<usize>> = Arc::new(match cfg.dist {
+        Distribution::Static => (0..nb as usize).map(|j| j % p).collect(),
+        Distribution::Scheduled(kind) => {
+            calibrated_partition(&mut eng, app, &worker_map.join(" "), kind, nb as u64, p, 2)?
+        }
+    });
+    // Collector thread for step k: the node hosting column k's owner.
+    let collector_of = {
+        let owners = Arc::clone(&owners);
+        move |k: u32| (owners[k as usize] / tpn) % pc
+    };
 
     // Build the dynamic graph to fit the problem size (paper: "the graph is
     // created to fit the size of the problem").
@@ -469,14 +493,21 @@ pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Resu
     } else {
         "lu-merge-split"
     });
+    let owner0 = owners[0];
     let entry = b.split(
         &workers,
-        || ByKey::new(|_t: &LuStart| 0usize),
+        move || ByKey::new(move |_t: &LuStart| owner0),
         || StartSplit,
     );
-    let owner_route = || ByKey::new(|t: &LuTask| t.j as usize);
+    let owner_route = {
+        let owners = Arc::clone(&owners);
+        move || {
+            let owners = Arc::clone(&owners);
+            ByKey::new(move |t: &LuTask| owners[t.j as usize])
+        }
+    };
     let mut prev = {
-        let w0 = b.leaf(&workers, owner_route, || ColumnWork);
+        let w0 = b.leaf(&workers, owner_route.clone(), || ColumnWork);
         b.add(entry >> w0);
         w0
     };
@@ -488,7 +519,7 @@ pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Resu
                 move || ByKey::new(move |_n: &LuNotify| target),
                 StepStream::new(k, nb, r),
             );
-            let w = b.leaf(&workers, owner_route, || ColumnWork);
+            let w = b.leaf(&workers, owner_route.clone(), || ColumnWork);
             b.add(prev >> t >> w);
             prev = w;
         } else {
@@ -502,7 +533,7 @@ pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Resu
                 move || ByKey::new(move |_s: &LuStart| target),
                 StepSplit::new(k + 1),
             );
-            let w = b.leaf(&workers, owner_route, || ColumnWork);
+            let w = b.leaf(&workers, owner_route.clone(), || ColumnWork);
             b.add(prev >> m >> sp >> w);
             prev = w;
         }
@@ -519,11 +550,13 @@ pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Resu
     // diagonally-dominant) matrix keeps the partial pivoting honest.
     let a = Matrix::random_general(cfg.n, cfg.n, cfg.seed);
     for j in 0..nb {
-        let owner = (j as usize) % p;
+        let owner = owners[j as usize];
         let col = a.block(0, j as usize * cfg.r, cfg.n, cfg.r);
         eng.thread_data_mut(&workers, owner).cols.insert(j, col);
     }
 
+    // Snapshot so calibration-wave traffic (Scheduled dist) is excluded.
+    let wire0 = eng.cluster().net.wire_bytes_total();
     let t0 = eng.now();
     eng.inject(graph, LuStart { nb, r })?;
     eng.run_until_idle()?;
@@ -535,7 +568,7 @@ pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Resu
     let mut lu = Matrix::zeros(cfg.n, cfg.n);
     let mut pivots = vec![0usize; cfg.n];
     for j in 0..nb {
-        let owner = (j as usize) % p;
+        let owner = owners[j as usize];
         let store = eng.thread_data_mut(&workers, owner);
         let col = store.cols.remove(&j).expect("column still stored");
         lu.set_block(0, j as usize * cfg.r, &col);
@@ -550,7 +583,7 @@ pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Resu
     Ok(LuRunReport {
         elapsed,
         factors: LuFactors { lu, pivots },
-        wire_bytes: eng.cluster().net.wire_bytes_total(),
+        wire_bytes: eng.cluster().net.wire_bytes_total() - wire0,
     })
 }
 
@@ -581,6 +614,7 @@ mod tests {
             seed: 21,
             nodes: 3,
             threads_per_node: 1,
+            dist: Distribution::Static,
         });
     }
 
@@ -593,6 +627,7 @@ mod tests {
             seed: 21,
             nodes: 3,
             threads_per_node: 1,
+            dist: Distribution::Static,
         });
     }
 
@@ -605,6 +640,7 @@ mod tests {
             seed: 2,
             nodes: 4,
             threads_per_node: 2,
+            dist: Distribution::Static,
         });
     }
 
@@ -619,6 +655,7 @@ mod tests {
             seed: 5,
             nodes: 2,
             threads_per_node: 1,
+            dist: Distribution::Static,
         };
         let rep = check(&cfg);
         let nontrivial = rep
@@ -649,6 +686,7 @@ mod tests {
             seed: 7,
             nodes: 4,
             threads_per_node: 1,
+            dist: Distribution::Static,
         };
         let spec = ClusterSpec::paper_testbed(4);
         let t_pipe = timed(spec.clone(), &mk(true));
@@ -668,6 +706,7 @@ mod tests {
             seed: 9,
             nodes,
             threads_per_node: 1,
+            dist: Distribution::Static,
         };
         let t1 = timed(ClusterSpec::paper_testbed(1), &mk(1));
         let t4 = timed(ClusterSpec::paper_testbed(4), &mk(4));

@@ -20,10 +20,13 @@
 
 use dps_cluster::ClusterSpec;
 use dps_core::prelude::*;
+use dps_core::sched::calibrated_partition;
 use dps_core::{dps_token, GraphHandle};
 use dps_des::SimSpan;
+use dps_sched::Distribution;
 use dps_serial::Buffer;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::flops;
 use crate::matrix::Matrix;
@@ -331,6 +334,10 @@ pub struct MatMulConfig {
     pub nodes: usize,
     /// Worker threads per node (the paper's machines are bi-processor).
     pub threads_per_node: usize,
+    /// How result blocks are assigned to workers: the paper's static
+    /// `(i+j) mod p` layout, or a chunk-policy partition of the `s²` block
+    /// tasks sized from measured worker rates (calibration wave first).
+    pub dist: Distribution,
 }
 
 /// Outcome of one matmul run.
@@ -343,8 +350,21 @@ pub struct MatMulRunReport {
     pub wire_bytes: u64,
 }
 
-fn route_by_block() -> ByKey<BlockTask, fn(&BlockTask) -> usize> {
-    ByKey::new(|t: &BlockTask| (t.i + t.j) as usize)
+/// Block→worker assignment map for the `s × s` result blocks.
+fn block_assignment(
+    eng: &mut SimEngine,
+    app: AppHandle,
+    mapping: &str,
+    dist: Distribution,
+    s: usize,
+    p: usize,
+) -> Result<Arc<Vec<usize>>> {
+    Ok(Arc::new(match dist {
+        Distribution::Static => (0..s * s).map(|idx| (idx / s + idx % s) % p).collect(),
+        Distribution::Scheduled(kind) => {
+            calibrated_partition(eng, app, mapping, kind, (s * s) as u64, p, 2)?
+        }
+    }))
 }
 
 /// Build the chosen schedule and run one `n × n` multiplication on the
@@ -377,11 +397,26 @@ pub fn run_matmul_sim(
         .collect::<Vec<_>>()
         .join(" ");
 
+    let p = cfg.nodes * cfg.threads_per_node.max(1);
+    let s_us = cfg.s;
+    let assign = block_assignment(&mut eng, app, &mapping, cfg.dist, s_us, p)?;
+    let assign_route = {
+        let assign = Arc::clone(&assign);
+        move |i: u32, j: u32| assign[i as usize * s_us + j as usize]
+    };
+
     let graph: GraphHandle = if cfg.pipelined {
         let workers: ThreadCollection<()> = eng.thread_collection(app, "proc", &mapping)?;
         let mut b = GraphBuilder::new("matmul-pipelined");
         let split = b.split(&master, || ToThread(0), || SplitTasks);
-        let mul = b.leaf(&workers, route_by_block, || MultiplyBlock);
+        let mul = b.leaf(
+            &workers,
+            move || {
+                let route = assign_route.clone();
+                ByKey::new(move |t: &BlockTask| route(t.i, t.j))
+            },
+            || MultiplyBlock,
+        );
         let merge = b.merge(&master, || ToThread(0), AssembleC::default);
         b.add(split >> mul >> merge);
         eng.build_graph(b)?
@@ -391,16 +426,23 @@ pub fn run_matmul_sim(
         let (s, bs) = (cfg.s as u32, (cfg.n / cfg.s) as u32);
         let mut b = GraphBuilder::new("matmul-phased");
         let split1 = b.split(&master, || ToThread(0), || SplitStores);
+        let store_route = assign_route.clone();
         let store = b.leaf(
             &workers,
-            || ByKey::new(|t: &StoreTask| (t.i + t.j) as usize),
+            move || {
+                let route = store_route.clone();
+                ByKey::new(move |t: &StoreTask| route(t.i, t.j))
+            },
             || StoreBlocks,
         );
         let barrier = b.merge(&master, || ToThread(0), StoreBarrier::default);
         let split2 = b.split(&master, || ToThread(0), move || SplitOrders { s, bs });
         let compute = b.leaf(
             &workers,
-            || ByKey::new(|t: &ComputeOrder| (t.i + t.j) as usize),
+            move || {
+                let route = assign_route.clone();
+                ByKey::new(move |t: &ComputeOrder| route(t.i, t.j))
+            },
             || ComputeStored,
         );
         let merge = b.merge(&master, || ToThread(0), AssembleC::default);
@@ -415,6 +457,8 @@ pub fn run_matmul_sim(
         st.b = Matrix::random(cfg.n, cfg.n, cfg.seed.wrapping_add(1));
     }
 
+    // Snapshot so calibration-wave traffic (Scheduled dist) is excluded.
+    let wire0 = eng.cluster().net.wire_bytes_total();
     let t0 = eng.now();
     eng.inject(
         graph,
@@ -433,7 +477,7 @@ pub fn run_matmul_sim(
     Ok(MatMulRunReport {
         elapsed,
         c,
-        wire_bytes: eng.cluster().net.wire_bytes_total(),
+        wire_bytes: eng.cluster().net.wire_bytes_total() - wire0,
     })
 }
 
@@ -466,6 +510,7 @@ mod tests {
             seed: 11,
             nodes: 3,
             threads_per_node: 2,
+            dist: Distribution::Static,
         });
     }
 
@@ -478,6 +523,7 @@ mod tests {
             seed: 11,
             nodes: 3,
             threads_per_node: 2,
+            dist: Distribution::Static,
         });
     }
 
@@ -492,6 +538,7 @@ mod tests {
             seed: 3,
             nodes: 4,
             threads_per_node: 2,
+            dist: Distribution::Static,
         };
         let spec = ClusterSpec::paper_testbed(4);
         let t_pipe = run_matmul_sim(spec.clone(), &mk(true), EngineConfig::default())
@@ -515,6 +562,7 @@ mod tests {
             seed: 5,
             nodes: 1,
             threads_per_node: 1,
+            dist: Distribution::Static,
         });
     }
 }

@@ -75,6 +75,9 @@ pub struct MtEngine {
     handles: Vec<std::thread::JoinHandle<()>>,
     started_at: Instant,
     feedback: Option<Arc<dyn FeedbackSink>>,
+    /// Calibrated host compute rate (FLOP/s) used for `charge_flops` cost
+    /// models; a nominal 1 GFLOP/s until `calibrate_feedback` measures it.
+    node_flops: f64,
 }
 
 /// Handle to an application declared in the threaded engine.
@@ -104,6 +107,7 @@ impl MtEngine {
             handles: Vec::new(),
             started_at: Instant::now(),
             feedback: None,
+            node_flops: 1e9,
         }
     }
 
@@ -118,6 +122,59 @@ impl MtEngine {
             "register the feedback sink before the first run"
         );
         self.feedback = Some(sink);
+    }
+
+    /// Measure per-thread execution rates at startup and seed the feedback
+    /// sink with them, so adaptive policies (AWF) start from measured
+    /// weights instead of the uniform cold start, and `charge_flops` cost
+    /// models agree with the wall-clock feedback on this host.
+    ///
+    /// `measure_rate(worker)` returns worker `worker`'s sustained compute
+    /// rate in FLOP/s — typically `dps_bench::calib::measure_flop_rate`,
+    /// a short timed scalar kernel (on heterogeneous *hosts* each worker
+    /// probes its own machine; within one host the rates come out equal,
+    /// which is exactly what the board should believe). One synthetic
+    /// chunk report per worker is posted to the registered feedback sink,
+    /// scaled to be a *weak prior*: it seeds the measured rate **ratio**
+    /// with a small sample (hundreds of iterations over milliseconds), so
+    /// a few real wall-clock chunk reports outweigh it and runtime
+    /// adaptation keeps working after the seed.
+    ///
+    /// # Panics
+    /// If no feedback sink is registered or the workers already started.
+    pub fn calibrate_feedback(
+        &mut self,
+        workers: usize,
+        mut measure_rate: impl FnMut(usize) -> f64,
+    ) {
+        assert!(self.shared.is_none(), "calibrate before the first run");
+        let sink = self
+            .feedback
+            .as_ref()
+            .expect("register a feedback sink before calibrating")
+            .clone();
+        let rates: Vec<f64> = (0..workers).map(|w| measure_rate(w).max(1.0)).collect();
+        let max = rates.iter().cloned().fold(1.0f64, f64::max);
+        // Seed shape: the fastest worker reports SEED_ITERS iterations in
+        // SEED_SECS; the others proportionally fewer in the same time —
+        // correct ratios, negligible absolute weight in the aggregate
+        // Σiters/Σsecs once real chunks (whole waves of iterations over
+        // comparable wall time) start flowing.
+        const SEED_ITERS: f64 = 256.0;
+        const SEED_SECS: f64 = 1.0e-3;
+        for (w, rate) in rates.iter().enumerate() {
+            let iters = ((SEED_ITERS * rate / max).round() as u64).max(1);
+            sink.report_chunk(w, iters, SEED_SECS);
+        }
+        if workers > 0 {
+            self.node_flops = rates.iter().sum::<f64>() / workers as f64;
+        }
+    }
+
+    /// The calibrated host compute rate exposed to operations through
+    /// `OpCtx::charge_flops`.
+    pub fn node_flops(&self) -> f64 {
+        self.node_flops
     }
 
     /// Declare an application.
@@ -251,6 +308,7 @@ impl MtEngine {
             output_tx,
             error_tx,
             feedback: self.feedback.clone(),
+            node_flops: self.node_flops,
         });
         // Spawn one OS thread per DPS thread.
         for (app_idx, app_rx) in receivers.into_iter().enumerate() {

@@ -118,6 +118,8 @@ pub(crate) struct Shared {
     /// Chunk-completion reports (wall-clock) go here, if registered — the
     /// dynamic loop-scheduling feedback channel (`dps-sched`).
     pub feedback: Option<Arc<dyn FeedbackSink>>,
+    /// Calibrated host compute rate (FLOP/s) for `charge_flops` cost models.
+    pub node_flops: f64,
 }
 
 /// Newtype so `CallRet` stays private to this module.
@@ -214,8 +216,9 @@ fn exec_info(shared: &Shared, w: &Worker) -> ExecInfo {
     ExecInfo {
         thread_index: w.thread as usize,
         thread_count: shared.apps[w.app as usize].tcs[w.tc as usize].senders.len(),
-        // Wall-clock engine: charge_flops is a no-op cost model here.
-        node_flops: 1e9,
+        // Wall-clock engine: charges don't advance a clock, but cost models
+        // calling charge_flops see the calibrated host rate.
+        node_flops: shared.node_flops,
         start_nanos: 0,
     }
 }

@@ -1,0 +1,507 @@
+//! Distributed chunk calculation (Eleliemy & Ciorba, arXiv:2101.07050).
+//!
+//! The central [`ChunkScheduler`](crate::ChunkScheduler) materializes every
+//! chunk on the thread driving it — on a master thread that serializes the
+//! whole schedule. The *distributed chunk-calculation approach* removes the
+//! master from the per-chunk path: the only shared state is an atomic pair
+//! `(seq, start)` — how many chunks were claimed and how many iterations
+//! they covered — and each worker computes its own chunk's boundaries
+//! *locally* from that pair with a closed-form (or cheap replayed) per-policy
+//! expression.
+//!
+//! * [`ChunkCalc`] is the pure calculation: `len_at(seq, start)` returns the
+//!   length of chunk `seq` given that `start` iterations are already handed
+//!   out. It reproduces the central scheduler's chunk sequence **exactly**
+//!   (property-tested in `tests/dls_scheduling.rs`).
+//! * [`IterCounter`] is the shared state plus the claim loop: one
+//!   compare-and-swap per chunk, no locks, no master.
+//! * [`ChunkHub`] hands out [`IterCounter`]s under lease ids so split
+//!   operations (which announce a range) and worker operations (which claim
+//!   chunks) can rendezvous without tokens carrying shared pointers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::policy::PolicyKind;
+use crate::scheduler::Chunk;
+
+/// Low bits of the packed counter word holding the iteration index; the
+/// remaining high bits hold the chunk sequence number.
+const START_BITS: u32 = 40;
+const START_MASK: u64 = (1 << START_BITS) - 1;
+
+/// Closed-form chunk-from-index calculation for one scheduled range: the
+/// distributed counterpart of driving a [`ChunkPolicy`] through a
+/// [`ChunkScheduler`].
+///
+/// All parameters are fixed at construction (the central scheduler fixes
+/// them in `begin` the same way), so `len_at` is a pure function of the
+/// shared `(seq, start)` pair — any worker evaluates it locally and obtains
+/// the byte-identical chunk the central scheduler would have produced.
+///
+/// Per-policy cost of one evaluation: O(1) for static/SS/GSS/TSS (closed
+/// form), O(log N) for FAC/AWF (the batch recurrence halves the remaining
+/// work per batch, so replaying it is logarithmic).
+///
+/// [`ChunkPolicy`]: crate::ChunkPolicy
+/// [`ChunkScheduler`]: crate::ChunkScheduler
+#[derive(Debug, Clone)]
+pub struct ChunkCalc {
+    kind: PolicyKind,
+    total: u64,
+    workers: u64,
+    weights: Vec<f64>,
+    /// TSS first-chunk size (as f64: the policy's arithmetic is float).
+    tss_first: f64,
+    /// TSS per-chunk linear decrement.
+    tss_decrement: f64,
+}
+
+impl ChunkCalc {
+    /// Fix a calculation for `total` iterations over `workers` workers.
+    /// `weights` is consumed by AWF only (normalized per-worker rates; one
+    /// entry per worker); other policies ignore it.
+    pub fn new(kind: PolicyKind, total: u64, workers: usize, weights: &[f64]) -> Self {
+        let workers = workers.max(1) as u64;
+        // Same normalization as AdaptiveWeightedFactoring::begin — the two
+        // sides must run byte-identical arithmetic.
+        let weights = crate::policy::normalize_weights(weights, workers as usize);
+        // TSS parameters, exactly as TrapezoidSelfScheduling::begin fixes
+        // them: f = ceil(N/2P), l = 1, C = ceil(2N/(f+l)).
+        let first = total.div_ceil(2 * workers).max(1);
+        let last = 1u64;
+        let count = (2 * total).div_ceil(first + last).max(1);
+        let tss_decrement = if count > 1 {
+            (first - last) as f64 / (count - 1) as f64
+        } else {
+            0.0
+        };
+        Self {
+            kind,
+            total,
+            workers,
+            weights,
+            tss_first: first as f64,
+            tss_decrement,
+        }
+    }
+
+    /// The scheduled range length.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The worker count the calculation was fixed for.
+    pub fn workers(&self) -> usize {
+        self.workers as usize
+    }
+
+    /// The worker the policy sizes chunk `seq` for (the central scheduler's
+    /// round-robin batch order) — a routing hint, not an obligation.
+    pub fn worker_hint(&self, seq: u32) -> u32 {
+        (seq as u64 % self.workers) as u32
+    }
+
+    /// FAC batch-size recurrence: the chunk size of batch `batch`, replayed
+    /// from the full range. Identical arithmetic to [`Factoring`]
+    /// (`⌈R/2P⌉`, floored at 1), so the result matches the central policy
+    /// exactly for every batch that is actually issued.
+    ///
+    /// [`Factoring`]: crate::Factoring
+    fn fac_chunk(&self, batch: u64) -> u64 {
+        let mut remaining = self.total;
+        let mut chunk = 1;
+        for _ in 0..=batch {
+            chunk = remaining.div_ceil(2 * self.workers).max(1);
+            remaining = remaining.saturating_sub(self.workers.saturating_mul(chunk));
+        }
+        chunk
+    }
+
+    /// AWF batch recurrence: the per-worker chunk size of batch `batch`,
+    /// replayed with the same float expressions as
+    /// [`AdaptiveWeightedFactoring`] (`⌈R/2⌉` split ∝ weights, rounded,
+    /// floored at 1).
+    ///
+    /// [`AdaptiveWeightedFactoring`]: crate::AdaptiveWeightedFactoring
+    fn awf_size(&self, batch: u64, worker: usize) -> u64 {
+        let mut remaining = self.total;
+        let mut size = 1;
+        for _ in 0..=batch {
+            let b = remaining.div_ceil(2).max(1) as f64;
+            let mut handed = 0u64;
+            for (w, weight) in self.weights.iter().enumerate() {
+                let s = ((b * weight).round() as u64).max(1);
+                if w == worker {
+                    size = s;
+                }
+                handed = handed.saturating_add(s);
+            }
+            remaining = remaining.saturating_sub(handed);
+        }
+        size
+    }
+
+    /// Length of chunk number `seq` given `start` iterations already handed
+    /// out, clamped into `1..=remaining` exactly as the central scheduler
+    /// clamps. Returns 0 once the range is exhausted.
+    pub fn len_at(&self, seq: u32, start: u64) -> u64 {
+        if start >= self.total {
+            return 0;
+        }
+        let remaining = self.total - start;
+        let intended = match self.kind {
+            PolicyKind::Static => self.total.div_ceil(self.workers),
+            PolicyKind::Ss => 1,
+            PolicyKind::Gss => remaining.div_ceil(self.workers),
+            PolicyKind::Tss => {
+                // current_k = max(f − k·d, 1), the closed form of the
+                // policy's linear descent.
+                let current = (self.tss_first - seq as f64 * self.tss_decrement).max(1.0);
+                current.round().max(1.0) as u64
+            }
+            PolicyKind::Fac => self.fac_chunk(seq as u64 / self.workers),
+            PolicyKind::Awf => self.awf_size(
+                seq as u64 / self.workers,
+                (seq as u64 % self.workers) as usize,
+            ),
+        };
+        intended.clamp(1, remaining)
+    }
+
+    /// Total number of chunks the policy produces over this range — what a
+    /// range-announcing split posts one ticket for.
+    ///
+    /// Closed form for static/SS; a replay over the (logarithmically or
+    /// `O(P)`-bounded) chunk sequence for the decreasing-size policies, so
+    /// huge ranges stay cheap for every policy whose chunk count is sane.
+    /// Chunk sequences live in `u32` ticket space end to end, so a range
+    /// producing more than `u32::MAX` chunks (only SS can) is refused.
+    ///
+    /// # Panics
+    /// For `Ss` over more than `u32::MAX` iterations (one chunk per
+    /// iteration exceeds the ticket space).
+    pub fn chunk_count(&self) -> u32 {
+        match self.kind {
+            PolicyKind::Ss => {
+                assert!(
+                    self.total <= u32::MAX as u64,
+                    "self-scheduling over {} iterations exceeds the u32 chunk space",
+                    self.total
+                );
+                self.total as u32
+            }
+            PolicyKind::Static => {
+                if self.total == 0 {
+                    0
+                } else {
+                    let chunk = self.total.div_ceil(self.workers);
+                    self.total.div_ceil(chunk) as u32
+                }
+            }
+            _ => {
+                // GSS/TSS/FAC/AWF shrink geometrically or are O(P)-bounded:
+                // the replay is short even for astronomically long ranges.
+                let mut start = 0u64;
+                let mut seq = 0u32;
+                while start < self.total {
+                    start += self.len_at(seq, start);
+                    seq += 1;
+                }
+                seq
+            }
+        }
+    }
+}
+
+/// The shared claim state: a packed atomic `(seq, start)` word when the
+/// range fits (single-CAS claims, the common case), or a small mutex for
+/// ranges beyond the packed word's capacity — larger totals than 2⁴⁰
+/// iterations or more than 2²⁴ chunks still schedule correctly, just with
+/// a lock instead of a CAS.
+#[derive(Debug)]
+enum ClaimState {
+    Packed(AtomicU64),
+    Wide(Mutex<(u64, u32)>),
+}
+
+/// The shared scheduling state of one announced range: an atomic
+/// `(seq, start)` pair, claimed chunk by chunk. Workers compute their chunk
+/// boundaries locally from the pair via the attached [`ChunkCalc`] — the
+/// master never touches the per-chunk path.
+#[derive(Debug)]
+pub struct IterCounter {
+    calc: ChunkCalc,
+    chunks: u32,
+    state: ClaimState,
+}
+
+impl IterCounter {
+    /// Shared counter over `calc`'s range. Ranges that fit 40 start bits and
+    /// 24 sequence bits claim with a single compare-and-swap; larger ranges
+    /// fall back to a mutex-guarded pair.
+    pub fn new(calc: ChunkCalc) -> Self {
+        let chunks = calc.chunk_count();
+        let state = if calc.total() < 1 << START_BITS && (chunks as u64) < 1 << (64 - START_BITS) {
+            ClaimState::Packed(AtomicU64::new(0))
+        } else {
+            ClaimState::Wide(Mutex::new((0, 0)))
+        };
+        Self {
+            calc,
+            chunks,
+            state,
+        }
+    }
+
+    /// The fixed calculation parameters.
+    pub fn calc(&self) -> &ChunkCalc {
+        &self.calc
+    }
+
+    /// Total chunks this counter will hand out.
+    pub fn chunk_count(&self) -> u32 {
+        self.chunks
+    }
+
+    /// Iterations not yet claimed.
+    pub fn remaining(&self) -> u64 {
+        let start = match &self.state {
+            ClaimState::Packed(word) => word.load(Ordering::Acquire) & START_MASK,
+            ClaimState::Wide(pair) => pair.lock().expect("claim state poisoned").0,
+        };
+        self.calc.total().saturating_sub(start)
+    }
+
+    fn make_chunk(&self, seq: u32, start: u64, len: u64) -> Chunk {
+        Chunk {
+            seq,
+            start,
+            len,
+            worker: self.calc.worker_hint(seq),
+        }
+    }
+
+    /// Claim the next chunk: one CAS on the shared word (or one short lock
+    /// for oversized ranges), boundaries computed locally. Returns `None`
+    /// once the range is drained. The sequence of claimed chunks (in claim
+    /// order) is identical to the central scheduler's hand-out sequence.
+    pub fn claim(&self) -> Option<Chunk> {
+        match &self.state {
+            ClaimState::Packed(word) => {
+                let mut cur = word.load(Ordering::Acquire);
+                loop {
+                    let start = cur & START_MASK;
+                    let seq = (cur >> START_BITS) as u32;
+                    if start >= self.calc.total() {
+                        return None;
+                    }
+                    let len = self.calc.len_at(seq, start);
+                    let next = ((seq as u64 + 1) << START_BITS) | (start + len);
+                    match word.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                    {
+                        Ok(_) => return Some(self.make_chunk(seq, start, len)),
+                        Err(seen) => cur = seen,
+                    }
+                }
+            }
+            ClaimState::Wide(pair) => {
+                let mut guard = pair.lock().expect("claim state poisoned");
+                let (start, seq) = *guard;
+                if start >= self.calc.total() {
+                    return None;
+                }
+                let len = self.calc.len_at(seq, start);
+                *guard = (start + len, seq + 1);
+                drop(guard);
+                Some(self.make_chunk(seq, start, len))
+            }
+        }
+    }
+}
+
+/// A lease on an announced range: the id workers quote to claim chunks, and
+/// the number of chunks the range will produce (= tickets to post).
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkLease {
+    /// Hub-unique lease id.
+    pub id: u64,
+    /// Chunks the range partitions into.
+    pub chunks: u32,
+}
+
+/// Rendezvous between range-announcing splits and chunk-claiming workers:
+/// the split [`open`](Self::open)s a counter and broadcasts the lease id in
+/// its tickets; each worker [`claim`](Self::claim)s against that id. Shared
+/// by `Arc` between the operations of a graph (tokens stay plain data).
+///
+/// Drained counters are dropped automatically on the claim that observes
+/// exhaustion, so a long-lived hub does not accumulate leases.
+#[derive(Debug, Default)]
+pub struct ChunkHub {
+    leases: Mutex<HashMap<u64, Arc<IterCounter>>>,
+    next: AtomicU64,
+}
+
+impl ChunkHub {
+    /// Empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a counter over `calc`'s range and lease it out.
+    pub fn open(&self, calc: ChunkCalc) -> ChunkLease {
+        let counter = IterCounter::new(calc);
+        let chunks = counter.chunk_count();
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.leases
+            .lock()
+            .expect("chunk hub poisoned")
+            .insert(id, Arc::new(counter));
+        ChunkLease { id, chunks }
+    }
+
+    /// Claim the next chunk of lease `id`. `None` when the lease is drained
+    /// (or unknown — e.g. already drained and dropped).
+    pub fn claim(&self, id: u64) -> Option<Chunk> {
+        let counter = {
+            let leases = self.leases.lock().expect("chunk hub poisoned");
+            leases.get(&id).cloned()
+        }?;
+        let chunk = counter.claim();
+        if chunk.is_none() || counter.remaining() == 0 {
+            self.leases.lock().expect("chunk hub poisoned").remove(&id);
+        }
+        chunk
+    }
+
+    /// The counter behind lease `id`, if still open.
+    pub fn counter(&self, id: u64) -> Option<Arc<IterCounter>> {
+        self.leases
+            .lock()
+            .expect("chunk hub poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Leases not yet drained.
+    pub fn open_leases(&self) -> usize {
+        self.leases.lock().expect("chunk hub poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ChunkScheduler;
+
+    fn uniform(p: usize) -> Vec<f64> {
+        vec![1.0 / p as f64; p]
+    }
+
+    /// The distributed calculation reproduces the central scheduler chunk
+    /// for chunk, for every policy, on a grid of range/worker shapes.
+    #[test]
+    fn matches_central_scheduler_exactly() {
+        for kind in PolicyKind::ALL {
+            for &(n, p) in &[(0u64, 3usize), (1, 1), (7, 3), (64, 2), (100, 4), (1000, 7)] {
+                let weights = uniform(p);
+                let calc = ChunkCalc::new(kind, n, p, &weights);
+                let counter = IterCounter::new(calc);
+                let mut central = ChunkScheduler::new(kind.build(), n, p, &weights);
+                let mut claimed = 0u32;
+                while let Some(expect) = central.next_chunk() {
+                    let got = counter.claim().unwrap_or_else(|| {
+                        panic!("{kind:?} n={n} p={p}: counter drained early at {expect:?}")
+                    });
+                    assert_eq!(got, expect, "{kind:?} n={n} p={p}");
+                    claimed += 1;
+                }
+                assert!(counter.claim().is_none(), "{kind:?}: counter over-issues");
+                assert_eq!(counter.chunk_count(), claimed, "{kind:?}: count mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn awf_equivalence_with_skewed_weights() {
+        let weights = [0.5, 0.3, 0.2];
+        let calc = ChunkCalc::new(PolicyKind::Awf, 500, 3, &weights);
+        let counter = IterCounter::new(calc);
+        let mut central = ChunkScheduler::new(PolicyKind::Awf.build(), 500, 3, &weights);
+        while let Some(expect) = central.next_chunk() {
+            assert_eq!(counter.claim(), Some(expect));
+        }
+        assert!(counter.claim().is_none());
+    }
+
+    #[test]
+    fn concurrent_claims_partition_exactly() {
+        let calc = ChunkCalc::new(PolicyKind::Gss, 10_000, 4, &uniform(4));
+        let counter = Arc::new(IterCounter::new(calc));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let mut chunks = Vec::new();
+                while let Some(chunk) = c.claim() {
+                    chunks.push(chunk);
+                }
+                chunks
+            }));
+        }
+        let mut all: Vec<Chunk> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("claimer panicked"))
+            .collect();
+        all.sort_by_key(|c| c.start);
+        let mut next = 0u64;
+        for c in &all {
+            assert_eq!(c.start, next, "contiguous, non-overlapping");
+            assert!(c.len >= 1);
+            next = c.end();
+        }
+        assert_eq!(next, 10_000, "claims cover the range exactly");
+        assert_eq!(counter.remaining(), 0);
+    }
+
+    /// Ranges beyond the packed word's 40 start bits use the mutex fallback
+    /// and still claim the exact central sequence.
+    #[test]
+    fn oversized_ranges_fall_back_to_the_wide_counter() {
+        let n = 1u64 << 41; // > 2^40: packed representation cannot hold it
+        let counter = IterCounter::new(ChunkCalc::new(PolicyKind::Gss, n, 4, &uniform(4)));
+        let mut central = ChunkScheduler::new(PolicyKind::Gss.build(), n, 4, &uniform(4));
+        let mut claims = 0u32;
+        while let Some(expect) = central.next_chunk() {
+            assert_eq!(counter.claim(), Some(expect));
+            claims += 1;
+        }
+        assert_eq!(counter.claim(), None);
+        assert_eq!(counter.chunk_count(), claims);
+        assert_eq!(counter.remaining(), 0);
+    }
+
+    #[test]
+    fn hub_leases_rendezvous_and_drain() {
+        let hub = ChunkHub::new();
+        let lease = hub.open(ChunkCalc::new(PolicyKind::Static, 10, 2, &uniform(2)));
+        assert_eq!(lease.chunks, 2);
+        assert_eq!(hub.open_leases(), 1);
+        let a = hub.claim(lease.id).expect("first chunk");
+        let b = hub.claim(lease.id).expect("second chunk");
+        assert_eq!((a.start, a.len, b.start, b.len), (0, 5, 5, 5));
+        assert!(hub.claim(lease.id).is_none());
+        assert_eq!(hub.open_leases(), 0, "drained lease dropped");
+        assert!(hub.claim(lease.id).is_none(), "unknown lease is None");
+    }
+
+    #[test]
+    fn empty_range_leases_zero_chunks() {
+        let hub = ChunkHub::new();
+        let lease = hub.open(ChunkCalc::new(PolicyKind::Awf, 0, 3, &uniform(3)));
+        assert_eq!(lease.chunks, 0);
+        assert!(hub.claim(lease.id).is_none());
+    }
+}

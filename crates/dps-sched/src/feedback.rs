@@ -5,7 +5,11 @@
 //! the OS-thread engine reports *wall-clock* times. Only relative rates
 //! matter downstream, so application code behaves identically on both.
 
+use std::collections::VecDeque;
 use std::sync::Mutex;
+
+/// Per-worker chunk-rate samples kept for outlier-resistant estimation.
+const MAX_SAMPLES: usize = 64;
 
 /// Where engines deliver per-chunk completion reports.
 ///
@@ -16,6 +20,12 @@ pub trait FeedbackSink: Send + Sync {
     /// Record that `worker` finished a chunk of `iters` iterations in
     /// `secs` seconds.
     fn report_chunk(&self, worker: usize, iters: u64, secs: f64);
+
+    /// The engine lost `worker` (node failure): its measurements no longer
+    /// describe a live resource. Default: ignore.
+    fn worker_lost(&self, worker: usize) {
+        let _ = worker;
+    }
 }
 
 /// Lifetime statistics of one worker.
@@ -43,15 +53,41 @@ impl WorkerStats {
 /// The board is shared (`Arc`) between the engine — which writes through
 /// the [`FeedbackSink`] impl — and the `ScheduledSplit` operation, which
 /// reads [`weights`](Self::weights) at the start of each wave.
+///
+/// Two rate estimators are available:
+///
+/// * the default aggregate estimator, `Σ iters / Σ secs` per worker — exact
+///   but sensitive to a single pathological sample (a page fault, a network
+///   hiccup, a preempted chunk);
+/// * the **trimmed-mean** estimator
+///   ([`with_trimmed_rates`](Self::with_trimmed_rates)), which keeps the
+///   recent per-chunk rates and averages them after discarding a fraction
+///   from each end — the outlier-resistant estimation recommended by the
+///   DLS robustness literature (arXiv:1804.11115).
 #[derive(Debug, Default)]
 pub struct FeedbackBoard {
     stats: Mutex<Vec<WorkerStats>>,
+    samples: Mutex<Vec<VecDeque<f64>>>,
+    /// Fraction of samples trimmed from *each* end; 0 selects the aggregate
+    /// estimator.
+    trim: f64,
 }
 
 impl FeedbackBoard {
-    /// Empty board.
+    /// Empty board with the aggregate rate estimator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty board with the outlier-resistant estimator: per-worker rates
+    /// are the mean of the recent per-chunk rates after dropping the
+    /// `trim` fraction (clamped to `0..=0.4`) from each end of the sorted
+    /// samples.
+    pub fn with_trimmed_rates(trim: f64) -> Self {
+        Self {
+            trim: trim.clamp(0.0, 0.4),
+            ..Self::default()
+        }
     }
 
     /// Snapshot of the per-worker statistics (at least `workers` entries).
@@ -63,14 +99,49 @@ impl FeedbackBoard {
         s
     }
 
+    /// Trimmed-mean rate of one worker's recent chunk samples.
+    fn trimmed_rate(samples: &VecDeque<f64>, trim: f64) -> Option<f64> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        let drop = ((sorted.len() as f64) * trim).floor() as usize;
+        let kept = &sorted[drop..sorted.len() - drop];
+        if kept.is_empty() {
+            return None;
+        }
+        Some(kept.iter().sum::<f64>() / kept.len() as f64)
+    }
+
+    /// Per-worker measured rates (estimator per construction), `None` for
+    /// workers with no usable reports.
+    fn rates(&self, workers: usize) -> Vec<Option<f64>> {
+        if self.trim > 0.0 {
+            let samples = self.samples.lock().expect("feedback board poisoned");
+            (0..workers)
+                .map(|w| {
+                    samples
+                        .get(w)
+                        .and_then(|s| Self::trimmed_rate(s, self.trim))
+                })
+                .collect()
+        } else {
+            self.stats(workers)
+                .iter()
+                .take(workers)
+                .map(WorkerStats::rate)
+                .collect()
+        }
+    }
+
     /// Per-worker weights, normalized to sum to 1.
     ///
     /// Workers with measured rates are weighted proportionally; workers
     /// with no reports yet are assumed to run at the mean measured rate
     /// (uniform when nothing has been measured — the AWF cold start).
     pub fn weights(&self, workers: usize) -> Vec<f64> {
-        let stats = self.stats(workers);
-        let rates: Vec<Option<f64>> = stats.iter().take(workers).map(WorkerStats::rate).collect();
+        let rates = self.rates(workers);
         let measured: Vec<f64> = rates.iter().filter_map(|r| *r).collect();
         if measured.is_empty() {
             return vec![1.0 / workers.max(1) as f64; workers];
@@ -84,6 +155,10 @@ impl FeedbackBoard {
     /// Forget all reports (e.g. between benchmark configurations).
     pub fn reset(&self) {
         self.stats.lock().expect("feedback board poisoned").clear();
+        self.samples
+            .lock()
+            .expect("feedback board poisoned")
+            .clear();
     }
 
     /// Total chunks reported across all workers.
@@ -99,14 +174,39 @@ impl FeedbackBoard {
 
 impl FeedbackSink for FeedbackBoard {
     fn report_chunk(&self, worker: usize, iters: u64, secs: f64) {
-        let mut stats = self.stats.lock().expect("feedback board poisoned");
-        if stats.len() <= worker {
-            stats.resize(worker + 1, WorkerStats::default());
+        {
+            let mut stats = self.stats.lock().expect("feedback board poisoned");
+            if stats.len() <= worker {
+                stats.resize(worker + 1, WorkerStats::default());
+            }
+            let s = &mut stats[worker];
+            s.chunks += 1;
+            s.iters += iters;
+            s.secs += secs.max(0.0);
         }
-        let s = &mut stats[worker];
-        s.chunks += 1;
-        s.iters += iters;
-        s.secs += secs.max(0.0);
+        if secs > 0.0 && iters > 0 {
+            let mut samples = self.samples.lock().expect("feedback board poisoned");
+            if samples.len() <= worker {
+                samples.resize(worker + 1, VecDeque::new());
+            }
+            let q = &mut samples[worker];
+            if q.len() == MAX_SAMPLES {
+                q.pop_front();
+            }
+            q.push_back(iters as f64 / secs);
+        }
+    }
+
+    fn worker_lost(&self, worker: usize) {
+        let mut stats = self.stats.lock().expect("feedback board poisoned");
+        if let Some(s) = stats.get_mut(worker) {
+            *s = WorkerStats::default();
+        }
+        drop(stats);
+        let mut samples = self.samples.lock().expect("feedback board poisoned");
+        if let Some(q) = samples.get_mut(worker) {
+            q.clear();
+        }
     }
 }
 
@@ -162,5 +262,55 @@ mod tests {
         b.report_chunk(0, 5, 0.0);
         assert_eq!(b.stats(1)[0].rate(), None);
         assert_eq!(b.weights(1), vec![1.0]);
+    }
+
+    /// One straggler sample (a chunk that took 100× longer than its peers)
+    /// wrecks the aggregate estimator but barely moves the trimmed mean.
+    #[test]
+    fn trimmed_mean_shrugs_off_a_straggler() {
+        let plain = FeedbackBoard::new();
+        let trimmed = FeedbackBoard::with_trimmed_rates(0.2);
+        for board in [&plain, &trimmed] {
+            // Worker 0 is genuinely 2× faster than worker 1 (100 vs 50 it/s)
+            // but suffers one pathological chunk at 1 it/s.
+            for _ in 0..9 {
+                board.report_chunk(0, 100, 1.0);
+                board.report_chunk(1, 50, 1.0);
+            }
+            board.report_chunk(0, 100, 100.0); // the straggler
+            board.report_chunk(1, 50, 1.0);
+        }
+        let wp = plain.weights(2);
+        let wt = trimmed.weights(2);
+        // Aggregate estimator: worker 0's rate collapses to 1000/109 ≈ 9.2,
+        // inverting the true ordering.
+        assert!(wp[0] < wp[1], "aggregate estimator is fooled: {wp:?}");
+        // Trimmed estimator keeps the true 2:1 ordering.
+        assert!(
+            (wt[0] - 2.0 / 3.0).abs() < 0.05,
+            "trimmed weights off: {wt:?}"
+        );
+        assert!(wt[0] > 1.8 * wt[1], "{wt:?}");
+    }
+
+    #[test]
+    fn trimmed_mean_with_few_samples_still_estimates() {
+        let b = FeedbackBoard::with_trimmed_rates(0.25);
+        b.report_chunk(0, 10, 1.0);
+        let w = b.weights(2);
+        assert!(w[0] > 0.0 && w[1] > 0.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_lost_forgets_its_measurements() {
+        let b = FeedbackBoard::new();
+        b.report_chunk(0, 100, 1.0);
+        b.report_chunk(1, 50, 1.0);
+        b.worker_lost(0);
+        assert_eq!(b.stats(2)[0], WorkerStats::default());
+        // Worker 0 is back to "unmeasured": it gets the mean rate.
+        let w = b.weights(2);
+        assert!((w[0] - 0.5).abs() < 1e-12, "{w:?}");
     }
 }

@@ -34,16 +34,28 @@
 //! [`FeedbackBoard`] aggregates those reports into per-worker rates and
 //! turns them into the normalized weights AWF consumes on its next wave.
 //!
+//! ## Distributed chunk calculation
+//!
+//! Driving a policy centrally serializes every chunk on one thread. The
+//! [`calc`] module removes that master bottleneck (Eleliemy & Ciorba,
+//! arXiv:2101.07050): a [`ChunkCalc`] evaluates any chunk's boundaries
+//! *closed-form from its sequence number*, an [`IterCounter`] shares the
+//! claim state as one atomic word, and a [`ChunkHub`] leases counters to
+//! the workers of a flow graph. The distributed chunk sequence is
+//! byte-identical to the central scheduler's (property-tested).
+//!
 //! This crate is engine-independent (and dependency-free): `dps-core`'s
 //! `ScheduledSplit` operation plugs these policies into flow graphs.
 
+mod calc;
 mod feedback;
 mod policy;
 mod scheduler;
 
+pub use calc::{ChunkCalc, ChunkHub, ChunkLease, IterCounter};
 pub use feedback::{FeedbackBoard, FeedbackSink, WorkerStats};
 pub use policy::{
-    AdaptiveWeightedFactoring, ChunkPolicy, Factoring, GuidedSelfScheduling, PolicyKind,
-    SelfScheduling, StaticChunking, TrapezoidSelfScheduling,
+    AdaptiveWeightedFactoring, ChunkPolicy, Distribution, Factoring, GuidedSelfScheduling,
+    PolicyKind, SelfScheduling, StaticChunking, TrapezoidSelfScheduling,
 };
-pub use scheduler::{Chunk, ChunkScheduler};
+pub use scheduler::{partition_owners, Chunk, ChunkScheduler};

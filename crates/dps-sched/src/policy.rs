@@ -29,6 +29,22 @@ fn div_ceil(a: u64, b: u64) -> u64 {
     a.div_ceil(b.max(1))
 }
 
+/// Normalize per-worker weights to sum to 1 (uniform on degenerate input).
+/// One shared implementation: the central AWF policy and the distributed
+/// `ChunkCalc` must apply byte-identical arithmetic to stay equivalent.
+pub(crate) fn normalize_weights(weights: &[f64], workers: usize) -> Vec<f64> {
+    let workers = workers.max(1);
+    if weights.len() != workers {
+        return vec![1.0 / workers as f64; workers];
+    }
+    let sum: f64 = weights.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        weights.iter().map(|w| w / sum).collect()
+    } else {
+        vec![1.0 / workers as f64; workers]
+    }
+}
+
 /// The baseline the paper's splits use implicitly: `⌈N/P⌉` iterations per
 /// chunk, i.e. one equal chunk per worker regardless of workload shape or
 /// node speed.
@@ -89,10 +105,15 @@ impl ChunkPolicy for GuidedSelfScheduling {
 /// *linearly* from `f = ⌈N/2P⌉` to `l = 1` over `C = ⌈2N/(f+l)⌉` chunks
 /// (decrement `d = (f-l)/(C-1)`), trading GSS's aggressive first chunks for
 /// a cheaper, bounded schedule-length.
+///
+/// The size of chunk `k` is the closed form `round(max(f − k·d, 1))` — the
+/// same expression the distributed [`ChunkCalc`](crate::ChunkCalc)
+/// evaluates, so central and worker-side chunk sequences agree bit for bit.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct TrapezoidSelfScheduling {
-    current: f64,
+    first: f64,
     decrement: f64,
+    k: u32,
 }
 
 impl ChunkPolicy for TrapezoidSelfScheduling {
@@ -103,7 +124,8 @@ impl ChunkPolicy for TrapezoidSelfScheduling {
         let first = div_ceil(total, 2 * workers as u64).max(1);
         let last = 1u64;
         let count = div_ceil(2 * total, first + last).max(1);
-        self.current = first as f64;
+        self.first = first as f64;
+        self.k = 0;
         self.decrement = if count > 1 {
             (first - last) as f64 / (count - 1) as f64
         } else {
@@ -111,9 +133,9 @@ impl ChunkPolicy for TrapezoidSelfScheduling {
         };
     }
     fn chunk_size(&mut self, _remaining: u64, _worker: usize) -> u64 {
-        let size = self.current.round().max(1.0) as u64;
-        self.current = (self.current - self.decrement).max(1.0);
-        size
+        let current = (self.first - self.k as f64 * self.decrement).max(1.0);
+        self.k += 1;
+        current.round().max(1.0) as u64
     }
 }
 
@@ -167,7 +189,9 @@ impl ChunkPolicy for AdaptiveWeightedFactoring {
     }
     fn begin(&mut self, _total: u64, workers: usize, weights: &[f64]) {
         debug_assert_eq!(weights.len(), workers);
-        self.weights = weights.to_vec();
+        // Ratios are what matters (the scheduler's documented contract):
+        // normalize here so raw measured rates work as weights too.
+        self.weights = normalize_weights(weights, workers);
         self.sizes = vec![0; workers];
         self.batch_pos = 0;
     }
@@ -239,6 +263,31 @@ impl PolicyKind {
     /// True for policies that consume measured worker rates.
     pub fn is_adaptive(self) -> bool {
         matches!(self, PolicyKind::Awf)
+    }
+}
+
+/// How an application distributes its work units over worker threads — the
+/// configuration knob threaded through the workload drivers (`LuConfig`,
+/// `MatMulConfig`, `LifeConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Distribution {
+    /// The paper's static data-parallel distribution: unit `i` goes to
+    /// worker `i mod P` (a `ByKey` route), regardless of worker speed.
+    #[default]
+    Static,
+    /// Dynamic loop scheduling: work is partitioned by the chunk policy
+    /// (sized from measured worker rates for AWF) and flows through the
+    /// `ScheduledSplit` chunk machinery.
+    Scheduled(PolicyKind),
+}
+
+impl Distribution {
+    /// The chunk policy, if dynamically scheduled.
+    pub fn policy(self) -> Option<PolicyKind> {
+        match self {
+            Distribution::Static => None,
+            Distribution::Scheduled(kind) => Some(kind),
+        }
     }
 }
 
@@ -319,6 +368,26 @@ mod tests {
             first.len,
             second.len
         );
+    }
+
+    #[test]
+    fn awf_accepts_unnormalized_weights() {
+        // The scheduler's contract: "normalized or not — policies only use
+        // ratios". Raw measured rates must yield the same partition as
+        // their normalized form.
+        let sizes_of = |weights: &[f64]| {
+            let mut sched = ChunkScheduler::new(PolicyKind::Awf.build(), 90, 2, weights);
+            let mut sizes = Vec::new();
+            while let Some(c) = sched.next_chunk() {
+                sizes.push(c.len);
+            }
+            sizes
+        };
+        assert_eq!(sizes_of(&[2.0, 1.0]), sizes_of(&[2.0 / 3.0, 1.0 / 3.0]));
+        // And a degenerate skew no longer collapses into one giant chunk.
+        let sizes = sizes_of(&[2.0e9, 1.0e9]);
+        assert!(sizes.len() > 2, "batched partition expected: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<u64>(), 90);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Driving a chunk policy over a concrete iteration range.
 
-use crate::policy::ChunkPolicy;
+use crate::policy::{ChunkPolicy, PolicyKind};
 
 /// One scheduled chunk: the half-open iteration range
 /// `start..start + len`, its position in the hand-out order, and the worker
@@ -93,6 +93,23 @@ impl ChunkScheduler {
     }
 }
 
+/// Assign `items` work units to workers by partitioning `0..items` with
+/// `kind` and giving every unit of a chunk to the chunk's worker — the
+/// schedule-derived ownership map used to place *stateful* work (LU block
+/// columns, matmul result blocks) whose data must live where it is
+/// processed. With AWF weights from a calibrated feedback board, fast
+/// workers own proportionally more units.
+pub fn partition_owners(kind: PolicyKind, items: u64, workers: usize, weights: &[f64]) -> Vec<u32> {
+    let mut sched = ChunkScheduler::new(kind.build(), items, workers, weights);
+    let mut owners = vec![0u32; items as usize];
+    while let Some(c) = sched.next_chunk() {
+        for slot in &mut owners[c.start as usize..c.end() as usize] {
+            *slot = c.worker;
+        }
+    }
+    owners
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +151,19 @@ mod tests {
         assert!(s.next_chunk().is_none());
         assert_eq!(s.remaining(), 0);
         assert_eq!(s.chunks_issued(), 0);
+    }
+
+    #[test]
+    fn partition_owners_covers_every_item() {
+        let weights = [2.0 / 3.0, 1.0 / 3.0];
+        let owners = partition_owners(PolicyKind::Awf, 12, 2, &weights);
+        assert_eq!(owners.len(), 12);
+        assert!(owners.iter().all(|&w| w < 2));
+        let fast = owners.iter().filter(|&&w| w == 0).count();
+        assert!(
+            fast > 12 - fast,
+            "fast worker owns the larger share: {owners:?}"
+        );
     }
 
     #[test]

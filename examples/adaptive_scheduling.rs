@@ -19,11 +19,11 @@ use std::sync::Arc;
 use dps::cluster::ClusterSpec;
 use dps::core::prelude::*;
 use dps::core::sched::{
-    ChunkDone, ChunkRoute, ChunkWorker, CollectChunks, IterChunk, IterRange, RangeDone,
-    ScheduledSplit,
+    chunk_calc_cost, ChunkDone, ChunkRoute, ChunkTicket, ChunkWorker, CollectChunks, IterRange,
+    RangeDone, ScheduledSplit,
 };
 use dps::mt::MtEngine;
-use dps::sched::{FeedbackBoard, PolicyKind};
+use dps::sched::{ChunkHub, FeedbackBoard, PolicyKind};
 
 const ITERS: u64 = 256;
 const STEPS: u32 = 3;
@@ -38,6 +38,7 @@ fn cost(i: u64) -> f64 {
 fn simulate(policy: PolicyKind) -> (Vec<f64>, Vec<f64>) {
     let spec = ClusterSpec::heterogeneous(1, &[70.0e6, 35.0e6]);
     let board = Arc::new(FeedbackBoard::new());
+    let hub = Arc::new(ChunkHub::new());
     let mut eng = SimEngine::with_config(
         spec,
         EngineConfig {
@@ -56,13 +57,16 @@ fn simulate(policy: PolicyKind) -> (Vec<f64>, Vec<f64>) {
     let mut b = GraphBuilder::new("adaptive");
     let wcount = workers.thread_count();
     let split_board = board.clone();
+    let split_hub = hub.clone();
     let split = b.split(
         &master,
         || ToThread(0),
-        move || ScheduledSplit::with_feedback(policy, wcount, split_board.clone()),
+        move || {
+            ScheduledSplit::with_feedback(policy, wcount, split_hub.clone(), split_board.clone())
+        },
     );
-    let work = b.leaf(&workers, ChunkRoute::new, || {
-        ChunkWorker::new(Arc::new(cost))
+    let work = b.leaf(&workers, ChunkRoute::new, move || {
+        ChunkWorker::new(Arc::new(cost), hub.clone())
     });
     let merge = b.merge(&master, || ToThread(0), CollectChunks::default);
     b.add(split >> work >> merge);
@@ -88,17 +92,32 @@ fn simulate(policy: PolicyKind) -> (Vec<f64>, Vec<f64>) {
     (makespans, board.weights(2))
 }
 
-/// A chunk worker doing *real* compute: iteration `i` runs `(i+1) × 200`
-/// arithmetic operations, so the wall-clock chunk reports the MtEngine
-/// feeds back reflect genuine execution speed.
-struct SpinWorker;
+/// A chunk worker doing *real* compute: it claims its chunk locally from
+/// the shared iteration counter (distributed chunk calculation), then
+/// iteration `i` runs `(i+1) × 200` arithmetic operations, so the
+/// wall-clock chunk reports the MtEngine feeds back reflect genuine
+/// execution speed.
+struct SpinWorker {
+    hub: Arc<ChunkHub>,
+}
 impl LeafOperation for SpinWorker {
     type Thread = ();
-    type In = IterChunk;
+    type In = ChunkTicket;
     type Out = ChunkDone;
-    fn execute(&mut self, ctx: &mut OpCtx<'_, (), ChunkDone>, c: IterChunk) {
+    fn execute(&mut self, ctx: &mut OpCtx<'_, (), ChunkDone>, t: ChunkTicket) {
+        let Some(c) = self.hub.claim(t.lease) else {
+            ctx.post(ChunkDone {
+                step: t.step,
+                worker: ctx.thread_index() as u32,
+                start: t.base,
+                len: 0,
+            });
+            return;
+        };
+        ctx.charge(chunk_calc_cost());
+        let start = t.base + c.start;
         let mut acc = 0u64;
-        for i in c.start..c.start + c.len {
+        for i in start..start + c.len {
             for k in 0..(i + 1) * 200 {
                 acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(k));
             }
@@ -106,9 +125,9 @@ impl LeafOperation for SpinWorker {
         std::hint::black_box(acc);
         ctx.mark_chunk(c.len);
         ctx.post(ChunkDone {
-            step: c.step,
+            step: t.step,
             worker: ctx.thread_index() as u32,
-            start: c.start,
+            start,
             len: c.len,
         });
     }
@@ -116,8 +135,12 @@ impl LeafOperation for SpinWorker {
 
 fn real_threads(policy: PolicyKind) -> (Vec<f64>, u64) {
     let board = Arc::new(FeedbackBoard::new());
+    let hub = Arc::new(ChunkHub::new());
     let mut eng = MtEngine::new(4);
     eng.set_feedback_sink(board.clone());
+    // Seed the board from a wall-clock probe of each worker's rate, so the
+    // first wave already uses measured weights (satellite: rate calibration).
+    eng.calibrate_feedback(4, |_| dps_bench::calib::measure_flop_rate(1_000_000));
     let app = eng.app("adaptive-mt");
     let master: ThreadCollection<()> = eng.thread_collection(app, "master", "node0").unwrap();
     let workers: ThreadCollection<()> = eng
@@ -126,12 +149,17 @@ fn real_threads(policy: PolicyKind) -> (Vec<f64>, u64) {
     let mut b = GraphBuilder::new("adaptive-mt");
     let wcount = workers.thread_count();
     let split_board = board.clone();
+    let split_hub = hub.clone();
     let split = b.split(
         &master,
         || ToThread(0),
-        move || ScheduledSplit::with_feedback(policy, wcount, split_board.clone()),
+        move || {
+            ScheduledSplit::with_feedback(policy, wcount, split_hub.clone(), split_board.clone())
+        },
     );
-    let work = b.leaf(&workers, ChunkRoute::new, || SpinWorker);
+    let work = b.leaf(&workers, ChunkRoute::new, move || SpinWorker {
+        hub: hub.clone(),
+    });
     let merge = b.merge(&master, || ToThread(0), CollectChunks::default);
     b.add(split >> work >> merge);
     let g = eng.build_graph(b).unwrap();

@@ -7,6 +7,7 @@ use dps::cluster::ClusterSpec;
 use dps::core::EngineConfig;
 use dps::linalg::parallel::matmul::{run_matmul_sim, MatMulConfig};
 use dps::linalg::Matrix;
+use dps::sched::Distribution;
 
 fn main() {
     let cfg = |pipelined| MatMulConfig {
@@ -16,6 +17,7 @@ fn main() {
         seed: 7,
         nodes: 4,
         threads_per_node: 2,
+        dist: Distribution::Static,
     };
 
     // One extra node hosts the master (the paper's Table 1 set-up).

@@ -8,6 +8,7 @@ use dps::life::{run_life_sim, LifeConfig, Variant, World};
 use dps::linalg::parallel::lu::{run_lu_sim, LuConfig};
 use dps::linalg::parallel::matmul::{run_matmul_sim, MatMulConfig};
 use dps::linalg::{blocked_lu, lu_residual, Matrix};
+use dps::sched::Distribution;
 use dps::sfs::video::{run_video_sim, VideoConfig};
 
 #[test]
@@ -21,6 +22,7 @@ fn matmul_all_variants_and_node_counts() {
                 seed: 50 + nodes as u64,
                 nodes,
                 threads_per_node: 2,
+                dist: Distribution::Static,
             };
             let rep = run_matmul_sim(
                 ClusterSpec::paper_testbed(nodes),
@@ -52,6 +54,7 @@ fn lu_matches_sequential_reference_everywhere() {
                 seed: 900 + nodes as u64,
                 nodes,
                 threads_per_node: 1,
+                dist: Distribution::Static,
             };
             let rep = run_lu_sim(
                 ClusterSpec::paper_testbed(nodes),
@@ -81,6 +84,7 @@ fn life_both_graphs_match_reference() {
             threads_per_node: 1,
             density: 0.4,
             seed: 777,
+            dist: Distribution::Static,
         };
         let rep =
             run_life_sim(ClusterSpec::paper_testbed(3), &cfg, EngineConfig::default()).unwrap();

@@ -146,3 +146,98 @@ fn sim_engine_is_deterministic_across_runs() {
     };
     assert_eq!(run(), run());
 }
+
+/// The dynamically scheduled Life graph — range announcement, worker-side
+/// chunk claiming, AWF feedback — computes the same generations on the
+/// real-thread engine as the sequential reference (and hence as the
+/// simulator, which `dps-life`'s own tests verify).
+#[test]
+fn scheduled_life_runs_on_real_threads() {
+    use dps::core::sched::IterRange;
+    use dps::life::graphs::IterDone;
+    use dps::life::sched::{
+        scheduled_step_builder, world_dump_builder, world_loader_builder, DumpOrder, LoadWorld,
+        WorldDump, WorldLoaded,
+    };
+    use dps::life::{World, WorldState};
+    use dps::sched::{ChunkHub, FeedbackBoard, PolicyKind};
+    use std::sync::Arc;
+
+    let (rows, cols, iters) = (24usize, 16usize, 3usize);
+    let world = World::random(rows, cols, 0.35, 11);
+    let reference = world.clone().step_n(iters);
+
+    let board = Arc::new(FeedbackBoard::new());
+    let hub = Arc::new(ChunkHub::new());
+    let mut eng = MtEngine::new(3);
+    eng.set_feedback_sink(board.clone());
+    let app = eng.app("life-mt");
+    let ctl: ThreadCollection<()> = eng.thread_collection(app, "ctl", "node0").unwrap();
+    let store: ThreadCollection<WorldState> = eng.thread_collection(app, "store", "node0").unwrap();
+    let workers: ThreadCollection<()> = eng
+        .thread_collection(app, "w", "node0 node1 node2")
+        .unwrap();
+    let step = eng
+        .build_graph(scheduled_step_builder(
+            &ctl,
+            &store,
+            &workers,
+            PolicyKind::Fac,
+            hub,
+            board.clone(),
+        ))
+        .unwrap();
+    let loader = eng.build_graph(world_loader_builder(&store)).unwrap();
+    let dumper = eng.build_graph(world_dump_builder(&store)).unwrap();
+
+    // Thread state cannot be preloaded on OS threads: ship the world in.
+    let mut cells = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        cells.extend_from_slice(world.row(r));
+    }
+    let loaded = eng
+        .run_one::<WorldLoaded>(
+            loader,
+            Box::new(LoadWorld {
+                rows: rows as u32,
+                cols: cols as u32,
+                cells: cells.into(),
+            }),
+        )
+        .unwrap();
+    assert_eq!(loaded.rows as usize, rows);
+
+    for i in 0..iters {
+        let done = eng
+            .run_one::<IterDone>(
+                step,
+                Box::new(IterRange {
+                    start: 0,
+                    len: rows as u64,
+                    step: i as u32,
+                }),
+            )
+            .unwrap();
+        assert_eq!(done.iter, i as u32);
+    }
+
+    let dump = eng
+        .run_one::<WorldDump>(dumper, Box::new(DumpOrder { tag: 0 }))
+        .unwrap();
+    eng.shutdown();
+    assert_eq!((dump.rows as usize, dump.cols as usize), (rows, cols));
+    assert_eq!(dump.population, reference.population() as u64);
+    for r in 0..rows {
+        for c in 0..cols {
+            assert_eq!(
+                dump.cells[r * cols + c],
+                reference.get(r, c),
+                "cell ({r},{c}) diverged on real threads"
+            );
+        }
+    }
+    assert!(
+        board.total_chunks() > 0,
+        "wall-clock chunk reports must flow during scheduled Life"
+    );
+}

@@ -1,17 +1,25 @@
-//! System tests for the dynamic loop-scheduling subsystem: adaptive
-//! policies must beat static chunking on skewed clusters (deterministic,
-//! virtual-time), and the feedback channel must work on both engines.
+//! System tests for the dynamic loop-scheduling subsystem: the distributed
+//! chunk calculation must partition identically to the central scheduler,
+//! adaptive policies must beat static distributions on skewed clusters for
+//! the *real* applications (deterministic, virtual-time), scheduled waves
+//! must survive node failures, and the feedback channel must work on both
+//! engines.
 
 use std::sync::Arc;
 
 use dps::cluster::ClusterSpec;
 use dps::core::prelude::*;
 use dps::core::sched::{
-    ChunkRoute, ChunkWorker, CollectChunks, IterRange, RangeDone, ScheduledSplit,
+    ChunkRoute, ChunkWorker, CollectChunks, Distribution, IterRange, RangeDone, ScheduledSplit,
 };
+use dps::life::{run_life_sim, setup_scheduled_life, LifeConfig, Variant, World};
+use dps::linalg::parallel::lu::{run_lu_sim, LuConfig};
+use dps::linalg::{lu_residual, Matrix};
 use dps::mt::MtEngine;
-use dps::sched::{FeedbackBoard, PolicyKind};
+use dps::net::NodeId;
+use dps::sched::{ChunkCalc, ChunkHub, ChunkScheduler, FeedbackBoard, IterCounter, PolicyKind};
 use dps_bench::dls::{rising_cost, run_dls_sim, DlsConfig};
+use proptest::prelude::*;
 
 fn skewed_two_node() -> ClusterSpec {
     // node0 at the paper rate, node1 2× slower.
@@ -100,12 +108,14 @@ fn scheduled_runs_are_reproducible() {
     assert_eq!(go(), go());
 }
 
-/// The same application code runs on the real-thread engine: chunks are
-/// scheduled, every iteration is covered, and wall-clock completion
-/// reports reach the feedback board through `MtEngine`.
+/// The same application code runs on the real-thread engine: tickets are
+/// announced, chunks are claimed at the workers, every iteration is
+/// covered, and wall-clock completion reports reach the feedback board
+/// through `MtEngine`.
 #[test]
 fn scheduled_split_runs_on_real_threads() {
     let board = Arc::new(FeedbackBoard::new());
+    let hub = Arc::new(ChunkHub::new());
     let mut eng = MtEngine::new(3);
     eng.set_feedback_sink(board.clone());
     let app = eng.app("mt-dls");
@@ -116,12 +126,22 @@ fn scheduled_split_runs_on_real_threads() {
     let mut b = GraphBuilder::new("mt-dls");
     let wcount = workers.thread_count();
     let split_board = board.clone();
+    let split_hub = hub.clone();
     let split = b.split(
         &master,
         || ToThread(0),
-        move || ScheduledSplit::with_feedback(PolicyKind::Fac, wcount, split_board.clone()),
+        move || {
+            ScheduledSplit::with_feedback(
+                PolicyKind::Fac,
+                wcount,
+                split_hub.clone(),
+                split_board.clone(),
+            )
+        },
     );
-    let work = b.leaf(&workers, ChunkRoute::new, || ChunkWorker::uniform(1.0));
+    let work = b.leaf(&workers, ChunkRoute::new, move || {
+        ChunkWorker::uniform(1.0, hub.clone())
+    });
     let merge = b.merge(&master, || ToThread(0), CollectChunks::default);
     b.add(split >> work >> merge);
     let g = eng.build_graph(b).unwrap();
@@ -146,5 +166,230 @@ fn scheduled_split_runs_on_real_threads() {
     assert!(
         board.total_chunks() >= 6,
         "wall-clock completion reports must reach the board"
+    );
+}
+
+/// MtEngine rate calibration: a synthetic 2:1 probe seeds 2:1 board
+/// weights, and the real wall-clock FLOP kernel produces sane, near-uniform
+/// weights on a single host.
+#[test]
+fn mt_engine_calibration_seeds_feedback_weights() {
+    // Synthetic heterogeneous probe.
+    let board = Arc::new(FeedbackBoard::new());
+    let mut eng = MtEngine::new(2);
+    eng.set_feedback_sink(board.clone());
+    eng.calibrate_feedback(2, |w| if w == 0 { 2.0e9 } else { 1.0e9 });
+    let weights = board.weights(2);
+    assert!(
+        (weights[0] - 2.0 / 3.0).abs() < 1e-9,
+        "synthetic 2:1 probe → 2:1 weights, got {weights:?}"
+    );
+    assert!((eng.node_flops() - 1.5e9).abs() < 1.0);
+
+    // Real measured kernel: one host, so rates (and weights) come out
+    // roughly equal, and the calibrated node rate is positive.
+    let board = Arc::new(FeedbackBoard::new());
+    let mut eng = MtEngine::new(2);
+    eng.set_feedback_sink(board.clone());
+    eng.calibrate_feedback(2, |_| dps_bench::calib::measure_flop_rate(2_000_000));
+    let weights = board.weights(2);
+    assert!(weights.iter().all(|&w| w > 0.2 && w < 0.8), "{weights:?}");
+    assert!(eng.node_flops() > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Acceptance (a): the distributed chunk calculation (`ChunkCalc` +
+    /// `IterCounter`) reproduces the central `ChunkScheduler`'s chunk
+    /// sequence *exactly* — same boundaries, same sizes, same intended
+    /// workers — for every policy × range size × worker count × weight
+    /// skew.
+    #[test]
+    fn distributed_chunks_match_central_for_every_policy(
+        n in 0u64..4000,
+        p in 1usize..9,
+        skew in 1u64..5,
+        kind_idx in 0usize..6,
+    ) {
+        let kind = PolicyKind::ALL[kind_idx];
+        let raw: Vec<f64> = (0..p).map(|i| 1.0 + (i as u64 % skew) as f64).collect();
+        let total_w: f64 = raw.iter().sum();
+        let weights: Vec<f64> = raw.iter().map(|w| w / total_w).collect();
+        let mut central = ChunkScheduler::new(kind.build(), n, p, &weights);
+        let counter = IterCounter::new(ChunkCalc::new(kind, n, p, &weights));
+        let mut count = 0u32;
+        while let Some(expect) = central.next_chunk() {
+            let got = counter.claim();
+            prop_assert_eq!(got, Some(expect), "{:?} n={} p={}", kind, n, p);
+            count += 1;
+        }
+        prop_assert_eq!(counter.claim(), None);
+        prop_assert_eq!(counter.chunk_count(), count);
+    }
+}
+
+fn skewed_lu(dist: Distribution) -> LuConfig {
+    LuConfig {
+        n: 128,
+        r: 16,
+        pipelined: true,
+        seed: 33,
+        nodes: 2,
+        threads_per_node: 1,
+        dist,
+    }
+}
+
+/// Acceptance (b), LU half: scheduling the block columns with AWF (owner
+/// map from calibrated rates) beats the static `j mod p` layout by ≥ 10%
+/// on a 2×-skewed cluster, deterministically, with identical results.
+#[test]
+fn lu_scheduled_awf_beats_static_by_10_percent() {
+    let spec = ClusterSpec::skewed(2, 2, 2.0);
+    let t_static = run_lu_sim(
+        spec.clone(),
+        &skewed_lu(Distribution::Static),
+        EngineConfig::default(),
+    )
+    .unwrap()
+    .elapsed
+    .as_secs_f64();
+    let t_awf = run_lu_sim(
+        spec,
+        &skewed_lu(Distribution::Scheduled(PolicyKind::Awf)),
+        EngineConfig::default(),
+    )
+    .unwrap()
+    .elapsed
+    .as_secs_f64();
+    assert!(
+        t_awf <= 0.9 * t_static,
+        "scheduled LU {t_awf:.4}s vs static {t_static:.4}s: expected >= 10% gain"
+    );
+}
+
+/// Satellite: LU through the scheduled distribution computes the *same*
+/// factorization as the static-`ByKey` layout, bit for bit — placement
+/// changes, arithmetic does not.
+#[test]
+fn lu_scheduled_matches_static_bit_for_bit() {
+    let spec = || ClusterSpec::skewed(2, 2, 2.0);
+    let stat = run_lu_sim(
+        spec(),
+        &skewed_lu(Distribution::Static),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let sched = run_lu_sim(
+        spec(),
+        &skewed_lu(Distribution::Scheduled(PolicyKind::Awf)),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(stat.factors.pivots, sched.factors.pivots);
+    assert_eq!(
+        stat.factors.lu, sched.factors.lu,
+        "factor matrices must agree bit for bit"
+    );
+    let a = Matrix::random_general(128, 128, 33);
+    assert!(lu_residual(&a, &sched.factors) < 1e-8);
+}
+
+fn skewed_life(dist: Distribution) -> LifeConfig {
+    LifeConfig {
+        rows: 192,
+        cols: 384,
+        iterations: 4,
+        variant: Variant::Improved,
+        nodes: 2,
+        threads_per_node: 1,
+        density: 0.35,
+        seed: 9,
+        dist,
+    }
+}
+
+/// Acceptance (b), Life half: the master-held scheduled Life under AWF
+/// beats the static banded layout by ≥ 10% on a 2×-skewed cluster,
+/// deterministically, with the same final world.
+#[test]
+fn life_scheduled_awf_beats_static_by_10_percent() {
+    let spec = ClusterSpec::skewed(2, 2, 2.0);
+    let stat = run_life_sim(
+        spec.clone(),
+        &skewed_life(Distribution::Static),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let sched = run_life_sim(
+        spec,
+        &skewed_life(Distribution::Scheduled(PolicyKind::Awf)),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(stat.world, sched.world, "same evolution either way");
+    let (t_static, t_awf) = (stat.elapsed.as_secs_f64(), sched.elapsed.as_secs_f64());
+    assert!(
+        t_awf <= 0.9 * t_static,
+        "scheduled Life {t_awf:.4}s vs static {t_static:.4}s: expected >= 10% gain"
+    );
+}
+
+/// Acceptance (c): a scheduled Life wave survives `fail_node` mid-wave —
+/// the chunks stranded on the dead node are re-queued to live workers and
+/// the generation commits with the correct population.
+#[test]
+fn scheduled_life_wave_survives_fail_node() {
+    let cfg = LifeConfig {
+        rows: 96,
+        cols: 64,
+        iterations: 1,
+        variant: Variant::Simple,
+        nodes: 3,
+        threads_per_node: 1,
+        density: 0.4,
+        seed: 5,
+        dist: Distribution::Scheduled(PolicyKind::Ss),
+    };
+    let world = World::random(cfg.rows, cfg.cols, cfg.density, cfg.seed);
+    let mut eng = SimEngine::new(ClusterSpec::paper_testbed(3));
+    let (_, store, graph, _) =
+        setup_scheduled_life(&mut eng, &cfg, PolicyKind::Ss, &world).unwrap();
+    eng.inject(
+        graph,
+        IterRange {
+            start: 0,
+            len: cfg.rows as u64,
+            step: 0,
+        },
+    )
+    .unwrap();
+    // Advance partway into the wave, then kill node2 while chunks are
+    // still queued on (and in flight to) its worker thread.
+    for _ in 0..400 {
+        assert!(eng.step_once().unwrap(), "wave finished before the failure");
+    }
+    eng.fail_node(NodeId(2)).unwrap();
+    assert!(!eng.cluster().is_alive(NodeId(2)));
+    eng.run_until_idle().unwrap();
+    assert!(
+        eng.requeued() > 0,
+        "the failure must actually strand and re-queue deliveries"
+    );
+    let outs = eng.take_outputs(graph);
+    assert_eq!(outs.len(), 1, "the wave still commits exactly once");
+    let done =
+        dps::core::downcast::<dps::life::graphs::IterDone>(outs.into_iter().next().unwrap().1)
+            .unwrap();
+    let expect = world.step();
+    let expect_pop: u64 = (0..cfg.rows)
+        .map(|r| expect.row(r).iter().map(|&c| u64::from(c)).sum::<u64>())
+        .sum();
+    assert_eq!(done.population, expect_pop, "population after the failure");
+    assert_eq!(
+        eng.thread_data_mut(&store, 0).world,
+        expect,
+        "world after the failure"
     );
 }

@@ -8,6 +8,7 @@ use dps::core::{dps_token, EngineConfig, SimEngine};
 use dps::life::{run_life_sim, LifeConfig, Variant, World};
 use dps::linalg::parallel::lu::{run_lu_sim, LuConfig};
 use dps::linalg::{lu_residual, Matrix};
+use dps::sched::Distribution;
 use dps::sched::{ChunkScheduler, PolicyKind};
 use proptest::prelude::*;
 
@@ -163,6 +164,7 @@ proptest! {
             threads_per_node: 1,
             density: 0.35,
             seed,
+            dist: Distribution::Static,
         };
         let rep = run_life_sim(
             ClusterSpec::paper_testbed(nodes),
@@ -227,6 +229,7 @@ proptest! {
             seed,
             nodes,
             threads_per_node: 1,
+            dist: Distribution::Static,
         };
         let rep = run_lu_sim(
             ClusterSpec::paper_testbed(nodes),
