@@ -11,11 +11,12 @@
 
 use std::sync::Arc;
 
-use dps_cluster::ClusterSpec;
+use dps_cluster::{default_mapping, ClusterSpec};
 use dps_core::prelude::*;
 use dps_core::sched::{
     ChunkRoute, ChunkWorker, CollectChunks, IterRange, RangeDone, ScheduledSplit,
 };
+use dps_core::Engine;
 use dps_sched::{ChunkHub, FeedbackBoard, PolicyKind};
 
 /// Per-iteration FLOP cost model of a scheduled loop.
@@ -72,28 +73,31 @@ pub struct DlsReport {
     pub chunks: Vec<u32>,
     /// Final AWF weights measured by the feedback board (one per worker).
     pub weights: Vec<f64>,
+    /// Chunk completions the engine reported to the feedback board — the
+    /// regression canary for the feedback channel (weights alone cannot
+    /// detect silence: a cold board still yields uniform positive weights).
+    pub reported_chunks: u64,
 }
 
-/// Run a scheduled loop with `cfg.policy` over `cost` on the simulated
-/// cluster `spec` (one worker thread per node, the master on `node0`),
-/// returning per-step makespans. Fully deterministic.
-pub fn run_dls_sim(spec: ClusterSpec, cost: CostFn, cfg: &DlsConfig) -> Result<DlsReport> {
-    let n_nodes = spec.len();
-    let board = Arc::new(FeedbackBoard::new());
-    let ecfg = EngineConfig {
-        flow_window: cfg.flow_window,
-        ..EngineConfig::default()
-    };
-    let mut eng = SimEngine::with_config(spec, ecfg);
+/// Run a scheduled loop with `cfg.policy` over `cost` on **any engine** —
+/// the single generic entry point behind [`run_dls_sim`] and the
+/// cross-engine tests. One worker thread per node of `worker_nodes`
+/// (`node0..`), the master on `node0`; per-step makespans come out in the
+/// engine's own notion of time. The feedback board's rate estimator
+/// matches the policy (AWF-B/AWF-C get their batch-/chunk-time weighting).
+pub fn run_dls<E: Engine>(
+    eng: &mut E,
+    cost: CostFn,
+    cfg: &DlsConfig,
+    worker_nodes: usize,
+) -> Result<DlsReport> {
+    let board = Arc::new(FeedbackBoard::for_policy(cfg.policy));
     eng.set_feedback_sink(board.clone());
     let app = eng.app("dls");
     eng.preload_app(app); // steady state: no lazy-launch skew in step 0
     let master: ThreadCollection<()> = eng.thread_collection(app, "master", "node0")?;
-    let mapping: String = (0..n_nodes)
-        .map(|i| format!("node{i}"))
-        .collect::<Vec<_>>()
-        .join(" ");
-    let workers: ThreadCollection<()> = eng.thread_collection(app, "workers", &mapping)?;
+    let workers: ThreadCollection<()> =
+        eng.thread_collection(app, "workers", &default_mapping(worker_nodes, 1))?;
 
     let hub = Arc::new(ChunkHub::new());
     let mut b = GraphBuilder::new(format!("dls-{}", cfg.policy.name()));
@@ -117,20 +121,20 @@ pub fn run_dls_sim(spec: ClusterSpec, cost: CostFn, cfg: &DlsConfig) -> Result<D
     let mut per_step = Vec::with_capacity(cfg.steps as usize);
     let mut chunks = Vec::with_capacity(cfg.steps as usize);
     for step in 0..cfg.steps {
-        let t0 = eng.now();
-        eng.inject(
+        let t0 = eng.now_secs();
+        eng.submit(
             g,
-            IterRange {
+            Box::new(IterRange {
                 start: 0,
                 len: cfg.iters,
                 step,
-            },
+            }),
         )?;
-        eng.run_until_idle()?;
-        per_step.push(eng.now().since(t0).as_secs_f64());
+        eng.run_to_idle(g, 1)?;
+        per_step.push(eng.now_secs() - t0);
         let mut outs = eng.take_outputs(g);
         assert_eq!(outs.len(), 1, "one RangeDone per step");
-        let done = downcast::<RangeDone>(outs.pop().expect("one output").1)
+        let done = downcast::<RangeDone>(outs.pop().expect("one output"))
             .expect("output token type is RangeDone");
         assert_eq!(
             done.iters, cfg.iters,
@@ -142,8 +146,21 @@ pub fn run_dls_sim(spec: ClusterSpec, cost: CostFn, cfg: &DlsConfig) -> Result<D
         total: per_step.iter().sum(),
         per_step,
         chunks,
-        weights: board.weights(n_nodes),
+        weights: board.weights(wcount),
+        reported_chunks: board.total_chunks(),
     })
+}
+
+/// Run a scheduled loop on the simulated cluster `spec` (one worker thread
+/// per node) — a thin, fully deterministic [`run_dls`] wrapper.
+pub fn run_dls_sim(spec: ClusterSpec, cost: CostFn, cfg: &DlsConfig) -> Result<DlsReport> {
+    let n_nodes = spec.len();
+    let ecfg = EngineConfig {
+        flow_window: cfg.flow_window,
+        ..EngineConfig::default()
+    };
+    let mut eng = SimEngine::with_config(spec, ecfg);
+    run_dls(&mut eng, cost, cfg, n_nodes)
 }
 
 #[cfg(test)]

@@ -14,8 +14,8 @@
 //!   triggers an instance start and pays a start-up delay, exactly the
 //!   "delayed mechanism" §4 describes (≈1 s to reach full 8-node N-to-N
 //!   connectivity).
-//! * [`Cluster`] — the assembled world: spec + [`NetworkModel`] +
-//!   [`NameServer`] + deployment state + node-failure flags (failure
+//! * [`Cluster`] — the assembled world: spec + [`NetworkModel`](dps_net::NetworkModel) +
+//!   [`NameServer`](dps_net::NameServer) + deployment state + node-failure flags (failure
 //!   injection backs the graceful-degradation extension discussed in the
 //!   paper's future work).
 
@@ -26,7 +26,10 @@ mod spec;
 
 pub use cluster::Cluster;
 pub use deploy::{AppId, Deployment, InstanceState};
-pub use mapping::{parse_mapping, resolve_mapping, round_robin_mapping, MappingError};
+pub use mapping::{
+    default_mapping, default_mapping_from, parse_mapping, resolve_mapping, round_robin_mapping,
+    MappingError,
+};
 pub use spec::{ClusterSpec, NodeSpec};
 
 pub use dps_net::NodeId;

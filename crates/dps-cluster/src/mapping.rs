@@ -111,9 +111,40 @@ pub fn round_robin_mapping(spec: &ClusterSpec, nodes: usize, per_node: usize) ->
     parts.join(" ")
 }
 
+/// The spec-free counterpart of [`round_robin_mapping`] for clusters with
+/// the conventional `node0..node{n-1}` names (every [`ClusterSpec`]
+/// constructor and the OS-thread engine use them): engine-generic setup
+/// code can build its worker mapping without a cluster handle.
+pub fn default_mapping(nodes: usize, per_node: usize) -> String {
+    default_mapping_from(0, nodes, per_node)
+}
+
+/// [`default_mapping`] starting at node `first` — for layouts that keep a
+/// dedicated master machine and place the workers on the remaining nodes.
+pub fn default_mapping_from(first: usize, nodes: usize, per_node: usize) -> String {
+    assert!(nodes >= 1, "at least one node");
+    (first..first + nodes)
+        .map(|i| {
+            if per_node == 1 {
+                format!("node{i}")
+            } else {
+                format!("node{i}*{per_node}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_mapping_matches_round_robin_on_uniform_specs() {
+        let spec = ClusterSpec::uniform(3, 1);
+        assert_eq!(default_mapping(3, 2), round_robin_mapping(&spec, 3, 2));
+        assert_eq!(default_mapping(2, 1), "node0 node1");
+    }
 
     #[test]
     fn paper_example_parses() {

@@ -1,0 +1,403 @@
+//! The unified engine API: write an application once, run it anywhere.
+//!
+//! The paper's promise is that a flow graph is *independent of the machinery
+//! that executes it*. The [`Engine`] trait is that machinery's contract:
+//! [`SimEngine`](crate::SimEngine) (deterministic virtual time) and
+//! `dps_mt::MtEngine` (real OS threads) both implement it, so application
+//! crates, examples and tests write **one** generic driver
+//! (`fn run<E: Engine>(eng: &mut E, …)`) instead of hand-duplicated
+//! per-engine code paths. A third backend (async, sharded) is one more
+//! `impl Engine`, not a fork of the tree.
+//!
+//! On top of the trait, [`Application`] is a small typed front door: it pairs
+//! a built graph with its entry/exit token types so user code calls
+//! [`call`](Application::call) / [`stream`](Application::stream) and never
+//! touches raw [`TokenBox`]es or engine-specific run loops.
+//!
+//! Engine-specific features stay on the concrete types (e.g.
+//! `SimEngine::fail_node`, `thread_data_mut`, virtual-time injection); the
+//! [`caps`](Engine::caps) probe tells generic code which of them the engine
+//! behind it offers.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use dps_sched::FeedbackSink;
+
+use crate::builder::GraphBuilder;
+use crate::error::{DpsError, Result};
+use crate::ops::ThreadData;
+use crate::threads::ThreadCollection;
+use crate::token::{downcast, Token, TokenBox};
+
+/// What an [`Engine`] can do beyond the portable core — the capability
+/// probe generic code consults before reaching for engine-specific
+/// features (via the concrete type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// Identical inputs produce identical outputs *and timings* (virtual
+    /// time). False for wall-clock engines, where merge consume order is
+    /// nondeterministic and only commutative merges are portable.
+    pub deterministic: bool,
+    /// [`Engine::now_secs`] reports simulated virtual time (calibrated to
+    /// the modelled cluster) rather than host wall-clock time.
+    pub virtual_time: bool,
+    /// The engine supports failure injection (`SimEngine::fail_node`):
+    /// killing a node mid-wave re-queues its stranded deliveries.
+    pub fail_node: bool,
+    /// Thread-local state can be read/written from outside the graph
+    /// (`SimEngine::thread_data_mut`). Engines without this capability
+    /// stage state through loader/dump graphs instead.
+    pub thread_state_access: bool,
+    /// All apps, thread collections and graphs must be declared before the
+    /// first [`submit`](Engine::submit); late declarations panic. Generic
+    /// setup code must declare everything first, then run.
+    pub declare_before_run: bool,
+}
+
+/// One execution engine for DPS flow graphs.
+///
+/// The portable subset of the engine lifecycle: declare applications,
+/// collections and graphs; submit tokens; drive to idle; drain outputs.
+/// Generic drivers written against this trait run unchanged on the
+/// deterministic simulator and on real OS threads.
+///
+/// Engines with [`EngineCaps::declare_before_run`] require every
+/// declaration (`app`, `thread_collection`, `build_graph`,
+/// `expose_service`, `set_feedback_sink`) to precede the first
+/// [`submit`](Self::submit); portable setup code should follow that order
+/// unconditionally.
+///
+/// ```
+/// use dps_core::prelude::*;
+/// use dps_core::Engine;
+/// use dps_cluster::ClusterSpec;
+///
+/// dps_token! { pub struct Job { pub shards: u32 } }
+/// dps_token! { pub struct Shard { pub value: u64 } }
+/// dps_token! { pub struct Total { pub sum: u64 } }
+///
+/// struct Fan;
+/// impl SplitOperation for Fan {
+///     type Thread = (); type In = Job; type Out = Shard;
+///     fn execute(&mut self, ctx: &mut OpCtx<'_, (), Shard>, j: Job) {
+///         for value in 0..u64::from(j.shards) { ctx.post(Shard { value }); }
+///     }
+/// }
+/// #[derive(Default)]
+/// struct Sum { sum: u64 }
+/// impl MergeOperation for Sum {
+///     type Thread = (); type In = Shard; type Out = Total;
+///     fn consume(&mut self, _ctx: &mut OpCtx<'_, (), Total>, s: Shard) { self.sum += s.value; }
+///     fn finalize(&mut self, ctx: &mut OpCtx<'_, (), Total>) {
+///         ctx.post(Total { sum: self.sum });
+///     }
+/// }
+///
+/// /// One driver, any engine: the whole point of the unified API.
+/// fn total_on<E: Engine>(eng: &mut E) -> u64 {
+///     let app = eng.app("sum");
+///     let main: ThreadCollection<()> = eng.thread_collection(app, "main", "node0").unwrap();
+///     let mut b = GraphBuilder::new("sum");
+///     let s = b.split(&main, || ToThread(0), || Fan);
+///     let m = b.merge(&main, || ToThread(0), Sum::default);
+///     b.add(s >> m);
+///     let g = eng.build_graph(b).unwrap();
+///     eng.submit(g, Box::new(Job { shards: 10 })).unwrap();
+///     eng.run_to_idle(g, 1).unwrap();
+///     let out = eng.take_outputs(g).pop().unwrap();
+///     downcast::<Total>(out).unwrap().sum
+/// }
+///
+/// let mut sim = SimEngine::new(ClusterSpec::paper_testbed(2));
+/// assert_eq!(total_on(&mut sim), 45);
+/// ```
+pub trait Engine {
+    /// Handle to a registered application.
+    type App: Copy + Eq + Hash + Debug;
+    /// Handle to a built graph.
+    type Graph: Copy + Eq + Hash + Debug;
+
+    /// Short engine name for diagnostics and tables (e.g. `"sim"`, `"mt"`).
+    fn name(&self) -> &'static str;
+
+    /// What this engine can do beyond the portable core.
+    fn caps(&self) -> EngineCaps;
+
+    /// Register a parallel application.
+    fn app(&mut self, name: &str) -> Self::App;
+
+    /// Pre-start `app`'s instance everywhere it could run, skipping lazy
+    /// launch delays (steady-state measurement, as the paper reports its
+    /// experiments). A no-op on engines without an instance-launch model.
+    fn preload_app(&mut self, app: Self::App) {
+        let _ = app;
+    }
+
+    /// Register token type `T` with `app`'s deserialization factory
+    /// (needed when serialization enforcement is on).
+    fn register_token<T>(&mut self, app: Self::App)
+    where
+        T: dps_serial::Wire + dps_serial::Identified + Clone + Debug + Send + 'static;
+
+    /// Create and map a thread collection (`"node0*2 node1"` syntax).
+    fn thread_collection<Td: ThreadData>(
+        &mut self,
+        app: Self::App,
+        name: &str,
+        mapping: &str,
+    ) -> Result<ThreadCollection<Td>>;
+
+    /// Validate a built graph and install it into its application.
+    fn build_graph(&mut self, builder: GraphBuilder) -> Result<Self::Graph>;
+
+    /// Expose a graph as a named parallel service callable from other
+    /// applications' graphs.
+    fn expose_service(&mut self, graph: Self::Graph, name: &str);
+
+    /// Register the sink receiving per-chunk completion reports (dynamic
+    /// loop scheduling). The simulator reports virtual times, the threaded
+    /// engine wall-clock times; only relative rates matter downstream.
+    fn set_feedback_sink(&mut self, sink: Arc<dyn FeedbackSink>);
+
+    /// Submit a token into a graph's entry.
+    fn submit(&mut self, graph: Self::Graph, token: TokenBox) -> Result<()>;
+
+    /// Drive execution until `graph` has produced at least
+    /// `expected_outputs` undrained outputs. The simulator drains its event
+    /// queue; the threaded engine blocks until the outputs arrive (or its
+    /// run timeout reports the DPS deadlock analogue).
+    fn run_to_idle(&mut self, graph: Self::Graph, expected_outputs: usize) -> Result<()>;
+
+    /// Drain the tokens that left `graph`. Output order is deterministic on
+    /// virtual-time engines and unspecified on wall-clock engines.
+    fn take_outputs(&mut self, graph: Self::Graph) -> Vec<TokenBox>;
+
+    /// Seconds elapsed in the engine's own notion of time (virtual seconds
+    /// on the simulator, wall-clock seconds on OS threads). Meaningful as
+    /// differences around submitted work.
+    fn now_secs(&self) -> f64;
+}
+
+/// A typed application front door: a built flow graph taking `In` at its
+/// entry and producing `Out` at its exit, driven through any [`Engine`]
+/// without touching raw [`TokenBox`]es.
+///
+/// ```
+/// use dps_core::prelude::*;
+/// use dps_core::{Application, Engine};
+/// use dps_cluster::ClusterSpec;
+///
+/// dps_token! { pub struct Ask { pub n: u64 } }
+/// dps_token! { pub struct Squared { pub n: u64 } }
+///
+/// struct Sq;
+/// impl LeafOperation for Sq {
+///     type Thread = (); type In = Ask; type Out = Squared;
+///     fn execute(&mut self, ctx: &mut OpCtx<'_, (), Squared>, a: Ask) {
+///         ctx.post(Squared { n: a.n * a.n });
+///     }
+/// }
+///
+/// fn square_on<E: Engine>(eng: &mut E, n: u64) -> u64 {
+///     let app = eng.app("square");
+///     let tc: ThreadCollection<()> = eng.thread_collection(app, "t", "node0").unwrap();
+///     let mut b = GraphBuilder::new("square");
+///     let _ = b.leaf(&tc, || ToThread(0), || Sq);
+///     let sq: Application<E, Ask, Squared> = Application::build(eng, b).unwrap();
+///     sq.call(eng, Ask { n }).unwrap().n
+/// }
+///
+/// let mut sim = SimEngine::new(ClusterSpec::paper_testbed(1));
+/// assert_eq!(square_on(&mut sim, 7), 49);
+/// ```
+pub struct Application<E: Engine, In: Token, Out: Token> {
+    graph: E::Graph,
+    name: String,
+    _m: std::marker::PhantomData<fn(In) -> Out>,
+}
+
+impl<E: Engine, In, Out> Application<E, In, Out>
+where
+    In: Token + dps_serial::Identified,
+    Out: Token,
+{
+    /// Validate and install `builder` into `eng`, checking that the graph's
+    /// entry consumes `In` tokens.
+    pub fn build(eng: &mut E, builder: GraphBuilder) -> Result<Self> {
+        let name = builder.name().to_string();
+        if let Some((entry_name, entry_in)) = builder.entry_signature() {
+            if entry_in != <In as dps_serial::Identified>::wire_id() {
+                return Err(DpsError::InvalidGraph {
+                    reason: format!(
+                        "application {name}: entry operation {entry_name} does not consume \
+                         {} tokens",
+                        In::WIRE_NAME
+                    ),
+                });
+            }
+        }
+        let graph = eng.build_graph(builder)?;
+        Ok(Self {
+            graph,
+            name,
+            _m: std::marker::PhantomData,
+        })
+    }
+
+    /// Wrap an already-built graph handle (no entry-type check possible).
+    pub fn from_graph(graph: E::Graph, name: impl Into<String>) -> Self {
+        Self {
+            graph,
+            name: name.into(),
+            _m: std::marker::PhantomData,
+        }
+    }
+
+    /// The underlying graph handle, for engine-specific operations.
+    pub fn graph(&self) -> E::Graph {
+        self.graph
+    }
+
+    /// The graph name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expose this application as a named parallel service.
+    pub fn expose(&self, eng: &mut E, service: &str) {
+        eng.expose_service(self.graph, service);
+    }
+
+    /// One-shot wave: submit `input`, run to completion, return the single
+    /// `Out` the graph produced. Errors if the graph emits no output, more
+    /// than one, or one of a different type.
+    pub fn call(&self, eng: &mut E, input: In) -> Result<Box<Out>> {
+        let mut outs = self.stream(eng, [input])?;
+        if outs.len() != 1 {
+            return Err(DpsError::OperationContract {
+                node: self.name.clone(),
+                reason: format!("call expected exactly one output, got {}", outs.len()),
+            });
+        }
+        Ok(outs.pop().expect("length checked"))
+    }
+
+    /// Pipelined submission: submit every input up front (the engine
+    /// overlaps their waves), run until one output per input has left the
+    /// graph, and return them — in exit order on deterministic engines,
+    /// unspecified order on wall-clock engines.
+    pub fn stream(
+        &self,
+        eng: &mut E,
+        inputs: impl IntoIterator<Item = In>,
+    ) -> Result<Vec<Box<Out>>> {
+        let mut n = 0usize;
+        for input in inputs {
+            eng.submit(self.graph, Box::new(input))?;
+            n += 1;
+        }
+        eng.run_to_idle(self.graph, n)?;
+        eng.take_outputs(self.graph)
+            .into_iter()
+            .map(|tok| {
+                downcast::<Out>(tok).map_err(|t| DpsError::OperationContract {
+                    node: self.name.clone(),
+                    reason: format!(
+                        "application output type mismatch: expected {}, got {}",
+                        std::any::type_name::<Out>(),
+                        t.type_name()
+                    ),
+                })
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimEngine: the deterministic virtual-time backend.
+// ---------------------------------------------------------------------------
+
+impl Engine for crate::engine::SimEngine {
+    type App = crate::engine::AppHandle;
+    type Graph = crate::engine::GraphHandle;
+
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            deterministic: true,
+            virtual_time: true,
+            fail_node: true,
+            thread_state_access: true,
+            declare_before_run: false,
+        }
+    }
+
+    fn app(&mut self, name: &str) -> Self::App {
+        crate::engine::SimEngine::app(self, name)
+    }
+
+    fn preload_app(&mut self, app: Self::App) {
+        crate::engine::SimEngine::preload_app(self, app)
+    }
+
+    fn register_token<T>(&mut self, app: Self::App)
+    where
+        T: dps_serial::Wire + dps_serial::Identified + Clone + Debug + Send + 'static,
+    {
+        crate::engine::SimEngine::register_token::<T>(self, app)
+    }
+
+    fn thread_collection<Td: ThreadData>(
+        &mut self,
+        app: Self::App,
+        name: &str,
+        mapping: &str,
+    ) -> Result<ThreadCollection<Td>> {
+        crate::engine::SimEngine::thread_collection(self, app, name, mapping)
+    }
+
+    fn build_graph(&mut self, builder: GraphBuilder) -> Result<Self::Graph> {
+        crate::engine::SimEngine::build_graph(self, builder)
+    }
+
+    fn expose_service(&mut self, graph: Self::Graph, name: &str) {
+        crate::engine::SimEngine::expose_service(self, graph, name)
+    }
+
+    fn set_feedback_sink(&mut self, sink: Arc<dyn FeedbackSink>) {
+        crate::engine::SimEngine::set_feedback_sink(self, sink)
+    }
+
+    fn submit(&mut self, graph: Self::Graph, token: TokenBox) -> Result<()> {
+        self.inject_boxed_at(self.now(), graph, token)
+    }
+
+    fn run_to_idle(&mut self, graph: Self::Graph, expected_outputs: usize) -> Result<()> {
+        self.run_until_idle()?;
+        let have = self.outputs_count(graph);
+        if have < expected_outputs {
+            return Err(DpsError::IncompleteWaves {
+                waves: vec![format!(
+                    "event queue drained with {have} of {expected_outputs} expected outputs"
+                )],
+            });
+        }
+        Ok(())
+    }
+
+    fn take_outputs(&mut self, graph: Self::Graph) -> Vec<TokenBox> {
+        crate::engine::SimEngine::take_outputs(self, graph)
+            .into_iter()
+            .map(|(_, tok)| tok)
+            .collect()
+    }
+
+    fn now_secs(&self) -> f64 {
+        self.now().as_secs_f64()
+    }
+}

@@ -413,6 +413,22 @@ impl GraphBuilder {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// `(name, input wire id)` of the graph's entry node, if it is already
+    /// unambiguous (exactly one node has no incoming edge). Used by the
+    /// typed [`Application`](crate::Application) front door to check the
+    /// declared input type before the engine assembles the graph.
+    pub fn entry_signature(&self) -> Option<(String, dps_serial::WireId)> {
+        let mut entries = self
+            .nodes
+            .iter()
+            .filter(|n| !self.edges.iter().any(|&(_, to)| to == n.id.0));
+        let entry = entries.next()?;
+        if entries.next().is_some() {
+            return None; // ambiguous; assembly will reject it with context
+        }
+        Some((entry.name.clone(), entry.in_type))
+    }
 }
 
 impl<I: Token, O: Token> AddAssign<Path<I, O>> for GraphBuilder {

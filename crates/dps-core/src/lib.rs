@@ -32,11 +32,25 @@
 //!
 //! ## Engines
 //!
-//! [`SimEngine`] executes schedules deterministically in *virtual time* on a
-//! simulated cluster (calibrated to the paper's testbed) — this is what the
-//! experiment harness uses to regenerate the paper's figures. The `dps-mt`
-//! crate executes the same graphs on real OS threads.
+//! A flow graph is independent of the machinery that executes it. The
+//! [`Engine`] trait is that machinery's contract — declare applications,
+//! collections and graphs; submit tokens; run to idle; drain outputs — and
+//! the [`Application`] wrapper is the typed front door over it
+//! (`app.call(&mut engine, input)`), so drivers are written **once** and
+//! run on every backend:
+//!
+//! * [`SimEngine`] executes schedules deterministically in *virtual time*
+//!   on a simulated cluster (calibrated to the paper's testbed) — this is
+//!   what the experiment harness uses to regenerate the paper's figures.
+//! * The `dps-mt` crate's `MtEngine` executes the same graphs on real OS
+//!   threads (wall-clock time, nondeterministic merge order).
+//!
+//! Engine-specific features (failure injection, thread-state access,
+//! virtual-time scheduling) stay on the concrete types; the
+//! [`EngineCaps`] probe tells generic code what the engine behind it
+//! offers.
 
+mod api;
 mod builder;
 mod engine;
 mod envelope;
@@ -48,6 +62,7 @@ pub mod sched;
 mod threads;
 mod token;
 
+pub use api::{Application, Engine, EngineCaps};
 pub use builder::{GraphBuilder, NodeRef, Path};
 pub use engine::{AppHandle, EngineConfig, GraphHandle, SimEngine};
 pub use envelope::{CallFrame, Envelope, Frame, FrameKey, GNodeId, WaveKey};
@@ -79,6 +94,7 @@ pub mod internal {
 
 /// Everything needed to write a DPS application.
 pub mod prelude {
+    pub use crate::api::{Application, Engine, EngineCaps};
     pub use crate::builder::GraphBuilder;
     pub use crate::dps_token;
     pub use crate::engine::{AppHandle, EngineConfig, GraphHandle, SimEngine};

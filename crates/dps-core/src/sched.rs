@@ -36,13 +36,13 @@
 //! so every routing decision sees live queue depths — later chunks flow to
 //! whichever worker drained its queue first.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use dps_des::SimSpan;
 use dps_sched::{ChunkCalc, ChunkHub, FeedbackBoard, PolicyKind};
 
+use crate::api::Engine;
 use crate::dps_token;
-use crate::engine::{AppHandle, SimEngine};
 use crate::error::Result;
 use crate::ops::{LeafOperation, MergeOperation, OpCtx, SplitOperation};
 use crate::route::{Route, RouteInfo, ToThread};
@@ -336,22 +336,80 @@ impl MergeOperation for CollectChunks {
     }
 }
 
-/// Run a short scheduled warm-up loop on the simulator so `board` learns
-/// each worker's execution rate before the first real wave: one
-/// static-chunked wave gives every thread of `worker_mapping` one measured
-/// chunk per round. Registers `board` as the engine's feedback sink.
+/// A built rate-calibration loop: a short static-chunked scheduled graph
+/// whose measured completions warm up a [`FeedbackBoard`] before the first
+/// real wave.
 ///
-/// Adaptive owners maps (`partition_owners`) and AWF's first wave then start
-/// from measured rates instead of the uniform cold start — the simulator
-/// analogue of `MtEngine::calibrate_feedback`'s wall-clock probe.
-pub fn calibrate_rates(
-    eng: &mut SimEngine,
-    app: AppHandle,
+/// Built by [`build_calibration`] and driven by [`run`](Self::run); the
+/// split lets engine-generic setup code declare every graph first and run
+/// afterwards — the contract engines with
+/// [`declare_before_run`](crate::EngineCaps::declare_before_run) enforce.
+pub struct Calibration<E: Engine> {
+    graph: E::Graph,
+    workers: usize,
+}
+
+impl<E: Engine> Calibration<E> {
+    /// The calibration graph handle.
+    pub fn graph(&self) -> E::Graph {
+        self.graph
+    }
+
+    /// Drive `rounds` warm-up waves: each gives every worker thread one
+    /// measured chunk per round, reported to the board registered at build
+    /// time through the engine's feedback channel (virtual time on the
+    /// simulator, wall clock on OS threads).
+    pub fn run(&self, eng: &mut E, rounds: u32) -> Result<()> {
+        for step in 0..rounds {
+            eng.submit(
+                self.graph,
+                Box::new(IterRange {
+                    start: 0,
+                    len: (self.workers as u64) * 8,
+                    step,
+                }),
+            )?;
+            eng.run_to_idle(self.graph, 1)?;
+            let _ = eng.take_outputs(self.graph);
+        }
+        Ok(())
+    }
+
+    /// Run the warm-up (see [`run`](Self::run)) and derive a
+    /// schedule-shaped ownership map for `items` stateful work units from
+    /// `board`'s measured weights: unit `i` belongs to the worker the
+    /// chunk policy hands it to. The placement step shared by the LU
+    /// (block columns) and matmul (result blocks) drivers.
+    pub fn partition(
+        &self,
+        eng: &mut E,
+        board: &FeedbackBoard,
+        kind: PolicyKind,
+        items: u64,
+        rounds: u32,
+    ) -> Result<Vec<usize>> {
+        self.run(eng, rounds)?;
+        Ok(
+            dps_sched::partition_owners(kind, items, self.workers, &board.weights(self.workers))
+                .into_iter()
+                .map(|w| w as usize)
+                .collect(),
+        )
+    }
+}
+
+/// Declare the rate-calibration loop on any engine: two single-purpose
+/// collections (`calib-master`, `calib` over `worker_mapping`) and a
+/// `ScheduledSplit → ChunkWorker → CollectChunks` graph. Registers `board`
+/// as the engine's feedback sink. Drive it with [`Calibration::run`] after
+/// all other declarations.
+pub fn build_calibration<E: Engine>(
+    eng: &mut E,
+    app: E::App,
     worker_mapping: &str,
     hub: &Arc<ChunkHub>,
     board: &Arc<FeedbackBoard>,
-    rounds: u32,
-) -> Result<()> {
+) -> Result<Calibration<E>> {
     eng.set_feedback_sink(board.clone());
     let master: ThreadCollection<()> = eng.thread_collection(app, "calib-master", "node0")?;
     let workers: ThreadCollection<()> = eng.thread_collection(app, "calib", worker_mapping)?;
@@ -369,45 +427,126 @@ pub fn calibrate_rates(
     });
     let merge = b.merge(&master, || ToThread(0), CollectChunks::default);
     b.add(split >> work >> merge);
-    let g = eng.build_graph(b)?;
-    for step in 0..rounds {
-        eng.inject(
-            g,
-            IterRange {
-                start: 0,
-                len: (w as u64) * 8,
-                step,
-            },
-        )?;
-        eng.run_until_idle()?;
-        let _ = eng.take_outputs(g);
-    }
-    Ok(())
+    let graph = eng.build_graph(b)?;
+    Ok(Calibration { graph, workers: w })
 }
 
-/// Calibrate worker rates (see [`calibrate_rates`]) and derive a
-/// schedule-shaped ownership map for `items` stateful work units: unit `i`
-/// belongs to the worker the chunk policy hands it to under the measured
-/// weights. The placement step shared by the LU (block columns) and matmul
-/// (result blocks) drivers.
-pub fn calibrated_partition(
-    eng: &mut SimEngine,
-    app: AppHandle,
-    worker_mapping: &str,
+/// The scheduled-placement bundle the LU and matmul drivers share: the
+/// calibration loop together with the [`FeedbackBoard`] it warms (estimator
+/// matching the policy) and the policy that will partition the work units —
+/// so callers cannot pair a calibration with the wrong board.
+///
+/// Declare with [`build_placement`] *before* the graphs whose routes read
+/// the [`OwnerMap`]; after all declarations, [`resolve`](Self::resolve)
+/// runs the warm-up and installs the measured partition.
+pub struct Placement<E: Engine> {
+    calibration: Calibration<E>,
+    board: Arc<FeedbackBoard>,
     kind: PolicyKind,
-    items: u64,
-    workers: usize,
-    rounds: u32,
-) -> Result<Vec<usize>> {
-    let board = Arc::new(FeedbackBoard::new());
+}
+
+/// Declare the calibration machinery for `dist`, if it is scheduled:
+/// a policy-matched board, a chunk hub, and the calibration graph.
+/// `Ok(None)` for static distributions.
+pub fn build_placement<E: Engine>(
+    eng: &mut E,
+    app: E::App,
+    worker_mapping: &str,
+    dist: Distribution,
+) -> Result<Option<Placement<E>>> {
+    let Distribution::Scheduled(kind) = dist else {
+        return Ok(None);
+    };
+    let board = Arc::new(FeedbackBoard::for_policy(kind));
     let hub = Arc::new(ChunkHub::new());
-    calibrate_rates(eng, app, worker_mapping, &hub, &board, rounds)?;
-    Ok(
-        dps_sched::partition_owners(kind, items, workers, &board.weights(workers))
-            .into_iter()
-            .map(|w| w as usize)
-            .collect(),
-    )
+    let calibration = build_calibration(eng, app, worker_mapping, &hub, &board)?;
+    Ok(Some(Placement {
+        calibration,
+        board,
+        kind,
+    }))
+}
+
+impl<E: Engine> Placement<E> {
+    /// Run `rounds` calibration waves and resolve `owners` for `items`
+    /// work units from the policy's partition under the measured weights.
+    pub fn resolve(&self, eng: &mut E, owners: &OwnerMap, items: u64, rounds: u32) -> Result<()> {
+        owners.resolve(
+            self.calibration
+                .partition(eng, &self.board, self.kind, items, rounds)?,
+        );
+        Ok(())
+    }
+
+    /// The board the calibration waves warm up.
+    pub fn board(&self) -> &Arc<FeedbackBoard> {
+        &self.board
+    }
+}
+
+/// Run a short scheduled warm-up loop so `board` learns each worker's
+/// execution rate before the first real wave (the engine-generic successor
+/// of `MtEngine::calibrate_feedback`'s wall-clock probe). Equivalent to
+/// [`build_calibration`] + [`Calibration::run`] — use the split form when
+/// more declarations must follow on a
+/// [`declare_before_run`](crate::EngineCaps::declare_before_run) engine.
+pub fn calibrate_rates<E: Engine>(
+    eng: &mut E,
+    app: E::App,
+    worker_mapping: &str,
+    hub: &Arc<ChunkHub>,
+    board: &Arc<FeedbackBoard>,
+    rounds: u32,
+) -> Result<()> {
+    build_calibration(eng, app, worker_mapping, hub, board)?.run(eng, rounds)
+}
+
+/// A block→worker ownership map that can be *resolved after the graphs
+/// using it are built*: routes capture the map and read it per token, so a
+/// calibration run (whose measured rates decide the placement) can happen
+/// between graph construction and the first real wave — the ordering
+/// [`declare_before_run`](crate::EngineCaps::declare_before_run) engines
+/// require.
+///
+/// Unresolved lookups fall back to the static `item mod workers` layout.
+#[derive(Debug, Default)]
+pub struct OwnerMap {
+    owners: OnceLock<Vec<u32>>,
+}
+
+impl OwnerMap {
+    /// An unresolved map (resolve later with [`resolve`](Self::resolve)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A map resolved immediately (static layouts).
+    pub fn fixed(owners: Vec<usize>) -> Self {
+        let map = Self::default();
+        map.resolve(owners);
+        map
+    }
+
+    /// Install the ownership vector. Later calls are ignored (the routes
+    /// already in flight keep one consistent view).
+    pub fn resolve(&self, owners: Vec<usize>) {
+        let _ = self
+            .owners
+            .set(owners.into_iter().map(|o| o as u32).collect());
+    }
+
+    /// True once [`resolve`](Self::resolve) installed a vector.
+    pub fn is_resolved(&self) -> bool {
+        self.owners.get().is_some()
+    }
+
+    /// Owner of `item`, falling back to `item % workers` while unresolved.
+    pub fn owner(&self, item: usize, workers: usize) -> usize {
+        match self.owners.get() {
+            Some(o) => o[item] as usize,
+            None => item % workers.max(1),
+        }
+    }
 }
 
 #[cfg(test)]

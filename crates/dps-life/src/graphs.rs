@@ -805,7 +805,8 @@ pub fn run_life_sim(
     ecfg: EngineConfig,
 ) -> Result<LifeRunReport> {
     if let dps_sched::Distribution::Scheduled(kind) = cfg.dist {
-        return crate::sched::run_life_scheduled(spec, cfg, kind, ecfg);
+        let mut eng = SimEngine::with_config(spec, ecfg);
+        return crate::sched::run_life_scheduled(&mut eng, cfg, kind);
     }
     let world = World::random(cfg.rows, cfg.cols, cfg.density, cfg.seed);
     let mut eng = SimEngine::with_config(spec, ecfg);

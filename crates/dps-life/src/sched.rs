@@ -29,13 +29,13 @@
 
 use std::sync::Arc;
 
-use dps_cluster::{round_robin_mapping, ClusterSpec};
+use dps_cluster::default_mapping;
 use dps_core::prelude::*;
 use dps_core::sched::{
-    calibrate_rates, chunk_calc_cost, ChunkRoute, ChunkTicket, IterRange, ScheduledSplit,
+    build_calibration, chunk_calc_cost, ChunkRoute, ChunkTicket, IterRange, ScheduledSplit,
     WorkerHinted,
 };
-use dps_core::{dps_token, AppHandle, GraphHandle, SimEngine};
+use dps_core::{dps_token, Engine};
 use dps_sched::{ChunkHub, FeedbackBoard, PolicyKind};
 use dps_serial::Buffer;
 
@@ -290,11 +290,11 @@ impl MergeOperation for ApplyRows {
         }
         let st = ctx.thread();
         let cols = st.next.cols();
+        let cells = r.cells.as_slice();
         for row in 0..r.len as usize {
-            for c in 0..cols {
-                st.next
-                    .set(r.start as usize + row, c, r.cells[row * cols + c]);
-            }
+            st.next
+                .row_mut(r.start as usize + row)
+                .copy_from_slice(&cells[row * cols..(row + 1) * cols]);
         }
     }
     fn finalize(&mut self, ctx: &mut OpCtx<'_, WorldState, IterDone>) {
@@ -315,16 +315,10 @@ impl LeafOperation for InstallWorld {
     type In = LoadWorld;
     type Out = WorldLoaded;
     fn execute(&mut self, ctx: &mut OpCtx<'_, WorldState, WorldLoaded>, w: LoadWorld) {
-        let rows = w.rows as usize;
-        let cols = w.cols as usize;
-        let mut world = World::dead(rows, cols);
-        for r in 0..rows {
-            for c in 0..cols {
-                world.set(r, c, w.cells[r * cols + c]);
-            }
-        }
+        let rows = w.rows;
+        let world = World::from_flat(w.rows as usize, w.cols as usize, w.cells.into_vec());
         ctx.thread().load(world);
-        ctx.post(WorldLoaded { rows: w.rows });
+        ctx.post(WorldLoaded { rows });
     }
 }
 
@@ -339,10 +333,7 @@ impl LeafOperation for ExtractWorld {
         let st = ctx.thread();
         let rows = st.world.rows();
         let cols = st.world.cols();
-        let mut cells = Vec::with_capacity(rows * cols);
-        for r in 0..rows {
-            cells.extend_from_slice(st.world.row(r));
-        }
+        let cells = st.world.as_slice().to_vec();
         let population = cells.iter().map(|&c| u64::from(c)).sum();
         ctx.post(WorldDump {
             rows: rows as u32,
@@ -396,33 +387,79 @@ pub fn world_dump_builder(store: &ThreadCollection<WorldState>) -> GraphBuilder 
     b
 }
 
-/// Set up a scheduled Life application on the simulator: collections,
-/// feedback board + chunk hub, a rate-calibration warm-up, the iteration
-/// graph, and the initial world in the master store. Returns everything the
-/// driver (or a failure-injection test) needs.
-#[allow(clippy::type_complexity)]
-pub fn setup_scheduled_life(
-    eng: &mut SimEngine,
+/// A scheduled Life application set up on any [`Engine`]: its collections,
+/// graphs and feedback board — everything a driver (or a failure-injection
+/// test) needs.
+pub struct ScheduledLife<E: Engine> {
+    /// The owning application.
+    pub app: E::App,
+    /// The one-thread master collection holding the [`WorldState`].
+    pub store: ThreadCollection<WorldState>,
+    /// The scheduled iteration graph (`IterRange → IterDone`).
+    pub step: E::Graph,
+    /// The world-loader graph (`LoadWorld → WorldLoaded`).
+    pub loader: E::Graph,
+    /// The world-dump graph (`DumpOrder → WorldDump`).
+    pub dumper: E::Graph,
+    /// The feedback board AWF-family policies adapt from.
+    pub board: Arc<FeedbackBoard>,
+}
+
+impl<E: Engine> ScheduledLife<E> {
+    /// Advance the world one generation; returns the committed iteration
+    /// report.
+    pub fn step_once(&self, eng: &mut E, rows: usize, iter: u32) -> Result<IterDone> {
+        eng.submit(
+            self.step,
+            Box::new(IterRange {
+                start: 0,
+                len: rows as u64,
+                step: iter,
+            }),
+        )?;
+        eng.run_to_idle(self.step, 1)?;
+        let out = eng.take_outputs(self.step).pop().expect("one IterDone");
+        Ok(*dps_core::downcast::<IterDone>(out).expect("IterDone output"))
+    }
+
+    /// Gather the master store's current world.
+    pub fn dump(&self, eng: &mut E) -> Result<World> {
+        eng.submit(self.dumper, Box::new(DumpOrder { tag: 0 }))?;
+        eng.run_to_idle(self.dumper, 1)?;
+        let out = eng.take_outputs(self.dumper).pop().expect("one WorldDump");
+        let d = dps_core::downcast::<WorldDump>(out).expect("WorldDump output");
+        Ok(World::from_flat(
+            d.rows as usize,
+            d.cols as usize,
+            d.cells.into_vec(),
+        ))
+    }
+}
+
+/// Set up a scheduled Life application on **any engine**: collections,
+/// feedback board + chunk hub (estimator matching `kind` — AWF-B/AWF-C get
+/// their batch-/chunk-time weighting), the iteration/loader/dump graphs, a
+/// rate-calibration warm-up, and the initial world shipped into the master
+/// store. All declarations happen before the first run, so the same code
+/// drives the simulator and the OS-thread engine.
+pub fn setup_scheduled_life<E: Engine>(
+    eng: &mut E,
     cfg: &LifeConfig,
     kind: PolicyKind,
     world: &World,
-) -> Result<(
-    AppHandle,
-    ThreadCollection<WorldState>,
-    GraphHandle,
-    Arc<FeedbackBoard>,
-)> {
+) -> Result<ScheduledLife<E>> {
     let app = eng.app("life-sched");
     eng.preload_app(app);
-    let board = Arc::new(FeedbackBoard::new());
+    let board = Arc::new(FeedbackBoard::for_policy(kind));
     let hub = Arc::new(ChunkHub::new());
     let ctl: ThreadCollection<()> = eng.thread_collection(app, "ctl", "node0")?;
     let store: ThreadCollection<WorldState> = eng.thread_collection(app, "world", "node0")?;
-    let mapping = round_robin_mapping(eng.cluster().spec(), cfg.nodes, cfg.threads_per_node);
+    let mapping = default_mapping(cfg.nodes, cfg.threads_per_node);
     let workers: ThreadCollection<()> = eng.thread_collection(app, "rows", &mapping)?;
-    // Warm up the board so even the first wave is sized from measured rates.
-    calibrate_rates(eng, app, &mapping, &hub, &board, 2)?;
-    let graph = eng.build_graph(scheduled_step_builder(
+    // Declare everything before the first run (the `declare_before_run`
+    // engine contract): calibration loop, step graph, loader, dumper.
+    let calibration = build_calibration(eng, app, &mapping, &hub, &board)?;
+    let step = eng.build_graph(scheduled_step_builder(
         &ctl,
         &store,
         &workers,
@@ -430,40 +467,53 @@ pub fn setup_scheduled_life(
         hub,
         board.clone(),
     ))?;
-    eng.thread_data_mut(&store, 0).load(world.clone());
-    Ok((app, store, graph, board))
+    let loader = eng.build_graph(world_loader_builder(&store))?;
+    let dumper = eng.build_graph(world_dump_builder(&store))?;
+    // Warm up the board so even the first wave is sized from measured
+    // rates, then ship the world into the master store.
+    calibration.run(eng, 2)?;
+    eng.submit(
+        loader,
+        Box::new(LoadWorld {
+            rows: world.rows() as u32,
+            cols: world.cols() as u32,
+            cells: world.as_slice().to_vec().into(),
+        }),
+    )?;
+    eng.run_to_idle(loader, 1)?;
+    let _ = eng.take_outputs(loader);
+    Ok(ScheduledLife {
+        app,
+        store,
+        step,
+        loader,
+        dumper,
+        board,
+    })
 }
 
-/// Run a scheduled Life experiment on the simulated cluster (the
-/// `Distribution::Scheduled` arm of [`crate::run_life_sim`]).
-pub fn run_life_scheduled(
-    spec: ClusterSpec,
+/// Run a scheduled Life experiment on **any engine** (the
+/// `Distribution::Scheduled` arm of [`crate::run_life_sim`], and the same
+/// entry point the OS-thread cross-engine tests drive): master-held world,
+/// worker-claimed row chunks, per-iteration makespans in the engine's own
+/// notion of time.
+pub fn run_life_scheduled<E: Engine>(
+    eng: &mut E,
     cfg: &LifeConfig,
     kind: PolicyKind,
-    ecfg: EngineConfig,
 ) -> Result<LifeRunReport> {
     let world = World::random(cfg.rows, cfg.cols, cfg.density, cfg.seed);
-    let mut eng = SimEngine::with_config(spec, ecfg);
-    let (_, store, graph, _) = setup_scheduled_life(&mut eng, cfg, kind, &world)?;
+    let life = setup_scheduled_life(eng, cfg, kind, &world)?;
     let mut per_iter = Vec::with_capacity(cfg.iterations);
-    let start = eng.now();
+    let start = eng.now_secs();
     for i in 0..cfg.iterations {
-        let t0 = eng.now();
-        eng.inject(
-            graph,
-            IterRange {
-                start: 0,
-                len: cfg.rows as u64,
-                step: i as u32,
-            },
-        )?;
-        eng.run_until_idle()?;
-        per_iter.push(eng.now().since(t0));
-        let outs = eng.take_outputs(graph);
-        debug_assert_eq!(outs.len(), 1);
+        let t0 = eng.now_secs();
+        let done = life.step_once(eng, cfg.rows, i as u32)?;
+        per_iter.push(SimSpan::from_secs_f64(eng.now_secs() - t0));
+        debug_assert_eq!(done.iter, i as u32);
     }
-    let elapsed = eng.now().since(start);
-    let world = eng.thread_data_mut(&store, 0).world.clone();
+    let elapsed = SimSpan::from_secs_f64(eng.now_secs() - start);
+    let world = life.dump(eng)?;
     Ok(LifeRunReport {
         elapsed,
         per_iter,

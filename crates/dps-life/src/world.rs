@@ -69,9 +69,20 @@ impl World {
         &self.cells[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Borrow one row mutably (bulk chunk commits).
+    pub fn row_mut(&mut self, r: usize) -> &mut [u8] {
+        &mut self.cells[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Flat cell buffer.
     pub fn as_slice(&self) -> &[u8] {
         &self.cells
+    }
+
+    /// World from a flat row-major cell buffer.
+    pub fn from_flat(rows: usize, cols: usize, cells: Vec<u8>) -> Self {
+        assert_eq!(cells.len(), rows * cols, "flat buffer shape mismatch");
+        Self { rows, cols, cells }
     }
 
     /// Number of live cells.

@@ -35,10 +35,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use dps_cluster::ClusterSpec;
+use dps_cluster::{default_mapping, ClusterSpec};
 use dps_core::prelude::*;
-use dps_core::sched::calibrated_partition;
-use dps_core::{dps_token, GraphHandle};
+use dps_core::sched::{build_placement, OwnerMap};
+use dps_core::{dps_token, Engine};
 use dps_des::SimSpan;
 use dps_sched::Distribution;
 use dps_serial::Buffer;
@@ -81,6 +81,27 @@ dps_token! {
 dps_token! {
     /// Termination token.
     pub struct LuFinished { pub nb: u32 }
+}
+
+dps_token! {
+    /// Stage block column `j` (an `n × r` slab) into its owner's store —
+    /// the engine-generic replacement for poking thread state from outside.
+    pub struct LoadColumn { pub j: u32, pub rows: u32, pub r: u32, pub data: Buffer<f64> }
+}
+
+dps_token! {
+    /// Acknowledgement of a [`LoadColumn`].
+    pub struct ColumnLoaded { pub j: u32 }
+}
+
+dps_token! {
+    /// Ask column `j`'s owner for the factored column and its pivot record.
+    pub struct DumpColumn { pub j: u32 }
+}
+
+dps_token! {
+    /// A factored block column travelling back to the driver.
+    pub struct ColumnDump { pub j: u32, pub rows: u32, pub data: Buffer<f64>, pub pivots: Buffer<u32> }
 }
 
 /// Per-worker distributed state: the block columns this worker owns and the
@@ -400,6 +421,46 @@ impl MergeOperation for FinishMerge {
     }
 }
 
+/// Install a staged block column into the owning worker's store.
+struct InstallColumn;
+impl LeafOperation for InstallColumn {
+    type Thread = ColumnStore;
+    type In = LoadColumn;
+    type Out = ColumnLoaded;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, ColumnStore, ColumnLoaded>, t: LoadColumn) {
+        let col = Matrix::from_vec(t.rows as usize, t.r as usize, t.data.into_vec());
+        ctx.thread().cols.insert(t.j, col);
+        ctx.post(ColumnLoaded { j: t.j });
+    }
+}
+
+/// Extract a factored block column (and its step's pivot record) from the
+/// owning worker's store.
+struct ExtractColumn;
+impl LeafOperation for ExtractColumn {
+    type Thread = ColumnStore;
+    type In = DumpColumn;
+    type Out = ColumnDump;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, ColumnStore, ColumnDump>, d: DumpColumn) {
+        let store = ctx.thread();
+        let col = store
+            .cols
+            .remove(&d.j)
+            .expect("dump routed to the column owner");
+        let pivots = store
+            .pivots
+            .get(&d.j)
+            .unwrap_or_else(|| panic!("pivot record for step {} missing", d.j))
+            .clone();
+        ctx.post(ColumnDump {
+            j: d.j,
+            rows: col.rows() as u32,
+            data: col.into_vec().into(),
+            pivots: pivots.into(),
+        });
+    }
+}
+
 // --- driver ---------------------------------------------------------------------
 
 /// Parameters of one LU run.
@@ -429,61 +490,59 @@ pub struct LuConfig {
 
 /// Outcome of one LU run.
 pub struct LuRunReport {
-    /// Virtual execution time.
+    /// Execution time of the factorization proper (staging excluded), in
+    /// the engine's own notion of time.
     pub elapsed: SimSpan,
     /// Assembled packed factors + global pivot record.
     pub factors: LuFactors,
-    /// Payload bytes that crossed node boundaries.
+    /// Payload bytes that crossed node boundaries over the whole run
+    /// (staging and calibration included). Only engines with a network
+    /// model report it; 0 elsewhere.
     pub wire_bytes: u64,
 }
 
-/// Run one block LU factorization of `Matrix::random_general(n, n, seed)` on the
-/// simulated cluster with the chosen schedule; verify with
-/// [`lu_residual`](crate::lu_residual) on the report.
-pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Result<LuRunReport> {
+/// Run one block LU factorization of `Matrix::random_general(n, n, seed)`
+/// with the chosen schedule on **any engine** — the single generic entry
+/// point behind [`run_lu_sim`] and the OS-thread cross-engine tests.
+/// Verify with [`lu_residual`](crate::lu_residual) on the report.
+///
+/// Everything is declared up front (collections, calibration loop, the
+/// factorization graph, column loader/dump graphs); for
+/// `Distribution::Scheduled` the column-ownership [`OwnerMap`] resolves
+/// *after* the calibration waves measured the workers — routes read it per
+/// token, so the late binding is invisible to the graphs.
+pub fn run_lu<E: Engine>(eng: &mut E, cfg: &LuConfig) -> Result<LuRunReport> {
     assert!(cfg.n.is_multiple_of(cfg.r), "r must divide n");
     let nb = (cfg.n / cfg.r) as u32;
     assert!(nb >= 2, "need at least two block columns");
     let r = cfg.r as u32;
 
-    let mut eng = SimEngine::with_config(spec, ecfg);
     let app = eng.app("lu");
     eng.preload_app(app); // steady-state measurement, as in the paper
-    let node_names: Vec<String> = (0..cfg.nodes).map(|i| format!("node{i}")).collect();
-    let worker_map: Vec<String> = node_names
-        .iter()
-        .map(|n| {
-            if cfg.threads_per_node == 1 {
-                n.clone()
-            } else {
-                format!("{n}*{}", cfg.threads_per_node)
-            }
-        })
-        .collect();
-    let workers: ThreadCollection<ColumnStore> =
-        eng.thread_collection(app, "cols", &worker_map.join(" "))?;
+    let worker_map = default_mapping(cfg.nodes, cfg.threads_per_node);
+    let workers: ThreadCollection<ColumnStore> = eng.thread_collection(app, "cols", &worker_map)?;
     // The collectors (streams / step merges) live in their own collection,
     // one thread per node, co-located with the column owners so the panel
     // hand-over is an address-space pointer pass.
     let collectors: ThreadCollection<PanelStore> =
-        eng.thread_collection(app, "collect", &node_names.join(" "))?;
+        eng.thread_collection(app, "collect", &default_mapping(cfg.nodes, 1))?;
     let p = workers.thread_count();
     let pc = collectors.thread_count();
     let tpn = cfg.threads_per_node.max(1);
 
-    // Column ownership: `j mod p` for the paper's static layout, or the
-    // chunk-policy partition over measured worker rates (a short scheduled
-    // calibration wave feeds the board first) for dynamic scheduling.
-    let owners: Arc<Vec<usize>> = Arc::new(match cfg.dist {
-        Distribution::Static => (0..nb as usize).map(|j| j % p).collect(),
-        Distribution::Scheduled(kind) => {
-            calibrated_partition(&mut eng, app, &worker_map.join(" "), kind, nb as u64, p, 2)?
-        }
+    // Column ownership: `j mod p` for the paper's static layout, resolved
+    // immediately; for dynamic scheduling the map resolves after the
+    // calibration waves below.
+    let owners = Arc::new(match cfg.dist {
+        Distribution::Static => OwnerMap::fixed((0..nb as usize).map(|j| j % p).collect()),
+        Distribution::Scheduled(_) => OwnerMap::new(),
     });
-    // Collector thread for step k: the node hosting column k's owner.
+    let placement = build_placement(eng, app, &worker_map, cfg.dist)?;
+    // Collector thread for step k: the node hosting column k's owner
+    // (resolved at route time — the owner map may still be pending).
     let collector_of = {
         let owners = Arc::clone(&owners);
-        move |k: u32| (owners[k as usize] / tpn) % pc
+        move |k: u32| (owners.owner(k as usize, p) / tpn) % pc
     };
 
     // Build the dynamic graph to fit the problem size (paper: "the graph is
@@ -493,17 +552,22 @@ pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Resu
     } else {
         "lu-merge-split"
     });
-    let owner0 = owners[0];
-    let entry = b.split(
-        &workers,
-        move || ByKey::new(move |_t: &LuStart| owner0),
-        || StartSplit,
-    );
+    let entry = {
+        let owners = Arc::clone(&owners);
+        b.split(
+            &workers,
+            move || {
+                let owners = Arc::clone(&owners);
+                ByKey::new(move |_t: &LuStart| owners.owner(0, p))
+            },
+            || StartSplit,
+        )
+    };
     let owner_route = {
         let owners = Arc::clone(&owners);
         move || {
             let owners = Arc::clone(&owners);
-            ByKey::new(move |t: &LuTask| owners[t.j as usize])
+            ByKey::new(move |t: &LuTask| owners.owner(t.j as usize, p))
         }
     };
     let mut prev = {
@@ -512,25 +576,36 @@ pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Resu
         w0
     };
     for k in 0..nb - 1 {
-        let target = collector_of(k + 1);
         if cfg.pipelined {
+            let route = collector_of.clone();
             let t = b.stream(
                 &collectors,
-                move || ByKey::new(move |_n: &LuNotify| target),
+                move || {
+                    let route = route.clone();
+                    ByKey::new(move |_n: &LuNotify| route(k + 1))
+                },
                 StepStream::new(k, nb, r),
             );
             let w = b.leaf(&workers, owner_route.clone(), || ColumnWork);
             b.add(prev >> t >> w);
             prev = w;
         } else {
+            let route = collector_of.clone();
             let m = b.merge(
                 &collectors,
-                move || ByKey::new(move |_n: &LuNotify| target),
+                move || {
+                    let route = route.clone();
+                    ByKey::new(move |_n: &LuNotify| route(k + 1))
+                },
                 StepMerge::new(k, nb, r),
             );
+            let route = collector_of.clone();
             let sp = b.split(
                 &collectors,
-                move || ByKey::new(move |_s: &LuStart| target),
+                move || {
+                    let route = route.clone();
+                    ByKey::new(move |_s: &LuStart| route(k + 1))
+                },
                 StepSplit::new(k + 1),
             );
             let w = b.leaf(&workers, owner_route.clone(), || ColumnWork);
@@ -544,47 +619,98 @@ pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Resu
         FinishMerge::default,
     );
     b.add(prev >> m);
-    let graph: GraphHandle = eng.build_graph(b)?;
+    let graph = eng.build_graph(b)?;
+
+    // Column staging graphs (declared before the first run, like the rest).
+    let loader = {
+        let owners = Arc::clone(&owners);
+        let mut b = GraphBuilder::new("lu-load");
+        let _ = b.leaf(
+            &workers,
+            move || {
+                let owners = Arc::clone(&owners);
+                ByKey::new(move |t: &LoadColumn| owners.owner(t.j as usize, p))
+            },
+            || InstallColumn,
+        );
+        eng.build_graph(b)?
+    };
+    let dumper = {
+        let owners = Arc::clone(&owners);
+        let mut b = GraphBuilder::new("lu-dump");
+        let _ = b.leaf(
+            &workers,
+            move || {
+                let owners = Arc::clone(&owners);
+                ByKey::new(move |t: &DumpColumn| owners.owner(t.j as usize, p))
+            },
+            || ExtractColumn,
+        );
+        eng.build_graph(b)?
+    };
+
+    // Scheduled distribution: measure the workers, then resolve ownership
+    // from the chunk policy's partition under the measured weights.
+    if let Some(p) = &placement {
+        p.resolve(eng, &owners, nb as u64, 2)?;
+    }
 
     // Distribute the matrix column-blocks to their owners. A general (non
     // diagonally-dominant) matrix keeps the partial pivoting honest.
     let a = Matrix::random_general(cfg.n, cfg.n, cfg.seed);
     for j in 0..nb {
-        let owner = owners[j as usize];
         let col = a.block(0, j as usize * cfg.r, cfg.n, cfg.r);
-        eng.thread_data_mut(&workers, owner).cols.insert(j, col);
+        eng.submit(
+            loader,
+            Box::new(LoadColumn {
+                j,
+                rows: cfg.n as u32,
+                r,
+                data: col.into_vec().into(),
+            }),
+        )?;
     }
+    eng.run_to_idle(loader, nb as usize)?;
+    let _ = eng.take_outputs(loader);
 
-    // Snapshot so calibration-wave traffic (Scheduled dist) is excluded.
-    let wire0 = eng.cluster().net.wire_bytes_total();
-    let t0 = eng.now();
-    eng.inject(graph, LuStart { nb, r })?;
-    eng.run_until_idle()?;
-    let elapsed = eng.now().since(t0);
+    let t0 = eng.now_secs();
+    eng.submit(graph, Box::new(LuStart { nb, r }))?;
+    eng.run_to_idle(graph, 1)?;
+    let elapsed = SimSpan::from_secs_f64(eng.now_secs() - t0);
     let outs = eng.take_outputs(graph);
     assert_eq!(outs.len(), 1, "one LuFinished per run");
 
     // Gather the factored columns and pivot records back from the workers.
+    for j in 0..nb {
+        eng.submit(dumper, Box::new(DumpColumn { j }))?;
+    }
+    eng.run_to_idle(dumper, nb as usize)?;
     let mut lu = Matrix::zeros(cfg.n, cfg.n);
     let mut pivots = vec![0usize; cfg.n];
-    for j in 0..nb {
-        let owner = owners[j as usize];
-        let store = eng.thread_data_mut(&workers, owner);
-        let col = store.cols.remove(&j).expect("column still stored");
-        lu.set_block(0, j as usize * cfg.r, &col);
-        let piv = store
-            .pivots
-            .get(&j)
-            .unwrap_or_else(|| panic!("pivot record for step {j} missing"));
-        for (t, &pv) in piv.iter().enumerate() {
-            pivots[j as usize * cfg.r + t] = j as usize * cfg.r + pv as usize;
+    for out in eng.take_outputs(dumper) {
+        let d = downcast::<ColumnDump>(out).expect("ColumnDump output");
+        let j = d.j as usize;
+        let col = Matrix::from_vec(d.rows as usize, cfg.r, d.data.into_vec());
+        lu.set_block(0, j * cfg.r, &col);
+        for (t, &pv) in d.pivots.iter().enumerate() {
+            pivots[j * cfg.r + t] = j * cfg.r + pv as usize;
         }
     }
     Ok(LuRunReport {
         elapsed,
         factors: LuFactors { lu, pivots },
-        wire_bytes: eng.cluster().net.wire_bytes_total() - wire0,
+        wire_bytes: 0,
     })
+}
+
+/// Run one block LU factorization on the simulated cluster — a thin
+/// [`run_lu`] wrapper adding the network-model byte count to the report.
+pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Result<LuRunReport> {
+    let mut eng = SimEngine::with_config(spec, ecfg);
+    let wire0 = eng.cluster().net.wire_bytes_total();
+    let mut rep = run_lu(&mut eng, cfg)?;
+    rep.wire_bytes = eng.cluster().net.wire_bytes_total() - wire0;
+    Ok(rep)
 }
 
 #[cfg(test)]

@@ -18,10 +18,10 @@
 //!   orders. Communication and computation thus cannot overlap, which is
 //!   what Table 1's "reduction in execution time" is measured against.
 
-use dps_cluster::ClusterSpec;
+use dps_cluster::{default_mapping_from, ClusterSpec};
 use dps_core::prelude::*;
-use dps_core::sched::calibrated_partition;
-use dps_core::{dps_token, GraphHandle};
+use dps_core::sched::{build_placement, OwnerMap};
+use dps_core::{dps_token, Engine};
 use dps_des::SimSpan;
 use dps_sched::Distribution;
 use dps_serial::Buffer;
@@ -84,6 +84,17 @@ dps_token! {
 dps_token! {
     /// The assembled product (carried to the graph exit for verification).
     pub struct MulDone { pub n: u32, pub c: Buffer<f64> }
+}
+
+dps_token! {
+    /// Stage the operand matrices into the master store — the
+    /// engine-generic replacement for poking thread state from outside.
+    pub struct LoadOperands { pub n: u32, pub a: Buffer<f64>, pub b: Buffer<f64> }
+}
+
+dps_token! {
+    /// Acknowledgement of a [`LoadOperands`].
+    pub struct OperandsLoaded { pub n: u32 }
 }
 
 /// Master thread state: the operand matrices.
@@ -317,6 +328,21 @@ impl LeafOperation for ComputeStored {
     }
 }
 
+/// Install staged operands into the master store.
+struct InstallOperands;
+impl LeafOperation for InstallOperands {
+    type Thread = MasterState;
+    type In = LoadOperands;
+    type Out = OperandsLoaded;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, MasterState, OperandsLoaded>, t: LoadOperands) {
+        let n = t.n as usize;
+        let st = ctx.thread();
+        st.a = Matrix::from_vec(n, n, t.a.into_vec());
+        st.b = Matrix::from_vec(n, n, t.b.into_vec());
+        ctx.post(OperandsLoaded { n: t.n });
+    }
+}
+
 // --- driver -------------------------------------------------------------------
 
 /// Parameters of one matmul run.
@@ -346,66 +372,51 @@ pub struct MatMulRunReport {
     pub elapsed: SimSpan,
     /// The computed product.
     pub c: Matrix,
-    /// Payload bytes that crossed node boundaries.
+    /// Payload bytes that crossed node boundaries over the whole run
+    /// (operand staging and calibration included). Only engines with a
+    /// network model report it; 0 elsewhere.
     pub wire_bytes: u64,
 }
 
-/// Block→worker assignment map for the `s × s` result blocks.
-fn block_assignment(
-    eng: &mut SimEngine,
-    app: AppHandle,
-    mapping: &str,
-    dist: Distribution,
-    s: usize,
-    p: usize,
-) -> Result<Arc<Vec<usize>>> {
-    Ok(Arc::new(match dist {
-        Distribution::Static => (0..s * s).map(|idx| (idx / s + idx % s) % p).collect(),
-        Distribution::Scheduled(kind) => {
-            calibrated_partition(eng, app, mapping, kind, (s * s) as u64, p, 2)?
-        }
-    }))
-}
-
-/// Build the chosen schedule and run one `n × n` multiplication on the
-/// simulated cluster, returning timing and the verified product.
-pub fn run_matmul_sim(
-    spec: ClusterSpec,
+/// Build the chosen schedule and run one `n × n` multiplication on **any
+/// engine** — the single generic entry point behind [`run_matmul_sim`] and
+/// the OS-thread cross-engine tests. Worker collections start at node
+/// `first_node` (the paper's Table 1 set-up keeps the master machine
+/// separate from the compute nodes; pass 0 to share node0).
+///
+/// Everything is declared before the first run; for
+/// `Distribution::Scheduled` the block-ownership [`OwnerMap`] resolves
+/// after the calibration waves, read by the routes per token.
+pub fn run_matmul<E: Engine>(
+    eng: &mut E,
     cfg: &MatMulConfig,
-    ecfg: EngineConfig,
+    first_node: usize,
 ) -> Result<MatMulRunReport> {
     assert!(cfg.n.is_multiple_of(cfg.s), "s must divide n");
-    let mut eng = SimEngine::with_config(spec, ecfg);
     let app = eng.app("matmul");
     eng.preload_app(app); // steady-state measurement, as in the paper
     let master: ThreadCollection<MasterState> = eng.thread_collection(app, "master", "node0")?;
-    // Workers occupy the *last* cfg.nodes nodes: when the cluster has one
-    // node more than cfg.nodes, the master machine is separate from the
-    // compute nodes (the paper's Table 1 set-up, where even the one-node
-    // configuration communicates over the network).
-    let total = eng.cluster().spec().len();
-    assert!(cfg.nodes <= total, "cluster too small");
-    let first = total - cfg.nodes;
-    let mapping: String = (first..total)
-        .map(|i| {
-            if cfg.threads_per_node == 1 {
-                format!("node{i}")
-            } else {
-                format!("node{i}*{}", cfg.threads_per_node)
-            }
-        })
-        .collect::<Vec<_>>()
-        .join(" ");
+    let mapping = default_mapping_from(first_node, cfg.nodes, cfg.threads_per_node);
 
     let p = cfg.nodes * cfg.threads_per_node.max(1);
     let s_us = cfg.s;
-    let assign = block_assignment(&mut eng, app, &mapping, cfg.dist, s_us, p)?;
+    // Result-block ownership: the paper's `(i+j) mod p` layout resolves
+    // immediately; a scheduled layout resolves after calibration below.
+    let assign = Arc::new(match cfg.dist {
+        Distribution::Static => OwnerMap::fixed(
+            (0..s_us * s_us)
+                .map(|idx| (idx / s_us + idx % s_us) % p)
+                .collect(),
+        ),
+        Distribution::Scheduled(_) => OwnerMap::new(),
+    });
+    let placement = build_placement(eng, app, &mapping, cfg.dist)?;
     let assign_route = {
         let assign = Arc::clone(&assign);
-        move |i: u32, j: u32| assign[i as usize * s_us + j as usize]
+        move |i: u32, j: u32| assign.owner(i as usize * s_us + j as usize, p)
     };
 
-    let graph: GraphHandle = if cfg.pipelined {
+    let graph = if cfg.pipelined {
         let workers: ThreadCollection<()> = eng.thread_collection(app, "proc", &mapping)?;
         let mut b = GraphBuilder::new("matmul-pipelined");
         let split = b.split(&master, || ToThread(0), || SplitTasks);
@@ -450,35 +461,72 @@ pub fn run_matmul_sim(
         eng.build_graph(b)?
     };
 
-    // Load the operands into the master thread.
-    {
-        let st = eng.thread_data_mut(&master, 0);
-        st.a = Matrix::random(cfg.n, cfg.n, cfg.seed);
-        st.b = Matrix::random(cfg.n, cfg.n, cfg.seed.wrapping_add(1));
+    // The operand loader (declared before the first run, like the rest).
+    let loader = {
+        let mut b = GraphBuilder::new("matmul-load");
+        let _ = b.leaf(&master, || ToThread(0), || InstallOperands);
+        eng.build_graph(b)?
+    };
+
+    // Scheduled distribution: measure the workers, then resolve block
+    // ownership from the chunk policy's partition.
+    if let Some(p) = &placement {
+        p.resolve(eng, &assign, (s_us * s_us) as u64, 2)?;
     }
 
-    // Snapshot so calibration-wave traffic (Scheduled dist) is excluded.
-    let wire0 = eng.cluster().net.wire_bytes_total();
-    let t0 = eng.now();
-    eng.inject(
+    // Stage the operands into the master thread.
+    let a = Matrix::random(cfg.n, cfg.n, cfg.seed);
+    let b_op = Matrix::random(cfg.n, cfg.n, cfg.seed.wrapping_add(1));
+    eng.submit(
+        loader,
+        Box::new(LoadOperands {
+            n: cfg.n as u32,
+            a: a.into_vec().into(),
+            b: b_op.into_vec().into(),
+        }),
+    )?;
+    eng.run_to_idle(loader, 1)?;
+    let _ = eng.take_outputs(loader);
+
+    let t0 = eng.now_secs();
+    eng.submit(
         graph,
-        MulOrder {
+        Box::new(MulOrder {
             n: cfg.n as u32,
             s: cfg.s as u32,
-        },
+        }),
     )?;
-    eng.run_until_idle()?;
-    let elapsed = eng.now().since(t0);
+    eng.run_to_idle(graph, 1)?;
+    let elapsed = SimSpan::from_secs_f64(eng.now_secs() - t0);
     let mut outs = eng.take_outputs(graph);
     assert_eq!(outs.len(), 1, "one MulDone per order");
-    let done = downcast::<MulDone>(outs.pop().expect("one output").1)
-        .expect("output token type is MulDone");
+    let done =
+        downcast::<MulDone>(outs.pop().expect("one output")).expect("output token type is MulDone");
     let c = Matrix::from_vec(cfg.n, cfg.n, done.c.into_vec());
     Ok(MatMulRunReport {
         elapsed,
         c,
-        wire_bytes: eng.cluster().net.wire_bytes_total() - wire0,
+        wire_bytes: 0,
     })
+}
+
+/// Run one `n × n` multiplication on the simulated cluster — a thin
+/// [`run_matmul`] wrapper placing the workers on the *last* `cfg.nodes`
+/// nodes (when the cluster has one node more than `cfg.nodes`, the master
+/// machine is separate from the compute nodes, the paper's Table 1 set-up)
+/// and adding the network-model byte count to the report.
+pub fn run_matmul_sim(
+    spec: ClusterSpec,
+    cfg: &MatMulConfig,
+    ecfg: EngineConfig,
+) -> Result<MatMulRunReport> {
+    let total = spec.len();
+    assert!(cfg.nodes <= total, "cluster too small");
+    let mut eng = SimEngine::with_config(spec, ecfg);
+    let wire0 = eng.cluster().net.wire_bytes_total();
+    let mut rep = run_matmul(&mut eng, cfg, total - cfg.nodes)?;
+    rep.wire_bytes = eng.cluster().net.wire_bytes_total() - wire0;
+    Ok(rep)
 }
 
 #[cfg(test)]

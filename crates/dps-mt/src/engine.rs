@@ -48,6 +48,7 @@ pub struct MtGraph {
 }
 
 struct AppDecl {
+    name: String,
     registry: TokenRegistry,
     tcs: Vec<TcDecl>,
     graphs: Vec<dps_core::Flowgraph>,
@@ -177,16 +178,24 @@ impl MtEngine {
         self.node_flops
     }
 
-    /// Declare an application.
-    pub fn app(&mut self, _name: &str) -> MtApp {
+    /// Declare an application. The name is kept (matching `SimEngine::app`
+    /// semantics) and surfaces in error messages and the feedback /
+    /// calibration paths; read it back with [`app_name`](Self::app_name).
+    pub fn app(&mut self, name: &str) -> MtApp {
         assert!(self.shared.is_none(), "declare apps before the first run");
         let app = self.apps.len() as u32;
         self.apps.push(AppDecl {
+            name: name.to_string(),
             registry: TokenRegistry::new(),
             tcs: Vec::new(),
             graphs: Vec::new(),
         });
         MtApp { app }
+    }
+
+    /// The name `app` was declared with.
+    pub fn app_name(&self, app: MtApp) -> &str {
+        &self.apps[app.app as usize].name
     }
 
     /// Register a token type for deserialization (needed with
@@ -295,10 +304,12 @@ impl MtEngine {
             .iter_mut()
             .map(|a| std::mem::replace(&mut a.registry, TokenRegistry::new()))
             .collect();
+        let app_names: Vec<String> = self.apps.iter().map(|a| a.name.clone()).collect();
         let shared = Arc::new(Shared {
             flow_window: self.cfg.flow_window,
             enforce_serialization: self.cfg.enforce_serialization,
             apps: shared_apps,
+            app_names,
             defs,
             registries,
             services: self.services.clone(),
@@ -336,30 +347,28 @@ impl MtEngine {
         self.shared = Some(shared);
         self.output_rx = Some(output_rx);
         self.error_rx = Some(error_rx);
-        self.started_at = Instant::now();
     }
 
-    /// Run a graph: inject `inputs` and wait until `expected_outputs`
-    /// tokens have left the graph, returning them (unordered).
-    pub fn run_graph(
-        &mut self,
-        graph: MtGraph,
-        inputs: Vec<TokenBox>,
-        expected_outputs: usize,
-    ) -> Result<Vec<TokenBox>> {
+    /// Submit a token into a graph's entry (starting the worker threads on
+    /// first use). Pair with [`wait_for_outputs`](Self::wait_for_outputs) +
+    /// [`drain_outputs`](Self::drain_outputs), or use the higher-level
+    /// [`run_graph`](Self::run_graph).
+    pub fn submit(&mut self, graph: MtGraph, token: TokenBox) {
         self.ensure_started();
         let shared = Arc::clone(self.shared.as_ref().expect("started"));
-        for token in inputs {
-            crate::worker::inject(&shared, graph.app, graph.graph, token, 0);
-        }
+        crate::worker::inject(&shared, graph.app, graph.graph, token, 0);
+    }
+
+    /// Block until `graph` has produced at least `expected_outputs`
+    /// undrained outputs, or a worker reported an error, or the run
+    /// timeout expires (the DPS deadlock analogue).
+    pub fn wait_for_outputs(&mut self, graph: MtGraph, expected_outputs: usize) -> Result<()> {
+        self.ensure_started();
         let deadline = Instant::now() + self.cfg.run_timeout;
         let key = (graph.app, graph.graph);
         loop {
-            if let Some(outs) = self.out_buf.get_mut(&key) {
-                if outs.len() >= expected_outputs {
-                    let buf = std::mem::take(outs);
-                    return Ok(buf);
-                }
+            if self.out_buf.get(&key).map(Vec::len).unwrap_or(0) >= expected_outputs {
+                return Ok(());
             }
             if let Ok(e) = self.error_rx.as_ref().expect("started").try_recv() {
                 return Err(e);
@@ -370,7 +379,9 @@ impl MtEngine {
             if remaining.is_zero() {
                 return Err(DpsError::IncompleteWaves {
                     waves: vec![format!(
-                        "timed out after {:?} waiting for {} outputs ({} received)",
+                        "application {}: timed out after {:?} waiting for {} outputs \
+                         ({} received)",
+                        self.apps[graph.app as usize].name,
                         self.cfg.run_timeout,
                         expected_outputs,
                         self.out_buf.get(&key).map(Vec::len).unwrap_or(0)
@@ -392,6 +403,37 @@ impl MtEngine {
                 Err(_) => { /* timeout slice; loop re-checks */ }
             }
         }
+    }
+
+    /// Drain the outputs `graph` has produced so far (unordered).
+    pub fn drain_outputs(&mut self, graph: MtGraph) -> Vec<TokenBox> {
+        // Sweep anything already sitting in the channel first.
+        if let Some(rx) = self.output_rx.as_ref() {
+            while let Ok(out) = rx.try_recv() {
+                self.out_buf
+                    .entry((out.app, out.graph))
+                    .or_default()
+                    .push(out.token);
+            }
+        }
+        self.out_buf
+            .remove(&(graph.app, graph.graph))
+            .unwrap_or_default()
+    }
+
+    /// Run a graph: inject `inputs` and wait until `expected_outputs`
+    /// tokens have left the graph, returning them (unordered).
+    pub fn run_graph(
+        &mut self,
+        graph: MtGraph,
+        inputs: Vec<TokenBox>,
+        expected_outputs: usize,
+    ) -> Result<Vec<TokenBox>> {
+        for token in inputs {
+            self.submit(graph, token);
+        }
+        self.wait_for_outputs(graph, expected_outputs)?;
+        Ok(self.drain_outputs(graph))
     }
 
     /// Run a graph expecting exactly one output of type `T`.
@@ -421,7 +463,10 @@ impl MtEngine {
         self.shared = None;
     }
 
-    /// Wall-clock time since the workers started.
+    /// Wall-clock time since the engine was created. Monotonic across the
+    /// whole lifecycle — in particular it does **not** rebase when the
+    /// worker threads spawn on the first submit, so `now_secs()` intervals
+    /// taken around a run measure that run alone.
     pub fn elapsed(&self) -> Duration {
         self.started_at.elapsed()
     }
@@ -430,5 +475,78 @@ impl MtEngine {
 impl Drop for MtEngine {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// The unified engine API ([`dps_core::Engine`]): the same generic driver
+/// code that runs on the deterministic simulator drives this engine's OS
+/// threads. Declarations must precede the first
+/// [`submit`](dps_core::Engine::submit)
+/// ([`EngineCaps::declare_before_run`](dps_core::EngineCaps)).
+impl dps_core::Engine for MtEngine {
+    type App = MtApp;
+    type Graph = MtGraph;
+
+    fn name(&self) -> &'static str {
+        "mt"
+    }
+
+    fn caps(&self) -> dps_core::EngineCaps {
+        dps_core::EngineCaps {
+            deterministic: false,
+            virtual_time: false,
+            fail_node: false,
+            thread_state_access: false,
+            declare_before_run: true,
+        }
+    }
+
+    fn app(&mut self, name: &str) -> Self::App {
+        MtEngine::app(self, name)
+    }
+
+    fn register_token<T>(&mut self, app: Self::App)
+    where
+        T: dps_serial::Wire + dps_serial::Identified + Clone + std::fmt::Debug + Send + 'static,
+    {
+        MtEngine::register_token::<T>(self, app)
+    }
+
+    fn thread_collection<Td: ThreadData>(
+        &mut self,
+        app: Self::App,
+        name: &str,
+        mapping: &str,
+    ) -> Result<dps_core::ThreadCollection<Td>> {
+        MtEngine::thread_collection(self, app, name, mapping)
+    }
+
+    fn build_graph(&mut self, builder: GraphBuilder) -> Result<Self::Graph> {
+        MtEngine::build_graph(self, builder)
+    }
+
+    fn expose_service(&mut self, graph: Self::Graph, name: &str) {
+        MtEngine::expose_service(self, graph, name)
+    }
+
+    fn set_feedback_sink(&mut self, sink: Arc<dyn FeedbackSink>) {
+        MtEngine::set_feedback_sink(self, sink)
+    }
+
+    fn submit(&mut self, graph: Self::Graph, token: TokenBox) -> Result<()> {
+        MtEngine::submit(self, graph, token);
+        Ok(())
+    }
+
+    fn run_to_idle(&mut self, graph: Self::Graph, expected_outputs: usize) -> Result<()> {
+        self.wait_for_outputs(graph, expected_outputs)
+    }
+
+    fn take_outputs(&mut self, graph: Self::Graph) -> Vec<TokenBox> {
+        self.drain_outputs(graph)
+    }
+
+    fn now_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
     }
 }

@@ -107,6 +107,9 @@ pub(crate) struct Shared {
     pub flow_window: u32,
     pub enforce_serialization: bool,
     pub apps: Vec<SharedApp>,
+    /// Declared application names, surfaced in runtime error messages
+    /// (matching `SimEngine::app` semantics).
+    pub app_names: Vec<String>,
     pub defs: Vec<Vec<Flowgraph>>,
     pub registries: Vec<TokenRegistry>,
     pub services: HashMap<String, (u32, u32)>,
@@ -146,6 +149,42 @@ struct Worker {
     pending_expected: HashMap<WaveKey, u32>,
 }
 
+/// Report a runtime error, qualifying node names with the owning
+/// application's declared name (`app:node`) so multi-application runs
+/// produce attributable diagnostics.
+pub(crate) fn send_error(shared: &Shared, app: u32, e: DpsError) {
+    let name = shared
+        .app_names
+        .get(app as usize)
+        .map(String::as_str)
+        .unwrap_or("?");
+    let tag = |node: String| format!("{name}:{node}");
+    let e = match e {
+        DpsError::NoRoute { node, token_type } => DpsError::NoRoute {
+            node: tag(node),
+            token_type,
+        },
+        DpsError::OperationContract { node, reason } => DpsError::OperationContract {
+            node: tag(node),
+            reason,
+        },
+        DpsError::RouteOutOfRange {
+            node,
+            index,
+            thread_count,
+        } => DpsError::RouteOutOfRange {
+            node: tag(node),
+            index,
+            thread_count,
+        },
+        DpsError::InvalidGraph { reason } => DpsError::InvalidGraph {
+            reason: format!("application {name}: {reason}"),
+        },
+        other => other,
+    };
+    let _ = shared.error_tx.send(e);
+}
+
 /// Inject a token into a graph entry from outside (the run driver).
 pub(crate) fn inject(shared: &Arc<Shared>, app: u32, graph: u32, token: TokenBox, src_node: u32) {
     let entry = shared.defs[app as usize][graph as usize].entry();
@@ -182,7 +221,7 @@ pub(crate) fn worker_loop(
                 env,
             } => {
                 if let Err(e) = handle(&shared, &mut w, graph, node, token, env) {
-                    let _ = shared.error_tx.send(e);
+                    send_error(&shared, app, e);
                 }
             }
             Msg::Close {
@@ -192,7 +231,7 @@ pub(crate) fn worker_loop(
                 total,
             } => {
                 if let Err(e) = handle_close(&shared, &mut w, graph, node, env, total) {
-                    let _ = shared.error_tx.send(e);
+                    send_error(&shared, app, e);
                 }
             }
         }
@@ -599,9 +638,13 @@ fn send_close(shared: &Arc<Shared>, app: u32, graph: u32, close_env: Envelope, t
     let opener = key.src;
     let def = &shared.defs[app as usize][graph as usize];
     let Some(merge_node) = def.matching_pop(opener) else {
-        let _ = shared.error_tx.send(DpsError::InvalidGraph {
-            reason: format!("no matching merge recorded for node {opener}"),
-        });
+        send_error(
+            shared,
+            app,
+            DpsError::InvalidGraph {
+                reason: format!("no matching merge recorded for node {opener}"),
+            },
+        );
         return;
     };
     let g = &shared.apps[app as usize].graphs[graph as usize];
@@ -640,10 +683,14 @@ fn emit(
     match def.successor_for(from, token.wire_id()) {
         Some(next) => route_and_send(shared, app, graph, next, src_node, token, env),
         None if !def.succs(from).is_empty() => {
-            let _ = shared.error_tx.send(DpsError::NoRoute {
-                node: def.node(from).name.clone(),
-                token_type: token.type_name(),
-            });
+            send_error(
+                shared,
+                app,
+                DpsError::NoRoute {
+                    node: def.node(from).name.clone(),
+                    token_type: token.type_name(),
+                },
+            );
         }
         None => {
             if env.frames.len() == 1 && !env.calls.is_empty() {
@@ -663,22 +710,30 @@ fn emit(
                         emit(shared, r_app, r_graph, r_node, src_node, token, out_env);
                     }
                     None => {
-                        let _ = shared.error_tx.send(DpsError::OperationContract {
-                            node: def.node(from).name.clone(),
-                            reason: format!("return for unknown call id {}", call.call_id),
-                        });
+                        send_error(
+                            shared,
+                            app,
+                            DpsError::OperationContract {
+                                node: def.node(from).name.clone(),
+                                reason: format!("return for unknown call id {}", call.call_id),
+                            },
+                        );
                     }
                 }
                 return;
             }
             if !env.frames.is_empty() {
-                let _ = shared.error_tx.send(DpsError::InvalidGraph {
-                    reason: format!(
-                        "token left the graph at {} with {} unmerged frames",
-                        def.node(from).name,
-                        env.frames.len()
-                    ),
-                });
+                send_error(
+                    shared,
+                    app,
+                    DpsError::InvalidGraph {
+                        reason: format!(
+                            "token left the graph at {} with {} unmerged frames",
+                            def.node(from).name,
+                            env.frames.len()
+                        ),
+                    },
+                );
                 return;
             }
             if let Some(call) = env.calls.last() {
@@ -693,10 +748,14 @@ fn emit(
                         emit(shared, r_app, r_graph, r_node, src_node, token, r_env);
                     }
                     None => {
-                        let _ = shared.error_tx.send(DpsError::OperationContract {
-                            node: def.node(from).name.clone(),
-                            reason: format!("return for unknown call id {}", call.call_id),
-                        });
+                        send_error(
+                            shared,
+                            app,
+                            DpsError::OperationContract {
+                                node: def.node(from).name.clone(),
+                                reason: format!("return for unknown call id {}", call.call_id),
+                            },
+                        );
                     }
                 }
             } else {
@@ -736,7 +795,7 @@ fn route_and_send(
     let mut thread = match routed {
         Ok(i) => i as u32,
         Err(e) => {
-            let _ = shared.error_tx.send(e);
+            send_error(shared, app, e);
             return;
         }
     };
@@ -775,7 +834,7 @@ fn route_and_send(
         match wire_roundtrip(token.as_ref(), &shared.registries[app as usize]) {
             Ok(t) => t,
             Err(e) => {
-                let _ = shared.error_tx.send(e);
+                send_error(shared, app, e);
                 return;
             }
         }

@@ -162,7 +162,7 @@ impl ChunkCalc {
                 current.round().max(1.0) as u64
             }
             PolicyKind::Fac => self.fac_chunk(seq as u64 / self.workers),
-            PolicyKind::Awf => self.awf_size(
+            PolicyKind::Awf | PolicyKind::AwfB | PolicyKind::AwfC => self.awf_size(
                 seq as u64 / self.workers,
                 (seq as u64 % self.workers) as usize,
             ),
@@ -337,7 +337,12 @@ pub struct ChunkLease {
 /// by `Arc` between the operations of a graph (tokens stay plain data).
 ///
 /// Drained counters are dropped automatically on the claim that observes
-/// exhaustion, so a long-lived hub does not accumulate leases.
+/// exhaustion, so a long-lived hub does not accumulate leases across
+/// *completed* waves. A wave that aborts before its tickets were all
+/// claimed (a run timeout, a fatal node failure) leaves its lease open
+/// until the hub is dropped; every driver creates one hub per run, so the
+/// leak is bounded by the run. A future hub shared across independent runs
+/// must add explicit lease closing on its recovery path.
 #[derive(Debug, Default)]
 pub struct ChunkHub {
     leases: Mutex<HashMap<u64, Arc<IterCounter>>>,

@@ -8,8 +8,13 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-/// Per-worker chunk-rate samples kept for outlier-resistant estimation.
+use crate::policy::PolicyKind;
+
+/// Per-worker chunk samples kept for the sample-based estimators.
 const MAX_SAMPLES: usize = 64;
+
+/// Per-worker batch totals kept for the batch-weighted estimator.
+const MAX_BATCHES: usize = 32;
 
 /// Where engines deliver per-chunk completion reports.
 ///
@@ -47,30 +52,65 @@ impl WorkerStats {
     }
 }
 
+/// How a [`FeedbackBoard`] turns chunk-completion reports into per-worker
+/// rates — the estimator menu behind the AWF policy family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateEstimator {
+    /// `Σ iters / Σ secs` over the worker's lifetime — exact but sensitive
+    /// to a single pathological sample. The classic AWF estimator.
+    Aggregate,
+    /// Trimmed mean of the recent per-chunk rates: the given fraction
+    /// (clamped to `0..=0.4`) is dropped from each end of the sorted
+    /// samples — the outlier-resistant estimation of the DLS robustness
+    /// literature (arXiv:1804.11115).
+    Trimmed(f64),
+    /// AWF-B **batch-time weighting** (Cariño & Banicescu): reports are
+    /// grouped into *batches* — one batch per scheduling wave, closed each
+    /// time [`weights`](FeedbackBoard::weights) is read — and batch `b`'s
+    /// `(iters, secs)` totals enter the rate with weight `b + 1`, so recent
+    /// waves dominate and the estimate tracks drifting node speeds.
+    BatchWeighted,
+    /// AWF-C **chunk-time weighting** (Cariño & Banicescu): every
+    /// individual chunk report enters the rate with a weight linear in its
+    /// arrival position — the finest-grained recency weighting, adapting
+    /// within a wave at the cost of more variance than AWF-B.
+    ChunkWeighted,
+}
+
+/// Per-worker batch accounting for [`RateEstimator::BatchWeighted`].
+#[derive(Debug, Default, Clone)]
+struct BatchTrack {
+    /// Closed batches: summed `(iters, secs)` per scheduling wave.
+    closed: VecDeque<(f64, f64)>,
+    /// The batch currently accumulating (reports since the last
+    /// weight read).
+    open: (f64, f64),
+}
+
 /// Aggregates chunk-completion reports into per-worker rates and the
-/// normalized weights AWF consumes.
+/// normalized weights the AWF policy family consumes.
 ///
 /// The board is shared (`Arc`) between the engine — which writes through
 /// the [`FeedbackSink`] impl — and the `ScheduledSplit` operation, which
 /// reads [`weights`](Self::weights) at the start of each wave.
 ///
-/// Two rate estimators are available:
-///
-/// * the default aggregate estimator, `Σ iters / Σ secs` per worker — exact
-///   but sensitive to a single pathological sample (a page fault, a network
-///   hiccup, a preempted chunk);
-/// * the **trimmed-mean** estimator
-///   ([`with_trimmed_rates`](Self::with_trimmed_rates)), which keeps the
-///   recent per-chunk rates and averages them after discarding a fraction
-///   from each end — the outlier-resistant estimation recommended by the
-///   DLS robustness literature (arXiv:1804.11115).
-#[derive(Debug, Default)]
+/// The estimator is chosen at construction ([`RateEstimator`]);
+/// [`for_policy`](Self::for_policy) picks the matching estimator for an
+/// AWF-family [`PolicyKind`].
+#[derive(Debug)]
 pub struct FeedbackBoard {
     stats: Mutex<Vec<WorkerStats>>,
-    samples: Mutex<Vec<VecDeque<f64>>>,
-    /// Fraction of samples trimmed from *each* end; 0 selects the aggregate
-    /// estimator.
-    trim: f64,
+    /// Recent per-chunk `(iters, secs)` samples per worker.
+    samples: Mutex<Vec<VecDeque<(f64, f64)>>>,
+    /// Per-wave batch totals per worker (batch-weighted estimator only).
+    batches: Mutex<Vec<BatchTrack>>,
+    estimator: RateEstimator,
+}
+
+impl Default for FeedbackBoard {
+    fn default() -> Self {
+        Self::with_estimator(RateEstimator::Aggregate)
+    }
 }
 
 impl FeedbackBoard {
@@ -79,15 +119,40 @@ impl FeedbackBoard {
         Self::default()
     }
 
-    /// Empty board with the outlier-resistant estimator: per-worker rates
-    /// are the mean of the recent per-chunk rates after dropping the
-    /// `trim` fraction (clamped to `0..=0.4`) from each end of the sorted
-    /// samples.
-    pub fn with_trimmed_rates(trim: f64) -> Self {
+    /// Empty board with an explicit rate estimator.
+    pub fn with_estimator(estimator: RateEstimator) -> Self {
+        let estimator = match estimator {
+            RateEstimator::Trimmed(t) => RateEstimator::Trimmed(t.clamp(0.0, 0.4)),
+            e => e,
+        };
         Self {
-            trim: trim.clamp(0.0, 0.4),
-            ..Self::default()
+            stats: Mutex::new(Vec::new()),
+            samples: Mutex::new(Vec::new()),
+            batches: Mutex::new(Vec::new()),
+            estimator,
         }
+    }
+
+    /// Empty board with the outlier-resistant trimmed-mean estimator
+    /// ([`RateEstimator::Trimmed`]).
+    pub fn with_trimmed_rates(trim: f64) -> Self {
+        Self::with_estimator(RateEstimator::Trimmed(trim))
+    }
+
+    /// The board an AWF-family policy expects: batch-time weighting for
+    /// [`PolicyKind::AwfB`], chunk-time weighting for
+    /// [`PolicyKind::AwfC`], the aggregate estimator otherwise.
+    pub fn for_policy(kind: PolicyKind) -> Self {
+        Self::with_estimator(match kind {
+            PolicyKind::AwfB => RateEstimator::BatchWeighted,
+            PolicyKind::AwfC => RateEstimator::ChunkWeighted,
+            _ => RateEstimator::Aggregate,
+        })
+    }
+
+    /// The estimator this board was constructed with.
+    pub fn estimator(&self) -> RateEstimator {
+        self.estimator
     }
 
     /// Snapshot of the per-worker statistics (at least `workers` entries).
@@ -100,11 +165,15 @@ impl FeedbackBoard {
     }
 
     /// Trimmed-mean rate of one worker's recent chunk samples.
-    fn trimmed_rate(samples: &VecDeque<f64>, trim: f64) -> Option<f64> {
-        if samples.is_empty() {
+    fn trimmed_rate(samples: &VecDeque<(f64, f64)>, trim: f64) -> Option<f64> {
+        let mut sorted: Vec<f64> = samples
+            .iter()
+            .filter(|&&(iters, secs)| secs > 0.0 && iters > 0.0)
+            .map(|&(iters, secs)| iters / secs)
+            .collect();
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted: Vec<f64> = samples.iter().copied().collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
         let drop = ((sorted.len() as f64) * trim).floor() as usize;
         let kept = &sorted[drop..sorted.len() - drop];
@@ -114,24 +183,60 @@ impl FeedbackBoard {
         Some(kept.iter().sum::<f64>() / kept.len() as f64)
     }
 
+    /// Linearly recency-weighted rate over `(iters, secs)` measurements in
+    /// arrival order: measurement `j` (0-based) carries weight `j + 1`, so
+    /// `rate = Σ (j+1)·iters_j / Σ (j+1)·secs_j` — the AWF-B/AWF-C
+    /// weighted-performance formula.
+    fn recency_weighted_rate<'a>(
+        measurements: impl Iterator<Item = &'a (f64, f64)>,
+    ) -> Option<f64> {
+        let (mut wi, mut ws) = (0.0f64, 0.0f64);
+        for (j, &(iters, secs)) in measurements.enumerate() {
+            let w = (j + 1) as f64;
+            wi += w * iters;
+            ws += w * secs;
+        }
+        (ws > 0.0 && wi > 0.0).then(|| wi / ws)
+    }
+
     /// Per-worker measured rates (estimator per construction), `None` for
     /// workers with no usable reports.
     fn rates(&self, workers: usize) -> Vec<Option<f64>> {
-        if self.trim > 0.0 {
-            let samples = self.samples.lock().expect("feedback board poisoned");
-            (0..workers)
-                .map(|w| {
-                    samples
-                        .get(w)
-                        .and_then(|s| Self::trimmed_rate(s, self.trim))
-                })
-                .collect()
-        } else {
-            self.stats(workers)
+        match self.estimator {
+            RateEstimator::Aggregate => self
+                .stats(workers)
                 .iter()
                 .take(workers)
                 .map(WorkerStats::rate)
-                .collect()
+                .collect(),
+            RateEstimator::Trimmed(trim) => {
+                let samples = self.samples.lock().expect("feedback board poisoned");
+                (0..workers)
+                    .map(|w| samples.get(w).and_then(|s| Self::trimmed_rate(s, trim)))
+                    .collect()
+            }
+            RateEstimator::ChunkWeighted => {
+                let samples = self.samples.lock().expect("feedback board poisoned");
+                (0..workers)
+                    .map(|w| {
+                        samples
+                            .get(w)
+                            .and_then(|s| Self::recency_weighted_rate(s.iter()))
+                    })
+                    .collect()
+            }
+            RateEstimator::BatchWeighted => {
+                // `weights()` rolled every open batch before calling here,
+                // so the closed deque is the complete measurement history.
+                let batches = self.batches.lock().expect("feedback board poisoned");
+                (0..workers)
+                    .map(|w| {
+                        batches
+                            .get(w)
+                            .and_then(|t| Self::recency_weighted_rate(t.closed.iter()))
+                    })
+                    .collect()
+            }
         }
     }
 
@@ -140,7 +245,14 @@ impl FeedbackBoard {
     /// Workers with measured rates are weighted proportionally; workers
     /// with no reports yet are assumed to run at the mean measured rate
     /// (uniform when nothing has been measured — the AWF cold start).
+    ///
+    /// For the batch-weighted estimator this read also *closes the current
+    /// batch*: the `ScheduledSplit` reads weights exactly once per wave, so
+    /// reports between two reads form one batch.
     pub fn weights(&self, workers: usize) -> Vec<f64> {
+        if self.estimator == RateEstimator::BatchWeighted {
+            self.roll_batches();
+        }
         let rates = self.rates(workers);
         let measured: Vec<f64> = rates.iter().filter_map(|r| *r).collect();
         if measured.is_empty() {
@@ -152,10 +264,29 @@ impl FeedbackBoard {
         filled.into_iter().map(|r| r / total).collect()
     }
 
+    /// Close every worker's open batch (no-op for workers that reported
+    /// nothing since the last close).
+    fn roll_batches(&self) {
+        let mut batches = self.batches.lock().expect("feedback board poisoned");
+        for t in batches.iter_mut() {
+            if t.open.1 > 0.0 {
+                if t.closed.len() == MAX_BATCHES {
+                    t.closed.pop_front();
+                }
+                t.closed.push_back(t.open);
+                t.open = (0.0, 0.0);
+            }
+        }
+    }
+
     /// Forget all reports (e.g. between benchmark configurations).
     pub fn reset(&self) {
         self.stats.lock().expect("feedback board poisoned").clear();
         self.samples
+            .lock()
+            .expect("feedback board poisoned")
+            .clear();
+        self.batches
             .lock()
             .expect("feedback board poisoned")
             .clear();
@@ -185,15 +316,23 @@ impl FeedbackSink for FeedbackBoard {
             s.secs += secs.max(0.0);
         }
         if secs > 0.0 && iters > 0 {
-            let mut samples = self.samples.lock().expect("feedback board poisoned");
-            if samples.len() <= worker {
-                samples.resize(worker + 1, VecDeque::new());
+            {
+                let mut samples = self.samples.lock().expect("feedback board poisoned");
+                if samples.len() <= worker {
+                    samples.resize(worker + 1, VecDeque::new());
+                }
+                let q = &mut samples[worker];
+                if q.len() == MAX_SAMPLES {
+                    q.pop_front();
+                }
+                q.push_back((iters as f64, secs));
             }
-            let q = &mut samples[worker];
-            if q.len() == MAX_SAMPLES {
-                q.pop_front();
+            let mut batches = self.batches.lock().expect("feedback board poisoned");
+            if batches.len() <= worker {
+                batches.resize(worker + 1, BatchTrack::default());
             }
-            q.push_back(iters as f64 / secs);
+            batches[worker].open.0 += iters as f64;
+            batches[worker].open.1 += secs;
         }
     }
 
@@ -206,6 +345,11 @@ impl FeedbackSink for FeedbackBoard {
         let mut samples = self.samples.lock().expect("feedback board poisoned");
         if let Some(q) = samples.get_mut(worker) {
             q.clear();
+        }
+        drop(samples);
+        let mut batches = self.batches.lock().expect("feedback board poisoned");
+        if let Some(t) = batches.get_mut(worker) {
+            *t = BatchTrack::default();
         }
     }
 }
@@ -312,5 +456,87 @@ mod tests {
         // Worker 0 is back to "unmeasured": it gets the mean rate.
         let w = b.weights(2);
         assert!((w[0] - 0.5).abs() < 1e-12, "{w:?}");
+    }
+
+    #[test]
+    fn for_policy_picks_the_matching_estimator() {
+        assert_eq!(
+            FeedbackBoard::for_policy(PolicyKind::AwfB).estimator(),
+            RateEstimator::BatchWeighted
+        );
+        assert_eq!(
+            FeedbackBoard::for_policy(PolicyKind::AwfC).estimator(),
+            RateEstimator::ChunkWeighted
+        );
+        assert_eq!(
+            FeedbackBoard::for_policy(PolicyKind::Awf).estimator(),
+            RateEstimator::Aggregate
+        );
+    }
+
+    /// A worker that *was* slow and sped up: the recency-weighted
+    /// estimators believe the recent fast measurements over the stale slow
+    /// ones, while the aggregate estimator is stuck near the lifetime mean.
+    #[test]
+    fn chunk_weighting_tracks_a_speed_change() {
+        let agg = FeedbackBoard::new();
+        let awfc = FeedbackBoard::with_estimator(RateEstimator::ChunkWeighted);
+        for board in [&agg, &awfc] {
+            for _ in 0..10 {
+                board.report_chunk(0, 10, 1.0); // 10 it/s historically
+                board.report_chunk(1, 40, 1.0); // steady 40 it/s
+            }
+            for _ in 0..10 {
+                board.report_chunk(0, 40, 1.0); // worker 0 caught up
+                board.report_chunk(1, 40, 1.0);
+            }
+        }
+        let wa = agg.weights(2);
+        let wc = awfc.weights(2);
+        // Aggregate: worker 0 still looks ~25/40 as fast as worker 1.
+        assert!(wa[0] < 0.45, "{wa:?}");
+        // Chunk-weighted: recent parity dominates — close to 50/50.
+        assert!((wc[0] - 0.5).abs() < 0.07, "{wc:?}");
+        assert!(wc[0] > wa[0], "recency weighting must track the change");
+    }
+
+    /// Batch weighting groups reports between weight reads and favours
+    /// recent batches, so a speed change shows up across waves.
+    #[test]
+    fn batch_weighting_tracks_across_waves() {
+        let b = FeedbackBoard::with_estimator(RateEstimator::BatchWeighted);
+        // Wave 1: worker 0 slow.
+        b.report_chunk(0, 10, 1.0);
+        b.report_chunk(1, 40, 1.0);
+        let w1 = b.weights(2); // closes batch 1
+        assert!(w1[0] < w1[1], "{w1:?}");
+        // Waves 2..5: worker 0 at parity.
+        for _ in 0..4 {
+            b.report_chunk(0, 40, 1.0);
+            b.report_chunk(1, 40, 1.0);
+            let _ = b.weights(2);
+        }
+        let w = b.weights(2);
+        assert!((w[0] - 0.5).abs() < 0.04, "recent parity dominates: {w:?}");
+        // The stale slow batch still has *some* pull: strictly below 1/2.
+        assert!(w[0] < 0.5, "{w:?}");
+    }
+
+    /// AWF-B and AWF-C estimates agree when rates are stationary.
+    #[test]
+    fn weighted_estimators_agree_on_stationary_rates() {
+        let awfb = FeedbackBoard::with_estimator(RateEstimator::BatchWeighted);
+        let awfc = FeedbackBoard::with_estimator(RateEstimator::ChunkWeighted);
+        for board in [&awfb, &awfc] {
+            for _ in 0..5 {
+                board.report_chunk(0, 60, 1.0);
+                board.report_chunk(1, 30, 1.0);
+                let _ = board.weights(2);
+            }
+        }
+        let wb = awfb.weights(2);
+        let wc = awfc.weights(2);
+        assert!((wb[0] - 2.0 / 3.0).abs() < 1e-9, "{wb:?}");
+        assert!((wc[0] - 2.0 / 3.0).abs() < 1e-9, "{wc:?}");
     }
 }

@@ -18,6 +18,7 @@
 //! | [`TrapezoidSelfScheduling`] (TSS) | linear decrease from `f = ⌈N/2P⌉` to `l = 1` in `C = ⌈2N/(f+l)⌉` steps |
 //! | [`Factoring`] (FAC) | batches of `P` chunks, each `⌈R/2P⌉` at batch start |
 //! | [`AdaptiveWeightedFactoring`] (AWF) | factoring batches of `⌈R/2⌉` iterations, divided ∝ measured per-worker rates |
+//! | AWF-B / AWF-C ([`PolicyKind::AwfB`]/[`PolicyKind::AwfC`]) | AWF sizing with **batch-** vs **chunk-time** recency-weighted rate estimation ([`RateEstimator`]) |
 //!
 //! The [`ChunkScheduler`] drives a policy over a concrete iteration range
 //! and guarantees the partition invariants: every chunk is non-empty,
@@ -37,7 +38,7 @@
 //! ## Distributed chunk calculation
 //!
 //! Driving a policy centrally serializes every chunk on one thread. The
-//! [`calc`] module removes that master bottleneck (Eleliemy & Ciorba,
+//! `calc` module removes that master bottleneck (Eleliemy & Ciorba,
 //! arXiv:2101.07050): a [`ChunkCalc`] evaluates any chunk's boundaries
 //! *closed-form from its sequence number*, an [`IterCounter`] shares the
 //! claim state as one atomic word, and a [`ChunkHub`] leases counters to
@@ -53,7 +54,7 @@ mod policy;
 mod scheduler;
 
 pub use calc::{ChunkCalc, ChunkHub, ChunkLease, IterCounter};
-pub use feedback::{FeedbackBoard, FeedbackSink, WorkerStats};
+pub use feedback::{FeedbackBoard, FeedbackSink, RateEstimator, WorkerStats};
 pub use policy::{
     AdaptiveWeightedFactoring, ChunkPolicy, Distribution, Factoring, GuidedSelfScheduling,
     PolicyKind, SelfScheduling, StaticChunking, TrapezoidSelfScheduling,

@@ -176,16 +176,43 @@ impl ChunkPolicy for Factoring {
 /// feedback yet (the first time step), weights are uniform and AWF behaves
 /// like FAC; over successive waves it converges to the heterogeneity-aware
 /// partition.
-#[derive(Debug, Default, Clone)]
+/// The AWF-B and AWF-C variants (Cariño & Banicescu) share this chunk
+/// *sizing* arithmetic; they differ in how the per-worker weights are
+/// estimated from timing feedback — batch-time vs chunk-time weighting,
+/// selected on the [`FeedbackBoard`](crate::FeedbackBoard) via
+/// [`RateEstimator`](crate::RateEstimator). Construct them with
+/// [`variant`](Self::variant) (or via [`PolicyKind::build`]).
+#[derive(Debug, Clone)]
 pub struct AdaptiveWeightedFactoring {
+    name: &'static str,
     weights: Vec<f64>,
     sizes: Vec<u64>,
     batch_pos: usize,
 }
 
+impl Default for AdaptiveWeightedFactoring {
+    fn default() -> Self {
+        Self::variant("awf")
+    }
+}
+
+impl AdaptiveWeightedFactoring {
+    /// An AWF-family policy reporting `name` (e.g. `"awf-b"`): identical
+    /// chunk sizing, distinguished so sweeps and diagnostics can tell the
+    /// weight-estimation variants apart.
+    pub fn variant(name: &'static str) -> Self {
+        Self {
+            name,
+            weights: Vec::new(),
+            sizes: Vec::new(),
+            batch_pos: 0,
+        }
+    }
+}
+
 impl ChunkPolicy for AdaptiveWeightedFactoring {
     fn name(&self) -> &'static str {
-        "awf"
+        self.name
     }
     fn begin(&mut self, _total: u64, workers: usize, weights: &[f64]) {
         debug_assert_eq!(weights.len(), workers);
@@ -221,19 +248,29 @@ pub enum PolicyKind {
     Tss,
     /// [`Factoring`].
     Fac,
-    /// [`AdaptiveWeightedFactoring`].
+    /// [`AdaptiveWeightedFactoring`] with the aggregate rate estimator.
     Awf,
+    /// AWF-B: AWF sizing with **batch-time** weighting — per-worker rates
+    /// estimated from per-batch timing totals, later batches weighted
+    /// linearly more (recency-weighted adaptation, Cariño & Banicescu).
+    AwfB,
+    /// AWF-C: AWF sizing with **chunk-time** weighting — per-worker rates
+    /// estimated from individual chunk timings, later chunks weighted
+    /// linearly more (the finest-grained adaptive variant).
+    AwfC,
 }
 
 impl PolicyKind {
     /// Every policy, in overhead-vs-adaptivity order.
-    pub const ALL: [PolicyKind; 6] = [
+    pub const ALL: [PolicyKind; 8] = [
         PolicyKind::Static,
         PolicyKind::Ss,
         PolicyKind::Gss,
         PolicyKind::Tss,
         PolicyKind::Fac,
         PolicyKind::Awf,
+        PolicyKind::AwfB,
+        PolicyKind::AwfC,
     ];
 
     /// Short lowercase name (matches [`ChunkPolicy::name`]).
@@ -245,6 +282,8 @@ impl PolicyKind {
             PolicyKind::Tss => "tss",
             PolicyKind::Fac => "fac",
             PolicyKind::Awf => "awf",
+            PolicyKind::AwfB => "awf-b",
+            PolicyKind::AwfC => "awf-c",
         }
     }
 
@@ -257,12 +296,14 @@ impl PolicyKind {
             PolicyKind::Tss => Box::new(TrapezoidSelfScheduling::default()),
             PolicyKind::Fac => Box::new(Factoring::default()),
             PolicyKind::Awf => Box::new(AdaptiveWeightedFactoring::default()),
+            PolicyKind::AwfB => Box::new(AdaptiveWeightedFactoring::variant("awf-b")),
+            PolicyKind::AwfC => Box::new(AdaptiveWeightedFactoring::variant("awf-c")),
         }
     }
 
     /// True for policies that consume measured worker rates.
     pub fn is_adaptive(self) -> bool {
-        matches!(self, PolicyKind::Awf)
+        matches!(self, PolicyKind::Awf | PolicyKind::AwfB | PolicyKind::AwfC)
     }
 }
 

@@ -19,7 +19,7 @@
 //!   kept for fidelity with the published API.
 //! * [`WireId`] / [`Identified`] / [`Registry`] — stable type identifiers and
 //!   the abstract factory used to instantiate objects during deserialization
-//!   (the paper cites the *Design Patterns* factory, ref. [23]).
+//!   (the paper cites the *Design Patterns* factory, ref.\ \[23\]).
 //! * [`impl_wire!`](crate::impl_wire) / [`impl_wire_enum!`](crate::impl_wire_enum)
 //!   / [`identify!`](crate::identify) — macros replacing the C++ `IDENTIFY`
 //!   macro, so a data object is declared once with no redundant field lists.

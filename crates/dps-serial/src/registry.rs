@@ -12,7 +12,7 @@ use crate::writer::Writer;
 pub type DecodeFn<B> = fn(&mut Reader<'_>) -> Result<B, WireError>;
 
 /// Registry mapping [`WireId`]s to decode factories — the paper's abstract
-/// class factory that "instantiate[s] the data object during deserialization".
+/// class factory that "instantiate\[s\] the data object during deserialization".
 ///
 /// The boxed output type `B` is chosen by the embedding layer; `dps-core`
 /// uses `Box<dyn Token>`. Registration is explicit (Rust has no static

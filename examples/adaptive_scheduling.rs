@@ -1,26 +1,31 @@
-//! Dynamic loop scheduling on both engines — `ScheduledSplit` + AWF.
+//! Dynamic loop scheduling through the unified `Engine` API.
 //!
 //! An irregular, triangular-cost loop (iteration `i` costs ∝ `(i+1)²`, so
 //! late iterations dominate) is partitioned by dynamic loop-scheduling
-//! policies instead of the paper's static splits:
+//! policies instead of the paper's static splits. **One generic driver**
+//! (`run_schedule<E: Engine>`) executes the same flow graph on:
 //!
-//! 1. On the deterministic [`SimEngine`] over a 2×-skewed heterogeneous
-//!    cluster: static chunking hands the expensive tail to the slow node;
-//!    AWF learns per-node rates from virtual-time completion reports and
-//!    re-weights its chunks each time step.
-//! 2. On the real-thread [`MtEngine`]: the *same application code* runs on
-//!    OS threads, with the feedback board fed by wall-clock completion
-//!    reports and routing driven by live per-thread queue depths.
+//! 1. the deterministic [`SimEngine`] over a 2×-skewed heterogeneous
+//!    cluster — static chunking hands the expensive tail to the slow node;
+//!    AWF learns per-node rates from virtual-time completion reports;
+//! 2. the real-thread `MtEngine` — wall-clock completion reports feed the
+//!    same board, routing follows live per-thread queue depths.
+//!
+//! The worker operation is engine-agnostic too: it performs *real*
+//! arithmetic (what the wall-clock engine measures) **and** charges the
+//! equivalent virtual FLOPs (what the simulator measures), so neither
+//! engine needs its own operation code.
 //!
 //! Run with: `cargo run --release --example adaptive_scheduling`
+//! (optionally `-- --engine sim` or `-- --engine mt` to pick one backend).
 
 use std::sync::Arc;
 
-use dps::cluster::ClusterSpec;
+use dps::cluster::{default_mapping, ClusterSpec};
 use dps::core::prelude::*;
 use dps::core::sched::{
-    chunk_calc_cost, ChunkDone, ChunkRoute, ChunkTicket, ChunkWorker, CollectChunks, IterRange,
-    RangeDone, ScheduledSplit,
+    chunk_calc_cost, ChunkDone, ChunkRoute, ChunkTicket, CollectChunks, IterRange, RangeDone,
+    ScheduledSplit,
 };
 use dps::mt::MtEngine;
 use dps::sched::{ChunkHub, FeedbackBoard, PolicyKind};
@@ -28,79 +33,22 @@ use dps::sched::{ChunkHub, FeedbackBoard, PolicyKind};
 const ITERS: u64 = 256;
 const STEPS: u32 = 3;
 
-/// Per-iteration FLOP cost: late iterations dominate (triangular sweep).
+/// Per-iteration FLOP cost model: late iterations dominate (triangular).
 fn cost(i: u64) -> f64 {
     let x = (i + 1) as f64;
     40.0 * x * x
 }
 
-/// Virtual-time run of one policy on a fast node + 2×-slower node.
-fn simulate(policy: PolicyKind) -> (Vec<f64>, Vec<f64>) {
-    let spec = ClusterSpec::heterogeneous(1, &[70.0e6, 35.0e6]);
-    let board = Arc::new(FeedbackBoard::new());
-    let hub = Arc::new(ChunkHub::new());
-    let mut eng = SimEngine::with_config(
-        spec,
-        EngineConfig {
-            flow_window: 4, // small window → live self-scheduling
-            ..EngineConfig::default()
-        },
-    );
-    eng.set_feedback_sink(board.clone());
-    let app = eng.app("adaptive");
-    eng.preload_app(app);
-    let master: ThreadCollection<()> = eng.thread_collection(app, "master", "node0").unwrap();
-    let workers: ThreadCollection<()> = eng
-        .thread_collection(app, "workers", "node0 node1")
-        .unwrap();
-
-    let mut b = GraphBuilder::new("adaptive");
-    let wcount = workers.thread_count();
-    let split_board = board.clone();
-    let split_hub = hub.clone();
-    let split = b.split(
-        &master,
-        || ToThread(0),
-        move || {
-            ScheduledSplit::with_feedback(policy, wcount, split_hub.clone(), split_board.clone())
-        },
-    );
-    let work = b.leaf(&workers, ChunkRoute::new, move || {
-        ChunkWorker::new(Arc::new(cost), hub.clone())
-    });
-    let merge = b.merge(&master, || ToThread(0), CollectChunks::default);
-    b.add(split >> work >> merge);
-    let g = eng.build_graph(b).unwrap();
-
-    let mut makespans = Vec::new();
-    for step in 0..STEPS {
-        let t0 = eng.now();
-        eng.inject(
-            g,
-            IterRange {
-                start: 0,
-                len: ITERS,
-                step,
-            },
-        )
-        .unwrap();
-        eng.run_until_idle().unwrap();
-        makespans.push(eng.now().since(t0).as_secs_f64());
-        let done = downcast::<RangeDone>(eng.take_outputs(g).pop().unwrap().1).unwrap();
-        assert_eq!(done.iters, ITERS, "every iteration scheduled exactly once");
-    }
-    (makespans, board.weights(2))
-}
-
-/// A chunk worker doing *real* compute: it claims its chunk locally from
-/// the shared iteration counter (distributed chunk calculation), then
-/// iteration `i` runs `(i+1) × 200` arithmetic operations, so the
-/// wall-clock chunk reports the MtEngine feeds back reflect genuine
-/// execution speed.
-struct SpinWorker {
+/// A chunk worker that is honest on *both* engines: it claims its chunk
+/// locally from the shared iteration counter (distributed chunk
+/// calculation), runs genuine arithmetic proportional to the cost model
+/// (measured by the wall-clock engine) and charges the model's virtual
+/// FLOPs (measured by the simulator).
+struct HybridWorker {
     hub: Arc<ChunkHub>,
 }
-impl LeafOperation for SpinWorker {
+
+impl LeafOperation for HybridWorker {
     type Thread = ();
     type In = ChunkTicket;
     type Out = ChunkDone;
@@ -117,12 +65,15 @@ impl LeafOperation for SpinWorker {
         ctx.charge(chunk_calc_cost());
         let start = t.base + c.start;
         let mut acc = 0u64;
+        let mut flops = 0.0;
         for i in start..start + c.len {
             for k in 0..(i + 1) * 200 {
                 acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(k));
             }
+            flops += cost(i);
         }
         std::hint::black_box(acc);
+        ctx.charge_flops(flops);
         ctx.mark_chunk(c.len);
         ctx.post(ChunkDone {
             step: t.step,
@@ -133,20 +84,25 @@ impl LeafOperation for SpinWorker {
     }
 }
 
-fn real_threads(policy: PolicyKind) -> (Vec<f64>, u64) {
-    let board = Arc::new(FeedbackBoard::new());
+/// The one driver both engines share: build the scheduled loop over
+/// `board` (possibly pre-seeded by a calibration probe), run `STEPS`
+/// waves, return per-step makespans in the engine's own time.
+fn run_schedule<E: Engine>(
+    eng: &mut E,
+    policy: PolicyKind,
+    workers_n: usize,
+    board: Arc<FeedbackBoard>,
+) -> Vec<f64> {
     let hub = Arc::new(ChunkHub::new());
-    let mut eng = MtEngine::new(4);
     eng.set_feedback_sink(board.clone());
-    // Seed the board from a wall-clock probe of each worker's rate, so the
-    // first wave already uses measured weights (satellite: rate calibration).
-    eng.calibrate_feedback(4, |_| dps_bench::calib::measure_flop_rate(1_000_000));
-    let app = eng.app("adaptive-mt");
+    let app = eng.app("adaptive");
+    eng.preload_app(app);
     let master: ThreadCollection<()> = eng.thread_collection(app, "master", "node0").unwrap();
     let workers: ThreadCollection<()> = eng
-        .thread_collection(app, "workers", "node0 node1 node2 node3")
+        .thread_collection(app, "workers", &default_mapping(workers_n, 1))
         .unwrap();
-    let mut b = GraphBuilder::new("adaptive-mt");
+
+    let mut b = GraphBuilder::new("adaptive");
     let wcount = workers.thread_count();
     let split_board = board.clone();
     let split_hub = hub.clone();
@@ -157,63 +113,106 @@ fn real_threads(policy: PolicyKind) -> (Vec<f64>, u64) {
             ScheduledSplit::with_feedback(policy, wcount, split_hub.clone(), split_board.clone())
         },
     );
-    let work = b.leaf(&workers, ChunkRoute::new, move || SpinWorker {
+    let work = b.leaf(&workers, ChunkRoute::new, move || HybridWorker {
         hub: hub.clone(),
     });
     let merge = b.merge(&master, || ToThread(0), CollectChunks::default);
     b.add(split >> work >> merge);
     let g = eng.build_graph(b).unwrap();
 
-    let mut wall = Vec::new();
+    let mut makespans = Vec::new();
     for step in 0..STEPS {
-        let t0 = std::time::Instant::now();
-        let done = eng
-            .run_one::<RangeDone>(
-                g,
-                Box::new(IterRange {
-                    start: 0,
-                    len: ITERS,
-                    step,
-                }),
-            )
-            .unwrap();
-        wall.push(t0.elapsed().as_secs_f64());
-        assert_eq!(done.iters, ITERS);
+        let t0 = eng.now_secs();
+        eng.submit(
+            g,
+            Box::new(IterRange {
+                start: 0,
+                len: ITERS,
+                step,
+            }),
+        )
+        .unwrap();
+        eng.run_to_idle(g, 1).unwrap();
+        makespans.push(eng.now_secs() - t0);
+        let done =
+            downcast::<RangeDone>(eng.take_outputs(g).pop().unwrap()).expect("RangeDone output");
+        assert_eq!(done.iters, ITERS, "every iteration scheduled exactly once");
     }
-    eng.shutdown();
-    (wall, board.total_chunks())
+    makespans
+}
+
+fn engine_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--engine=").map(str::to_string))
+        })
 }
 
 fn main() {
+    let which = engine_arg().unwrap_or_else(|| "both".to_string());
+    assert!(
+        matches!(which.as_str(), "sim" | "mt" | "both"),
+        "unknown --engine value {which:?}: expected sim, mt, or both"
+    );
     println!("Triangular-cost loop, {ITERS} iterations × {STEPS} steps");
-    println!("\n-- SimEngine: fast node + 2×-slower node (virtual time) --");
-    let mut totals = Vec::new();
-    for policy in [PolicyKind::Static, PolicyKind::Fac, PolicyKind::Awf] {
-        let (makespans, weights) = simulate(policy);
-        let steps: Vec<String> = makespans.iter().map(|s| format!("{s:.3}s")).collect();
-        println!(
-            "{:>7}: steps [{}]  learned weights [{:.2}, {:.2}]",
-            policy.name(),
-            steps.join(", "),
-            weights[0],
-            weights[1]
-        );
-        totals.push(makespans.iter().sum::<f64>());
-    }
-    let (static_total, awf_total) = (totals[0], totals[2]);
-    let gain = 1.0 - awf_total / static_total;
-    println!(
-        "AWF beats static chunking by {:.1}% on the skewed cluster",
-        100.0 * gain
-    );
-    assert!(gain > 0.15, "adaptive scheduling should win on skew");
 
-    println!("\n-- MtEngine: same schedule on real OS threads (wall clock) --");
-    let (wall, chunks) = real_threads(PolicyKind::Awf);
-    let steps: Vec<String> = wall.iter().map(|s| format!("{:.1}ms", s * 1e3)).collect();
-    println!(
-        "    awf: steps [{}]  ({chunks} chunk completions reported wall-clock)",
-        steps.join(", ")
-    );
+    if which == "sim" || which == "both" {
+        println!("\n-- SimEngine: fast node + 2×-slower node (virtual time) --");
+        let mut totals = Vec::new();
+        for policy in [PolicyKind::Static, PolicyKind::Fac, PolicyKind::Awf] {
+            let mut eng = SimEngine::with_config(
+                ClusterSpec::heterogeneous(1, &[70.0e6, 35.0e6]),
+                EngineConfig {
+                    flow_window: 4, // small window → live self-scheduling
+                    ..EngineConfig::default()
+                },
+            );
+            let board = Arc::new(FeedbackBoard::for_policy(policy));
+            let makespans = run_schedule(&mut eng, policy, 2, board.clone());
+            let weights = board.weights(2);
+            let steps: Vec<String> = makespans.iter().map(|s| format!("{s:.3}s")).collect();
+            println!(
+                "{:>7}: steps [{}]  learned weights [{:.2}, {:.2}]",
+                policy.name(),
+                steps.join(", "),
+                weights[0],
+                weights[1]
+            );
+            totals.push(makespans.iter().sum::<f64>());
+        }
+        let (static_total, awf_total) = (totals[0], totals[2]);
+        let gain = 1.0 - awf_total / static_total;
+        println!(
+            "AWF beats static chunking by {:.1}% on the skewed cluster",
+            100.0 * gain
+        );
+        assert!(gain > 0.15, "adaptive scheduling should win on skew");
+    }
+
+    if which == "mt" || which == "both" {
+        println!("\n-- MtEngine: the same driver on real OS threads (wall clock) --");
+        for policy in [PolicyKind::Awf, PolicyKind::AwfC] {
+            let mut eng = MtEngine::new(4);
+            // Seed the board from a wall-clock probe of each worker's rate,
+            // so the first wave already uses measured weights.
+            let board = Arc::new(FeedbackBoard::for_policy(policy));
+            eng.set_feedback_sink(board.clone());
+            eng.calibrate_feedback(4, |_| dps_bench::calib::measure_flop_rate(1_000_000));
+            let wall = run_schedule(&mut eng, policy, 4, board.clone());
+            let chunks = board.total_chunks();
+            eng.shutdown();
+            let steps: Vec<String> = wall.iter().map(|s| format!("{:.1}ms", s * 1e3)).collect();
+            println!(
+                "{:>7}: steps [{}]  ({chunks} chunk completions reported wall-clock)",
+                policy.name(),
+                steps.join(", ")
+            );
+        }
+    }
+
     println!("\nSame application code; only the engine (and its clock) changed.");
 }

@@ -7,8 +7,14 @@
 //! virtual node boundaries take the full serialize/deserialize path — the
 //! paper's several-kernels-on-one-host debugging mode (§4).
 //!
+//! The driver is written **once** against the unified [`Engine`] trait and
+//! the typed [`Application`] front door (no raw token boxes, no
+//! engine-specific run loop), then pointed at the OS-thread engine — and,
+//! for comparison, at the deterministic simulator.
+//!
 //! Run with: `cargo run --release --example real_threads`
 
+use dps::cluster::ClusterSpec;
 use dps::core::dps_token;
 use dps::core::prelude::*;
 use dps::des::SplitMix64;
@@ -85,20 +91,14 @@ impl MergeOperation for CombineHits {
     }
 }
 
-fn main() {
-    let cfg = MtConfig {
-        enforce_serialization: true, // full networking path across nodes
-        ..MtConfig::default()
-    };
-    let mut eng = MtEngine::with_config(4, cfg);
+/// One driver for every engine: declare the application, build the typed
+/// front door, make one call.
+fn estimate_pi<E: Engine>(eng: &mut E) -> f64 {
     let app = eng.app("pi");
-    {
-        let reg = app;
-        eng.register_token::<PiJob>(reg);
-        eng.register_token::<Packet>(reg);
-        eng.register_token::<Hits>(reg);
-        eng.register_token::<PiEstimate>(reg);
-    }
+    eng.register_token::<PiJob>(app);
+    eng.register_token::<Packet>(app);
+    eng.register_token::<Hits>(app);
+    eng.register_token::<PiEstimate>(app);
     let main: ThreadCollection<()> = eng.thread_collection(app, "main", "node0").unwrap();
     let workers: ThreadCollection<()> = eng
         .thread_collection(app, "proc", "node0 node1 node2 node3")
@@ -108,24 +108,40 @@ fn main() {
     let l = b.leaf(&workers, RoundRobin::new, || SamplePacket);
     let m = b.merge(&main, || ToThread(0), CombineHits::default);
     b.add(s >> l >> m);
-    let g = eng.build_graph(b).unwrap();
+    let pi: Application<E, PiJob, PiEstimate> = Application::build(eng, b).unwrap();
 
-    let t0 = std::time::Instant::now();
-    let est = eng
-        .run_one::<PiEstimate>(
-            g,
-            Box::new(PiJob {
+    let est = pi
+        .call(
+            eng,
+            PiJob {
                 packets: 64,
                 samples_per_packet: 250_000,
-            }),
+            },
         )
         .unwrap();
+    4.0 * est.inside as f64 / est.samples as f64
+}
+
+fn main() {
+    // Real OS threads, full networking path across virtual node boundaries.
+    let cfg = MtConfig {
+        enforce_serialization: true,
+        ..MtConfig::default()
+    };
+    let mut eng = MtEngine::with_config(4, cfg);
+    let t0 = std::time::Instant::now();
+    let pi = estimate_pi(&mut eng);
     let wall = t0.elapsed();
-    let pi = 4.0 * est.inside as f64 / est.samples as f64;
-    println!(
-        "π ≈ {pi:.6} from {} samples across 4 OS worker threads in {wall:?}",
-        est.samples
-    );
-    assert!((pi - std::f64::consts::PI).abs() < 0.01);
     eng.shutdown();
+    println!("π ≈ {pi:.6} from 16M samples across 4 OS worker threads in {wall:?}");
+    assert!((pi - std::f64::consts::PI).abs() < 0.01);
+
+    // The identical driver on the deterministic simulator (virtual time).
+    let mut sim = SimEngine::new(ClusterSpec::paper_testbed(4));
+    let pi_sim = estimate_pi(&mut sim);
+    println!(
+        "π ≈ {pi_sim:.6} from the same driver on the simulator ({:.3}s virtual)",
+        sim.now_secs()
+    );
+    assert_eq!(pi, pi_sim, "same seeds, same arithmetic, same estimate");
 }

@@ -1,15 +1,22 @@
 //! Cross-engine integration: the same flow graph executed on the
 //! deterministic simulator and on real OS threads must compute the same
 //! results — only the notion of time differs.
+//!
+//! Every test drives both engines through the **same generic function**
+//! over [`dps::core::Engine`] — the unified-API contract: no per-engine
+//! driver code anywhere in this file. The differential proptest generates
+//! randomized split→leaf→merge shapes and asserts *byte-identical* wire
+//! encodings of the outputs from both engines.
 
 use dps::cluster::ClusterSpec;
 use dps::core::prelude::*;
-use dps::core::{dps_token, SimEngine};
+use dps::core::{dps_token, SimEngine, Token};
 use dps::mt::MtEngine;
-use dps::serial::Buffer;
+use dps::serial::{Buffer, Writer};
+use proptest::prelude::*;
 
 dps_token! {
-    pub struct Work { pub values: Buffer<u64> }
+    pub struct Work { pub shards: u32, pub values: Buffer<u64> }
 }
 dps_token! {
     pub struct Shard { pub idx: u32, pub values: Buffer<u64> }
@@ -21,16 +28,14 @@ dps_token! {
     pub struct Grand { pub sum: u64, pub shards: u32 }
 }
 
-struct Scatter {
-    shards: u32,
-}
+struct Scatter;
 impl SplitOperation for Scatter {
     type Thread = ();
     type In = Work;
     type Out = Shard;
     fn execute(&mut self, ctx: &mut OpCtx<'_, (), Shard>, w: Work) {
         let values = w.values.into_vec();
-        let chunk = values.len().div_ceil(self.shards as usize).max(1);
+        let chunk = values.len().div_ceil(w.shards as usize).max(1);
         for (idx, part) in values.chunks(chunk).enumerate() {
             ctx.post(Shard {
                 idx: idx as u32,
@@ -74,8 +79,25 @@ impl MergeOperation for Gather {
     }
 }
 
-fn input(n: u64) -> Work {
+/// The one scatter–gather driver both engines share: typed front door,
+/// one-shot call, no engine-specific code.
+fn scatter_gather<E: Engine>(eng: &mut E, workers_n: usize, work: Work) -> Grand {
+    let app = eng.app("xe");
+    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
+    let mapping = dps::cluster::default_mapping(workers_n, 1);
+    let workers: ThreadCollection<()> = eng.thread_collection(app, "w", &mapping).unwrap();
+    let mut b = GraphBuilder::new("scatter-gather");
+    let s = b.split(&main, || ToThread(0), || Scatter);
+    let l = b.leaf(&workers, RoundRobin::new, || SumShard);
+    let m = b.merge(&main, || ToThread(0), Gather::default);
+    b.add(s >> l >> m);
+    let app: Application<E, Work, Grand> = Application::build(eng, b).unwrap();
+    *app.call(eng, work).unwrap()
+}
+
+fn input(shards: u32, n: u64) -> Work {
     Work {
+        shards,
         values: (0..n).map(|i| i * 3 + 1).collect::<Vec<_>>().into(),
     }
 }
@@ -84,23 +106,18 @@ fn expected(n: u64) -> u64 {
     (0..n).map(|i| i * 3 + 1).sum()
 }
 
+/// The wire encoding of a token — the byte-identity yardstick of the
+/// differential test.
+fn wire_encoding(tok: &dyn Token) -> Vec<u8> {
+    let mut w = Writer::with_capacity(tok.payload_size());
+    tok.encode_payload(&mut w);
+    w.into_bytes()
+}
+
 #[test]
 fn sim_engine_computes_scatter_gather() {
     let mut eng = SimEngine::new(ClusterSpec::paper_testbed(4));
-    let app = eng.app("xe");
-    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
-    let workers: ThreadCollection<()> = eng
-        .thread_collection(app, "w", "node0 node1 node2 node3")
-        .unwrap();
-    let mut b = GraphBuilder::new("scatter-gather");
-    let s = b.split(&main, || ToThread(0), || Scatter { shards: 8 });
-    let l = b.leaf(&workers, RoundRobin::new, || SumShard);
-    let m = b.merge(&main, || ToThread(0), Gather::default);
-    b.add(s >> l >> m);
-    let g = eng.build_graph(b).unwrap();
-    eng.inject(g, input(1000)).unwrap();
-    eng.run_until_idle().unwrap();
-    let grand = downcast::<Grand>(eng.take_outputs(g).pop().unwrap().1).unwrap();
+    let grand = scatter_gather(&mut eng, 4, input(8, 1000));
     assert_eq!(grand.sum, expected(1000));
     assert_eq!(grand.shards, 8);
 }
@@ -108,18 +125,7 @@ fn sim_engine_computes_scatter_gather() {
 #[test]
 fn mt_engine_computes_identically() {
     let mut eng = MtEngine::new(4);
-    let app = eng.app("xe");
-    let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
-    let workers: ThreadCollection<()> = eng
-        .thread_collection(app, "w", "node0 node1 node2 node3")
-        .unwrap();
-    let mut b = GraphBuilder::new("scatter-gather");
-    let s = b.split(&main, || ToThread(0), || Scatter { shards: 8 });
-    let l = b.leaf(&workers, RoundRobin::new, || SumShard);
-    let m = b.merge(&main, || ToThread(0), Gather::default);
-    b.add(s >> l >> m);
-    let g = eng.build_graph(b).unwrap();
-    let grand = eng.run_one::<Grand>(g, Box::new(input(1000))).unwrap();
+    let grand = scatter_gather(&mut eng, 4, input(8, 1000));
     assert_eq!(grand.sum, expected(1000));
     assert_eq!(grand.shards, 8);
 }
@@ -128,116 +134,185 @@ fn mt_engine_computes_identically() {
 fn sim_engine_is_deterministic_across_runs() {
     let run = || {
         let mut eng = SimEngine::new(ClusterSpec::paper_testbed(3));
-        let app = eng.app("det");
-        let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
-        let workers: ThreadCollection<()> = eng
-            .thread_collection(app, "w", "node0 node1 node2")
-            .unwrap();
-        let mut b = GraphBuilder::new("g");
-        let s = b.split(&main, || ToThread(0), || Scatter { shards: 16 });
-        let l = b.leaf(&workers, LeastLoaded::new, || SumShard);
-        let m = b.merge(&main, || ToThread(0), Gather::default);
-        b.add(s >> l >> m);
-        let g = eng.build_graph(b).unwrap();
-        eng.inject(g, input(333)).unwrap();
-        eng.run_until_idle().unwrap();
-        let outs = eng.take_outputs(g);
-        (eng.now(), outs.len())
+        let grand = scatter_gather(&mut eng, 3, input(16, 333));
+        (eng.now_secs().to_bits(), grand)
     };
     assert_eq!(run(), run());
 }
 
-/// The dynamically scheduled Life graph — range announcement, worker-side
-/// chunk claiming, AWF feedback — computes the same generations on the
-/// real-thread engine as the sequential reference (and hence as the
-/// simulator, which `dps-life`'s own tests verify).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The differential cross-engine test: randomized split→leaf→merge
+    /// shapes (value count, fan-out, worker count) produce **byte-identical
+    /// wire encodings** on the simulator and on OS threads, through the
+    /// same generic `Engine` code path.
+    #[test]
+    fn engines_agree_byte_for_byte(
+        n in 1u64..400,
+        shards in 1u32..12,
+        workers_n in 1usize..5,
+    ) {
+        let sim_out = {
+            let mut eng = SimEngine::new(ClusterSpec::paper_testbed(workers_n));
+            scatter_gather(&mut eng, workers_n, input(shards, n))
+        };
+        let mt_out = {
+            let mut eng = MtEngine::new(workers_n);
+            scatter_gather(&mut eng, workers_n, input(shards, n))
+        };
+        prop_assert_eq!(
+            wire_encoding(&sim_out),
+            wire_encoding(&mt_out),
+            "engines diverged for n={} shards={} workers={}",
+            n, shards, workers_n
+        );
+        prop_assert_eq!(sim_out.sum, expected(n));
+    }
+}
+
+/// The dynamically scheduled Life application — range announcement,
+/// worker-side chunk claiming, AWF feedback — runs on real threads through
+/// the *same* generic entry point (`run_life_scheduled`) the simulator
+/// uses, and computes the same generations as the sequential reference.
 #[test]
 fn scheduled_life_runs_on_real_threads() {
-    use dps::core::sched::IterRange;
-    use dps::life::graphs::IterDone;
-    use dps::life::sched::{
-        scheduled_step_builder, world_dump_builder, world_loader_builder, DumpOrder, LoadWorld,
-        WorldDump, WorldLoaded,
+    use dps::life::{run_life_scheduled, LifeConfig, Variant, World};
+    use dps::sched::{Distribution, PolicyKind};
+
+    let cfg = LifeConfig {
+        rows: 24,
+        cols: 16,
+        iterations: 3,
+        variant: Variant::Simple,
+        nodes: 3,
+        threads_per_node: 1,
+        density: 0.35,
+        seed: 11,
+        dist: Distribution::Scheduled(PolicyKind::Fac),
     };
-    use dps::life::{World, WorldState};
-    use dps::sched::{ChunkHub, FeedbackBoard, PolicyKind};
-    use std::sync::Arc;
+    let reference = World::random(cfg.rows, cfg.cols, cfg.density, cfg.seed).step_n(cfg.iterations);
 
-    let (rows, cols, iters) = (24usize, 16usize, 3usize);
-    let world = World::random(rows, cols, 0.35, 11);
-    let reference = world.clone().step_n(iters);
-
-    let board = Arc::new(FeedbackBoard::new());
-    let hub = Arc::new(ChunkHub::new());
     let mut eng = MtEngine::new(3);
-    eng.set_feedback_sink(board.clone());
-    let app = eng.app("life-mt");
-    let ctl: ThreadCollection<()> = eng.thread_collection(app, "ctl", "node0").unwrap();
-    let store: ThreadCollection<WorldState> = eng.thread_collection(app, "store", "node0").unwrap();
-    let workers: ThreadCollection<()> = eng
-        .thread_collection(app, "w", "node0 node1 node2")
-        .unwrap();
-    let step = eng
-        .build_graph(scheduled_step_builder(
-            &ctl,
-            &store,
-            &workers,
-            PolicyKind::Fac,
-            hub,
-            board.clone(),
-        ))
-        .unwrap();
-    let loader = eng.build_graph(world_loader_builder(&store)).unwrap();
-    let dumper = eng.build_graph(world_dump_builder(&store)).unwrap();
-
-    // Thread state cannot be preloaded on OS threads: ship the world in.
-    let mut cells = Vec::with_capacity(rows * cols);
-    for r in 0..rows {
-        cells.extend_from_slice(world.row(r));
-    }
-    let loaded = eng
-        .run_one::<WorldLoaded>(
-            loader,
-            Box::new(LoadWorld {
-                rows: rows as u32,
-                cols: cols as u32,
-                cells: cells.into(),
-            }),
-        )
-        .unwrap();
-    assert_eq!(loaded.rows as usize, rows);
-
-    for i in 0..iters {
-        let done = eng
-            .run_one::<IterDone>(
-                step,
-                Box::new(IterRange {
-                    start: 0,
-                    len: rows as u64,
-                    step: i as u32,
-                }),
-            )
-            .unwrap();
-        assert_eq!(done.iter, i as u32);
-    }
-
-    let dump = eng
-        .run_one::<WorldDump>(dumper, Box::new(DumpOrder { tag: 0 }))
-        .unwrap();
+    let rep = run_life_scheduled(&mut eng, &cfg, PolicyKind::Fac).unwrap();
     eng.shutdown();
-    assert_eq!((dump.rows as usize, dump.cols as usize), (rows, cols));
-    assert_eq!(dump.population, reference.population() as u64);
-    for r in 0..rows {
-        for c in 0..cols {
-            assert_eq!(
-                dump.cells[r * cols + c],
-                reference.get(r, c),
-                "cell ({r},{c}) diverged on real threads"
-            );
-        }
-    }
-    assert!(
-        board.total_chunks() > 0,
-        "wall-clock chunk reports must flow during scheduled Life"
+    assert_eq!(rep.world, reference, "Life diverged on real threads");
+    assert_eq!(rep.per_iter.len(), cfg.iterations);
+}
+
+/// Block LU factorization through the generic `run_lu` entry point on OS
+/// threads: same factors, bit for bit, as the sequential block reference.
+#[test]
+fn lu_runs_on_real_threads_via_the_generic_driver() {
+    use dps::linalg::parallel::lu::{run_lu, LuConfig};
+    use dps::linalg::{blocked_lu, lu_residual, Matrix};
+    use dps::sched::Distribution;
+
+    let cfg = LuConfig {
+        n: 32,
+        r: 8,
+        pipelined: true,
+        seed: 21,
+        nodes: 2,
+        threads_per_node: 1,
+        dist: Distribution::Static,
+    };
+    let mut eng = MtEngine::new(2);
+    let rep = run_lu(&mut eng, &cfg).unwrap();
+    eng.shutdown();
+    let a = Matrix::random_general(cfg.n, cfg.n, cfg.seed);
+    assert!(lu_residual(&a, &rep.factors) < 1e-8);
+    let reference = blocked_lu(&a, cfg.r);
+    assert_eq!(rep.factors.pivots, reference.pivots);
+    assert_eq!(
+        rep.factors.lu, reference.lu,
+        "factors must agree bit for bit"
     );
+}
+
+/// Block matmul through the generic `run_matmul` entry point on OS threads.
+#[test]
+fn matmul_runs_on_real_threads_via_the_generic_driver() {
+    use dps::linalg::parallel::matmul::{run_matmul, MatMulConfig};
+    use dps::linalg::Matrix;
+    use dps::sched::Distribution;
+
+    let cfg = MatMulConfig {
+        n: 32,
+        s: 2,
+        pipelined: true,
+        seed: 5,
+        nodes: 2,
+        threads_per_node: 1,
+        dist: Distribution::Static,
+    };
+    let mut eng = MtEngine::new(2);
+    let rep = run_matmul(&mut eng, &cfg, 0).unwrap();
+    eng.shutdown();
+    let a = Matrix::random(cfg.n, cfg.n, cfg.seed);
+    let b = Matrix::random(cfg.n, cfg.n, cfg.seed.wrapping_add(1));
+    let mut diff = rep.c.clone();
+    diff.sub_assign(&a.matmul(&b));
+    assert!(diff.max_abs() < 1e-9, "wrong product: {}", diff.max_abs());
+}
+
+/// A scheduled loop through the generic `run_dls` entry point on OS
+/// threads, with the AWF-C chunk-time-weighted feedback board: every
+/// iteration is scheduled exactly once and wall-clock reports flow.
+#[test]
+fn dls_runs_on_real_threads_via_the_generic_driver() {
+    use dps::sched::PolicyKind;
+    use dps_bench::dls::{matmul_cost, run_dls, DlsConfig};
+
+    let mut eng = MtEngine::new(3);
+    let rep = run_dls(
+        &mut eng,
+        matmul_cost(16),
+        &DlsConfig {
+            iters: 120,
+            steps: 2,
+            policy: PolicyKind::AwfC,
+            flow_window: 6,
+        },
+        3,
+    )
+    .unwrap();
+    eng.shutdown();
+    assert_eq!(rep.per_step.len(), 2);
+    assert!(rep.chunks.iter().all(|&c| c >= 1));
+}
+
+/// Satellite: `MtEngine::app` keeps the declared name (matching
+/// `SimEngine::app` semantics) and surfaces it in runtime error messages.
+#[test]
+fn mt_engine_app_name_is_stored_and_surfaced_in_errors() {
+    dps_token! { pub struct Ping { pub x: u32 } }
+    dps_token! { pub struct Pong { pub x: u32 } }
+
+    /// A leaf violating its contract (posts nothing) — the error must name
+    /// the owning application.
+    struct Mute;
+    impl LeafOperation for Mute {
+        type Thread = ();
+        type In = Ping;
+        type Out = Pong;
+        fn execute(&mut self, _ctx: &mut OpCtx<'_, (), Pong>, _t: Ping) {}
+    }
+
+    let mut eng = MtEngine::new(1);
+    let app = eng.app("volume-unit");
+    assert_eq!(eng.app_name(app), "volume-unit");
+    let tc: ThreadCollection<()> = eng.thread_collection(app, "t", "node0").unwrap();
+    let mut b = GraphBuilder::new("mute");
+    let _ = b.leaf(&tc, || ToThread(0), || Mute);
+    let g = eng.build_graph(b).unwrap();
+    let err = eng
+        .run_graph(g, vec![Box::new(Ping { x: 1 })], 1)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("volume-unit"),
+        "error must carry the app name: {msg}"
+    );
+    eng.shutdown();
 }
