@@ -189,6 +189,54 @@ fn bench_engine_end_to_end(c: &mut Criterion) {
     });
 }
 
+/// The per-chunk hot path in isolation: feedback reports on the sharded
+/// board vs the legacy mutex board, and lock-free hub claims vs a raw
+/// counter claim. Single-threaded ns/op; the `bench_hotpath` bin measures
+/// the multi-worker throughput and emits `BENCH_hotpath.json`.
+fn bench_hotpath(c: &mut Criterion) {
+    use dps_sched::legacy::LegacyFeedbackBoard;
+    use dps_sched::{ChunkCalc, ChunkHub, FeedbackBoard, FeedbackSink, IterCounter, PolicyKind};
+
+    c.bench_function("hotpath/report_sharded", |b| {
+        let board = FeedbackBoard::new();
+        b.iter(|| board.report_chunk(black_box(3), 16, 1.0e-4))
+    });
+    c.bench_function("hotpath/report_legacy", |b| {
+        let board = LegacyFeedbackBoard::new();
+        b.iter(|| board.report_chunk(black_box(3), 16, 1.0e-4))
+    });
+    c.bench_function("hotpath/weights_fold_8", |b| {
+        let board = FeedbackBoard::new();
+        for w in 0..8 {
+            for _ in 0..64 {
+                board.report_chunk(w, 16, 1.0e-4);
+            }
+        }
+        b.iter(|| black_box(board.weights(8)))
+    });
+    // Range chosen to stay on the packed single-CAS claim path: chunk
+    // counts at or above 2^24 fall back to the mutex-guarded wide counter,
+    // which is not the path these benchmarks defend.
+    const CLAIM_RANGE: u64 = (1 << 23) - 1;
+    c.bench_function("hotpath/hub_claim", |b| {
+        let hub = ChunkHub::new();
+        let mut lease = hub.open(ChunkCalc::new(PolicyKind::Ss, CLAIM_RANGE, 8, &[]));
+        b.iter(|| {
+            if hub.claim(lease.id).is_none() {
+                lease = hub.open(ChunkCalc::new(PolicyKind::Ss, CLAIM_RANGE, 8, &[]));
+            }
+        })
+    });
+    c.bench_function("hotpath/counter_claim", |b| {
+        let mut counter = IterCounter::new(ChunkCalc::new(PolicyKind::Ss, CLAIM_RANGE, 8, &[]));
+        b.iter(|| {
+            if counter.claim().is_none() {
+                counter = IterCounter::new(ChunkCalc::new(PolicyKind::Ss, CLAIM_RANGE, 8, &[]));
+            }
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_serialization,
@@ -196,6 +244,7 @@ criterion_group!(
     bench_routing,
     bench_des,
     bench_kernels,
-    bench_engine_end_to_end
+    bench_engine_end_to_end,
+    bench_hotpath
 );
 criterion_main!(benches);

@@ -1,0 +1,315 @@
+//! Hot-path benchmark: the per-chunk claim → execute → report cycle.
+//!
+//! Measures, at 1/4/16/64 simulated workers (OS threads):
+//!
+//! * **feedback-report throughput** — workers hammering
+//!   `FeedbackSink::report_chunk` on the sharded, wait-free
+//!   [`FeedbackBoard`] vs the pre-sharding mutex-based
+//!   [`LegacyFeedbackBoard`] baseline;
+//! * **chunk-claim throughput** — workers draining one self-scheduling
+//!   (`SS`, chunk = 1: maximal claim pressure) lease through the lock-free
+//!   [`ChunkHub`] vs a faithful reconstruction of the old
+//!   `Mutex<HashMap>` hub;
+//!
+//! plus the **end-to-end scheduled LU and Game-of-Life makespans** on the
+//! deterministic simulator (virtual time — identical on every machine), so
+//! the committed numbers double as a regression floor for the scheduling
+//! quality while the throughput numbers track the machinery cost.
+//!
+//! Results are written as JSON (default `BENCH_hotpath.json`; override
+//! with `--out=PATH`). `--smoke` shrinks the workload for CI — it checks
+//! the harness runs, not the numbers. The committed `BENCH_hotpath.json`
+//! at the repository root is produced by a full (non-smoke) run; future
+//! PRs diff against it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use dps_cluster::ClusterSpec;
+use dps_core::EngineConfig;
+use dps_life::{run_life_sim, LifeConfig, Variant};
+use dps_linalg::parallel::lu::{run_lu_sim, LuConfig};
+use dps_sched::legacy::LegacyFeedbackBoard;
+use dps_sched::{ChunkCalc, ChunkHub, Distribution, FeedbackBoard, FeedbackSink, PolicyKind};
+
+/// Worker counts the throughput sections sweep.
+const WORKER_COUNTS: [usize; 4] = [1, 4, 16, 64];
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_value(prefix: &str) -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix(prefix).map(str::to_string))
+}
+
+/// Throughput of `total_ops` operations executed by `workers` threads, each
+/// running `work(worker_index)` after a common start barrier. Every thread
+/// timestamps its own start and end against a shared clock base, so the
+/// measured span (first start → last end) is correct even when a thread
+/// finishes before the coordinator is rescheduled (single-core machines).
+/// Best of three runs via `fresh` state per run.
+fn span_throughput<S: Send + Sync>(
+    workers: usize,
+    total_ops: u64,
+    mut fresh: impl FnMut() -> S,
+    work: impl Fn(&S, usize) + Send + Sync,
+) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let state = fresh();
+        let base = Instant::now();
+        let start = Barrier::new(workers);
+        let span = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let (start, state, work) = (&start, &state, &work);
+                    scope.spawn(move || {
+                        start.wait();
+                        let t_start = base.elapsed();
+                        work(state, w);
+                        (t_start, base.elapsed())
+                    })
+                })
+                .collect();
+            let times: Vec<_> = handles
+                .into_iter()
+                .map(|h| h.join().expect("bench worker panicked"))
+                .collect();
+            let first = times.iter().map(|t| t.0).min().expect("non-empty");
+            let last = times.iter().map(|t| t.1).max().expect("non-empty");
+            last - first
+        });
+        best = best.max(total_ops as f64 / span.as_secs_f64().max(1e-9));
+    }
+    best
+}
+
+/// Reports/second of `workers` threads hammering `report_chunk`, each into
+/// its own worker slot (the engines' reporting shape).
+fn report_throughput<B: FeedbackSink + 'static>(
+    workers: usize,
+    per_thread: u64,
+    fresh: impl FnMut() -> B,
+) -> f64 {
+    span_throughput(workers, workers as u64 * per_thread, fresh, |board, w| {
+        for j in 0..per_thread {
+            board.report_chunk(w, 1 + (j % 32), 1.0e-4);
+        }
+    })
+}
+
+/// The pre-change hub, reconstructed for the baseline measurement: a locked
+/// map resolving every claim, with the old lookup-unlock-relock drain path.
+#[derive(Default)]
+struct MutexMapHub {
+    leases: Mutex<HashMap<u64, Arc<dps_sched::IterCounter>>>,
+    next: AtomicU64,
+}
+
+impl MutexMapHub {
+    fn open(&self, calc: ChunkCalc) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.leases
+            .lock()
+            .expect("hub poisoned")
+            .insert(id, Arc::new(dps_sched::IterCounter::new(calc)));
+        id
+    }
+
+    fn claim(&self, id: u64) -> Option<dps_sched::Chunk> {
+        let counter = {
+            let leases = self.leases.lock().expect("hub poisoned");
+            leases.get(&id).cloned()
+        }?;
+        let chunk = counter.claim();
+        if chunk.is_none() || counter.remaining() == 0 {
+            self.leases.lock().expect("hub poisoned").remove(&id);
+        }
+        chunk
+    }
+}
+
+/// One throughput comparison row.
+struct Row {
+    workers: usize,
+    baseline: f64,
+    current: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.current / self.baseline
+    }
+}
+
+fn fmt_rows(rows: &[Row], baseline_key: &str, current_key: &str) -> String {
+    let lines: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workers\": {}, \"{}_mops\": {:.3}, \"{}_mops\": {:.3}, \
+                 \"speedup\": {:.2}}}",
+                r.workers,
+                baseline_key,
+                r.baseline / 1e6,
+                current_key,
+                r.current / 1e6,
+                r.speedup()
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", lines.join(",\n"))
+}
+
+fn main() {
+    let smoke = arg_flag("--smoke");
+    let out_path = arg_value("--out=").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let (report_per_thread, claim_iters) = if smoke {
+        (5_000u64, 100_000u64)
+    } else {
+        (100_000, 2_000_000)
+    };
+
+    // --- feedback-report throughput: sharded vs legacy ---
+    println!("feedback-report throughput (reports/s), {report_per_thread} reports/thread");
+    let mut report_rows = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let legacy = report_throughput(workers, report_per_thread, LegacyFeedbackBoard::new);
+        let sharded = report_throughput(workers, report_per_thread, FeedbackBoard::new);
+        println!(
+            "  {workers:>2} workers: legacy {:>7.2} M/s   sharded {:>7.2} M/s   ({:.2}x)",
+            legacy / 1e6,
+            sharded / 1e6,
+            sharded / legacy
+        );
+        report_rows.push(Row {
+            workers,
+            baseline: legacy,
+            current: sharded,
+        });
+    }
+
+    // --- chunk-claim throughput: lock-free hub vs mutex-map hub ---
+    println!("chunk-claim throughput (claims/s), {claim_iters} SS chunks/lease");
+    let mut claim_rows = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let calc = || ChunkCalc::new(PolicyKind::Ss, claim_iters, workers, &[]);
+        let baseline = span_throughput(
+            workers,
+            claim_iters,
+            || {
+                let hub = MutexMapHub::default();
+                let id = hub.open(calc());
+                (hub, id)
+            },
+            |(hub, id), _| while hub.claim(*id).is_some() {},
+        );
+        let current = span_throughput(
+            workers,
+            claim_iters,
+            || {
+                let hub = ChunkHub::new();
+                let lease = hub.open(calc());
+                (hub, lease.id)
+            },
+            |(hub, id), _| while hub.claim(*id).is_some() {},
+        );
+        println!(
+            "  {workers:>2} workers: mutex-map {:>7.2} M/s   lock-free {:>7.2} M/s   ({:.2}x)",
+            baseline / 1e6,
+            current / 1e6,
+            current / baseline
+        );
+        claim_rows.push(Row {
+            workers,
+            baseline,
+            current,
+        });
+    }
+
+    // --- end-to-end scheduled makespans (virtual time: deterministic) ---
+    let spec = || ClusterSpec::skewed(2, 2, 2.0);
+    let (lu_n, life_rows, life_iters) = if smoke { (64, 96, 2) } else { (128, 192, 4) };
+    let lu = |dist| {
+        run_lu_sim(
+            spec(),
+            &LuConfig {
+                n: lu_n,
+                r: 16,
+                pipelined: true,
+                seed: 33,
+                nodes: 2,
+                threads_per_node: 1,
+                dist,
+            },
+            EngineConfig::default(),
+        )
+        .expect("LU run")
+        .elapsed
+        .as_secs_f64()
+    };
+    let life = |dist| {
+        run_life_sim(
+            spec(),
+            &LifeConfig {
+                rows: life_rows,
+                cols: 2 * life_rows,
+                iterations: life_iters,
+                variant: Variant::Improved,
+                nodes: 2,
+                threads_per_node: 1,
+                density: 0.35,
+                seed: 9,
+                dist,
+            },
+            EngineConfig::default(),
+        )
+        .expect("Life run")
+        .elapsed
+        .as_secs_f64()
+    };
+    let lu_static = lu(Distribution::Static);
+    let lu_awf = lu(Distribution::Scheduled(PolicyKind::Awf));
+    let life_static = life(Distribution::Static);
+    let life_awf = life(Distribution::Scheduled(PolicyKind::Awf));
+    println!("end-to-end makespans (virtual seconds, 2 nodes, 2x-skewed):");
+    println!("  LU   n={lu_n:<4} static {lu_static:.6}s  scheduled(AWF) {lu_awf:.6}s");
+    println!(
+        "  Life {life_rows}x{:<4} static {life_static:.6}s  scheduled(AWF) {life_awf:.6}s",
+        2 * life_rows
+    );
+
+    let json = format!(
+        "{{\n  \"suite\": \"bench_hotpath\",\n  \"smoke\": {smoke},\n  \
+         \"reports_per_thread\": {report_per_thread},\n  \
+         \"claim_iters\": {claim_iters},\n  \
+         \"feedback_report\": {},\n  \"chunk_claim\": {},\n  \
+         \"e2e_makespans_virtual_s\": {{\n    \
+         \"lu_n\": {lu_n},\n    \"lu_static\": {lu_static:.9},\n    \
+         \"lu_scheduled_awf\": {lu_awf:.9},\n    \
+         \"life_rows\": {life_rows},\n    \"life_static\": {life_static:.9},\n    \
+         \"life_scheduled_awf\": {life_awf:.9}\n  }}\n}}\n",
+        fmt_rows(&report_rows, "legacy", "sharded"),
+        fmt_rows(&claim_rows, "mutex_map", "lock_free"),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("JSON written to {out_path}");
+
+    // The acceptance bar this benchmark exists to defend: the sharded board
+    // must beat the mutex board by >= 2x at 16 workers in full runs. Smoke
+    // runs only prove the harness executes.
+    if !smoke {
+        let r16 = report_rows
+            .iter()
+            .find(|r| r.workers == 16)
+            .expect("16-worker row");
+        assert!(
+            r16.speedup() >= 2.0,
+            "sharded feedback board regressed: {:.2}x at 16 workers (need >= 2x)",
+            r16.speedup()
+        );
+    }
+}

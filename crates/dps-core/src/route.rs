@@ -27,10 +27,28 @@ pub struct RouteInfo<'a> {
 /// A routing function for tokens of type `T`.
 ///
 /// Routes may be stateful (`&mut self`): a round-robin route keeps a
-/// counter. One route instance exists per graph node.
-pub trait Route<T: Token>: Send + 'static {
+/// counter. One route instance exists per graph node, so on a threaded
+/// engine a stateful route serializes concurrent deliveries to its node
+/// behind a lock. Routes that decide from the token and [`RouteInfo`]
+/// alone should declare [`STATELESS`](Self::STATELESS) and implement
+/// [`route_stateless`](Self::route_stateless): engines then share one
+/// instance across delivery threads with no per-delivery lock.
+pub trait Route<T: Token>: Send + Sync + 'static {
     /// Return the destination thread index, in `0..info.thread_count`.
     fn route(&mut self, token: &T, info: &RouteInfo<'_>) -> usize;
+
+    /// Declares that this route never mutates state:
+    /// [`route_stateless`](Self::route_stateless) is implemented and
+    /// agrees with [`route`](Self::route) for every input. Engines use the
+    /// declaration to skip the per-delivery route lock.
+    const STATELESS: bool = false;
+
+    /// Lock-free routing decision for [`STATELESS`](Self::STATELESS)
+    /// routes; engines never call it otherwise.
+    fn route_stateless(&self, token: &T, info: &RouteInfo<'_>) -> usize {
+        let _ = (token, info);
+        unimplemented!("route_stateless on a stateful route")
+    }
 }
 
 /// Declare a routing function from an expression over `token` — the Rust
@@ -55,7 +73,13 @@ macro_rules! route {
         #[derive(Debug, Clone, Copy, Default)]
         pub struct $name;
         impl $crate::Route<$tok> for $name {
-            fn route(&mut self, $token: &$tok, $info: &$crate::RouteInfo<'_>) -> usize {
+            // A routing expression reads only the token and the route info,
+            // so macro routes take the engines' lock-free delivery path.
+            const STATELESS: bool = true;
+            fn route(&mut self, token: &$tok, info: &$crate::RouteInfo<'_>) -> usize {
+                $crate::Route::route_stateless(self, token, info)
+            }
+            fn route_stateless(&self, $token: &$tok, $info: &$crate::RouteInfo<'_>) -> usize {
                 $expr
             }
         }
@@ -95,28 +119,41 @@ impl ToThread {
 }
 
 impl<T: Token> Route<T> for ToThread {
+    const STATELESS: bool = true;
+
     fn route(&mut self, _token: &T, _info: &RouteInfo<'_>) -> usize {
+        self.0
+    }
+
+    fn route_stateless(&self, _token: &T, _info: &RouteInfo<'_>) -> usize {
         self.0
     }
 }
 
 /// Route by a key extracted from the token, modulo the thread count.
 /// The workhorse for data-parallel distributions ("column `j` of the matrix
-/// lives on thread `j % p`").
+/// lives on thread `j % p`"). The key function is pure (`Fn`), so the route
+/// is stateless and engines deliver through it without a per-token lock.
 pub struct ByKey<T, F> {
     f: F,
     _m: PhantomData<fn(T)>,
 }
 
-impl<T: Token, F: FnMut(&T) -> usize + Send + 'static> ByKey<T, F> {
+impl<T: Token, F: Fn(&T) -> usize + Send + Sync + 'static> ByKey<T, F> {
     /// Route to `f(token) % thread_count`.
     pub fn new(f: F) -> Self {
         Self { f, _m: PhantomData }
     }
 }
 
-impl<T: Token, F: FnMut(&T) -> usize + Send + 'static> Route<T> for ByKey<T, F> {
+impl<T: Token, F: Fn(&T) -> usize + Send + Sync + 'static> Route<T> for ByKey<T, F> {
+    const STATELESS: bool = true;
+
     fn route(&mut self, token: &T, info: &RouteInfo<'_>) -> usize {
+        self.route_stateless(token, info)
+    }
+
+    fn route_stateless(&self, token: &T, info: &RouteInfo<'_>) -> usize {
         (self.f)(token) % info.thread_count
     }
 }
@@ -161,9 +198,24 @@ impl<T: Token> Route<T> for LeastLoaded {
 
 /// Type-erased route driven by an engine.
 #[doc(hidden)]
-pub trait DynRoute: Send {
+pub trait DynRoute: Send + Sync {
     fn route_dyn(
         &mut self,
+        token: &dyn Token,
+        info: &RouteInfo<'_>,
+        node_name: &str,
+    ) -> Result<usize>;
+
+    /// Whether [`route_dyn_shared`](Self::route_dyn_shared) may be used
+    /// instead of [`route_dyn`](Self::route_dyn) (the underlying route
+    /// declared [`Route::STATELESS`]) — engines then skip the per-delivery
+    /// route lock entirely.
+    fn is_stateless(&self) -> bool;
+
+    /// Lock-free routing through a shared reference; only valid when
+    /// [`is_stateless`](Self::is_stateless) is true.
+    fn route_dyn_shared(
+        &self,
         token: &dyn Token,
         info: &RouteInfo<'_>,
         node_name: &str,
@@ -175,6 +227,31 @@ pub(crate) struct RouteAdapter<T, R> {
     pub _m: PhantomData<fn(T)>,
 }
 
+fn downcast_token<'t, T: Token>(token: &'t dyn Token, node_name: &str) -> Result<&'t T> {
+    token
+        .as_any()
+        .downcast_ref::<T>()
+        .ok_or_else(|| DpsError::OperationContract {
+            node: node_name.to_string(),
+            reason: format!(
+                "route expects {} but token is {}",
+                std::any::type_name::<T>(),
+                token.type_name()
+            ),
+        })
+}
+
+fn check_bounds(idx: usize, info: &RouteInfo<'_>, node_name: &str) -> Result<usize> {
+    if idx >= info.thread_count {
+        return Err(DpsError::RouteOutOfRange {
+            node: node_name.to_string(),
+            index: idx,
+            thread_count: info.thread_count,
+        });
+    }
+    Ok(idx)
+}
+
 impl<T: Token, R: Route<T>> DynRoute for RouteAdapter<T, R> {
     fn route_dyn(
         &mut self,
@@ -182,27 +259,23 @@ impl<T: Token, R: Route<T>> DynRoute for RouteAdapter<T, R> {
         info: &RouteInfo<'_>,
         node_name: &str,
     ) -> Result<usize> {
-        let tok =
-            token
-                .as_any()
-                .downcast_ref::<T>()
-                .ok_or_else(|| DpsError::OperationContract {
-                    node: node_name.to_string(),
-                    reason: format!(
-                        "route expects {} but token is {}",
-                        std::any::type_name::<T>(),
-                        token.type_name()
-                    ),
-                })?;
-        let idx = self.route.route(tok, info);
-        if idx >= info.thread_count {
-            return Err(DpsError::RouteOutOfRange {
-                node: node_name.to_string(),
-                index: idx,
-                thread_count: info.thread_count,
-            });
-        }
-        Ok(idx)
+        let tok = downcast_token::<T>(token, node_name)?;
+        check_bounds(self.route.route(tok, info), info, node_name)
+    }
+
+    fn is_stateless(&self) -> bool {
+        R::STATELESS
+    }
+
+    fn route_dyn_shared(
+        &self,
+        token: &dyn Token,
+        info: &RouteInfo<'_>,
+        node_name: &str,
+    ) -> Result<usize> {
+        debug_assert!(R::STATELESS, "shared routing on a stateful route");
+        let tok = downcast_token::<T>(token, node_name)?;
+        check_bounds(self.route.route_stateless(tok, info), info, node_name)
     }
 }
 
@@ -274,6 +347,49 @@ mod tests {
         route!(pub ModRoute for K = |token, info| token.k as usize % info.thread_count);
         let mut r = ModRoute;
         assert_eq!(r.route(&K { k: 5 }, &info(3)), 2);
+    }
+
+    #[test]
+    fn stateless_declarations_match_the_stateful_path() {
+        route!(pub ModRoute2 for K = |token, info| token.k as usize % info.thread_count);
+        // Probe the declarations through the type-erased adapters (the
+        // engines' view), avoiding compile-time-constant assertions.
+        fn declared<R: Route<K>>(route: R) -> bool {
+            RouteAdapter {
+                route,
+                _m: PhantomData::<fn(K)>,
+            }
+            .is_stateless()
+        }
+        assert!(declared(ModRoute2));
+        assert!(declared(ToThread(0)));
+        assert!(!declared(RoundRobin::new()));
+        assert!(!declared(LeastLoaded::new()));
+        let tok = K { k: 7 };
+        let i = info(4);
+        let mut by_key = ByKey::new(|t: &K| t.k as usize);
+        assert_eq!(by_key.route(&tok, &i), by_key.route_stateless(&tok, &i));
+        let mut to = ToThread(2);
+        assert_eq!(
+            Route::<K>::route(&mut to, &tok, &i),
+            to.route_stateless(&tok, &i)
+        );
+    }
+
+    #[test]
+    fn adapter_exposes_the_shared_path_for_stateless_routes() {
+        let stateless = RouteAdapter {
+            route: ByKey::new(|t: &K| t.k as usize),
+            _m: PhantomData::<fn(K)>,
+        };
+        assert!(stateless.is_stateless());
+        let tok = K { k: 7 };
+        assert_eq!(stateless.route_dyn_shared(&tok, &info(4), "n").unwrap(), 3);
+        let stateful = RouteAdapter {
+            route: RoundRobin::new(),
+            _m: PhantomData::<fn(K)>,
+        };
+        assert!(!stateful.is_stateless());
     }
 
     #[test]

@@ -227,7 +227,16 @@ impl<T> Clone for ChunkRoute<T> {
 }
 
 impl<T: WorkerHinted> Route<T> for ChunkRoute<T> {
+    // Decides from the token hint and the live load snapshot alone, so
+    // ticket deliveries — the scheduled-loop hot path — never serialize on
+    // a route lock.
+    const STATELESS: bool = true;
+
     fn route(&mut self, token: &T, info: &RouteInfo<'_>) -> usize {
+        self.route_stateless(token, info)
+    }
+
+    fn route_stateless(&self, token: &T, info: &RouteInfo<'_>) -> usize {
         let hint = token.worker_hint() as usize % info.thread_count;
         match info.load {
             Some(load) => {

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 use dps_sched::FeedbackSink;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::utils::CachePadded;
 use dps_cluster::{resolve_mapping, ClusterSpec};
 use dps_core::{
     downcast, register_token, DpsError, GraphBuilder, Result, ThreadData, Token, TokenBox,
@@ -267,7 +268,9 @@ impl MtEngine {
                     senders.push(tx);
                     rxs.push(rx);
                 }
-                let queued = (0..tc.nodes.len()).map(|_| AtomicU32::new(0)).collect();
+                let queued = (0..tc.nodes.len())
+                    .map(|_| CachePadded::new(AtomicU32::new(0)))
+                    .collect();
                 tcs.push(SharedTc {
                     nodes: tc.nodes.clone(),
                     senders,
@@ -282,7 +285,7 @@ impl MtEngine {
                     routes: def
                         .nodes()
                         .iter()
-                        .map(|n| Mutex::new(n.make_route()))
+                        .map(|n| crate::worker::RouteCell::install(n.make_route()))
                         .collect(),
                     wave_threads: Mutex::new(HashMap::new()),
                     flows: Mutex::new(HashMap::new()),

@@ -10,10 +10,11 @@ use std::time::Instant;
 use dps_sched::FeedbackSink;
 
 use crossbeam::channel::{Receiver, Sender};
+use crossbeam::utils::CachePadded;
 use dps_core::internal::{DynOp, DynRoute, ExecInfo, OpOutput};
 use dps_core::{
     wire_roundtrip, CallFrame, DpsError, Envelope, Flowgraph, Frame, GNodeId, OpKind, RouteInfo,
-    TokenBox, TokenRegistry, WaveKey,
+    Token, TokenBox, TokenRegistry, WaveKey,
 };
 use parking_lot::Mutex;
 
@@ -51,8 +52,11 @@ pub(crate) struct SharedTc {
     pub senders: Vec<Sender<Msg>>,
     /// Live per-thread backlog (messages sent and not yet fully processed)
     /// — the load signal for `LeastLoaded`/`ChunkRoute` routing and the
-    /// AWF feedback loop on real OS threads.
-    pub queued: Vec<AtomicU32>,
+    /// AWF feedback loop on real OS threads. Each counter is padded to its
+    /// own cache line: every delivery bumps exactly one thread's counter,
+    /// and unpadded neighbours would drag every other thread's line along
+    /// (false sharing on the per-delivery hot path).
+    pub queued: Vec<CachePadded<AtomicU32>>,
 }
 
 impl SharedTc {
@@ -83,8 +87,39 @@ pub(crate) struct MtFlow {
     unbounded: bool,
 }
 
+/// One graph node's installed route. Stateless routes (declared via
+/// [`Route::STATELESS`](dps_core::Route::STATELESS)) are shared across the
+/// delivery threads and called through `&self` — no per-delivery lock;
+/// stateful routes (round-robin counters and friends) keep the mutex.
+pub(crate) enum RouteCell {
+    Stateless(Box<dyn DynRoute>),
+    Stateful(Mutex<Box<dyn DynRoute>>),
+}
+
+impl RouteCell {
+    pub(crate) fn install(route: Box<dyn DynRoute>) -> Self {
+        if route.is_stateless() {
+            RouteCell::Stateless(route)
+        } else {
+            RouteCell::Stateful(Mutex::new(route))
+        }
+    }
+
+    fn route(
+        &self,
+        token: &dyn Token,
+        info: &RouteInfo<'_>,
+        node_name: &str,
+    ) -> dps_core::Result<usize> {
+        match self {
+            RouteCell::Stateless(r) => r.route_dyn_shared(token, info, node_name),
+            RouteCell::Stateful(m) => m.lock().route_dyn(token, info, node_name),
+        }
+    }
+}
+
 pub(crate) struct SharedGraph {
-    pub routes: Vec<Mutex<Box<dyn DynRoute>>>,
+    pub routes: Vec<RouteCell>,
     pub wave_threads: Mutex<HashMap<WaveKey, u32>>,
     pub flows: Mutex<HashMap<(u32, u64), MtFlow>>,
     /// Wave totals whose waves have not been routed to a thread yet.
@@ -788,10 +823,7 @@ fn route_and_send(
         thread_count,
         load: load.as_deref(),
     };
-    let routed = {
-        let mut route = g.routes[to.0 as usize].lock();
-        route.route_dyn(token.as_ref(), &info, &gnode.name)
-    };
+    let routed = g.routes[to.0 as usize].route(token.as_ref(), &info, &gnode.name);
     let mut thread = match routed {
         Ok(i) => i as u32,
         Err(e) => {

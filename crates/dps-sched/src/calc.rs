@@ -19,9 +19,10 @@
 //!   operations (which announce a range) and worker operations (which claim
 //!   chunks) can rendezvous without tokens carrying shared pointers.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
 
 use crate::policy::PolicyKind;
 use crate::scheduler::Chunk;
@@ -269,7 +270,7 @@ impl IterCounter {
     pub fn remaining(&self) -> u64 {
         let start = match &self.state {
             ClaimState::Packed(word) => word.load(Ordering::Acquire) & START_MASK,
-            ClaimState::Wide(pair) => pair.lock().expect("claim state poisoned").0,
+            ClaimState::Wide(pair) => pair.lock().0,
         };
         self.calc.total().saturating_sub(start)
     }
@@ -307,7 +308,7 @@ impl IterCounter {
                 }
             }
             ClaimState::Wide(pair) => {
-                let mut guard = pair.lock().expect("claim state poisoned");
+                let mut guard = pair.lock();
                 let (start, seq) = *guard;
                 if start >= self.calc.total() {
                     return None;
@@ -331,22 +332,80 @@ pub struct ChunkLease {
     pub chunks: u32,
 }
 
+/// One lease's slot in the hub directory.
+#[derive(Debug)]
+struct LeaseSlot {
+    /// Set exactly once by [`ChunkHub::open`]; read lock-free by claimers.
+    counter: OnceLock<Arc<IterCounter>>,
+    /// Drained or explicitly closed: claims return `None` from here on.
+    closed: AtomicBool,
+}
+
+impl LeaseSlot {
+    fn new() -> Self {
+        Self {
+            counter: OnceLock::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Log2 of the first lease segment's slot count.
+const LEASE_SEG0_BITS: u32 = 5;
+
+/// Lease segments double in size; 32 of them cover ~2³⁶ lease ids.
+const LEASE_SEGS: usize = 32;
+
+/// Map a lease id to its `(segment, offset)` in the doubling directory.
+#[inline]
+fn lease_locate(id: u64) -> Option<(usize, usize)> {
+    let pos = (id as usize).checked_add(1 << LEASE_SEG0_BITS)?;
+    let seg = (pos.ilog2() - LEASE_SEG0_BITS) as usize;
+    (seg < LEASE_SEGS).then(|| (seg, pos - (1usize << (seg as u32 + LEASE_SEG0_BITS))))
+}
+
 /// Rendezvous between range-announcing splits and chunk-claiming workers:
 /// the split [`open`](Self::open)s a counter and broadcasts the lease id in
 /// its tickets; each worker [`claim`](Self::claim)s against that id. Shared
 /// by `Arc` between the operations of a graph (tokens stay plain data).
 ///
-/// Drained counters are dropped automatically on the claim that observes
-/// exhaustion, so a long-lived hub does not accumulate leases across
-/// *completed* waves. A wave that aborts before its tickets were all
-/// claimed (a run timeout, a fatal node failure) leaves its lease open
-/// until the hub is dropped; every driver creates one hub per run, so the
-/// leak is bounded by the run. A future hub shared across independent runs
-/// must add explicit lease closing on its recovery path.
-#[derive(Debug, Default)]
+/// # Multi-range, lock-free
+///
+/// Lease ids are dense (`fetch_add`), so the directory is a doubling array
+/// of slots indexed by id — not a locked map. [`claim`](Self::claim)
+/// resolves a lease with two atomic loads (slot lookup + drained check) and
+/// then claims on the lease's own [`IterCounter`]: no lock is taken and no
+/// `Arc` is cloned on the per-chunk path, so **any number of concurrent
+/// scheduled loops share one hub without contending** with each other.
+/// [`open`](Self::open) is equally lock-free (one `fetch_add` plus a
+/// `OnceLock` publication), so ranges can be announced while other leases
+/// are being drained.
+///
+/// A drained lease is marked closed by the claim that observes exhaustion
+/// (in one atomic `swap` — the old map-based hub's check-then-relock window
+/// between the lookup and the removal no longer exists). A wave that aborts
+/// before its range drains (a run timeout, a fatal node failure) should
+/// [`close`](Self::close) its lease on the recovery path. Slots themselves
+/// live until the hub drops — a few hundred bytes per lease ever opened,
+/// bounded by the run the hub belongs to.
+#[derive(Debug)]
 pub struct ChunkHub {
-    leases: Mutex<HashMap<u64, Arc<IterCounter>>>,
+    /// Doubling lease segments, allocated on first touch.
+    segments: [OnceLock<Box<[LeaseSlot]>>; LEASE_SEGS],
+    /// Next lease id.
     next: AtomicU64,
+    /// Leases opened and not yet drained/closed.
+    open: AtomicU64,
+}
+
+impl Default for ChunkHub {
+    fn default() -> Self {
+        Self {
+            segments: std::array::from_fn(|_| OnceLock::new()),
+            next: AtomicU64::new(0),
+            open: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ChunkHub {
@@ -355,44 +414,91 @@ impl ChunkHub {
         Self::default()
     }
 
+    /// The slot of lease `id`, if its segment was ever touched.
+    fn slot(&self, id: u64) -> Option<&LeaseSlot> {
+        let (seg, idx) = lease_locate(id)?;
+        self.segments[seg].get().map(|s| &s[idx])
+    }
+
     /// Open a counter over `calc`'s range and lease it out.
     pub fn open(&self, calc: ChunkCalc) -> ChunkLease {
         let counter = IterCounter::new(calc);
         let chunks = counter.chunk_count();
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.leases
-            .lock()
-            .expect("chunk hub poisoned")
-            .insert(id, Arc::new(counter));
+        let (seg, idx) = lease_locate(id).expect("lease id space exhausted");
+        let slots = self.segments[seg].get_or_init(|| {
+            (0..(1usize << (seg as u32 + LEASE_SEG0_BITS)))
+                .map(|_| LeaseSlot::new())
+                .collect()
+        });
+        slots[idx]
+            .counter
+            .set(Arc::new(counter))
+            .expect("lease ids are unique");
+        self.open.fetch_add(1, Ordering::Relaxed);
         ChunkLease { id, chunks }
     }
 
-    /// Claim the next chunk of lease `id`. `None` when the lease is drained
-    /// (or unknown — e.g. already drained and dropped).
+    /// Open a batch of ranges in one call — one lease per range, in order.
+    /// Concurrent scheduled loops each drain their own lease; the claim
+    /// paths never touch shared state beyond their lease's counter.
+    pub fn open_batch(&self, calcs: impl IntoIterator<Item = ChunkCalc>) -> Vec<ChunkLease> {
+        calcs.into_iter().map(|c| self.open(c)).collect()
+    }
+
+    /// Mark lease `id` drained on the way out, exactly once.
+    fn retire(&self, slot: &LeaseSlot) {
+        if !slot.closed.swap(true, Ordering::AcqRel) {
+            self.open.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Claim the next chunk of lease `id`: lock-free lease resolution plus
+    /// one CAS on the lease's own counter. `None` when the lease is
+    /// drained, [`close`](Self::close)d, or unknown.
     pub fn claim(&self, id: u64) -> Option<Chunk> {
-        let counter = {
-            let leases = self.leases.lock().expect("chunk hub poisoned");
-            leases.get(&id).cloned()
-        }?;
+        let slot = self.slot(id)?;
+        if slot.closed.load(Ordering::Acquire) {
+            return None;
+        }
+        let counter = slot.counter.get()?;
         let chunk = counter.claim();
         if chunk.is_none() || counter.remaining() == 0 {
-            self.leases.lock().expect("chunk hub poisoned").remove(&id);
+            self.retire(slot);
         }
         chunk
     }
 
+    /// Close lease `id` before it drains (wave abort, node failure, lease
+    /// expiry): subsequent [`claim`](Self::claim)s return `None`. Claims
+    /// already past the closed check may still hand out one in-flight chunk
+    /// each — closing races a concurrent claim exactly like draining does.
+    /// Returns `true` if this call closed the lease (it was open).
+    pub fn close(&self, id: u64) -> bool {
+        match self.slot(id) {
+            Some(slot) if slot.counter.get().is_some() => {
+                let was_open = !slot.closed.swap(true, Ordering::AcqRel);
+                if was_open {
+                    self.open.fetch_sub(1, Ordering::Relaxed);
+                }
+                was_open
+            }
+            _ => false,
+        }
+    }
+
     /// The counter behind lease `id`, if still open.
     pub fn counter(&self, id: u64) -> Option<Arc<IterCounter>> {
-        self.leases
-            .lock()
-            .expect("chunk hub poisoned")
-            .get(&id)
-            .cloned()
+        let slot = self.slot(id)?;
+        if slot.closed.load(Ordering::Acquire) {
+            return None;
+        }
+        slot.counter.get().cloned()
     }
 
     /// Leases not yet drained.
     pub fn open_leases(&self) -> usize {
-        self.leases.lock().expect("chunk hub poisoned").len()
+        self.open.load(Ordering::Relaxed) as usize
     }
 }
 
@@ -508,5 +614,61 @@ mod tests {
         let lease = hub.open(ChunkCalc::new(PolicyKind::Awf, 0, 3, &uniform(3)));
         assert_eq!(lease.chunks, 0);
         assert!(hub.claim(lease.id).is_none());
+    }
+
+    #[test]
+    fn closing_a_lease_stops_claims() {
+        let hub = ChunkHub::new();
+        let lease = hub.open(ChunkCalc::new(PolicyKind::Ss, 100, 2, &uniform(2)));
+        assert!(hub.claim(lease.id).is_some());
+        assert!(hub.close(lease.id), "open lease closes");
+        assert!(hub.claim(lease.id).is_none(), "closed lease hands nothing");
+        assert!(hub.counter(lease.id).is_none());
+        assert_eq!(hub.open_leases(), 0);
+        assert!(!hub.close(lease.id), "second close is a no-op");
+        assert!(!hub.close(9999), "unknown lease cannot close");
+    }
+
+    /// Many concurrent leases on one hub (the multi-range batching shape):
+    /// each drains independently and exactly.
+    #[test]
+    fn many_leases_drain_independently() {
+        let hub = Arc::new(ChunkHub::new());
+        let leases = hub.open_batch(
+            (0..64).map(|i| ChunkCalc::new(PolicyKind::Gss, 100 + i as u64, 3, &uniform(3))),
+        );
+        assert_eq!(hub.open_leases(), 64);
+        // Interleave claims across all leases from several threads.
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let hub = Arc::clone(&hub);
+            let ids: Vec<u64> = leases.iter().map(|l| l.id).collect();
+            handles.push(std::thread::spawn(move || {
+                let mut got = vec![0u64; ids.len()];
+                loop {
+                    let mut any = false;
+                    for (k, &id) in ids.iter().enumerate() {
+                        if let Some(c) = hub.claim(id) {
+                            got[k] += c.len;
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        break;
+                    }
+                }
+                got
+            }));
+        }
+        let mut totals = vec![0u64; leases.len()];
+        for h in handles {
+            for (k, n) in h.join().expect("claimer panicked").into_iter().enumerate() {
+                totals[k] += n;
+            }
+        }
+        for (i, &t) in totals.iter().enumerate() {
+            assert_eq!(t, 100 + i as u64, "lease {i} drains exactly");
+        }
+        assert_eq!(hub.open_leases(), 0);
     }
 }

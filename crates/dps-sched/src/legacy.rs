@@ -1,0 +1,233 @@
+//! The pre-sharding, mutex-based [`FeedbackBoard`](crate::FeedbackBoard)
+//! implementation, kept as the **reference baseline**:
+//!
+//! * the differential property test (`tests/proptest_feedback.rs`) asserts
+//!   the sharded board reproduces this implementation's rates, weights and
+//!   statistics byte for byte over randomized report sequences;
+//! * the `bench_hotpath` binary (dps-bench) measures report throughput
+//!   against it, so every committed `BENCH_hotpath.json` carries its own
+//!   before/after comparison.
+//!
+//! Three coarse `parking_lot::Mutex`es guard the per-worker vectors, so
+//! every [`report_chunk`](crate::FeedbackSink::report_chunk) from every
+//! worker serializes on the same cache lines — the master-side bottleneck
+//! the sharded board removes. Do not use this type in new code; it exists
+//! to keep the fast path honest.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::feedback::{FeedbackSink, RateEstimator, WorkerStats, MAX_BATCHES, MAX_SAMPLES};
+use crate::policy::PolicyKind;
+
+/// Per-worker batch accounting for [`RateEstimator::BatchWeighted`].
+#[derive(Debug, Default, Clone)]
+struct BatchTrack {
+    /// Closed batches: summed `(iters, secs)` per scheduling wave.
+    closed: VecDeque<(f64, f64)>,
+    /// The batch currently accumulating (reports since the last
+    /// weight read).
+    open: (f64, f64),
+}
+
+/// The coarse-grained (three-mutex) feedback board, preserved verbatim as
+/// the baseline the sharded [`FeedbackBoard`](crate::FeedbackBoard) is
+/// differential-tested and benchmarked against.
+#[derive(Debug)]
+pub struct LegacyFeedbackBoard {
+    stats: Mutex<Vec<WorkerStats>>,
+    /// Recent per-chunk `(iters, secs)` samples per worker.
+    samples: Mutex<Vec<VecDeque<(f64, f64)>>>,
+    /// Per-wave batch totals per worker (batch-weighted estimator only).
+    batches: Mutex<Vec<BatchTrack>>,
+    estimator: RateEstimator,
+}
+
+impl Default for LegacyFeedbackBoard {
+    fn default() -> Self {
+        Self::with_estimator(RateEstimator::Aggregate)
+    }
+}
+
+impl LegacyFeedbackBoard {
+    /// Empty board with the aggregate rate estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty board with an explicit rate estimator.
+    pub fn with_estimator(estimator: RateEstimator) -> Self {
+        let estimator = match estimator {
+            RateEstimator::Trimmed(t) => RateEstimator::Trimmed(t.clamp(0.0, 0.4)),
+            e => e,
+        };
+        Self {
+            stats: Mutex::new(Vec::new()),
+            samples: Mutex::new(Vec::new()),
+            batches: Mutex::new(Vec::new()),
+            estimator,
+        }
+    }
+
+    /// Empty board with the outlier-resistant trimmed-mean estimator.
+    pub fn with_trimmed_rates(trim: f64) -> Self {
+        Self::with_estimator(RateEstimator::Trimmed(trim))
+    }
+
+    /// The board an AWF-family policy expects (see
+    /// [`FeedbackBoard::for_policy`](crate::FeedbackBoard::for_policy)).
+    pub fn for_policy(kind: PolicyKind) -> Self {
+        Self::with_estimator(match kind {
+            PolicyKind::AwfB => RateEstimator::BatchWeighted,
+            PolicyKind::AwfC => RateEstimator::ChunkWeighted,
+            _ => RateEstimator::Aggregate,
+        })
+    }
+
+    /// The estimator this board was constructed with.
+    pub fn estimator(&self) -> RateEstimator {
+        self.estimator
+    }
+
+    /// Snapshot of the per-worker statistics (at least `workers` entries).
+    pub fn stats(&self, workers: usize) -> Vec<WorkerStats> {
+        let mut s = self.stats.lock().clone();
+        if s.len() < workers {
+            s.resize(workers, WorkerStats::default());
+        }
+        s
+    }
+
+    /// Per-worker measured rates (estimator per construction), `None` for
+    /// workers with no usable reports.
+    fn rates(&self, workers: usize) -> Vec<Option<f64>> {
+        match self.estimator {
+            RateEstimator::Aggregate => self
+                .stats(workers)
+                .iter()
+                .take(workers)
+                .map(WorkerStats::rate)
+                .collect(),
+            RateEstimator::Trimmed(trim) => {
+                let samples = self.samples.lock();
+                (0..workers)
+                    .map(|w| {
+                        samples
+                            .get(w)
+                            .and_then(|s| crate::feedback::trimmed_rate(s.iter(), trim))
+                    })
+                    .collect()
+            }
+            RateEstimator::ChunkWeighted => {
+                let samples = self.samples.lock();
+                (0..workers)
+                    .map(|w| {
+                        samples
+                            .get(w)
+                            .and_then(|s| crate::feedback::recency_weighted_rate(s.iter()))
+                    })
+                    .collect()
+            }
+            RateEstimator::BatchWeighted => {
+                // `weights()` rolled every open batch before calling here,
+                // so the closed deque is the complete measurement history.
+                let batches = self.batches.lock();
+                (0..workers)
+                    .map(|w| {
+                        batches
+                            .get(w)
+                            .and_then(|t| crate::feedback::recency_weighted_rate(t.closed.iter()))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Per-worker weights, normalized to sum to 1 (see
+    /// [`FeedbackBoard::weights`](crate::FeedbackBoard::weights)).
+    pub fn weights(&self, workers: usize) -> Vec<f64> {
+        if self.estimator == RateEstimator::BatchWeighted {
+            self.roll_batches();
+        }
+        crate::feedback::weights_from_rates(self.rates(workers), workers)
+    }
+
+    /// Close every worker's open batch (no-op for workers that reported
+    /// nothing since the last close).
+    fn roll_batches(&self) {
+        let mut batches = self.batches.lock();
+        for t in batches.iter_mut() {
+            if t.open.1 > 0.0 {
+                if t.closed.len() == MAX_BATCHES {
+                    t.closed.pop_front();
+                }
+                t.closed.push_back(t.open);
+                t.open = (0.0, 0.0);
+            }
+        }
+    }
+
+    /// Forget all reports (e.g. between benchmark configurations).
+    pub fn reset(&self) {
+        self.stats.lock().clear();
+        self.samples.lock().clear();
+        self.batches.lock().clear();
+    }
+
+    /// Total chunks reported across all workers.
+    pub fn total_chunks(&self) -> u64 {
+        self.stats.lock().iter().map(|s| s.chunks).sum()
+    }
+}
+
+impl FeedbackSink for LegacyFeedbackBoard {
+    fn report_chunk(&self, worker: usize, iters: u64, secs: f64) {
+        {
+            let mut stats = self.stats.lock();
+            if stats.len() <= worker {
+                stats.resize(worker + 1, WorkerStats::default());
+            }
+            let s = &mut stats[worker];
+            s.chunks += 1;
+            s.iters += iters;
+            s.secs += secs.max(0.0);
+        }
+        if secs > 0.0 && iters > 0 {
+            {
+                let mut samples = self.samples.lock();
+                if samples.len() <= worker {
+                    samples.resize(worker + 1, VecDeque::new());
+                }
+                let q = &mut samples[worker];
+                if q.len() == MAX_SAMPLES {
+                    q.pop_front();
+                }
+                q.push_back((iters as f64, secs));
+            }
+            let mut batches = self.batches.lock();
+            if batches.len() <= worker {
+                batches.resize(worker + 1, BatchTrack::default());
+            }
+            batches[worker].open.0 += iters as f64;
+            batches[worker].open.1 += secs;
+        }
+    }
+
+    fn worker_lost(&self, worker: usize) {
+        let mut stats = self.stats.lock();
+        if let Some(s) = stats.get_mut(worker) {
+            *s = WorkerStats::default();
+        }
+        drop(stats);
+        let mut samples = self.samples.lock();
+        if let Some(q) = samples.get_mut(worker) {
+            q.clear();
+        }
+        drop(samples);
+        let mut batches = self.batches.lock();
+        if let Some(t) = batches.get_mut(worker) {
+            *t = BatchTrack::default();
+        }
+    }
+}

@@ -45,11 +45,24 @@
 //! the workers of a flow graph. The distributed chunk sequence is
 //! byte-identical to the central scheduler's (property-tested).
 //!
-//! This crate is engine-independent (and dependency-free): `dps-core`'s
-//! `ScheduledSplit` operation plugs these policies into flow graphs.
+//! ## The lock-free hot path
+//!
+//! The per-chunk path — claim a chunk, execute it, report its completion —
+//! takes no locks: [`ChunkHub::claim`] resolves leases through a doubling
+//! slot directory (many concurrent scheduled loops share one hub without
+//! contending) and [`FeedbackBoard`] reports are wait-free single-writer
+//! seqlock writes into per-worker cache-line-padded slots; all rate
+//! estimation folds on the infrequent read side. The pre-sharding
+//! mutex-based board survives as [`legacy::LegacyFeedbackBoard`], the
+//! baseline the differential proptest and the `bench_hotpath` benchmark
+//! compare against.
+//!
+//! This crate is engine-independent: `dps-core`'s `ScheduledSplit`
+//! operation plugs these policies into flow graphs.
 
 mod calc;
 mod feedback;
+pub mod legacy;
 mod policy;
 mod scheduler;
 

@@ -1,0 +1,281 @@
+//! Schedule-randomizing concurrency tests (shuttle-style: no real model
+//! checker is available offline, so interleavings are explored by running
+//! each scenario across many seeds, with seed-derived yield/backoff points
+//! perturbing the thread schedule and invariants checked at *every*
+//! intermediate observation, not just at quiescence).
+//!
+//! Covered:
+//! * the wait-free [`FeedbackBoard`] report slot — concurrent reporters
+//!   plus a folding reader never observe torn or lost state;
+//! * `worker_lost` racing a live reporter — snapshots are all-or-nothing;
+//! * [`ChunkHub`] multi-range lease claim/close interleavings — exact
+//!   partitioning, no hand-outs after close is observed, drained leases
+//!   retire exactly once.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use dps_sched::{ChunkCalc, ChunkHub, FeedbackBoard, FeedbackSink, PolicyKind};
+
+/// Tiny deterministic PRNG (xorshift64*) for seed-derived schedules.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Perturb the schedule: nothing, a spin hint, or an OS yield.
+    fn jitter(&mut self) {
+        match self.next() % 8 {
+            0 => std::thread::yield_now(),
+            1 | 2 => std::hint::spin_loop(),
+            _ => {}
+        }
+    }
+}
+
+/// Concurrent reporters (one per worker index, the engines' single-writer
+/// discipline) with a reader folding mid-flight: every snapshot the reader
+/// takes must be internally consistent — `iters` and `secs` always agree
+/// with `chunks` — and the final state must be exact.
+#[test]
+fn report_slots_are_never_torn_or_lost() {
+    const WORKERS: usize = 4;
+    const REPORTS: u64 = 2_000;
+    for seed in 0..8u64 {
+        let board = Arc::new(FeedbackBoard::new());
+        let start = Arc::new(Barrier::new(WORKERS + 1));
+        let done = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let board = Arc::clone(&board);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    let mut rng = Rng::new(seed * 31 + w as u64);
+                    start.wait();
+                    for _ in 0..REPORTS {
+                        // iters = 7·chunk, secs = 0.5·chunk: any consistent
+                        // snapshot satisfies the exact linear invariants.
+                        board.report_chunk(w, 7, 0.5);
+                        rng.jitter();
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let board = Arc::clone(&board);
+            let start = Arc::clone(&start);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut rng = Rng::new(seed ^ 0xfeed);
+                start.wait();
+                let mut observations = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    for s in board.stats(WORKERS) {
+                        assert_eq!(s.iters, 7 * s.chunks, "torn iters/chunks");
+                        assert_eq!(
+                            s.secs.to_bits(),
+                            (0.5 * s.chunks as f64).to_bits(),
+                            "torn secs/chunks"
+                        );
+                    }
+                    let w = board.weights(WORKERS);
+                    assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{w:?}");
+                    observations += 1;
+                    rng.jitter();
+                }
+                observations
+            })
+        };
+        for h in writers {
+            h.join().expect("reporter panicked");
+        }
+        done.store(true, Ordering::Release);
+        let observations = reader.join().expect("reader panicked");
+        assert!(observations > 0, "reader never ran");
+        for s in &board.stats(WORKERS)[..WORKERS] {
+            assert_eq!(s.chunks, REPORTS, "lost reports");
+            assert_eq!(s.iters, 7 * REPORTS);
+        }
+        assert_eq!(board.total_chunks(), WORKERS as u64 * REPORTS);
+    }
+}
+
+/// `worker_lost` (a cross-thread write into the victim's slot) racing the
+/// victim's own reports: the reset is atomic from every reader's view —
+/// snapshots never mix pre-loss and post-loss state.
+#[test]
+fn worker_lost_races_are_all_or_nothing() {
+    for seed in 0..12u64 {
+        let board = Arc::new(FeedbackBoard::new());
+        let start = Arc::new(Barrier::new(3));
+        let reporter = {
+            let board = Arc::clone(&board);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                let mut rng = Rng::new(seed);
+                start.wait();
+                for _ in 0..3_000 {
+                    board.report_chunk(0, 7, 0.5);
+                    rng.jitter();
+                }
+            })
+        };
+        let loser = {
+            let board = Arc::clone(&board);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                let mut rng = Rng::new(seed ^ 0xdead);
+                start.wait();
+                for _ in 0..40 {
+                    board.worker_lost(0);
+                    for _ in 0..(rng.next() % 64) {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        start.wait();
+        for _ in 0..2_000 {
+            let s = board.stats(1)[0];
+            assert_eq!(s.iters, 7 * s.chunks, "reset mixed with reports");
+            assert_eq!(s.secs.to_bits(), (0.5 * s.chunks as f64).to_bits());
+        }
+        reporter.join().expect("reporter panicked");
+        loser.join().expect("loser panicked");
+    }
+}
+
+/// Concurrent claimers over several leases with a closer expiring one lease
+/// mid-drain: claims stay an exact prefix partition of each range, nothing
+/// is handed out after `close` is observed, and every lease retires from
+/// `open_leases` exactly once.
+#[test]
+fn lease_claim_and_close_interleavings() {
+    const CLAIMERS: usize = 4;
+    for seed in 0..10u64 {
+        let hub = Arc::new(ChunkHub::new());
+        let keep = hub.open(ChunkCalc::new(PolicyKind::Gss, 5_000, CLAIMERS, &[]));
+        let doomed = hub.open(ChunkCalc::new(PolicyKind::Ss, 50_000, CLAIMERS, &[]));
+        assert_eq!(hub.open_leases(), 2);
+        let start = Arc::new(Barrier::new(CLAIMERS + 2));
+        let doomed_iters = Arc::new(AtomicU64::new(0));
+        let closed_at = Arc::new(AtomicU64::new(u64::MAX));
+        let claimers: Vec<_> = (0..CLAIMERS)
+            .map(|c| {
+                let hub = Arc::clone(&hub);
+                let start = Arc::clone(&start);
+                let doomed_iters = Arc::clone(&doomed_iters);
+                let closed_at = Arc::clone(&closed_at);
+                std::thread::spawn(move || {
+                    let mut rng = Rng::new(seed * 17 + c as u64);
+                    start.wait();
+                    let mut keep_iters = 0u64;
+                    loop {
+                        let mut progressed = false;
+                        if let Some(chunk) = hub.claim(keep.id) {
+                            keep_iters += chunk.len;
+                            progressed = true;
+                        }
+                        // After close() returned, a claim may at most race
+                        // the close itself; once we *observed* None from
+                        // the doomed lease it must stay None.
+                        if closed_at.load(Ordering::Acquire) == u64::MAX {
+                            if let Some(chunk) = hub.claim(doomed.id) {
+                                doomed_iters.fetch_add(chunk.len, Ordering::Relaxed);
+                                progressed = true;
+                            }
+                        } else {
+                            assert!(
+                                hub.claim(doomed.id).is_none(),
+                                "closed lease handed out a chunk"
+                            );
+                        }
+                        rng.jitter();
+                        if !progressed && hub.claim(keep.id).is_none() {
+                            break;
+                        }
+                    }
+                    keep_iters
+                })
+            })
+            .collect();
+        let closer = {
+            let hub = Arc::clone(&hub);
+            let start = Arc::clone(&start);
+            let closed_at = Arc::clone(&closed_at);
+            let doomed_iters = Arc::clone(&doomed_iters);
+            std::thread::spawn(move || {
+                let mut rng = Rng::new(seed ^ 0xc105e);
+                start.wait();
+                for _ in 0..(rng.next() % 2_000) {
+                    std::hint::spin_loop();
+                }
+                hub.close(doomed.id);
+                closed_at.store(doomed_iters.load(Ordering::Relaxed), Ordering::Release);
+            })
+        };
+        start.wait();
+        let keep_total: u64 = claimers
+            .into_iter()
+            .map(|h| h.join().expect("claimer panicked"))
+            .sum();
+        closer.join().expect("closer panicked");
+        // The surviving lease drains exactly.
+        assert_eq!(keep_total, 5_000, "seed {seed}: exact partition");
+        // The doomed lease handed out at most its range, and nothing after
+        // the close was observed (checked inside the claimers).
+        assert!(doomed_iters.load(Ordering::Relaxed) <= 50_000);
+        assert!(hub.claim(doomed.id).is_none());
+        assert_eq!(hub.open_leases(), 0, "both leases retired exactly once");
+        // Closing again is a no-op; the drained lease cannot reopen.
+        assert!(!hub.close(doomed.id));
+        assert!(!hub.close(keep.id));
+    }
+}
+
+/// Batch reports interleaved with single reports from the same owner
+/// thread serialize correctly under a concurrent reader.
+#[test]
+fn batch_reports_fold_consistently() {
+    let board = Arc::new(FeedbackBoard::new());
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let board = Arc::clone(&board);
+        std::thread::spawn(move || {
+            for j in 0..1_000u64 {
+                if j % 3 == 0 {
+                    board.report_batch(0, &[(7, 0.5), (7, 0.5), (7, 0.5)]);
+                } else {
+                    board.report_chunk(0, 7, 0.5);
+                }
+            }
+        })
+    };
+    let reader = {
+        let board = Arc::clone(&board);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                let s = board.stats(1)[0];
+                assert_eq!(s.iters, 7 * s.chunks);
+                assert_eq!(s.secs.to_bits(), (0.5 * s.chunks as f64).to_bits());
+            }
+        })
+    };
+    writer.join().expect("writer panicked");
+    done.store(true, Ordering::Release);
+    reader.join().expect("reader panicked");
+    // 334 batches of 3 + 666 singles.
+    assert_eq!(board.stats(1)[0].chunks, 334 * 3 + 666);
+}

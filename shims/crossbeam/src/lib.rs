@@ -59,10 +59,77 @@ pub mod channel {
     }
 }
 
+/// Concurrency utilities (`crossbeam::utils` subset).
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the size of a cache line (conservatively
+    /// 128 bytes, covering adjacent-line prefetchers), so neighbouring
+    /// values in an array never share a line — the false-sharing killer for
+    /// per-thread counters.
+    #[derive(Default, Clone, Copy)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pad `value` to its own cache line.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Unwrap the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("CachePadded").field(&self.value).finish()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel;
     use std::time::Duration;
+
+    #[test]
+    fn cache_padded_is_line_aligned() {
+        let padded = [
+            super::utils::CachePadded::new(std::sync::atomic::AtomicU32::new(0)),
+            super::utils::CachePadded::new(std::sync::atomic::AtomicU32::new(0)),
+        ];
+        assert_eq!(std::mem::align_of_val(&padded[0]), 128);
+        let a = &padded[0] as *const _ as usize;
+        let b = &padded[1] as *const _ as usize;
+        assert!(b - a >= 128, "neighbours live on distinct cache lines");
+        padded[0].store(7, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(padded[0].load(std::sync::atomic::Ordering::Relaxed), 7);
+    }
 
     #[test]
     fn send_recv_roundtrip() {
