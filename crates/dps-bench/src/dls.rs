@@ -17,7 +17,7 @@ use dps_core::sched::{
     ChunkRoute, ChunkWorker, CollectChunks, IterRange, RangeDone, ScheduledSplit,
 };
 use dps_core::Engine;
-use dps_sched::{ChunkHub, FeedbackBoard, PolicyKind};
+use dps_sched::{FeedbackBoard, PolicyKind};
 
 /// Per-iteration FLOP cost model of a scheduled loop.
 pub type CostFn = Arc<dyn Fn(u64) -> f64 + Send + Sync>;
@@ -99,7 +99,7 @@ pub fn run_dls<E: Engine>(
     let workers: ThreadCollection<()> =
         eng.thread_collection(app, "workers", &default_mapping(worker_nodes, 1))?;
 
-    let hub = Arc::new(ChunkHub::new());
+    let hub = eng.chunk_hub();
     let mut b = GraphBuilder::new(format!("dls-{}", cfg.policy.name()));
     let kind = cfg.policy;
     let wcount = workers.thread_count();

@@ -178,6 +178,19 @@ pub trait Engine {
     /// on the simulator, wall-clock seconds on OS threads). Meaningful as
     /// differences around submitted work.
     fn now_secs(&self) -> f64;
+
+    /// The [`ChunkHub`](dps_sched::ChunkHub) scheduled applications should
+    /// announce ranges to and claim chunks from. Shared-memory engines
+    /// return a fresh private hub per call (each scheduled setup owns its
+    /// leases); distributed engines override this with a process-spanning
+    /// hub — the master hosts the real lease counters and workers get a
+    /// forwarding handle — so split operations announcing a range and
+    /// worker operations claiming chunks rendezvous across process
+    /// boundaries. Portable setup code must obtain its hub here instead of
+    /// constructing one directly.
+    fn chunk_hub(&mut self) -> Arc<dps_sched::ChunkHub> {
+        Arc::new(dps_sched::ChunkHub::new())
+    }
 }
 
 /// A typed application front door: a built flow graph taking `In` at its

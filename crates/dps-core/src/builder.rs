@@ -33,7 +33,7 @@ use std::any::TypeId;
 use std::marker::PhantomData;
 use std::ops::{AddAssign, Shr};
 
-use dps_serial::Identified;
+use dps_serial::{Identified, Wire};
 
 use crate::envelope::GNodeId;
 use crate::graph::{GraphNode, OpKind};
@@ -109,6 +109,14 @@ pub struct GraphBuilder {
     pub(crate) app: Option<u32>,
     pub(crate) interactive: bool,
     pub(crate) serving: bool,
+    /// Deferred token registrations, one per distinct token type that
+    /// appears in a node signature. Engines apply them to the owning
+    /// application's registry when the graph is installed, so every type a
+    /// graph can carry is decodable without per-application
+    /// `register_token` calls — a requirement once tokens cross process
+    /// boundaries (`dps-netengine`), and a convenience for the
+    /// serialization-enforcement debugging mode.
+    pub(crate) registrations: Vec<(dps_serial::WireId, crate::graph::TokenRegFn)>,
 }
 
 impl GraphBuilder {
@@ -122,6 +130,7 @@ impl GraphBuilder {
             app: None,
             interactive: false,
             serving: false,
+            registrations: Vec::new(),
         }
     }
 
@@ -142,6 +151,18 @@ impl GraphBuilder {
     /// virtual-time engine models it as queue priority.
     pub fn set_interactive(&mut self) {
         self.interactive = true;
+    }
+
+    /// Record a deferred registration for token type `T`, once per wire id.
+    fn note_token<T>(&mut self)
+    where
+        T: Token + Identified + Wire + Clone,
+    {
+        let id = <T as Identified>::wire_id();
+        if !self.registrations.iter().any(|&(seen, _)| seen == id) {
+            self.registrations
+                .push((id, Box::new(|reg| crate::token::register_token::<T>(reg))));
+        }
     }
 
     fn check_app(&mut self, app: u32) {
@@ -197,10 +218,12 @@ impl GraphBuilder {
     ) -> NodeRef<O::In, O::Out>
     where
         O: SplitOperation,
-        O::In: Identified,
-        O::Out: Identified,
+        O::In: Identified + Wire + Clone,
+        O::Out: Identified + Wire + Clone,
         R: Route<O::In>,
     {
+        self.note_token::<O::In>();
+        self.note_token::<O::Out>();
         self.push_node(
             OpKind::Split,
             short_type_name::<O>(),
@@ -224,10 +247,12 @@ impl GraphBuilder {
     ) -> NodeRef<O::In, O::Out>
     where
         O: LeafOperation,
-        O::In: Identified,
-        O::Out: Identified,
+        O::In: Identified + Wire + Clone,
+        O::Out: Identified + Wire + Clone,
         R: Route<O::In>,
     {
+        self.note_token::<O::In>();
+        self.note_token::<O::Out>();
         self.push_node(
             OpKind::Leaf,
             short_type_name::<O>(),
@@ -252,10 +277,12 @@ impl GraphBuilder {
     ) -> NodeRef<O::In, O::Out>
     where
         O: MergeOperation,
-        O::In: Identified,
-        O::Out: Identified,
+        O::In: Identified + Wire + Clone,
+        O::Out: Identified + Wire + Clone,
         R: Route<O::In>,
     {
+        self.note_token::<O::In>();
+        self.note_token::<O::Out>();
         self.push_node(
             OpKind::Merge,
             short_type_name::<O>(),
@@ -279,10 +306,12 @@ impl GraphBuilder {
     ) -> NodeRef<O::In, O::Out>
     where
         O: StreamOperation,
-        O::In: Identified,
-        O::Out: Identified,
+        O::In: Identified + Wire + Clone,
+        O::Out: Identified + Wire + Clone,
         R: Route<O::In>,
     {
+        self.note_token::<O::In>();
+        self.note_token::<O::Out>();
         self.push_node(
             OpKind::Stream,
             short_type_name::<O>(),
@@ -310,11 +339,13 @@ impl GraphBuilder {
         route: impl Fn() -> R + Send + Sync + 'static,
     ) -> NodeRef<In, Out>
     where
-        In: Token + Identified,
-        Out: Token + Identified,
+        In: Token + Identified + Wire + Clone,
+        Out: Token + Identified + Wire + Clone,
         Td: ThreadData,
         R: Route<In>,
     {
+        self.note_token::<In>();
+        self.note_token::<Out>();
         self.push_node(
             OpKind::CallSplit,
             format!("call-split:{service}"),
@@ -340,11 +371,13 @@ impl GraphBuilder {
         route: impl Fn() -> R + Send + Sync + 'static,
     ) -> NodeRef<In, Out>
     where
-        In: Token + Identified,
-        Out: Token + Identified,
+        In: Token + Identified + Wire + Clone,
+        Out: Token + Identified + Wire + Clone,
         Td: ThreadData,
         R: Route<In>,
     {
+        self.note_token::<In>();
+        self.note_token::<Out>();
         self.push_node(
             OpKind::Call,
             format!("call:{service}"),
@@ -362,8 +395,9 @@ impl GraphBuilder {
     /// types of data objects that will be routed to different operations").
     pub fn declare_output<T, I: Token, O: Token>(&mut self, node: NodeRef<I, O>)
     where
-        T: Token + Identified,
+        T: Token + Identified + Wire + Clone,
     {
+        self.note_token::<T>();
         let n = &mut self.nodes[node.idx as usize];
         let tid = <T as Identified>::wire_id();
         if !n.out_types.iter().any(|&(id, _)| id == tid) {
@@ -406,6 +440,7 @@ impl GraphBuilder {
         })?;
         let mut g = crate::Flowgraph::assemble(self.name, self.nodes, &self.edges, self.serving)?;
         g.set_interactive(self.interactive);
+        g.set_registrations(self.registrations);
         Ok((g, app))
     }
 

@@ -382,6 +382,7 @@ impl SimEngine {
             edges,
             interactive,
             serving,
+            registrations,
             ..
         } = builder;
         // Cross-check collections exist and thread-data types line up.
@@ -406,12 +407,14 @@ impl SimEngine {
         }
         let mut def = Flowgraph::assemble(name, nodes, &edges, serving)?;
         def.set_interactive(interactive);
+        def.set_registrations(registrations);
         let routes = def
             .nodes()
             .iter()
             .map(|n| Some((n.route_factory)()))
             .collect();
         let a = &mut self.sim.world.apps[app as usize];
+        def.register_tokens(&mut a.registry);
         let graph = a.graphs.len() as u32;
         a.graphs.push(GraphRt {
             def,

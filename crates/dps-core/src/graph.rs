@@ -61,6 +61,9 @@ impl OpKind {
 pub(crate) type OpFactory = Box<dyn Fn() -> Box<dyn DynOp> + Send + Sync>;
 /// Factory producing a fresh type-erased route instance.
 pub(crate) type RouteFactory = Box<dyn Fn() -> Box<dyn DynRoute> + Send + Sync>;
+/// Deferred token registration captured at graph declaration (applied to
+/// the owning application's registry when the graph is installed).
+pub(crate) type TokenRegFn = Box<dyn Fn(&mut crate::token::TokenRegistry) + Send + Sync>;
 
 /// One node of a runtime flow graph.
 pub struct GraphNode {
@@ -131,6 +134,9 @@ pub struct Flowgraph {
     /// Interactive graphs: deliveries jump thread queues (service graphs
     /// answering short requests while long batch operations run).
     interactive: bool,
+    /// Deferred registrations for every token type in a node signature,
+    /// deduplicated by wire id (see [`register_tokens`](Self::register_tokens)).
+    registrations: Vec<(WireId, TokenRegFn)>,
 }
 
 impl std::fmt::Debug for Flowgraph {
@@ -338,6 +344,7 @@ impl Flowgraph {
             name,
             pops,
             interactive: false,
+            registrations: Vec::new(),
             nodes,
             succs,
             preds,
@@ -404,6 +411,23 @@ impl Flowgraph {
 
     pub(crate) fn set_interactive(&mut self, on: bool) {
         self.interactive = on;
+    }
+
+    pub(crate) fn set_registrations(&mut self, regs: Vec<(WireId, TokenRegFn)>) {
+        self.registrations = regs;
+    }
+
+    /// Register every token type appearing in this graph's node signatures
+    /// with `reg` (idempotent). Engines call this when installing the
+    /// graph, so tokens the graph can carry are decodable on the wire
+    /// without per-application `register_token` calls — required where
+    /// tokens cross process boundaries (the network engine) and under
+    /// serialization enforcement.
+    #[doc(hidden)]
+    pub fn register_tokens(&self, reg: &mut crate::token::TokenRegistry) {
+        for (_, f) in &self.registrations {
+            f(reg);
+        }
     }
 
     /// Find the successor of `id` accepting tokens of type `ty`, if any —

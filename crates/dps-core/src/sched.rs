@@ -467,7 +467,7 @@ pub fn build_placement<E: Engine>(
         return Ok(None);
     };
     let board = Arc::new(FeedbackBoard::for_policy(kind));
-    let hub = Arc::new(ChunkHub::new());
+    let hub = eng.chunk_hub();
     let calibration = build_calibration(eng, app, worker_mapping, &hub, &board)?;
     Ok(Some(Placement {
         calibration,

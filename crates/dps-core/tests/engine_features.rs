@@ -503,14 +503,17 @@ fn enforced_serialization_roundtrips_tokens() {
 }
 
 #[test]
-fn enforced_serialization_fails_on_unregistered_type() {
+fn enforced_serialization_accepts_declared_types_without_manual_registration() {
+    // Declaring a node registers its token types automatically, so enforced
+    // serialization no longer needs explicit register_token calls for types
+    // the graph itself mentions.
     let cfg = EngineConfig {
         enforce_serialization: true,
         ..EngineConfig::default()
     };
     let mut eng = SimEngine::with_config(ClusterSpec::paper_testbed(2), cfg);
     let app = eng.app("ser");
-    // Register nothing.
+    // Register nothing by hand: graph declaration does it.
     let main: ThreadCollection<()> = eng.thread_collection(app, "m", "node0").unwrap();
     let w: ThreadCollection<()> = eng.thread_collection(app, "w", "node1").unwrap();
     let mut b = GraphBuilder::new("ser");
@@ -520,8 +523,10 @@ fn enforced_serialization_fails_on_unregistered_type() {
     b.add(s >> l >> m);
     let g = eng.build_graph(b).unwrap();
     eng.inject(g, Start { n: 2 }).unwrap();
-    let err = eng.run_until_idle().unwrap_err();
-    assert!(matches!(err, DpsError::Wire(_)));
+    eng.run_until_idle().unwrap();
+    let r = downcast::<Result_>(eng.take_outputs(g).into_iter().next().unwrap().1).unwrap();
+    // FanN posts v = 0, 1; Inc bumps each → 1 + 2.
+    assert_eq!(r.total, 3);
 }
 
 // --- determinism -----------------------------------------------------------------

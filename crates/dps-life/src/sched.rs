@@ -451,7 +451,7 @@ pub fn setup_scheduled_life<E: Engine>(
     let app = eng.app("life-sched");
     eng.preload_app(app);
     let board = Arc::new(FeedbackBoard::for_policy(kind));
-    let hub = Arc::new(ChunkHub::new());
+    let hub = eng.chunk_hub();
     let ctl: ThreadCollection<()> = eng.thread_collection(app, "ctl", "node0")?;
     let store: ThreadCollection<WorldState> = eng.thread_collection(app, "world", "node0")?;
     let mapping = default_mapping(cfg.nodes, cfg.threads_per_node);

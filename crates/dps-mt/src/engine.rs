@@ -16,6 +16,7 @@ use dps_core::{
 };
 use parking_lot::Mutex;
 
+use crate::remote::RemoteExec;
 use crate::worker::{worker_loop, Msg, Output, Shared, SharedApp, SharedGraph, SharedTc};
 
 /// Tunables of the threaded engine.
@@ -52,7 +53,9 @@ struct AppDecl {
     name: String,
     registry: TokenRegistry,
     tcs: Vec<TcDecl>,
-    graphs: Vec<dps_core::Flowgraph>,
+    /// `Arc` so layered engines can keep a handle to the same definition
+    /// they install (see [`MtEngine::install_graph`]).
+    graphs: Vec<Arc<dps_core::Flowgraph>>,
 }
 
 struct TcDecl {
@@ -80,6 +83,7 @@ pub struct MtEngine {
     /// Calibrated host compute rate (FLOP/s) used for `charge_flops` cost
     /// models; a nominal 1 GFLOP/s until `calibrate_feedback` measures it.
     node_flops: f64,
+    remote: Option<Arc<dyn RemoteExec>>,
 }
 
 /// Handle to an application declared in the threaded engine.
@@ -110,6 +114,7 @@ impl MtEngine {
             started_at: Instant::now(),
             feedback: None,
             node_flops: 1e9,
+            remote: None,
         }
     }
 
@@ -235,12 +240,41 @@ impl MtEngine {
 
     /// Validate and install a graph.
     pub fn build_graph(&mut self, builder: GraphBuilder) -> Result<MtGraph> {
-        assert!(self.shared.is_none(), "build graphs before the first run");
         let (def, app) = builder.assemble_for_engine()?;
-        let a = &mut self.apps[app as usize];
+        Ok(self.install_graph(MtApp { app }, Arc::new(def)))
+    }
+
+    /// Install an already-assembled graph shared by `Arc`. Layered engines
+    /// that keep their own copy of the definition (the network engine
+    /// shares one `Flowgraph` between its master-side threads and its
+    /// in-process worker harnesses) install through here; plain users go
+    /// through [`build_graph`](Self::build_graph).
+    pub fn install_graph(&mut self, app: MtApp, def: Arc<dps_core::Flowgraph>) -> MtGraph {
+        assert!(self.shared.is_none(), "build graphs before the first run");
+        let a = &mut self.apps[app.app as usize];
+        // Token types the graph declaration captured become decodable
+        // without explicit register_token calls.
+        def.register_tokens(&mut a.registry);
         let graph = a.graphs.len() as u32;
         a.graphs.push(def);
-        Ok(MtGraph { app, graph })
+        MtGraph {
+            app: app.app,
+            graph,
+        }
+    }
+
+    /// Install the remote-execution hook consulted at every op-execution
+    /// point: operations of threads whose cluster node
+    /// [`is_remote`](RemoteExec::is_remote) reports remote are shipped
+    /// through the hook instead of running locally, while wave accounting,
+    /// flow control and routing stay in this engine (see `crate::remote`).
+    /// Call before the first run.
+    pub fn set_remote_exec(&mut self, hook: Arc<dyn RemoteExec>) {
+        assert!(
+            self.shared.is_none(),
+            "install the remote hook before the first run"
+        );
+        self.remote = Some(hook);
     }
 
     /// Expose a graph as a named parallel service.
@@ -297,7 +331,7 @@ impl MtEngine {
         }
         // Graph definitions move into the shared state as a parallel vec
         // (Flowgraph is Sync now that factories are Sync).
-        let defs: Vec<Vec<dps_core::Flowgraph>> = self
+        let defs: Vec<Vec<Arc<dps_core::Flowgraph>>> = self
             .apps
             .iter_mut()
             .map(|a| std::mem::take(&mut a.graphs))
@@ -323,6 +357,7 @@ impl MtEngine {
             error_tx,
             feedback: self.feedback.clone(),
             node_flops: self.node_flops,
+            remote: self.remote.clone(),
         });
         // Spawn one OS thread per DPS thread.
         for (app_idx, app_rx) in receivers.into_iter().enumerate() {

@@ -24,6 +24,8 @@
 //!   the collected outputs.
 
 mod engine;
+pub mod remote;
 mod worker;
 
 pub use engine::{MtApp, MtConfig, MtEngine, MtGraph};
+pub use remote::{RemoteExec, RemoteKind, RemoteOutcome, RemoteTask};

@@ -1,0 +1,108 @@
+//! The remote-execution seam: distributed engines delegate *op execution*
+//! to other processes while this engine keeps the whole control plane.
+//!
+//! The threaded engine already implements everything a cluster run needs
+//! except distribution itself: wave accounting, split/merge flow control,
+//! credit windows, routing, service calls. A distributed engine reuses all
+//! of that by embedding an [`MtEngine`](crate::MtEngine) on the master
+//! process and installing a [`RemoteExec`] hook
+//! ([`MtEngine::set_remote_exec`](crate::MtEngine::set_remote_exec)): the
+//! worker loop consults the hook at each op-execution point, and for
+//! threads whose cluster node is hosted *outside* this process it ships a
+//! [`RemoteTask`] instead of running the operation locally. The hook blocks
+//! until the owning process returns the posted tokens — preserving the
+//! engine's per-thread execution order exactly, because the OS thread that
+//! would have run the operation is the one that waits for it.
+//!
+//! Three task kinds cover the three execution points of the worker loop:
+//!
+//! | kind | worker-side effect |
+//! |---|---|
+//! | [`RemoteKind::Exec`] | run a split/leaf's `execute` on the token |
+//! | [`RemoteKind::Consume`] | run a merge/stream `consume`; finalize too when `completes` |
+//! | [`RemoteKind::Finalize`] | finalize a merge/stream wave (close arrived after its last token) |
+//!
+//! The wave a `Consume`/`Finalize` belongs to is derived from
+//! [`RemoteTask::env`], which carries the envelope *before* the consuming
+//! pop — the remote process computes the same
+//! [`WaveKey`](dps_core::WaveKey) this engine used and keeps one operation
+//! instance per wave, mirroring the local wave table.
+
+use std::sync::Arc;
+
+use dps_core::{DpsError, Envelope, GNodeId, TokenBox};
+
+/// Hook consulted by the worker loop at every op-execution point.
+///
+/// Implementations are transports: they frame the task, send it to the
+/// process hosting the thread's cluster node, and block on the reply.
+/// `execute` is called with **no engine locks held**, so an implementation
+/// may block indefinitely without wedging delivery on other threads.
+pub trait RemoteExec: Send + Sync {
+    /// Is cluster node `node` hosted outside this process? Local nodes run
+    /// their operations in-process exactly as without a hook.
+    fn is_remote(&self, node: u32) -> bool;
+
+    /// Execute `task` on the process hosting its thread's node and return
+    /// the tokens it posted. Errors propagate like local operation errors
+    /// (they fail the run).
+    fn execute(&self, task: RemoteTask) -> Result<RemoteOutcome, DpsError>;
+}
+
+/// One op execution shipped to a remote process.
+pub struct RemoteTask {
+    /// Application index (declaration order).
+    pub app: u32,
+    /// Thread-collection index within the application.
+    pub tc: u32,
+    /// Thread index within the collection.
+    pub thread: u32,
+    /// Graph index within the application.
+    pub graph: u32,
+    /// The executing graph node.
+    pub node: GNodeId,
+    /// Which execution point this is.
+    pub kind: RemoteKind,
+    /// The arriving token (`None` for [`RemoteKind::Finalize`]).
+    pub token: Option<TokenBox>,
+    /// The token's envelope **before** any consuming pop — for
+    /// `Consume`/`Finalize` the remote side derives the wave identity from
+    /// its top frame.
+    pub env: Envelope,
+}
+
+/// The execution point a [`RemoteTask`] replays remotely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteKind {
+    /// Split/leaf `execute` on the arriving token.
+    Exec,
+    /// Merge/stream `consume`; when `completes`, the wave's last token —
+    /// finalize and drop the wave instance afterwards.
+    Consume {
+        /// This token completes the wave.
+        completes: bool,
+    },
+    /// Finalize a wave whose close raced ahead of delivery: all tokens were
+    /// already consumed, only the finalize remains.
+    Finalize,
+}
+
+/// What the remote execution produced.
+#[derive(Default)]
+pub struct RemoteOutcome {
+    /// Tokens the operation posted, in post order.
+    pub posts: Vec<TokenBox>,
+    /// Completed-chunk measurements (`(iters, secs)` per chunk, in the
+    /// *remote* host's wall clock) to apply to the master's feedback sink
+    /// under the executing thread's index.
+    pub reports: Vec<(u64, f64)>,
+}
+
+/// `Option<Arc<dyn RemoteExec>>` resolved against one node: `Some` iff a
+/// hook is installed and claims the node.
+pub(crate) fn remote_for(
+    hook: &Option<Arc<dyn RemoteExec>>,
+    node: u32,
+) -> Option<Arc<dyn RemoteExec>> {
+    hook.as_ref().filter(|r| r.is_remote(node)).cloned()
+}

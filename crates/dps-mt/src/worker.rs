@@ -18,6 +18,8 @@ use dps_core::{
 };
 use parking_lot::Mutex;
 
+use crate::remote::{remote_for, RemoteExec, RemoteKind, RemoteTask};
+
 /// Message to a worker thread.
 pub(crate) enum Msg {
     /// Process a token at a graph node.
@@ -145,7 +147,7 @@ pub(crate) struct Shared {
     /// Declared application names, surfaced in runtime error messages
     /// (matching `SimEngine::app` semantics).
     pub app_names: Vec<String>,
-    pub defs: Vec<Vec<Flowgraph>>,
+    pub defs: Vec<Vec<Arc<Flowgraph>>>,
     pub registries: Vec<TokenRegistry>,
     pub services: HashMap<String, (u32, u32)>,
     pub wave_counter: AtomicU64,
@@ -158,13 +160,18 @@ pub(crate) struct Shared {
     pub feedback: Option<Arc<dyn FeedbackSink>>,
     /// Calibrated host compute rate (FLOP/s) for `charge_flops` cost models.
     pub node_flops: f64,
+    /// Remote-execution hook: when installed, operations of threads whose
+    /// cluster node it claims run in another process (see `crate::remote`).
+    pub remote: Option<Arc<dyn RemoteExec>>,
 }
 
 /// Newtype so `CallRet` stays private to this module.
 pub(crate) struct CallRetOpaque(CallRet);
 
 struct WaveState {
-    op: Box<dyn DynOp>,
+    /// `None` for remotely-executed waves: the op instance lives in the
+    /// process hosting this thread's node.
+    op: Option<Box<dyn DynOp>>,
     received: u32,
     expected: Option<u32>,
     out_wave: u64,
@@ -286,6 +293,15 @@ fn report_completion(shared: &Shared, w: &Worker, out: &OpOutput, started: Insta
     }
 }
 
+/// Apply remotely-measured chunk completions to the master's feedback sink
+/// under the executing thread's index — the distributed counterpart of
+/// [`report_completion`] (the remote host measured the wall-clock time).
+fn apply_reports(shared: &Shared, thread: u32, reports: &[(u64, f64)]) {
+    if let (false, Some(sink)) = (reports.is_empty(), shared.feedback.as_ref()) {
+        sink.report_batch(thread as usize, reports);
+    }
+}
+
 fn exec_info(shared: &Shared, w: &Worker) -> ExecInfo {
     ExecInfo {
         thread_index: w.thread as usize,
@@ -327,21 +343,46 @@ fn handle_exec(
     let gnode = def.node(node);
     let info = exec_info(shared, w);
     let name = gnode.name.clone();
-    let op = w
-        .ops
-        .entry((graph, node.0))
-        .or_insert_with(|| gnode.make_op().expect("split/leaf has an op"));
-    let mut out = OpOutput::default();
-    let t0 = Instant::now();
-    op.on_token(&mut out, w.data.as_mut(), info, &name, token)?;
-    report_completion(shared, w, &out, t0);
+    let mut posts: Vec<TokenBox> = if let Some(r) = remote_for(&shared.remote, w.node) {
+        let outcome = r.execute(RemoteTask {
+            app: w.app,
+            tc: w.tc,
+            thread: w.thread,
+            graph,
+            node,
+            kind: RemoteKind::Exec,
+            token: Some(token),
+            env: env.clone(),
+        })?;
+        apply_reports(shared, w.thread, &outcome.reports);
+        if kind == OpKind::Leaf && outcome.posts.len() != 1 {
+            return Err(DpsError::OperationContract {
+                node: name,
+                reason: format!(
+                    "remote leaf execution returned {} posts (exactly 1 required)",
+                    outcome.posts.len()
+                ),
+            });
+        }
+        outcome.posts
+    } else {
+        let op = w
+            .ops
+            .entry((graph, node.0))
+            .or_insert_with(|| gnode.make_op().expect("split/leaf has an op"));
+        let mut out = OpOutput::default();
+        let t0 = Instant::now();
+        op.on_token(&mut out, w.data.as_mut(), info, &name, token)?;
+        report_completion(shared, w, &out, t0);
+        out.posts.into_iter().map(|p| p.token).collect()
+    };
 
     match kind {
         OpKind::Split => {
             let wave = shared.wave_counter.fetch_add(1, Ordering::Relaxed);
-            let total = out.posts.len() as u32;
-            let mut pending = VecDeque::with_capacity(out.posts.len());
-            for (i, post) in out.posts.into_iter().enumerate() {
+            let total = posts.len() as u32;
+            let mut pending = VecDeque::with_capacity(posts.len());
+            for (i, post) in posts.into_iter().enumerate() {
                 let mut e = env.clone();
                 e.push(Frame {
                     src: node,
@@ -349,7 +390,7 @@ fn handle_exec(
                     index: i as u32,
                     total: (i as u32 == total - 1).then_some(total),
                 });
-                pending.push_back((post.token, e));
+                pending.push_back((post, e));
             }
             {
                 let unbounded = def.matching_pop(node).is_none();
@@ -369,8 +410,8 @@ fn handle_exec(
             pump_flow(shared, w.app, graph, (node.0, wave));
         }
         OpKind::Leaf => {
-            let post = out.posts.pop().expect("leaf contract checked");
-            emit(shared, w.app, graph, node, w.node, post.token, env);
+            let post = posts.pop().expect("leaf contract checked");
+            emit(shared, w.app, graph, node, w.node, post, env);
         }
         _ => unreachable!(),
     }
@@ -391,12 +432,17 @@ fn handle_consume(
     let name = gnode.name.clone();
     let info = exec_info(shared, w);
     let key = env.wave_key().expect("validated depth >= 1");
+    let remote = remote_for(&shared.remote, w.node);
+    // The remote side re-derives the wave identity from the envelope, so it
+    // must see the frame this consume pops.
+    let pre_pop_env = remote.as_ref().map(|_| env.clone());
     let frame = env.pop().expect("validated depth >= 1");
     let parent_env = env;
 
     let early_expected = w.pending_expected.remove(&key);
+    let is_remote = remote.is_some();
     let wave = w.waves.entry(key.clone()).or_insert_with(|| WaveState {
-        op: gnode.make_op().expect("merge/stream has an op"),
+        op: (!is_remote).then(|| gnode.make_op().expect("merge/stream has an op")),
         received: 0,
         expected: early_expected,
         out_wave: shared.wave_counter.fetch_add(1, Ordering::Relaxed),
@@ -421,25 +467,43 @@ fn handle_consume(
     let out_wave = wave.out_wave;
     let out_index_base = wave.out_index;
 
-    let mut out = OpOutput::default();
-    let t0 = Instant::now();
-    wave.op
-        .on_token(&mut out, w.data.as_mut(), info, &name, token)?;
-    if completes {
-        wave.op
-            .on_finalize(&mut out, w.data.as_mut(), info, &name)?;
-    }
-    report_completion(shared, w, &out, t0);
+    let mut posts: Vec<TokenBox> = if let Some(r) = remote {
+        let outcome = r.execute(RemoteTask {
+            app: w.app,
+            tc: w.tc,
+            thread: w.thread,
+            graph,
+            node,
+            kind: RemoteKind::Consume { completes },
+            token: Some(token),
+            env: pre_pop_env.expect("cloned when the hook matched"),
+        })?;
+        apply_reports(shared, w.thread, &outcome.reports);
+        outcome.posts
+    } else {
+        let op = wave.op.as_mut().expect("local waves hold their op");
+        let mut out = OpOutput::default();
+        let t0 = Instant::now();
+        op.on_token(&mut out, w.data.as_mut(), info, &name, token)?;
+        if completes {
+            op.on_finalize(&mut out, w.data.as_mut(), info, &name)?;
+        }
+        report_completion(shared, w, &out, t0);
+        out.posts.into_iter().map(|p| p.token).collect()
+    };
 
     match kind {
         OpKind::Merge => {
             if completes {
-                let post = out.posts.pop().expect("merge contract checked");
-                emit(shared, w.app, graph, node, w.node, post.token, parent_env);
+                let post = posts.pop().ok_or_else(|| DpsError::OperationContract {
+                    node: name.clone(),
+                    reason: "merge wave completed without an output".into(),
+                })?;
+                emit(shared, w.app, graph, node, w.node, post, parent_env);
             }
         }
         OpKind::Stream => {
-            let n_posts = out.posts.len() as u32;
+            let n_posts = posts.len() as u32;
             let mut close_to_send: Option<(Envelope, u32)> = None;
             if n_posts > 0 || completes {
                 let flow_key = (node.0, out_wave);
@@ -454,7 +518,7 @@ fn handle_consume(
                         src_node: w.node,
                         unbounded: false,
                     });
-                    for (i, post) in out.posts.into_iter().enumerate() {
+                    for (i, post) in posts.into_iter().enumerate() {
                         let mut e = parent_env.clone();
                         e.push(Frame {
                             src: node,
@@ -462,7 +526,7 @@ fn handle_consume(
                             index: out_index_base + i as u32,
                             total: None,
                         });
-                        flow.pending.push_back((post.token, e));
+                        flow.pending.push_back((post, e));
                     }
                     if completes {
                         let total = out_index_base + n_posts;
@@ -572,6 +636,8 @@ fn handle_close(
     let key = env
         .wave_key()
         .expect("close envelopes carry the wave frame");
+    let remote = remote_for(&shared.remote, w.node);
+    let pre_pop_env = remote.as_ref().map(|_| env.clone());
     let _ = env.pop();
     let parent_env = env;
 
@@ -593,16 +659,37 @@ fn handle_close(
         return Ok(());
     }
     let mut wave = w.waves.remove(&key).expect("present above");
-    let mut out = OpOutput::default();
-    wave.op
-        .on_finalize(&mut out, w.data.as_mut(), info, &name)?;
+    let mut posts: Vec<TokenBox> = if let Some(r) = remote {
+        let outcome = r.execute(RemoteTask {
+            app: w.app,
+            tc: w.tc,
+            thread: w.thread,
+            graph,
+            node,
+            kind: RemoteKind::Finalize,
+            token: None,
+            env: pre_pop_env.expect("cloned when the hook matched"),
+        })?;
+        apply_reports(shared, w.thread, &outcome.reports);
+        outcome.posts
+    } else {
+        let mut out = OpOutput::default();
+        wave.op
+            .as_mut()
+            .expect("local waves hold their op")
+            .on_finalize(&mut out, w.data.as_mut(), info, &name)?;
+        out.posts.into_iter().map(|p| p.token).collect()
+    };
     match gnode.kind {
         OpKind::Merge => {
-            let post = out.posts.pop().expect("merge contract checked");
-            emit(shared, w.app, graph, node, w.node, post.token, parent_env);
+            let post = posts.pop().ok_or_else(|| DpsError::OperationContract {
+                node: name.clone(),
+                reason: "merge wave completed without an output".into(),
+            })?;
+            emit(shared, w.app, graph, node, w.node, post, parent_env);
         }
         OpKind::Stream => {
-            let n_posts = out.posts.len() as u32;
+            let n_posts = posts.len() as u32;
             let total_out = wave.out_index + n_posts;
             if total_out == 0 {
                 return Err(DpsError::OperationContract {
@@ -623,7 +710,7 @@ fn handle_close(
                     src_node: w.node,
                     unbounded: false,
                 });
-                for (i, post) in out.posts.into_iter().enumerate() {
+                for (i, post) in posts.into_iter().enumerate() {
                     let mut e = parent_env.clone();
                     e.push(Frame {
                         src: node,
@@ -631,7 +718,7 @@ fn handle_close(
                         index: wave.out_index + i as u32,
                         total: None,
                     });
-                    flow.pending.push_back((post.token, e));
+                    flow.pending.push_back((post, e));
                 }
                 flow.complete = true;
                 match flow.pending.back_mut() {

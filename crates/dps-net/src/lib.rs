@@ -14,7 +14,10 @@
 //!   into a deterministic `(sender done, delivered)` pair of instants.
 //! * [`NameServer`] — the paper's "simple name server" by which kernels
 //!   locate each other (the alternative UDP-broadcast discovery is modelled
-//!   as an instantaneous registry scan).
+//!   as an instantaneous registry scan). This is not only simulation
+//!   machinery: the multi-process `dps-netengine` resolves its worker
+//!   kernels (`kernel1`, `kernel2`, …) to cluster nodes through the same
+//!   registry.
 //! * [`NetTrace`] — optional transfer recording for tests and debugging.
 //!
 //! The model is *reservation-based*: each NIC direction is a
@@ -22,6 +25,24 @@
 //! experiment of Fig. 6) proceeds at full duplex, while two messages leaving
 //! the same node serialize on its transmit lane — exactly the first-order
 //! behaviour that shaped the paper's measurements.
+//!
+//! Kernel naming is independent of host naming, so several kernels can
+//! share a node (the paper's one-machine debugging setup) and a restart
+//! simply re-registers:
+//!
+//! ```
+//! use dps_net::{NameServer, NodeId};
+//!
+//! let mut ns = NameServer::new();
+//! assert_eq!(ns.register("kernel1", NodeId(1)), None);
+//! assert_eq!(ns.register("kernel2", NodeId(1)), None); // same host is fine
+//! assert_eq!(ns.lookup("kernel2"), Some(NodeId(1)));
+//! // A kernel restart on another node wins and reports the old placement.
+//! assert_eq!(ns.register("kernel2", NodeId(2)), Some(NodeId(1)));
+//! // Discovery (the modelled UDP broadcast) enumerates deterministically.
+//! let found: Vec<_> = ns.discover().map(|(name, _)| name.to_string()).collect();
+//! assert_eq!(found, ["kernel1", "kernel2"]);
+//! ```
 
 mod config;
 mod model;

@@ -1,0 +1,1175 @@
+//! The network engine: one master kernel plus worker kernels, every process
+//! running the same SPMD driver.
+//!
+//! The master embeds an [`MtEngine`] for the whole control plane (wave
+//! accounting, flow control, routing, service calls) and installs a
+//! [`RemoteExec`] hook that ships op executions of remotely-hosted cluster
+//! nodes to their worker kernels as [`Frame::Exec`] messages. Workers run
+//! the same driver code: their declarations are *recorded* (and folded into
+//! a [`DeclSig`] the master verifies at the sync barrier), their `submit`s
+//! are no-ops, and their `run_to_idle`s block until the master broadcasts
+//! the run's outputs and its [`Frame::Release`] — so driver-side asserts
+//! after a run observe identical outputs on every kernel.
+
+use std::collections::HashMap;
+use std::io;
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dps_cluster::{resolve_mapping, ClusterSpec};
+use dps_core::{DpsError, GraphBuilder, Result, ThreadCollection, TokenBox};
+use dps_mt::{
+    MtApp, MtConfig, MtEngine, MtGraph, RemoteExec, RemoteKind, RemoteOutcome, RemoteTask,
+};
+use dps_net::{NameServer, NodeId};
+use dps_sched::{ChunkHub, FeedbackSink};
+use parking_lot::Mutex;
+
+use crate::exec::{send_frame, AppDecl, DeclStore, ExecHost, HubLink, Job, TcDecl};
+use crate::proto::{self, DeclSig, Frame, TaskKind};
+use crate::runtime::{AsyncRuntime, TaskHandle, ThreadRuntime};
+use crate::transport::{Duplex, FrameRx, FrameTx, LoopbackTransport, TcpTransport, Transport};
+
+/// Configuration of a [`NetEngine`].
+#[derive(Debug, Clone)]
+pub struct NetEngineConfig {
+    /// Configuration of the master's embedded control-plane engine (flow
+    /// window, serialization enforcement, run timeout).
+    pub mt: MtConfig,
+    /// How long connection setup may take: workers connecting to the
+    /// master, and the master waiting for every worker's declaration sync.
+    pub connect_timeout: Duration,
+    /// Arguments the master passes when re-executing the current binary as
+    /// worker processes. `None` re-uses this process's own arguments (the
+    /// SPMD default); tests set an explicit filter so the child runs only
+    /// the calling test.
+    pub worker_args: Option<Vec<String>>,
+}
+
+impl Default for NetEngineConfig {
+    fn default() -> Self {
+        Self {
+            mt: MtConfig::default(),
+            connect_timeout: Duration::from_secs(20),
+            worker_args: None,
+        }
+    }
+}
+
+/// Handle to an application declared in the network engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NetApp(pub(crate) u32);
+
+/// Handle to a graph installed in the network engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NetGraph {
+    pub(crate) app: u32,
+    pub(crate) graph: u32,
+}
+
+/// The multi-process execution engine (see the module docs).
+pub struct NetEngine {
+    role: Role,
+}
+
+enum Role {
+    Master(Box<Master>),
+    Worker(Box<Worker>),
+}
+
+/// Decoded `Output` frames buffered per `(app, graph)` until the worker's
+/// `take_outputs` drains them.
+type OutputBuf = Arc<Mutex<HashMap<(u32, u32), Vec<TokenBox>>>>;
+
+/// Reply payload of a [`Frame::Done`], routed to the blocked engine thread.
+struct DoneReply {
+    posts: Vec<Vec<u8>>,
+    reports: Vec<(u64, f64)>,
+    error: Option<String>,
+}
+
+/// Master-side state shared with connection readers and the remote hook.
+struct MasterShared {
+    /// Writer of the connection to worker rank `r` at index `r - 1`.
+    conns: Vec<Arc<Mutex<Box<dyn FrameTx>>>>,
+    /// Kernel directory: `kernel{n}` names the process hosting cluster
+    /// node `n` ([`NameServer`] from the network substrate crate).
+    ns: Mutex<NameServer>,
+    /// The real chunk hub; workers reach it through [`Frame::Hub`] traffic.
+    hub: Arc<ChunkHub>,
+    /// In-flight remote executions by sequence number.
+    pending: Mutex<HashMap<u64, Sender<DoneReply>>>,
+    seq: AtomicU64,
+    /// How long a remote execution may take before the node counts as down.
+    exec_timeout: Duration,
+    /// Declaration mirror (host placement for the hook, token registries
+    /// for decoding posted tokens — shared with in-process harnesses in
+    /// loopback mode).
+    decls: Arc<DeclStore>,
+}
+
+struct Master {
+    mt: MtEngine,
+    spec: ClusterSpec,
+    apps: Vec<MtApp>,
+    graphs: HashMap<(u32, u32), MtGraph>,
+    shared: Arc<MasterShared>,
+    sig: DeclSig,
+    sync_rx: Receiver<(u32, u64)>,
+    /// Loopback harnesses share the master's declarations — no sync
+    /// barrier needed.
+    presynced: bool,
+    ready: bool,
+    run_seq: u64,
+    out_buf: HashMap<(u32, u32), Vec<TokenBox>>,
+    children: Vec<Child>,
+    tasks: Vec<Box<dyn TaskHandle>>,
+    connect_timeout: Duration,
+    down: bool,
+}
+
+struct Worker {
+    rank: u32,
+    spec: ClusterSpec,
+    decls: Arc<DeclStore>,
+    sig: DeclSig,
+    writer: Arc<Mutex<Box<dyn FrameTx>>>,
+    host: Arc<ExecHost>,
+    hub_link: Arc<HubLink>,
+    hub: Option<Arc<ChunkHub>>,
+    outputs: OutputBuf,
+    release_rx: Receiver<(u64, Option<String>)>,
+    shutdown_rx: Receiver<()>,
+    synced: bool,
+    run_seq: u64,
+    release_timeout: Duration,
+    started: Instant,
+    tasks: Vec<Box<dyn TaskHandle>>,
+    down: bool,
+}
+
+// ---------------------------------------------------------------------------
+// The remote-execution hook
+// ---------------------------------------------------------------------------
+
+/// [`RemoteExec`] over the master's connections: cluster node 0 lives in
+/// the master process, node `n` in the worker registered as `kernel{n}`.
+struct NetRemote(Arc<MasterShared>);
+
+impl RemoteExec for NetRemote {
+    fn is_remote(&self, node: u32) -> bool {
+        node != 0
+    }
+
+    fn execute(&self, task: RemoteTask) -> std::result::Result<RemoteOutcome, DpsError> {
+        let s = &self.0;
+        // The hook is only consulted for declared threads, so the decl
+        // mirror always knows the hosting cluster node.
+        let host = s
+            .decls
+            .with(|d| d.apps[task.app as usize].tcs[task.tc as usize].nodes[task.thread as usize]);
+        let kernel = format!("kernel{host}");
+        let rank =
+            s.ns.lock()
+                .lookup(&kernel)
+                .ok_or_else(|| DpsError::NodeDown {
+                    node: kernel.clone(),
+                    target: format!("node {}", task.node),
+                })?
+                .0;
+        let conn = &s.conns[(rank - 1) as usize];
+        let kind = match task.kind {
+            RemoteKind::Exec => TaskKind::Exec,
+            RemoteKind::Consume { completes: false } => TaskKind::Consume,
+            RemoteKind::Consume { completes: true } => TaskKind::ConsumeCompletes,
+            RemoteKind::Finalize => TaskKind::Finalize,
+        };
+        let token = task
+            .token
+            .as_ref()
+            .map(|t| proto::encode_token(t.as_ref()))
+            .unwrap_or_default();
+        let seq = s.seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        s.pending.lock().insert(seq, tx);
+        let frame = Frame::Exec {
+            seq,
+            app: task.app,
+            tc: task.tc,
+            thread: task.thread,
+            graph: task.graph,
+            node: task.node,
+            kind,
+            token,
+            env: task.env,
+        };
+        if let Err(e) = send_frame(conn, &frame) {
+            s.pending.lock().remove(&seq);
+            return Err(DpsError::NodeDown {
+                node: kernel,
+                target: format!("send failed: {e}"),
+            });
+        }
+        let done = match rx.recv_timeout(s.exec_timeout) {
+            Ok(done) => done,
+            Err(_) => {
+                s.pending.lock().remove(&seq);
+                return Err(DpsError::NodeDown {
+                    node: kernel,
+                    target: format!("no reply within {:?}", s.exec_timeout),
+                });
+            }
+        };
+        if let Some(msg) = done.error {
+            return Err(DpsError::OperationContract {
+                node: kernel,
+                reason: msg,
+            });
+        }
+        let posts = s.decls.with(|d| {
+            let reg = &d.apps[task.app as usize].registry;
+            done.posts
+                .iter()
+                .map(|b| proto::decode_token(reg, b))
+                .collect::<std::result::Result<Vec<_>, _>>()
+        })?;
+        Ok(RemoteOutcome {
+            posts,
+            reports: done.reports,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection readers
+// ---------------------------------------------------------------------------
+
+/// Master-side reader of one worker connection: routes `Done` replies,
+/// serves hub traffic, forwards the sync signature.
+fn master_reader(
+    shared: Arc<MasterShared>,
+    rank: u32,
+    mut rx: Box<dyn FrameRx>,
+    sync_tx: Sender<(u32, u64)>,
+) {
+    while let Ok(bytes) = rx.recv() {
+        match dps_serial::from_bytes::<Frame>(&bytes) {
+            Ok(Frame::Done {
+                seq,
+                posts,
+                reports,
+                error,
+            }) => {
+                if let Some(tx) = shared.pending.lock().remove(&seq) {
+                    let _ = tx.send(DoneReply {
+                        posts,
+                        reports,
+                        error,
+                    });
+                }
+            }
+            Ok(Frame::Hub { req, body }) => {
+                let body = body.serve(&shared.hub);
+                let _ = send_frame(
+                    &shared.conns[(rank - 1) as usize],
+                    &Frame::HubReply { req, body },
+                );
+            }
+            Ok(Frame::Sync { sig }) => {
+                let _ = sync_tx.send((rank, sig));
+            }
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Worker-side reader of the master connection.
+#[allow(clippy::too_many_arguments)]
+fn worker_reader(
+    mut rx: Box<dyn FrameRx>,
+    host: Arc<ExecHost>,
+    hub_link: Arc<HubLink>,
+    decls: Arc<DeclStore>,
+    outputs: OutputBuf,
+    release_tx: Sender<(u64, Option<String>)>,
+    shutdown_tx: Sender<()>,
+) {
+    while let Ok(bytes) = rx.recv() {
+        match dps_serial::from_bytes::<Frame>(&bytes) {
+            Ok(Frame::Exec {
+                seq,
+                app,
+                tc,
+                thread,
+                graph,
+                node,
+                kind,
+                token,
+                env,
+            }) => host.dispatch(
+                app,
+                tc,
+                thread,
+                Job {
+                    seq,
+                    graph,
+                    node,
+                    kind,
+                    token,
+                    env,
+                },
+            ),
+            Ok(Frame::HubReply { req, body }) => hub_link.complete(req, body),
+            Ok(Frame::Output { app, graph, token }) => {
+                let decoded = decls.with(|d| {
+                    d.apps
+                        .get(app as usize)
+                        .map(|a| proto::decode_token(&a.registry, &token))
+                });
+                match decoded {
+                    Some(Ok(tok)) => outputs.lock().entry((app, graph)).or_default().push(tok),
+                    _ => eprintln!("dps-netengine: dropping undecodable output of app {app}"),
+                }
+            }
+            Ok(Frame::Release { run, error }) => {
+                let _ = release_tx.send((run, error));
+            }
+            Ok(Frame::Shutdown) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    host.stop();
+    let _ = shutdown_tx.send(());
+}
+
+/// In-process worker harness used by loopback mode: executes `Exec` frames
+/// against the master's own declaration store.
+fn harness_reader(mut rx: Box<dyn FrameRx>, host: Arc<ExecHost>) {
+    while let Ok(bytes) = rx.recv() {
+        match dps_serial::from_bytes::<Frame>(&bytes) {
+            Ok(Frame::Exec {
+                seq,
+                app,
+                tc,
+                thread,
+                graph,
+                node,
+                kind,
+                token,
+                env,
+            }) => host.dispatch(
+                app,
+                tc,
+                thread,
+                Job {
+                    seq,
+                    graph,
+                    node,
+                    kind,
+                    token,
+                    env,
+                },
+            ),
+            Ok(Frame::Shutdown) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    host.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+impl NetEngine {
+    /// Single-process engine over the in-memory loopback transport: a
+    /// master role plus one in-process worker harness per cluster node
+    /// `1..nodes`. Same wire protocol, same remote execution paths, no
+    /// processes — the configuration differential tests and examples use.
+    pub fn loopback(nodes: usize) -> Self {
+        Self::loopback_with(nodes, NetEngineConfig::default())
+    }
+
+    /// [`loopback`](Self::loopback) with explicit configuration.
+    pub fn loopback_with(nodes: usize, cfg: NetEngineConfig) -> Self {
+        Self::loopback_on(nodes, cfg, Arc::new(ThreadRuntime))
+    }
+
+    /// [`loopback`](Self::loopback) on a caller-provided [`AsyncRuntime`].
+    pub fn loopback_on(nodes: usize, cfg: NetEngineConfig, rt: Arc<dyn AsyncRuntime>) -> Self {
+        assert!(nodes >= 1, "the cluster needs at least the master node");
+        let transport = LoopbackTransport::new();
+        let (addr, mut acceptor) = transport.bind().expect("loopback bind");
+        let decls = Arc::new(DeclStore::default());
+        let mt = MtEngine::with_config(nodes, cfg.mt.clone());
+        let node_flops = mt.node_flops();
+
+        let mut ns = NameServer::new();
+        ns.register("kernel0", NodeId(0));
+        let mut conns = Vec::new();
+        let mut rxs = Vec::new();
+        let mut tasks: Vec<Box<dyn TaskHandle>> = Vec::new();
+        for rank in 1..nodes as u32 {
+            let worker_side = transport.connect(&addr).expect("loopback connect");
+            let master_side = acceptor.accept().expect("loopback accept");
+            ns.register(format!("kernel{rank}"), NodeId(rank));
+            conns.push(Arc::new(Mutex::new(master_side.tx)));
+            rxs.push(master_side.rx);
+            let hwriter = Arc::new(Mutex::new(worker_side.tx));
+            let host = Arc::new(ExecHost::new(
+                decls.clone(),
+                hwriter,
+                node_flops,
+                rt.clone(),
+            ));
+            let hrx = worker_side.rx;
+            tasks.push(rt.spawn(
+                &format!("dps-net-harness{rank}"),
+                Box::new(move || harness_reader(hrx, host)),
+            ));
+        }
+
+        let shared = Arc::new(MasterShared {
+            conns,
+            ns: Mutex::new(ns),
+            hub: Arc::new(ChunkHub::new()),
+            pending: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+            exec_timeout: cfg.mt.run_timeout,
+            decls,
+        });
+        let (sync_tx, sync_rx) = unbounded();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let shared = shared.clone();
+            let sync_tx = sync_tx.clone();
+            tasks.push(rt.spawn(
+                &format!("dps-net-reader{}", i + 1),
+                Box::new(move || master_reader(shared, i as u32 + 1, rx, sync_tx)),
+            ));
+        }
+
+        NetEngine {
+            role: Role::Master(Box::new(Master {
+                mt,
+                spec: ClusterSpec::uniform(nodes, 1),
+                apps: Vec::new(),
+                graphs: HashMap::new(),
+                shared,
+                sig: DeclSig::new(),
+                sync_rx,
+                presynced: true,
+                ready: false,
+                run_seq: 0,
+                out_buf: HashMap::new(),
+                children: Vec::new(),
+                tasks,
+                connect_timeout: cfg.connect_timeout,
+                down: false,
+            })),
+        }
+    }
+
+    /// Multi-process engine: the master role binds a TCP endpoint and
+    /// re-executes the current binary once per worker node; worker
+    /// processes (recognized through the `DPS_NET_ROLE` environment) attach
+    /// to the master instead. Every process then runs the same SPMD driver
+    /// code against the engine this returns.
+    pub fn from_env(nodes: usize, cfg: NetEngineConfig) -> io::Result<Self> {
+        match std::env::var("DPS_NET_ROLE").as_deref() {
+            Ok("worker") => {
+                let rank = std::env::var("DPS_NET_RANK")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "DPS_NET_RANK not set")
+                    })?;
+                let addr = std::env::var("DPS_NET_MASTER").map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "DPS_NET_MASTER not set")
+                })?;
+                Self::worker_tcp(nodes, cfg, rank, &addr)
+            }
+            _ => Self::master_tcp(nodes, cfg),
+        }
+    }
+
+    fn master_tcp(nodes: usize, cfg: NetEngineConfig) -> io::Result<Self> {
+        assert!(nodes >= 1, "the cluster needs at least the master node");
+        let rt: Arc<dyn AsyncRuntime> = Arc::new(ThreadRuntime);
+        let (addr, mut acceptor) = TcpTransport.bind()?;
+        let worker_count = nodes - 1;
+
+        // Spawn the workers: the same binary, same arguments, worker role
+        // in the environment.
+        let exe = std::env::current_exe()?;
+        let args: Vec<String> = cfg
+            .worker_args
+            .clone()
+            .unwrap_or_else(|| std::env::args().skip(1).collect());
+        let mut children = Vec::new();
+        for rank in 1..=worker_count as u32 {
+            match Command::new(&exe)
+                .args(&args)
+                .env("DPS_NET_ROLE", "worker")
+                .env("DPS_NET_RANK", rank.to_string())
+                .env("DPS_NET_MASTER", &addr)
+                .spawn()
+            {
+                Ok(child) => children.push(child),
+                Err(e) => {
+                    kill_children(&mut children);
+                    return Err(e);
+                }
+            }
+        }
+
+        // Accept on a task so the timeout stays enforceable, collect the
+        // Hello of each worker, and slot connections by rank.
+        let (acc_tx, acc_rx) = unbounded();
+        let accept_task = rt.spawn(
+            "dps-net-accept",
+            Box::new(move || {
+                for _ in 0..worker_count {
+                    let Ok(mut duplex) = acceptor.accept() else {
+                        break;
+                    };
+                    let Ok(bytes) = duplex.rx.recv() else {
+                        continue;
+                    };
+                    let Ok(Frame::Hello { rank }) = dps_serial::from_bytes::<Frame>(&bytes) else {
+                        continue;
+                    };
+                    if acc_tx.send((rank, duplex)).is_err() {
+                        break;
+                    }
+                }
+            }),
+        );
+        let mut slots: Vec<Option<Duplex>> = (0..worker_count).map(|_| None).collect();
+        let deadline = Instant::now() + cfg.connect_timeout;
+        for _ in 0..worker_count {
+            let left = deadline.saturating_duration_since(Instant::now());
+            let (rank, duplex) = match acc_rx.recv_timeout(left) {
+                Ok(pair) => pair,
+                Err(_) => {
+                    kill_children(&mut children);
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "not all {worker_count} workers connected within {:?}",
+                            cfg.connect_timeout
+                        ),
+                    ));
+                }
+            };
+            let slot = rank
+                .checked_sub(1)
+                .map(|r| r as usize)
+                .filter(|&r| r < worker_count && slots[r].is_none());
+            match slot {
+                Some(r) => slots[r] = Some(duplex),
+                None => {
+                    kill_children(&mut children);
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected worker rank {rank}"),
+                    ));
+                }
+            }
+        }
+
+        let decls = Arc::new(DeclStore::default());
+        let mt = MtEngine::with_config(nodes, cfg.mt.clone());
+        let node_flops = mt.node_flops();
+        let mut ns = NameServer::new();
+        ns.register("kernel0", NodeId(0));
+        let mut conns = Vec::new();
+        let mut rxs = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let duplex = slot.expect("every slot filled above");
+            let rank = i as u32 + 1;
+            ns.register(format!("kernel{rank}"), NodeId(rank));
+            let writer = Arc::new(Mutex::new(duplex.tx));
+            send_frame(
+                &writer,
+                &Frame::Welcome {
+                    nodes: nodes as u32,
+                    node_flops,
+                },
+            )?;
+            conns.push(writer);
+            rxs.push(duplex.rx);
+        }
+
+        let shared = Arc::new(MasterShared {
+            conns,
+            ns: Mutex::new(ns),
+            hub: Arc::new(ChunkHub::new()),
+            pending: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+            exec_timeout: cfg.mt.run_timeout,
+            decls,
+        });
+        let mut tasks = vec![accept_task];
+        let (sync_tx, sync_rx) = unbounded();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let shared = shared.clone();
+            let sync_tx = sync_tx.clone();
+            tasks.push(rt.spawn(
+                &format!("dps-net-reader{}", i + 1),
+                Box::new(move || master_reader(shared, i as u32 + 1, rx, sync_tx)),
+            ));
+        }
+
+        Ok(NetEngine {
+            role: Role::Master(Box::new(Master {
+                mt,
+                spec: ClusterSpec::uniform(nodes, 1),
+                apps: Vec::new(),
+                graphs: HashMap::new(),
+                shared,
+                sig: DeclSig::new(),
+                sync_rx,
+                presynced: false,
+                ready: false,
+                run_seq: 0,
+                out_buf: HashMap::new(),
+                children,
+                tasks,
+                connect_timeout: cfg.connect_timeout,
+                down: false,
+            })),
+        })
+    }
+
+    fn worker_tcp(nodes: usize, cfg: NetEngineConfig, rank: u32, addr: &str) -> io::Result<Self> {
+        let rt: Arc<dyn AsyncRuntime> = Arc::new(ThreadRuntime);
+        let deadline = Instant::now() + cfg.connect_timeout;
+        let mut duplex = loop {
+            match TcpTransport.connect(addr) {
+                Ok(d) => break d,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        };
+        duplex
+            .tx
+            .send(&dps_serial::to_bytes(&Frame::Hello { rank }))?;
+        let bytes = duplex.rx.recv()?;
+        let (wire_nodes, node_flops) = match dps_serial::from_bytes::<Frame>(&bytes) {
+            Ok(Frame::Welcome { nodes, node_flops }) => (nodes, node_flops),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected Welcome, got {other:?}"),
+                ))
+            }
+        };
+        if wire_nodes as usize != nodes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("master runs {wire_nodes} nodes, this worker was built for {nodes}"),
+            ));
+        }
+
+        let decls = Arc::new(DeclStore::default());
+        let writer = Arc::new(Mutex::new(duplex.tx));
+        let host = Arc::new(ExecHost::new(
+            decls.clone(),
+            writer.clone(),
+            node_flops,
+            rt.clone(),
+        ));
+        let hub_link = Arc::new(HubLink::new(writer.clone()));
+        let outputs: OutputBuf = Arc::new(Mutex::new(HashMap::new()));
+        let (release_tx, release_rx) = unbounded();
+        let (shutdown_tx, shutdown_rx) = unbounded();
+        let reader = {
+            let host = host.clone();
+            let hub_link = hub_link.clone();
+            let decls = decls.clone();
+            let outputs = outputs.clone();
+            let rx = duplex.rx;
+            rt.spawn(
+                "dps-net-reader",
+                Box::new(move || {
+                    worker_reader(rx, host, hub_link, decls, outputs, release_tx, shutdown_tx)
+                }),
+            )
+        };
+
+        Ok(NetEngine {
+            role: Role::Worker(Box::new(Worker {
+                rank,
+                spec: ClusterSpec::uniform(nodes, 1),
+                decls,
+                sig: DeclSig::new(),
+                writer,
+                host,
+                hub_link,
+                hub: None,
+                outputs,
+                release_rx,
+                shutdown_rx,
+                synced: false,
+                run_seq: 0,
+                release_timeout: cfg.mt.run_timeout + cfg.connect_timeout,
+                started: Instant::now(),
+                tasks: vec![reader],
+                down: false,
+            })),
+        })
+    }
+
+    /// Is this the master kernel? (Exactly one process per run is; drivers
+    /// gate output printing and result persistence on it.)
+    pub fn is_master(&self) -> bool {
+        matches!(self.role, Role::Master(_))
+    }
+
+    /// This kernel's rank: 0 on the master, the worker's 1-based rank
+    /// otherwise.
+    pub fn rank(&self) -> u32 {
+        match &self.role {
+            Role::Master(_) => 0,
+            Role::Worker(w) => w.rank,
+        }
+    }
+
+    /// Tear the engine down: the master stops its control plane, tells
+    /// every worker to exit and reaps the worker processes (panicking if
+    /// one failed); a worker waits for that signal so the master never
+    /// loses a connection mid-run. Also runs on drop.
+    pub fn shutdown(&mut self) {
+        match &mut self.role {
+            Role::Master(m) => m.shutdown(),
+            Role::Worker(w) => w.shutdown(),
+        }
+    }
+}
+
+impl Drop for NetEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn kill_children(children: &mut Vec<Child>) {
+    for mut child in children.drain(..) {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Master role
+// ---------------------------------------------------------------------------
+
+impl Master {
+    /// First-submit barrier: wait for every worker's declaration signature,
+    /// refuse divergent schedules, then install the remote hook so the
+    /// embedded engine starts shipping remote executions.
+    fn ensure_net_ready(&mut self) -> Result<()> {
+        if self.ready {
+            return Ok(());
+        }
+        if !self.presynced {
+            let expect = self.sig.finish();
+            let want = self.shared.conns.len();
+            let deadline = Instant::now() + self.connect_timeout;
+            let mut synced = 0usize;
+            while synced < want {
+                let left = deadline.saturating_duration_since(Instant::now());
+                let (rank, sig) =
+                    self.sync_rx
+                        .recv_timeout(left)
+                        .map_err(|_| DpsError::NodeDown {
+                            node: format!("{} worker(s)", want - synced),
+                            target: "declaration sync".into(),
+                        })?;
+                if sig != expect {
+                    return Err(DpsError::InvalidGraph {
+                        reason: format!(
+                            "worker {rank} declared a different schedule \
+                             (signature {sig:#018x}, master {expect:#018x}); \
+                             SPMD kernels must run identical declarations"
+                        ),
+                    });
+                }
+                synced += 1;
+            }
+        }
+        if !self.shared.conns.is_empty() {
+            self.mt
+                .set_remote_exec(Arc::new(NetRemote(self.shared.clone())));
+        }
+        self.ready = true;
+        Ok(())
+    }
+
+    fn run_to_idle(&mut self, g: NetGraph, expected: usize) -> Result<()> {
+        self.ensure_net_ready()?;
+        self.run_seq += 1;
+        let mtg = self.graphs[&(g.app, g.graph)];
+        match self.mt.wait_for_outputs(mtg, expected) {
+            Ok(()) => {
+                // Outputs first, then the release, on each connection: FIFO
+                // framing guarantees the worker's returning run_to_idle
+                // already sees every output.
+                let outs = self.mt.drain_outputs(mtg);
+                for tok in &outs {
+                    let frame = Frame::Output {
+                        app: g.app,
+                        graph: g.graph,
+                        token: proto::encode_token(tok.as_ref()),
+                    };
+                    for conn in &self.shared.conns {
+                        let _ = send_frame(conn, &frame);
+                    }
+                }
+                let release = Frame::Release {
+                    run: self.run_seq,
+                    error: None,
+                };
+                for conn in &self.shared.conns {
+                    let _ = send_frame(conn, &release);
+                }
+                self.out_buf
+                    .entry((g.app, g.graph))
+                    .or_default()
+                    .extend(outs);
+                Ok(())
+            }
+            Err(e) => {
+                let release = Frame::Release {
+                    run: self.run_seq,
+                    error: Some(e.to_string()),
+                };
+                for conn in &self.shared.conns {
+                    let _ = send_frame(conn, &release);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        // Stop the control plane first: joining its threads guarantees no
+        // further remote executions are in flight when Shutdown goes out.
+        self.mt.shutdown();
+        for conn in &self.shared.conns {
+            let _ = send_frame(conn, &Frame::Shutdown);
+        }
+        let mut failures = Vec::new();
+        for mut child in self.children.drain(..) {
+            match child.wait() {
+                Ok(status) if status.success() => {}
+                Ok(status) => failures.push(format!("worker exited with {status}")),
+                Err(e) => failures.push(format!("waiting for a worker failed: {e}")),
+            }
+        }
+        for task in self.tasks.drain(..) {
+            task.join();
+        }
+        if !failures.is_empty() && !std::thread::panicking() {
+            panic!("worker processes failed: {failures:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker role
+// ---------------------------------------------------------------------------
+
+impl Worker {
+    fn sync_once(&mut self) {
+        if self.synced {
+            return;
+        }
+        self.synced = true;
+        let _ = send_frame(
+            &self.writer,
+            &Frame::Sync {
+                sig: self.sig.finish(),
+            },
+        );
+    }
+
+    fn run_to_idle(&mut self) -> Result<()> {
+        self.sync_once();
+        self.run_seq += 1;
+        match self.release_rx.recv_timeout(self.release_timeout) {
+            Ok((run, error)) => {
+                if run != self.run_seq {
+                    return Err(DpsError::IncompleteWaves {
+                        waves: vec![format!(
+                            "release for run {run} arrived while waiting for run {}",
+                            self.run_seq
+                        )],
+                    });
+                }
+                match error {
+                    None => Ok(()),
+                    Some(msg) => Err(DpsError::IncompleteWaves { waves: vec![msg] }),
+                }
+            }
+            Err(_) => Err(DpsError::IncompleteWaves {
+                waves: vec![format!(
+                    "master did not release run {} within {:?}",
+                    self.run_seq, self.release_timeout
+                )],
+            }),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        // Hold the process open until the master says the run is over (the
+        // reader forwards its exit on either Shutdown or a closed socket).
+        let _ = self.shutdown_rx.recv_timeout(self.release_timeout);
+        self.host.stop();
+        for task in self.tasks.drain(..) {
+            task.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Engine implementation
+// ---------------------------------------------------------------------------
+
+/// The unified engine API over both roles. Declarations run everywhere
+/// (the master forwards them into its embedded engine, workers record
+/// them); submission and running are master-driven with workers following
+/// the release protocol.
+impl dps_core::Engine for NetEngine {
+    type App = NetApp;
+    type Graph = NetGraph;
+
+    fn name(&self) -> &'static str {
+        "net"
+    }
+
+    fn caps(&self) -> dps_core::EngineCaps {
+        dps_core::EngineCaps {
+            deterministic: false,
+            virtual_time: false,
+            fail_node: false,
+            thread_state_access: false,
+            declare_before_run: true,
+        }
+    }
+
+    fn app(&mut self, name: &str) -> Self::App {
+        match &mut self.role {
+            Role::Master(m) => {
+                let mta = m.mt.app(name);
+                m.apps.push(mta);
+                let idx = m.apps.len() as u32 - 1;
+                m.sig.app(name);
+                m.shared.decls.update(|d| d.apps.push(AppDecl::default()));
+                NetApp(idx)
+            }
+            Role::Worker(w) => {
+                let idx = w.decls.update(|d| {
+                    d.apps.push(AppDecl::default());
+                    d.apps.len() as u32 - 1
+                });
+                w.sig.app(name);
+                NetApp(idx)
+            }
+        }
+    }
+
+    fn register_token<T>(&mut self, app: Self::App)
+    where
+        T: dps_serial::Wire + dps_serial::Identified + Clone + std::fmt::Debug + Send + 'static,
+    {
+        let wire_id = <T as dps_serial::Identified>::wire_id().0;
+        match &mut self.role {
+            Role::Master(m) => {
+                m.mt.register_token::<T>(m.apps[app.0 as usize]);
+                m.sig.token(wire_id);
+                m.shared.decls.update(|d| {
+                    dps_core::register_token::<T>(&mut d.apps[app.0 as usize].registry)
+                });
+            }
+            Role::Worker(w) => {
+                w.sig.token(wire_id);
+                w.decls.update(|d| {
+                    dps_core::register_token::<T>(&mut d.apps[app.0 as usize].registry)
+                });
+            }
+        }
+    }
+
+    fn thread_collection<Td: dps_core::ThreadData>(
+        &mut self,
+        app: Self::App,
+        name: &str,
+        mapping: &str,
+    ) -> Result<ThreadCollection<Td>> {
+        match &mut self.role {
+            Role::Master(m) => {
+                let tc =
+                    m.mt.thread_collection::<Td>(m.apps[app.0 as usize], name, mapping)?;
+                let nodes: Vec<u32> = resolve_mapping(&m.spec, mapping)?
+                    .into_iter()
+                    .map(|n| n.0)
+                    .collect();
+                m.sig.thread_collection(app.0, &nodes);
+                m.shared.decls.update(|d| {
+                    d.apps[app.0 as usize].tcs.push(TcDecl {
+                        nodes,
+                        factory: Arc::new(|| Box::new(Td::default())),
+                    })
+                });
+                Ok(tc)
+            }
+            Role::Worker(w) => {
+                let nodes: Vec<u32> = resolve_mapping(&w.spec, mapping)?
+                    .into_iter()
+                    .map(|n| n.0)
+                    .collect();
+                w.sig.thread_collection(app.0, &nodes);
+                let count = nodes.len();
+                let tc = w.decls.update(|d| {
+                    let a = &mut d.apps[app.0 as usize];
+                    a.tcs.push(TcDecl {
+                        nodes,
+                        factory: Arc::new(|| Box::new(Td::default())),
+                    });
+                    a.tcs.len() as u32 - 1
+                });
+                Ok(ThreadCollection::from_raw(app.0, tc, count))
+            }
+        }
+    }
+
+    fn build_graph(&mut self, builder: GraphBuilder) -> Result<Self::Graph> {
+        let (def, app) = builder.assemble_for_engine()?;
+        let def = Arc::new(def);
+        match &mut self.role {
+            Role::Master(m) => {
+                let mtg = m.mt.install_graph(m.apps[app as usize], def.clone());
+                let graph = m.shared.decls.update(|d| {
+                    let a = &mut d.apps[app as usize];
+                    def.register_tokens(&mut a.registry);
+                    a.graphs.push(def.clone());
+                    a.graphs.len() as u32 - 1
+                });
+                m.sig.graph(app, &def);
+                m.graphs.insert((app, graph), mtg);
+                Ok(NetGraph { app, graph })
+            }
+            Role::Worker(w) => {
+                let graph = w.decls.update(|d| {
+                    let a = &mut d.apps[app as usize];
+                    def.register_tokens(&mut a.registry);
+                    a.graphs.push(def.clone());
+                    a.graphs.len() as u32 - 1
+                });
+                w.sig.graph(app, &def);
+                Ok(NetGraph { app, graph })
+            }
+        }
+    }
+
+    fn expose_service(&mut self, graph: Self::Graph, name: &str) {
+        match &mut self.role {
+            Role::Master(m) => {
+                m.mt.expose_service(m.graphs[&(graph.app, graph.graph)], name);
+                m.sig.service(graph.app, graph.graph, name);
+            }
+            Role::Worker(w) => {
+                w.sig.service(graph.app, graph.graph, name);
+            }
+        }
+    }
+
+    fn set_feedback_sink(&mut self, sink: Arc<dyn FeedbackSink>) {
+        match &mut self.role {
+            Role::Master(m) => m.mt.set_feedback_sink(sink),
+            // Chunk reports land on the master (the hub and the sink live
+            // there); the worker's sink object is never fed.
+            Role::Worker(_) => {}
+        }
+    }
+
+    fn submit(&mut self, graph: Self::Graph, token: TokenBox) -> Result<()> {
+        match &mut self.role {
+            Role::Master(m) => {
+                m.ensure_net_ready()?;
+                let mtg = m.graphs[&(graph.app, graph.graph)];
+                m.mt.submit(mtg, token);
+                Ok(())
+            }
+            Role::Worker(w) => {
+                // The master's matching submit injects the token; this SPMD
+                // call marks declarations finished.
+                w.sync_once();
+                Ok(())
+            }
+        }
+    }
+
+    fn run_to_idle(&mut self, graph: Self::Graph, expected_outputs: usize) -> Result<()> {
+        match &mut self.role {
+            Role::Master(m) => m.run_to_idle(graph, expected_outputs),
+            Role::Worker(w) => {
+                let _ = graph;
+                let _ = expected_outputs;
+                w.run_to_idle()
+            }
+        }
+    }
+
+    fn take_outputs(&mut self, graph: Self::Graph) -> Vec<TokenBox> {
+        match &mut self.role {
+            Role::Master(m) => m
+                .out_buf
+                .remove(&(graph.app, graph.graph))
+                .unwrap_or_default(),
+            Role::Worker(w) => w
+                .outputs
+                .lock()
+                .remove(&(graph.app, graph.graph))
+                .unwrap_or_default(),
+        }
+    }
+
+    fn now_secs(&self) -> f64 {
+        match &self.role {
+            Role::Master(m) => m.mt.elapsed().as_secs_f64(),
+            Role::Worker(w) => w.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn chunk_hub(&mut self) -> Arc<ChunkHub> {
+        match &mut self.role {
+            Role::Master(m) => m.shared.hub.clone(),
+            Role::Worker(w) => {
+                if w.hub.is_none() {
+                    w.hub = Some(Arc::new(ChunkHub::remote(w.hub_link.clone())));
+                }
+                w.hub.clone().expect("just installed")
+            }
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Worker-side execution: the declaration store shared by SPMD roles, the
+//! per-thread executor host that replays [`Frame::Exec`] tasks, and the
+//! forwarding chunk-hub delegate.
+//!
+//! A worker kernel holds the *operations* of the threads its node hosts —
+//! the master keeps everything else (wave accounting, flow control,
+//! routing). The [`ExecHost`] mirrors the threading model of the master's
+//! engine: one executor task per (application, collection, thread) triple,
+//! each owning its thread data, its split/leaf op instances and its live
+//! merge/stream wave ops, so remote execution preserves exactly the state
+//! a local thread would have.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dps_core::internal::{DynOp, ExecInfo};
+use dps_core::{DpsError, Flowgraph, OpKind, TokenRegistry, WaveKey};
+use dps_sched::remote::{HubRequest, HubResponse, RemoteHub};
+use dps_sched::{ChunkCalc, ChunkLease};
+use parking_lot::Mutex;
+
+use crate::proto::{self, Frame, TaskKind};
+use crate::runtime::{AsyncRuntime, TaskHandle};
+use crate::transport::FrameTx;
+
+/// How long an executor waits for a declaration to appear before giving up
+/// (the master only sends work after the sync barrier, so a miss here means
+/// the SPMD driver diverged despite the signature check).
+const DECL_WAIT: Duration = Duration::from_secs(10);
+
+/// How long a forwarded hub operation waits for its reply.
+const HUB_WAIT: Duration = Duration::from_secs(60);
+
+pub(crate) struct TcDecl {
+    pub nodes: Vec<u32>,
+    pub factory: Arc<dyn Fn() -> Box<dyn Any + Send> + Send + Sync>,
+}
+
+#[derive(Default)]
+pub(crate) struct AppDecl {
+    pub registry: TokenRegistry,
+    pub tcs: Vec<TcDecl>,
+    pub graphs: Vec<Arc<Flowgraph>>,
+}
+
+#[derive(Default)]
+pub(crate) struct Decls {
+    pub apps: Vec<AppDecl>,
+}
+
+/// Declarations, shared between the declaring role and the executors. The
+/// condvar wakes executors waiting for a graph that is still being
+/// declared (loopback harnesses start before the master finishes
+/// declaring).
+#[derive(Default)]
+pub(crate) struct DeclStore {
+    inner: StdMutex<Decls>,
+    ready: Condvar,
+}
+
+impl DeclStore {
+    pub fn with<R>(&self, f: impl FnOnce(&Decls) -> R) -> R {
+        f(&self.inner.lock().expect("decl store poisoned"))
+    }
+
+    /// Mutate under the lock and wake executor waiters.
+    pub fn update<R>(&self, f: impl FnOnce(&mut Decls) -> R) -> R {
+        let r = f(&mut self.inner.lock().expect("decl store poisoned"));
+        self.ready.notify_all();
+        r
+    }
+
+    /// Block until `predicate` holds (graph installed, collection mapped),
+    /// then project a value out of the store.
+    fn wait_for<R>(&self, mut predicate: impl FnMut(&Decls) -> Option<R>) -> Result<R, DpsError> {
+        let deadline = Instant::now() + DECL_WAIT;
+        let mut guard = self.inner.lock().expect("decl store poisoned");
+        loop {
+            if let Some(r) = predicate(&guard) {
+                return Ok(r);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(DpsError::OperationContract {
+                    node: "netengine".into(),
+                    reason: "remote task for an undeclared graph (SPMD declarations diverged)"
+                        .into(),
+                });
+            }
+            let (g, _) = self
+                .ready
+                .wait_timeout(guard, left)
+                .expect("decl store poisoned");
+            guard = g;
+        }
+    }
+}
+
+/// One remote task, as dispatched to an executor lane.
+pub(crate) struct Job {
+    pub seq: u64,
+    pub graph: u32,
+    pub node: dps_core::GNodeId,
+    pub kind: TaskKind,
+    pub token: Vec<u8>,
+    pub env: dps_core::Envelope,
+}
+
+/// The per-thread executor pool of one worker kernel (or loopback harness).
+pub(crate) struct ExecHost {
+    decls: Arc<DeclStore>,
+    writer: Arc<Mutex<Box<dyn FrameTx>>>,
+    node_flops: f64,
+    lanes: Mutex<HashMap<(u32, u32, u32), Sender<Job>>>,
+    rt: Arc<dyn AsyncRuntime>,
+    tasks: Mutex<Vec<Box<dyn TaskHandle>>>,
+}
+
+impl ExecHost {
+    pub fn new(
+        decls: Arc<DeclStore>,
+        writer: Arc<Mutex<Box<dyn FrameTx>>>,
+        node_flops: f64,
+        rt: Arc<dyn AsyncRuntime>,
+    ) -> Self {
+        Self {
+            decls,
+            writer,
+            node_flops,
+            lanes: Mutex::new(HashMap::new()),
+            rt,
+            tasks: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Route a task to its thread's executor lane, spawning the lane on
+    /// first use. Tasks for one (app, tc, thread) execute serially in
+    /// arrival order — the same ordering the thread would have locally.
+    pub fn dispatch(&self, app: u32, tc: u32, thread: u32, job: Job) {
+        let mut lanes = self.lanes.lock();
+        let tx = lanes.entry((app, tc, thread)).or_insert_with(|| {
+            let (tx, rx) = unbounded();
+            let decls = self.decls.clone();
+            let writer = self.writer.clone();
+            let node_flops = self.node_flops;
+            let task = self.rt.spawn(
+                &format!("dps-net-a{app}t{tc}i{thread}"),
+                Box::new(move || executor_loop(decls, writer, node_flops, app, tc, thread, rx)),
+            );
+            self.tasks.lock().push(task);
+            tx
+        });
+        let _ = tx.send(job);
+    }
+
+    /// Close every lane and join the executors (pending tasks finish
+    /// first).
+    pub fn stop(&self) {
+        self.lanes.lock().clear();
+        for t in self.tasks.lock().drain(..) {
+            t.join();
+        }
+    }
+}
+
+/// One executor lane: owns the thread data and op instances of one DPS
+/// thread, replays jobs, replies with `Done` frames.
+fn executor_loop(
+    decls: Arc<DeclStore>,
+    writer: Arc<Mutex<Box<dyn FrameTx>>>,
+    node_flops: f64,
+    app: u32,
+    tc: u32,
+    thread: u32,
+    rx: Receiver<Job>,
+) {
+    let mut data: Option<Box<dyn Any + Send>> = None;
+    let mut ops: HashMap<(u32, u32), Box<dyn DynOp>> = HashMap::new();
+    let mut waves: HashMap<WaveKey, Box<dyn DynOp>> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        let seq = job.seq;
+        let reply = match run_job(
+            &decls, node_flops, app, tc, thread, &mut data, &mut ops, &mut waves, job,
+        ) {
+            Ok((posts, reports)) => Frame::Done {
+                seq,
+                posts,
+                reports,
+                error: None,
+            },
+            Err(e) => Frame::Done {
+                seq,
+                posts: Vec::new(),
+                reports: Vec::new(),
+                error: Some(e.to_string()),
+            },
+        };
+        if send_frame(&writer, &reply).is_err() {
+            // The master is gone; nothing left to execute for.
+            break;
+        }
+    }
+}
+
+pub(crate) fn send_frame(writer: &Mutex<Box<dyn FrameTx>>, frame: &Frame) -> io::Result<()> {
+    writer.lock().send(&dps_serial::to_bytes(frame))
+}
+
+type JobOutput = (Vec<Vec<u8>>, Vec<(u64, f64)>);
+
+#[allow(clippy::too_many_arguments)]
+fn run_job(
+    decls: &DeclStore,
+    node_flops: f64,
+    app: u32,
+    tc: u32,
+    thread: u32,
+    data: &mut Option<Box<dyn Any + Send>>,
+    ops: &mut HashMap<(u32, u32), Box<dyn DynOp>>,
+    waves: &mut HashMap<WaveKey, Box<dyn DynOp>>,
+    job: Job,
+) -> Result<JobOutput, DpsError> {
+    // Wait for the SPMD declarations to catch up, then snapshot what the
+    // execution needs: the graph, the collection size, the thread-data
+    // factory and the decoded token.
+    let (def, thread_count, factory, token) = decls.wait_for(|d| {
+        let a = d.apps.get(app as usize)?;
+        let def = a.graphs.get(job.graph as usize)?;
+        let tcd = a.tcs.get(tc as usize)?;
+        let token = if job.token.is_empty() {
+            None
+        } else {
+            Some(proto::decode_token(&a.registry, &job.token))
+        };
+        Some((def.clone(), tcd.nodes.len(), tcd.factory.clone(), token))
+    })?;
+    let token = token.transpose()?;
+
+    let gnode = def.node(job.node);
+    let name = gnode.name.clone();
+    if matches!(gnode.kind, OpKind::Call) {
+        return Err(DpsError::OperationContract {
+            node: name,
+            reason: "call nodes execute on the master, never remotely".into(),
+        });
+    }
+    let make_op = || {
+        gnode.make_op().ok_or_else(|| DpsError::OperationContract {
+            node: gnode.name.clone(),
+            reason: "remote task targets a node without an operation".into(),
+        })
+    };
+    let info = ExecInfo {
+        thread_index: thread as usize,
+        thread_count,
+        node_flops,
+        start_nanos: 0,
+    };
+    let data = data.get_or_insert_with(|| factory());
+    let mut out = dps_core::internal::OpOutput::default();
+    let t0 = Instant::now();
+    match job.kind {
+        TaskKind::Exec => {
+            let op = match ops.entry((job.graph, job.node.0)) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => e.insert(make_op()?),
+            };
+            let token = token.ok_or_else(|| missing_token(&name))?;
+            op.on_token(&mut out, data.as_mut(), info, &name, token)?;
+        }
+        TaskKind::Consume | TaskKind::ConsumeCompletes => {
+            let key = job.env.wave_key().ok_or_else(|| bad_envelope(&name))?;
+            let op = match waves.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => e.insert(make_op()?),
+            };
+            let token = token.ok_or_else(|| missing_token(&name))?;
+            op.on_token(&mut out, data.as_mut(), info, &name, token)?;
+            if job.kind == TaskKind::ConsumeCompletes {
+                op.on_finalize(&mut out, data.as_mut(), info, &name)?;
+                waves.remove(&key);
+            }
+        }
+        TaskKind::Finalize => {
+            let key = job.env.wave_key().ok_or_else(|| bad_envelope(&name))?;
+            let mut op = match waves.remove(&key) {
+                Some(op) => op,
+                None => make_op()?,
+            };
+            op.on_finalize(&mut out, data.as_mut(), info, &name)?;
+        }
+    }
+    let reports = out
+        .completed_iters
+        .map(|iters| vec![(iters, t0.elapsed().as_secs_f64())])
+        .unwrap_or_default();
+    let posts = out
+        .posts
+        .iter()
+        .map(|p| proto::encode_token(p.token.as_ref()))
+        .collect();
+    Ok((posts, reports))
+}
+
+fn missing_token(node: &str) -> DpsError {
+    DpsError::OperationContract {
+        node: node.into(),
+        reason: "remote task arrived without its token".into(),
+    }
+}
+
+fn bad_envelope(node: &str) -> DpsError {
+    DpsError::OperationContract {
+        node: node.into(),
+        reason: "remote consume/finalize without a wave frame".into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The forwarding chunk hub
+// ---------------------------------------------------------------------------
+
+/// Worker-side [`RemoteHub`] delegate: frames each hub operation as a
+/// [`Frame::Hub`], ships it to the master, and blocks the claiming op until
+/// the matching [`Frame::HubReply`] is routed back via
+/// [`complete`](Self::complete). One synchronous round-trip per chunk —
+/// the cost model of distributed chunk calculation.
+pub(crate) struct HubLink {
+    writer: Arc<Mutex<Box<dyn FrameTx>>>,
+    pending: Mutex<HashMap<u64, Sender<HubResponse>>>,
+    next: AtomicU64,
+}
+
+impl HubLink {
+    pub fn new(writer: Arc<Mutex<Box<dyn FrameTx>>>) -> Self {
+        Self {
+            writer,
+            pending: Mutex::new(HashMap::new()),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Route an inbound reply to the waiting operation.
+    pub fn complete(&self, req: u64, body: HubResponse) {
+        if let Some(tx) = self.pending.lock().remove(&req) {
+            let _ = tx.send(body);
+        }
+    }
+
+    fn round_trip(&self, body: HubRequest) -> HubResponse {
+        let req = self.next.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        self.pending.lock().insert(req, tx);
+        send_frame(&self.writer, &Frame::Hub { req, body })
+            .expect("master connection lost during a hub operation");
+        match rx.recv_timeout(HUB_WAIT) {
+            Ok(resp) => resp,
+            Err(_) => {
+                self.pending.lock().remove(&req);
+                panic!("master did not answer a chunk-hub operation within {HUB_WAIT:?}")
+            }
+        }
+    }
+}
+
+impl RemoteHub for HubLink {
+    fn open(&self, calc: ChunkCalc) -> ChunkLease {
+        match self.round_trip(HubRequest::Open { calc }) {
+            HubResponse::Opened { lease } => lease,
+            other => unreachable!("open answered with {other:?}"),
+        }
+    }
+
+    fn claim(&self, id: u64) -> Option<dps_sched::Chunk> {
+        match self.round_trip(HubRequest::Claim { id }) {
+            HubResponse::Claimed { chunk } => chunk,
+            other => unreachable!("claim answered with {other:?}"),
+        }
+    }
+
+    fn close(&self, id: u64) -> bool {
+        match self.round_trip(HubRequest::Close { id }) {
+            HubResponse::Closed { closed } => closed,
+            other => unreachable!("close answered with {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{LoopbackTransport, Transport};
+    use dps_sched::{ChunkHub, PolicyKind};
+
+    /// A HubLink over a real loopback connection against a served
+    /// [`ChunkHub`] claims the exact chunk sequence a local hub would
+    /// produce.
+    #[test]
+    fn hub_link_round_trips_chunk_traffic() {
+        let t = LoopbackTransport::new();
+        let (addr, mut acceptor) = t.bind().unwrap();
+        let worker_side = t.connect(&addr).unwrap();
+        let master_side = acceptor.accept().unwrap();
+
+        // Master: serve Hub frames against a real hub until the peer hangs
+        // up.
+        let server = std::thread::spawn(move || {
+            let hub = ChunkHub::new();
+            let mut rx = master_side.rx;
+            let tx = Arc::new(Mutex::new(master_side.tx));
+            while let Ok(bytes) = rx.recv() {
+                match dps_serial::from_bytes::<Frame>(&bytes).unwrap() {
+                    Frame::Hub { req, body } => {
+                        let body = body.serve(&hub);
+                        send_frame(&tx, &Frame::HubReply { req, body }).unwrap();
+                    }
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+        });
+
+        // Worker: forwarding hub over the link, plus a reader routing
+        // replies. The reader holds only a weak handle so dropping the hub
+        // tears the whole connection down (link → writer → server → reader).
+        let link = Arc::new(HubLink::new(Arc::new(Mutex::new(worker_side.tx))));
+        let reader_link = Arc::downgrade(&link);
+        let mut rx = worker_side.rx;
+        let reader = std::thread::spawn(move || {
+            while let Ok(bytes) = rx.recv() {
+                match dps_serial::from_bytes::<Frame>(&bytes).unwrap() {
+                    Frame::HubReply { req, body } => {
+                        if let Some(link) = reader_link.upgrade() {
+                            link.complete(req, body);
+                        }
+                    }
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+        });
+
+        let forwarding = ChunkHub::remote(link.clone());
+        let lease = forwarding.open(ChunkCalc::new(PolicyKind::Tss, 100, 4, &[]));
+        let local = ChunkHub::new();
+        let local_lease = local.open(ChunkCalc::new(PolicyKind::Tss, 100, 4, &[]));
+        let mut covered = 0;
+        loop {
+            let remote = forwarding.claim(lease.id);
+            let reference = local.claim(local_lease.id);
+            assert_eq!(
+                remote.as_ref().map(|c| (c.seq, c.start, c.len)),
+                reference.as_ref().map(|c| (c.seq, c.start, c.len)),
+                "distributed chunk sequence must match the local scheduler"
+            );
+            match remote {
+                Some(c) => covered += c.len,
+                None => break,
+            }
+        }
+        assert_eq!(covered, 100);
+        assert!(!forwarding.close(lease.id), "already drained");
+
+        drop(forwarding);
+        drop(link);
+        reader.join().unwrap();
+        server.join().unwrap();
+    }
+}

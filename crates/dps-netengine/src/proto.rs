@@ -1,0 +1,431 @@
+//! The master↔worker wire protocol: control frames carrying graph
+//! synchronization, remote op execution, chunk-lease traffic and output
+//! broadcast.
+//!
+//! Every frame is one [`Frame`] value encoded with the workspace wire
+//! format (`dps-serial`) and shipped through a
+//! [`FrameTx`](crate::transport::FrameTx). Tokens travel *tagged*: a
+//! payload is prefixed with its [`WireId`](dps_serial::WireId) and the
+//! format version, exactly as `dps_core::wire_roundtrip` frames them, so
+//! the receiving kernel decodes through its own [`TokenRegistry`].
+//!
+//! | frame | direction | meaning |
+//! |---|---|---|
+//! | `Hello` | worker → master | first frame after connect; announces the rank |
+//! | `Welcome` | master → worker | accepts the worker; cluster size + calibrated FLOP rate |
+//! | `Sync` | worker → master | declarations done; carries the declaration signature |
+//! | `Exec` | master → worker | run one op execution point ([`TaskKind`]) |
+//! | `Done` | worker → master | the `Exec` reply: posted tokens + chunk reports, or an error |
+//! | `Hub` | worker → master | one [`HubRequest`] against the master's chunk hub |
+//! | `HubReply` | master → worker | the matching [`HubResponse`] |
+//! | `Output` | master → worker | a token left a graph (broadcast, so SPMD asserts see outputs) |
+//! | `Release` | master → worker | one `run_to_idle` finished (error message if it failed) |
+//! | `Shutdown` | master → worker | the run is over; stop executors and exit |
+//!
+//! ```
+//! use dps_netengine::proto::Frame;
+//!
+//! let f = Frame::Release { run: 3, error: None };
+//! let bytes = dps_serial::to_bytes(&f);
+//! assert_eq!(dps_serial::from_bytes::<Frame>(&bytes).unwrap(), f);
+//! ```
+
+use dps_core::{DpsError, Envelope, GNodeId, Token, TokenBox, TokenRegistry};
+use dps_sched::remote::{HubRequest, HubResponse};
+use dps_serial::{impl_wire_enum, Reader, Wire, WireError, Writer};
+
+/// Which of the three op-execution points an [`Frame::Exec`] replays (the
+/// wire form of [`dps_mt::RemoteKind`], with the `completes` flag folded
+/// into the discriminant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Split/leaf `execute` on the token.
+    Exec,
+    /// Merge/stream `consume`.
+    Consume,
+    /// Merge/stream `consume` of the wave's last token: finalize too.
+    ConsumeCompletes,
+    /// Finalize a wave whose tokens were all consumed earlier.
+    Finalize,
+}
+
+impl TaskKind {
+    const ALL: [TaskKind; 4] = [
+        TaskKind::Exec,
+        TaskKind::Consume,
+        TaskKind::ConsumeCompletes,
+        TaskKind::Finalize,
+    ];
+}
+
+impl Wire for TaskKind {
+    fn wire_size(&self) -> usize {
+        1
+    }
+    fn encode(&self, w: &mut Writer) {
+        let idx = Self::ALL.iter().position(|k| k == self).expect("listed");
+        w.put_u8(idx as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let idx = r.get_u8()?;
+        Self::ALL
+            .get(idx as usize)
+            .copied()
+            .ok_or(WireError::InvalidDiscriminant {
+                type_name: "TaskKind",
+                value: idx as u32,
+            })
+    }
+}
+
+/// One protocol frame. See the module table for directions and meanings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker's first frame: its rank (1-based; the master is rank 0).
+    Hello {
+        /// The connecting worker's rank.
+        rank: u32,
+    },
+    /// Master's acceptance: cluster size and the calibrated compute rate
+    /// workers should report through `ExecInfo::node_flops`.
+    Welcome {
+        /// Total cluster nodes (master included).
+        nodes: u32,
+        /// Master-calibrated FLOP/s for `charge_flops` cost models.
+        node_flops: f64,
+    },
+    /// Worker finished declaring; `sig` is its declaration signature
+    /// ([`DeclSig`]) — the master refuses to run if it differs from its
+    /// own (the SPMD driver diverged).
+    Sync {
+        /// Declaration-stream signature.
+        sig: u64,
+    },
+    /// Run one op execution point on the worker hosting this thread.
+    Exec {
+        /// Reply-matching sequence number.
+        seq: u64,
+        /// Application index (declaration order).
+        app: u32,
+        /// Thread collection within the application.
+        tc: u32,
+        /// Thread index within the collection.
+        thread: u32,
+        /// Graph index within the application.
+        graph: u32,
+        /// The executing graph node.
+        node: GNodeId,
+        /// Which execution point.
+        kind: TaskKind,
+        /// Tagged token bytes (empty for [`TaskKind::Finalize`]).
+        token: Vec<u8>,
+        /// Envelope before any consuming pop (wave identity derives from it).
+        env: Envelope,
+    },
+    /// The reply to `Exec` with the matching `seq`.
+    Done {
+        /// Matches the `Exec` sequence number.
+        seq: u64,
+        /// Tagged tokens the op posted, in post order.
+        posts: Vec<Vec<u8>>,
+        /// `(iters, secs)` per completed scheduled chunk (worker wall clock).
+        reports: Vec<(u64, f64)>,
+        /// Set if the execution failed; the master fails the run with it.
+        error: Option<String>,
+    },
+    /// One chunk-hub operation against the master-hosted hub.
+    Hub {
+        /// Reply-matching request id.
+        req: u64,
+        /// The operation.
+        body: HubRequest,
+    },
+    /// The reply to `Hub` with the matching `req`.
+    HubReply {
+        /// Matches the `Hub` request id.
+        req: u64,
+        /// The hub's answer.
+        body: HubResponse,
+    },
+    /// A token left graph (`app`, `graph`) on the master. Broadcast so the
+    /// SPMD worker's driver code sees the same outputs the master does.
+    Output {
+        /// Application index.
+        app: u32,
+        /// Graph index.
+        graph: u32,
+        /// Tagged token bytes.
+        token: Vec<u8>,
+    },
+    /// One master `run_to_idle` completed (the worker's matching call
+    /// returns). All of the run's `Output` frames precede it on the same
+    /// connection.
+    Release {
+        /// Run ordinal (1-based).
+        run: u64,
+        /// The master-side error if the run failed.
+        error: Option<String>,
+    },
+    /// The engine is shutting down; stop executors and exit.
+    Shutdown,
+}
+
+impl_wire_enum!(Frame {
+    0 => Hello { rank },
+    1 => Welcome { nodes, node_flops },
+    2 => Sync { sig },
+    3 => Exec { seq, app, tc, thread, graph, node, kind, token, env },
+    4 => Done { seq, posts, reports, error },
+    5 => Hub { req, body },
+    6 => HubReply { req, body },
+    7 => Output { app, graph, token },
+    8 => Release { run, error },
+    9 => Shutdown { },
+});
+
+/// Encode a token in the tagged form every kernel's registry understands:
+/// wire id, format version, payload (the same frame `wire_roundtrip` uses).
+pub fn encode_token(tok: &dyn Token) -> Vec<u8> {
+    let mut w = Writer::with_capacity(tok.payload_size() + 10);
+    w.put_u64(tok.wire_id().0);
+    w.put_u16(dps_serial::WIRE_FORMAT_VERSION);
+    tok.encode_payload(&mut w);
+    w.into_bytes()
+}
+
+/// Decode a tagged token through `reg`; unknown wire ids and version
+/// mismatches surface as [`DpsError::Wire`].
+pub fn decode_token(reg: &TokenRegistry, bytes: &[u8]) -> Result<TokenBox, DpsError> {
+    reg.decode_tagged(&mut Reader::new(bytes))
+        .map_err(|e| DpsError::Wire(e.to_string()))
+}
+
+/// FNV-1a accumulator over the declaration event stream.
+///
+/// Master and workers run the *same* SPMD driver; each records every
+/// declaration (apps, token registrations, thread collections, graphs,
+/// services) into a `DeclSig` as it happens. The worker ships its final
+/// hash in [`Frame::Sync`]; a mismatch means the processes declared
+/// different schedules and the run is refused before any token moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeclSig(u64);
+
+impl Default for DeclSig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeclSig {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        DeclSig(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold raw bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Fold a string (length-delimited, so `"ab" + "c"` ≠ `"a" + "bc"`).
+    pub fn push_str(&mut self, s: &str) {
+        self.push_u64(s.len() as u64);
+        self.push_bytes(s.as_bytes());
+    }
+
+    /// Fold an integer.
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    /// The accumulated signature.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Record an application declaration.
+    pub fn app(&mut self, name: &str) {
+        self.push_str("app");
+        self.push_str(name);
+    }
+
+    /// Record a token-type registration.
+    pub fn token(&mut self, wire_id: u64) {
+        self.push_str("tok");
+        self.push_u64(wire_id);
+    }
+
+    /// Record a thread collection (its resolved node placement).
+    pub fn thread_collection(&mut self, app: u32, nodes: &[u32]) {
+        self.push_str("tc");
+        self.push_u64(u64::from(app));
+        self.push_u64(nodes.len() as u64);
+        for &n in nodes {
+            self.push_u64(u64::from(n));
+        }
+    }
+
+    /// Record an installed graph: name plus the per-node structure that
+    /// determines execution (kind, owning collection, token types).
+    pub fn graph(&mut self, app: u32, def: &dps_core::Flowgraph) {
+        self.push_str("graph");
+        self.push_u64(u64::from(app));
+        self.push_str(def.name());
+        self.push_u64(def.len() as u64);
+        for node in def.nodes() {
+            self.push_str(&node.name);
+            self.push_u64(kind_index(node.kind));
+            self.push_u64(u64::from(node.tc));
+            self.push_u64(node.in_type.0);
+            for (out, _) in &node.out_types {
+                self.push_u64(out.0);
+            }
+        }
+    }
+
+    /// Record a service exposure.
+    pub fn service(&mut self, app: u32, graph: u32, name: &str) {
+        self.push_str("svc");
+        self.push_u64(u64::from(app));
+        self.push_u64(u64::from(graph));
+        self.push_str(name);
+    }
+}
+
+fn kind_index(kind: dps_core::OpKind) -> u64 {
+    match kind {
+        dps_core::OpKind::Split => 0,
+        dps_core::OpKind::Leaf => 1,
+        dps_core::OpKind::Merge => 2,
+        dps_core::OpKind::Stream => 3,
+        dps_core::OpKind::Call => 4,
+        dps_core::OpKind::CallSplit => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_core::Frame as EnvFrame;
+
+    fn roundtrip(f: &Frame) {
+        let bytes = dps_serial::to_bytes(f);
+        assert_eq!(bytes.len(), f.wire_size(), "wire_size is exact");
+        let back: Frame = dps_serial::from_bytes(&bytes).expect("decodes");
+        assert_eq!(&back, f);
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        let mut env = Envelope::root();
+        env.push(EnvFrame {
+            src: GNodeId(2),
+            wave: 77,
+            index: 3,
+            total: Some(8),
+        });
+        roundtrip(&Frame::Hello { rank: 2 });
+        roundtrip(&Frame::Welcome {
+            nodes: 3,
+            node_flops: 1.5e9,
+        });
+        roundtrip(&Frame::Sync { sig: u64::MAX });
+        roundtrip(&Frame::Exec {
+            seq: 9,
+            app: 0,
+            tc: 1,
+            thread: 2,
+            graph: 0,
+            node: GNodeId(4),
+            kind: TaskKind::ConsumeCompletes,
+            token: vec![1, 2, 3],
+            env,
+        });
+        roundtrip(&Frame::Done {
+            seq: 9,
+            posts: vec![vec![], vec![255; 9]],
+            reports: vec![(12, 0.5)],
+            error: None,
+        });
+        roundtrip(&Frame::Done {
+            seq: 10,
+            posts: vec![],
+            reports: vec![],
+            error: Some("op failed".into()),
+        });
+        roundtrip(&Frame::Hub {
+            req: 1,
+            body: HubRequest::Claim { id: 4 },
+        });
+        roundtrip(&Frame::HubReply {
+            req: 1,
+            body: HubResponse::Claimed { chunk: None },
+        });
+        roundtrip(&Frame::Output {
+            app: 0,
+            graph: 1,
+            token: vec![9; 17],
+        });
+        roundtrip(&Frame::Release {
+            run: 2,
+            error: Some("timed out".into()),
+        });
+        roundtrip(&Frame::Shutdown);
+    }
+
+    #[test]
+    fn task_kind_rejects_unknown_discriminants() {
+        let mut w = Writer::with_capacity(1);
+        w.put_u8(9);
+        let bytes = w.into_bytes();
+        assert!(TaskKind::decode(&mut Reader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn decl_sig_is_order_sensitive_and_deterministic() {
+        let stream = |order: &[&str]| {
+            let mut s = DeclSig::new();
+            for name in order {
+                s.app(name);
+            }
+            s.token(42);
+            s.thread_collection(0, &[0, 1, 1]);
+            s.finish()
+        };
+        assert_eq!(stream(&["a", "b"]), stream(&["a", "b"]));
+        assert_ne!(stream(&["a", "b"]), stream(&["b", "a"]));
+    }
+
+    #[test]
+    fn decl_sig_delimits_strings() {
+        let mut a = DeclSig::new();
+        a.push_str("ab");
+        a.push_str("c");
+        let mut b = DeclSig::new();
+        b.push_str("a");
+        b.push_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn tagged_tokens_round_trip_through_a_registry() {
+        use dps_core::dps_token;
+        dps_token! { pub struct Probe { pub x: u64 } }
+        let mut reg = TokenRegistry::new();
+        dps_core::register_token::<Probe>(&mut reg);
+        let bytes = encode_token(&Probe { x: 1234 });
+        let back = decode_token(&reg, &bytes).unwrap();
+        assert_eq!(dps_core::downcast::<Probe>(back).unwrap().x, 1234);
+    }
+
+    #[test]
+    fn unknown_token_types_fail_to_decode() {
+        use dps_core::dps_token;
+        dps_token! { pub struct Stranger { pub x: u64 } }
+        let reg = TokenRegistry::new();
+        assert!(decode_token(&reg, &encode_token(&Stranger { x: 1 })).is_err());
+    }
+}

@@ -17,7 +17,29 @@
 //!   compare-and-swap per chunk, no locks, no master.
 //! * [`ChunkHub`] hands out [`IterCounter`]s under lease ids so split
 //!   operations (which announce a range) and worker operations (which claim
-//!   chunks) can rendezvous without tokens carrying shared pointers.
+//!   chunks) can rendezvous without tokens carrying shared pointers. Lease
+//!   ids are plain `u64`s, which is what lets the multi-process engine
+//!   forward `open`/`claim`/`close` over the wire
+//!   ([`RemoteHub`](crate::remote::RemoteHub)): the master hosts the real
+//!   counters and an iteration is handed out exactly once cluster-wide.
+//!
+//! The full local cycle — announce a range, claim it down chunk by chunk:
+//!
+//! ```
+//! use dps_sched::{ChunkCalc, ChunkHub, PolicyKind};
+//!
+//! let hub = ChunkHub::new();
+//! // A split announces 100 iterations for 4 workers under TSS.
+//! let lease = hub.open(ChunkCalc::new(PolicyKind::Tss, 100, 4, &[]));
+//! // Workers claim concurrently; here one loop drains the lease.
+//! let mut sizes = Vec::new();
+//! while let Some(chunk) = hub.claim(lease.id) {
+//!     sizes.push(chunk.len);
+//! }
+//! assert_eq!(sizes.iter().sum::<u64>(), 100, "every iteration exactly once");
+//! assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "TSS sizes decrease");
+//! assert!(!hub.close(lease.id), "already drained");
+//! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -25,6 +47,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use crate::policy::PolicyKind;
+use crate::remote::RemoteHub;
 use crate::scheduler::Chunk;
 
 /// Low bits of the packed counter word holding the iteration index; the
@@ -49,14 +72,14 @@ const START_MASK: u64 = (1 << START_BITS) - 1;
 /// [`ChunkScheduler`]: crate::ChunkScheduler
 #[derive(Debug, Clone)]
 pub struct ChunkCalc {
-    kind: PolicyKind,
-    total: u64,
-    workers: u64,
-    weights: Vec<f64>,
+    pub(crate) kind: PolicyKind,
+    pub(crate) total: u64,
+    pub(crate) workers: u64,
+    pub(crate) weights: Vec<f64>,
     /// TSS first-chunk size (as f64: the policy's arithmetic is float).
-    tss_first: f64,
+    pub(crate) tss_first: f64,
     /// TSS per-chunk linear decrement.
-    tss_decrement: f64,
+    pub(crate) tss_decrement: f64,
 }
 
 impl ChunkCalc {
@@ -324,7 +347,7 @@ impl IterCounter {
 
 /// A lease on an announced range: the id workers quote to claim chunks, and
 /// the number of chunks the range will produce (= tickets to post).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkLease {
     /// Hub-unique lease id.
     pub id: u64,
@@ -388,7 +411,6 @@ fn lease_locate(id: u64) -> Option<(usize, usize)> {
 /// [`close`](Self::close) its lease on the recovery path. Slots themselves
 /// live until the hub drops — a few hundred bytes per lease ever opened,
 /// bounded by the run the hub belongs to.
-#[derive(Debug)]
 pub struct ChunkHub {
     /// Doubling lease segments, allocated on first touch.
     segments: [OnceLock<Box<[LeaseSlot]>>; LEASE_SEGS],
@@ -396,6 +418,19 @@ pub struct ChunkHub {
     next: AtomicU64,
     /// Leases opened and not yet drained/closed.
     open: AtomicU64,
+    /// Forwarding delegate: when set, every hub operation is relayed to the
+    /// process that owns the real lease directory (see [`RemoteHub`]) and
+    /// the local slots above stay empty.
+    remote: Option<Arc<dyn RemoteHub>>,
+}
+
+impl std::fmt::Debug for ChunkHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkHub")
+            .field("open", &self.open.load(Ordering::Relaxed))
+            .field("remote", &self.remote.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for ChunkHub {
@@ -404,6 +439,7 @@ impl Default for ChunkHub {
             segments: std::array::from_fn(|_| OnceLock::new()),
             next: AtomicU64::new(0),
             open: AtomicU64::new(0),
+            remote: None,
         }
     }
 }
@@ -414,6 +450,18 @@ impl ChunkHub {
         Self::default()
     }
 
+    /// A forwarding hub: every operation is relayed through `delegate` to
+    /// the process hosting the real lease directory. Used by distributed
+    /// engines on worker processes so split and worker operations written
+    /// against a plain [`ChunkHub`] transparently rendezvous on the
+    /// master's hub.
+    pub fn remote(delegate: Arc<dyn RemoteHub>) -> Self {
+        Self {
+            remote: Some(delegate),
+            ..Self::default()
+        }
+    }
+
     /// The slot of lease `id`, if its segment was ever touched.
     fn slot(&self, id: u64) -> Option<&LeaseSlot> {
         let (seg, idx) = lease_locate(id)?;
@@ -422,6 +470,9 @@ impl ChunkHub {
 
     /// Open a counter over `calc`'s range and lease it out.
     pub fn open(&self, calc: ChunkCalc) -> ChunkLease {
+        if let Some(r) = &self.remote {
+            return r.open(calc);
+        }
         let counter = IterCounter::new(calc);
         let chunks = counter.chunk_count();
         let id = self.next.fetch_add(1, Ordering::Relaxed);
@@ -457,6 +508,9 @@ impl ChunkHub {
     /// one CAS on the lease's own counter. `None` when the lease is
     /// drained, [`close`](Self::close)d, or unknown.
     pub fn claim(&self, id: u64) -> Option<Chunk> {
+        if let Some(r) = &self.remote {
+            return r.claim(id);
+        }
         let slot = self.slot(id)?;
         if slot.closed.load(Ordering::Acquire) {
             return None;
@@ -475,6 +529,9 @@ impl ChunkHub {
     /// each — closing races a concurrent claim exactly like draining does.
     /// Returns `true` if this call closed the lease (it was open).
     pub fn close(&self, id: u64) -> bool {
+        if let Some(r) = &self.remote {
+            return r.close(id);
+        }
         match self.slot(id) {
             Some(slot) if slot.counter.get().is_some() => {
                 let was_open = !slot.closed.swap(true, Ordering::AcqRel);
@@ -487,8 +544,12 @@ impl ChunkHub {
         }
     }
 
-    /// The counter behind lease `id`, if still open.
+    /// The counter behind lease `id`, if still open. Always `None` on a
+    /// forwarding hub — the counter lives in the owning process.
     pub fn counter(&self, id: u64) -> Option<Arc<IterCounter>> {
+        if self.remote.is_some() {
+            return None;
+        }
         let slot = self.slot(id)?;
         if slot.closed.load(Ordering::Acquire) {
             return None;
@@ -496,7 +557,8 @@ impl ChunkHub {
         slot.counter.get().cloned()
     }
 
-    /// Leases not yet drained.
+    /// Leases not yet drained. A forwarding hub reports `0`: the owning
+    /// process tracks lease lifetimes.
     pub fn open_leases(&self) -> usize {
         self.open.load(Ordering::Relaxed) as usize
     }

@@ -64,6 +64,7 @@ mod calc;
 mod feedback;
 pub mod legacy;
 mod policy;
+pub mod remote;
 mod scheduler;
 
 pub use calc::{ChunkCalc, ChunkHub, ChunkLease, IterCounter};

@@ -1,0 +1,302 @@
+//! Wire framing for the cluster-shared scheduling state: chunk-lease
+//! traffic against a master-hosted [`ChunkHub`] and feedback-report
+//! batches flowing back to the master's [`FeedbackBoard`].
+//!
+//! Shared-memory engines hand every operation the same `Arc<ChunkHub>`.
+//! Across process boundaries that `Arc` cannot travel, so a distributed
+//! engine splits the hub in two:
+//!
+//! * the **master** process keeps a real [`ChunkHub`] (the lease directory
+//!   and the atomic claim counters) and answers [`HubRequest`]s with
+//!   [`HubRequest::serve`];
+//! * every **worker** process holds a forwarding hub
+//!   ([`ChunkHub::remote`]) whose [`RemoteHub`] delegate frames each
+//!   operation as a [`HubRequest`], ships it, and blocks on the matching
+//!   [`HubResponse`].
+//!
+//! The arithmetic stays byte-identical on both sides because the *whole*
+//! fixed [`ChunkCalc`] travels in [`HubRequest::Open`] — including the
+//! normalized AWF weights and the precomputed TSS parameters — rather
+//! than being re-derived from `(kind, total, workers)` at the master.
+//!
+//! Feedback travels the other way: workers batch `(iters, secs)` pairs per
+//! completed chunk into a [`ChunkReport`] and the master applies it to its
+//! sink in one [`FeedbackSink::report_batch`] call.
+//!
+//! This module defines only the framing and the forwarding seam; the
+//! transport (sockets, channels) belongs to the engine crates.
+//!
+//! ```
+//! use dps_sched::{ChunkCalc, ChunkHub, PolicyKind};
+//! use dps_sched::remote::{HubRequest, HubResponse};
+//!
+//! // Worker side: frame a claim.
+//! let bytes = dps_serial::to_bytes(&HubRequest::Claim { id: 7 });
+//!
+//! // Master side: decode, serve against the real hub, frame the reply.
+//! let hub = ChunkHub::new();
+//! let lease = hub.open(ChunkCalc::new(PolicyKind::Gss, 100, 4, &[]));
+//! let req: HubRequest = dps_serial::from_bytes(&bytes).unwrap();
+//! let resp = req.serve(&hub);
+//! assert!(matches!(resp, HubResponse::Claimed { chunk: None })); // lease 7 unknown
+//! let first = hub.claim(lease.id).unwrap();
+//! assert_eq!(first.start, 0);
+//! ```
+//!
+//! [`FeedbackBoard`]: crate::FeedbackBoard
+//! [`FeedbackSink::report_batch`]: crate::FeedbackSink::report_batch
+
+use dps_serial::{impl_wire, impl_wire_enum, Reader, Wire, WireError, Writer};
+
+use crate::calc::{ChunkCalc, ChunkHub, ChunkLease};
+use crate::policy::PolicyKind;
+use crate::scheduler::Chunk;
+
+/// Worker-side delegate a forwarding [`ChunkHub`] relays every operation
+/// through (see [`ChunkHub::remote`]). Implementations frame the call as a
+/// [`HubRequest`], send it to the master, and block on the matching
+/// [`HubResponse`] — each method is one synchronous round-trip on the
+/// per-chunk path, which is exactly the cost model of arXiv:2101.07050's
+/// distributed chunk calculation (one shared-state access per chunk).
+pub trait RemoteHub: Send + Sync {
+    /// Forward [`ChunkHub::open`].
+    fn open(&self, calc: ChunkCalc) -> ChunkLease;
+    /// Forward [`ChunkHub::claim`].
+    fn claim(&self, id: u64) -> Option<Chunk>;
+    /// Forward [`ChunkHub::close`].
+    fn close(&self, id: u64) -> bool;
+}
+
+/// One hub operation, framed. `Open` carries the full fixed calculation so
+/// master and workers run byte-identical chunk arithmetic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HubRequest {
+    /// [`ChunkHub::open`] — announce a range, get a lease.
+    Open { calc: ChunkCalc },
+    /// [`ChunkHub::claim`] — next chunk of lease `id`, if any.
+    Claim { id: u64 },
+    /// [`ChunkHub::close`] — retire lease `id` early.
+    Close { id: u64 },
+}
+
+impl HubRequest {
+    /// Apply this request to the real hub (master side) and produce the
+    /// response frame to ship back.
+    pub fn serve(self, hub: &ChunkHub) -> HubResponse {
+        match self {
+            HubRequest::Open { calc } => HubResponse::Opened {
+                lease: hub.open(calc),
+            },
+            HubRequest::Claim { id } => HubResponse::Claimed {
+                chunk: hub.claim(id),
+            },
+            HubRequest::Close { id } => HubResponse::Closed {
+                closed: hub.close(id),
+            },
+        }
+    }
+}
+
+/// The master's answer to a [`HubRequest`], variant-matched by position:
+/// `Open → Opened`, `Claim → Claimed`, `Close → Closed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HubResponse {
+    /// Lease handed out for an announced range.
+    Opened { lease: ChunkLease },
+    /// Next chunk, or `None` when the lease is drained/closed/unknown.
+    Claimed { chunk: Option<Chunk> },
+    /// Whether the close retired an open lease.
+    Closed { closed: bool },
+}
+
+/// A batch of completed-chunk measurements from one worker: the framed form
+/// of one [`FeedbackSink::report_batch`](crate::FeedbackSink::report_batch)
+/// call. `secs` are in the reporting engine's own notion of time — only
+/// relative rates matter to the adaptive policies.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChunkReport {
+    /// Worker index within the executing collection.
+    pub worker: u64,
+    /// `(iters, secs)` per completed chunk, in completion order.
+    pub chunks: Vec<(u64, f64)>,
+}
+
+impl_wire!(ChunkLease { id, chunks });
+impl_wire!(Chunk {
+    seq,
+    start,
+    len,
+    worker
+});
+impl_wire!(ChunkReport { worker, chunks });
+impl_wire_enum!(HubRequest {
+    0 => Open { calc },
+    1 => Claim { id },
+    2 => Close { id },
+});
+impl_wire_enum!(HubResponse {
+    0 => Opened { lease },
+    1 => Claimed { chunk },
+    2 => Closed { closed },
+});
+
+impl Wire for PolicyKind {
+    fn wire_size(&self) -> usize {
+        1
+    }
+    fn encode(&self, w: &mut Writer) {
+        // Stable index into `PolicyKind::ALL` (append-only by convention).
+        let idx = PolicyKind::ALL
+            .iter()
+            .position(|k| k == self)
+            .expect("every PolicyKind is listed in ALL");
+        w.put_u8(idx as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let idx = r.get_u8()?;
+        PolicyKind::ALL
+            .get(idx as usize)
+            .copied()
+            .ok_or(WireError::InvalidDiscriminant {
+                type_name: "PolicyKind",
+                value: idx as u32,
+            })
+    }
+}
+
+/// All fixed parameters travel — weights and TSS terms included — so the
+/// decoded calculation replays the policy with byte-identical floats.
+impl Wire for ChunkCalc {
+    fn wire_size(&self) -> usize {
+        self.kind.wire_size() + 8 * 2 + self.weights.wire_size() + 8 * 2
+    }
+    fn encode(&self, w: &mut Writer) {
+        self.kind.encode(w);
+        w.put_u64(self.total);
+        w.put_u64(self.workers);
+        self.weights.encode(w);
+        w.put_f64(self.tss_first);
+        w.put_f64(self.tss_decrement);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            kind: PolicyKind::decode(r)?,
+            total: r.get_u64()?,
+            workers: r.get_u64()?,
+            weights: Vec::<f64>::decode(r)?,
+            tss_first: r.get_f64()?,
+            tss_decrement: r.get_f64()?,
+        })
+    }
+}
+
+impl PartialEq for ChunkCalc {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+            && self.total == other.total
+            && self.workers == other.workers
+            && self.weights == other.weights
+            && self.tss_first == other.tss_first
+            && self.tss_decrement == other.tss_decrement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = dps_serial::to_bytes(v);
+        assert_eq!(bytes.len(), v.wire_size(), "wire_size is exact");
+        let back: T = dps_serial::from_bytes(&bytes).expect("decodes");
+        assert_eq!(&back, v, "round-trips");
+    }
+
+    #[test]
+    fn hub_frames_round_trip() {
+        for kind in PolicyKind::ALL {
+            let calc = ChunkCalc::new(kind, 1000, 4, &[0.4, 0.3, 0.2, 0.1]);
+            roundtrip(&HubRequest::Open { calc });
+        }
+        roundtrip(&HubRequest::Claim { id: u64::MAX });
+        roundtrip(&HubRequest::Close { id: 0 });
+        roundtrip(&HubResponse::Opened {
+            lease: ChunkLease { id: 7, chunks: 13 },
+        });
+        roundtrip(&HubResponse::Claimed {
+            chunk: Some(Chunk {
+                seq: 3,
+                start: 128,
+                len: 32,
+                worker: 2,
+            }),
+        });
+        roundtrip(&HubResponse::Claimed { chunk: None });
+        roundtrip(&HubResponse::Closed { closed: true });
+        roundtrip(&ChunkReport {
+            worker: 5,
+            chunks: vec![(10, 0.5), (20, 0.25)],
+        });
+    }
+
+    /// The decoded calculation produces the same chunk sequence as the
+    /// original — the property the distributed engine's byte-identical
+    /// guarantee rests on.
+    #[test]
+    fn decoded_calc_replays_identical_chunks() {
+        for kind in PolicyKind::ALL {
+            let calc = ChunkCalc::new(kind, 777, 3, &[0.5, 0.25, 0.25]);
+            let back: ChunkCalc = dps_serial::from_bytes(&dps_serial::to_bytes(&calc)).unwrap();
+            let (mut seq, mut start) = (0u32, 0u64);
+            loop {
+                let (a, b) = (calc.len_at(seq, start), back.len_at(seq, start));
+                assert_eq!(a, b, "{kind:?} chunk {seq}");
+                if a == 0 {
+                    break;
+                }
+                start += a;
+                seq += 1;
+            }
+            assert_eq!(start, 777, "{kind:?} covers the range");
+        }
+    }
+
+    /// A forwarding hub relays everything to its delegate.
+    #[test]
+    fn forwarding_hub_delegates() {
+        struct Direct(ChunkHub);
+        impl RemoteHub for Direct {
+            fn open(&self, calc: ChunkCalc) -> ChunkLease {
+                match (HubRequest::Open { calc }).serve(&self.0) {
+                    HubResponse::Opened { lease } => lease,
+                    _ => unreachable!(),
+                }
+            }
+            fn claim(&self, id: u64) -> Option<Chunk> {
+                match (HubRequest::Claim { id }).serve(&self.0) {
+                    HubResponse::Claimed { chunk } => chunk,
+                    _ => unreachable!(),
+                }
+            }
+            fn close(&self, id: u64) -> bool {
+                match (HubRequest::Close { id }).serve(&self.0) {
+                    HubResponse::Closed { closed } => closed,
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let master = Direct(ChunkHub::new());
+        let worker = ChunkHub::remote(Arc::new(master));
+        let lease = worker.open(ChunkCalc::new(PolicyKind::Static, 10, 2, &[]));
+        assert_eq!(lease.chunks, 2);
+        let mut covered = 0;
+        while let Some(c) = worker.claim(lease.id) {
+            covered += c.len;
+        }
+        assert_eq!(covered, 10);
+        assert!(!worker.close(lease.id), "already drained");
+        assert_eq!(worker.open_leases(), 0, "forwarding hub tracks nothing");
+        assert!(worker.counter(lease.id).is_none());
+    }
+}

@@ -17,7 +17,9 @@
 //! engine needs its own operation code.
 //!
 //! Run with: `cargo run --release --example adaptive_scheduling`
-//! (optionally `-- --engine sim` or `-- --engine mt` to pick one backend).
+//! (optionally `-- --engine sim` or `-- --engine mt` to pick one backend,
+//! or `-- --engine net` to run the same driver across three OS *processes*
+//! over TCP — rank 0 re-executes this binary as two worker kernels).
 
 use std::sync::Arc;
 
@@ -28,6 +30,7 @@ use dps::core::sched::{
     ScheduledSplit,
 };
 use dps::mt::MtEngine;
+use dps::netengine::{NetEngine, NetEngineConfig};
 use dps::sched::{ChunkHub, FeedbackBoard, PolicyKind};
 
 const ITERS: u64 = 256;
@@ -93,7 +96,7 @@ fn run_schedule<E: Engine>(
     workers_n: usize,
     board: Arc<FeedbackBoard>,
 ) -> Vec<f64> {
-    let hub = Arc::new(ChunkHub::new());
+    let hub = eng.chunk_hub();
     eng.set_feedback_sink(board.clone());
     let app = eng.app("adaptive");
     eng.preload_app(app);
@@ -155,9 +158,41 @@ fn engine_arg() -> Option<String> {
 fn main() {
     let which = engine_arg().unwrap_or_else(|| "both".to_string());
     assert!(
-        matches!(which.as_str(), "sim" | "mt" | "both"),
-        "unknown --engine value {which:?}: expected sim, mt, or both"
+        matches!(which.as_str(), "sim" | "mt" | "net" | "both"),
+        "unknown --engine value {which:?}: expected sim, mt, net, or both"
     );
+
+    // Multi-process: rank 0 spawns two worker kernels that re-execute this
+    // very binary (same `--engine net` arguments), so master and workers
+    // run this same SPMD code path; chunks are claimed from the
+    // master-hosted hub over TCP. Not part of the default `both` run.
+    if which == "net" {
+        let policy = PolicyKind::Awf;
+        let mut eng = NetEngine::from_env(3, NetEngineConfig::default()).expect("net setup");
+        let master = eng.is_master();
+        let rank = eng.rank();
+        if master {
+            println!("Triangular-cost loop, {ITERS} iterations × {STEPS} steps");
+            println!("\n-- NetEngine: the same driver across 3 OS processes over TCP --");
+        }
+        let board = Arc::new(FeedbackBoard::for_policy(policy));
+        let wall = run_schedule(&mut eng, policy, 3, board.clone());
+        eng.shutdown();
+        if master {
+            let chunks = board.total_chunks();
+            let steps: Vec<String> = wall.iter().map(|s| format!("{:.1}ms", s * 1e3)).collect();
+            println!(
+                "{:>7}: steps [{}]  ({chunks} chunk completions reported over the wire)",
+                policy.name(),
+                steps.join(", ")
+            );
+            println!("\nSame application code; only the engine (and its clock) changed.");
+        } else {
+            println!("worker kernel {rank}: {STEPS} scheduled steps completed");
+        }
+        return;
+    }
+
     println!("Triangular-cost loop, {ITERS} iterations × {STEPS} steps");
 
     if which == "sim" || which == "both" {

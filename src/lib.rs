@@ -19,6 +19,8 @@
 //! * [`dps_des`] / [`dps_net`] / [`dps_cluster`] — the deterministic cluster
 //!   simulator substrate (virtual time, network model, virtual nodes).
 //! * [`dps_mt`] — real OS-thread execution engine.
+//! * [`dps_netengine`] — multi-process execution engine: master + worker
+//!   kernels over real sockets, same SPMD driver code on every process.
 //! * [`dps_linalg`] / [`dps_life`] / [`dps_sfs`] — the paper's application
 //!   substrates (block LU factorization, Game of Life, striped file system).
 //!
@@ -26,6 +28,17 @@
 //!
 //! The paper's §3 tutorial (parallel uppercase conversion) lives in
 //! `examples/quickstart.rs`; run it with `cargo run --example quickstart`.
+//!
+//! For the full picture — the flow-graph model, the `Engine` trait, how
+//! the three backends execute it, the scheduling/feedback protocol and
+//! the wire format — read `docs/ARCHITECTURE.md` (its snippets are
+//! doc-tested from this crate).
+
+// The architecture book's code snippets run under `cargo test --doc` so
+// they cannot rot out of sync with the API they document.
+#[cfg(doctest)]
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub struct ArchitectureBook;
 
 pub use dps_cluster as cluster;
 pub use dps_core as core;
@@ -34,6 +47,7 @@ pub use dps_life as life;
 pub use dps_linalg as linalg;
 pub use dps_mt as mt;
 pub use dps_net as net;
+pub use dps_netengine as netengine;
 pub use dps_sched as sched;
 pub use dps_serial as serial;
 pub use dps_sfs as sfs;

@@ -1,19 +1,35 @@
 //! Cross-engine integration: the same flow graph executed on the
-//! deterministic simulator and on real OS threads must compute the same
-//! results — only the notion of time differs.
+//! deterministic simulator, on real OS threads, and on the multi-process
+//! network engine must compute the same results — only the notion of time
+//! (and the number of processes) differs.
 //!
-//! Every test drives both engines through the **same generic function**
+//! Every test drives the engines through the **same generic function**
 //! over [`dps::core::Engine`] — the unified-API contract: no per-engine
 //! driver code anywhere in this file. The differential proptest generates
 //! randomized split→leaf→merge shapes and asserts *byte-identical* wire
-//! encodings of the outputs from both engines.
+//! encodings of the outputs from all three engines.
+//!
+//! The `*_across_processes` tests re-execute this very test binary as
+//! worker kernels ([`NetEngine::from_env`] reads the `DPS_NET_*`
+//! environment the master sets), so master and workers literally run the
+//! same SPMD test function over real TCP sockets.
 
 use dps::cluster::ClusterSpec;
 use dps::core::prelude::*;
 use dps::core::{dps_token, SimEngine, Token};
 use dps::mt::MtEngine;
+use dps::netengine::{NetEngine, NetEngineConfig};
 use dps::serial::{Buffer, Writer};
 use proptest::prelude::*;
+
+/// Net-engine config for a multi-process test: the spawned worker
+/// processes re-run exactly `test` (libtest filter), nothing else.
+fn spmd_test_config(test: &str) -> NetEngineConfig {
+    NetEngineConfig {
+        worker_args: Some(vec![test.into(), "--exact".into(), "--nocapture".into()]),
+        ..NetEngineConfig::default()
+    }
+}
 
 dps_token! {
     pub struct Work { pub shards: u32, pub values: Buffer<u64> }
@@ -161,10 +177,22 @@ proptest! {
             let mut eng = MtEngine::new(workers_n);
             scatter_gather(&mut eng, workers_n, input(shards, n))
         };
+        let net_out = {
+            // Master on node0 plus in-process worker kernels for the rest:
+            // the same wire protocol as the TCP deployment, single process.
+            let mut eng = NetEngine::loopback(workers_n);
+            scatter_gather(&mut eng, workers_n, input(shards, n))
+        };
         prop_assert_eq!(
             wire_encoding(&sim_out),
             wire_encoding(&mt_out),
-            "engines diverged for n={} shards={} workers={}",
+            "sim and mt diverged for n={} shards={} workers={}",
+            n, shards, workers_n
+        );
+        prop_assert_eq!(
+            wire_encoding(&sim_out),
+            wire_encoding(&net_out),
+            "sim and net diverged for n={} shards={} workers={}",
             n, shards, workers_n
         );
         prop_assert_eq!(sim_out.sum, expected(n));
@@ -198,6 +226,77 @@ fn scheduled_life_runs_on_real_threads() {
     eng.shutdown();
     assert_eq!(rep.world, reference, "Life diverged on real threads");
     assert_eq!(rep.per_iter.len(), cfg.iterations);
+}
+
+/// The same scheduled Life application across **three real processes over
+/// TCP**: the master spawns two worker kernels (re-running this very test
+/// function), rows are claimed chunk-by-chunk from the master-hosted hub
+/// over the wire, and every kernel — master and workers alike — asserts
+/// the same generations against the sequential reference (outputs are
+/// re-broadcast, so the SPMD asserts hold everywhere).
+#[test]
+fn scheduled_life_runs_on_netengine_across_processes() {
+    use dps::life::{run_life_scheduled, LifeConfig, Variant, World};
+    use dps::sched::{Distribution, PolicyKind};
+
+    let cfg = LifeConfig {
+        rows: 24,
+        cols: 16,
+        iterations: 3,
+        variant: Variant::Simple,
+        nodes: 3,
+        threads_per_node: 1,
+        density: 0.35,
+        seed: 11,
+        dist: Distribution::Scheduled(PolicyKind::Fac),
+    };
+    let reference = World::random(cfg.rows, cfg.cols, cfg.density, cfg.seed).step_n(cfg.iterations);
+
+    let mut eng = NetEngine::from_env(
+        3,
+        spmd_test_config("scheduled_life_runs_on_netengine_across_processes"),
+    )
+    .expect("net engine setup");
+    let rep = run_life_scheduled(&mut eng, &cfg, PolicyKind::Fac).unwrap();
+    eng.shutdown();
+    assert_eq!(rep.world, reference, "Life diverged across processes");
+    assert_eq!(rep.per_iter.len(), cfg.iterations);
+}
+
+/// Dynamically scheduled block LU across three real processes over TCP:
+/// block columns are assigned from calibration-measured worker rates, the
+/// panel broadcasts and updates execute in the worker kernels, and the
+/// factors come back bit-identical to the sequential block reference.
+#[test]
+fn scheduled_lu_runs_on_netengine_across_processes() {
+    use dps::linalg::parallel::lu::{run_lu, LuConfig};
+    use dps::linalg::{blocked_lu, lu_residual, Matrix};
+    use dps::sched::{Distribution, PolicyKind};
+
+    let cfg = LuConfig {
+        n: 32,
+        r: 8,
+        pipelined: true,
+        seed: 21,
+        nodes: 3,
+        threads_per_node: 1,
+        dist: Distribution::Scheduled(PolicyKind::Tss),
+    };
+    let mut eng = NetEngine::from_env(
+        3,
+        spmd_test_config("scheduled_lu_runs_on_netengine_across_processes"),
+    )
+    .expect("net engine setup");
+    let rep = run_lu(&mut eng, &cfg).unwrap();
+    eng.shutdown();
+    let a = Matrix::random_general(cfg.n, cfg.n, cfg.seed);
+    assert!(lu_residual(&a, &rep.factors) < 1e-8);
+    let reference = blocked_lu(&a, cfg.r);
+    assert_eq!(rep.factors.pivots, reference.pivots);
+    assert_eq!(
+        rep.factors.lu, reference.lu,
+        "factors must agree bit for bit across processes"
+    );
 }
 
 /// Block LU factorization through the generic `run_lu` entry point on OS
