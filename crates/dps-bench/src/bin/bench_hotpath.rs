@@ -18,9 +18,11 @@
 //!
 //! Results are written as JSON (default `BENCH_hotpath.json`; override
 //! with `--out=PATH`). `--smoke` shrinks the workload for CI — it checks
-//! the harness runs, not the numbers. The committed `BENCH_hotpath.json`
-//! at the repository root is produced by a full (non-smoke) run; future
-//! PRs diff against it.
+//! the harness runs, not the numbers. `--trace=PATH` additionally runs one
+//! scheduled LU with a trace sink attached and exports the event stream as
+//! Chrome trace-event JSON (open in `chrome://tracing` or Perfetto). The
+//! committed `BENCH_hotpath.json` at the repository root is produced by a
+//! full (non-smoke) run; future PRs diff against it.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,9 +30,10 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 use dps_cluster::ClusterSpec;
-use dps_core::EngineConfig;
+use dps_core::{EngineConfig, SimEngine};
 use dps_life::{run_life_sim, LifeConfig, Variant};
-use dps_linalg::parallel::lu::{run_lu_sim, LuConfig};
+use dps_linalg::parallel::lu::{run_lu, run_lu_sim, LuConfig};
+use dps_obs::{chrome_trace_json, schedule_hash, MetricsRegistry, TraceCollector};
 use dps_sched::legacy::LegacyFeedbackBoard;
 use dps_sched::{ChunkCalc, ChunkHub, Distribution, FeedbackBoard, FeedbackSink, PolicyKind};
 
@@ -230,6 +233,44 @@ fn main() {
         });
     }
 
+    // --- trace-attach overhead on the claim path ---
+    // The observability seam must not tax the lock-free hot path: claim
+    // counts fold into the registry once per lease at retire time (the
+    // lease counter's final claim sequence), so a claim itself carries zero
+    // instrumentation. Measured at 16 workers (the contended configuration
+    // the hub exists for).
+    let overhead_workers = 16usize;
+    let overhead_calc = || ChunkCalc::new(PolicyKind::Ss, claim_iters, overhead_workers, &[]);
+    let claims_plain = span_throughput(
+        overhead_workers,
+        claim_iters,
+        || {
+            let hub = ChunkHub::new();
+            let lease = hub.open(overhead_calc());
+            (hub, lease.id)
+        },
+        |(hub, id), _| while hub.claim(*id).is_some() {},
+    );
+    let registry = Arc::new(MetricsRegistry::new());
+    let claims_traced = span_throughput(
+        overhead_workers,
+        claim_iters,
+        || {
+            let hub = ChunkHub::new();
+            hub.attach_metrics(registry.clone());
+            let lease = hub.open(overhead_calc());
+            (hub, lease.id)
+        },
+        |(hub, id), _| while hub.claim(*id).is_some() {},
+    );
+    let overhead_pct = 100.0 * (1.0 - claims_traced / claims_plain);
+    println!(
+        "trace-attach overhead (claims/s, {overhead_workers} workers): \
+         plain {:>7.2} M/s   with metrics {:>7.2} M/s   ({overhead_pct:+.1}%)",
+        claims_plain / 1e6,
+        claims_traced / 1e6,
+    );
+
     // --- end-to-end scheduled makespans (virtual time: deterministic) ---
     let spec = || ClusterSpec::skewed(2, 2, 2.0);
     let (lu_n, life_rows, life_iters) = if smoke { (64, 96, 2) } else { (128, 192, 4) };
@@ -282,11 +323,52 @@ fn main() {
         2 * life_rows
     );
 
+    // --- optional Chrome-trace export of one scheduled LU run ---
+    if let Some(trace_path) = arg_value("--trace=") {
+        let collector = TraceCollector::new();
+        let mut eng = SimEngine::with_config(spec(), EngineConfig::default());
+        eng.set_trace_sink(collector.clone());
+        run_lu(
+            &mut eng,
+            &LuConfig {
+                n: lu_n,
+                r: 16,
+                pipelined: true,
+                seed: 33,
+                nodes: 2,
+                threads_per_node: 1,
+                dist: Distribution::Scheduled(PolicyKind::Awf),
+            },
+        )
+        .expect("traced LU run");
+        let log = collector.take_log();
+        std::fs::write(&trace_path, chrome_trace_json(&log)).expect("write Chrome trace");
+        println!(
+            "Chrome trace of scheduled LU (n={lu_n}): {} events, \
+             schedule hash {:016x}, written to {trace_path}",
+            log.events.len(),
+            schedule_hash(&log)
+        );
+    }
+
+    // Environment metadata: what machine and engine shape produced the
+    // numbers, so committed baselines are comparable across hosts.
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let timestamp_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
     let json = format!(
         "{{\n  \"suite\": \"bench_hotpath\",\n  \"smoke\": {smoke},\n  \
+         \"env\": {{\n    \"cores\": {cores},\n    \"engine\": \"sim\",\n    \
+         \"worker_counts\": [1, 4, 16, 64],\n    \
+         \"timestamp_unix\": {timestamp_unix}\n  }},\n  \
          \"reports_per_thread\": {report_per_thread},\n  \
          \"claim_iters\": {claim_iters},\n  \
          \"feedback_report\": {},\n  \"chunk_claim\": {},\n  \
+         \"trace_overhead\": {{\n    \"workers\": {overhead_workers},\n    \
+         \"claims_plain_mops\": {:.3},\n    \
+         \"claims_traced_mops\": {:.3},\n    \
+         \"overhead_pct\": {overhead_pct:.2}\n  }},\n  \
          \"e2e_makespans_virtual_s\": {{\n    \
          \"lu_n\": {lu_n},\n    \"lu_static\": {lu_static:.9},\n    \
          \"lu_scheduled_awf\": {lu_awf:.9},\n    \
@@ -294,6 +376,8 @@ fn main() {
          \"life_scheduled_awf\": {life_awf:.9}\n  }}\n}}\n",
         fmt_rows(&report_rows, "legacy", "sharded"),
         fmt_rows(&claim_rows, "mutex_map", "lock_free"),
+        claims_plain / 1e6,
+        claims_traced / 1e6,
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("JSON written to {out_path}");
@@ -310,6 +394,10 @@ fn main() {
             r16.speedup() >= 2.0,
             "sharded feedback board regressed: {:.2}x at 16 workers (need >= 2x)",
             r16.speedup()
+        );
+        assert!(
+            overhead_pct <= 5.0,
+            "trace sink taxes the claim path: {overhead_pct:.1}% overhead (budget 5%)"
         );
     }
 }

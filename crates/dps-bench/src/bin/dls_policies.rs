@@ -15,13 +15,15 @@
 //! `--csv` replaces the tables on stdout; `--csv-out=FILE` keeps the tables
 //! and *additionally* writes the CSV to `FILE` (what CI uploads as an
 //! artifact, in one run). `--full` selects paper-scale problem sizes.
+//! `--trace=FILE` re-runs the AWF-scheduled LU with a trace sink attached
+//! and exports it as Chrome trace-event JSON.
 
 use dps_bench::dls::{lu_cost, matmul_cost, run_dls_sim, CostFn, DlsConfig};
 use dps_bench::{full_scale, table};
 use dps_cluster::ClusterSpec;
-use dps_core::EngineConfig;
+use dps_core::{EngineConfig, SimEngine};
 use dps_life::{run_life_sim, LifeConfig, Variant};
-use dps_linalg::parallel::lu::{run_lu_sim, LuConfig};
+use dps_linalg::parallel::lu::{run_lu, run_lu_sim, LuConfig};
 use dps_sched::{Distribution, PolicyKind};
 
 fn csv_mode() -> bool {
@@ -30,6 +32,10 @@ fn csv_mode() -> bool {
 
 fn csv_out() -> Option<String> {
     std::env::args().find_map(|a| a.strip_prefix("--csv-out=").map(str::to_string))
+}
+
+fn trace_out() -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix("--trace=").map(str::to_string))
 }
 
 /// One output row: workload, policy, makespan seconds, gain vs static.
@@ -245,6 +251,33 @@ fn main() {
     if let Some(path) = out_path {
         std::fs::write(&path, csv_buf.join("\n") + "\n").expect("write CSV artifact");
         println!("\nCSV written to {path}");
+    }
+
+    // --- optional Chrome trace of the AWF-scheduled LU ---
+    if let Some(path) = trace_out() {
+        let collector = dps_obs::TraceCollector::new();
+        let mut eng = SimEngine::with_config(spec(), EngineConfig::default());
+        eng.set_trace_sink(collector.clone());
+        run_lu(
+            &mut eng,
+            &LuConfig {
+                n: lu_n,
+                r: 16,
+                pipelined: true,
+                seed: 33,
+                nodes: 2,
+                threads_per_node: 1,
+                dist: Distribution::Scheduled(PolicyKind::Awf),
+            },
+        )
+        .expect("traced LU run");
+        let log = collector.take_log();
+        std::fs::write(&path, dps_obs::chrome_trace_json(&log)).expect("write Chrome trace");
+        println!(
+            "\nChrome trace of scheduled LU: {} events, schedule hash {:016x}, written to {path}",
+            log.events.len(),
+            dps_obs::schedule_hash(&log)
+        );
     }
 
     if !csv {

@@ -161,6 +161,16 @@ pub trait Engine {
     /// engine wall-clock times; only relative rates matter downstream.
     fn set_feedback_sink(&mut self, sink: Arc<dyn FeedbackSink>);
 
+    /// Attach a trace sink: the engine records its events
+    /// ([`dps_obs::EventKind`]) and metrics into `sink` from now on. On
+    /// engines with [`EngineCaps::declare_before_run`] the sink must be
+    /// attached before the first [`submit`](Self::submit), like every other
+    /// declaration. The default implementation ignores the sink (tracing is
+    /// strictly opt-in and engines without instrumentation stay valid).
+    fn set_trace_sink(&mut self, sink: Arc<dps_obs::TraceCollector>) {
+        let _ = sink;
+    }
+
     /// Submit a token into a graph's entry.
     fn submit(&mut self, graph: Self::Graph, token: TokenBox) -> Result<()>;
 
@@ -386,6 +396,10 @@ impl Engine for crate::engine::SimEngine {
         crate::engine::SimEngine::set_feedback_sink(self, sink)
     }
 
+    fn set_trace_sink(&mut self, sink: Arc<dps_obs::TraceCollector>) {
+        crate::engine::SimEngine::set_trace_sink(self, sink)
+    }
+
     fn submit(&mut self, graph: Self::Graph, token: TokenBox) -> Result<()> {
         self.inject_boxed_at(self.now(), graph, token)
     }
@@ -412,5 +426,13 @@ impl Engine for crate::engine::SimEngine {
 
     fn now_secs(&self) -> f64 {
         self.now().as_secs_f64()
+    }
+
+    fn chunk_hub(&mut self) -> Arc<dps_sched::ChunkHub> {
+        let hub = Arc::new(dps_sched::ChunkHub::new());
+        if let Some(c) = self.trace_collector() {
+            hub.attach_metrics(c.metrics_arc());
+        }
+        hub
     }
 }

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use dps_cluster::{resolve_mapping, AppId, Cluster, ClusterSpec};
 use dps_des::{PoolId, Sim, SimSpan, SimTime};
 use dps_net::NodeId;
+use dps_obs::{Counter, EventKind, LabelId, TraceCollector, TraceWriter};
 use dps_sched::FeedbackSink;
 
 use crate::builder::GraphBuilder;
@@ -191,6 +192,16 @@ struct Rt {
     feedback_tcs: Vec<(u32, u32)>,
     /// Deliveries re-routed away from failed nodes (graceful degradation).
     requeued: u64,
+    /// Attached trace sink: the simulator records every track through one
+    /// writer (single-threaded), stamping *virtual* nanoseconds.
+    trace: Option<SimTrace>,
+    /// Flow ids linking each `TokenEnqueue` to its `TokenDeliver`.
+    next_flow: u64,
+}
+
+struct SimTrace {
+    collector: Arc<TraceCollector>,
+    writer: TraceWriter,
 }
 
 impl Rt {
@@ -205,6 +216,36 @@ impl Rt {
     fn fail(&mut self, e: DpsError) {
         if self.fatal.is_none() {
             self.fatal = Some(e);
+        }
+    }
+
+    /// Record a trace event at virtual time `at` on track `(node, thread)`
+    /// — a no-op without an attached sink.
+    fn trace_on(&mut self, at: SimTime, node: u16, thread: u16, kind: EventKind) {
+        if let Some(t) = &mut self.trace {
+            t.writer.record_on(at.as_nanos(), node, thread, kind);
+        }
+    }
+
+    /// Intern `name` into the attached sink's label table.
+    fn trace_label(&self, name: &str) -> LabelId {
+        self.trace
+            .as_ref()
+            .map_or(LabelId(0), |t| t.collector.label(name))
+    }
+
+    /// Bump a metrics counter on the attached sink.
+    fn trace_add(&self, c: Counter, n: u64) {
+        if let Some(t) = &self.trace {
+            t.collector.metrics().add(c, n);
+        }
+    }
+
+    /// Drain writer rings into the sink's log (called at wave boundaries so
+    /// the 16k-event rings never wrap on long runs).
+    fn trace_drain(&self) {
+        if let Some(t) = &self.trace {
+            t.collector.drain();
         }
     }
 }
@@ -291,6 +332,8 @@ impl SimEngine {
             feedback: None,
             feedback_tcs: Vec::new(),
             requeued: 0,
+            trace: None,
+            next_flow: 0,
         };
         let mut sim = Sim::new(rt);
         for i in 0..n {
@@ -462,6 +505,7 @@ impl SimEngine {
     /// violated or waves are left incomplete (the DPS deadlock analogue).
     pub fn run_until_idle(&mut self) -> Result<()> {
         self.sim.run();
+        self.sim.world.trace_drain();
         if let Some(e) = self.sim.world.fatal.take() {
             return Err(e);
         }
@@ -572,6 +616,16 @@ impl SimEngine {
     /// as [`DpsError::NodeDown`].
     pub fn fail_node(&mut self, node: NodeId) -> Result<()> {
         self.sim.world.cluster.fail_node(node);
+        let now = self.sim.now();
+        self.sim.world.trace_on(
+            now,
+            node.0 as u16,
+            0,
+            EventKind::NodeDown {
+                node: node.0 as u16,
+            },
+        );
+        self.sim.world.trace_add(Counter::NodesDown, 1);
         if let Some(sink) = self.sim.world.feedback.clone() {
             // FeedbackSink worker indices are *thread indices within the
             // reporting collection* (what `report_chunk` reports), so only
@@ -611,6 +665,16 @@ impl SimEngine {
                     }
                 }
             }
+        }
+        let stranded = tokens.len() as u32;
+        if stranded > 0 {
+            self.sim.world.trace_on(
+                now,
+                node.0 as u16,
+                0,
+                EventKind::Requeue { tokens: stranded },
+            );
+            self.sim.world.trace_add(Counter::Requeues, stranded as u64);
         }
         for (app, d) in tokens {
             let Payload::Token(token) = d.payload else {
@@ -688,6 +752,29 @@ impl SimEngine {
     /// [`ScheduledSplit`](crate::sched::ScheduledSplit) reads weights from.
     pub fn set_feedback_sink(&mut self, sink: Arc<dyn FeedbackSink>) {
         self.sim.world.feedback = Some(sink);
+    }
+
+    /// Attach a trace sink: from now on the engine records its schedule —
+    /// waves, op spans, token movement, chunk completions, failures — into
+    /// `sink` with **virtual** timestamps. Because the simulator is
+    /// deterministic, the recorded event stream (and its
+    /// [`dps_obs::schedule_hash`]) is identical across replays of the same
+    /// seeded workload.
+    pub fn set_trace_sink(&mut self, sink: Arc<TraceCollector>) {
+        let writer = sink.writer(0, 0);
+        self.sim.world.trace = Some(SimTrace {
+            collector: sink,
+            writer,
+        });
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_collector(&self) -> Option<Arc<TraceCollector>> {
+        self.sim
+            .world
+            .trace
+            .as_ref()
+            .map(|t| Arc::clone(&t.collector))
     }
 }
 
@@ -851,10 +938,61 @@ fn route_and_send(
 
     sim.world.thread(tk).assigned += 1;
     let app_id = sim.world.apps[app as usize].id;
+    // Tracing: one flow id ties this enqueue to its delivery below.
+    let flow_trace = if sim.world.trace.is_some() {
+        let flow = sim.world.next_flow;
+        sim.world.next_flow += 1;
+        let label = sim.world.trace_label(token.type_name());
+        let wave = env.frames.last().map_or(0, |f| f.wave as u32);
+        sim.world.trace_on(
+            now,
+            src.0 as u16,
+            0,
+            EventKind::TokenEnqueue {
+                token: label,
+                wave,
+                flow,
+            },
+        );
+        sim.world.trace_add(Counter::TokensEnqueued, 1);
+        Some((label, wave, flow))
+    } else {
+        None
+    };
     let plan = sim
         .world
         .cluster
         .deliver_token(now, app_id, src, dst, bytes);
+    // Bridge the network model's transfer accounting into the trace: one
+    // FrameSend/FrameRecv pair per cross-node hop, with the model's own
+    // wire-byte count (payload + DPS header), so the trace metrics agree
+    // with `NetworkModel::wire_bytes_total` to the byte.
+    if let Some((label, _, _)) = flow_trace {
+        if plan.wire_bytes > 0 {
+            sim.world.trace_on(
+                plan.sender_done,
+                src.0 as u16,
+                0,
+                EventKind::FrameSend {
+                    frame: label,
+                    bytes: plan.wire_bytes,
+                },
+            );
+            sim.world.trace_on(
+                plan.delivered,
+                dst.0 as u16,
+                0,
+                EventKind::FrameRecv {
+                    frame: label,
+                    bytes: plan.wire_bytes,
+                },
+            );
+            sim.world.trace_add(Counter::FramesSent, 1);
+            sim.world.trace_add(Counter::FramesRecv, 1);
+            sim.world.trace_add(Counter::WireBytesSent, plan.wire_bytes);
+            sim.world.trace_add(Counter::WireBytesRecv, plan.wire_bytes);
+        }
+    }
     sim.schedule_at(plan.delivered, move |sim| {
         if sim.world.fatal.is_some() {
             return;
@@ -866,8 +1004,30 @@ fn route_and_send(
             let t = sim.world.thread(tk);
             t.assigned = t.assigned.saturating_sub(1);
             sim.world.requeued += 1;
+            let at = sim.now();
+            sim.world.trace_on(
+                at,
+                dst.0 as u16,
+                tk.thread as u16,
+                EventKind::Requeue { tokens: 1 },
+            );
+            sim.world.trace_add(Counter::Requeues, 1);
             route_and_send(sim, app, graph, to, src, token, env);
             return;
+        }
+        if let Some((label, wave, flow)) = flow_trace {
+            let at = sim.now();
+            sim.world.trace_on(
+                at,
+                dst.0 as u16,
+                tk.thread as u16,
+                EventKind::TokenDeliver {
+                    token: label,
+                    wave,
+                    flow,
+                },
+            );
+            sim.world.trace_add(Counter::TokensDelivered, 1);
         }
         sim.world.thread(tk).queue.push_back(Delivery {
             graph,
@@ -1011,6 +1171,23 @@ fn run_exec(
     let overhead = sim.world.cfg.op_overhead;
     let hold = overhead + out.charged;
     report_completion(sim, tk, &out, hold, start);
+    if sim.world.trace.is_some() {
+        let env_wave = d.env.frames.last().map_or(0, |f| f.wave as u32);
+        let op = sim.world.trace_label(&node_name);
+        let track = (node.0 as u16, tk.thread as u16);
+        sim.world.trace_on(
+            start,
+            track.0,
+            track.1,
+            EventKind::OpStart { op, wave: env_wave },
+        );
+        sim.world.trace_on(
+            start + hold,
+            track.0,
+            track.1,
+            EventKind::OpEnd { op, wave: env_wave },
+        );
+    }
 
     match kind {
         OpKind::Split => {
@@ -1019,6 +1196,16 @@ fn run_exec(
             // blocked (paper §3).
             let wave = sim.world.next_wave;
             sim.world.next_wave += 1;
+            if sim.world.trace.is_some() {
+                let gname = sim.world.graph(tk.app, d.graph).def.name().to_string();
+                let graph_label = sim.world.trace_label(&gname);
+                sim.world.trace_on(start, node.0 as u16, tk.thread as u16, {
+                    EventKind::WaveStart {
+                        graph: graph_label,
+                        wave: wave as u32,
+                    }
+                });
+            }
             let total = out.posts.len() as u32;
             let mut pending = VecDeque::with_capacity(out.posts.len());
             for (i, post) in out.posts.into_iter().enumerate() {
@@ -1178,6 +1365,23 @@ fn run_consume(
     let overhead = sim.world.cfg.op_overhead;
     let hold = overhead + out.charged;
     report_completion(sim, tk, &out, hold, start);
+    if sim.world.trace.is_some() {
+        let op = sim.world.trace_label(&node_name);
+        let wave32 = frame.wave as u32;
+        let track = (node.0 as u16, tk.thread as u16);
+        sim.world.trace_on(
+            start,
+            track.0,
+            track.1,
+            EventKind::OpStart { op, wave: wave32 },
+        );
+        sim.world.trace_on(
+            start + hold,
+            track.0,
+            track.1,
+            EventKind::OpEnd { op, wave: wave32 },
+        );
+    }
     let graph = d.graph;
     let from = d.node;
 
@@ -1225,6 +1429,18 @@ fn run_consume(
     }
 
     if completes {
+        if sim.world.trace.is_some() {
+            let gname = sim.world.graph(tk.app, graph).def.name().to_string();
+            let graph_label = sim.world.trace_label(&gname);
+            sim.world
+                .trace_on(start + hold, node.0 as u16, tk.thread as u16, {
+                    EventKind::WaveEnd {
+                        graph: graph_label,
+                        wave: frame.wave as u32,
+                    }
+                });
+            sim.world.trace_drain();
+        }
         sim.world.graph(tk.app, graph).waves.remove(&key);
     }
 
@@ -1512,6 +1728,35 @@ fn run_close(
         }
         _ => unreachable!("closes only target merge/stream nodes"),
     }
+    if sim.world.trace.is_some() {
+        let op = sim.world.trace_label(&node_name);
+        let wave32 = key.wave as u32;
+        let track = (node.0 as u16, tk.thread as u16);
+        sim.world.trace_on(
+            start,
+            track.0,
+            track.1,
+            EventKind::OpStart { op, wave: wave32 },
+        );
+        sim.world.trace_on(
+            start + hold,
+            track.0,
+            track.1,
+            EventKind::OpEnd { op, wave: wave32 },
+        );
+        let gname = sim.world.graph(tk.app, graph).def.name().to_string();
+        let graph_label = sim.world.trace_label(&gname);
+        sim.world.trace_on(
+            start + hold,
+            track.0,
+            track.1,
+            EventKind::WaveEnd {
+                graph: graph_label,
+                wave: wave32,
+            },
+        );
+        sim.world.trace_drain();
+    }
     sim.world.graph(tk.app, graph).waves.remove(&key);
     sim.schedule_at(start + hold, move |sim| {
         finish_exec(sim, tk, graph, None);
@@ -1533,6 +1778,16 @@ fn report_completion(
     let Some(iters) = out.completed_iters else {
         return;
     };
+    let exec_host = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].nodes[tk.thread as usize];
+    sim.world.trace_on(
+        start + hold,
+        exec_host.0 as u16,
+        tk.thread as u16,
+        EventKind::ChunkExec {
+            iters,
+            nanos: hold.as_nanos(),
+        },
+    );
     let Some(sink) = sim.world.feedback.clone() else {
         return;
     };
@@ -1544,12 +1799,25 @@ fn report_completion(
     let worker = tk.thread as usize;
     let host = sim.world.apps[tk.app as usize].tcs[tk.tc as usize].nodes[tk.thread as usize];
     let secs = hold.as_secs_f64();
+    let nanos = hold.as_nanos();
     sim.schedule_at(start + hold, move |sim| {
         // A report from a node that failed mid-execution is dropped: the
         // chunk's virtual completion never happened, and it must not
         // repopulate measurements `worker_lost` just cleared.
         if sim.world.cluster.is_alive(host) {
             sink.report_chunk(worker, iters, secs);
+            let at = sim.now();
+            sim.world.trace_on(
+                at,
+                host.0 as u16,
+                worker as u16,
+                EventKind::ChunkReport {
+                    worker: worker as u32,
+                    iters,
+                    nanos,
+                },
+            );
+            sim.world.trace_add(Counter::ChunkReports, 1);
         }
     });
 }

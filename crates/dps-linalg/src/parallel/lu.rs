@@ -704,13 +704,29 @@ pub fn run_lu<E: Engine>(eng: &mut E, cfg: &LuConfig) -> Result<LuRunReport> {
 }
 
 /// Run one block LU factorization on the simulated cluster — a thin
-/// [`run_lu`] wrapper adding the network-model byte count to the report.
+/// [`run_lu`] wrapper adding the traced wire-byte count to the report. The
+/// count comes from the engine's trace metrics (`WireBytesSent`), which the
+/// simulator keeps byte-identical to the network model's own accounting; a
+/// collector the caller attached beforehand is reused, so traced callers
+/// get one merged event stream and the same report.
 pub fn run_lu_sim(spec: ClusterSpec, cfg: &LuConfig, ecfg: EngineConfig) -> Result<LuRunReport> {
     let mut eng = SimEngine::with_config(spec, ecfg);
-    let wire0 = eng.cluster().net.wire_bytes_total();
+    let metrics = sim_trace_metrics(&mut eng);
+    let wire0 = metrics.get(dps_obs::Counter::WireBytesSent);
     let mut rep = run_lu(&mut eng, cfg)?;
-    rep.wire_bytes = eng.cluster().net.wire_bytes_total() - wire0;
+    rep.wire_bytes = metrics.get(dps_obs::Counter::WireBytesSent) - wire0;
     Ok(rep)
+}
+
+/// The metrics registry of `eng`'s trace collector, attaching a fresh
+/// collector when the caller did not bring one.
+pub(crate) fn sim_trace_metrics(eng: &mut SimEngine) -> std::sync::Arc<dps_obs::MetricsRegistry> {
+    if let Some(c) = eng.trace_collector() {
+        return c.metrics_arc();
+    }
+    let c = dps_obs::TraceCollector::new();
+    eng.set_trace_sink(c.clone());
+    c.metrics_arc()
 }
 
 #[cfg(test)]

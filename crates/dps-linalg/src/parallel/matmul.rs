@@ -514,7 +514,8 @@ pub fn run_matmul<E: Engine>(
 /// [`run_matmul`] wrapper placing the workers on the *last* `cfg.nodes`
 /// nodes (when the cluster has one node more than `cfg.nodes`, the master
 /// machine is separate from the compute nodes, the paper's Table 1 set-up)
-/// and adding the network-model byte count to the report.
+/// and adding the traced wire-byte count (`WireBytesSent`, byte-identical
+/// to the network model's accounting) to the report.
 pub fn run_matmul_sim(
     spec: ClusterSpec,
     cfg: &MatMulConfig,
@@ -523,9 +524,10 @@ pub fn run_matmul_sim(
     let total = spec.len();
     assert!(cfg.nodes <= total, "cluster too small");
     let mut eng = SimEngine::with_config(spec, ecfg);
-    let wire0 = eng.cluster().net.wire_bytes_total();
+    let metrics = crate::parallel::lu::sim_trace_metrics(&mut eng);
+    let wire0 = metrics.get(dps_obs::Counter::WireBytesSent);
     let mut rep = run_matmul(&mut eng, cfg, total - cfg.nodes)?;
-    rep.wire_bytes = eng.cluster().net.wire_bytes_total() - wire0;
+    rep.wire_bytes = metrics.get(dps_obs::Counter::WireBytesSent) - wire0;
     Ok(rep)
 }
 

@@ -84,6 +84,7 @@ pub struct MtEngine {
     /// models; a nominal 1 GFLOP/s until `calibrate_feedback` measures it.
     node_flops: f64,
     remote: Option<Arc<dyn RemoteExec>>,
+    trace: Option<Arc<dps_obs::TraceCollector>>,
 }
 
 /// Handle to an application declared in the threaded engine.
@@ -115,6 +116,7 @@ impl MtEngine {
             feedback: None,
             node_flops: 1e9,
             remote: None,
+            trace: None,
         }
     }
 
@@ -129,6 +131,22 @@ impl MtEngine {
             "register the feedback sink before the first run"
         );
         self.feedback = Some(sink);
+    }
+
+    /// Attach a trace sink: each worker thread records its wave, op and
+    /// chunk events (wall-clock timestamps) through its own lock-free
+    /// writer. Like every declaration, call before the first run.
+    pub fn set_trace_sink(&mut self, sink: Arc<dps_obs::TraceCollector>) {
+        assert!(
+            self.shared.is_none(),
+            "register the trace sink before the first run"
+        );
+        self.trace = Some(sink);
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_collector(&self) -> Option<Arc<dps_obs::TraceCollector>> {
+        self.trace.clone()
     }
 
     /// Measure per-thread execution rates at startup and seed the feedback
@@ -309,6 +327,7 @@ impl MtEngine {
                     nodes: tc.nodes.clone(),
                     senders,
                     queued,
+                    metrics: self.trace.as_ref().map(|c| c.metrics_arc()),
                 });
                 app_rx.push(rxs);
             }
@@ -358,6 +377,7 @@ impl MtEngine {
             feedback: self.feedback.clone(),
             node_flops: self.node_flops,
             remote: self.remote.clone(),
+            trace: self.trace.clone(),
         });
         // Spawn one OS thread per DPS thread.
         for (app_idx, app_rx) in receivers.into_iter().enumerate() {
@@ -571,6 +591,10 @@ impl dps_core::Engine for MtEngine {
         MtEngine::set_feedback_sink(self, sink)
     }
 
+    fn set_trace_sink(&mut self, sink: Arc<dps_obs::TraceCollector>) {
+        MtEngine::set_trace_sink(self, sink)
+    }
+
     fn submit(&mut self, graph: Self::Graph, token: TokenBox) -> Result<()> {
         MtEngine::submit(self, graph, token);
         Ok(())
@@ -586,5 +610,13 @@ impl dps_core::Engine for MtEngine {
 
     fn now_secs(&self) -> f64 {
         self.elapsed().as_secs_f64()
+    }
+
+    fn chunk_hub(&mut self) -> Arc<dps_sched::ChunkHub> {
+        let hub = Arc::new(dps_sched::ChunkHub::new());
+        if let Some(c) = &self.trace {
+            hub.attach_metrics(c.metrics_arc());
+        }
+        hub
     }
 }

@@ -16,6 +16,7 @@ use dps_core::{
     wire_roundtrip, CallFrame, DpsError, Envelope, Flowgraph, Frame, GNodeId, OpKind, RouteInfo,
     Token, TokenBox, TokenRegistry, WaveKey,
 };
+use dps_obs::{Counter, EventKind, Gauge, TraceCollector, TraceWriter};
 use parking_lot::Mutex;
 
 use crate::remote::{remote_for, RemoteExec, RemoteKind, RemoteTask};
@@ -59,11 +60,17 @@ pub(crate) struct SharedTc {
     /// and unpadded neighbours would drag every other thread's line along
     /// (false sharing on the per-delivery hot path).
     pub queued: Vec<CachePadded<AtomicU32>>,
+    /// Metrics registry of the attached trace sink (None = no accounting).
+    pub metrics: Option<Arc<dps_obs::MetricsRegistry>>,
 }
 
 impl SharedTc {
     fn enqueue(&self, thread: usize, msg: Msg) {
-        self.queued[thread].fetch_add(1, Ordering::Relaxed);
+        let depth = self.queued[thread].fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(m) = &self.metrics {
+            m.add(Counter::TokensEnqueued, 1);
+            m.gauge_max(Gauge::QueueDepthPeak, depth as u64);
+        }
         if self.senders[thread].send(msg).is_err() {
             // Worker already stopped (shutdown path): roll the count back.
             self.queued[thread].fetch_sub(1, Ordering::Relaxed);
@@ -163,6 +170,9 @@ pub(crate) struct Shared {
     /// Remote-execution hook: when installed, operations of threads whose
     /// cluster node it claims run in another process (see `crate::remote`).
     pub remote: Option<Arc<dyn RemoteExec>>,
+    /// Attached trace sink (wall-clock timestamps); each worker thread
+    /// registers its own writer at startup.
+    pub trace: Option<Arc<TraceCollector>>,
 }
 
 /// Newtype so `CallRet` stays private to this module.
@@ -189,6 +199,17 @@ struct Worker {
     waves: HashMap<WaveKey, WaveState>,
     /// Totals from closes that arrived before the wave's first token.
     pending_expected: HashMap<WaveKey, u32>,
+    /// This thread's trace writer (one SPSC ring), when a sink is attached.
+    trace: Option<TraceWriter>,
+}
+
+impl Worker {
+    /// Record a trace event on this worker's track (no-op without a sink).
+    fn trace(&mut self, shared: &Shared, kind: EventKind) {
+        if let (Some(w), Some(c)) = (self.trace.as_mut(), shared.trace.as_ref()) {
+            w.record(c.now_nanos(), kind);
+        }
+    }
 }
 
 /// Report a runtime error, qualifying node names with the owning
@@ -224,6 +245,17 @@ pub(crate) fn send_error(shared: &Shared, app: u32, e: DpsError) {
         },
         other => other,
     };
+    // Terminal failure events go straight into the collector's merged log
+    // (the failing thread may have no writer, and rings could be lost).
+    if let Some(c) = &shared.trace {
+        c.record_now(
+            0,
+            0,
+            EventKind::OpFailed {
+                op: c.label(&e.to_string()),
+            },
+        );
+    }
     let _ = shared.error_tx.send(e);
 }
 
@@ -252,10 +284,18 @@ pub(crate) fn worker_loop(
         ops: HashMap::new(),
         waves: HashMap::new(),
         pending_expected: HashMap::new(),
+        trace: shared
+            .trace
+            .as_ref()
+            .map(|c| c.writer(node as u16, thread as u16)),
     };
+    let mut stopped = false;
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Stop => break,
+            Msg::Stop => {
+                stopped = true;
+                break;
+            }
             Msg::Deliver {
                 graph,
                 node,
@@ -282,14 +322,42 @@ pub(crate) fn worker_loop(
         shared.apps[app as usize].tcs[tc as usize].queued[thread as usize]
             .fetch_sub(1, Ordering::Relaxed);
     }
+    if !stopped {
+        // The channel died under the worker (abnormal teardown): record the
+        // thread's death as a terminal node-down event.
+        if let Some(c) = &shared.trace {
+            c.record_now(
+                node as u16,
+                thread as u16,
+                EventKind::NodeDown { node: node as u16 },
+            );
+            c.metrics().add(Counter::NodesDown, 1);
+        }
+    }
 }
 
 /// If the finished execution marked a scheduled chunk complete, report its
 /// wall-clock execution time to the registered feedback sink — the
 /// real-thread half of the dynamic loop-scheduling feedback channel.
-fn report_completion(shared: &Shared, w: &Worker, out: &OpOutput, started: Instant) {
-    if let (Some(iters), Some(sink)) = (out.completed_iters, shared.feedback.as_ref()) {
+fn report_completion(shared: &Shared, w: &mut Worker, out: &OpOutput, started: Instant) {
+    let Some(iters) = out.completed_iters else {
+        return;
+    };
+    let nanos = started.elapsed().as_nanos() as u64;
+    w.trace(shared, EventKind::ChunkExec { iters, nanos });
+    if let Some(sink) = shared.feedback.as_ref() {
         sink.report_chunk(w.thread as usize, iters, started.elapsed().as_secs_f64());
+        w.trace(
+            shared,
+            EventKind::ChunkReport {
+                worker: w.thread,
+                iters,
+                nanos,
+            },
+        );
+        if let Some(c) = &shared.trace {
+            c.metrics().add(Counter::ChunkReports, 1);
+        }
     }
 }
 
@@ -366,6 +434,7 @@ fn handle_exec(
         }
         outcome.posts
     } else {
+        let t0n = shared.trace.as_ref().map(|c| c.now_nanos());
         let op = w
             .ops
             .entry((graph, node.0))
@@ -374,12 +443,31 @@ fn handle_exec(
         let t0 = Instant::now();
         op.on_token(&mut out, w.data.as_mut(), info, &name, token)?;
         report_completion(shared, w, &out, t0);
+        if let (Some(start), Some(c)) = (t0n, shared.trace.as_ref()) {
+            let op = c.label(&name);
+            let wave = env.frames.last().map_or(0, |f| f.wave as u32);
+            let end = c.now_nanos();
+            if let Some(wtr) = w.trace.as_mut() {
+                wtr.record(start, EventKind::OpStart { op, wave });
+                wtr.record(end, EventKind::OpEnd { op, wave });
+            }
+        }
         out.posts.into_iter().map(|p| p.token).collect()
     };
 
     match kind {
         OpKind::Split => {
             let wave = shared.wave_counter.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = shared.trace.as_ref() {
+                let graph_label = c.label(def.name());
+                w.trace(
+                    shared,
+                    EventKind::WaveStart {
+                        graph: graph_label,
+                        wave: wave as u32,
+                    },
+                );
+            }
             let total = posts.len() as u32;
             let mut pending = VecDeque::with_capacity(posts.len());
             for (i, post) in posts.into_iter().enumerate() {
@@ -481,6 +569,7 @@ fn handle_consume(
         apply_reports(shared, w.thread, &outcome.reports);
         outcome.posts
     } else {
+        let t0n = shared.trace.as_ref().map(|c| c.now_nanos());
         let op = wave.op.as_mut().expect("local waves hold their op");
         let mut out = OpOutput::default();
         let t0 = Instant::now();
@@ -489,6 +578,15 @@ fn handle_consume(
             op.on_finalize(&mut out, w.data.as_mut(), info, &name)?;
         }
         report_completion(shared, w, &out, t0);
+        if let (Some(start), Some(c)) = (t0n, shared.trace.as_ref()) {
+            let op = c.label(&name);
+            let wave32 = frame.wave as u32;
+            let end = c.now_nanos();
+            if let Some(wtr) = w.trace.as_mut() {
+                wtr.record(start, EventKind::OpStart { op, wave: wave32 });
+                wtr.record(end, EventKind::OpEnd { op, wave: wave32 });
+            }
+        }
         out.posts.into_iter().map(|p| p.token).collect()
     };
 
@@ -571,6 +669,17 @@ fn handle_consume(
     }
 
     if completes {
+        if let Some(c) = shared.trace.as_ref() {
+            let graph_label = c.label(def.name());
+            w.trace(
+                shared,
+                EventKind::WaveEnd {
+                    graph: graph_label,
+                    wave: frame.wave as u32,
+                },
+            );
+            c.drain();
+        }
         w.waves.remove(&key);
         let g = &shared.apps[w.app as usize].graphs[graph as usize];
         g.wave_threads.lock().remove(&key);
@@ -745,6 +854,17 @@ fn handle_close(
             pump_flow(shared, w.app, graph, flow_key);
         }
         _ => unreachable!("closes only target merge/stream nodes"),
+    }
+    if let Some(c) = shared.trace.as_ref() {
+        let graph_label = c.label(def.name());
+        w.trace(
+            shared,
+            EventKind::WaveEnd {
+                graph: graph_label,
+                wave: key.wave as u32,
+            },
+        );
+        c.drain();
     }
     let g = &shared.apps[w.app as usize].graphs[graph as usize];
     g.wave_threads.lock().remove(&key);

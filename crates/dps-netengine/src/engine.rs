@@ -25,6 +25,7 @@ use dps_mt::{
     MtApp, MtConfig, MtEngine, MtGraph, RemoteExec, RemoteKind, RemoteOutcome, RemoteTask,
 };
 use dps_net::{NameServer, NodeId};
+use dps_obs::TraceCollector;
 use dps_sched::{ChunkHub, FeedbackSink};
 use parking_lot::Mutex;
 
@@ -129,6 +130,13 @@ struct Master {
     tasks: Vec<Box<dyn TaskHandle>>,
     connect_timeout: Duration,
     down: bool,
+    /// The attached trace collector, driving the per-run trace round.
+    trace: Option<Arc<TraceCollector>>,
+    /// Loopback harness hosts, retained so an attached trace sink reaches
+    /// their executor lanes directly (no wire round in-process).
+    harness_hosts: Vec<Arc<ExecHost>>,
+    /// `Trace` replies routed from the connection readers: `(run, bytes)`.
+    trace_rx: Receiver<(u64, Vec<u8>)>,
 }
 
 struct Worker {
@@ -254,6 +262,7 @@ fn master_reader(
     rank: u32,
     mut rx: Box<dyn FrameRx>,
     sync_tx: Sender<(u32, u64)>,
+    trace_tx: Sender<(u64, Vec<u8>)>,
 ) {
     while let Ok(bytes) = rx.recv() {
         match dps_serial::from_bytes::<Frame>(&bytes) {
@@ -281,6 +290,9 @@ fn master_reader(
             Ok(Frame::Sync { sig }) => {
                 let _ = sync_tx.send((rank, sig));
             }
+            Ok(Frame::Trace { run, bytes }) => {
+                let _ = trace_tx.send((run, bytes));
+            }
             Ok(_) => {}
             Err(_) => break,
         }
@@ -295,6 +307,7 @@ fn worker_reader(
     hub_link: Arc<HubLink>,
     decls: Arc<DeclStore>,
     outputs: OutputBuf,
+    writer: Arc<Mutex<Box<dyn FrameTx>>>,
     release_tx: Sender<(u64, Option<String>)>,
     shutdown_tx: Sender<()>,
 ) {
@@ -337,6 +350,16 @@ fn worker_reader(
             }
             Ok(Frame::Release { run, error }) => {
                 let _ = release_tx.send((run, error));
+            }
+            Ok(Frame::TraceReq { run }) => {
+                // Always answer — the master waits for one reply per worker.
+                // Taking the log drains it, so each run ships only its own
+                // events; no sink means an empty payload.
+                let bytes = host
+                    .trace_collector()
+                    .map(|c| dps_obs::wire::encode_log(&c.take_log()))
+                    .unwrap_or_default();
+                let _ = send_frame(&writer, &Frame::Trace { run, bytes });
             }
             Ok(Frame::Shutdown) => break,
             Ok(_) => {}
@@ -415,6 +438,7 @@ impl NetEngine {
         let mut conns = Vec::new();
         let mut rxs = Vec::new();
         let mut tasks: Vec<Box<dyn TaskHandle>> = Vec::new();
+        let mut harness_hosts = Vec::new();
         for rank in 1..nodes as u32 {
             let worker_side = transport.connect(&addr).expect("loopback connect");
             let master_side = acceptor.accept().expect("loopback accept");
@@ -426,8 +450,10 @@ impl NetEngine {
                 decls.clone(),
                 hwriter,
                 node_flops,
+                rank as u16,
                 rt.clone(),
             ));
+            harness_hosts.push(host.clone());
             let hrx = worker_side.rx;
             tasks.push(rt.spawn(
                 &format!("dps-net-harness{rank}"),
@@ -445,12 +471,14 @@ impl NetEngine {
             decls,
         });
         let (sync_tx, sync_rx) = unbounded();
+        let (trace_tx, trace_rx) = unbounded();
         for (i, rx) in rxs.into_iter().enumerate() {
             let shared = shared.clone();
             let sync_tx = sync_tx.clone();
+            let trace_tx = trace_tx.clone();
             tasks.push(rt.spawn(
                 &format!("dps-net-reader{}", i + 1),
-                Box::new(move || master_reader(shared, i as u32 + 1, rx, sync_tx)),
+                Box::new(move || master_reader(shared, i as u32 + 1, rx, sync_tx, trace_tx)),
             ));
         }
 
@@ -471,6 +499,9 @@ impl NetEngine {
                 tasks,
                 connect_timeout: cfg.connect_timeout,
                 down: false,
+                trace: None,
+                harness_hosts,
+                trace_rx,
             })),
         }
     }
@@ -617,12 +648,14 @@ impl NetEngine {
         });
         let mut tasks = vec![accept_task];
         let (sync_tx, sync_rx) = unbounded();
+        let (trace_tx, trace_rx) = unbounded();
         for (i, rx) in rxs.into_iter().enumerate() {
             let shared = shared.clone();
             let sync_tx = sync_tx.clone();
+            let trace_tx = trace_tx.clone();
             tasks.push(rt.spawn(
                 &format!("dps-net-reader{}", i + 1),
-                Box::new(move || master_reader(shared, i as u32 + 1, rx, sync_tx)),
+                Box::new(move || master_reader(shared, i as u32 + 1, rx, sync_tx, trace_tx)),
             ));
         }
 
@@ -643,6 +676,9 @@ impl NetEngine {
                 tasks,
                 connect_timeout: cfg.connect_timeout,
                 down: false,
+                trace: None,
+                harness_hosts: Vec::new(),
+                trace_rx,
             })),
         })
     }
@@ -687,6 +723,7 @@ impl NetEngine {
             decls.clone(),
             writer.clone(),
             node_flops,
+            rank as u16,
             rt.clone(),
         ));
         let hub_link = Arc::new(HubLink::new(writer.clone()));
@@ -698,11 +735,21 @@ impl NetEngine {
             let hub_link = hub_link.clone();
             let decls = decls.clone();
             let outputs = outputs.clone();
+            let writer = writer.clone();
             let rx = duplex.rx;
             rt.spawn(
                 "dps-net-reader",
                 Box::new(move || {
-                    worker_reader(rx, host, hub_link, decls, outputs, release_tx, shutdown_tx)
+                    worker_reader(
+                        rx,
+                        host,
+                        hub_link,
+                        decls,
+                        outputs,
+                        writer,
+                        release_tx,
+                        shutdown_tx,
+                    )
                 }),
             )
         };
@@ -734,6 +781,16 @@ impl NetEngine {
     /// gate output printing and result persistence on it.)
     pub fn is_master(&self) -> bool {
         matches!(self.role, Role::Master(_))
+    }
+
+    /// The attached trace collector: on the master the cluster-merged one
+    /// (worker logs land in it at the end of every traced run), on a worker
+    /// its local collector. `None` until `set_trace_sink`.
+    pub fn trace_collector(&self) -> Option<Arc<TraceCollector>> {
+        match &self.role {
+            Role::Master(m) => m.trace.clone(),
+            Role::Worker(w) => w.host.trace_collector(),
+        }
     }
 
     /// This kernel's rank: 0 on the master, the worker's 1-based rank
@@ -836,6 +893,7 @@ impl Master {
                         let _ = send_frame(conn, &frame);
                     }
                 }
+                self.collect_traces();
                 let release = Frame::Release {
                     run: self.run_seq,
                     error: None,
@@ -862,6 +920,47 @@ impl Master {
         }
     }
 
+    /// Pull every worker's trace log of the finishing run into the master
+    /// collector — one `TraceReq`/`Trace` round per connection, *before*
+    /// the run's `Release` (FIFO framing keeps the order). Loopback
+    /// harnesses write into the master collector directly, so the presynced
+    /// role skips the wire round. Best-effort: a worker that cannot answer
+    /// costs its events, never the run.
+    fn collect_traces(&mut self) {
+        let Some(collector) = &self.trace else {
+            return;
+        };
+        if self.presynced || self.shared.conns.is_empty() {
+            return;
+        }
+        let req = Frame::TraceReq { run: self.run_seq };
+        for conn in &self.shared.conns {
+            let _ = send_frame(conn, &req);
+        }
+        let deadline = Instant::now() + self.connect_timeout;
+        let mut pending = self.shared.conns.len();
+        while pending > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.trace_rx.recv_timeout(left) {
+                Ok((run, bytes)) => {
+                    if run != self.run_seq {
+                        continue; // stale reply of an earlier, timed-out round
+                    }
+                    pending -= 1;
+                    if !bytes.is_empty() {
+                        match dps_obs::wire::decode_log(&bytes) {
+                            Some(log) => collector.ingest(&log),
+                            None => {
+                                eprintln!("dps-netengine: dropping an undecodable worker trace log")
+                            }
+                        }
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
     fn shutdown(&mut self) {
         if self.down {
             return;
@@ -873,6 +972,10 @@ impl Master {
         for conn in &self.shared.conns {
             let _ = send_frame(conn, &Frame::Shutdown);
         }
+        // Release the loopback harness hosts: each holds the worker-side
+        // writer of its connection, and the master readers only exit once
+        // that writer drops and their recv sees the channel close.
+        self.harness_hosts.clear();
         let mut failures = Vec::new();
         for mut child in self.children.drain(..) {
             match child.wait() {
@@ -1109,6 +1212,29 @@ impl dps_core::Engine for NetEngine {
             // Chunk reports land on the master (the hub and the sink live
             // there); the worker's sink object is never fed.
             Role::Worker(_) => {}
+        }
+    }
+
+    fn set_trace_sink(&mut self, sink: Arc<TraceCollector>) {
+        match &mut self.role {
+            Role::Master(m) => {
+                assert!(!m.ready, "register the trace sink before the first run");
+                // The embedded control plane records wave/op/token events;
+                // the cluster-wide chunk hub bumps the lease/claim counters;
+                // loopback harness lanes write into the collector directly.
+                m.mt.set_trace_sink(sink.clone());
+                m.shared.hub.attach_metrics(sink.metrics_arc());
+                for host in &m.harness_hosts {
+                    host.set_trace(sink.clone());
+                }
+                m.trace = Some(sink);
+            }
+            Role::Worker(w) => {
+                // Worker lanes record locally; the log ships to the master
+                // in the per-run `TraceReq`/`Trace` round.
+                assert!(!w.synced, "register the trace sink before the first run");
+                w.host.set_trace(sink);
+            }
         }
     }
 

@@ -116,6 +116,12 @@ pub(crate) struct ExecHost {
     decls: Arc<DeclStore>,
     writer: Arc<Mutex<Box<dyn FrameTx>>>,
     node_flops: f64,
+    /// Cluster node this host executes for — the `node` coordinate of every
+    /// trace event its lanes record.
+    rank: u16,
+    /// Trace sink, attached before the first run (like every declaration on
+    /// this engine). Lanes snapshot it when they spawn.
+    trace: Mutex<Option<Arc<dps_obs::TraceCollector>>>,
     lanes: Mutex<HashMap<(u32, u32, u32), Sender<Job>>>,
     rt: Arc<dyn AsyncRuntime>,
     tasks: Mutex<Vec<Box<dyn TaskHandle>>>,
@@ -126,16 +132,31 @@ impl ExecHost {
         decls: Arc<DeclStore>,
         writer: Arc<Mutex<Box<dyn FrameTx>>>,
         node_flops: f64,
+        rank: u16,
         rt: Arc<dyn AsyncRuntime>,
     ) -> Self {
         Self {
             decls,
             writer,
             node_flops,
+            rank,
+            trace: Mutex::new(None),
             lanes: Mutex::new(HashMap::new()),
             rt,
             tasks: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attach the trace collector executor lanes record into. Must precede
+    /// the first dispatched job of a traced run (lanes capture the sink as
+    /// they spawn).
+    pub fn set_trace(&self, collector: Arc<dps_obs::TraceCollector>) {
+        *self.trace.lock() = Some(collector);
+    }
+
+    /// The attached collector, if any.
+    pub fn trace_collector(&self) -> Option<Arc<dps_obs::TraceCollector>> {
+        self.trace.lock().clone()
     }
 
     /// Route a task to its thread's executor lane, spawning the lane on
@@ -148,9 +169,16 @@ impl ExecHost {
             let decls = self.decls.clone();
             let writer = self.writer.clone();
             let node_flops = self.node_flops;
+            let trace = self
+                .trace
+                .lock()
+                .as_ref()
+                .map(|c| (c.clone(), c.writer(self.rank, thread as u16)));
             let task = self.rt.spawn(
                 &format!("dps-net-a{app}t{tc}i{thread}"),
-                Box::new(move || executor_loop(decls, writer, node_flops, app, tc, thread, rx)),
+                Box::new(move || {
+                    executor_loop(decls, writer, node_flops, app, tc, thread, trace, rx)
+                }),
             );
             self.tasks.lock().push(task);
             tx
@@ -170,6 +198,7 @@ impl ExecHost {
 
 /// One executor lane: owns the thread data and op instances of one DPS
 /// thread, replays jobs, replies with `Done` frames.
+#[allow(clippy::too_many_arguments)]
 fn executor_loop(
     decls: Arc<DeclStore>,
     writer: Arc<Mutex<Box<dyn FrameTx>>>,
@@ -177,6 +206,7 @@ fn executor_loop(
     app: u32,
     tc: u32,
     thread: u32,
+    mut trace: Option<(Arc<dps_obs::TraceCollector>, dps_obs::TraceWriter)>,
     rx: Receiver<Job>,
 ) {
     let mut data: Option<Box<dyn Any + Send>> = None;
@@ -184,9 +214,35 @@ fn executor_loop(
     let mut waves: HashMap<WaveKey, Box<dyn DynOp>> = HashMap::new();
     while let Ok(job) = rx.recv() {
         let seq = job.seq;
-        let reply = match run_job(
+        // Trace coordinates snapshotted before the job consumes its parts:
+        // the op label from the declared graph, the wave from the envelope.
+        let span = trace.as_mut().map(|(c, _)| {
+            let op = decls
+                .with(|d| {
+                    d.apps
+                        .get(app as usize)
+                        .and_then(|a| a.graphs.get(job.graph as usize))
+                        .map(|g| c.label(&g.node(job.node).name))
+                })
+                .unwrap_or_default();
+            let wave = job.env.frames.last().map_or(0, |f| f.wave as u32);
+            (op, wave, c.now_nanos())
+        });
+        let outcome = run_job(
             &decls, node_flops, app, tc, thread, &mut data, &mut ops, &mut waves, job,
-        ) {
+        );
+        if let (Some((c, w)), Some((op, wave, t0))) = (trace.as_mut(), span) {
+            let t1 = c.now_nanos();
+            w.record(t0, dps_obs::EventKind::OpStart { op, wave });
+            w.record(t1, dps_obs::EventKind::OpEnd { op, wave });
+            if let Ok((_, reports)) = &outcome {
+                for &(iters, secs) in reports {
+                    let nanos = (secs * 1e9) as u64;
+                    w.record(t1, dps_obs::EventKind::ChunkExec { iters, nanos });
+                }
+            }
+        }
+        let reply = match outcome {
             Ok((posts, reports)) => Frame::Done {
                 seq,
                 posts,
@@ -204,6 +260,9 @@ fn executor_loop(
             // The master is gone; nothing left to execute for.
             break;
         }
+    }
+    if let Some((c, _)) = &trace {
+        c.drain();
     }
 }
 

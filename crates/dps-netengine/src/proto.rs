@@ -21,6 +21,8 @@
 //! | `Output` | master → worker | a token left a graph (broadcast, so SPMD asserts see outputs) |
 //! | `Release` | master → worker | one `run_to_idle` finished (error message if it failed) |
 //! | `Shutdown` | master → worker | the run is over; stop executors and exit |
+//! | `TraceReq` | master → worker | ship your trace log of the finishing run |
+//! | `Trace` | worker → master | the encoded local trace log (empty when untraced) |
 //!
 //! ```
 //! use dps_netengine::proto::Frame;
@@ -168,6 +170,23 @@ pub enum Frame {
     },
     /// The engine is shutting down; stop executors and exit.
     Shutdown,
+    /// Master asks the worker for its trace log of the finishing run. Sent
+    /// between the run's `Output` frames and its `Release`, so a traced
+    /// run's events are merged master-side before the workers unblock.
+    TraceReq {
+        /// Run ordinal the request belongs to (matches the next `Release`).
+        run: u64,
+    },
+    /// The worker's reply to `TraceReq`: its local trace log in the
+    /// `dps_obs::wire` encoding, drained by the send. Empty when the worker
+    /// has no trace sink — the master skips decoding then, so untraced
+    /// workers cost one empty frame per run and nothing else.
+    Trace {
+        /// Matches the `TraceReq` run ordinal.
+        run: u64,
+        /// `dps_obs::wire::encode_log` bytes (empty = no sink attached).
+        bytes: Vec<u8>,
+    },
 }
 
 impl_wire_enum!(Frame {
@@ -181,6 +200,8 @@ impl_wire_enum!(Frame {
     7 => Output { app, graph, token },
     8 => Release { run, error },
     9 => Shutdown { },
+    10 => TraceReq { run },
+    11 => Trace { run, bytes },
 });
 
 /// Encode a token in the tagged form every kernel's registry understands:
@@ -374,6 +395,15 @@ mod tests {
             error: Some("timed out".into()),
         });
         roundtrip(&Frame::Shutdown);
+        roundtrip(&Frame::TraceReq { run: 5 });
+        roundtrip(&Frame::Trace {
+            run: 5,
+            bytes: vec![7; 33],
+        });
+        roundtrip(&Frame::Trace {
+            run: 6,
+            bytes: vec![],
+        });
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! The trace-event model: what the engines record.
+//!
+//! Events are small `Copy` records — every string (graph name, operation
+//! name, frame kind) is interned into a [`LabelId`] on the cold path, so the
+//! hot path writes fixed-size plain data into its ring and never allocates.
+
+/// An interned string: an index into the owning [`TraceLog`](crate::TraceLog)
+/// (or [`TraceCollector`](crate::TraceCollector)) label table.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LabelId(pub u32);
+
+/// One timestamped observation, recorded by whichever engine executed it.
+///
+/// `at` is in nanoseconds of the *engine's own* notion of time — virtual
+/// time on the simulator, wall-clock since collector creation on the thread
+/// and process engines. `node`/`thread` identify the track the event belongs
+/// to: the cluster node (or kernel rank) and the thread index within it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Engine time in nanoseconds.
+    pub at: u64,
+    /// Cluster node / kernel rank (the Chrome-trace `pid`).
+    pub node: u16,
+    /// Thread index within the node (the Chrome-trace `tid`).
+    pub thread: u16,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// A zeroed placeholder (ring-buffer slot initializer).
+    pub const fn empty() -> Self {
+        Self {
+            at: 0,
+            node: 0,
+            thread: 0,
+            kind: EventKind::WaveStart {
+                graph: LabelId(0),
+                wave: 0,
+            },
+        }
+    }
+}
+
+/// The event vocabulary — one variant per instrumentation point named in
+/// the engines: wave and operation lifecycles, the scheduled-loop chunk
+/// protocol, token movement, wire frames, and failures.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A split opened wave `wave` of graph `graph`.
+    WaveStart {
+        /// Graph name.
+        graph: LabelId,
+        /// Wave identifier (unique within the run).
+        wave: u32,
+    },
+    /// Wave `wave` closed (its merge finalized).
+    WaveEnd {
+        /// Graph name.
+        graph: LabelId,
+        /// Wave identifier.
+        wave: u32,
+    },
+    /// An operation began executing a token.
+    OpStart {
+        /// Operation label (graph + node kind).
+        op: LabelId,
+        /// Wave the token belongs to.
+        wave: u32,
+    },
+    /// The operation finished (pairs with the preceding `OpStart` on the
+    /// same track).
+    OpEnd {
+        /// Operation label.
+        op: LabelId,
+        /// Wave the token belongs to.
+        wave: u32,
+    },
+    /// A worker claimed a chunk from a hub lease (distributed chunk
+    /// calculation).
+    ChunkClaim {
+        /// Hub lease id.
+        lease: u64,
+        /// First iteration of the claimed chunk.
+        start: u64,
+        /// Iterations claimed.
+        len: u64,
+    },
+    /// A worker finished executing a chunk of a scheduled loop.
+    ChunkExec {
+        /// Iterations the chunk covered.
+        iters: u64,
+        /// Execution time in nanoseconds (engine time).
+        nanos: u64,
+    },
+    /// The chunk's completion was reported to the feedback sink.
+    ChunkReport {
+        /// Reporting worker index (collection-wide).
+        worker: u32,
+        /// Iterations reported.
+        iters: u64,
+        /// Execution nanoseconds reported.
+        nanos: u64,
+    },
+    /// A token was routed and queued toward a destination thread.
+    TokenEnqueue {
+        /// Token type name.
+        token: LabelId,
+        /// Wave the token belongs to.
+        wave: u32,
+        /// Flow id linking this enqueue to its delivery (unique per run).
+        flow: u64,
+    },
+    /// A queued token reached its destination thread.
+    TokenDeliver {
+        /// Token type name.
+        token: LabelId,
+        /// Wave the token belongs to.
+        wave: u32,
+        /// Flow id matching the `TokenEnqueue`.
+        flow: u64,
+    },
+    /// A wire frame left this kernel (process engine).
+    FrameSend {
+        /// Frame kind name.
+        frame: LabelId,
+        /// Encoded size in bytes.
+        bytes: u64,
+    },
+    /// A wire frame arrived at this kernel.
+    FrameRecv {
+        /// Frame kind name.
+        frame: LabelId,
+        /// Encoded size in bytes.
+        bytes: u64,
+    },
+    /// A node (or worker thread/process) was declared dead.
+    NodeDown {
+        /// The failed node.
+        node: u16,
+    },
+    /// Deliveries stranded on a failed node were re-routed.
+    Requeue {
+        /// Tokens re-queued.
+        tokens: u32,
+    },
+    /// An operation failed terminally (the wave cannot complete).
+    OpFailed {
+        /// Application or operation label.
+        op: LabelId,
+    },
+}
+
+impl EventKind {
+    /// Stable numeric tag (wire encoding and hashing).
+    pub const fn tag(&self) -> u8 {
+        match self {
+            EventKind::WaveStart { .. } => 0,
+            EventKind::WaveEnd { .. } => 1,
+            EventKind::OpStart { .. } => 2,
+            EventKind::OpEnd { .. } => 3,
+            EventKind::ChunkClaim { .. } => 4,
+            EventKind::ChunkExec { .. } => 5,
+            EventKind::ChunkReport { .. } => 6,
+            EventKind::TokenEnqueue { .. } => 7,
+            EventKind::TokenDeliver { .. } => 8,
+            EventKind::FrameSend { .. } => 9,
+            EventKind::FrameRecv { .. } => 10,
+            EventKind::NodeDown { .. } => 11,
+            EventKind::Requeue { .. } => 12,
+            EventKind::OpFailed { .. } => 13,
+        }
+    }
+
+    /// The payload as up to three `u64` words, `(a, b, c)` (wire encoding
+    /// and hashing; label ids widen to `u64`).
+    pub const fn payload(&self) -> (u64, u64, u64) {
+        match *self {
+            EventKind::WaveStart { graph, wave } | EventKind::WaveEnd { graph, wave } => {
+                (graph.0 as u64, wave as u64, 0)
+            }
+            EventKind::OpStart { op, wave } | EventKind::OpEnd { op, wave } => {
+                (op.0 as u64, wave as u64, 0)
+            }
+            EventKind::ChunkClaim { lease, start, len } => (lease, start, len),
+            EventKind::ChunkExec { iters, nanos } => (iters, nanos, 0),
+            EventKind::ChunkReport {
+                worker,
+                iters,
+                nanos,
+            } => (worker as u64, iters, nanos),
+            EventKind::TokenEnqueue { token, wave, flow }
+            | EventKind::TokenDeliver { token, wave, flow } => (token.0 as u64, wave as u64, flow),
+            EventKind::FrameSend { frame, bytes } | EventKind::FrameRecv { frame, bytes } => {
+                (frame.0 as u64, bytes, 0)
+            }
+            EventKind::NodeDown { node } => (node as u64, 0, 0),
+            EventKind::Requeue { tokens } => (tokens as u64, 0, 0),
+            EventKind::OpFailed { op } => (op.0 as u64, 0, 0),
+        }
+    }
+
+    /// Rebuild a kind from its `tag` and `payload` words (wire decoding).
+    pub fn from_wire(tag: u8, a: u64, b: u64, c: u64) -> Option<Self> {
+        let label = |v: u64| LabelId(v as u32);
+        Some(match tag {
+            0 => EventKind::WaveStart {
+                graph: label(a),
+                wave: b as u32,
+            },
+            1 => EventKind::WaveEnd {
+                graph: label(a),
+                wave: b as u32,
+            },
+            2 => EventKind::OpStart {
+                op: label(a),
+                wave: b as u32,
+            },
+            3 => EventKind::OpEnd {
+                op: label(a),
+                wave: b as u32,
+            },
+            4 => EventKind::ChunkClaim {
+                lease: a,
+                start: b,
+                len: c,
+            },
+            5 => EventKind::ChunkExec { iters: a, nanos: b },
+            6 => EventKind::ChunkReport {
+                worker: a as u32,
+                iters: b,
+                nanos: c,
+            },
+            7 => EventKind::TokenEnqueue {
+                token: label(a),
+                wave: b as u32,
+                flow: c,
+            },
+            8 => EventKind::TokenDeliver {
+                token: label(a),
+                wave: b as u32,
+                flow: c,
+            },
+            9 => EventKind::FrameSend {
+                frame: label(a),
+                bytes: b,
+            },
+            10 => EventKind::FrameRecv {
+                frame: label(a),
+                bytes: b,
+            },
+            11 => EventKind::NodeDown { node: a as u16 },
+            12 => EventKind::Requeue { tokens: a as u32 },
+            13 => EventKind::OpFailed { op: label(a) },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip_covers_every_tag() {
+        let samples = [
+            EventKind::WaveStart {
+                graph: LabelId(3),
+                wave: 7,
+            },
+            EventKind::WaveEnd {
+                graph: LabelId(3),
+                wave: 7,
+            },
+            EventKind::OpStart {
+                op: LabelId(1),
+                wave: 2,
+            },
+            EventKind::OpEnd {
+                op: LabelId(1),
+                wave: 2,
+            },
+            EventKind::ChunkClaim {
+                lease: 9,
+                start: 100,
+                len: 25,
+            },
+            EventKind::ChunkExec {
+                iters: 25,
+                nanos: 1234,
+            },
+            EventKind::ChunkReport {
+                worker: 4,
+                iters: 25,
+                nanos: 1234,
+            },
+            EventKind::TokenEnqueue {
+                token: LabelId(5),
+                wave: 1,
+                flow: 42,
+            },
+            EventKind::TokenDeliver {
+                token: LabelId(5),
+                wave: 1,
+                flow: 42,
+            },
+            EventKind::FrameSend {
+                frame: LabelId(2),
+                bytes: 512,
+            },
+            EventKind::FrameRecv {
+                frame: LabelId(2),
+                bytes: 512,
+            },
+            EventKind::NodeDown { node: 3 },
+            EventKind::Requeue { tokens: 6 },
+            EventKind::OpFailed { op: LabelId(8) },
+        ];
+        for (i, k) in samples.iter().enumerate() {
+            assert_eq!(k.tag() as usize, i, "tags are dense and ordered");
+            let (a, b, c) = k.payload();
+            assert_eq!(EventKind::from_wire(k.tag(), a, b, c), Some(*k));
+        }
+        assert_eq!(EventKind::from_wire(200, 0, 0, 0), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! The schedule-trace hash: an FNV-1a digest over the ordered event stream.
+//!
+//! On the deterministic simulator, two runs of the same seeded workload
+//! produce the same event stream, so their hashes are equal — and any
+//! divergence (a different policy, a changed interleaving, a perturbed
+//! virtual clock) changes the hash. That makes this `u64` the replay-identity
+//! primitive for simulation testing: assert the hash instead of diffing
+//! whole traces.
+
+use crate::collect::TraceLog;
+
+/// Incremental FNV-1a 64-bit accumulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// FNV-1a offset basis.
+    pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    /// FNV-1a prime.
+    pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Fresh accumulator.
+    pub const fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Fold in raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Fold in a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub const fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The canonical schedule-trace hash of a drained log: FNV-1a over the
+/// label table then every event's `(at, node, thread, tag, payload)` words
+/// in stream order.
+pub fn schedule_hash(log: &TraceLog) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(log.labels.len() as u64);
+    for l in &log.labels {
+        h.write_u64(l.len() as u64);
+        h.write(l.as_bytes());
+    }
+    h.write_u64(log.events.len() as u64);
+    for e in &log.events {
+        h.write_u64(e.at);
+        h.write_u64((e.node as u64) << 16 | e.thread as u64);
+        let (a, b, c) = e.kind.payload();
+        h.write_u64(e.kind.tag() as u64);
+        h.write_u64(a);
+        h.write_u64(b);
+        h.write_u64(c);
+    }
+    h.finish()
+}
+
+impl TraceLog {
+    /// The [`schedule_hash`] of this log.
+    pub fn schedule_hash(&self) -> u64 {
+        schedule_hash(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, LabelId, TraceEvent};
+
+    fn log(wave: u32) -> TraceLog {
+        TraceLog {
+            labels: vec![String::new(), "g".into()],
+            events: vec![TraceEvent {
+                at: 10,
+                node: 0,
+                thread: 0,
+                kind: EventKind::WaveStart {
+                    graph: LabelId(1),
+                    wave,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a of "a" per the reference implementation.
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn equal_logs_hash_equal_and_divergence_shows() {
+        assert_eq!(log(1).schedule_hash(), log(1).schedule_hash());
+        assert_ne!(log(1).schedule_hash(), log(2).schedule_hash());
+        let mut shifted = log(1);
+        shifted.events[0].at = 11;
+        assert_ne!(log(1).schedule_hash(), shifted.schedule_hash());
+        let mut renamed = log(1);
+        renamed.labels[1] = "h".into();
+        assert_ne!(log(1).schedule_hash(), renamed.schedule_hash());
+    }
+
+    #[test]
+    fn empty_log_hash_is_stable() {
+        let e = TraceLog::default();
+        assert_eq!(e.schedule_hash(), e.schedule_hash());
+    }
+}

@@ -1,0 +1,211 @@
+//! The per-worker event ring: a bounded single-producer single-consumer
+//! queue of [`TraceEvent`]s.
+//!
+//! Same single-writer discipline as the feedback board's seqlock slots —
+//! each worker thread owns exactly one ring and is its only producer, so a
+//! push is a handful of plain stores into cache lines the producer already
+//! owns plus one release store of the tail. No lock, no RMW, no cross-worker
+//! traffic on the hot path. The consumer (the collector's drain, once per
+//! wave) reads `head..tail` under acquire and bumps `head`.
+//!
+//! When the ring is full the event is *dropped* and counted — tracing must
+//! never block or slow the traced system, and the drop counter makes the
+//! loss visible in the exported metrics.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+use crate::event::TraceEvent;
+
+/// Bounded SPSC ring of trace events. Capacity is rounded up to a power of
+/// two. See the module docs for the producer/consumer contract.
+pub struct EventRing {
+    mask: u64,
+    slots: Box<[UnsafeCell<TraceEvent>]>,
+    /// Next write position (producer-owned, consumer reads it).
+    tail: CachePadded<AtomicU64>,
+    /// Next read position (consumer-owned, producer reads it).
+    head: CachePadded<AtomicU64>,
+    /// Events discarded because the ring was full.
+    dropped: CachePadded<AtomicU64>,
+}
+
+// SAFETY: slot `i` is written only by the single producer while
+// `head <= i < head + capacity` and `i >= tail`, and read only by the single
+// consumer after observing `tail > i` with acquire ordering; the release
+// store of `tail` publishes the slot contents. The one-producer/one-consumer
+// discipline is upheld by `TraceWriter` (one per ring) and the collector's
+// drain lock.
+unsafe impl Sync for EventRing {}
+
+impl EventRing {
+    /// A ring holding at least `capacity` events (rounded up to a power of
+    /// two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two() as u64;
+        Self {
+            mask: cap - 1,
+            slots: (0..cap)
+                .map(|_| UnsafeCell::new(TraceEvent::empty()))
+                .collect(),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            head: CachePadded::new(AtomicU64::new(0)),
+            dropped: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Slot capacity (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events discarded because the ring was full when they were recorded.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Producer side: append `ev`, dropping it (and counting the drop) if
+    /// the ring is full. `cached_head` is the producer's locally remembered
+    /// consumer position — it is only refreshed from the shared `head` when
+    /// the ring *looks* full, so the steady-state push never loads a
+    /// cache line the consumer writes.
+    ///
+    /// Must only be called by the ring's single producer (see module docs).
+    #[inline]
+    pub fn push(&self, cached_head: &mut u64, ev: TraceEvent) {
+        let t = self.tail.load(Ordering::Relaxed);
+        if t.wrapping_sub(*cached_head) > self.mask {
+            *cached_head = self.head.load(Ordering::Acquire);
+            if t.wrapping_sub(*cached_head) > self.mask {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        // SAFETY: `t` is within the producer's exclusive window (checked
+        // above) and no consumer reads it until the release store below.
+        unsafe {
+            *self.slots[(t & self.mask) as usize].get() = ev;
+        }
+        self.tail.store(t.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Consumer side: move every pending event into `out`, in push order.
+    /// Returns the number of events drained.
+    ///
+    /// Must only be called by one consumer at a time (the collector holds
+    /// its drain lock across this).
+    pub fn drain_into(&self, out: &mut Vec<TraceEvent>) -> usize {
+        let t = self.tail.load(Ordering::Acquire);
+        let h = self.head.load(Ordering::Relaxed);
+        let n = t.wrapping_sub(h);
+        out.reserve(n as usize);
+        for i in h..t {
+            // SAFETY: `h..t` slots were published by the producer's release
+            // store of `tail`; the producer will not overwrite them until
+            // `head` advances past them below.
+            out.push(unsafe { *self.slots[(i & self.mask) as usize].get() });
+        }
+        self.head.store(t, Ordering::Release);
+        n as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, LabelId};
+
+    fn ev(at: u64) -> TraceEvent {
+        TraceEvent {
+            at,
+            node: 0,
+            thread: 0,
+            kind: EventKind::WaveStart {
+                graph: LabelId(0),
+                wave: at as u32,
+            },
+        }
+    }
+
+    #[test]
+    fn push_drain_preserves_order() {
+        let r = EventRing::new(16);
+        let mut cache = 0;
+        for i in 0..10 {
+            r.push(&mut cache, ev(i));
+        }
+        let mut out = Vec::new();
+        assert_eq!(r.drain_into(&mut out), 10);
+        assert_eq!(
+            out.iter().map(|e| e.at).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        // Ring reusable after drain.
+        r.push(&mut cache, ev(99));
+        out.clear();
+        assert_eq!(r.drain_into(&mut out), 1);
+        assert_eq!(out[0].at, 99);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let r = EventRing::new(8);
+        let mut cache = 0;
+        for i in 0..20 {
+            r.push(&mut cache, ev(i));
+        }
+        assert_eq!(r.dropped(), 12);
+        let mut out = Vec::new();
+        assert_eq!(r.drain_into(&mut out), 8);
+        // The *oldest* events survive: tracing keeps the causal prefix.
+        assert_eq!(out[0].at, 0);
+        assert_eq!(out[7].at, 7);
+    }
+
+    #[test]
+    fn wraps_across_many_drains() {
+        let r = EventRing::new(8);
+        let mut cache = 0;
+        let mut out = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..5 {
+                r.push(&mut cache, ev(round * 5 + i));
+            }
+            r.drain_into(&mut out);
+        }
+        assert_eq!(out.len(), 250);
+        assert!(out.windows(2).all(|w| w[0].at + 1 == w[1].at));
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_loses_nothing_but_drops() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let r = Arc::new(EventRing::new(64));
+        let done = Arc::new(AtomicBool::new(false));
+        let total = 20_000u64;
+        let producer = {
+            let r = Arc::clone(&r);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut cache = 0;
+                for i in 0..total {
+                    r.push(&mut cache, ev(i));
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+        let mut out = Vec::new();
+        while !done.load(Ordering::Acquire) {
+            r.drain_into(&mut out);
+        }
+        r.drain_into(&mut out);
+        producer.join().unwrap();
+        // Whatever was not dropped arrived exactly once, in order.
+        assert_eq!(out.len() as u64 + r.dropped(), total);
+        assert!(out.windows(2).all(|w| w[0].at < w[1].at));
+    }
+}

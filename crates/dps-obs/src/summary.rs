@@ -1,0 +1,294 @@
+//! The compact per-wave summary: makespan, per-worker busy fractions, and a
+//! claim-latency histogram — the numbers the DLS literature validates
+//! policies with, derived from the same event stream as the Chrome export.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::collect::TraceLog;
+use crate::event::EventKind;
+
+/// Power-of-two-bucketed latency histogram (nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` ns (bucket 0 also
+    /// holds zero-latency samples).
+    pub buckets: [u64; 40],
+    /// Total samples.
+    pub count: u64,
+    /// Largest sample (ns).
+    pub max: u64,
+    /// Sum of samples (ns).
+    pub total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 40],
+            count: 0,
+            max: 0,
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency sample.
+    pub fn record(&mut self, nanos: u64) {
+        let b = (64 - nanos.leading_zeros()).saturating_sub(1).min(39) as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.max = self.max.max(nanos);
+        self.total += nanos;
+    }
+
+    /// Mean latency in ns (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.total.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound (ns) of the bucket containing quantile `q` in `0..=1`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max
+    }
+}
+
+/// One wave's digest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WaveSummary {
+    /// Graph name.
+    pub graph: String,
+    /// Wave id.
+    pub wave: u32,
+    /// Wave start (engine ns).
+    pub start: u64,
+    /// Wave end (engine ns).
+    pub end: u64,
+    /// Per-track `(node, thread, busy_nanos)` — time inside op spans.
+    pub busy: Vec<(u16, u16, u64)>,
+    /// Enqueue→deliver latency of the wave's tokens.
+    pub claim_latency: LatencyHistogram,
+    /// Chunks executed (from `ChunkExec` events inside the wave).
+    pub chunks: u64,
+    /// Iterations covered by those chunks.
+    pub iters: u64,
+}
+
+impl WaveSummary {
+    /// Wave makespan in nanoseconds.
+    pub fn makespan(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Busy fraction of `(node, thread)` over the wave (0 when unknown).
+    pub fn busy_fraction(&self, node: u16, thread: u16) -> f64 {
+        let span = self.makespan().max(1) as f64;
+        self.busy
+            .iter()
+            .find(|&&(n, t, _)| n == node && t == thread)
+            .map_or(0.0, |&(_, _, b)| b as f64 / span)
+    }
+}
+
+impl fmt::Display for WaveSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "wave {} ({}): makespan {:.3} ms, {} chunks / {} iters",
+            self.wave,
+            if self.graph.is_empty() {
+                "?"
+            } else {
+                &self.graph
+            },
+            self.makespan() as f64 / 1e6,
+            self.chunks,
+            self.iters,
+        )?;
+        let span = self.makespan().max(1) as f64;
+        for &(node, thread, busy) in &self.busy {
+            writeln!(
+                f,
+                "  node{node}/t{thread}: busy {:5.1}%",
+                100.0 * busy as f64 / span
+            )?;
+        }
+        if self.claim_latency.count > 0 {
+            writeln!(
+                f,
+                "  delivery latency: mean {} ns, p50 ≤ {} ns, p99 ≤ {} ns, max {} ns ({} samples)",
+                self.claim_latency.mean(),
+                self.claim_latency.quantile(0.5),
+                self.claim_latency.quantile(0.99),
+                self.claim_latency.max,
+                self.claim_latency.count,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Fold a log into per-wave summaries, ordered by wave id.
+pub fn wave_summaries(log: &TraceLog) -> Vec<WaveSummary> {
+    let mut waves: BTreeMap<u32, WaveSummary> = BTreeMap::new();
+    let mut open_ops: BTreeMap<(u16, u16), u64> = BTreeMap::new();
+    let mut enqueues: BTreeMap<u64, u64> = BTreeMap::new();
+    let max_at = log.events.iter().map(|e| e.at).max().unwrap_or(0);
+    fn entry(waves: &mut BTreeMap<u32, WaveSummary>, wave: u32, max_at: u64) -> &mut WaveSummary {
+        waves.entry(wave).or_insert_with(|| WaveSummary {
+            wave,
+            end: max_at,
+            ..WaveSummary::default()
+        })
+    }
+    // Chunk events carry no wave id; attribute them to the newest open wave.
+    let mut current_wave: Option<u32> = None;
+    for e in &log.events {
+        match e.kind {
+            EventKind::WaveStart { graph, wave } => {
+                let w = entry(&mut waves, wave, max_at);
+                w.graph = log.label(graph).to_string();
+                w.start = e.at;
+                current_wave = Some(wave);
+            }
+            EventKind::WaveEnd { wave, .. } => {
+                entry(&mut waves, wave, max_at).end = e.at;
+                if current_wave == Some(wave) {
+                    current_wave = None;
+                }
+            }
+            EventKind::OpStart { wave, .. } => {
+                open_ops.insert((e.node, e.thread), e.at);
+                entry(&mut waves, wave, max_at);
+            }
+            EventKind::OpEnd { wave, .. } => {
+                if let Some(t0) = open_ops.remove(&(e.node, e.thread)) {
+                    let w = entry(&mut waves, wave, max_at);
+                    match w.busy.iter_mut().find(|b| b.0 == e.node && b.1 == e.thread) {
+                        Some(b) => b.2 += e.at.saturating_sub(t0),
+                        None => w.busy.push((e.node, e.thread, e.at.saturating_sub(t0))),
+                    }
+                }
+            }
+            EventKind::TokenEnqueue { flow, .. } => {
+                enqueues.insert(flow, e.at);
+            }
+            EventKind::TokenDeliver { wave, flow, .. } => {
+                if let Some(t0) = enqueues.remove(&flow) {
+                    entry(&mut waves, wave, max_at)
+                        .claim_latency
+                        .record(e.at.saturating_sub(t0));
+                }
+            }
+            EventKind::ChunkExec { iters, .. } => {
+                if let Some(wave) = current_wave {
+                    let w = entry(&mut waves, wave, max_at);
+                    w.chunks += 1;
+                    w.iters += iters;
+                }
+            }
+            _ => {}
+        }
+    }
+    waves.into_values().collect()
+}
+
+/// Render every wave summary as one report.
+pub fn render_summary(log: &TraceLog) -> String {
+    let mut out = String::new();
+    for w in wave_summaries(log) {
+        out.push_str(&w.to_string());
+    }
+    if out.is_empty() {
+        out.push_str("(no waves recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::TraceCollector;
+    use crate::event::EventKind;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for n in [0u64, 1, 1, 2, 1000, 1_000_000] {
+            h.record(n);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.max, 1_000_000);
+        assert!(h.quantile(0.5) <= 4);
+        assert!(h.quantile(1.0) >= 1_000_000 / 2);
+        assert_eq!(LatencyHistogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn summaries_fold_busy_and_latency() {
+        let c = TraceCollector::new();
+        let g = c.label("life");
+        let op = c.label("life:leaf");
+        let tok = c.label("Band");
+        let mut w = c.writer(0, 0);
+        w.record_on(0, 0, 0, EventKind::WaveStart { graph: g, wave: 2 });
+        w.record_on(
+            10,
+            0,
+            0,
+            EventKind::TokenEnqueue {
+                token: tok,
+                wave: 2,
+                flow: 1,
+            },
+        );
+        w.record_on(
+            110,
+            1,
+            0,
+            EventKind::TokenDeliver {
+                token: tok,
+                wave: 2,
+                flow: 1,
+            },
+        );
+        w.record_on(110, 1, 0, EventKind::OpStart { op, wave: 2 });
+        w.record_on(
+            500,
+            1,
+            0,
+            EventKind::ChunkExec {
+                iters: 32,
+                nanos: 390,
+            },
+        );
+        w.record_on(510, 1, 0, EventKind::OpEnd { op, wave: 2 });
+        w.record_on(1000, 0, 0, EventKind::WaveEnd { graph: g, wave: 2 });
+        let log = c.take_log();
+        let sums = wave_summaries(&log);
+        assert_eq!(sums.len(), 1);
+        let s = &sums[0];
+        assert_eq!(s.wave, 2);
+        assert_eq!(s.graph, "life");
+        assert_eq!(s.makespan(), 1000);
+        assert_eq!(s.busy, vec![(1, 0, 400)]);
+        assert!((s.busy_fraction(1, 0) - 0.4).abs() < 1e-9);
+        assert_eq!(s.claim_latency.count, 1);
+        assert_eq!((s.chunks, s.iters), (1, 32));
+        let text = render_summary(&log);
+        assert!(text.contains("wave 2 (life)"));
+        assert!(text.contains("node1/t0"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Byte encoding of a [`TraceLog`] — the payload of the process engine's
+//! `Trace` frame (workers ship their local log to the master before
+//! releasing).
+//!
+//! Plain little-endian, self-contained, versioned. Kept here (not in the
+//! engine's wire module) so the encoding and the event model evolve
+//! together.
+
+use crate::collect::TraceLog;
+use crate::event::{EventKind, TraceEvent};
+
+/// Encoding version; bump on any layout change.
+pub const TRACE_WIRE_VERSION: u32 = 1;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode `log` into a self-contained byte buffer.
+pub fn encode_log(log: &TraceLog) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + log.events.len() * 37);
+    put_u32(&mut out, TRACE_WIRE_VERSION);
+    put_u32(&mut out, log.labels.len() as u32);
+    for l in &log.labels {
+        put_u32(&mut out, l.len() as u32);
+        out.extend_from_slice(l.as_bytes());
+    }
+    put_u32(&mut out, log.events.len() as u32);
+    for e in &log.events {
+        put_u64(&mut out, e.at);
+        put_u32(&mut out, (e.node as u32) << 16 | e.thread as u32);
+        out.push(e.kind.tag());
+        let (a, b, c) = e.kind.payload();
+        put_u64(&mut out, a);
+        put_u64(&mut out, b);
+        put_u64(&mut out, c);
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+/// Decode a buffer produced by [`encode_log`]. `None` on truncation,
+/// version mismatch, or an unknown event tag.
+pub fn decode_log(buf: &[u8]) -> Option<TraceLog> {
+    let mut r = Reader { buf, at: 0 };
+    if r.u32()? != TRACE_WIRE_VERSION {
+        return None;
+    }
+    let nlabels = r.u32()? as usize;
+    let mut labels = Vec::with_capacity(nlabels.min(1 << 16));
+    for _ in 0..nlabels {
+        let len = r.u32()? as usize;
+        labels.push(String::from_utf8(r.take(len)?.to_vec()).ok()?);
+    }
+    let nevents = r.u32()? as usize;
+    let mut events = Vec::with_capacity(nevents.min(1 << 20));
+    for _ in 0..nevents {
+        let at = r.u64()?;
+        let track = r.u32()?;
+        let tag = r.u8()?;
+        let (a, b, c) = (r.u64()?, r.u64()?, r.u64()?);
+        events.push(TraceEvent {
+            at,
+            node: (track >> 16) as u16,
+            thread: (track & 0xffff) as u16,
+            kind: EventKind::from_wire(tag, a, b, c)?,
+        });
+    }
+    if r.at != buf.len() {
+        return None;
+    }
+    Some(TraceLog { labels, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LabelId;
+
+    fn sample() -> TraceLog {
+        TraceLog {
+            labels: vec![String::new(), "lu-pipelined".into(), "ChunkTicket".into()],
+            events: vec![
+                TraceEvent {
+                    at: 1_000,
+                    node: 1,
+                    thread: 2,
+                    kind: EventKind::WaveStart {
+                        graph: LabelId(1),
+                        wave: 3,
+                    },
+                },
+                TraceEvent {
+                    at: 2_000,
+                    node: 1,
+                    thread: 2,
+                    kind: EventKind::TokenEnqueue {
+                        token: LabelId(2),
+                        wave: 3,
+                        flow: 77,
+                    },
+                },
+                TraceEvent {
+                    at: 3_000,
+                    node: 0,
+                    thread: 0,
+                    kind: EventKind::ChunkClaim {
+                        lease: 5,
+                        start: 100,
+                        len: 20,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let log = sample();
+        let buf = encode_log(&log);
+        assert_eq!(decode_log(&buf), Some(log));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode_log(&[]), None);
+        assert_eq!(decode_log(&[1, 2, 3]), None);
+        let mut buf = encode_log(&sample());
+        buf.truncate(buf.len() - 1);
+        assert_eq!(decode_log(&buf), None, "truncation detected");
+        let mut versioned = encode_log(&sample());
+        versioned[0] = 99;
+        assert_eq!(decode_log(&versioned), None, "version mismatch detected");
+        let mut trailing = encode_log(&sample());
+        trailing.push(0);
+        assert_eq!(decode_log(&trailing), None, "trailing bytes detected");
+    }
+}

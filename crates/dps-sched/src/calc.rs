@@ -289,6 +289,14 @@ impl IterCounter {
         self.chunks
     }
 
+    /// Chunks successfully claimed so far (the claim sequence counter).
+    pub fn claimed(&self) -> u32 {
+        match &self.state {
+            ClaimState::Packed(word) => (word.load(Ordering::Acquire) >> START_BITS) as u32,
+            ClaimState::Wide(pair) => pair.lock().1,
+        }
+    }
+
     /// Iterations not yet claimed.
     pub fn remaining(&self) -> u64 {
         let start = match &self.state {
@@ -422,6 +430,10 @@ pub struct ChunkHub {
     /// process that owns the real lease directory (see [`RemoteHub`]) and
     /// the local slots above stay empty.
     remote: Option<Arc<dyn RemoteHub>>,
+    /// Metrics sink, published once by an engine when tracing is enabled.
+    /// Reads cost one atomic load plus a relaxed `fetch_add` — the claim
+    /// path stays lock-free whether or not a registry is attached.
+    metrics: OnceLock<Arc<dps_obs::MetricsRegistry>>,
 }
 
 impl std::fmt::Debug for ChunkHub {
@@ -440,6 +452,7 @@ impl Default for ChunkHub {
             next: AtomicU64::new(0),
             open: AtomicU64::new(0),
             remote: None,
+            metrics: OnceLock::new(),
         }
     }
 }
@@ -462,6 +475,16 @@ impl ChunkHub {
         }
     }
 
+    /// Attach a metrics registry: [`open`](Self::open) bumps `LeasesOpened`,
+    /// and each lease folds its final claim count into `ChunkClaims` when it
+    /// retires (drains or is [`close`](Self::close)d) — the per-claim path
+    /// carries zero instrumentation. First attach wins; later calls are
+    /// ignored (the hub is shared, so engines racing to attach the same
+    /// collector's registry is benign).
+    pub fn attach_metrics(&self, metrics: Arc<dps_obs::MetricsRegistry>) {
+        let _ = self.metrics.set(metrics);
+    }
+
     /// The slot of lease `id`, if its segment was ever touched.
     fn slot(&self, id: u64) -> Option<&LeaseSlot> {
         let (seg, idx) = lease_locate(id)?;
@@ -470,6 +493,9 @@ impl ChunkHub {
 
     /// Open a counter over `calc`'s range and lease it out.
     pub fn open(&self, calc: ChunkCalc) -> ChunkLease {
+        if let Some(m) = self.metrics.get() {
+            m.add(dps_obs::Counter::LeasesOpened, 1);
+        }
         if let Some(r) = &self.remote {
             return r.open(calc);
         }
@@ -497,11 +523,19 @@ impl ChunkHub {
         calcs.into_iter().map(|c| self.open(c)).collect()
     }
 
-    /// Mark lease `id` drained on the way out, exactly once.
-    fn retire(&self, slot: &LeaseSlot) {
-        if !slot.closed.swap(true, Ordering::AcqRel) {
+    /// Mark lease `id` drained on the way out, exactly once; returns whether
+    /// this call retired it. The metrics fold happens here — one `add` of
+    /// the lease counter's final claim sequence per lease, so the per-claim
+    /// path carries zero instrumentation.
+    fn retire(&self, slot: &LeaseSlot) -> bool {
+        let was_open = !slot.closed.swap(true, Ordering::AcqRel);
+        if was_open {
             self.open.fetch_sub(1, Ordering::Relaxed);
+            if let (Some(m), Some(c)) = (self.metrics.get(), slot.counter.get()) {
+                m.add(dps_obs::Counter::ChunkClaims, u64::from(c.claimed()));
+            }
         }
+        was_open
     }
 
     /// Claim the next chunk of lease `id`: lock-free lease resolution plus
@@ -533,13 +567,7 @@ impl ChunkHub {
             return r.close(id);
         }
         match self.slot(id) {
-            Some(slot) if slot.counter.get().is_some() => {
-                let was_open = !slot.closed.swap(true, Ordering::AcqRel);
-                if was_open {
-                    self.open.fetch_sub(1, Ordering::Relaxed);
-                }
-                was_open
-            }
+            Some(slot) if slot.counter.get().is_some() => self.retire(slot),
             _ => false,
         }
     }

@@ -20,6 +20,12 @@
 //! (optionally `-- --engine sim` or `-- --engine mt` to pick one backend,
 //! or `-- --engine net` to run the same driver across three OS *processes*
 //! over TCP — rank 0 re-executes this binary as two worker kernels).
+//!
+//! Add `-- --trace trace.json` to record every run into one
+//! [`dps::obs::TraceCollector`] and export the merged event stream as
+//! Chrome trace-event JSON (open in `chrome://tracing` or Perfetto). The
+//! same flag works on every engine — on `net` the workers' logs ship to
+//! the master at the end of each run and land in the same file.
 
 use std::sync::Arc;
 
@@ -31,6 +37,7 @@ use dps::core::sched::{
 };
 use dps::mt::MtEngine;
 use dps::netengine::{NetEngine, NetEngineConfig};
+use dps::obs::{chrome_trace_json, render_summary, schedule_hash, TraceCollector};
 use dps::sched::{ChunkHub, FeedbackBoard, PolicyKind};
 
 const ITERS: u64 = 256;
@@ -145,14 +152,37 @@ fn run_schedule<E: Engine>(
 }
 
 fn engine_arg() -> Option<String> {
+    arg_value("--engine")
+}
+
+/// `--trace PATH` / `--trace=PATH`: where to write the Chrome trace.
+fn trace_arg() -> Option<String> {
+    arg_value("--trace")
+}
+
+fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
+    let prefix = format!("{name}=");
     args.iter()
-        .position(|a| a == "--engine")
+        .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
         .or_else(|| {
             args.iter()
-                .find_map(|a| a.strip_prefix("--engine=").map(str::to_string))
+                .find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
         })
+}
+
+/// Drain the collector, print the per-wave summary, and write the Chrome
+/// trace-event JSON.
+fn export_trace(collector: &TraceCollector, path: &str) {
+    let log = collector.take_log();
+    std::fs::write(path, chrome_trace_json(&log)).expect("write Chrome trace");
+    print!("\n{}", render_summary(&log));
+    println!(
+        "trace: {} events, schedule hash {:016x}, written to {path}",
+        log.events.len(),
+        schedule_hash(&log)
+    );
 }
 
 fn main() {
@@ -161,6 +191,11 @@ fn main() {
         matches!(which.as_str(), "sim" | "mt" | "net" | "both"),
         "unknown --engine value {which:?}: expected sim, mt, net, or both"
     );
+    let trace_path = trace_arg();
+    // One collector for the whole demo: every engine's runs append to the
+    // same event stream, so the exported trace shows all backends side by
+    // side (virtual timestamps for sim, wall-clock for mt/net).
+    let collector = trace_path.as_ref().map(|_| TraceCollector::new());
 
     // Multi-process: rank 0 spawns two worker kernels that re-execute this
     // very binary (same `--engine net` arguments), so master and workers
@@ -171,6 +206,11 @@ fn main() {
         let mut eng = NetEngine::from_env(3, NetEngineConfig::default()).expect("net setup");
         let master = eng.is_master();
         let rank = eng.rank();
+        // SPMD: every kernel attaches its sink; worker logs ship to the
+        // master at the end of each run, so only rank 0 exports the file.
+        if let Some(c) = &collector {
+            eng.set_trace_sink(c.clone());
+        }
         if master {
             println!("Triangular-cost loop, {ITERS} iterations × {STEPS} steps");
             println!("\n-- NetEngine: the same driver across 3 OS processes over TCP --");
@@ -179,6 +219,9 @@ fn main() {
         let wall = run_schedule(&mut eng, policy, 3, board.clone());
         eng.shutdown();
         if master {
+            if let (Some(c), Some(path)) = (&collector, &trace_path) {
+                export_trace(c, path);
+            }
             let chunks = board.total_chunks();
             let steps: Vec<String> = wall.iter().map(|s| format!("{:.1}ms", s * 1e3)).collect();
             println!(
@@ -206,6 +249,9 @@ fn main() {
                     ..EngineConfig::default()
                 },
             );
+            if let Some(c) = &collector {
+                eng.set_trace_sink(c.clone());
+            }
             let board = Arc::new(FeedbackBoard::for_policy(policy));
             let makespans = run_schedule(&mut eng, policy, 2, board.clone());
             let weights = board.weights(2);
@@ -232,6 +278,9 @@ fn main() {
         println!("\n-- MtEngine: the same driver on real OS threads (wall clock) --");
         for policy in [PolicyKind::Awf, PolicyKind::AwfC] {
             let mut eng = MtEngine::new(4);
+            if let Some(c) = &collector {
+                eng.set_trace_sink(c.clone());
+            }
             // Seed the board from a wall-clock probe of each worker's rate,
             // so the first wave already uses measured weights.
             let board = Arc::new(FeedbackBoard::for_policy(policy));
@@ -249,5 +298,8 @@ fn main() {
         }
     }
 
+    if let (Some(c), Some(path)) = (&collector, &trace_path) {
+        export_trace(c, path);
+    }
     println!("\nSame application code; only the engine (and its clock) changed.");
 }

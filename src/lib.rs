@@ -21,6 +21,8 @@
 //! * [`dps_mt`] — real OS-thread execution engine.
 //! * [`dps_netengine`] — multi-process execution engine: master + worker
 //!   kernels over real sockets, same SPMD driver code on every process.
+//! * [`dps_obs`] — tracing and metrics across all three engines: per-worker
+//!   event rings, Chrome-trace export, deterministic schedule hashes.
 //! * [`dps_linalg`] / [`dps_life`] / [`dps_sfs`] — the paper's application
 //!   substrates (block LU factorization, Game of Life, striped file system).
 //!
@@ -48,6 +50,7 @@ pub use dps_linalg as linalg;
 pub use dps_mt as mt;
 pub use dps_net as net;
 pub use dps_netengine as netengine;
+pub use dps_obs as obs;
 pub use dps_sched as sched;
 pub use dps_serial as serial;
 pub use dps_sfs as sfs;

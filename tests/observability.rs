@@ -1,0 +1,170 @@
+//! Observability across the engines: deterministic schedule hashes on the
+//! simulator, Chrome-trace export of the same scheduled application on all
+//! three backends, and the cross-cluster metrics the trace collector
+//! aggregates.
+//!
+//! The replay property is the load-bearing one: the simulator's event
+//! stream is part of its deterministic contract, so two runs of the same
+//! seeded configuration must produce **byte-identical** trace logs — which
+//! makes `schedule_hash` a one-word fingerprint of an entire schedule.
+
+use dps::cluster::ClusterSpec;
+use dps::core::{Engine, EngineConfig, SimEngine};
+use dps::linalg::parallel::lu::{run_lu, LuConfig};
+use dps::mt::MtEngine;
+use dps::netengine::NetEngine;
+use dps::obs::{
+    chrome_trace_json, schedule_hash, validate_chrome_trace, wire, Counter, TraceCollector,
+    TraceLog,
+};
+use dps::sched::{Distribution, PolicyKind};
+use proptest::prelude::*;
+
+/// Run the scheduled block LU on a fresh simulator with a trace sink and
+/// return the drained log.
+fn traced_sim_lu(nodes: usize, n: usize, seed: u64, dist: Distribution) -> TraceLog {
+    let collector = TraceCollector::new();
+    let mut eng =
+        SimEngine::with_config(ClusterSpec::skewed(nodes, 1, 2.0), EngineConfig::default());
+    eng.set_trace_sink(collector.clone());
+    run_lu(
+        &mut eng,
+        &LuConfig {
+            n,
+            r: 8,
+            pipelined: true,
+            seed,
+            nodes,
+            threads_per_node: 1,
+            dist,
+        },
+    )
+    .expect("traced LU run");
+    collector.take_log()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Replay identity: the same seeded configuration produces the same
+    /// event stream, byte for byte, and therefore the same schedule hash.
+    #[test]
+    fn sim_trace_replays_byte_identically(
+        nb in 2usize..5,
+        nodes in 1usize..4,
+        seed in any::<u64>(),
+        policy_idx in 0usize..6,
+    ) {
+        let dist = match PolicyKind::ALL[policy_idx] {
+            PolicyKind::Static => Distribution::Static,
+            k => Distribution::Scheduled(k),
+        };
+        let a = traced_sim_lu(nodes, nb * 8, seed, dist);
+        let b = traced_sim_lu(nodes, nb * 8, seed, dist);
+        prop_assert!(!a.events.is_empty(), "a traced run must record events");
+        prop_assert_eq!(
+            wire::encode_log(&a),
+            wire::encode_log(&b),
+            "replayed event streams diverged"
+        );
+        prop_assert_eq!(schedule_hash(&a), schedule_hash(&b));
+    }
+}
+
+/// Different scheduling policies drive different executions, so their
+/// schedule hashes must differ — the hash distinguishes schedules, not
+/// just workloads.
+#[test]
+fn schedule_hash_separates_policies() {
+    // 12 block columns over 2 workers: SS claims them one by one, TSS in
+    // decreasing runs — genuinely different schedules, different hashes.
+    let sched = |p| traced_sim_lu(2, 96, 7, Distribution::Scheduled(p));
+    let h_static = schedule_hash(&traced_sim_lu(2, 96, 7, Distribution::Static));
+    let h_ss = schedule_hash(&sched(PolicyKind::Ss));
+    let h_tss = schedule_hash(&sched(PolicyKind::Tss));
+    assert_ne!(h_static, h_ss, "static vs SS must hash apart");
+    assert_ne!(h_ss, h_tss, "SS vs TSS must hash apart");
+}
+
+/// The exported Chrome trace of a scheduled LU validates against the
+/// trace-event schema on every engine — simulator, OS threads, and the
+/// loopback network engine — with wave/op spans on real tracks.
+#[test]
+fn scheduled_lu_exports_a_loading_chrome_trace_on_all_engines() {
+    let cfg = LuConfig {
+        n: 32,
+        r: 8,
+        pipelined: true,
+        seed: 21,
+        nodes: 2,
+        threads_per_node: 1,
+        dist: Distribution::Scheduled(PolicyKind::Tss),
+    };
+    let check = |engine: &str, log: TraceLog| {
+        assert!(
+            !log.events.is_empty(),
+            "{engine}: traced run recorded no events"
+        );
+        let json = chrome_trace_json(&log);
+        let stats = validate_chrome_trace(&json)
+            .unwrap_or_else(|e| panic!("{engine}: invalid Chrome trace: {e}"));
+        assert!(stats.records > 0, "{engine}: empty traceEvents");
+        assert!(stats.op_spans > 0, "{engine}: no op spans");
+        assert!(stats.tracks >= 2, "{engine}: everything on one track");
+    };
+
+    let sim = TraceCollector::new();
+    let mut eng = SimEngine::with_config(ClusterSpec::skewed(2, 1, 2.0), EngineConfig::default());
+    eng.set_trace_sink(sim.clone());
+    run_lu(&mut eng, &cfg).expect("sim LU");
+    check("sim", sim.take_log());
+
+    let mt = TraceCollector::new();
+    let mut eng = MtEngine::new(2);
+    eng.set_trace_sink(mt.clone());
+    run_lu(&mut eng, &cfg).expect("mt LU");
+    eng.shutdown();
+    check("mt", mt.take_log());
+
+    let net = TraceCollector::new();
+    let mut eng = NetEngine::loopback(2);
+    eng.set_trace_sink(net.clone());
+    run_lu(&mut eng, &cfg).expect("net LU");
+    eng.shutdown();
+    check("net", net.take_log());
+}
+
+/// The collector's metrics registry aggregates the scheduling machinery's
+/// counters: a scheduled simulator run opens leases, claims chunks, and
+/// moves bytes over the modeled wire.
+#[test]
+fn metrics_count_the_scheduling_machinery() {
+    let collector = TraceCollector::new();
+    let mut eng = SimEngine::with_config(ClusterSpec::skewed(2, 1, 2.0), EngineConfig::default());
+    eng.set_trace_sink(collector.clone());
+    run_lu(
+        &mut eng,
+        &LuConfig {
+            n: 32,
+            r: 8,
+            pipelined: true,
+            seed: 3,
+            nodes: 2,
+            threads_per_node: 1,
+            dist: Distribution::Scheduled(PolicyKind::Fac),
+        },
+    )
+    .expect("LU run");
+    let m = collector.metrics();
+    assert!(m.get(Counter::LeasesOpened) > 0, "no leases opened");
+    assert!(
+        m.get(Counter::ChunkClaims) >= m.get(Counter::LeasesOpened),
+        "every lease is claimed from at least once"
+    );
+    assert!(m.get(Counter::WireBytesSent) > 0, "no modeled wire traffic");
+    assert_eq!(
+        m.get(Counter::FramesSent),
+        m.get(Counter::FramesRecv),
+        "the simulator delivers every frame it sends"
+    );
+}
