@@ -80,6 +80,7 @@ fn main() {
             nodes,
             threads_per_node: 1,
             dist: Distribution::Static,
+            update_chunks: 1,
         };
         let tp = run_lu_sim(
             calib::paper_cluster(nodes),

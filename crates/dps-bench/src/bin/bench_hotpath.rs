@@ -285,6 +285,7 @@ fn main() {
                 nodes: 2,
                 threads_per_node: 1,
                 dist,
+                update_chunks: 1,
             },
             EngineConfig::default(),
         )
@@ -338,6 +339,7 @@ fn main() {
                 nodes: 2,
                 threads_per_node: 1,
                 dist: Distribution::Scheduled(PolicyKind::Awf),
+                update_chunks: 1,
             },
         )
         .expect("traced LU run");
@@ -354,12 +356,18 @@ fn main() {
     // Environment metadata: what machine and engine shape produced the
     // numbers, so committed baselines are comparable across hosts.
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    // On a single hardware core the "contended" configurations time-slice
+    // instead of contending, so the throughput ratios say nothing about
+    // the lock-free design; the flag warns baseline readers and gates the
+    // speedup assertions below.
+    let single_core = cores <= 1;
     let timestamp_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let json = format!(
         "{{\n  \"suite\": \"bench_hotpath\",\n  \"smoke\": {smoke},\n  \
-         \"env\": {{\n    \"cores\": {cores},\n    \"engine\": \"sim\",\n    \
+         \"env\": {{\n    \"cores\": {cores},\n    \"single_core\": {single_core},\n    \
+         \"engine\": \"sim\",\n    \
          \"worker_counts\": [1, 4, 16, 64],\n    \
          \"timestamp_unix\": {timestamp_unix}\n  }},\n  \
          \"reports_per_thread\": {report_per_thread},\n  \
@@ -384,8 +392,12 @@ fn main() {
 
     // The acceptance bar this benchmark exists to defend: the sharded board
     // must beat the mutex board by >= 2x at 16 workers in full runs. Smoke
-    // runs only prove the harness executes.
-    if !smoke {
+    // runs only prove the harness executes, and single-core machines cannot
+    // produce real contention, so both skip the assertions.
+    if single_core {
+        println!("single-core machine: contention-speedup assertions skipped");
+    }
+    if !smoke && !single_core {
         let r16 = report_rows
             .iter()
             .find(|r| r.workers == 16)

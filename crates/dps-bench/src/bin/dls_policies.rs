@@ -179,6 +179,7 @@ fn main() {
                 nodes: 2,
                 threads_per_node: 1,
                 dist: dist_of(kind),
+                update_chunks: 1,
             },
             EngineConfig::default(),
         )
@@ -268,6 +269,7 @@ fn main() {
                 nodes: 2,
                 threads_per_node: 1,
                 dist: Distribution::Scheduled(PolicyKind::Awf),
+                update_chunks: 1,
             },
         )
         .expect("traced LU run");

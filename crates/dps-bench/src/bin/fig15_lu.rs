@@ -28,6 +28,7 @@ fn main() {
             nodes,
             threads_per_node: 1,
             dist: Distribution::Static,
+            update_chunks: 1,
         };
         let rep =
             run_lu_sim(calib::paper_cluster(nodes), &cfg, calib::engine_config()).expect("LU run");

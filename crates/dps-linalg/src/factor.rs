@@ -49,41 +49,13 @@ impl LuFactors {
 /// (`m ≥ r`), in place. This is the paper's step 1:
 /// `[A11; A21] = [L11; L21] · U11`.
 ///
-/// Returns the pivot record. Panics if the panel is singular to working
-/// precision (the experiment matrices are diagonally dominant).
+/// Runs the blocked panel kernel
+/// ([`kernel::panel_lu_blocked`](crate::kernel::panel_lu_blocked)), which
+/// is bitwise identical to the unblocked elimination — same pivots, same
+/// bits. Returns the pivot record. Panics if the panel is singular to
+/// working precision (the experiment matrices are diagonally dominant).
 pub fn panel_lu(panel: &mut Matrix) -> Vec<usize> {
-    let m = panel.rows();
-    let r = panel.cols();
-    assert!(m >= r, "panel must be at least as tall as wide");
-    let mut pivots = Vec::with_capacity(r);
-    for k in 0..r {
-        // Pivot search in column k, rows k..m.
-        let mut p = k;
-        let mut best = panel[(k, k)].abs();
-        for i in k + 1..m {
-            let v = panel[(i, k)].abs();
-            if v > best {
-                best = v;
-                p = i;
-            }
-        }
-        assert!(best > 0.0, "panel is singular at column {k}");
-        panel.swap_rows(k, p);
-        pivots.push(p);
-        // Eliminate below the diagonal.
-        let akk = panel[(k, k)];
-        for i in k + 1..m {
-            let lik = panel[(i, k)] / akk;
-            panel[(i, k)] = lik;
-            if lik != 0.0 {
-                for j in k + 1..r {
-                    let upd = lik * panel[(k, j)];
-                    panel[(i, j)] -= upd;
-                }
-            }
-        }
-    }
-    pivots
+    crate::kernel::panel_lu_blocked(panel)
 }
 
 /// Apply a pivot record (as produced by [`panel_lu`]) to the rows of `m`:
@@ -97,22 +69,12 @@ pub fn apply_row_swaps(m: &mut Matrix, pivots: &[usize], offset: usize) {
 
 /// Solve `L · X = B` in place of `B`, where `l` is unit lower triangular
 /// (only the strict lower part is read) — the BLAS `trsm` of step 2.
+///
+/// Runs the row-blocked kernel
+/// ([`kernel::trsm_blocked`](crate::kernel::trsm_blocked)), bitwise
+/// identical to plain forward substitution.
 pub fn trsm_lower_unit(l: &Matrix, b: &mut Matrix) {
-    let n = l.rows();
-    assert_eq!(l.cols(), n, "L must be square");
-    assert_eq!(b.rows(), n, "dimension mismatch");
-    let cols = b.cols();
-    for i in 0..n {
-        for k in 0..i {
-            let lik = l[(i, k)];
-            if lik != 0.0 {
-                for j in 0..cols {
-                    let upd = lik * b[(k, j)];
-                    b[(i, j)] -= upd;
-                }
-            }
-        }
-    }
+    crate::kernel::trsm_blocked(l, b);
 }
 
 /// Sequential block LU factorization with partial pivoting, block size `r`

@@ -9,6 +9,26 @@ pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
     2.0 * m as f64 * n as f64 * k as f64
 }
 
+/// Packing traffic of the blocked gemm kernel: both operands are copied
+/// once into panel layout (`m·k + k·n` moved elements), counted as one
+/// flop-equivalent each in the virtual-time cost model.
+pub fn gemm_pack(m: usize, n: usize, k: usize) -> f64 {
+    (m * k + k * n) as f64
+}
+
+/// Cost of one `m×k · k×n` product through [`crate::gemm`]'s dispatcher:
+/// the multiply-add count, plus the packing traffic exactly when the
+/// problem clears [`crate::kernel::BLOCK_THRESHOLD`] and runs the blocked
+/// kernel. Graph code charging gemm work must use this so virtual time
+/// tracks what the kernel actually does.
+pub fn gemm_cost(m: usize, n: usize, k: usize) -> f64 {
+    let mut cost = gemm(m, n, k);
+    if crate::kernel::uses_blocked(m, n, k) {
+        cost += gemm_pack(m, n, k);
+    }
+    cost
+}
+
 /// Rectangular panel LU with partial pivoting of an `m × r` panel
 /// (`m ≥ r`): `Σ_{j<r} 2·(m−j)·(r−j)` ≈ `m·r² − r³/3` flops (plus pivot
 /// searches, counted as one flop per comparison).
@@ -46,5 +66,17 @@ mod tests {
     #[test]
     fn trsm_count() {
         assert_eq!(trsm(4, 8), 128.0);
+    }
+
+    #[test]
+    fn blocked_cost_adds_packing_above_threshold_only() {
+        // 8³ = 512 < threshold: scalar path, no packing charge.
+        assert_eq!(gemm_cost(8, 8, 8), gemm(8, 8, 8));
+        // 64³ clears the threshold: packing traffic is charged.
+        assert_eq!(
+            gemm_cost(64, 64, 64),
+            gemm(64, 64, 64) + gemm_pack(64, 64, 64)
+        );
+        assert_eq!(gemm_pack(64, 64, 64), 2.0 * 64.0 * 64.0);
     }
 }

@@ -7,8 +7,12 @@
 //! kernels from scratch:
 //!
 //! * [`Matrix`] — dense row-major `f64` matrix with block extraction.
-//! * [`gemm`] / [`Matrix::matmul`] — general matrix multiply (the `ikj`
-//!   loop order, cache-friendly without blocking heroics).
+//! * [`gemm`] / [`Matrix::matmul`] — general matrix multiply, dispatching
+//!   between the scalar `ikj` fallback and the packed blocked kernel.
+//! * [`kernel`] — the cache-blocked microkernels (packed `MR×NR` gemm,
+//!   blocked trsm, blocked panel factorization) with a pinned accumulation
+//!   order: blocked and scalar paths produce identical bits, preserving
+//!   the cross-engine byte-identity contract.
 //! * [`panel_lu`] — rectangular LU factorization with partial pivoting of a
 //!   block column (paper step 1).
 //! * [`trsm_lower_unit`] — triangular solve `L₁₁·X = B` (paper step 2, the
@@ -26,6 +30,7 @@
 
 mod factor;
 pub mod flops;
+pub mod kernel;
 mod matrix;
 pub mod parallel;
 

@@ -196,32 +196,15 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 
 /// General matrix multiply: `C = alpha · A·B + beta · C`.
 ///
-/// Scalar `ikj` loop: the innermost loop runs down contiguous rows of `B`
-/// and `C`, which vectorizes well and matches the paper's "no optimized
-/// linear algebra library" setting.
+/// Dispatches to the packed blocked kernel
+/// ([`kernel::gemm_blocked`](crate::kernel::gemm_blocked)) above
+/// [`kernel::BLOCK_THRESHOLD`](crate::kernel::BLOCK_THRESHOLD) and to the
+/// scalar `ikj` fallback ([`kernel::gemm_scalar`](crate::kernel::gemm_scalar))
+/// below it. Both paths accumulate each element in the same ascending-`k`
+/// chain, so the result is bitwise independent of the dispatch decision —
+/// the determinism contract the cross-engine tests rely on.
 pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
-    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
-    assert_eq!(c.rows, a.rows, "C rows");
-    assert_eq!(c.cols, b.cols, "C cols");
-    if beta != 1.0 {
-        for v in &mut c.data {
-            *v *= beta;
-        }
-    }
-    let n = b.cols;
-    for i in 0..a.rows {
-        let c_row = &mut c.data[i * n..(i + 1) * n];
-        for k in 0..a.cols {
-            let aik = alpha * a.data[i * a.cols + k];
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &b.data[k * n..(k + 1) * n];
-            for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                *cv += aik * bv;
-            }
-        }
-    }
+    crate::kernel::gemm_auto(alpha, a, b, beta, c);
 }
 
 #[cfg(test)]

@@ -31,16 +31,37 @@
 //! Per-column task ordering is causal by construction: the step-`k+1` task
 //! for column `j` is only posted after the notification that column `j`
 //! finished step `k` was received.
+//!
+//! # Chunked trailing updates
+//!
+//! The trailing update — the `A_ij -= L21 · U_kj` gemm dominating each
+//! step — is no longer one monolithic task per block column. The column
+//! worker (`ColumnWork`) is a nested *split*: it performs the row flips
+//! and the `trsm`, then opens a [`dps_sched::ChunkHub`] lease
+//! over the column's tail *row blocks* and posts a wave of boundary-free
+//! [`UpdTicket`]s (the distributed chunk-calculation protocol of the
+//! `ScheduledSplit` machinery: tickets carry only the lease id, and each
+//! executor claims its `(start, len)` boundary locally — or over the wire
+//! on the distributed engine). A leaf (`UpdateWork`) claims one chunk
+//! per ticket and runs the partial gemm through the blocked kernel; a
+//! matching per-column merge (`ChunkMerge`) closes the wave on the
+//! column's owner and forwards exactly one final notification, so the
+//! step collectors see the same one-notify-per-column protocol as the
+//! unchunked schedule. [`LuConfig::update_chunks`] controls the
+//! granularity (1 = the legacy one-task-per-column shape). Chunks split
+//! the *row* dimension only, so every element's ascending-`k`
+//! accumulation chain is untouched and the factorization stays bitwise
+//! identical to the sequential reference at any granularity.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use dps_cluster::{default_mapping, ClusterSpec};
 use dps_core::prelude::*;
-use dps_core::sched::{build_placement, OwnerMap};
+use dps_core::sched::{build_placement, chunk_calc_cost, OwnerMap};
 use dps_core::{dps_token, Engine};
 use dps_des::SimSpan;
-use dps_sched::Distribution;
+use dps_sched::{Chunk, ChunkCalc, ChunkHub, Distribution, PolicyKind};
 use dps_serial::Buffer;
 
 use crate::factor::{panel_lu, trsm_lower_unit, LuFactors};
@@ -71,11 +92,32 @@ dps_token! {
 }
 
 dps_token! {
-    /// Notification that column `j` finished its step-`k` task. When `j` is
-    /// the next panel column (`j == k+1`), `panel` carries the column's
-    /// updated rows `(k+1)·r..n` so the collector can factor the next panel
-    /// without touching the owner's thread state.
-    pub struct LuNotify { pub k: u32, pub j: u32, pub r: u32, pub panel: Buffer<f64> }
+    /// Notification that a chunk of column `j`'s step-`k` work landed.
+    /// `done == 1` marks the column's *final* chunk — only then may the
+    /// collector post the column's step-`k+1` task; earlier chunks report
+    /// with `done == 0` so the merge accounting stays one-output-per-input
+    /// exact. When `j` is the next panel column (`j == k+1`), the final
+    /// notification's `panel` carries the column's updated rows
+    /// `(k+1)·r..n` so the collector can factor the next panel without
+    /// touching the owner's thread state.
+    pub struct LuNotify { pub k: u32, pub j: u32, pub r: u32, pub done: u32, pub panel: Buffer<f64> }
+}
+
+dps_token! {
+    /// Boundary-free trailing-update ticket: step `k`, column `j`, and the
+    /// [`ChunkHub`] lease the executor claims its row-block range from
+    /// (the distributed chunk-calculation protocol — tickets carry no
+    /// `start`/`len`). `chunks == 0` is a passthrough for tasks with no
+    /// trailing work (row flips, the panel store-back): the update leaf
+    /// forwards the column's notification unchanged.
+    pub struct UpdTicket {
+        pub k: u32,
+        pub j: u32,
+        pub nb: u32,
+        pub r: u32,
+        pub lease: u64,
+        pub chunks: u32,
+    }
 }
 
 dps_token! {
@@ -112,6 +154,12 @@ pub struct ColumnStore {
     pub cols: HashMap<u32, Matrix>,
     /// Pivot records per step (recorded by the owner of each panel).
     pub pivots: HashMap<u32, Vec<u32>>,
+    /// `L21` strips of in-flight chunked trailing updates, keyed `(k, j)`:
+    /// stashed by the column worker, consumed chunk by chunk, dropped with
+    /// the last chunk.
+    pub panels: HashMap<(u32, u32), Matrix>,
+    /// Chunks still outstanding per in-flight trailing update `(k, j)`.
+    pub pending: HashMap<(u32, u32), u32>,
 }
 
 /// Per-collector state (streams / step merges): the cached factored panel
@@ -160,17 +208,26 @@ fn step_tasks(k: u32, nb: u32, r: u32, panel: &[f64], pivots: &[u32]) -> Vec<LuT
     out
 }
 
-/// Execute one [`LuTask`] against the local column store; returns
-/// `(flop cost, panel rows for the k+1 notification if this column is the
-/// next panel)`.
-fn run_task(store: &mut ColumnStore, t: &LuTask) -> (f64, Vec<f64>) {
+/// What the head half of a column task produced.
+enum HeadOutcome {
+    /// No trailing work (row flips, store-back): the ticket passes straight
+    /// through to the notification.
+    Done { cost: f64 },
+    /// Flips + trsm done, the `L21` strip is stashed; the trailing update
+    /// covers `tail_blocks` row blocks awaiting chunked execution.
+    Update { cost: f64, tail_blocks: u64 },
+}
+
+/// Execute the head half of one [`LuTask`] against the local column store:
+/// everything except the trailing update (which [`run_update_chunk`] does
+/// chunk by chunk).
+fn run_head_task(store: &mut ColumnStore, t: &LuTask) -> HeadOutcome {
     let (k, j, nb, r) = (t.k as usize, t.j as usize, t.nb as usize, t.r as usize);
     let n = nb * r;
     let col = store
         .cols
         .get_mut(&t.j)
         .expect("task routed to the column owner");
-    let mut cost;
     if j == k {
         // Store-back: the collector factored this panel remotely. An empty
         // panel is the entry split's self-acknowledgement (it factored
@@ -181,40 +238,80 @@ fn run_task(store: &mut ColumnStore, t: &LuTask) -> (f64, Vec<f64>) {
             col.set_block(k * r, 0, &panel);
         }
         store.pivots.insert(t.k, t.pivots.to_vec());
-        return (t.panel.len() as f64, Vec::new());
+        return HeadOutcome::Done {
+            cost: t.panel.len() as f64,
+        };
     }
     // Row flips of this step's pivoting (offset k·r).
     for (idx, &p) in t.pivots.iter().enumerate() {
         col.swap_rows(k * r + idx, k * r + p as usize);
     }
-    cost = (t.pivots.len() * r) as f64;
-    if j > k {
-        let panel_rows = n - k * r;
-        let panel = Matrix::from_vec(panel_rows, r, t.panel.to_vec());
-        // trsm: U_kj = L11⁻¹ · A_kj.
-        let l11 = panel.block(0, 0, r, r);
-        let mut u_kj = col.block(k * r, 0, r, r);
-        trsm_lower_unit(&l11, &mut u_kj);
-        col.set_block(k * r, 0, &u_kj);
-        cost += flops::trsm(r, r);
-        // Trailing update of this column: A_ij -= L21 · U_kj.
-        let below = panel_rows - r;
-        if below > 0 {
-            let l21 = panel.block(r, 0, below, r);
-            let mut tail = col.block((k + 1) * r, 0, below, r);
-            gemm(-1.0, &l21, &u_kj, 1.0, &mut tail);
-            col.set_block((k + 1) * r, 0, &tail);
-            cost += flops::gemm(below, r, r);
+    let mut cost = (t.pivots.len() * r) as f64;
+    if j < k {
+        return HeadOutcome::Done { cost };
+    }
+    let panel_rows = n - k * r;
+    let panel = Matrix::from_vec(panel_rows, r, t.panel.to_vec());
+    // trsm: U_kj = L11⁻¹ · A_kj.
+    let l11 = panel.block(0, 0, r, r);
+    let mut u_kj = col.block(k * r, 0, r, r);
+    trsm_lower_unit(&l11, &mut u_kj);
+    col.set_block(k * r, 0, &u_kj);
+    cost += flops::trsm(r, r);
+    // Stash the L21 strip for the chunked trailing update (j > k implies
+    // k < nb−1, so the tail is non-empty).
+    let below = panel_rows - r;
+    store.panels.insert((t.k, t.j), panel.block(r, 0, below, r));
+    HeadOutcome::Update {
+        cost,
+        tail_blocks: (below / r) as u64,
+    }
+}
+
+/// Execute one claimed trailing-update chunk — row blocks
+/// `start..start+len` of the tail of column `j` at step `k` — through the
+/// blocked gemm kernel. Returns `(flop cost, column finished this step,
+/// panel rows for the k+1 notification if this column is the next panel)`.
+fn run_update_chunk(store: &mut ColumnStore, t: &UpdTicket, c: &Chunk) -> (f64, bool, Vec<f64>) {
+    let (k, j, nb, r) = (t.k as usize, t.j as usize, t.nb as usize, t.r as usize);
+    let n = nb * r;
+    let chunk_rows = c.len as usize * r;
+    let l21 = store
+        .panels
+        .get(&(t.k, t.j))
+        .expect("head stashed the L21 strip")
+        .block(c.start as usize * r, 0, chunk_rows, r);
+    let col = store
+        .cols
+        .get_mut(&t.j)
+        .expect("ticket routed to the column owner");
+    let u_kj = col.block(k * r, 0, r, r);
+    let row0 = (k + 1 + c.start as usize) * r;
+    let mut tail = col.block(row0, 0, chunk_rows, r);
+    // A_ij -= L21 · U_kj, restricted to this chunk's rows: splitting the
+    // row dimension never touches an element's k-accumulation chain.
+    gemm(-1.0, &l21, &u_kj, 1.0, &mut tail);
+    col.set_block(row0, 0, &tail);
+    let cost = flops::gemm_cost(chunk_rows, r, r);
+    let rem = store
+        .pending
+        .get_mut(&(t.k, t.j))
+        .expect("pending count for the in-flight update");
+    *rem -= 1;
+    let finished = *rem == 0;
+    let mut next_panel = Vec::new();
+    if finished {
+        store.pending.remove(&(t.k, t.j));
+        store.panels.remove(&(t.k, t.j));
+        // If this column becomes the next panel, ship its updated rows
+        // with the notification (zero network cost: the collector sits on
+        // this node).
+        if j == k + 1 {
+            let col = store.cols.get(&t.j).expect("column present");
+            next_panel = col.block((k + 1) * r, 0, n - (k + 1) * r, r).into_vec();
         }
     }
-    // If this column becomes the next panel, ship its updated rows with the
-    // notification (zero network cost: the collector sits on this node).
-    let next_panel = if j == k + 1 {
-        col.block((k + 1) * r, 0, n - (k + 1) * r, r).into_vec()
-    } else {
-        Vec::new()
-    };
-    (cost, next_panel)
+    (cost, finished, next_panel)
 }
 
 // --- operations ---------------------------------------------------------------
@@ -253,21 +350,125 @@ impl SplitOperation for StartSplit {
     }
 }
 
-/// Per-column worker (Fig. 12 b/d/f).
-struct ColumnWork;
-impl LeafOperation for ColumnWork {
+/// Per-column worker (Fig. 12 b/d/f), head half: row flips, trsm, and —
+/// for trailing updates — opening the chunk lease and posting the wave of
+/// boundary-free [`UpdTicket`]s that [`UpdateWork`] claims against. A
+/// *split*, because a trailing update fans out into `update_chunks`
+/// tickets; [`ChunkMerge`] closes each wave.
+struct ColumnWork {
+    hub: Arc<ChunkHub>,
+    chunks: u32,
+}
+impl SplitOperation for ColumnWork {
     type Thread = ColumnStore;
     type In = LuTask;
+    type Out = UpdTicket;
+    fn execute(&mut self, ctx: &mut OpCtx<'_, ColumnStore, UpdTicket>, t: LuTask) {
+        match run_head_task(ctx.thread(), &t) {
+            HeadOutcome::Done { cost } => {
+                ctx.charge_flops(cost);
+                ctx.post(UpdTicket {
+                    k: t.k,
+                    j: t.j,
+                    nb: t.nb,
+                    r: t.r,
+                    lease: u64::MAX,
+                    chunks: 0,
+                });
+            }
+            HeadOutcome::Update { cost, tail_blocks } => {
+                ctx.charge_flops(cost);
+                // Announce the tail's row blocks on the hub (forwarded to
+                // the master's hub on the distributed engine) and post one
+                // boundary-free ticket per chunk; the static partition
+                // keeps the chunk boundaries deterministic.
+                let lease = self.hub.open(ChunkCalc::new(
+                    PolicyKind::Static,
+                    tail_blocks,
+                    self.chunks.max(1) as usize,
+                    &[],
+                ));
+                ctx.thread().pending.insert((t.k, t.j), lease.chunks);
+                for _ in 0..lease.chunks {
+                    ctx.post(UpdTicket {
+                        k: t.k,
+                        j: t.j,
+                        nb: t.nb,
+                        r: t.r,
+                        lease: lease.id,
+                        chunks: lease.chunks,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Per-column worker, update half: claims one trailing-update chunk per
+/// ticket from the hub lease, runs the partial gemm, and posts one
+/// notification per chunk — marked final (`done == 1`) only when the last
+/// chunk of the column's step has landed.
+struct UpdateWork {
+    hub: Arc<ChunkHub>,
+}
+impl LeafOperation for UpdateWork {
+    type Thread = ColumnStore;
+    type In = UpdTicket;
     type Out = LuNotify;
-    fn execute(&mut self, ctx: &mut OpCtx<'_, ColumnStore, LuNotify>, t: LuTask) {
-        let (cost, panel) = run_task(ctx.thread(), &t);
+    fn execute(&mut self, ctx: &mut OpCtx<'_, ColumnStore, LuNotify>, t: UpdTicket) {
+        if t.chunks == 0 {
+            // Passthrough: flips / store-back finished in the head.
+            ctx.post(LuNotify {
+                k: t.k,
+                j: t.j,
+                r: t.r,
+                done: 1,
+                panel: Buffer::new(),
+            });
+            return;
+        }
+        let c = self
+            .hub
+            .claim(t.lease)
+            .expect("one chunk per posted ticket");
+        ctx.charge(chunk_calc_cost());
+        let (cost, finished, next_panel) = run_update_chunk(ctx.thread(), &t, &c);
         ctx.charge_flops(cost);
+        ctx.mark_chunk(c.len);
         ctx.post(LuNotify {
             k: t.k,
             j: t.j,
             r: t.r,
-            panel: panel.into(),
+            done: u32::from(finished),
+            panel: next_panel.into(),
         });
+    }
+}
+
+/// Closes the chunk wave [`ColumnWork`] opened: collects the per-chunk
+/// notifications of one column's step on the column's owner and forwards
+/// the single final one (`done == 1`, carrying the next panel when the
+/// column is `k+1`) — so the step collectors keep seeing exactly one
+/// notification per column, chunked or not.
+#[derive(Default)]
+struct ChunkMerge {
+    last: Option<LuNotify>,
+}
+impl MergeOperation for ChunkMerge {
+    type Thread = ColumnStore;
+    type In = LuNotify;
+    type Out = LuNotify;
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, ColumnStore, LuNotify>, n: LuNotify) {
+        if n.done == 1 {
+            self.last = Some(n);
+        }
+    }
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, ColumnStore, LuNotify>) {
+        ctx.post(
+            self.last
+                .take()
+                .expect("every chunk wave ends with a final notification"),
+        );
     }
 }
 
@@ -306,6 +507,7 @@ impl StreamOperation for StepStream {
     type Out = LuTask;
     fn consume(&mut self, ctx: &mut OpCtx<'_, PanelStore, LuTask>, n: LuNotify) {
         debug_assert_eq!(n.k, self.k);
+        debug_assert_eq!(n.done, 1, "ChunkMerge forwards only final notifications");
         let next = self.k + 1;
         if n.j == next {
             // The next panel column is up to date: factor it *now* on this
@@ -359,6 +561,7 @@ impl MergeOperation for StepMerge {
     type In = LuNotify;
     type Out = LuStart;
     fn consume(&mut self, _ctx: &mut OpCtx<'_, PanelStore, LuStart>, n: LuNotify) {
+        debug_assert_eq!(n.done, 1, "ChunkMerge forwards only final notifications");
         if n.j == self.k + 1 {
             self.panel_data = n.panel.into_vec();
         }
@@ -486,6 +689,12 @@ pub struct LuConfig {
     /// identical either way — only the placement (and hence the makespan
     /// on heterogeneous clusters) changes.
     pub dist: Distribution,
+    /// Sub-column chunks each trailing update is split into (clamped to
+    /// the column's tail row blocks): 1 reproduces the legacy
+    /// one-task-per-column granularity, larger values interleave a step's
+    /// columns at finer grain. The factorization is bitwise identical at
+    /// any setting — chunks split rows, never an accumulation chain.
+    pub update_chunks: u32,
 }
 
 /// Outcome of one LU run.
@@ -519,6 +728,11 @@ pub fn run_lu<E: Engine>(eng: &mut E, cfg: &LuConfig) -> Result<LuRunReport> {
 
     let app = eng.app("lu");
     eng.preload_app(app); // steady-state measurement, as in the paper
+                          // The hub the chunked trailing updates announce to and claim from —
+                          // process-local on the shared-memory engines, master-hosted with
+                          // forwarding handles on the distributed engine.
+    let hub = eng.chunk_hub();
+    let update_chunks = cfg.update_chunks.max(1);
     let worker_map = default_mapping(cfg.nodes, cfg.threads_per_node);
     let workers: ThreadCollection<ColumnStore> = eng.thread_collection(app, "cols", &worker_map)?;
     // The collectors (streams / step merges) live in their own collection,
@@ -570,10 +784,45 @@ pub fn run_lu<E: Engine>(eng: &mut E, cfg: &LuConfig) -> Result<LuRunReport> {
             ByKey::new(move |t: &LuTask| owners.owner(t.j as usize, p))
         }
     };
+    // Update tickets stay on their column's owner: the tail rows live in
+    // the owner's store, so chunking must not shed them elsewhere.
+    let ticket_route = {
+        let owners = Arc::clone(&owners);
+        move || {
+            let owners = Arc::clone(&owners);
+            ByKey::new(move |t: &UpdTicket| owners.owner(t.j as usize, p))
+        }
+    };
+    let head_of = |b: &mut GraphBuilder| {
+        let hub = Arc::clone(&hub);
+        b.split(&workers, owner_route.clone(), move || ColumnWork {
+            hub: Arc::clone(&hub),
+            chunks: update_chunks,
+        })
+    };
+    let upd_of = |b: &mut GraphBuilder| {
+        let hub = Arc::clone(&hub);
+        b.leaf(&workers, ticket_route.clone(), move || UpdateWork {
+            hub: Arc::clone(&hub),
+        })
+    };
+    // The chunk merge pins each column's wave to the column owner, so the
+    // whole chunked fan-out stays node-local; only the final notification
+    // travels to the step collector.
+    let notify_route = {
+        let owners = Arc::clone(&owners);
+        move || {
+            let owners = Arc::clone(&owners);
+            ByKey::new(move |n: &LuNotify| owners.owner(n.j as usize, p))
+        }
+    };
+    let cm_of = |b: &mut GraphBuilder| b.merge(&workers, notify_route.clone(), ChunkMerge::default);
     let mut prev = {
-        let w0 = b.leaf(&workers, owner_route.clone(), || ColumnWork);
-        b.add(entry >> w0);
-        w0
+        let w0 = head_of(&mut b);
+        let u0 = upd_of(&mut b);
+        let c0 = cm_of(&mut b);
+        b.add(entry >> w0 >> u0 >> c0);
+        c0
     };
     for k in 0..nb - 1 {
         if cfg.pipelined {
@@ -586,9 +835,11 @@ pub fn run_lu<E: Engine>(eng: &mut E, cfg: &LuConfig) -> Result<LuRunReport> {
                 },
                 StepStream::new(k, nb, r),
             );
-            let w = b.leaf(&workers, owner_route.clone(), || ColumnWork);
-            b.add(prev >> t >> w);
-            prev = w;
+            let w = head_of(&mut b);
+            let u = upd_of(&mut b);
+            let c = cm_of(&mut b);
+            b.add(prev >> t >> w >> u >> c);
+            prev = c;
         } else {
             let route = collector_of.clone();
             let m = b.merge(
@@ -608,9 +859,11 @@ pub fn run_lu<E: Engine>(eng: &mut E, cfg: &LuConfig) -> Result<LuRunReport> {
                 },
                 StepSplit::new(k + 1),
             );
-            let w = b.leaf(&workers, owner_route.clone(), || ColumnWork);
-            b.add(prev >> m >> sp >> w);
-            prev = w;
+            let w = head_of(&mut b);
+            let u = upd_of(&mut b);
+            let c = cm_of(&mut b);
+            b.add(prev >> m >> sp >> w >> u >> c);
+            prev = c;
         }
     }
     let m = b.merge(
@@ -757,6 +1010,7 @@ mod tests {
             nodes: 3,
             threads_per_node: 1,
             dist: Distribution::Static,
+            update_chunks: 1,
         });
     }
 
@@ -770,6 +1024,7 @@ mod tests {
             nodes: 3,
             threads_per_node: 1,
             dist: Distribution::Static,
+            update_chunks: 1,
         });
     }
 
@@ -783,6 +1038,7 @@ mod tests {
             nodes: 4,
             threads_per_node: 2,
             dist: Distribution::Static,
+            update_chunks: 1,
         });
     }
 
@@ -798,6 +1054,7 @@ mod tests {
             nodes: 2,
             threads_per_node: 1,
             dist: Distribution::Static,
+            update_chunks: 1,
         };
         let rep = check(&cfg);
         let nontrivial = rep
@@ -808,6 +1065,40 @@ mod tests {
             .filter(|&(i, &p)| p != i)
             .count();
         assert!(nontrivial > 0, "test matrix should force row swaps");
+    }
+
+    #[test]
+    fn chunked_trailing_updates_are_byte_identical() {
+        // Chunking splits rows, never an accumulation chain: the packed
+        // factors must match the sequential reference bit for bit at every
+        // granularity (including chunk counts beyond the tail's blocks).
+        let (n, r) = (64usize, 8usize);
+        let a = Matrix::random_general(n, n, 13);
+        let reference = blocked_lu(&a, r);
+        for chunks in [1u32, 2, 3, 7, 16] {
+            for pipelined in [true, false] {
+                let cfg = LuConfig {
+                    n,
+                    r,
+                    pipelined,
+                    seed: 13,
+                    nodes: 3,
+                    threads_per_node: 1,
+                    dist: Distribution::Static,
+                    update_chunks: chunks,
+                };
+                let spec = ClusterSpec::paper_testbed(cfg.nodes);
+                let rep = run_lu_sim(spec, &cfg, EngineConfig::default()).unwrap();
+                assert_eq!(
+                    rep.factors.pivots, reference.pivots,
+                    "pivots diverged: chunks={chunks} pipelined={pipelined}"
+                );
+                assert_eq!(
+                    rep.factors.lu, reference.lu,
+                    "bits diverged: chunks={chunks} pipelined={pipelined}"
+                );
+            }
+        }
     }
 
     fn timed(spec: ClusterSpec, cfg: &LuConfig) -> SimSpan {
@@ -829,6 +1120,7 @@ mod tests {
             nodes: 4,
             threads_per_node: 1,
             dist: Distribution::Static,
+            update_chunks: 1,
         };
         let spec = ClusterSpec::paper_testbed(4);
         let t_pipe = timed(spec.clone(), &mk(true));
@@ -849,6 +1141,7 @@ mod tests {
             nodes,
             threads_per_node: 1,
             dist: Distribution::Static,
+            update_chunks: 1,
         };
         let t1 = timed(ClusterSpec::paper_testbed(1), &mk(1));
         let t4 = timed(ClusterSpec::paper_testbed(4), &mk(4));

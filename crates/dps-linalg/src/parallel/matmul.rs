@@ -180,7 +180,7 @@ impl LeafOperation for MultiplyBlock {
     fn execute(&mut self, ctx: &mut OpCtx<'_, (), BlockResult>, t: BlockTask) {
         let bs = t.bs as usize;
         let s = t.a.len() / (bs * bs);
-        ctx.charge_flops((0..s).map(|_| flops::gemm(bs, bs, bs)).sum());
+        ctx.charge_flops((0..s).map(|_| flops::gemm_cost(bs, bs, bs)).sum());
         let c = multiply_packed(t.a.as_slice(), t.b.as_slice(), bs);
         ctx.post(BlockResult {
             i: t.i,
@@ -317,7 +317,7 @@ impl LeafOperation for ComputeStored {
             .remove(&(o.i, o.j))
             .expect("store phase completed before compute phase");
         let s = a.len() / (bs * bs);
-        ctx.charge_flops((0..s).map(|_| flops::gemm(bs, bs, bs)).sum());
+        ctx.charge_flops((0..s).map(|_| flops::gemm_cost(bs, bs, bs)).sum());
         let c = multiply_packed(&a, &b, bs);
         ctx.post(BlockResult {
             i: o.i,

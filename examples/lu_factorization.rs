@@ -30,6 +30,7 @@ fn main() {
         nodes: 4,
         threads_per_node: 1,
         dist: Distribution::Static,
+        update_chunks: 1,
     };
 
     let spec = ClusterSpec::paper_testbed(4);
@@ -82,6 +83,7 @@ fn main() {
         nodes: 2,
         threads_per_node: 1,
         dist,
+        update_chunks: 1,
     };
     let stat = run_lu_sim(
         skewed.clone(),

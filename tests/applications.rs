@@ -55,6 +55,7 @@ fn lu_matches_sequential_reference_everywhere() {
                 nodes,
                 threads_per_node: 1,
                 dist: Distribution::Static,
+                update_chunks: 1,
             };
             let rep = run_lu_sim(
                 ClusterSpec::paper_testbed(nodes),

@@ -281,6 +281,7 @@ fn scheduled_lu_runs_on_netengine_across_processes() {
         nodes: 3,
         threads_per_node: 1,
         dist: Distribution::Scheduled(PolicyKind::Tss),
+        update_chunks: 1,
     };
     let mut eng = NetEngine::from_env(
         3,
@@ -315,6 +316,7 @@ fn lu_runs_on_real_threads_via_the_generic_driver() {
         nodes: 2,
         threads_per_node: 1,
         dist: Distribution::Static,
+        update_chunks: 1,
     };
     let mut eng = MtEngine::new(2);
     let rep = run_lu(&mut eng, &cfg).unwrap();
@@ -327,6 +329,56 @@ fn lu_runs_on_real_threads_via_the_generic_driver() {
         rep.factors.lu, reference.lu,
         "factors must agree bit for bit"
     );
+}
+
+/// Chunked trailing updates across all three engines: splitting each
+/// column's trailing gemm into sub-column chunks — claimed ticket by
+/// ticket from the chunk hub (over the wire on the net engine) — must
+/// leave the factorization byte-identical to the sequential block
+/// reference on the simulator, on OS threads, and on the multi-process
+/// wire protocol alike.
+#[test]
+fn chunked_lu_is_byte_identical_across_engines() {
+    use dps::linalg::parallel::lu::{run_lu, LuConfig};
+    use dps::linalg::{blocked_lu, Matrix};
+    use dps::sched::Distribution;
+
+    let cfg = LuConfig {
+        n: 48,
+        r: 8,
+        pipelined: true,
+        seed: 17,
+        nodes: 3,
+        threads_per_node: 1,
+        dist: Distribution::Static,
+        update_chunks: 3,
+    };
+    let a = Matrix::random_general(cfg.n, cfg.n, cfg.seed);
+    let reference = blocked_lu(&a, cfg.r);
+
+    let sim = {
+        let mut eng = SimEngine::new(ClusterSpec::paper_testbed(cfg.nodes));
+        run_lu(&mut eng, &cfg).unwrap()
+    };
+    let mt = {
+        let mut eng = MtEngine::new(cfg.nodes);
+        let rep = run_lu(&mut eng, &cfg).unwrap();
+        eng.shutdown();
+        rep
+    };
+    let net = {
+        let mut eng = NetEngine::loopback(cfg.nodes);
+        let rep = run_lu(&mut eng, &cfg).unwrap();
+        eng.shutdown();
+        rep
+    };
+    for (name, rep) in [("sim", &sim), ("mt", &mt), ("net", &net)] {
+        assert_eq!(
+            rep.factors.pivots, reference.pivots,
+            "{name} pivots diverged"
+        );
+        assert_eq!(rep.factors.lu, reference.lu, "{name} factor bits diverged");
+    }
 }
 
 /// Block matmul through the generic `run_matmul` entry point on OS threads.

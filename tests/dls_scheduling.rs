@@ -209,6 +209,7 @@ fn skewed_lu(dist: Distribution) -> LuConfig {
         nodes: 2,
         threads_per_node: 1,
         dist,
+        update_chunks: 1,
     }
 }
 

@@ -37,6 +37,7 @@ fn traced_sim_lu(nodes: usize, n: usize, seed: u64, dist: Distribution) -> Trace
             nodes,
             threads_per_node: 1,
             dist,
+            update_chunks: 1,
         },
     )
     .expect("traced LU run");
@@ -99,6 +100,7 @@ fn scheduled_lu_exports_a_loading_chrome_trace_on_all_engines() {
         nodes: 2,
         threads_per_node: 1,
         dist: Distribution::Scheduled(PolicyKind::Tss),
+        update_chunks: 1,
     };
     let check = |engine: &str, log: TraceLog| {
         assert!(
@@ -152,6 +154,7 @@ fn metrics_count_the_scheduling_machinery() {
             nodes: 2,
             threads_per_node: 1,
             dist: Distribution::Scheduled(PolicyKind::Fac),
+            update_chunks: 1,
         },
     )
     .expect("LU run");

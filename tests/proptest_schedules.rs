@@ -230,6 +230,7 @@ proptest! {
             nodes,
             threads_per_node: 1,
             dist: Distribution::Static,
+            update_chunks: 1,
         };
         let rep = run_lu_sim(
             ClusterSpec::paper_testbed(nodes),
