@@ -89,6 +89,15 @@ fn dist_of(kind: PolicyKind) -> Distribution {
     }
 }
 
+/// Write an artifact, failing with a diagnostic instead of a panic when the
+/// path is unwritable (e.g. `--csv-out=missing-dir/file.csv` in CI).
+fn write_artifact(what: &str, path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("dls_policies: cannot write {what} to {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let csv = csv_mode();
     let out_path = csv_out();
@@ -250,7 +259,7 @@ fn main() {
     );
 
     if let Some(path) = out_path {
-        std::fs::write(&path, csv_buf.join("\n") + "\n").expect("write CSV artifact");
+        write_artifact("CSV artifact", &path, &(csv_buf.join("\n") + "\n"));
         println!("\nCSV written to {path}");
     }
 
@@ -274,7 +283,7 @@ fn main() {
         )
         .expect("traced LU run");
         let log = collector.take_log();
-        std::fs::write(&path, dps_obs::chrome_trace_json(&log)).expect("write Chrome trace");
+        write_artifact("Chrome trace", &path, &dps_obs::chrome_trace_json(&log));
         println!(
             "\nChrome trace of scheduled LU: {} events, schedule hash {:016x}, written to {path}",
             log.events.len(),

@@ -197,6 +197,10 @@ struct Rt {
     trace: Option<SimTrace>,
     /// Flow ids linking each `TokenEnqueue` to its `TokenDeliver`.
     next_flow: u64,
+    /// Seeded network fault injection (simulation testing): consulted once
+    /// per cross-node transfer, perturbing delivery timing and wire cost —
+    /// never payloads (the modeled transport is reliable).
+    faults: Option<dps_net::FaultInjector>,
 }
 
 struct SimTrace {
@@ -334,6 +338,7 @@ impl SimEngine {
             requeued: 0,
             trace: None,
             next_flow: 0,
+            faults: None,
         };
         let mut sim = Sim::new(rt);
         for i in 0..n {
@@ -615,123 +620,22 @@ impl SimEngine {
     /// or merge waves whose partial state lived on the dead node — surfaces
     /// as [`DpsError::NodeDown`].
     pub fn fail_node(&mut self, node: NodeId) -> Result<()> {
-        self.sim.world.cluster.fail_node(node);
-        let now = self.sim.now();
-        self.sim.world.trace_on(
-            now,
-            node.0 as u16,
-            0,
-            EventKind::NodeDown {
-                node: node.0 as u16,
-            },
-        );
-        self.sim.world.trace_add(Counter::NodesDown, 1);
-        if let Some(sink) = self.sim.world.feedback.clone() {
-            // FeedbackSink worker indices are *thread indices within the
-            // reporting collection* (what `report_chunk` reports), so only
-            // collections that have actually fed the sink are consulted —
-            // an unrelated collection hosted on the dead node must not wipe
-            // a live worker that happens to share a thread index.
-            let mut lost: Vec<usize> = Vec::new();
-            for &(app, tc) in &self.sim.world.feedback_tcs {
-                let tc = &self.sim.world.apps[app as usize].tcs[tc as usize];
-                for (thread, &host) in tc.nodes.iter().enumerate() {
-                    if host == node && !lost.contains(&thread) {
-                        lost.push(thread);
-                    }
-                }
-            }
-            for worker in lost {
-                sink.worker_lost(worker);
-            }
-        }
-        // Drain every queue of every thread hosted on the dead node.
-        // Tokens re-route first — a fresh merge wave's first re-routed
-        // token re-pins the wave to a live thread — and wave-close messages
-        // re-deliver after, so they follow their wave to its new home.
-        let mut tokens: Vec<(u32, Delivery)> = Vec::new();
-        let mut closes: Vec<(u32, Delivery)> = Vec::new();
-        for (app_idx, app) in self.sim.world.apps.iter_mut().enumerate() {
-            for tc in &mut app.tcs {
-                for (thread, rt) in tc.threads.iter_mut().enumerate() {
-                    if tc.nodes[thread] == node {
-                        rt.assigned = 0;
-                        for d in rt.queue.drain(..) {
-                            match d.payload {
-                                Payload::Token(_) => tokens.push((app_idx as u32, d)),
-                                Payload::Close { .. } => closes.push((app_idx as u32, d)),
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        let stranded = tokens.len() as u32;
-        if stranded > 0 {
-            self.sim.world.trace_on(
-                now,
-                node.0 as u16,
-                0,
-                EventKind::Requeue { tokens: stranded },
-            );
-            self.sim.world.trace_add(Counter::Requeues, stranded as u64);
-        }
-        for (app, d) in tokens {
-            let Payload::Token(token) = d.payload else {
-                unreachable!("partitioned above");
-            };
-            self.sim.world.requeued += 1;
-            let src = self.sim.world.apps[app as usize].home;
-            route_and_send(&mut self.sim, app, d.graph, d.node, src, token, d.env);
-        }
-        for (app, d) in closes {
-            let Payload::Close { total } = d.payload else {
-                unreachable!("partitioned above");
-            };
-            let key = d
-                .env
-                .wave_key()
-                .expect("close envelopes carry the wave frame");
-            // Recoverable iff the wave's partial state did not die with the
-            // node: the wave moved (re-pinned by a re-routed token), sits on
-            // a live thread, or has not materialized yet (the close then
-            // parks in pending_closes until it does).
-            let wave_host_alive = {
-                let wave_at = self
-                    .sim
-                    .world
-                    .graph(app, d.graph)
-                    .waves
-                    .get(&key)
-                    .map(|w| (w.thread, w.node));
-                match wave_at {
-                    Some((thread, wave_node)) => {
-                        let tc = self.sim.world.graph(app, d.graph).def.node(wave_node).tc;
-                        let host = self.sim.world.apps[app as usize].tcs[tc as usize].nodes
-                            [thread as usize];
-                        self.sim.world.cluster.is_alive(host)
-                    }
-                    None => true,
-                }
-            };
-            if wave_host_alive {
-                self.sim.world.requeued += 1;
-                deliver_close(&mut self.sim, app, d.graph, d.env, total);
-            } else {
-                let name = self.sim.world.cluster.spec().node(node).name.clone();
-                let target = {
-                    let g = self.sim.world.graph(app, d.graph);
-                    g.def.node(d.node).name.clone()
-                };
-                self.sim
-                    .world
-                    .fail(DpsError::NodeDown { node: name, target });
-            }
-        }
+        fail_node_internal(&mut self.sim, node);
         if let Some(e) = self.sim.world.fatal.take() {
             return Err(e);
         }
         Ok(())
+    }
+
+    /// Schedule a [`fail_node`](Self::fail_node) at virtual time `at` —
+    /// the simulation-testing harness's way of killing a node *mid-wave*,
+    /// between whatever deliveries happen to straddle that instant. Errors
+    /// the failure provokes surface from the enclosing
+    /// [`run_until_idle`](Self::run_until_idle) / [`step_once`](Self::step_once).
+    pub fn schedule_fail_node(&mut self, at: SimTime, node: NodeId) {
+        let at = at.max(self.sim.now());
+        self.sim
+            .schedule_at(at, move |sim| fail_node_internal(sim, node));
     }
 
     /// Deliveries re-routed away from failed nodes so far.
@@ -776,11 +680,188 @@ impl SimEngine {
             .as_ref()
             .map(|t| Arc::clone(&t.collector))
     }
+
+    /// Perturb delivery interleaving: install a seeded tie-break on the
+    /// event queue so simultaneous events fire in a deterministic *shuffled*
+    /// order instead of scheduling order. Events at different instants are
+    /// untouched (causality holds); the same seed replays the same
+    /// interleaving exactly. This is the simulation-testing harness's
+    /// cheapest perturbation — it explores the orderings a real concurrent
+    /// engine could exhibit without moving a single virtual timestamp.
+    pub fn set_delivery_shuffle(&mut self, seed: u64) {
+        let mut rng = dps_des::SplitMix64::new(seed);
+        self.sim.set_tie_break(move |seq| rng.next_u64() ^ seq);
+    }
+
+    /// Inject seeded network faults: every cross-node transfer consults a
+    /// [`dps_net::FaultInjector`], which may add retransmit timeouts
+    /// (modeled drops), delay jitter, or duplicate wire copies. The modeled
+    /// transport stays reliable — payloads are never lost or corrupted — so
+    /// outputs must remain byte-identical; only timing, interleaving and
+    /// wire cost move. Each injected fault leaves an
+    /// [`EventKind::Fault`] breadcrumb on the trace.
+    pub fn set_net_faults(&mut self, cfg: dps_net::FaultConfig, seed: u64) {
+        self.sim.world.faults = if cfg.is_none() {
+            None
+        } else {
+            Some(dps_net::FaultInjector::new(cfg, seed))
+        };
+    }
+
+    /// `(transfers consulted, transfers perturbed)` by the active fault
+    /// injector, if one is installed.
+    pub fn net_fault_stats(&self) -> Option<(u64, u64)> {
+        self.sim
+            .world
+            .faults
+            .as_ref()
+            .map(|f| (f.decisions(), f.faults()))
+    }
+
+    /// Deliveries sitting in thread queues right now — zero once the engine
+    /// is idle (the no-stranded-deliveries invariant; `run_until_idle`
+    /// reports the stuck waves themselves, this counts the raw queue
+    /// residue).
+    pub fn queued_deliveries(&self) -> usize {
+        self.sim
+            .world
+            .apps
+            .iter()
+            .flat_map(|a| &a.tcs)
+            .flat_map(|tc| &tc.threads)
+            .map(|t| t.queue.len())
+            .sum()
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Execution internals (free functions over Sim<Rt>).
 // ---------------------------------------------------------------------------
+
+/// The body of [`SimEngine::fail_node`], callable from a scheduled event
+/// (errors land in `world.fatal` and surface from the run loop).
+fn fail_node_internal(sim: &mut Sim<Rt>, node: NodeId) {
+    sim.world.cluster.fail_node(node);
+    let now = sim.now();
+    sim.world.trace_on(
+        now,
+        node.0 as u16,
+        0,
+        EventKind::NodeDown {
+            node: node.0 as u16,
+        },
+    );
+    sim.world.trace_add(Counter::NodesDown, 1);
+    if let Some(sink) = sim.world.feedback.clone() {
+        // FeedbackSink worker indices are *thread indices within the
+        // reporting collection* (what `report_chunk` reports), so only
+        // collections that have actually fed the sink are consulted —
+        // an unrelated collection hosted on the dead node must not wipe
+        // a live worker that happens to share a thread index.
+        let mut lost: Vec<usize> = Vec::new();
+        for &(app, tc) in &sim.world.feedback_tcs {
+            let tc = &sim.world.apps[app as usize].tcs[tc as usize];
+            for (thread, &host) in tc.nodes.iter().enumerate() {
+                if host == node && !lost.contains(&thread) {
+                    lost.push(thread);
+                }
+            }
+        }
+        for worker in lost {
+            sink.worker_lost(worker);
+        }
+    }
+    // Drain every queue of every thread hosted on the dead node.
+    // Tokens re-route first — a fresh merge wave's first re-routed
+    // token re-pins the wave to a live thread — and wave-close messages
+    // re-deliver after, so they follow their wave to its new home.
+    let mut tokens: Vec<(u32, Delivery)> = Vec::new();
+    let mut closes: Vec<(u32, Delivery)> = Vec::new();
+    for (app_idx, app) in sim.world.apps.iter_mut().enumerate() {
+        for tc in &mut app.tcs {
+            for (thread, rt) in tc.threads.iter_mut().enumerate() {
+                if tc.nodes[thread] == node {
+                    rt.assigned = 0;
+                    for d in rt.queue.drain(..) {
+                        match d.payload {
+                            Payload::Token(_) => tokens.push((app_idx as u32, d)),
+                            Payload::Close { .. } => closes.push((app_idx as u32, d)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let stranded = tokens.len() as u32;
+    if stranded > 0 {
+        sim.world.trace_on(
+            now,
+            node.0 as u16,
+            0,
+            EventKind::Requeue { tokens: stranded },
+        );
+        sim.world.trace_add(Counter::Requeues, stranded as u64);
+    }
+    // The kill itself leaves a breadcrumb even when nothing was stranded —
+    // a perturbed run's Chrome trace shows *where* the harness struck.
+    sim.world.trace_on(
+        now,
+        node.0 as u16,
+        0,
+        EventKind::Fault {
+            code: dps_obs::fault_code::NODE_KILL,
+            detail: stranded as u64,
+        },
+    );
+    for (app, d) in tokens {
+        let Payload::Token(token) = d.payload else {
+            unreachable!("partitioned above");
+        };
+        sim.world.requeued += 1;
+        let src = sim.world.apps[app as usize].home;
+        route_and_send(sim, app, d.graph, d.node, src, token, d.env);
+    }
+    for (app, d) in closes {
+        let Payload::Close { total } = d.payload else {
+            unreachable!("partitioned above");
+        };
+        let key = d
+            .env
+            .wave_key()
+            .expect("close envelopes carry the wave frame");
+        // Recoverable iff the wave's partial state did not die with the
+        // node: the wave moved (re-pinned by a re-routed token), sits on
+        // a live thread, or has not materialized yet (the close then
+        // parks in pending_closes until it does).
+        let wave_host_alive = {
+            let wave_at = sim
+                .world
+                .graph(app, d.graph)
+                .waves
+                .get(&key)
+                .map(|w| (w.thread, w.node));
+            match wave_at {
+                Some((thread, wave_node)) => {
+                    let tc = sim.world.graph(app, d.graph).def.node(wave_node).tc;
+                    let host = sim.world.apps[app as usize].tcs[tc as usize].nodes[thread as usize];
+                    sim.world.cluster.is_alive(host)
+                }
+                None => true,
+            }
+        };
+        if wave_host_alive {
+            sim.world.requeued += 1;
+            deliver_close(sim, app, d.graph, d.env, total);
+        } else {
+            let name = sim.world.cluster.spec().node(node).name.clone();
+            let target = {
+                let g = sim.world.graph(app, d.graph);
+                g.def.node(d.node).name.clone()
+            };
+            sim.world.fail(DpsError::NodeDown { node: name, target });
+        }
+    }
+}
 
 fn inject_internal(
     sim: &mut Sim<Rt>,
@@ -959,10 +1040,59 @@ fn route_and_send(
     } else {
         None
     };
-    let plan = sim
+    let mut plan = sim
         .world
         .cluster
         .deliver_token(now, app_id, src, dst, bytes);
+    // Seeded fault injection: drops become retransmit timeouts, delays add
+    // jitter, duplicates cost wire bytes — the payload itself always
+    // arrives (reliable transport), so correctness invariants still bind.
+    if src != dst {
+        if let Some(inj) = &mut sim.world.faults {
+            let d = inj.decide();
+            if d.faulted() {
+                plan.delivered += d.extra_delay;
+                let extra_copies = (d.retransmits + d.duplicates) as u64;
+                if extra_copies > 0 && plan.wire_bytes > 0 {
+                    sim.world
+                        .trace_add(Counter::WireBytesSent, extra_copies * plan.wire_bytes);
+                }
+                if d.retransmits > 0 {
+                    sim.world.trace_on(
+                        now,
+                        src.0 as u16,
+                        0,
+                        EventKind::Fault {
+                            code: dps_obs::fault_code::NET_DROP,
+                            detail: d.retransmits as u64,
+                        },
+                    );
+                }
+                if d.duplicates > 0 {
+                    sim.world.trace_on(
+                        now,
+                        src.0 as u16,
+                        0,
+                        EventKind::Fault {
+                            code: dps_obs::fault_code::NET_DUP,
+                            detail: d.duplicates as u64,
+                        },
+                    );
+                }
+                if d.extra_delay > SimSpan::ZERO && d.retransmits == 0 {
+                    sim.world.trace_on(
+                        now,
+                        src.0 as u16,
+                        0,
+                        EventKind::Fault {
+                            code: dps_obs::fault_code::NET_DELAY,
+                            detail: d.extra_delay.as_nanos(),
+                        },
+                    );
+                }
+            }
+        }
+    }
     // Bridge the network model's transfer accounting into the trace: one
     // FrameSend/FrameRecv pair per cross-node hop, with the model's own
     // wire-byte count (payload + DPS header), so the trace metrics agree

@@ -14,17 +14,26 @@ pub struct EventId(pub(crate) u64);
 /// scheduler), so handlers can mutate state and schedule follow-up events.
 type EventFn<S> = Box<dyn FnOnce(&mut Sim<S>)>;
 
+/// Tie-break key generator: maps an event's scheduling sequence number to
+/// the key that orders it against other events at the *same instant*.
+/// Identity (the default) preserves FIFO ties; a seeded permutation turns
+/// every same-time tie into a deterministic interleaving choice.
+type TieBreakFn = Box<dyn FnMut(u64) -> u64>;
+
 struct Entry<S> {
     at: SimTime,
+    key: u64,
     seq: u64,
     id: EventId,
     f: EventFn<S>,
 }
 
-// Ordering for the max-heap wrapped in Reverse: earliest (time, seq) first.
+// Ordering for the max-heap wrapped in Reverse: earliest (time, key, seq)
+// first. `key == seq` unless a tie-break hook is installed, so the default
+// order is pure scheduling order.
 impl<S> PartialEq for Entry<S> {
     fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
+        (self.at, self.key, self.seq) == (other.at, other.key, other.seq)
     }
 }
 impl<S> Eq for Entry<S> {}
@@ -35,7 +44,7 @@ impl<S> PartialOrd for Entry<S> {
 }
 impl<S> Ord for Entry<S> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.key, self.seq).cmp(&(other.at, other.key, other.seq))
     }
 }
 
@@ -91,6 +100,7 @@ pub struct Sim<S> {
     next_event: u64,
     heap: BinaryHeap<Reverse<Entry<S>>>,
     cancelled: HashSet<EventId>,
+    tie_break: Option<TieBreakFn>,
     pub(crate) pools: PoolTable<S>,
 }
 
@@ -104,8 +114,26 @@ impl<S> Sim<S> {
             next_event: 0,
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
+            tie_break: None,
             pools: PoolTable::new(),
         }
+    }
+
+    /// Install a tie-break ordering hook: for every scheduled event the hook
+    /// maps its sequence number to the key that orders it among events at
+    /// the **same instant** (the full order is `(time, key, seq)`). Events
+    /// at different times are unaffected, so causality holds; events already
+    /// in the heap keep their keys. Since the hook sees only the scheduling
+    /// sequence, a pure function of a seed makes the perturbed order exactly
+    /// reproducible — the simulation-testing harness uses this to explore
+    /// delivery interleavings without giving up replay.
+    pub fn set_tie_break(&mut self, f: impl FnMut(u64) -> u64 + 'static) {
+        self.tie_break = Some(Box::new(f));
+    }
+
+    /// Remove the tie-break hook: subsequent ties fire in scheduling order.
+    pub fn clear_tie_break(&mut self) {
+        self.tie_break = None;
     }
 
     /// Current virtual time.
@@ -133,8 +161,13 @@ impl<S> Sim<S> {
         self.next_event += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
+        let key = match &mut self.tie_break {
+            Some(hook) => hook(seq),
+            None => seq,
+        };
         self.heap.push(Reverse(Entry {
             at,
+            key,
             seq,
             id,
             f: Box::new(f),
@@ -244,6 +277,38 @@ mod tests {
         }
         sim.run();
         assert_eq!(sim.world, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tie_break_hook_permutes_same_time_events_deterministically() {
+        use crate::SplitMix64;
+        let run = |seed: u64| {
+            let mut sim = Sim::new(Vec::new());
+            let mut rng = SplitMix64::new(seed);
+            sim.set_tie_break(move |seq| rng.next_u64() ^ seq);
+            for i in 0..100 {
+                sim.schedule_at(SimTime(5), move |s| s.world.push(i));
+            }
+            // Different instants still fire in time order regardless of keys.
+            sim.schedule_at(SimTime(1), |s| s.world.push(-1));
+            sim.run();
+            sim.world
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed must replay the same interleaving");
+        assert_ne!(
+            a,
+            run(43),
+            "a different seed should find a different tie order"
+        );
+        assert_eq!(a[0], -1, "the earlier event fires first under any keys");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (-1..100).collect::<Vec<_>>(),
+            "a permutation, no loss"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Engine lifecycle: declaration phase, thread spawning, run driving.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -9,7 +9,7 @@ use dps_sched::FeedbackSink;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use crossbeam::utils::CachePadded;
-use dps_cluster::{resolve_mapping, ClusterSpec};
+use dps_cluster::{resolve_mapping, ClusterSpec, NodeId};
 use dps_core::{
     downcast, register_token, DpsError, GraphBuilder, Result, ThreadData, Token, TokenBox,
     TokenRegistry,
@@ -378,6 +378,13 @@ impl MtEngine {
             node_flops: self.node_flops,
             remote: self.remote.clone(),
             trace: self.trace.clone(),
+            dead: (0..self.spec.len())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            node_names: (0..self.spec.len())
+                .map(|i| self.spec.node(NodeId(i as u32)).name.clone())
+                .collect(),
+            feedback_tcs: Mutex::new(Vec::new()),
         });
         // Spawn one OS thread per DPS thread.
         for (app_idx, app_rx) in receivers.into_iter().enumerate() {
@@ -504,6 +511,80 @@ impl MtEngine {
         })
     }
 
+    /// Kill cluster node `node` mid-run: the node's worker threads turn
+    /// into *tombstones* — they stay on their channels (so late sends are
+    /// never lost) but abandon their partial wave state and re-route
+    /// everything they drain to live threads. Load-aware routes see the
+    /// dead threads at infinite load and shed work to survivors, the
+    /// registered feedback sink is told which workers it lost, and — as on
+    /// the simulator — work that *cannot* move (stateful-affinity routes,
+    /// merge waves whose partial state died with the node) surfaces as
+    /// [`DpsError::NodeDown`] from the run.
+    ///
+    /// This is the OS-thread port of `SimEngine::fail_node`: the same
+    /// fault schedule applied to either engine leaves the same surviving
+    /// output set (differentially tested in the workspace's `vopr` tests).
+    pub fn fail_node(&mut self, node: u32) -> Result<()> {
+        self.ensure_started();
+        let shared = Arc::clone(self.shared.as_ref().expect("started"));
+        let Some(flag) = shared.dead.get(node as usize) else {
+            return Err(DpsError::InvalidGraph {
+                reason: format!("fail_node: no such cluster node {node}"),
+            });
+        };
+        if flag.swap(true, Ordering::AcqRel) {
+            return Ok(()); // already dead
+        }
+        if let Some(sink) = &self.feedback {
+            // FeedbackSink worker indices are thread indices within the
+            // reporting collection, so only collections that actually fed
+            // the sink are consulted (mirrors the simulator).
+            let mut lost: Vec<usize> = Vec::new();
+            for &(app, tc) in shared.feedback_tcs.lock().iter() {
+                let tc = &shared.apps[app as usize].tcs[tc as usize];
+                for (thread, &host) in tc.nodes.iter().enumerate() {
+                    if host == node && !lost.contains(&thread) {
+                        lost.push(thread);
+                    }
+                }
+            }
+            for worker in lost {
+                sink.worker_lost(worker);
+            }
+        }
+        // Wake every worker hosted on the dead node (raw sends: a Fail
+        // wakeup is not a counted backlog message), tallying the backlog
+        // they will re-route for the trace breadcrumb.
+        let mut stranded = 0u64;
+        for app in &shared.apps {
+            for tc in &app.tcs {
+                for (t, &host) in tc.nodes.iter().enumerate() {
+                    if host == node {
+                        stranded += tc.queued[t].load(Ordering::Relaxed) as u64;
+                        let _ = tc.senders[t].send(Msg::Fail);
+                    }
+                }
+            }
+        }
+        if let Some(c) = &self.trace {
+            c.record_now(
+                node as u16,
+                0,
+                dps_obs::EventKind::NodeDown { node: node as u16 },
+            );
+            c.metrics().add(dps_obs::Counter::NodesDown, 1);
+            c.record_now(
+                node as u16,
+                0,
+                dps_obs::EventKind::Fault {
+                    code: dps_obs::fault_code::NODE_KILL,
+                    detail: stranded,
+                },
+            );
+        }
+        Ok(())
+    }
+
     /// Stop all worker threads and join them.
     pub fn shutdown(&mut self) {
         if let Some(shared) = &self.shared {
@@ -553,7 +634,7 @@ impl dps_core::Engine for MtEngine {
         dps_core::EngineCaps {
             deterministic: false,
             virtual_time: false,
-            fail_node: false,
+            fail_node: true,
             thread_state_access: false,
             declare_before_run: true,
         }

@@ -3,7 +3,7 @@
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -41,6 +41,11 @@ pub(crate) enum Msg {
     },
     /// Terminate the worker.
     Stop,
+    /// Wakeup after the worker's node was marked dead (`fail_node`): the
+    /// worker re-checks the dead set and enters tombstone mode. Sent *raw*
+    /// on the channel (never through [`SharedTc::enqueue`]), so it is not
+    /// counted in the thread's backlog and must not decrement it.
+    Fail,
 }
 
 /// A token that left a graph.
@@ -77,10 +82,24 @@ impl SharedTc {
         }
     }
 
-    fn load_snapshot(&self) -> Vec<u32> {
+    /// Per-thread backlog with dead-node awareness: threads hosted on a
+    /// failed node report infinite load, so load-aware routes
+    /// (`LeastLoaded`, `ChunkRoute`) shed their work to live threads —
+    /// the same signal shape the simulator's `fail_node` produces.
+    fn load_snapshot(&self, dead: &[AtomicBool]) -> Vec<u32> {
         self.queued
             .iter()
-            .map(|q| q.load(Ordering::Relaxed))
+            .zip(&self.nodes)
+            .map(|(q, &n)| {
+                if dead
+                    .get(n as usize)
+                    .is_some_and(|d| d.load(Ordering::Acquire))
+                {
+                    u32::MAX
+                } else {
+                    q.load(Ordering::Relaxed)
+                }
+            })
             .collect()
     }
 }
@@ -173,6 +192,34 @@ pub(crate) struct Shared {
     /// Attached trace sink (wall-clock timestamps); each worker thread
     /// registers its own writer at startup.
     pub trace: Option<Arc<TraceCollector>>,
+    /// One flag per cluster node: `fail_node` marks a node dead here and
+    /// its workers turn into tombstones (they keep draining their queues,
+    /// re-routing stranded work, so no message is ever lost to a closed
+    /// channel).
+    pub dead: Vec<AtomicBool>,
+    /// Declared cluster node names (`node0..`), for NodeDown diagnostics.
+    pub node_names: Vec<String>,
+    /// Collections that have actually reported to the feedback sink —
+    /// `fail_node` translates a dead node into *these* collections' thread
+    /// indices for `FeedbackSink::worker_lost` (an unrelated collection on
+    /// the dead node must not wipe a live worker sharing a thread index).
+    pub feedback_tcs: Mutex<Vec<(u32, u32)>>,
+}
+
+impl Shared {
+    /// True when cluster node `node` was killed by `fail_node`.
+    pub(crate) fn node_dead(&self, node: u32) -> bool {
+        self.dead
+            .get(node as usize)
+            .is_some_and(|d| d.load(Ordering::Acquire))
+    }
+
+    fn node_name(&self, node: u32) -> String {
+        self.node_names
+            .get(node as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("node{node}"))
+    }
 }
 
 /// Newtype so `CallRet` stays private to this module.
@@ -186,6 +233,10 @@ struct WaveState {
     expected: Option<u32>,
     out_wave: u64,
     out_index: u32,
+    /// Where this wave consumes (for NodeDown diagnostics when the hosting
+    /// node is killed mid-wave).
+    graph: u32,
+    node: GNodeId,
 }
 
 /// Per-worker mutable state.
@@ -290,29 +341,51 @@ pub(crate) fn worker_loop(
             .map(|c| c.writer(node as u16, thread as u16)),
     };
     let mut stopped = false;
+    let mut dead = false;
     while let Ok(msg) = rx.recv() {
+        if !dead && shared.node_dead(node) {
+            // The node was killed: become a tombstone. The thread stays
+            // alive so late sends never hit a closed channel; it abandons
+            // its partial wave state and from now on re-routes everything
+            // it drains to live threads.
+            dead = true;
+            abandon_waves(&shared, &mut w);
+        }
         match msg {
             Msg::Stop => {
                 stopped = true;
                 break;
             }
+            // A bare wakeup (sent raw, not counted in the backlog): the
+            // dead-set re-check above did the work.
+            Msg::Fail => continue,
             Msg::Deliver {
                 graph,
-                node,
+                node: gnode,
                 token,
                 env,
             } => {
-                if let Err(e) = handle(&shared, &mut w, graph, node, token, env) {
+                if dead {
+                    // Stranded delivery: hand it back to the router, which
+                    // sees this node's threads at infinite load and (for
+                    // fresh merge waves) re-pins the wave elsewhere.
+                    route_and_send(&shared, app, graph, gnode, node, token, env);
+                } else if let Err(e) = handle(&shared, &mut w, graph, gnode, token, env) {
                     send_error(&shared, app, e);
                 }
             }
             Msg::Close {
                 graph,
-                node,
+                node: gnode,
                 env,
                 total,
             } => {
-                if let Err(e) = handle_close(&shared, &mut w, graph, node, env, total) {
+                if dead {
+                    // Wave-close messages follow their wave to its new home
+                    // (or park until a re-routed token re-pins it).
+                    let _ = gnode;
+                    send_close(&shared, app, graph, env, total);
+                } else if let Err(e) = handle_close(&shared, &mut w, graph, gnode, env, total) {
                     send_error(&shared, app, e);
                 }
             }
@@ -336,6 +409,35 @@ pub(crate) fn worker_loop(
     }
 }
 
+/// A worker whose node was killed enters tombstone mode: every merge wave
+/// with partial state on this thread is unrecoverable (its op instance and
+/// received counts die here) and surfaces as [`DpsError::NodeDown`]; the
+/// wave pins are removed so re-routed siblings fail fast instead of
+/// re-targeting this thread. Mirrors the simulator's `fail_node` semantics.
+fn abandon_waves(shared: &Arc<Shared>, w: &mut Worker) {
+    let waves = std::mem::take(&mut w.waves);
+    for (key, wave) in waves {
+        let target = shared.defs[w.app as usize][wave.graph as usize]
+            .node(wave.node)
+            .name
+            .clone();
+        shared.apps[w.app as usize].graphs[wave.graph as usize]
+            .wave_threads
+            .lock()
+            .remove(&key);
+        send_error(
+            shared,
+            w.app,
+            DpsError::NodeDown {
+                node: shared.node_name(w.node),
+                target,
+            },
+        );
+    }
+    w.pending_expected.clear();
+    w.ops.clear();
+}
+
 /// If the finished execution marked a scheduled chunk complete, report its
 /// wall-clock execution time to the registered feedback sink — the
 /// real-thread half of the dynamic loop-scheduling feedback channel.
@@ -346,6 +448,12 @@ fn report_completion(shared: &Shared, w: &mut Worker, out: &OpOutput, started: I
     let nanos = started.elapsed().as_nanos() as u64;
     w.trace(shared, EventKind::ChunkExec { iters, nanos });
     if let Some(sink) = shared.feedback.as_ref() {
+        {
+            let mut ftcs = shared.feedback_tcs.lock();
+            if !ftcs.contains(&(w.app, w.tc)) {
+                ftcs.push((w.app, w.tc));
+            }
+        }
         sink.report_chunk(w.thread as usize, iters, started.elapsed().as_secs_f64());
         w.trace(
             shared,
@@ -364,8 +472,14 @@ fn report_completion(shared: &Shared, w: &mut Worker, out: &OpOutput, started: I
 /// Apply remotely-measured chunk completions to the master's feedback sink
 /// under the executing thread's index — the distributed counterpart of
 /// [`report_completion`] (the remote host measured the wall-clock time).
-fn apply_reports(shared: &Shared, thread: u32, reports: &[(u64, f64)]) {
+fn apply_reports(shared: &Shared, app: u32, tc: u32, thread: u32, reports: &[(u64, f64)]) {
     if let (false, Some(sink)) = (reports.is_empty(), shared.feedback.as_ref()) {
+        {
+            let mut ftcs = shared.feedback_tcs.lock();
+            if !ftcs.contains(&(app, tc)) {
+                ftcs.push((app, tc));
+            }
+        }
         sink.report_batch(thread as usize, reports);
     }
 }
@@ -422,7 +536,7 @@ fn handle_exec(
             token: Some(token),
             env: env.clone(),
         })?;
-        apply_reports(shared, w.thread, &outcome.reports);
+        apply_reports(shared, w.app, w.tc, w.thread, &outcome.reports);
         if kind == OpKind::Leaf && outcome.posts.len() != 1 {
             return Err(DpsError::OperationContract {
                 node: name,
@@ -535,6 +649,8 @@ fn handle_consume(
         expected: early_expected,
         out_wave: shared.wave_counter.fetch_add(1, Ordering::Relaxed),
         out_index: 0,
+        graph,
+        node,
     });
     wave.received += 1;
     if let Some(t) = frame.total {
@@ -566,7 +682,7 @@ fn handle_consume(
             token: Some(token),
             env: pre_pop_env.expect("cloned when the hook matched"),
         })?;
-        apply_reports(shared, w.thread, &outcome.reports);
+        apply_reports(shared, w.app, w.tc, w.thread, &outcome.reports);
         outcome.posts
     } else {
         let t0n = shared.trace.as_ref().map(|c| c.now_nanos());
@@ -779,7 +895,7 @@ fn handle_close(
             token: None,
             env: pre_pop_env.expect("cloned when the hook matched"),
         })?;
-        apply_reports(shared, w.thread, &outcome.reports);
+        apply_reports(shared, w.app, w.tc, w.thread, &outcome.reports);
         outcome.posts
     } else {
         let mut out = OpOutput::default();
@@ -894,7 +1010,17 @@ fn send_close(shared: &Arc<Shared>, app: u32, graph: u32, close_env: Envelope, t
     match thread {
         Some(t) => {
             let tc = def.node(merge_node).tc;
-            shared.apps[app as usize].tcs[tc as usize].enqueue(
+            let shared_tc = &shared.apps[app as usize].tcs[tc as usize];
+            if shared.node_dead(shared_tc.nodes[t as usize]) {
+                // The wave's home died before consuming anything (tombstones
+                // remove the pins of waves they held state for): drop the
+                // stale pin and park the close so the wave's re-routed
+                // tokens re-pin it and replay the close at its new home.
+                g.wave_threads.lock().remove(&key);
+                g.pending_closes.lock().insert(key, total);
+                return;
+            }
+            shared_tc.enqueue(
                 t as usize,
                 Msg::Close {
                     graph,
@@ -1025,7 +1151,7 @@ fn route_and_send(
     // Live per-thread backlog: load-balancing routes on real OS threads see
     // the same signal shape as on the simulator. Single-thread collections
     // (masters, merge homes) skip the snapshot — routing there is forced.
-    let load = (thread_count > 1).then(|| shared_tc.load_snapshot());
+    let load = (thread_count > 1).then(|| shared_tc.load_snapshot(&shared.dead));
     let info = RouteInfo {
         thread_count,
         load: load.as_deref(),
@@ -1043,10 +1169,25 @@ fn route_and_send(
         let mut fresh = false;
         {
             let mut wt = g.wave_threads.lock();
-            thread = *wt.entry(key.clone()).or_insert_with(|| {
-                fresh = true;
-                thread
-            });
+            match wt.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let pinned = *e.get();
+                    if shared.node_dead(shared_tc.nodes[pinned as usize]) {
+                        // The pinned thread died before consuming anything
+                        // (a tombstone removes the pins of waves it held
+                        // partial state for): re-pin the wave to the freshly
+                        // routed thread and replay any parked close.
+                        *e.get_mut() = thread;
+                        fresh = true;
+                    } else {
+                        thread = pinned;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(thread);
+                    fresh = true;
+                }
+            }
         }
         if fresh {
             // A close may have raced ahead of the wave's first token.
@@ -1069,6 +1210,19 @@ fn route_and_send(
         }
     }
     let dst_node = shared.apps[app as usize].tcs[tc as usize].nodes[thread as usize];
+    if shared.node_dead(dst_node) {
+        // The route insisted on a dead thread (stateful affinity, or the
+        // whole collection is down): the work cannot be re-queued.
+        send_error(
+            shared,
+            app,
+            DpsError::NodeDown {
+                node: shared.node_name(dst_node),
+                target: gnode.name.clone(),
+            },
+        );
+        return;
+    }
     let token = if shared.enforce_serialization && src_node != dst_node {
         match wire_roundtrip(token.as_ref(), &shared.registries[app as usize]) {
             Ok(t) => t,

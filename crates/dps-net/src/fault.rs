@@ -1,0 +1,197 @@
+//! Seeded network fault injection for simulation testing.
+//!
+//! The model is a **reliable transport over a lossy wire** — the same
+//! stance real DPS takes on TCP. A dropped frame is retransmitted after a
+//! timeout, a duplicated frame is suppressed by the receiver's DPS header
+//! dedup, a delayed frame simply arrives later, and reordering falls out of
+//! delay jitter plus the simulator's tie-break hook. The consequence that
+//! makes the harness's invariants checkable: **faults perturb timing and
+//! wire cost, never payload content**, so a perturbed run must still produce
+//! byte-identical outputs — only an explicit node kill may degrade them.
+//!
+//! Decisions are drawn from a [`SplitMix64`] stream owned by the injector:
+//! the same seed applied to the same deterministic engine replays the exact
+//! same fault schedule.
+
+use dps_des::{SimSpan, SplitMix64};
+
+/// Fault classes and rates applied to every cross-node transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a frame is dropped and must be retransmitted (applied
+    /// repeatedly: each retransmit may drop again, capped at
+    /// [`FaultConfig::MAX_RETRANSMITS`]).
+    pub drop_rate: f64,
+    /// Probability a frame is delayed by up to `max_extra_delay`.
+    pub delay_rate: f64,
+    /// Probability the wire carries a duplicate copy (suppressed above the
+    /// transport; costs wire bytes, not correctness).
+    pub duplicate_rate: f64,
+    /// Upper bound of the uniform extra delay a delayed frame suffers.
+    pub max_extra_delay: SimSpan,
+    /// Retransmit timeout charged per dropped copy.
+    pub retransmit_timeout: SimSpan,
+}
+
+impl FaultConfig {
+    /// Retransmit attempts before the injector gives up dropping (the
+    /// transport always delivers eventually — this caps the modeled stall,
+    /// it does not model connection loss).
+    pub const MAX_RETRANSMITS: u32 = 8;
+
+    /// No faults at all (the identity injector).
+    pub const fn none() -> Self {
+        Self {
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            duplicate_rate: 0.0,
+            max_extra_delay: SimSpan::ZERO,
+            retransmit_timeout: SimSpan::ZERO,
+        }
+    }
+
+    /// A lively default for smoke sweeps: every class enabled at `rate`,
+    /// with millisecond-scale delay and retransmit spans (large against the
+    /// paper-testbed microsecond latencies, so perturbations actually move
+    /// deliveries across interleaving boundaries).
+    pub fn all(rate: f64) -> Self {
+        Self {
+            drop_rate: rate,
+            delay_rate: rate,
+            duplicate_rate: rate,
+            max_extra_delay: SimSpan::from_millis(2),
+            retransmit_timeout: SimSpan::from_millis(1),
+        }
+    }
+
+    /// True when every class is disabled.
+    pub fn is_none(&self) -> bool {
+        self.drop_rate <= 0.0 && self.delay_rate <= 0.0 && self.duplicate_rate <= 0.0
+    }
+}
+
+/// What the injector decided for one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultDecision {
+    /// Extra delivery latency (retransmit timeouts + jitter), zero when the
+    /// frame sailed through.
+    pub extra_delay: SimSpan,
+    /// Dropped copies that had to be resent.
+    pub retransmits: u32,
+    /// Duplicate copies the wire carried.
+    pub duplicates: u32,
+}
+
+impl FaultDecision {
+    /// True when this transfer was perturbed in any way.
+    pub fn faulted(&self) -> bool {
+        self.extra_delay > SimSpan::ZERO || self.retransmits > 0 || self.duplicates > 0
+    }
+}
+
+/// Deterministic per-transfer fault source: one RNG stream, one decision
+/// per [`FaultInjector::decide`] call. Because the simulator consults it in
+/// a deterministic order, seed + workload fully determine the schedule.
+#[derive(Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: SplitMix64,
+    decisions: u64,
+    faults: u64,
+}
+
+impl FaultInjector {
+    /// Injector drawing from `seed` under `cfg`.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            rng: SplitMix64::new(seed),
+            decisions: 0,
+            faults: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Transfers consulted so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Transfers that were actually perturbed.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Decide the fate of one cross-node transfer.
+    pub fn decide(&mut self) -> FaultDecision {
+        self.decisions += 1;
+        let mut d = FaultDecision::default();
+        while d.retransmits < FaultConfig::MAX_RETRANSMITS
+            && self.cfg.drop_rate > 0.0
+            && self.rng.next_f64() < self.cfg.drop_rate
+        {
+            d.retransmits += 1;
+            d.extra_delay += self.cfg.retransmit_timeout;
+        }
+        if self.cfg.delay_rate > 0.0 && self.rng.next_f64() < self.cfg.delay_rate {
+            let jitter = self.cfg.max_extra_delay.as_nanos();
+            if jitter > 0 {
+                d.extra_delay += SimSpan::from_nanos(1 + self.rng.next_below(jitter));
+            }
+        }
+        if self.cfg.duplicate_rate > 0.0 && self.rng.next_f64() < self.cfg.duplicate_rate {
+            d.duplicates += 1;
+        }
+        if d.faulted() {
+            self.faults += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_the_identity() {
+        let mut inj = FaultInjector::new(FaultConfig::none(), 7);
+        for _ in 0..100 {
+            assert_eq!(inj.decide(), FaultDecision::default());
+        }
+        assert_eq!(inj.faults(), 0);
+        assert_eq!(inj.decisions(), 100);
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_fault_schedule() {
+        let run = |seed: u64| {
+            let mut inj = FaultInjector::new(FaultConfig::all(0.3), seed);
+            (0..200).map(|_| inj.decide()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds should differ");
+    }
+
+    #[test]
+    fn rates_bite_and_delay_is_bounded() {
+        let cfg = FaultConfig::all(0.5);
+        let mut inj = FaultInjector::new(cfg, 3);
+        let decisions: Vec<_> = (0..500).map(|_| inj.decide()).collect();
+        assert!(inj.faults() > 100, "half-rate faults must actually fire");
+        let bound = SimSpan::from_nanos(
+            cfg.retransmit_timeout.as_nanos() * FaultConfig::MAX_RETRANSMITS as u64
+                + cfg.max_extra_delay.as_nanos(),
+        );
+        for d in &decisions {
+            assert!(d.extra_delay <= bound, "delay exceeded the modeled bound");
+            assert!(d.retransmits <= FaultConfig::MAX_RETRANSMITS);
+        }
+        assert!(decisions.iter().any(|d| d.retransmits > 0));
+        assert!(decisions.iter().any(|d| d.duplicates > 0));
+    }
+}

@@ -45,11 +45,13 @@
 //! ```
 
 mod config;
+mod fault;
 mod model;
 mod nameserver;
 mod trace;
 
 pub use config::NetConfig;
+pub use fault::{FaultConfig, FaultDecision, FaultInjector};
 pub use model::{NetworkModel, NodeId, Traffic, TransferPlan};
 pub use nameserver::NameServer;
 pub use trace::{NetTrace, TransferRecord};

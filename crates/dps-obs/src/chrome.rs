@@ -248,6 +248,17 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
                 let name = format!("op failed: {}", log.label(op));
                 recs.push(instant(e.at, pid, tid, &name, "fault", ""));
             }
+            EventKind::Fault { code, detail } => {
+                let name = match code {
+                    crate::event::fault_code::NODE_KILL => "fault: node kill",
+                    crate::event::fault_code::NET_DROP => "fault: net drop",
+                    crate::event::fault_code::NET_DELAY => "fault: net delay",
+                    crate::event::fault_code::NET_DUP => "fault: net dup",
+                    _ => "fault",
+                };
+                let args = format!("\"code\":{code},\"detail\":{detail}");
+                recs.push(instant(e.at, pid, tid, name, "fault", &args));
+            }
         }
     }
 

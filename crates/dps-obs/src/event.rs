@@ -149,6 +149,32 @@ pub enum EventKind {
         /// Application or operation label.
         op: LabelId,
     },
+    /// A fault was injected or a failure-handling path ran: node kills,
+    /// modeled packet drops/delays/duplicates, stranded-delivery requeues.
+    /// The breadcrumb the simulation-testing harness leaves so perturbed
+    /// runs are legible in Chrome traces.
+    Fault {
+        /// Fault class code (see [`fault_code`]).
+        code: u32,
+        /// Class-specific detail — tokens requeued, retransmits, extra
+        /// delay nanoseconds.
+        detail: u64,
+    },
+}
+
+/// Fault class codes carried by [`EventKind::Fault`].
+pub mod fault_code {
+    /// A node was killed and its stranded deliveries re-routed; `detail`
+    /// is the number of tokens requeued.
+    pub const NODE_KILL: u32 = 1;
+    /// A modeled packet drop forced retransmits; `detail` is the
+    /// retransmit count.
+    pub const NET_DROP: u32 = 2;
+    /// A modeled delivery delay; `detail` is the extra nanoseconds.
+    pub const NET_DELAY: u32 = 3;
+    /// A modeled duplicate frame (suppressed above the transport);
+    /// `detail` is the duplicate count.
+    pub const NET_DUP: u32 = 4;
 }
 
 impl EventKind {
@@ -169,6 +195,7 @@ impl EventKind {
             EventKind::NodeDown { .. } => 11,
             EventKind::Requeue { .. } => 12,
             EventKind::OpFailed { .. } => 13,
+            EventKind::Fault { .. } => 14,
         }
     }
 
@@ -197,6 +224,7 @@ impl EventKind {
             EventKind::NodeDown { node } => (node as u64, 0, 0),
             EventKind::Requeue { tokens } => (tokens as u64, 0, 0),
             EventKind::OpFailed { op } => (op.0 as u64, 0, 0),
+            EventKind::Fault { code, detail } => (code as u64, detail, 0),
         }
     }
 
@@ -252,6 +280,10 @@ impl EventKind {
             11 => EventKind::NodeDown { node: a as u16 },
             12 => EventKind::Requeue { tokens: a as u32 },
             13 => EventKind::OpFailed { op: label(a) },
+            14 => EventKind::Fault {
+                code: a as u32,
+                detail: b,
+            },
             _ => return None,
         })
     }
@@ -315,6 +347,10 @@ mod tests {
             EventKind::NodeDown { node: 3 },
             EventKind::Requeue { tokens: 6 },
             EventKind::OpFailed { op: LabelId(8) },
+            EventKind::Fault {
+                code: fault_code::NODE_KILL,
+                detail: 6,
+            },
         ];
         for (i, k) in samples.iter().enumerate() {
             assert_eq!(k.tag() as usize, i, "tags are dense and ordered");

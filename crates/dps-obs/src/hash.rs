@@ -78,6 +78,60 @@ impl TraceLog {
     }
 }
 
+/// Where two trace logs first part ways — the replay-failure diagnostic:
+/// when a harness finds unequal schedule hashes, this names the first
+/// divergent record instead of leaving the user to diff whole logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// The interned label tables differ at this index.
+    Label(usize),
+    /// The event streams differ at this index (same-position events are
+    /// compared on `(at, node, thread, kind)`).
+    Event(usize),
+    /// One log is a strict prefix of the other; the shorter length.
+    Length(usize),
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::Label(i) => write!(f, "label table diverges at index {i}"),
+            Divergence::Event(i) => write!(f, "event streams diverge at index {i}"),
+            Divergence::Length(n) => write!(f, "one log is a prefix of the other (length {n})"),
+        }
+    }
+}
+
+/// True iff the two logs are identical record for record — the property
+/// `schedule_hash` fingerprints (equal hashes with unequal logs would be an
+/// FNV collision; equal logs always hash equal).
+pub fn logs_identical(a: &TraceLog, b: &TraceLog) -> bool {
+    a.labels == b.labels && a.events == b.events
+}
+
+/// First point of divergence between two logs, or `None` when identical.
+/// Labels are compared first (a renamed label shifts every event that
+/// references it), then events in stream order, then lengths.
+pub fn first_divergence(a: &TraceLog, b: &TraceLog) -> Option<Divergence> {
+    for (i, (la, lb)) in a.labels.iter().zip(&b.labels).enumerate() {
+        if la != lb {
+            return Some(Divergence::Label(i));
+        }
+    }
+    if a.labels.len() != b.labels.len() {
+        return Some(Divergence::Label(a.labels.len().min(b.labels.len())));
+    }
+    for (i, (ea, eb)) in a.events.iter().zip(&b.events).enumerate() {
+        if ea != eb {
+            return Some(Divergence::Event(i));
+        }
+    }
+    if a.events.len() != b.events.len() {
+        return Some(Divergence::Length(a.events.len().min(b.events.len())));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +170,33 @@ mod tests {
         let mut renamed = log(1);
         renamed.labels[1] = "h".into();
         assert_ne!(log(1).schedule_hash(), renamed.schedule_hash());
+    }
+
+    #[test]
+    fn divergence_names_the_first_differing_record() {
+        assert!(logs_identical(&log(1), &log(1)));
+        assert_eq!(first_divergence(&log(1), &log(1)), None);
+        assert_eq!(
+            first_divergence(&log(1), &log(2)),
+            Some(Divergence::Event(0))
+        );
+        let mut renamed = log(1);
+        renamed.labels[1] = "h".into();
+        assert_eq!(
+            first_divergence(&log(1), &renamed),
+            Some(Divergence::Label(1))
+        );
+        let mut longer = log(1);
+        longer.events.push(longer.events[0]);
+        assert!(!logs_identical(&log(1), &longer));
+        assert_eq!(
+            first_divergence(&log(1), &longer),
+            Some(Divergence::Length(1))
+        );
+        assert_eq!(
+            Divergence::Event(3).to_string(),
+            "event streams diverge at index 3"
+        );
     }
 
     #[test]

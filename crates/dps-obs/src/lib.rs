@@ -43,8 +43,8 @@ pub mod wire;
 
 pub use chrome::{chrome_trace_json, parse_json, validate_chrome_trace, ChromeStats, Json};
 pub use collect::{TraceCollector, TraceLog, TraceWriter, DEFAULT_RING_CAPACITY};
-pub use event::{EventKind, LabelId, TraceEvent};
-pub use hash::{schedule_hash, Fnv1a};
+pub use event::{fault_code, EventKind, LabelId, TraceEvent};
+pub use hash::{first_divergence, logs_identical, schedule_hash, Divergence, Fnv1a};
 pub use metrics::{Counter, Gauge, MetricsRegistry};
 pub use ring::EventRing;
 pub use summary::{render_summary, wave_summaries, LatencyHistogram, WaveSummary};

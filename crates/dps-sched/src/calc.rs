@@ -590,6 +590,62 @@ impl ChunkHub {
     pub fn open_leases(&self) -> usize {
         self.open.load(Ordering::Relaxed) as usize
     }
+
+    /// Lease ids handed out so far (all ids in `0..leases_issued()` were
+    /// opened at some point). A forwarding hub reports `0`.
+    pub fn leases_issued(&self) -> u64 {
+        if self.remote.is_some() {
+            return 0;
+        }
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Progress of lease `id` regardless of open/closed state — the
+    /// invariant-layer view (unlike [`counter`](Self::counter), which hides
+    /// retired leases from claimers). `None` for unknown ids or on a
+    /// forwarding hub.
+    pub fn progress(&self, id: u64) -> Option<LeaseProgress> {
+        if self.remote.is_some() {
+            return None;
+        }
+        let slot = self.slot(id)?;
+        let counter = slot.counter.get()?;
+        Some(LeaseProgress {
+            id,
+            chunks: counter.chunk_count(),
+            claimed: counter.claimed(),
+            remaining: counter.remaining(),
+            closed: slot.closed.load(Ordering::Acquire),
+        })
+    }
+
+    /// Every lease still open (announced but neither drained nor closed),
+    /// with its claim progress. Empty after a clean run — a scheduled wave
+    /// that completes drains or closes all of its leases, so anything left
+    /// here was **abandoned**: the range was announced and then lost, which
+    /// is only legitimate downstream of an injected node failure. The
+    /// simulation-testing harness checks exactly that.
+    pub fn abandoned_leases(&self) -> Vec<LeaseProgress> {
+        (0..self.leases_issued())
+            .filter_map(|id| self.progress(id))
+            .filter(|p| !p.closed)
+            .collect()
+    }
+}
+
+/// Point-in-time claim progress of one lease (see [`ChunkHub::progress`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseProgress {
+    /// The lease id.
+    pub id: u64,
+    /// Chunks the range partitions into.
+    pub chunks: u32,
+    /// Chunks claimed so far.
+    pub claimed: u32,
+    /// Iterations not yet claimed.
+    pub remaining: u64,
+    /// Drained or explicitly closed.
+    pub closed: bool,
 }
 
 #[cfg(test)]
@@ -760,5 +816,25 @@ mod tests {
             assert_eq!(t, 100 + i as u64, "lease {i} drains exactly");
         }
         assert_eq!(hub.open_leases(), 0);
+    }
+
+    #[test]
+    fn abandoned_leases_report_undrained_ranges() {
+        let hub = ChunkHub::new();
+        let drained = hub.open(ChunkCalc::new(PolicyKind::Ss, 4, 2, &uniform(2)));
+        let stuck = hub.open(ChunkCalc::new(PolicyKind::Ss, 8, 2, &uniform(2)));
+        assert_eq!(hub.leases_issued(), 2);
+        while hub.claim(drained.id).is_some() {}
+        let _one = hub.claim(stuck.id).expect("one chunk claimed");
+        let left = hub.abandoned_leases();
+        assert_eq!(left.len(), 1, "only the undrained lease is abandoned");
+        assert_eq!(left[0].id, stuck.id);
+        assert!(left[0].claimed >= 1 && left[0].remaining > 0);
+        // Progress still answers for the retired lease, unlike `counter`.
+        assert!(hub.progress(drained.id).expect("known id").closed);
+        assert!(hub.counter(drained.id).is_none());
+        // The recovery path closes the survivor; nothing is abandoned.
+        assert!(hub.close(stuck.id));
+        assert!(hub.abandoned_leases().is_empty());
     }
 }

@@ -67,7 +67,7 @@ mod policy;
 pub mod remote;
 mod scheduler;
 
-pub use calc::{ChunkCalc, ChunkHub, ChunkLease, IterCounter};
+pub use calc::{ChunkCalc, ChunkHub, ChunkLease, IterCounter, LeaseProgress};
 pub use feedback::{FeedbackBoard, FeedbackSink, RateEstimator, WorkerStats};
 pub use policy::{
     AdaptiveWeightedFactoring, ChunkPolicy, Distribution, Factoring, GuidedSelfScheduling,

@@ -1,0 +1,233 @@
+//! The VOPR driver: seeded fault-exploration sweeps and one-command replay.
+//!
+//! ```text
+//! vopr [--workload W] [--seed S] [--runs N] [--faults CLASSES]
+//!      [--replay] [--smoke] [--fail-file PATH] [--expect-hash 0xHEX]
+//! ```
+//!
+//! * `--workload` — `lu` | `matmul` | `life` | `pipeline` |
+//!   `order-sensitive` | `all` (default `all` = the sound workloads);
+//! * `--seed`     — base seed, decimal or `0x`-hex (default 1);
+//! * `--runs`     — how many consecutive seeds to sweep (default 1);
+//! * `--faults`   — `shuffle,net,kill` subset, `all`, or `none`
+//!   (default `all`); in `--smoke` mode this is ignored and the sweep
+//!   cycles through every fault class instead;
+//! * `--replay`   — additionally run each configuration twice and demand a
+//!   byte-identical event log (invariant 5); prints the schedule hash;
+//! * `--smoke`    — CI mode: cycle workloads × fault classes across the
+//!   seed range, fail fast on nothing, report everything;
+//! * `--fail-file` — write one replay report per violation to this file
+//!   (uploaded as a CI artifact);
+//! * `--expect-hash` — with `--replay`, also require the replay schedule
+//!   hash to equal this pinned value (CI determinism canary).
+//!
+//! Exit status: 0 if every run held its invariants (and matched the pinned
+//! hash, when given), 1 otherwise, 2 on usage errors.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use dps_vopr::{FaultClasses, Vopr, VoprConfig, WorkloadKind};
+
+struct Args {
+    workloads: Vec<WorkloadKind>,
+    seed: u64,
+    runs: u64,
+    faults: FaultClasses,
+    replay: bool,
+    smoke: bool,
+    fail_file: Option<String>,
+    expect_hash: Option<u64>,
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workloads: WorkloadKind::SOUND.to_vec(),
+        seed: 1,
+        runs: 1,
+        faults: FaultClasses::ALL,
+        replay: false,
+        smoke: false,
+        fail_file: None,
+        expect_hash: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--workload" => {
+                let v = value("--workload")?;
+                args.workloads = if v == "all" {
+                    WorkloadKind::SOUND.to_vec()
+                } else {
+                    vec![WorkloadKind::parse(&v).ok_or_else(|| format!("unknown workload `{v}`"))?]
+                };
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = parse_u64(&v).ok_or_else(|| format!("bad seed `{v}`"))?;
+            }
+            "--runs" => {
+                let v = value("--runs")?;
+                args.runs = parse_u64(&v).ok_or_else(|| format!("bad run count `{v}`"))?;
+            }
+            "--faults" => {
+                let v = value("--faults")?;
+                args.faults =
+                    FaultClasses::parse(&v).ok_or_else(|| format!("bad fault classes `{v}`"))?;
+            }
+            "--replay" => args.replay = true,
+            "--smoke" => args.smoke = true,
+            "--fail-file" => args.fail_file = Some(value("--fail-file")?),
+            "--expect-hash" => {
+                let v = value("--expect-hash")?;
+                args.expect_hash = Some(parse_u64(&v).ok_or_else(|| format!("bad hash `{v}`"))?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: vopr [--workload W] [--seed S] [--runs N] \
+                     [--faults shuffle,net,kill|all|none] [--replay] [--smoke] \
+                     [--fail-file PATH] [--expect-hash 0xHEX]"
+                    .into());
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if args.runs == 0 {
+        return Err("--runs must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// The fault classes a smoke sweep cycles through — each class alone, then
+/// all together, so a regression in one class cannot hide behind another.
+const SMOKE_CLASSES: [FaultClasses; 4] = [
+    FaultClasses {
+        shuffle: true,
+        net: false,
+        kill: false,
+    },
+    FaultClasses {
+        shuffle: false,
+        net: true,
+        kill: false,
+    },
+    FaultClasses {
+        shuffle: false,
+        net: false,
+        kill: true,
+    },
+    FaultClasses::ALL,
+];
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Build the run list: smoke mode spreads the seed budget across
+    // workloads × fault classes; otherwise every workload gets every seed
+    // under the one requested fault set.
+    let mut configs = Vec::new();
+    if args.smoke {
+        for i in 0..args.runs {
+            let workload = args.workloads[(i as usize) % args.workloads.len()];
+            let classes = SMOKE_CLASSES[(i as usize / args.workloads.len()) % SMOKE_CLASSES.len()];
+            let mut cfg = VoprConfig::new(workload, args.seed.wrapping_add(i));
+            cfg.faults = classes;
+            configs.push(cfg);
+        }
+    } else {
+        for workload in &args.workloads {
+            for i in 0..args.runs {
+                let mut cfg = VoprConfig::new(*workload, args.seed.wrapping_add(i));
+                cfg.faults = args.faults;
+                configs.push(cfg);
+            }
+        }
+    }
+
+    let mut failures = Vec::new();
+    for cfg in configs {
+        let vopr = Vopr::new(cfg.clone());
+        match vopr.run() {
+            Ok(report) => {
+                let mut line = format!(
+                    "ok   workload={:<9} seed=0x{:016x} faults={:<16} hash=0x{:016x} makespan={:.6}s{}",
+                    report.cfg.workload.to_string(),
+                    report.cfg.seed,
+                    report.cfg.faults.to_string(),
+                    report.schedule_hash,
+                    report.makespan,
+                    if report.completed { "" } else { " (degraded cleanly)" },
+                );
+                if let Some((faulted, clean)) = report.net_stats {
+                    line.push_str(&format!(" net-faulted={faulted}/{}", faulted + clean));
+                }
+                println!("{line}");
+            }
+            Err(failure) => {
+                eprintln!("{failure}");
+                failures.push(failure);
+                continue;
+            }
+        }
+        if args.replay {
+            match vopr.replay_check() {
+                Ok(hash) => {
+                    println!(
+                        "ok   replay-identity seed=0x{:016x} hash=0x{hash:016x}",
+                        cfg.seed
+                    );
+                    if let Some(want) = args.expect_hash {
+                        if hash != want {
+                            eprintln!(
+                                "VOPR FAILURE: pinned schedule hash mismatch: got 0x{hash:016x}, \
+                                 expected 0x{want:016x} (workload {} seed 0x{:016x}) — determinism \
+                                 drifted; if intentional, re-pin with the new hash",
+                                cfg.workload, cfg.seed
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                        println!("ok   pinned hash matches (0x{want:016x})");
+                    }
+                }
+                Err(failure) => {
+                    eprintln!("{failure}");
+                    failures.push(failure);
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &args.fail_file {
+        if !failures.is_empty() {
+            match std::fs::File::create(path) {
+                Ok(mut f) => {
+                    for failure in &failures {
+                        let _ = writeln!(f, "{failure}\n");
+                    }
+                }
+                Err(e) => eprintln!("vopr: cannot write --fail-file {path}: {e}"),
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("vopr: {} invariant violation(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,321 @@
+//! The workloads VOPR perturbs, each reduced to **canonical output bytes**.
+//!
+//! A workload is a complete seeded application run on a fresh deterministic
+//! simulator: block LU, block matmul, dynamically scheduled Game of Life, a
+//! generic scheduled split→leaf→merge pipeline, and — deliberately broken —
+//! an *order-sensitive* pipeline whose merge records token arrival order.
+//! The first four compute values that are independent of scheduling by
+//! construction, so a perturbed run must reproduce them byte for byte; the
+//! last one exists so the harness's violation path (seed printing, replay)
+//! can itself be tested against a real, reproducible failure.
+
+use std::sync::Arc;
+
+use dps_cluster::{default_mapping, ClusterSpec};
+use dps_core::prelude::*;
+use dps_core::sched::{
+    ChunkDone, ChunkRoute, ChunkWorker, CollectChunks, IterRange, RangeDone, ScheduledSplit,
+};
+use dps_core::{dps_token, Application};
+use dps_life::{run_life_scheduled, LifeConfig, Variant};
+use dps_linalg::parallel::lu::{run_lu, LuConfig};
+use dps_linalg::parallel::matmul::{run_matmul, MatMulConfig};
+use dps_obs::TraceCollector;
+use dps_sched::{ChunkHub, Distribution, PolicyKind};
+use dps_serial::Buffer;
+
+use crate::{Perturbation, RunArtifacts};
+
+/// Which application a VOPR run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Pipelined block LU factorization with chunked trailing updates
+    /// (`dps-linalg`), outputs = packed factors + pivot record.
+    Lu,
+    /// Pipelined block matmul (`dps-linalg`), outputs = the product matrix.
+    MatMul,
+    /// Dynamically scheduled Game of Life (`dps-life`), outputs = the final
+    /// world. Any worker can compute any row chunk, so this workload can
+    /// *survive* a node kill with correct outputs.
+    Life,
+    /// Generic scheduled split→leaf→merge pipeline over a [`ChunkHub`]
+    /// lease — the workload whose hub the chunk-completeness invariant
+    /// probes directly.
+    Pipeline,
+    /// An intentionally unsound pipeline: its merge records token *arrival
+    /// order*, so a delivery-interleaving shuffle changes its output. Used
+    /// to prove the harness catches and replays real violations; not part
+    /// of the default sweep.
+    OrderSensitive,
+}
+
+impl WorkloadKind {
+    /// Every workload, sweep order.
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::Lu,
+        WorkloadKind::MatMul,
+        WorkloadKind::Life,
+        WorkloadKind::Pipeline,
+        WorkloadKind::OrderSensitive,
+    ];
+
+    /// The well-behaved workloads (everything but
+    /// [`OrderSensitive`](WorkloadKind::OrderSensitive)).
+    pub const SOUND: [WorkloadKind; 4] = [
+        WorkloadKind::Lu,
+        WorkloadKind::MatMul,
+        WorkloadKind::Life,
+        WorkloadKind::Pipeline,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Lu => "lu",
+            WorkloadKind::MatMul => "matmul",
+            WorkloadKind::Life => "life",
+            WorkloadKind::Pipeline => "pipeline",
+            WorkloadKind::OrderSensitive => "order-sensitive",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<WorkloadKind> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Cluster nodes the workload runs on.
+    pub fn nodes(self) -> usize {
+        3
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+dps_token! {
+    /// Output of the order-sensitive pipeline: the merge's arrival log.
+    pub struct OrderTrace { pub order: Buffer<u64> }
+}
+
+/// The deliberately broken merge: output depends on consume order.
+#[derive(Default)]
+struct OrderGather {
+    order: Vec<u64>,
+}
+
+impl MergeOperation for OrderGather {
+    type Thread = ();
+    type In = ChunkDone;
+    type Out = OrderTrace;
+
+    fn consume(&mut self, _ctx: &mut OpCtx<'_, (), OrderTrace>, d: ChunkDone) {
+        self.order.push(d.start);
+    }
+
+    fn finalize(&mut self, ctx: &mut OpCtx<'_, (), OrderTrace>) {
+        ctx.post(OrderTrace {
+            order: std::mem::take(&mut self.order).into(),
+        });
+    }
+}
+
+fn le_f64(bytes: &mut Vec<u8>, vals: &[f64]) {
+    for v in vals {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Run `kind` on a fresh traced simulator under `p`, returning everything
+/// the invariant layer inspects. Never panics on workload errors — a
+/// perturbed run is *expected* to fail cleanly under a node kill.
+pub(crate) fn run_workload(kind: WorkloadKind, p: &Perturbation) -> RunArtifacts {
+    let nodes = kind.nodes();
+    let collector = TraceCollector::new();
+    let mut eng =
+        SimEngine::with_config(ClusterSpec::paper_testbed(nodes), EngineConfig::default());
+    eng.set_trace_sink(collector.clone());
+    if let Some(seed) = p.shuffle_seed {
+        eng.set_delivery_shuffle(seed);
+    }
+    if let Some((cfg, seed)) = p.net {
+        eng.set_net_faults(cfg, seed);
+    }
+    if let Some(kill) = &p.kill {
+        eng.schedule_fail_node(kill.at, dps_net::NodeId(kill.node));
+    }
+
+    let mut samples = vec![eng.now_secs()];
+    let mut hub: Option<Arc<ChunkHub>> = None;
+    let result: Result<Vec<u8>> = match kind {
+        WorkloadKind::Lu => run_lu(
+            &mut eng,
+            &LuConfig {
+                n: 32,
+                r: 8,
+                pipelined: true,
+                seed: 0xD5,
+                nodes,
+                threads_per_node: 1,
+                dist: Distribution::Scheduled(PolicyKind::Tss),
+                update_chunks: 2,
+            },
+        )
+        .map(|rep| {
+            let mut bytes = Vec::new();
+            le_f64(&mut bytes, rep.factors.lu.as_slice());
+            for &piv in &rep.factors.pivots {
+                bytes.extend_from_slice(&(piv as u64).to_le_bytes());
+            }
+            bytes
+        }),
+        WorkloadKind::MatMul => run_matmul(
+            &mut eng,
+            &MatMulConfig {
+                n: 24,
+                s: 3,
+                pipelined: true,
+                seed: 0xD5,
+                nodes,
+                threads_per_node: 1,
+                dist: Distribution::Static,
+            },
+            0,
+        )
+        .map(|rep| {
+            let mut bytes = Vec::new();
+            le_f64(&mut bytes, rep.c.as_slice());
+            bytes
+        }),
+        WorkloadKind::Life => run_life_scheduled(
+            &mut eng,
+            &LifeConfig {
+                rows: 24,
+                cols: 16,
+                iterations: 3,
+                variant: Variant::Simple,
+                nodes,
+                threads_per_node: 1,
+                density: 0.35,
+                seed: 0xD5,
+                dist: Distribution::Scheduled(PolicyKind::Tss),
+            },
+            PolicyKind::Tss,
+        )
+        .map(|rep| rep.world.as_slice().to_vec()),
+        WorkloadKind::Pipeline | WorkloadKind::OrderSensitive => {
+            run_pipeline(&mut eng, kind, &mut samples, &mut hub)
+        }
+    };
+    samples.push(eng.now_secs());
+
+    let abandoned_leases = hub.map(|h| h.abandoned_leases().len()).unwrap_or(0);
+    let (output, error) = match result {
+        Ok(bytes) => (Some(bytes), None),
+        Err(e) => (None, Some(e)),
+    };
+    let makespan = eng.now_secs();
+    let queued_deliveries = eng.queued_deliveries();
+    let net_stats = eng.net_fault_stats();
+    let log = collector.take_log();
+    let schedule_hash = dps_obs::schedule_hash(&log);
+    RunArtifacts {
+        output,
+        error,
+        log,
+        schedule_hash,
+        makespan,
+        queued_deliveries,
+        abandoned_leases,
+        net_stats,
+        time_samples: samples,
+    }
+}
+
+/// The generic scheduled pipeline (sound and order-sensitive variants):
+/// a [`ScheduledSplit`] announces iteration waves over a private
+/// [`ChunkHub`], zero-cost [`ChunkWorker`]s claim the chunks (identical
+/// per-chunk virtual cost — maximal same-instant ties for the interleaving
+/// shuffle to permute), and the merge is either the sound chunk counter or
+/// the order recorder.
+fn run_pipeline(
+    eng: &mut SimEngine,
+    kind: WorkloadKind,
+    samples: &mut Vec<f64>,
+    hub_out: &mut Option<Arc<ChunkHub>>,
+) -> Result<Vec<u8>> {
+    let nodes = kind.nodes();
+    let app = eng.app("vopr-pipeline");
+    eng.preload_app(app);
+    let ctl: ThreadCollection<()> = eng.thread_collection(app, "ctl", "node0")?;
+    // The sound pipeline spreads workers across the cluster; the
+    // order-sensitive variant co-locates them on node0, where zero wire
+    // latency makes every delivery land at the same virtual instant —
+    // maximal heap ties for the interleaving shuffle to permute.
+    let mapping = match kind {
+        WorkloadKind::OrderSensitive => format!("node0*{nodes}"),
+        _ => default_mapping(nodes, 1),
+    };
+    let workers: ThreadCollection<()> = eng.thread_collection(app, "w", &mapping)?;
+    let hub = eng.chunk_hub();
+    *hub_out = Some(Arc::clone(&hub));
+    let w = workers.thread_count();
+
+    let mut b = GraphBuilder::new("vopr-pipeline");
+    let split_hub = Arc::clone(&hub);
+    let split = b.split(
+        &ctl,
+        || ToThread(0),
+        move || ScheduledSplit::new(PolicyKind::Ss, w, Arc::clone(&split_hub)),
+    );
+    let leaf_hub = Arc::clone(&hub);
+    let work = b.leaf(&workers, ChunkRoute::new, move || {
+        ChunkWorker::uniform(0.0, Arc::clone(&leaf_hub))
+    });
+    let mut bytes = Vec::new();
+    match kind {
+        WorkloadKind::Pipeline => {
+            let gather = b.merge(&ctl, || ToThread(0), CollectChunks::default);
+            b.add(split >> work >> gather);
+            let front: Application<SimEngine, IterRange, RangeDone> = Application::build(eng, b)?;
+            for step in 0..3u32 {
+                let done = front.call(
+                    eng,
+                    IterRange {
+                        start: 0,
+                        len: 24,
+                        step,
+                    },
+                )?;
+                bytes.extend_from_slice(&done.step.to_le_bytes());
+                bytes.extend_from_slice(&done.iters.to_le_bytes());
+                bytes.extend_from_slice(&done.chunks.to_le_bytes());
+                samples.push(eng.now_secs());
+            }
+        }
+        WorkloadKind::OrderSensitive => {
+            let gather = b.merge(&ctl, || ToThread(0), OrderGather::default);
+            b.add(split >> work >> gather);
+            let front: Application<SimEngine, IterRange, OrderTrace> = Application::build(eng, b)?;
+            for step in 0..3u32 {
+                let trace = front.call(
+                    eng,
+                    IterRange {
+                        start: 0,
+                        len: 24,
+                        step,
+                    },
+                )?;
+                for v in trace.order.iter() {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                samples.push(eng.now_secs());
+            }
+        }
+        _ => unreachable!("pipeline variants only"),
+    }
+    Ok(bytes)
+}

@@ -25,6 +25,9 @@
 //!   event rings, Chrome-trace export, deterministic schedule hashes.
 //! * [`dps_linalg`] / [`dps_life`] / [`dps_sfs`] — the paper's application
 //!   substrates (block LU factorization, Game of Life, striped file system).
+//! * [`dps_vopr`] — deterministic simulation testing: seeded fault
+//!   exploration (delivery shuffles, wire faults, node kills) with
+//!   invariant checking and one-command trace-hash replay.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub use dps_obs as obs;
 pub use dps_sched as sched;
 pub use dps_serial as serial;
 pub use dps_sfs as sfs;
+pub use dps_vopr as vopr;
 
 /// Convenient prelude pulling in the most common DPS items.
 pub mod prelude {
