@@ -525,8 +525,72 @@ impl MtEngine {
     /// fault schedule applied to either engine leaves the same surviving
     /// output set (differentially tested in the workspace's `vopr` tests).
     pub fn fail_node(&mut self, node: u32) -> Result<()> {
+        self.fail_handle().fail_node(node)
+    }
+
+    /// A [`Send`]`+`[`Sync`] handle that can tombstone cluster nodes from
+    /// *other* threads while this engine runs. Layered engines use it to
+    /// turn an asynchronous failure signal (a heartbeat miss, a socket
+    /// EOF) into the same [`fail_node`](Self::fail_node) degradation the
+    /// scripted call performs — without needing `&mut MtEngine` on the
+    /// detecting thread. Spawns the worker threads if needed.
+    pub fn fail_handle(&mut self) -> FailHandle {
         self.ensure_started();
-        let shared = Arc::clone(self.shared.as_ref().expect("started"));
+        FailHandle {
+            shared: Arc::clone(self.shared.as_ref().expect("started")),
+            feedback: self.feedback.clone(),
+            trace: self.trace.clone(),
+        }
+    }
+
+    /// Stop all worker threads and join them.
+    pub fn shutdown(&mut self) {
+        if let Some(shared) = &self.shared {
+            for app in &shared.apps {
+                for tc in &app.tcs {
+                    for tx in &tc.senders {
+                        let _ = tx.send(Msg::Stop);
+                    }
+                }
+            }
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.shared = None;
+    }
+
+    /// Wall-clock time since the engine was created. Monotonic across the
+    /// whole lifecycle — in particular it does **not** rebase when the
+    /// worker threads spawn on the first submit, so `now_secs()` intervals
+    /// taken around a run measure that run alone.
+    pub fn elapsed(&self) -> Duration {
+        self.started_at.elapsed()
+    }
+}
+
+impl Drop for MtEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Thread-safe node-failure injector detached from the engine borrow (see
+/// [`MtEngine::fail_handle`]). Cloning is cheap; every clone tombstones the
+/// same engine. Idempotent per node: the first caller wins, later calls on
+/// an already-dead node are no-ops.
+#[derive(Clone)]
+pub struct FailHandle {
+    shared: Arc<Shared>,
+    feedback: Option<Arc<dyn FeedbackSink>>,
+    trace: Option<Arc<dps_obs::TraceCollector>>,
+}
+
+impl FailHandle {
+    /// Tombstone cluster node `node`: exactly the semantics of
+    /// [`MtEngine::fail_node`], callable from any thread.
+    pub fn fail_node(&self, node: u32) -> Result<()> {
+        let shared = &self.shared;
         let Some(flag) = shared.dead.get(node as usize) else {
             return Err(DpsError::InvalidGraph {
                 reason: format!("fail_node: no such cluster node {node}"),
@@ -585,35 +649,12 @@ impl MtEngine {
         Ok(())
     }
 
-    /// Stop all worker threads and join them.
-    pub fn shutdown(&mut self) {
-        if let Some(shared) = &self.shared {
-            for app in &shared.apps {
-                for tc in &app.tcs {
-                    for tx in &tc.senders {
-                        let _ = tx.send(Msg::Stop);
-                    }
-                }
-            }
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-        self.shared = None;
-    }
-
-    /// Wall-clock time since the engine was created. Monotonic across the
-    /// whole lifecycle — in particular it does **not** rebase when the
-    /// worker threads spawn on the first submit, so `now_secs()` intervals
-    /// taken around a run measure that run alone.
-    pub fn elapsed(&self) -> Duration {
-        self.started_at.elapsed()
-    }
-}
-
-impl Drop for MtEngine {
-    fn drop(&mut self) {
-        self.shutdown();
+    /// True when `node` has already been tombstoned.
+    pub fn is_dead(&self, node: u32) -> bool {
+        self.shared
+            .dead
+            .get(node as usize)
+            .is_some_and(|f| f.load(Ordering::Acquire))
     }
 }
 

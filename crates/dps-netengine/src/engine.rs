@@ -14,15 +14,16 @@
 use std::collections::HashMap;
 use std::io;
 use std::process::{Child, Command};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dps_cluster::{resolve_mapping, ClusterSpec};
 use dps_core::{DpsError, GraphBuilder, Result, ThreadCollection, TokenBox};
 use dps_mt::{
-    MtApp, MtConfig, MtEngine, MtGraph, RemoteExec, RemoteKind, RemoteOutcome, RemoteTask,
+    FailHandle, MtApp, MtConfig, MtEngine, MtGraph, RemoteExec, RemoteKind, RemoteOutcome,
+    RemoteTask,
 };
 use dps_net::{NameServer, NodeId};
 use dps_obs::TraceCollector;
@@ -30,9 +31,91 @@ use dps_sched::{ChunkHub, FeedbackSink};
 use parking_lot::Mutex;
 
 use crate::exec::{send_frame, AppDecl, DeclStore, ExecHost, HubLink, Job, TcDecl};
+use crate::fault::{arm_duplex, KillTx, NetKill, WireFaults};
 use crate::proto::{self, DeclSig, Frame, TaskKind};
 use crate::runtime::{AsyncRuntime, TaskHandle, ThreadRuntime};
 use crate::transport::{Duplex, FrameRx, FrameTx, LoopbackTransport, TcpTransport, Transport};
+
+/// Every deadline the network engine enforces, in one place. Each field
+/// names the `DPS_NET_*` environment variable that overrides it (read by
+/// [`NetTimeouts::from_env`], which [`NetEngineConfig::default`] applies),
+/// and every timeout error message names the timeout that fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetTimeouts {
+    /// Connection setup: workers connecting to the master, the master
+    /// collecting every worker's declaration sync, and the per-run trace
+    /// round. Override: `DPS_NET_CONNECT_TIMEOUT_MS`.
+    pub connect: Duration,
+    /// How long one remote op execution may take before the hosting worker
+    /// counts as down. Override: `DPS_NET_EXEC_TIMEOUT_MS`.
+    pub exec: Duration,
+    /// How long a worker's `run_to_idle` waits for the master's `Release`.
+    /// Must exceed `exec` + `connect` (the master's slowest clean run).
+    /// Override: `DPS_NET_RELEASE_TIMEOUT_MS`.
+    pub release: Duration,
+    /// Heartbeat period: the master pings every live worker this often.
+    /// Override: `DPS_NET_HEARTBEAT_MS`.
+    pub heartbeat_interval: Duration,
+    /// Consecutive silent heartbeat intervals before a worker is declared
+    /// dead. The detection budget — `heartbeat_interval ×
+    /// heartbeat_misses` — must stay well under `exec`, so a dead worker
+    /// is tombstoned long before an in-flight execution would time out.
+    /// Override: `DPS_NET_HEARTBEAT_MISSES`.
+    pub heartbeat_misses: u32,
+}
+
+impl Default for NetTimeouts {
+    fn default() -> Self {
+        Self {
+            connect: Duration::from_secs(20),
+            exec: Duration::from_secs(30),
+            release: Duration::from_secs(50),
+            heartbeat_interval: Duration::from_millis(250),
+            heartbeat_misses: 8,
+        }
+    }
+}
+
+impl NetTimeouts {
+    /// Defaults with any `DPS_NET_*` environment overrides applied. Worker
+    /// processes inherit the master's environment, so overrides stay
+    /// SPMD-consistent across the cluster.
+    pub fn from_env() -> Self {
+        fn ms(name: &str) -> Option<Duration> {
+            std::env::var(name)
+                .ok()?
+                .parse()
+                .ok()
+                .map(Duration::from_millis)
+        }
+        let mut t = Self::default();
+        if let Some(d) = ms("DPS_NET_CONNECT_TIMEOUT_MS") {
+            t.connect = d;
+        }
+        if let Some(d) = ms("DPS_NET_EXEC_TIMEOUT_MS") {
+            t.exec = d;
+        }
+        if let Some(d) = ms("DPS_NET_RELEASE_TIMEOUT_MS") {
+            t.release = d;
+        }
+        if let Some(d) = ms("DPS_NET_HEARTBEAT_MS") {
+            t.heartbeat_interval = d;
+        }
+        if let Some(n) = std::env::var("DPS_NET_HEARTBEAT_MISSES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
+            t.heartbeat_misses = n;
+        }
+        t
+    }
+
+    /// The worker-death detection bound: a worker silent for this long is
+    /// declared dead. Well under [`exec`](Self::exec) by default.
+    pub fn detection_budget(&self) -> Duration {
+        self.heartbeat_interval * self.heartbeat_misses.max(1)
+    }
+}
 
 /// Configuration of a [`NetEngine`].
 #[derive(Debug, Clone)]
@@ -40,22 +123,31 @@ pub struct NetEngineConfig {
     /// Configuration of the master's embedded control-plane engine (flow
     /// window, serialization enforcement, run timeout).
     pub mt: MtConfig,
-    /// How long connection setup may take: workers connecting to the
-    /// master, and the master waiting for every worker's declaration sync.
-    pub connect_timeout: Duration,
+    /// Every deadline the engine enforces (see [`NetTimeouts`]).
+    pub timeouts: NetTimeouts,
     /// Arguments the master passes when re-executing the current binary as
     /// worker processes. `None` re-uses this process's own arguments (the
     /// SPMD default); tests set an explicit filter so the child runs only
     /// the calling test.
     pub worker_args: Option<Vec<String>>,
+    /// Deterministic wire faults (drops-as-delay, jitter, duplicates) on
+    /// every master↔worker connection. SPMD: master and workers must
+    /// construct the same value. `None` = clean wire.
+    pub wire_faults: Option<WireFaults>,
+    /// Scheduled worker kills, applied by the master (workers ignore this
+    /// field). Each entry crashes one rank after a fixed number of
+    /// outbound frames.
+    pub kills: Vec<NetKill>,
 }
 
 impl Default for NetEngineConfig {
     fn default() -> Self {
         Self {
             mt: MtConfig::default(),
-            connect_timeout: Duration::from_secs(20),
+            timeouts: NetTimeouts::from_env(),
             worker_args: None,
+            wire_faults: None,
+            kills: Vec::new(),
         }
     }
 }
@@ -92,7 +184,8 @@ struct DoneReply {
     error: Option<String>,
 }
 
-/// Master-side state shared with connection readers and the remote hook.
+/// Master-side state shared with connection readers, the heartbeat monitor
+/// and the remote hook.
 struct MasterShared {
     /// Writer of the connection to worker rank `r` at index `r - 1`.
     conns: Vec<Arc<Mutex<Box<dyn FrameTx>>>>,
@@ -101,15 +194,90 @@ struct MasterShared {
     ns: Mutex<NameServer>,
     /// The real chunk hub; workers reach it through [`Frame::Hub`] traffic.
     hub: Arc<ChunkHub>,
-    /// In-flight remote executions by sequence number.
-    pending: Mutex<HashMap<u64, Sender<DoneReply>>>,
+    /// In-flight remote executions by sequence number, with the worker rank
+    /// each was shipped to (so a dead rank's replies can be failed fast).
+    pending: Mutex<HashMap<u64, (u32, Sender<DoneReply>)>>,
     seq: AtomicU64,
-    /// How long a remote execution may take before the node counts as down.
-    exec_timeout: Duration,
+    /// Every deadline the engine enforces.
+    timeouts: NetTimeouts,
     /// Declaration mirror (host placement for the hook, token registries
     /// for decoding posted tokens — shared with in-process harnesses in
     /// loopback mode).
     decls: Arc<DeclStore>,
+    /// Tombstone flags: `dead[r - 1]` is set once rank `r` is declared
+    /// dead (EOF, protocol corruption, or a missed heartbeat budget).
+    dead: Vec<AtomicBool>,
+    /// Liveness clock per rank: milliseconds since `epoch` of the last
+    /// inbound frame, updated by the connection readers.
+    last_rx: Vec<AtomicU64>,
+    /// Base instant of the `last_rx` clock.
+    epoch: Instant,
+    /// Thread-safe tombstoning into the embedded control plane, installed
+    /// at the first-run barrier (`ensure_net_ready`).
+    fail: OnceLock<FailHandle>,
+    /// Set at the start of a clean shutdown: connection teardown is
+    /// expected from here on and must not be classified as worker death.
+    closing: AtomicBool,
+}
+
+impl MasterShared {
+    /// Record an inbound frame from `rank` (any frame proves liveness).
+    fn touch(&self, rank: u32) {
+        if let Some(slot) = self.last_rx.get((rank - 1) as usize) {
+            slot.store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// How long rank `rank` has been silent.
+    fn idle(&self, rank: u32) -> Duration {
+        let last = self.last_rx[(rank - 1) as usize].load(Ordering::Relaxed);
+        Duration::from_millis((self.epoch.elapsed().as_millis() as u64).saturating_sub(last))
+    }
+
+    /// Has `rank` been declared dead?
+    fn rank_dead(&self, rank: u32) -> bool {
+        rank >= 1
+            && self
+                .dead
+                .get((rank - 1) as usize)
+                .is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Declare worker `rank` dead and run the degradation path: fail its
+    /// in-flight executions immediately, expire its open chunk leases so
+    /// survivors re-claim the work, and tombstone its cluster node in the
+    /// embedded control plane (`worker_lost` into feedback boards, token
+    /// re-routing, `NodeDown` for materialized waves, a `Fault{NODE_KILL}`
+    /// trace breadcrumb). Idempotent; a no-op during clean shutdown.
+    fn declare_dead(&self, rank: u32, why: &str) -> bool {
+        if self.closing.load(Ordering::Acquire) || rank == 0 {
+            return false;
+        }
+        let Some(flag) = self.dead.get((rank - 1) as usize) else {
+            return false;
+        };
+        if flag.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        eprintln!("dps-netengine: worker rank {rank} is down: {why}");
+        // Wake engine threads blocked on this rank's replies *now*:
+        // dropping the reply senders turns their waits into immediate
+        // disconnects, surfaced as NodeDown (not a slow exec timeout).
+        self.pending.lock().retain(|_, (r, _)| *r != rank);
+        // Ranges the dead rank announced stop handing out chunks; the
+        // unclaimed iterations come back in fresh waves on survivors.
+        let expired = self.hub.expire_owner(rank);
+        if !expired.is_empty() {
+            eprintln!(
+                "dps-netengine: expired {} open chunk lease(s) of rank {rank}",
+                expired.len()
+            );
+        }
+        if let Some(fail) = self.fail.get() {
+            let _ = fail.fail_node(rank);
+        }
+        true
+    }
 }
 
 struct Master {
@@ -128,7 +296,6 @@ struct Master {
     out_buf: HashMap<(u32, u32), Vec<TokenBox>>,
     children: Vec<Child>,
     tasks: Vec<Box<dyn TaskHandle>>,
-    connect_timeout: Duration,
     down: bool,
     /// The attached trace collector, driving the per-run trace round.
     trace: Option<Arc<TraceCollector>>,
@@ -137,6 +304,11 @@ struct Master {
     harness_hosts: Vec<Arc<ExecHost>>,
     /// `Trace` replies routed from the connection readers: `(run, bytes)`.
     trace_rx: Receiver<(u64, Vec<u8>)>,
+    /// Ranks with a scheduled kill armed ([`NetEngineConfig::kills`]): the
+    /// schedule may fire at any point — including between run completion
+    /// and shutdown — so these ranks are allowed to die without their exit
+    /// status counting as a worker failure.
+    kill_armed: Vec<u32>,
 }
 
 struct Worker {
@@ -188,6 +360,14 @@ impl RemoteExec for NetRemote {
                     target: format!("node {}", task.node),
                 })?
                 .0;
+        if s.rank_dead(rank) {
+            // Tombstoned rank: fail fast so the router sheds the work to
+            // survivors instead of burning the exec timeout per call.
+            return Err(DpsError::NodeDown {
+                node: kernel,
+                target: "worker process is down (tombstoned)".into(),
+            });
+        }
         let conn = &s.conns[(rank - 1) as usize];
         let kind = match task.kind {
             RemoteKind::Exec => TaskKind::Exec,
@@ -202,7 +382,7 @@ impl RemoteExec for NetRemote {
             .unwrap_or_default();
         let seq = s.seq.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded();
-        s.pending.lock().insert(seq, tx);
+        s.pending.lock().insert(seq, (rank, tx));
         let frame = Frame::Exec {
             seq,
             app: task.app,
@@ -221,13 +401,24 @@ impl RemoteExec for NetRemote {
                 target: format!("send failed: {e}"),
             });
         }
-        let done = match rx.recv_timeout(s.exec_timeout) {
+        let done = match rx.recv_timeout(s.timeouts.exec) {
             Ok(done) => done,
-            Err(_) => {
+            Err(RecvTimeoutError::Disconnected) => {
+                // The liveness layer declared the rank dead and dropped our
+                // reply sender — fail now, not at the exec timeout.
+                return Err(DpsError::NodeDown {
+                    node: kernel,
+                    target: "worker process died mid-execution (heartbeat/EOF)".into(),
+                });
+            }
+            Err(RecvTimeoutError::Timeout) => {
                 s.pending.lock().remove(&seq);
                 return Err(DpsError::NodeDown {
                     node: kernel,
-                    target: format!("no reply within {:?}", s.exec_timeout),
+                    target: format!(
+                        "no reply within exec timeout {:?} (DPS_NET_EXEC_TIMEOUT_MS)",
+                        s.timeouts.exec
+                    ),
                 });
             }
         };
@@ -256,7 +447,10 @@ impl RemoteExec for NetRemote {
 // ---------------------------------------------------------------------------
 
 /// Master-side reader of one worker connection: routes `Done` replies,
-/// serves hub traffic, forwards the sync signature.
+/// serves hub traffic, forwards the sync signature — and feeds the
+/// liveness layer: every inbound frame refreshes the rank's heartbeat
+/// clock, and a connection error (EOF, reset) or protocol corruption
+/// declares the rank dead on the spot.
 fn master_reader(
     shared: Arc<MasterShared>,
     rank: u32,
@@ -264,7 +458,22 @@ fn master_reader(
     sync_tx: Sender<(u32, u64)>,
     trace_tx: Sender<(u64, Vec<u8>)>,
 ) {
-    while let Ok(bytes) = rx.recv() {
+    loop {
+        let bytes = match rx.recv() {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                // ErrorKind classification: a clean close (the process
+                // exited) reads as EOF, a crash mid-write as reset/aborted;
+                // either way the worker is gone.
+                let why = match e.kind() {
+                    io::ErrorKind::UnexpectedEof => format!("connection closed (EOF): {e}"),
+                    kind => format!("connection error ({kind:?}): {e}"),
+                };
+                shared.declare_dead(rank, &why);
+                break;
+            }
+        };
+        shared.touch(rank);
         match dps_serial::from_bytes::<Frame>(&bytes) {
             Ok(Frame::Done {
                 seq,
@@ -272,7 +481,7 @@ fn master_reader(
                 reports,
                 error,
             }) => {
-                if let Some(tx) = shared.pending.lock().remove(&seq) {
+                if let Some((_, tx)) = shared.pending.lock().remove(&seq) {
                     let _ = tx.send(DoneReply {
                         posts,
                         reports,
@@ -281,7 +490,9 @@ fn master_reader(
                 }
             }
             Ok(Frame::Hub { req, body }) => {
-                let body = body.serve(&shared.hub);
+                // Owner-tagged serving: leases this rank opens are stamped
+                // with it, so its death expires exactly those leases.
+                let body = body.serve_owned(&shared.hub, rank);
                 let _ = send_frame(
                     &shared.conns[(rank - 1) as usize],
                     &Frame::HubReply { req, body },
@@ -293,8 +504,48 @@ fn master_reader(
             Ok(Frame::Trace { run, bytes }) => {
                 let _ = trace_tx.send((run, bytes));
             }
+            // Pong (and anything else): the `touch` above already reset
+            // the heartbeat clock.
             Ok(_) => {}
-            Err(_) => break,
+            Err(_) => {
+                shared.declare_dead(rank, "sent an undecodable frame (protocol corruption)");
+                break;
+            }
+        }
+    }
+}
+
+/// The master's heartbeat monitor: pings every live worker each interval
+/// and declares dead any rank silent for a whole miss budget. Runs until
+/// shutdown flips `closing`.
+fn heartbeat_monitor(shared: Arc<MasterShared>, rt: Arc<dyn AsyncRuntime>) {
+    let interval = shared.timeouts.heartbeat_interval;
+    let budget = shared.timeouts.detection_budget();
+    let mut nonce = 0u64;
+    loop {
+        rt.sleep(interval);
+        if shared.closing.load(Ordering::Acquire) {
+            break;
+        }
+        nonce += 1;
+        for rank in 1..=shared.conns.len() as u32 {
+            if shared.rank_dead(rank) {
+                continue;
+            }
+            if shared.idle(rank) > budget {
+                shared.declare_dead(
+                    rank,
+                    &format!(
+                        "missed the heartbeat budget ({} × {interval:?}; \
+                         DPS_NET_HEARTBEAT_MS / DPS_NET_HEARTBEAT_MISSES)",
+                        shared.timeouts.heartbeat_misses
+                    ),
+                );
+                continue;
+            }
+            if send_frame(&shared.conns[(rank - 1) as usize], &Frame::Ping { nonce }).is_err() {
+                shared.declare_dead(rank, "ping send failed (connection closed)");
+            }
         }
     }
 }
@@ -361,6 +612,15 @@ fn worker_reader(
                     .unwrap_or_default();
                 let _ = send_frame(&writer, &Frame::Trace { run, bytes });
             }
+            Ok(Frame::Ping { nonce }) => {
+                let _ = send_frame(&writer, &Frame::Pong { nonce });
+            }
+            Ok(Frame::Die) => {
+                // Scheduled crash: die *abruptly* — no Release handshake, no
+                // host teardown — so the master's death detection is
+                // exercised against a real disappearance.
+                std::process::exit(86);
+            }
             Ok(Frame::Shutdown) => break,
             Ok(_) => {}
             Err(_) => break,
@@ -372,7 +632,11 @@ fn worker_reader(
 
 /// In-process worker harness used by loopback mode: executes `Exec` frames
 /// against the master's own declaration store.
-fn harness_reader(mut rx: Box<dyn FrameRx>, host: Arc<ExecHost>) {
+fn harness_reader(
+    mut rx: Box<dyn FrameRx>,
+    host: Arc<ExecHost>,
+    writer: Arc<Mutex<Box<dyn FrameTx>>>,
+) {
     while let Ok(bytes) = rx.recv() {
         match dps_serial::from_bytes::<Frame>(&bytes) {
             Ok(Frame::Exec {
@@ -398,6 +662,16 @@ fn harness_reader(mut rx: Box<dyn FrameRx>, host: Arc<ExecHost>) {
                     env,
                 },
             ),
+            Ok(Frame::Ping { nonce }) => {
+                let _ = send_frame(&writer, &Frame::Pong { nonce });
+            }
+            Ok(Frame::Die) => {
+                // In-process stand-in for a crash: stop reading and drop the
+                // connection. The harness's executor lanes stay up (we can't
+                // kill a process we share), but from the master's side the
+                // rank goes silent exactly like a dead worker.
+                return;
+            }
             Ok(Frame::Shutdown) => break,
             Ok(_) => {}
             Err(_) => break,
@@ -440,15 +714,26 @@ impl NetEngine {
         let mut tasks: Vec<Box<dyn TaskHandle>> = Vec::new();
         let mut harness_hosts = Vec::new();
         for rank in 1..nodes as u32 {
-            let worker_side = transport.connect(&addr).expect("loopback connect");
-            let master_side = acceptor.accept().expect("loopback accept");
+            let mut worker_side = transport.connect(&addr).expect("loopback connect");
+            let mut master_side = acceptor.accept().expect("loopback accept");
+            // Symmetric fault arming on both connection ends (SPMD config
+            // symmetry guarantees real workers do the same); the kill switch
+            // goes outermost on the master's writer so the scheduled `Die`
+            // passes through the fault layer like any other frame.
+            if let Some(wf) = &cfg.wire_faults {
+                master_side = arm_duplex(master_side, wf.cfg, wf.stream(rank, 0));
+                worker_side = arm_duplex(worker_side, wf.cfg, wf.stream(rank, 1));
+            }
+            if let Some(kill) = cfg.kills.iter().find(|k| k.rank == rank) {
+                master_side.tx = Box::new(KillTx::new(master_side.tx, kill.after_frames));
+            }
             ns.register(format!("kernel{rank}"), NodeId(rank));
             conns.push(Arc::new(Mutex::new(master_side.tx)));
             rxs.push(master_side.rx);
             let hwriter = Arc::new(Mutex::new(worker_side.tx));
             let host = Arc::new(ExecHost::new(
                 decls.clone(),
-                hwriter,
+                hwriter.clone(),
                 node_flops,
                 rank as u16,
                 rt.clone(),
@@ -457,18 +742,24 @@ impl NetEngine {
             let hrx = worker_side.rx;
             tasks.push(rt.spawn(
                 &format!("dps-net-harness{rank}"),
-                Box::new(move || harness_reader(hrx, host)),
+                Box::new(move || harness_reader(hrx, host, hwriter)),
             ));
         }
 
+        let worker_count = conns.len();
         let shared = Arc::new(MasterShared {
             conns,
             ns: Mutex::new(ns),
             hub: Arc::new(ChunkHub::new()),
             pending: Mutex::new(HashMap::new()),
             seq: AtomicU64::new(0),
-            exec_timeout: cfg.mt.run_timeout,
+            timeouts: cfg.timeouts,
             decls,
+            dead: (0..worker_count).map(|_| AtomicBool::new(false)).collect(),
+            last_rx: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
+            epoch: Instant::now(),
+            fail: OnceLock::new(),
+            closing: AtomicBool::new(false),
         });
         let (sync_tx, sync_rx) = unbounded();
         let (trace_tx, trace_rx) = unbounded();
@@ -479,6 +770,14 @@ impl NetEngine {
             tasks.push(rt.spawn(
                 &format!("dps-net-reader{}", i + 1),
                 Box::new(move || master_reader(shared, i as u32 + 1, rx, sync_tx, trace_tx)),
+            ));
+        }
+        if worker_count > 0 {
+            let hb = shared.clone();
+            let hb_rt = rt.clone();
+            tasks.push(rt.spawn(
+                "dps-net-heartbeat",
+                Box::new(move || heartbeat_monitor(hb, hb_rt)),
             ));
         }
 
@@ -497,11 +796,11 @@ impl NetEngine {
                 out_buf: HashMap::new(),
                 children: Vec::new(),
                 tasks,
-                connect_timeout: cfg.connect_timeout,
                 down: false,
                 trace: None,
                 harness_hosts,
                 trace_rx,
+                kill_armed: cfg.kills.iter().map(|k| k.rank).collect(),
             })),
         }
     }
@@ -582,7 +881,7 @@ impl NetEngine {
             }),
         );
         let mut slots: Vec<Option<Duplex>> = (0..worker_count).map(|_| None).collect();
-        let deadline = Instant::now() + cfg.connect_timeout;
+        let deadline = Instant::now() + cfg.timeouts.connect;
         for _ in 0..worker_count {
             let left = deadline.saturating_duration_since(Instant::now());
             let (rank, duplex) = match acc_rx.recv_timeout(left) {
@@ -592,8 +891,9 @@ impl NetEngine {
                     return Err(io::Error::new(
                         io::ErrorKind::TimedOut,
                         format!(
-                            "not all {worker_count} workers connected within {:?}",
-                            cfg.connect_timeout
+                            "not all {worker_count} workers connected within connect \
+                             timeout {:?} (DPS_NET_CONNECT_TIMEOUT_MS)",
+                            cfg.timeouts.connect
                         ),
                     ));
                 }
@@ -622,18 +922,23 @@ impl NetEngine {
         let mut conns = Vec::new();
         let mut rxs = Vec::new();
         for (i, slot) in slots.into_iter().enumerate() {
-            let duplex = slot.expect("every slot filled above");
+            let mut duplex = slot.expect("every slot filled above");
             let rank = i as u32 + 1;
             ns.register(format!("kernel{rank}"), NodeId(rank));
-            let writer = Arc::new(Mutex::new(duplex.tx));
-            send_frame(
-                &writer,
-                &Frame::Welcome {
-                    nodes: nodes as u32,
-                    node_flops,
-                },
-            )?;
-            conns.push(writer);
+            // The Welcome travels raw: the handshake happens below the fault
+            // layer on both ends (the worker arms its side only after
+            // decoding it).
+            duplex.tx.send(&dps_serial::to_bytes(&Frame::Welcome {
+                nodes: nodes as u32,
+                node_flops,
+            }))?;
+            if let Some(wf) = &cfg.wire_faults {
+                duplex = arm_duplex(duplex, wf.cfg, wf.stream(rank, 0));
+            }
+            if let Some(kill) = cfg.kills.iter().find(|k| k.rank == rank) {
+                duplex.tx = Box::new(KillTx::new(duplex.tx, kill.after_frames));
+            }
+            conns.push(Arc::new(Mutex::new(duplex.tx)));
             rxs.push(duplex.rx);
         }
 
@@ -643,8 +948,13 @@ impl NetEngine {
             hub: Arc::new(ChunkHub::new()),
             pending: Mutex::new(HashMap::new()),
             seq: AtomicU64::new(0),
-            exec_timeout: cfg.mt.run_timeout,
+            timeouts: cfg.timeouts,
             decls,
+            dead: (0..worker_count).map(|_| AtomicBool::new(false)).collect(),
+            last_rx: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
+            epoch: Instant::now(),
+            fail: OnceLock::new(),
+            closing: AtomicBool::new(false),
         });
         let mut tasks = vec![accept_task];
         let (sync_tx, sync_rx) = unbounded();
@@ -656,6 +966,14 @@ impl NetEngine {
             tasks.push(rt.spawn(
                 &format!("dps-net-reader{}", i + 1),
                 Box::new(move || master_reader(shared, i as u32 + 1, rx, sync_tx, trace_tx)),
+            ));
+        }
+        if worker_count > 0 {
+            let hb = shared.clone();
+            let hb_rt = rt.clone();
+            tasks.push(rt.spawn(
+                "dps-net-heartbeat",
+                Box::new(move || heartbeat_monitor(hb, hb_rt)),
             ));
         }
 
@@ -674,18 +992,18 @@ impl NetEngine {
                 out_buf: HashMap::new(),
                 children,
                 tasks,
-                connect_timeout: cfg.connect_timeout,
                 down: false,
                 trace: None,
                 harness_hosts: Vec::new(),
                 trace_rx,
+                kill_armed: cfg.kills.iter().map(|k| k.rank).collect(),
             })),
         })
     }
 
     fn worker_tcp(nodes: usize, cfg: NetEngineConfig, rank: u32, addr: &str) -> io::Result<Self> {
         let rt: Arc<dyn AsyncRuntime> = Arc::new(ThreadRuntime);
-        let deadline = Instant::now() + cfg.connect_timeout;
+        let deadline = Instant::now() + cfg.timeouts.connect;
         let mut duplex = loop {
             match TcpTransport.connect(addr) {
                 Ok(d) => break d,
@@ -715,6 +1033,12 @@ impl NetEngine {
                 io::ErrorKind::InvalidData,
                 format!("master runs {wire_nodes} nodes, this worker was built for {nodes}"),
             ));
+        }
+        // Handshake done — arm this end of the fault layer (the master armed
+        // its end right after sending the Welcome). Workers ignore `kills`:
+        // the kill switch lives on the master's writer.
+        if let Some(wf) = &cfg.wire_faults {
+            duplex = arm_duplex(duplex, wf.cfg, wf.stream(rank, 1));
         }
 
         let decls = Arc::new(DeclStore::default());
@@ -769,7 +1093,7 @@ impl NetEngine {
                 shutdown_rx,
                 synced: false,
                 run_seq: 0,
-                release_timeout: cfg.mt.run_timeout + cfg.connect_timeout,
+                release_timeout: cfg.timeouts.release,
                 started: Instant::now(),
                 tasks: vec![reader],
                 down: false,
@@ -799,6 +1123,34 @@ impl NetEngine {
         match &self.role {
             Role::Master(_) => 0,
             Role::Worker(w) => w.rank,
+        }
+    }
+
+    /// Kill worker `rank` (1-based) mid-run. On the master a real worker
+    /// process is killed outright (SIGKILL — the reader sees EOF) and a
+    /// loopback harness is sent [`Frame::Die`] (it drops its connection and
+    /// goes silent — the heartbeat budget catches it). Detection then runs
+    /// the engine's *natural* liveness path; nothing is tombstoned here
+    /// directly. A no-op on worker roles, so SPMD drivers call it
+    /// unconditionally.
+    pub fn fail_worker(&mut self, rank: u32) -> Result<()> {
+        match &mut self.role {
+            Role::Master(m) => m.fail_worker(rank),
+            Role::Worker(_) => Ok(()),
+        }
+    }
+
+    /// Liveness observability: has worker `rank` been declared dead
+    /// (tombstoned)? Detection is asynchronous — EOF classification or the
+    /// heartbeat budget — so a just-killed rank reads `false` until the
+    /// liveness layer catches it. Always `false` on worker roles and for
+    /// out-of-range ranks.
+    pub fn worker_down(&self, rank: u32) -> bool {
+        match &self.role {
+            Role::Master(m) => {
+                rank >= 1 && rank as usize <= m.shared.conns.len() && m.shared.rank_dead(rank)
+            }
+            Role::Worker(_) => false,
         }
     }
 
@@ -842,32 +1194,63 @@ impl Master {
         if !self.presynced {
             let expect = self.sig.finish();
             let want = self.shared.conns.len();
-            let deadline = Instant::now() + self.connect_timeout;
+            let deadline = Instant::now() + self.shared.timeouts.connect;
             let mut synced = 0usize;
-            while synced < want {
-                let left = deadline.saturating_duration_since(Instant::now());
-                let (rank, sig) =
-                    self.sync_rx
-                        .recv_timeout(left)
-                        .map_err(|_| DpsError::NodeDown {
-                            node: format!("{} worker(s)", want - synced),
-                            target: "declaration sync".into(),
-                        })?;
-                if sig != expect {
-                    return Err(DpsError::InvalidGraph {
-                        reason: format!(
-                            "worker {rank} declared a different schedule \
-                             (signature {sig:#018x}, master {expect:#018x}); \
-                             SPMD kernels must run identical declarations"
-                        ),
-                    });
+            // Poll in short slices so a worker that dies *before* syncing
+            // (its tombstone raised by the liveness layer) counts as
+            // accounted for instead of stalling the barrier to the timeout.
+            loop {
+                let dead = (1..=want as u32)
+                    .filter(|&r| self.shared.rank_dead(r))
+                    .count();
+                if synced + dead >= want {
+                    break;
                 }
-                synced += 1;
+                let left = deadline
+                    .saturating_duration_since(Instant::now())
+                    .min(Duration::from_millis(50));
+                match self.sync_rx.recv_timeout(left) {
+                    Ok((rank, sig)) => {
+                        if sig != expect {
+                            return Err(DpsError::InvalidGraph {
+                                reason: format!(
+                                    "worker {rank} declared a different schedule \
+                                     (signature {sig:#018x}, master {expect:#018x}); \
+                                     SPMD kernels must run identical declarations"
+                                ),
+                            });
+                        }
+                        synced += 1;
+                    }
+                    Err(_) => {
+                        if Instant::now() >= deadline {
+                            return Err(DpsError::NodeDown {
+                                node: format!("{} worker(s)", want - synced - dead),
+                                target: format!(
+                                    "declaration sync (connect timeout {:?}; \
+                                     DPS_NET_CONNECT_TIMEOUT_MS)",
+                                    self.shared.timeouts.connect
+                                ),
+                            });
+                        }
+                    }
+                }
             }
         }
         if !self.shared.conns.is_empty() {
             self.mt
                 .set_remote_exec(Arc::new(NetRemote(self.shared.clone())));
+            // Hand the liveness layer its tombstoning lever into the control
+            // plane (valid only once the engine threads exist, which
+            // `fail_handle` ensures). A rank that died before this point is
+            // failed retroactively so its cluster node never receives work.
+            let handle = self.mt.fail_handle();
+            for rank in 1..=self.shared.conns.len() as u32 {
+                if self.shared.rank_dead(rank) {
+                    let _ = handle.fail_node(rank);
+                }
+            }
+            let _ = self.shared.fail.set(handle);
         }
         self.ready = true;
         Ok(())
@@ -933,20 +1316,35 @@ impl Master {
         if self.presynced || self.shared.conns.is_empty() {
             return;
         }
+        // Only live workers are asked (and awaited): a rank that dies during
+        // the round is dropped from the expected count on the next slice, so
+        // its lost log costs nothing but its own events.
         let req = Frame::TraceReq { run: self.run_seq };
-        for conn in &self.shared.conns {
-            let _ = send_frame(conn, &req);
+        let mut expected = 0usize;
+        for (i, conn) in self.shared.conns.iter().enumerate() {
+            if !self.shared.rank_dead(i as u32 + 1) && send_frame(conn, &req).is_ok() {
+                expected += 1;
+            }
         }
-        let deadline = Instant::now() + self.connect_timeout;
-        let mut pending = self.shared.conns.len();
-        while pending > 0 {
-            let left = deadline.saturating_duration_since(Instant::now());
+        let deadline = Instant::now() + self.shared.timeouts.connect;
+        let mut got = 0usize;
+        while got < expected {
+            let live = (1..=self.shared.conns.len() as u32)
+                .filter(|&r| !self.shared.rank_dead(r))
+                .count();
+            expected = expected.min(live.max(got));
+            if got >= expected {
+                break;
+            }
+            let left = deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(50));
             match self.trace_rx.recv_timeout(left) {
                 Ok((run, bytes)) => {
                     if run != self.run_seq {
                         continue; // stale reply of an earlier, timed-out round
                     }
-                    pending -= 1;
+                    got += 1;
                     if !bytes.is_empty() {
                         match dps_obs::wire::decode_log(&bytes) {
                             Some(log) => collector.ingest(&log),
@@ -956,9 +1354,33 @@ impl Master {
                         }
                     }
                 }
-                Err(_) => break,
+                Err(_) => {
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
             }
         }
+    }
+
+    fn fail_worker(&mut self, rank: u32) -> Result<()> {
+        if rank == 0 || rank as usize > self.shared.conns.len() {
+            return Err(DpsError::InvalidGraph {
+                reason: format!("no worker rank {rank} to fail"),
+            });
+        }
+        match self.children.get_mut((rank - 1) as usize) {
+            // Real worker process: kill it abruptly; its connection EOFs.
+            Some(child) => {
+                let _ = child.kill();
+            }
+            // Loopback harness: tell it to drop the connection and go
+            // silent; the heartbeat budget does the rest.
+            None => {
+                let _ = send_frame(&self.shared.conns[(rank - 1) as usize], &Frame::Die);
+            }
+        }
+        Ok(())
     }
 
     fn shutdown(&mut self) {
@@ -966,6 +1388,10 @@ impl Master {
             return;
         }
         self.down = true;
+        // From here on, connection teardown is expected: the liveness layer
+        // must not classify it as worker death (and the heartbeat monitor
+        // exits at its next tick).
+        self.shared.closing.store(true, Ordering::Release);
         // Stop the control plane first: joining its threads guarantees no
         // further remote executions are in flight when Shutdown goes out.
         self.mt.shutdown();
@@ -977,7 +1403,17 @@ impl Master {
         // that writer drops and their recv sees the channel close.
         self.harness_hosts.clear();
         let mut failures = Vec::new();
-        for mut child in self.children.drain(..) {
+        for (i, mut child) in self.children.drain(..).enumerate() {
+            let rank = i as u32 + 1;
+            if self.shared.rank_dead(rank) || self.kill_armed.contains(&rank) {
+                // Tombstoned (killed or wedged) — or carrying an armed kill
+                // schedule, which may fire between run completion and this
+                // teardown: reap without judgment; its exit status is the
+                // fault, not a failure.
+                let _ = child.kill();
+                let _ = child.wait();
+                continue;
+            }
             match child.wait() {
                 Ok(status) if status.success() => {}
                 Ok(status) => failures.push(format!("worker exited with {status}")),
@@ -1031,7 +1467,8 @@ impl Worker {
             }
             Err(_) => Err(DpsError::IncompleteWaves {
                 waves: vec![format!(
-                    "master did not release run {} within {:?}",
+                    "master did not release run {} within release timeout {:?} \
+                     (DPS_NET_RELEASE_TIMEOUT_MS)",
                     self.run_seq, self.release_timeout
                 )],
             }),

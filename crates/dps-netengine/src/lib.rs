@@ -75,17 +75,28 @@
 //! assert_eq!(downcast::<Total>(out).unwrap().sum, 45);
 //! ```
 //!
+//! The engine is **fault-tolerant**: `Ping`/`Pong` heartbeats plus
+//! EOF/reset classification in the connection readers detect a dead or
+//! wedged worker within a bounded budget ([`NetTimeouts`], overridable
+//! through `DPS_NET_*` environment variables), tombstone its rank, expire
+//! its open chunk leases back to the survivors, and degrade exactly like
+//! `MtEngine::fail_node` — completion on the survivors or a clean
+//! `NodeDown`, never a hang. The [`fault`] module injects seeded wire
+//! faults ([`WireFaults`]) and scheduled kills ([`NetKill`]) for testing.
+//!
 //! The full protocol (frames, sync barrier, release ordering, hub
 //! forwarding) is documented in [`proto`] and in the repository's
 //! `docs/ARCHITECTURE.md`.
 
 mod engine;
 mod exec;
+pub mod fault;
 pub mod proto;
 pub mod runtime;
 pub mod transport;
 
-pub use engine::{NetApp, NetEngine, NetEngineConfig, NetGraph};
+pub use engine::{NetApp, NetEngine, NetEngineConfig, NetGraph, NetTimeouts};
+pub use fault::{NetKill, WireFaults};
 pub use runtime::{AsyncRuntime, TaskHandle, ThreadRuntime};
 pub use transport::{
     Acceptor, Duplex, FrameRx, FrameTx, LoopbackTransport, TcpTransport, Transport,

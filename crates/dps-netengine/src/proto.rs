@@ -23,6 +23,9 @@
 //! | `Shutdown` | master → worker | the run is over; stop executors and exit |
 //! | `TraceReq` | master → worker | ship your trace log of the finishing run |
 //! | `Trace` | worker → master | the encoded local trace log (empty when untraced) |
+//! | `Ping` | master → worker | liveness probe; a healthy worker answers immediately |
+//! | `Pong` | worker → master | the `Ping` echo (same `nonce`); resets the miss budget |
+//! | `Die` | master → worker | fault injection: crash the worker process *now* |
 //!
 //! ```
 //! use dps_netengine::proto::Frame;
@@ -187,6 +190,25 @@ pub enum Frame {
         /// `dps_obs::wire::encode_log` bytes (empty = no sink attached).
         bytes: Vec<u8>,
     },
+    /// Liveness probe from the master's heartbeat monitor. A healthy
+    /// worker's reader thread answers with a [`Frame::Pong`] carrying the
+    /// same nonce; a worker that stops answering for a full miss budget is
+    /// declared dead (see `NetTimeouts`).
+    Ping {
+        /// Echoed back in the matching `Pong` (monotone per connection).
+        nonce: u64,
+    },
+    /// The `Ping` echo. Any inbound frame proves liveness — the nonce is
+    /// for trace readability, not matching.
+    Pong {
+        /// The probed nonce.
+        nonce: u64,
+    },
+    /// Fault injection only: the worker process must terminate immediately
+    /// and *abruptly* — no Release handshake, no clean shutdown — so the
+    /// master's death-detection path (EOF + heartbeat miss) is exercised
+    /// exactly as a real crash would.
+    Die,
 }
 
 impl_wire_enum!(Frame {
@@ -202,6 +224,9 @@ impl_wire_enum!(Frame {
     9 => Shutdown { },
     10 => TraceReq { run },
     11 => Trace { run, bytes },
+    12 => Ping { nonce },
+    13 => Pong { nonce },
+    14 => Die { },
 });
 
 /// Encode a token in the tagged form every kernel's registry understands:
@@ -404,6 +429,9 @@ mod tests {
             run: 6,
             bytes: vec![],
         });
+        roundtrip(&Frame::Ping { nonce: 41 });
+        roundtrip(&Frame::Pong { nonce: 41 });
+        roundtrip(&Frame::Die);
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //! assert!(!hub.close(lease.id), "already drained");
 //! ```
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
@@ -370,6 +370,10 @@ struct LeaseSlot {
     counter: OnceLock<Arc<IterCounter>>,
     /// Drained or explicitly closed: claims return `None` from here on.
     closed: AtomicBool,
+    /// Opening party ([`ChunkHub::NO_OWNER`] until tagged): distributed
+    /// engines stamp the worker rank that announced the range so a node
+    /// failure can expire exactly that rank's open leases.
+    owner: AtomicU32,
 }
 
 impl LeaseSlot {
@@ -377,6 +381,7 @@ impl LeaseSlot {
         Self {
             counter: OnceLock::new(),
             closed: AtomicBool::new(false),
+            owner: AtomicU32::new(ChunkHub::NO_OWNER),
         }
     }
 }
@@ -570,6 +575,50 @@ impl ChunkHub {
             Some(slot) if slot.counter.get().is_some() => self.retire(slot),
             _ => false,
         }
+    }
+
+    /// Sentinel owner of an untagged lease (see [`set_owner`](Self::set_owner)).
+    pub const NO_OWNER: u32 = u32::MAX;
+
+    /// Tag lease `id` with the party that opened it. Distributed engines
+    /// call this while serving a remote `Open` so that
+    /// [`expire_owner`](Self::expire_owner) can retire a dead rank's leases.
+    /// No-op on a forwarding hub (ownership is tracked where the directory
+    /// lives) and for unknown ids.
+    pub fn set_owner(&self, id: u64, owner: u32) {
+        if self.remote.is_some() {
+            return;
+        }
+        if let Some(slot) = self.slot(id) {
+            slot.owner.store(owner, Ordering::Release);
+        }
+    }
+
+    /// The owner tag of lease `id`, if it was ever tagged.
+    pub fn owner_of(&self, id: u64) -> Option<u32> {
+        if self.remote.is_some() {
+            return None;
+        }
+        let owner = self.slot(id)?.owner.load(Ordering::Acquire);
+        (owner != Self::NO_OWNER).then_some(owner)
+    }
+
+    /// Close every still-open lease tagged with `owner` — the recovery
+    /// sweep for a dead node: its announced-but-undrained ranges stop
+    /// handing out chunks, so survivors re-announce and re-claim the work
+    /// in fresh waves instead of spinning on a lease whose split died.
+    /// Returns the ids this call expired.
+    pub fn expire_owner(&self, owner: u32) -> Vec<u64> {
+        if self.remote.is_some() {
+            return Vec::new();
+        }
+        (0..self.leases_issued())
+            .filter(|&id| {
+                self.slot(id)
+                    .is_some_and(|s| s.owner.load(Ordering::Acquire) == owner)
+                    && self.close(id)
+            })
+            .collect()
     }
 
     /// The counter behind lease `id`, if still open. Always `None` on a
@@ -835,6 +884,33 @@ mod tests {
         assert!(hub.counter(drained.id).is_none());
         // The recovery path closes the survivor; nothing is abandoned.
         assert!(hub.close(stuck.id));
+        assert!(hub.abandoned_leases().is_empty());
+    }
+
+    /// Owner-tagged leases expire exactly by owner: the dead rank's open
+    /// ranges close, everyone else's keep draining.
+    #[test]
+    fn expire_owner_closes_only_that_ranks_leases() {
+        let hub = ChunkHub::new();
+        let mine = hub.open(ChunkCalc::new(PolicyKind::Ss, 8, 2, &uniform(2)));
+        let theirs = hub.open(ChunkCalc::new(PolicyKind::Ss, 8, 2, &uniform(2)));
+        let untagged = hub.open(ChunkCalc::new(PolicyKind::Ss, 8, 2, &uniform(2)));
+        hub.set_owner(mine.id, 1);
+        hub.set_owner(theirs.id, 2);
+        assert_eq!(hub.owner_of(mine.id), Some(1));
+        assert_eq!(hub.owner_of(untagged.id), None);
+
+        let expired = hub.expire_owner(1);
+        assert_eq!(expired, vec![mine.id], "only rank 1's lease expires");
+        assert!(hub.claim(mine.id).is_none(), "expired lease hands nothing");
+        assert!(hub.claim(theirs.id).is_some(), "rank 2 keeps draining");
+        assert!(hub.claim(untagged.id).is_some(), "untagged keeps draining");
+
+        // A second sweep finds nothing left to expire (close is once-only).
+        assert!(hub.expire_owner(1).is_empty());
+        // Draining the survivors leaves nothing abandoned.
+        while hub.claim(theirs.id).is_some() {}
+        while hub.claim(untagged.id).is_some() {}
         assert!(hub.abandoned_leases().is_empty());
     }
 }

@@ -95,6 +95,18 @@ impl HubRequest {
             },
         }
     }
+
+    /// Like [`serve`](Self::serve), but stamps any lease this request opens
+    /// with `owner` (the requesting worker's rank). Distributed masters use
+    /// this so [`ChunkHub::expire_owner`] can retire a dead rank's open
+    /// leases when its process is lost.
+    pub fn serve_owned(self, hub: &ChunkHub, owner: u32) -> HubResponse {
+        let resp = self.serve(hub);
+        if let HubResponse::Opened { lease } = &resp {
+            hub.set_owner(lease.id, owner);
+        }
+        resp
+    }
 }
 
 /// The master's answer to a [`HubRequest`], variant-matched by position:

@@ -1,25 +1,39 @@
 //! The VOPR driver: seeded fault-exploration sweeps and one-command replay.
 //!
 //! ```text
-//! vopr [--workload W] [--seed S] [--runs N] [--faults CLASSES]
-//!      [--replay] [--smoke] [--fail-file PATH] [--expect-hash 0xHEX]
+//! vopr [--engine sim|net] [--workload W] [--seed S] [--runs N]
+//!      [--faults CLASSES] [--replay] [--smoke] [--fail-file PATH]
+//!      [--expect-hash 0xHEX]
 //! ```
 //!
+//! * `--engine`   — `sim` (default): virtual-time simulator, full fault
+//!   battery; `net`: the same seeded exploration over **real worker
+//!   processes and sockets** (`NetEngine`), with wire faults and scheduled
+//!   process kills. In net mode this binary is the SPMD driver: the master
+//!   re-executes it with `DPS_NET_ROLE=worker` and an argument vector
+//!   pinning the run, so workers re-derive the identical fault schedule;
 //! * `--workload` — `lu` | `matmul` | `life` | `pipeline` |
-//!   `order-sensitive` | `all` (default `all` = the sound workloads);
+//!   `order-sensitive` | `all` (default `all` = the sound workloads; in
+//!   net mode, the engine-generic ones);
 //! * `--seed`     — base seed, decimal or `0x`-hex (default 1);
 //! * `--runs`     — how many consecutive seeds to sweep (default 1);
 //! * `--faults`   — `shuffle,net,kill` subset, `all`, or `none`
-//!   (default `all`); in `--smoke` mode this is ignored and the sweep
-//!   cycles through every fault class instead;
-//! * `--replay`   — additionally run each configuration twice and demand a
-//!   byte-identical event log (invariant 5); prints the schedule hash;
+//!   (default `all`; `shuffle` is simulator-only and ignored by net mode);
+//!   in `--smoke` mode this is ignored and the sweep cycles through every
+//!   fault class instead;
+//! * `--replay`   — additionally run each configuration twice and demand
+//!   identical replays (byte-identical event log on sim; identical
+//!   canonical output bytes on net, where event timing is wall-clock);
+//!   prints the replay hash;
 //! * `--smoke`    — CI mode: cycle workloads × fault classes across the
-//!   seed range, fail fast on nothing, report everything;
+//!   seed range, fail fast on nothing, report everything — and when a run
+//!   fails, **minimize** it by disarming fault classes one at a time
+//!   (re-roll-free: per-class seed streams) and report the smallest
+//!   still-failing combination;
 //! * `--fail-file` — write one replay report per violation to this file
 //!   (uploaded as a CI artifact);
-//! * `--expect-hash` — with `--replay`, also require the replay schedule
-//!   hash to equal this pinned value (CI determinism canary).
+//! * `--expect-hash` — with `--replay`, also require the replay hash to
+//!   equal this pinned value (CI determinism canary).
 //!
 //! Exit status: 0 if every run held its invariants (and matched the pinned
 //! hash, when given), 1 otherwise, 2 on usage errors.
@@ -27,9 +41,17 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use dps_vopr::{FaultClasses, Vopr, VoprConfig, WorkloadKind};
+use dps_vopr::netrun::{check_net_run, net_reference, output_hash, run_net_master, run_net_worker};
+use dps_vopr::{minimize_classes, FaultClasses, Vopr, VoprConfig, VoprFailure, WorkloadKind};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EngineKind {
+    Sim,
+    Net,
+}
 
 struct Args {
+    engine: EngineKind,
     workloads: Vec<WorkloadKind>,
     seed: u64,
     runs: u64,
@@ -50,6 +72,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        engine: EngineKind::Sim,
         workloads: WorkloadKind::SOUND.to_vec(),
         seed: 1,
         runs: 1,
@@ -59,17 +82,29 @@ fn parse_args() -> Result<Args, String> {
         fail_file: None,
         expect_hash: None,
     };
+    let mut workloads_defaulted = true;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
+            "--engine" => {
+                let v = value("--engine")?;
+                args.engine = match v.as_str() {
+                    "sim" => EngineKind::Sim,
+                    "net" => EngineKind::Net,
+                    _ => return Err(format!("unknown engine `{v}` (sim|net)")),
+                };
+            }
             "--workload" => {
                 let v = value("--workload")?;
-                args.workloads = if v == "all" {
-                    WorkloadKind::SOUND.to_vec()
+                if v == "all" {
+                    workloads_defaulted = true;
                 } else {
-                    vec![WorkloadKind::parse(&v).ok_or_else(|| format!("unknown workload `{v}`"))?]
-                };
+                    workloads_defaulted = false;
+                    args.workloads =
+                        vec![WorkloadKind::parse(&v)
+                            .ok_or_else(|| format!("unknown workload `{v}`"))?];
+                }
             }
             "--seed" => {
                 let v = value("--seed")?;
@@ -92,10 +127,12 @@ fn parse_args() -> Result<Args, String> {
                 args.expect_hash = Some(parse_u64(&v).ok_or_else(|| format!("bad hash `{v}`"))?);
             }
             "--help" | "-h" => {
-                return Err("usage: vopr [--workload W] [--seed S] [--runs N] \
+                return Err(
+                    "usage: vopr [--engine sim|net] [--workload W] [--seed S] [--runs N] \
                      [--faults shuffle,net,kill|all|none] [--replay] [--smoke] \
                      [--fail-file PATH] [--expect-hash 0xHEX]"
-                    .into());
+                        .into(),
+                );
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
@@ -103,11 +140,25 @@ fn parse_args() -> Result<Args, String> {
     if args.runs == 0 {
         return Err("--runs must be at least 1".into());
     }
+    if args.engine == EngineKind::Net {
+        if workloads_defaulted {
+            args.workloads = WorkloadKind::NET_CAPABLE.to_vec();
+        } else if let Some(w) = args
+            .workloads
+            .iter()
+            .find(|w| !WorkloadKind::NET_CAPABLE.contains(w))
+        {
+            return Err(format!("workload `{w}` is simulator-only (--engine sim)"));
+        }
+    } else if workloads_defaulted {
+        args.workloads = WorkloadKind::SOUND.to_vec();
+    }
     Ok(args)
 }
 
-/// The fault classes a smoke sweep cycles through — each class alone, then
-/// all together, so a regression in one class cannot hide behind another.
+/// The fault classes a simulator smoke sweep cycles through — each class
+/// alone, then all together, so a regression in one class cannot hide
+/// behind another.
 const SMOKE_CLASSES: [FaultClasses; 4] = [
     FaultClasses {
         shuffle: true,
@@ -127,6 +178,89 @@ const SMOKE_CLASSES: [FaultClasses; 4] = [
     FaultClasses::ALL,
 ];
 
+/// The net-mode smoke cycle: wire faults, process kills, both. (The
+/// delivery-interleaving shuffle is a simulator concept; real process
+/// scheduling provides its own nondeterminism for free.)
+const NET_SMOKE_CLASSES: [FaultClasses; 3] = [
+    FaultClasses {
+        shuffle: false,
+        net: true,
+        kill: false,
+    },
+    FaultClasses {
+        shuffle: false,
+        net: false,
+        kill: true,
+    },
+    FaultClasses {
+        shuffle: false,
+        net: true,
+        kill: true,
+    },
+];
+
+/// One perturbed net run + invariant check under `cfg` (reference supplied
+/// by the caller). `Err(String)` is an infrastructure failure (the cluster
+/// never came up) as opposed to an invariant violation.
+fn net_run_checked(
+    cfg: &VoprConfig,
+    reference: &[u8],
+) -> Result<Result<bool, Box<VoprFailure>>, String> {
+    match run_net_master(cfg) {
+        Ok(outcome) => Ok(check_net_run(cfg, reference, &outcome)),
+        Err(e) => Err(format!(
+            "vopr: net cluster for workload {} seed 0x{:016x} failed to come up: {e}",
+            cfg.workload, cfg.seed
+        )),
+    }
+}
+
+/// Smoke-mode shrink: disarm fault classes one at a time (schedules are
+/// re-roll-free across classes) and report the smallest combination that
+/// still fails. Each probe is a full re-run, so this only runs on the rare
+/// failing configuration.
+fn minimize_and_report(args: &Args, cfg: &VoprConfig, failures: &mut [Box<VoprFailure>]) {
+    let minimized = minimize_classes(cfg.faults, |classes| {
+        let mut probe = cfg.clone();
+        probe.faults = classes;
+        match args.engine {
+            EngineKind::Sim => Vopr::new(probe).run().is_err(),
+            EngineKind::Net => match net_reference(&probe) {
+                Ok(reference) => !matches!(net_run_checked(&probe, &reference), Ok(Ok(_))),
+                Err(_) => true,
+            },
+        }
+    });
+    if minimized != cfg.faults {
+        eprintln!(
+            "vopr: minimized: workload {} seed 0x{:016x} still fails with faults `{minimized}` \
+             (was `{}`)",
+            cfg.workload, cfg.seed, cfg.faults
+        );
+        if let Some(last) = failures.last_mut() {
+            last.detail
+                .push_str(&format!(" [minimized to faults `{minimized}`]"));
+        }
+    }
+}
+
+/// The worker-process entry of a net-mode run: the master spawned us with
+/// an argument vector pinning exactly one configuration. Run it and exit;
+/// clean degradation is an expected outcome (the master judges the run).
+fn worker_main(args: &Args) -> ExitCode {
+    if args.engine != EngineKind::Net || args.workloads.len() != 1 {
+        eprintln!("vopr worker: spawned with a non-pinned argument vector");
+        return ExitCode::FAILURE;
+    }
+    let mut cfg = VoprConfig::new(args.workloads[0], args.seed);
+    cfg.faults = args.faults;
+    if run_net_worker(&cfg) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -135,15 +269,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if std::env::var("DPS_NET_ROLE").as_deref() == Ok("worker") {
+        return worker_main(&args);
+    }
 
     // Build the run list: smoke mode spreads the seed budget across
     // workloads × fault classes; otherwise every workload gets every seed
     // under the one requested fault set.
+    let smoke_classes: &[FaultClasses] = match args.engine {
+        EngineKind::Sim => &SMOKE_CLASSES,
+        EngineKind::Net => &NET_SMOKE_CLASSES,
+    };
     let mut configs = Vec::new();
     if args.smoke {
         for i in 0..args.runs {
             let workload = args.workloads[(i as usize) % args.workloads.len()];
-            let classes = SMOKE_CLASSES[(i as usize / args.workloads.len()) % SMOKE_CLASSES.len()];
+            let classes = smoke_classes[(i as usize / args.workloads.len()) % smoke_classes.len()];
             let mut cfg = VoprConfig::new(workload, args.seed.wrapping_add(i));
             cfg.faults = classes;
             configs.push(cfg);
@@ -159,53 +300,126 @@ fn main() -> ExitCode {
     }
 
     let mut failures = Vec::new();
+    let mut infra_failed = false;
     for cfg in configs {
-        let vopr = Vopr::new(cfg.clone());
-        match vopr.run() {
-            Ok(report) => {
-                let mut line = format!(
-                    "ok   workload={:<9} seed=0x{:016x} faults={:<16} hash=0x{:016x} makespan={:.6}s{}",
-                    report.cfg.workload.to_string(),
-                    report.cfg.seed,
-                    report.cfg.faults.to_string(),
-                    report.schedule_hash,
-                    report.makespan,
-                    if report.completed { "" } else { " (degraded cleanly)" },
-                );
-                if let Some((faulted, clean)) = report.net_stats {
-                    line.push_str(&format!(" net-faulted={faulted}/{}", faulted + clean));
+        match args.engine {
+            EngineKind::Sim => {
+                let vopr = Vopr::new(cfg.clone());
+                match vopr.run() {
+                    Ok(report) => {
+                        let mut line = format!(
+                            "ok   workload={:<9} seed=0x{:016x} faults={:<16} hash=0x{:016x} makespan={:.6}s{}",
+                            report.cfg.workload.to_string(),
+                            report.cfg.seed,
+                            report.cfg.faults.to_string(),
+                            report.schedule_hash,
+                            report.makespan,
+                            if report.completed { "" } else { " (degraded cleanly)" },
+                        );
+                        if let Some((faulted, clean)) = report.net_stats {
+                            line.push_str(&format!(" net-faulted={faulted}/{}", faulted + clean));
+                        }
+                        println!("{line}");
+                    }
+                    Err(failure) => {
+                        eprintln!("{failure}");
+                        failures.push(failure);
+                        if args.smoke {
+                            minimize_and_report(&args, &cfg, &mut failures);
+                        }
+                        continue;
+                    }
                 }
-                println!("{line}");
+                if args.replay {
+                    match vopr.replay_check() {
+                        Ok(hash) => {
+                            println!(
+                                "ok   replay-identity seed=0x{:016x} hash=0x{hash:016x}",
+                                cfg.seed
+                            );
+                            if let Some(want) = args.expect_hash {
+                                if hash != want {
+                                    eprintln!(
+                                        "VOPR FAILURE: pinned schedule hash mismatch: got 0x{hash:016x}, \
+                                         expected 0x{want:016x} (workload {} seed 0x{:016x}) — determinism \
+                                         drifted; if intentional, re-pin with the new hash",
+                                        cfg.workload, cfg.seed
+                                    );
+                                    return ExitCode::FAILURE;
+                                }
+                                println!("ok   pinned hash matches (0x{want:016x})");
+                            }
+                        }
+                        Err(failure) => {
+                            eprintln!("{failure}");
+                            failures.push(failure);
+                        }
+                    }
+                }
             }
-            Err(failure) => {
-                eprintln!("{failure}");
-                failures.push(failure);
-                continue;
-            }
-        }
-        if args.replay {
-            match vopr.replay_check() {
-                Ok(hash) => {
+            EngineKind::Net => {
+                let reference = match net_reference(&cfg) {
+                    Ok(bytes) => bytes,
+                    Err(failure) => {
+                        eprintln!("{failure}");
+                        failures.push(failure);
+                        continue;
+                    }
+                };
+                let mut runs_left = if args.replay { 2 } else { 1 };
+                let mut run_ok = true;
+                while runs_left > 0 {
+                    runs_left -= 1;
+                    match net_run_checked(&cfg, &reference) {
+                        Ok(Ok(completed)) => {
+                            println!(
+                                "ok   workload={:<9} seed=0x{:016x} faults={:<16} engine=net hash=0x{:016x}{}",
+                                cfg.workload.to_string(),
+                                cfg.seed,
+                                cfg.faults.to_string(),
+                                output_hash(&reference),
+                                if completed { "" } else { " (degraded cleanly)" },
+                            );
+                        }
+                        Ok(Err(failure)) => {
+                            eprintln!("{failure}");
+                            failures.push(failure);
+                            if args.smoke {
+                                minimize_and_report(&args, &cfg, &mut failures);
+                            }
+                            run_ok = false;
+                            break;
+                        }
+                        Err(msg) => {
+                            eprintln!("{msg}");
+                            infra_failed = true;
+                            run_ok = false;
+                            break;
+                        }
+                    }
+                }
+                // Net replay identity: event timing is wall-clock, but the
+                // computation is deterministic — every completed run must
+                // reproduce the canonical bytes, whose hash is the pinnable
+                // fingerprint.
+                if run_ok && args.replay {
+                    let hash = output_hash(&reference);
                     println!(
-                        "ok   replay-identity seed=0x{:016x} hash=0x{hash:016x}",
+                        "ok   replay-identity seed=0x{:016x} engine=net hash=0x{hash:016x}",
                         cfg.seed
                     );
                     if let Some(want) = args.expect_hash {
                         if hash != want {
                             eprintln!(
-                                "VOPR FAILURE: pinned schedule hash mismatch: got 0x{hash:016x}, \
-                                 expected 0x{want:016x} (workload {} seed 0x{:016x}) — determinism \
-                                 drifted; if intentional, re-pin with the new hash",
+                                "VOPR FAILURE: pinned output hash mismatch: got 0x{hash:016x}, \
+                                 expected 0x{want:016x} (workload {} seed 0x{:016x}, engine net) — \
+                                 determinism drifted; if intentional, re-pin with the new hash",
                                 cfg.workload, cfg.seed
                             );
                             return ExitCode::FAILURE;
                         }
                         println!("ok   pinned hash matches (0x{want:016x})");
                     }
-                }
-                Err(failure) => {
-                    eprintln!("{failure}");
-                    failures.push(failure);
                 }
             }
         }
@@ -224,10 +438,12 @@ fn main() -> ExitCode {
         }
     }
 
-    if failures.is_empty() {
+    if failures.is_empty() && !infra_failed {
         ExitCode::SUCCESS
     } else {
-        eprintln!("vopr: {} invariant violation(s)", failures.len());
+        if !failures.is_empty() {
+            eprintln!("vopr: {} invariant violation(s)", failures.len());
+        }
         ExitCode::FAILURE
     }
 }

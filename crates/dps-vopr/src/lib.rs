@@ -43,6 +43,7 @@
 //! [`SimEngine::set_net_faults`]: dps_core::SimEngine::set_net_faults
 //! [`SimEngine::schedule_fail_node`]: dps_core::SimEngine::schedule_fail_node
 
+pub mod netrun;
 pub mod workload;
 
 use dps_core::DpsError;
@@ -306,22 +307,25 @@ pub struct VoprFailure {
     pub invariant: Invariant,
     /// Human-readable specifics (first differing byte, lease ids, …).
     pub detail: String,
+    /// Which execution engine ran it: `"sim"` (virtual time) or `"net"`
+    /// (real processes).
+    pub engine: &'static str,
 }
 
 impl std::fmt::Display for VoprFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "VOPR FAILURE: invariant {} violated on workload {}",
-            self.invariant, self.cfg.workload
+            "VOPR FAILURE: invariant {} violated on workload {} (engine {})",
+            self.invariant, self.cfg.workload, self.engine
         )?;
         writeln!(f, "  seed:     0x{:016x}", self.cfg.seed)?;
         writeln!(f, "  faults:   {}", self.perturbation)?;
         writeln!(f, "  detail:   {}", self.detail)?;
         write!(
             f,
-            "  replay:   cargo run -p dps-vopr --bin vopr -- --workload {} --seed 0x{:016x} --faults {} --replay",
-            self.cfg.workload, self.cfg.seed, self.cfg.faults
+            "  replay:   cargo run -p dps-vopr --bin vopr -- --engine {} --workload {} --seed 0x{:016x} --faults {} --replay",
+            self.engine, self.cfg.workload, self.cfg.seed, self.cfg.faults
         )
     }
 }
@@ -492,7 +496,42 @@ impl Vopr {
             perturbation: p,
             invariant,
             detail,
+            engine: "sim",
         })
+    }
+}
+
+/// Shrink a failing run's fault-class set to a smaller still-failing one
+/// by disarming classes **one at a time** (greedy ddmin over three flags).
+/// Because every class draws from its own `SplitMix64` stream split off
+/// the master seed, disarming one class never re-rolls the others' fault
+/// schedules — each probe is the original schedule minus whole classes,
+/// so the result genuinely isolates the classes the failure needs.
+/// `still_fails` re-runs the configuration under the candidate classes.
+pub fn minimize_classes(
+    start: FaultClasses,
+    mut still_fails: impl FnMut(FaultClasses) -> bool,
+) -> FaultClasses {
+    let disarms: [fn(&mut FaultClasses) -> &mut bool; 3] =
+        [|c| &mut c.shuffle, |c| &mut c.net, |c| &mut c.kill];
+    let mut cur = start;
+    loop {
+        let mut shrunk = false;
+        for disarm in disarms {
+            let mut candidate = cur;
+            let flag = disarm(&mut candidate);
+            if !*flag {
+                continue;
+            }
+            *flag = false;
+            if still_fails(candidate) {
+                cur = candidate;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return cur;
+        }
     }
 }
 
@@ -536,6 +575,25 @@ mod tests {
         assert_eq!(all.shuffle_seed, no_net.shuffle_seed);
         assert_eq!(all.kill, no_net.kill);
         assert!(no_net.net.is_none());
+    }
+
+    #[test]
+    fn minimizer_isolates_the_guilty_classes() {
+        let m = minimize_classes(FaultClasses::ALL, |c| c.net);
+        assert_eq!(
+            m,
+            FaultClasses {
+                shuffle: false,
+                net: true,
+                kill: false
+            }
+        );
+        let m = minimize_classes(FaultClasses::ALL, |c| c.net && c.kill);
+        assert!(m.net && m.kill && !m.shuffle);
+        // A failure that persists with nothing armed (a reference-side bug)
+        // shrinks all the way to `none` — maximally informative.
+        let m = minimize_classes(FaultClasses::ALL, |_| true);
+        assert_eq!(m, FaultClasses::NONE);
     }
 
     #[test]

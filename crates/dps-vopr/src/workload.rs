@@ -68,6 +68,12 @@ impl WorkloadKind {
         WorkloadKind::Pipeline,
     ];
 
+    /// The workloads that run unchanged on any [`Engine`] — what the net
+    /// mode (real processes over sockets) sweeps. The pipeline pair stays
+    /// simulator-only (it drives the virtual-time service front door).
+    pub const NET_CAPABLE: [WorkloadKind; 3] =
+        [WorkloadKind::Lu, WorkloadKind::MatMul, WorkloadKind::Life];
+
     /// CLI name.
     pub fn name(self) -> &'static str {
         match self {
@@ -151,61 +157,9 @@ pub(crate) fn run_workload(kind: WorkloadKind, p: &Perturbation) -> RunArtifacts
     let mut samples = vec![eng.now_secs()];
     let mut hub: Option<Arc<ChunkHub>> = None;
     let result: Result<Vec<u8>> = match kind {
-        WorkloadKind::Lu => run_lu(
-            &mut eng,
-            &LuConfig {
-                n: 32,
-                r: 8,
-                pipelined: true,
-                seed: 0xD5,
-                nodes,
-                threads_per_node: 1,
-                dist: Distribution::Scheduled(PolicyKind::Tss),
-                update_chunks: 2,
-            },
-        )
-        .map(|rep| {
-            let mut bytes = Vec::new();
-            le_f64(&mut bytes, rep.factors.lu.as_slice());
-            for &piv in &rep.factors.pivots {
-                bytes.extend_from_slice(&(piv as u64).to_le_bytes());
-            }
-            bytes
-        }),
-        WorkloadKind::MatMul => run_matmul(
-            &mut eng,
-            &MatMulConfig {
-                n: 24,
-                s: 3,
-                pipelined: true,
-                seed: 0xD5,
-                nodes,
-                threads_per_node: 1,
-                dist: Distribution::Static,
-            },
-            0,
-        )
-        .map(|rep| {
-            let mut bytes = Vec::new();
-            le_f64(&mut bytes, rep.c.as_slice());
-            bytes
-        }),
-        WorkloadKind::Life => run_life_scheduled(
-            &mut eng,
-            &LifeConfig {
-                rows: 24,
-                cols: 16,
-                iterations: 3,
-                variant: Variant::Simple,
-                nodes,
-                threads_per_node: 1,
-                density: 0.35,
-                seed: 0xD5,
-                dist: Distribution::Scheduled(PolicyKind::Tss),
-            },
-            PolicyKind::Tss,
-        )
-        .map(|rep| rep.world.as_slice().to_vec()),
+        WorkloadKind::Lu | WorkloadKind::MatMul | WorkloadKind::Life => {
+            run_canonical(&mut eng, kind)
+        }
         WorkloadKind::Pipeline | WorkloadKind::OrderSensitive => {
             run_pipeline(&mut eng, kind, &mut samples, &mut hub)
         }
@@ -232,6 +186,78 @@ pub(crate) fn run_workload(kind: WorkloadKind, p: &Perturbation) -> RunArtifacts
         abandoned_leases,
         net_stats,
         time_samples: samples,
+    }
+}
+
+/// Run `kind`'s canonical configuration on **any** engine, reduced to the
+/// workload's canonical output bytes. This is the byte-identity yardstick
+/// shared by the simulator harness and the net mode: the same function, the
+/// same configuration, so a perturbed multi-process run can be compared
+/// byte-for-byte against a clean in-process reference. Only the
+/// [`NET_CAPABLE`](WorkloadKind::NET_CAPABLE) workloads are accepted.
+pub fn run_canonical<E: Engine>(eng: &mut E, kind: WorkloadKind) -> Result<Vec<u8>> {
+    let nodes = kind.nodes();
+    match kind {
+        WorkloadKind::Lu => run_lu(
+            eng,
+            &LuConfig {
+                n: 32,
+                r: 8,
+                pipelined: true,
+                seed: 0xD5,
+                nodes,
+                threads_per_node: 1,
+                dist: Distribution::Scheduled(PolicyKind::Tss),
+                update_chunks: 2,
+            },
+        )
+        .map(|rep| {
+            let mut bytes = Vec::new();
+            le_f64(&mut bytes, rep.factors.lu.as_slice());
+            for &piv in &rep.factors.pivots {
+                bytes.extend_from_slice(&(piv as u64).to_le_bytes());
+            }
+            bytes
+        }),
+        WorkloadKind::MatMul => run_matmul(
+            eng,
+            &MatMulConfig {
+                n: 24,
+                s: 3,
+                pipelined: true,
+                seed: 0xD5,
+                nodes,
+                threads_per_node: 1,
+                dist: Distribution::Static,
+            },
+            0,
+        )
+        .map(|rep| {
+            let mut bytes = Vec::new();
+            le_f64(&mut bytes, rep.c.as_slice());
+            bytes
+        }),
+        WorkloadKind::Life => run_life_scheduled(
+            eng,
+            &LifeConfig {
+                rows: 24,
+                cols: 16,
+                iterations: 3,
+                variant: Variant::Simple,
+                nodes,
+                threads_per_node: 1,
+                density: 0.35,
+                seed: 0xD5,
+                dist: Distribution::Scheduled(PolicyKind::Tss),
+            },
+            PolicyKind::Tss,
+        )
+        .map(|rep| rep.world.as_slice().to_vec()),
+        WorkloadKind::Pipeline | WorkloadKind::OrderSensitive => {
+            Err(dps_core::DpsError::InvalidGraph {
+                reason: format!("workload {kind} is simulator-only"),
+            })
+        }
     }
 }
 

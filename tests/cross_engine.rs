@@ -381,6 +381,68 @@ fn chunked_lu_is_byte_identical_across_engines() {
     }
 }
 
+/// Fault tolerance across real processes: a worker carrying a scheduled
+/// kill dies abruptly mid-scheduled-LU (no Release handshake — the master
+/// sees a plain EOF/connection reset). The run must **never hang**: it
+/// either completes on the survivors with the bit-exact reference factors,
+/// or degrades to a clean `NodeDown`/`IncompleteWaves` — detection is
+/// bounded by the heartbeat budget, well under the exec timeout. Every
+/// process (master and surviving workers) applies the same outcome check,
+/// so a survivor panicking on degradation would fail the master's
+/// shutdown too.
+#[test]
+fn worker_death_mid_scheduled_lu_never_hangs_across_processes() {
+    use dps::core::DpsError;
+    use dps::linalg::parallel::lu::{run_lu, LuConfig};
+    use dps::linalg::{blocked_lu, Matrix};
+    use dps::netengine::NetKill;
+    use dps::sched::{Distribution, PolicyKind};
+
+    let cfg = LuConfig {
+        n: 32,
+        r: 8,
+        pipelined: true,
+        seed: 33,
+        nodes: 3,
+        threads_per_node: 1,
+        dist: Distribution::Scheduled(PolicyKind::Tss),
+        update_chunks: 2,
+    };
+    let mut net_cfg =
+        spmd_test_config("worker_death_mid_scheduled_lu_never_hangs_across_processes");
+    net_cfg.kills = vec![NetKill {
+        rank: 2,
+        after_frames: 5,
+    }];
+    let mut eng = NetEngine::from_env(3, net_cfg).expect("net engine setup");
+    let is_master = eng.is_master();
+    let res = run_lu(&mut eng, &cfg);
+    // A dead rank must never leave a chunk lease open: takeover expired
+    // them the moment the rank was tombstoned.
+    if is_master {
+        let abandoned = eng.chunk_hub().abandoned_leases();
+        assert!(
+            abandoned.is_empty(),
+            "dead worker left {} chunk lease(s) open",
+            abandoned.len()
+        );
+    }
+    eng.shutdown();
+    match res {
+        Ok(rep) => {
+            let a = Matrix::random_general(cfg.n, cfg.n, cfg.seed);
+            let reference = blocked_lu(&a, cfg.r);
+            assert_eq!(rep.factors.pivots, reference.pivots, "pivots diverged");
+            assert_eq!(
+                rep.factors.lu, reference.lu,
+                "completed despite the kill, but with wrong factors"
+            );
+        }
+        Err(DpsError::NodeDown { .. }) | Err(DpsError::IncompleteWaves { .. }) => {}
+        Err(e) => panic!("unclean degradation after worker death: {e}"),
+    }
+}
+
 /// Block matmul through the generic `run_matmul` entry point on OS threads.
 #[test]
 fn matmul_runs_on_real_threads_via_the_generic_driver() {
